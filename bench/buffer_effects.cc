@@ -1,0 +1,78 @@
+// Section 6's memory-buffer argument, made measurable: "XJB is likely to
+// be more effective in the Blobworld system because its tree height is
+// lower than the JB tree height. Thus, the XJB inner nodes are more
+// likely to fit in memory."
+//
+// This bench runs the workload through an LRU buffer pool of varying
+// capacity and reports actual (post-cache) page reads per query for the
+// R, aMAP, JB and XJB trees, plus each tree's inner-node count (the
+// memory needed to pin all inner nodes).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  bw::Flags flags;
+  auto* config = bw::bench::ExperimentConfig::Register(&flags);
+  int exit_code = 0;
+  if (!bw::bench::ParseFlagsOrExit(flags, argc, argv, &exit_code)) {
+    return exit_code;
+  }
+  config->Resolve();
+
+  std::printf("=== Buffer-pool effects on JB vs XJB (Section 6) ===\n\n");
+  const bw::bench::ExperimentData data = bw::bench::PrepareExperiment(*config);
+
+  const std::vector<size_t> pool_sizes = {0, 8, 32, 128, 512};
+  std::vector<std::string> header = {"AM", "height", "inner nodes"};
+  for (size_t p : pool_sizes) {
+    header.push_back(p == 0 ? "no cache" : "pool=" + std::to_string(p));
+  }
+  bw::TablePrinter table(std::move(header));
+
+  for (const std::string& am : {"rtree", "amap", "jb", "xjb"}) {
+    bw::core::IndexBuildOptions options;
+    options.am = am;
+    options.page_bytes = static_cast<size_t>(config->page_bytes);
+    options.fill_fraction = config->fill;
+    options.seed = static_cast<uint64_t>(config->seed);
+    auto index = bw::core::BuildIndex(data.vectors, options);
+    BW_CHECK_MSG(index.ok(), index.status().ToString());
+    auto& built = **index;
+
+    const auto shape = built.tree().Shape();
+    uint64_t inner_nodes = 0;
+    for (size_t level = 1; level < shape.nodes_per_level.size(); ++level) {
+      inner_nodes += shape.nodes_per_level[level];
+    }
+
+    std::vector<std::string> row = {am, std::to_string(shape.height),
+                                    std::to_string(inner_nodes)};
+    for (size_t pool : pool_sizes) {
+      built.UseBufferPool(pool);
+      built.file().ResetStats();
+      if (built.buffer_pool() != nullptr) built.buffer_pool()->Clear();
+      for (const auto& query : data.workload.queries) {
+        auto result = built.Knn(query.center, query.k, nullptr);
+        BW_CHECK_MSG(result.ok(), result.status().ToString());
+      }
+      const double reads_per_query =
+          double(built.file().stats().reads) /
+          double(data.workload.queries.size());
+      row.push_back(bw::TablePrinter::Num(reads_per_query, 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("Disk page reads per query under an LRU buffer pool\n%s\n",
+              table.ToString().c_str());
+  std::printf(
+      "paper checks: with no cache JB pays its extra inner levels on every\n"
+      "query; a modest pool absorbs XJB's inner nodes sooner than JB's\n"
+      "(XJB has fewer), closing most of the raw-I/O gap — the basis of the\n"
+      "paper's recommendation of XJB for the production system.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// google-benchmark microbenchmarks for the bounding-predicate kernels,
+// supporting Section 5.3's claim that the new BPs' distance/consistency
+// functions "are based around simple rectangle geometry and should not
+// add significantly to query execution time".
+//
+// Measures, per BP type: construction from a leaf's points, the
+// MinDistance kernel that drives k-NN ordering, and the range-query
+// consistency check.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "am/rtree.h"
+#include "am/srtree.h"
+#include "am/sstree.h"
+#include "core/index_factory.h"
+#include "core/jagged.h"
+#include "core/map_tree.h"
+#include "tests/test_helpers.h"
+
+namespace {
+
+constexpr size_t kDim = 5;
+constexpr size_t kLeafPoints = 100;
+
+std::unique_ptr<bw::gist::Extension> MakeExt(const std::string& name) {
+  bw::core::IndexBuildOptions options;
+  options.am = name;
+  options.amap_samples = 1024;
+  options.xjb_x = 10;
+  auto ext = bw::core::MakeExtension(kDim, options, 20000);
+  BW_CHECK_MSG(ext.ok(), ext.status().ToString());
+  return std::move(ext).value();
+}
+
+void BM_BpConstruct(benchmark::State& state, const std::string& am) {
+  auto ext = MakeExt(am);
+  const auto points = bw::testing::MakeClusteredPoints(kLeafPoints, kDim, 3, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ext->BpFromPoints(points));
+  }
+}
+
+void BM_BpMinDistance(benchmark::State& state, const std::string& am) {
+  auto ext = MakeExt(am);
+  const auto points = bw::testing::MakeClusteredPoints(kLeafPoints, kDim, 3, 7);
+  const auto queries = bw::testing::MakeUniformPoints(256, kDim, 11);
+  const bw::gist::Bytes bp = ext->BpFromPoints(points);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ext->BpMinDistance(bp, queries[i++ & 255]));
+  }
+}
+
+void BM_BpConsistentRange(benchmark::State& state, const std::string& am) {
+  auto ext = MakeExt(am);
+  const auto points = bw::testing::MakeClusteredPoints(kLeafPoints, kDim, 3, 7);
+  const auto queries = bw::testing::MakeUniformPoints(256, kDim, 13);
+  const bw::gist::Bytes bp = ext->BpFromPoints(points);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ext->BpConsistentRange(bp, queries[i++ & 255], 5.0));
+  }
+}
+
+void RegisterAll() {
+  for (const char* am : {"rtree", "sstree", "srtree", "amap", "jb", "xjb"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_BpConstruct/") + am).c_str(),
+        [am](benchmark::State& s) { BM_BpConstruct(s, am); });
+    benchmark::RegisterBenchmark(
+        (std::string("BM_BpMinDistance/") + am).c_str(),
+        [am](benchmark::State& s) { BM_BpMinDistance(s, am); });
+    benchmark::RegisterBenchmark(
+        (std::string("BM_BpConsistentRange/") + am).c_str(),
+        [am](benchmark::State& s) { BM_BpConsistentRange(s, am); });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

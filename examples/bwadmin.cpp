@@ -1,0 +1,210 @@
+// bwadmin: command-line administration of Blobworld indexes, covering
+// the offline production workflow the paper assumes (Section 3.2: image
+// processing and index construction are batch jobs; the static index is
+// then served).
+//
+//   bwadmin gen     --dataset blobs.bin --images 4000
+//   bwadmin build   --dataset blobs.bin --index idx.bwix --am xjb --dim 5
+//   bwadmin info    --index idx.bwix
+//   bwadmin query   --dataset blobs.bin --index idx.bwix --blob 17 --k 10
+//   bwadmin analyze --dataset blobs.bin --index idx.bwix --queries 200
+
+#include <cstdio>
+#include <cstring>
+
+#include "amdb/analysis.h"
+#include "blobworld/dataset.h"
+#include "blobworld/pipeline.h"
+#include "core/index_factory.h"
+#include "gist/persist.h"
+#include "linalg/reducer.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using bw::Status;
+using bw::StatusCode;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Rebuilds the reduced vectors the index was built over (deterministic:
+// the reducer is a pure function of the dataset).
+bw::Result<std::vector<bw::geom::Vec>> ReducedVectors(
+    const bw::blobworld::BlobDataset& dataset, size_t dim) {
+  bw::linalg::SvdReducer reducer;
+  BW_RETURN_IF_ERROR(reducer.Fit(dataset.Histograms(), dim));
+  return reducer.ProjectAll(dataset.Histograms(), dim);
+}
+
+int CmdGen(bw::Flags& flags, int argc, char** argv) {
+  std::string* dataset_path = flags.AddString("dataset", "blobs.bin", "");
+  int64_t* images = flags.AddInt64("images", 4000, "");
+  int64_t* seed = flags.AddInt64("seed", 1234, "");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return parsed.code() == StatusCode::kNotFound ? 0 : 2;
+
+  bw::blobworld::DatasetParams params;
+  params.num_images = static_cast<size_t>(*images);
+  params.within_cluster_sigma = 0.5;
+  params.direct_noise = 0.02;
+  params.blend_fraction = 0.2;
+  params.zipf_exponent = 0.8;
+  params.seed = static_cast<uint64_t>(*seed);
+  const auto dataset = bw::blobworld::GenerateDatasetDirect(params);
+  Status saved = dataset.SaveTo(*dataset_path);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("wrote %s: %zu blobs from %zu images\n", dataset_path->c_str(),
+              dataset.num_blobs(), dataset.num_images());
+  return 0;
+}
+
+int CmdBuild(bw::Flags& flags, int argc, char** argv) {
+  std::string* dataset_path = flags.AddString("dataset", "blobs.bin", "");
+  std::string* index_path = flags.AddString("index", "index.bwix", "");
+  std::string* am = flags.AddString("am", "xjb", "");
+  int64_t* dim = flags.AddInt64("dim", 5, "");
+  int64_t* xjb_x = flags.AddInt64("xjb_x", 0, "0 = auto-select");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return parsed.code() == StatusCode::kNotFound ? 0 : 2;
+
+  auto dataset = bw::blobworld::BlobDataset::LoadFrom(*dataset_path);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto vectors = ReducedVectors(*dataset, static_cast<size_t>(*dim));
+  if (!vectors.ok()) return Fail(vectors.status());
+
+  bw::Stopwatch watch;
+  bw::core::IndexBuildOptions options;
+  options.am = *am;
+  options.xjb_x = static_cast<size_t>(*xjb_x);
+  auto index = bw::core::BuildIndex(*vectors, options);
+  if (!index.ok()) return Fail(index.status());
+  Status saved = bw::core::SaveIndex(**index, *index_path);
+  if (!saved.ok()) return Fail(saved);
+  const auto shape = (*index)->tree().Shape();
+  std::printf("built %s index over %zu vectors in %.1fs "
+              "(height %d, %llu nodes) -> %s\n",
+              am->c_str(), vectors->size(), watch.ElapsedSeconds(),
+              shape.height, (unsigned long long)shape.TotalNodes(),
+              index_path->c_str());
+  return 0;
+}
+
+int CmdInfo(bw::Flags& flags, int argc, char** argv) {
+  std::string* index_path = flags.AddString("index", "index.bwix", "");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return parsed.code() == StatusCode::kNotFound ? 0 : 2;
+
+  auto index = bw::core::LoadIndex(*index_path);
+  if (!index.ok()) return Fail(index.status());
+  const auto& tree = (*index)->tree();
+  const auto shape = tree.Shape();
+  std::printf("index:      %s\n", index_path->c_str());
+  std::printf("AM:         %s (%zu-D)\n", tree.extension().Name().c_str(),
+              tree.extension().dim());
+  std::printf("entries:    %llu\n", (unsigned long long)tree.size());
+  std::printf("height:     %d\n", shape.height);
+  for (size_t level = 0; level < shape.nodes_per_level.size(); ++level) {
+    std::printf("  level %zu: %llu nodes, %llu entries, util %.2f\n", level,
+                (unsigned long long)shape.nodes_per_level[level],
+                (unsigned long long)shape.entries_per_level[level],
+                shape.avg_utilization_per_level[level]);
+  }
+  std::printf("validation: %s\n", tree.Validate().ToString().c_str());
+  return 0;
+}
+
+int CmdQuery(bw::Flags& flags, int argc, char** argv) {
+  std::string* dataset_path = flags.AddString("dataset", "blobs.bin", "");
+  std::string* index_path = flags.AddString("index", "index.bwix", "");
+  int64_t* blob = flags.AddInt64("blob", 0, "query blob id");
+  int64_t* k = flags.AddInt64("k", 10, "");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return parsed.code() == StatusCode::kNotFound ? 0 : 2;
+
+  auto dataset = bw::blobworld::BlobDataset::LoadFrom(*dataset_path);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto index = bw::core::LoadIndex(*index_path);
+  if (!index.ok()) return Fail(index.status());
+  auto vectors = ReducedVectors(*dataset, (*index)->tree().extension().dim());
+  if (!vectors.ok()) return Fail(vectors.status());
+  if (*blob < 0 || static_cast<size_t>(*blob) >= vectors->size()) {
+    return Fail(Status::InvalidArgument("blob id out of range"));
+  }
+
+  bw::gist::TraversalStats stats;
+  auto neighbors =
+      (*index)->Knn((*vectors)[static_cast<size_t>(*blob)],
+                    static_cast<size_t>(*k), &stats);
+  if (!neighbors.ok()) return Fail(neighbors.status());
+  std::printf("%zu nearest blobs to blob %lld:\n", neighbors->size(),
+              (long long)*blob);
+  for (const auto& n : *neighbors) {
+    std::printf("  blob %-7llu image %-6u dist %.5f\n",
+                (unsigned long long)n.rid,
+                dataset->blob(static_cast<size_t>(n.rid)).image, n.distance);
+  }
+  std::printf("cost: %llu leaf + %llu inner page reads\n",
+              (unsigned long long)stats.leaf_accesses,
+              (unsigned long long)stats.internal_accesses);
+  return 0;
+}
+
+int CmdAnalyze(bw::Flags& flags, int argc, char** argv) {
+  std::string* dataset_path = flags.AddString("dataset", "blobs.bin", "");
+  std::string* index_path = flags.AddString("index", "index.bwix", "");
+  int64_t* queries = flags.AddInt64("queries", 200, "");
+  int64_t* k = flags.AddInt64("k", 200, "");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return parsed.code() == StatusCode::kNotFound ? 0 : 2;
+
+  auto dataset = bw::blobworld::BlobDataset::LoadFrom(*dataset_path);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto index = bw::core::LoadIndex(*index_path);
+  if (!index.ok()) return Fail(index.status());
+  auto vectors = ReducedVectors(*dataset, (*index)->tree().extension().dim());
+  if (!vectors.ok()) return Fail(vectors.status());
+
+  const auto foci = bw::blobworld::SampleQueryBlobs(
+      *dataset, static_cast<size_t>(*queries), 0xF0C1);
+  const auto workload = bw::amdb::Workload::NnOverFoci(
+      *vectors, foci, static_cast<size_t>(*k));
+  auto report = bw::amdb::AnalyzeWorkload((*index)->tree(), workload);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s", report->ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: bwadmin <gen|build|info|query|analyze> [flags]\n");
+    return 2;
+  }
+  const char* command = argv[1];
+  bw::Flags flags;
+  // Shift argv past the subcommand.
+  argv[1] = argv[0];
+  if (std::strcmp(command, "gen") == 0) {
+    return CmdGen(flags, argc - 1, argv + 1);
+  }
+  if (std::strcmp(command, "build") == 0) {
+    return CmdBuild(flags, argc - 1, argv + 1);
+  }
+  if (std::strcmp(command, "info") == 0) {
+    return CmdInfo(flags, argc - 1, argv + 1);
+  }
+  if (std::strcmp(command, "query") == 0) {
+    return CmdQuery(flags, argc - 1, argv + 1);
+  }
+  if (std::strcmp(command, "analyze") == 0) {
+    return CmdAnalyze(flags, argc - 1, argv + 1);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command);
+  return 2;
+}

@@ -1,0 +1,97 @@
+// End-to-end Blobworld image search over the FULL image pipeline
+// (Figure 1 + Figure 2 of the paper):
+//
+//   render synthetic images -> EM segmentation into blobs -> 218-bin
+//   color histograms -> SVD to 5-D -> XJB access method -> two-stage
+//   query (AM retrieves ~200 candidate blobs, the full-feature ranker
+//   picks the top answers) -> recall vs. the exhaustive query.
+//
+// Also demonstrates the Figure-3 sliders: "color is very important,
+// location is not, texture is so-so".
+//
+//   $ ./image_search [--images N]
+
+#include <cstdio>
+
+#include "blobworld/pipeline.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+  bw::Flags flags;
+  int64_t* images = flags.AddInt64("images", 300, "images to synthesize");
+  int64_t* queries = flags.AddInt64("queries", 20, "sample queries to run");
+  bw::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    return parsed.code() == bw::StatusCode::kNotFound ? 0 : 2;
+  }
+
+  // ---- Figure 1: pixels -> blobs -> descriptors. ----
+  bw::Stopwatch watch;
+  bw::blobworld::DatasetParams params;
+  params.num_images = static_cast<size_t>(*images);
+  params.seed = 11;
+  const bw::blobworld::BlobDataset dataset =
+      bw::blobworld::GenerateDataset(params);  // full pixel pipeline.
+  std::printf("segmented %zu images into %zu blobs in %.1fs "
+              "(%.1f blobs/image)\n",
+              dataset.num_images(), dataset.num_blobs(),
+              watch.ElapsedSeconds(),
+              double(dataset.num_blobs()) / double(dataset.num_images()));
+
+  // ---- Build the query pipeline (Figure 2). ----
+  watch.Restart();
+  bw::blobworld::PipelineOptions options;
+  options.reduced_dim = 5;
+  options.am_candidates = 200;
+  options.answer_size = 20;
+  options.index.am = "xjb";
+  options.index.xjb_x = 0;  // auto-select X.
+  auto pipeline = bw::blobworld::Pipeline::Build(&dataset, options);
+  BW_CHECK_MSG(pipeline.ok(), pipeline.status().ToString());
+  std::printf("pipeline ready in %.1fs (index height %d)\n\n",
+              watch.ElapsedSeconds(),
+              (*pipeline)->index().tree().Shape().height);
+
+  // ---- Run sample queries and measure recall vs. the full query. ----
+  const auto foci = bw::blobworld::SampleQueryBlobs(
+      dataset, static_cast<size_t>(*queries), 99);
+  double recall_sum = 0.0;
+  uint64_t leaf_ios = 0;
+  for (uint32_t focus : foci) {
+    auto recall = (*pipeline)->QueryRecall(focus);
+    BW_CHECK_MSG(recall.ok(), recall.status().ToString());
+    recall_sum += *recall;
+    auto answer = (*pipeline)->Query(focus);
+    leaf_ios += answer->am_stats.leaf_accesses;
+  }
+  std::printf("two-stage query vs exhaustive ranking over %zu queries:\n",
+              foci.size());
+  std::printf("  average recall@%zu: %.2f\n", options.answer_size,
+              recall_sum / double(foci.size()));
+  std::printf("  average AM leaf I/Os per query: %.1f\n\n",
+              double(leaf_ios) / double(foci.size()));
+
+  // ---- Figure 3: weighted query on one blob. ----
+  const uint32_t query_blob = foci[0];
+  const auto& blob = dataset.blob(query_blob);
+  std::printf("query blob %u (image %u): texture=%.2f size=%.2f at "
+              "(%.2f, %.2f)\n",
+              query_blob, blob.image, blob.texture, blob.size, blob.x,
+              blob.y);
+
+  bw::blobworld::QueryWeights weights;
+  weights.color = 1.0;     // very important
+  weights.texture = 0.3;   // so-so
+  weights.location = 0.0;  // not important
+  auto answer = (*pipeline)->Query(query_blob, weights);
+  BW_CHECK_MSG(answer.ok(), answer.status().ToString());
+  std::printf("top matches (color=1.0, texture=0.3, location=0):\n");
+  size_t shown = 0;
+  for (const auto& r : answer->images) {
+    std::printf("  image %-5u score %.5f (best blob %u)\n", r.image, r.score,
+                r.best_blob);
+    if (++shown == 8) break;
+  }
+  return 0;
+}

@@ -1,0 +1,175 @@
+#include "am/bulk_load.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "gist/node.h"
+
+namespace bw::am {
+
+namespace {
+
+// Recursive STR tiling: orders `indices` so that consecutive runs of
+// `capacity` points form spatial tiles. `dim` is the coordinate to sort
+// by at this level; `dims_left` counts how many coordinates remain
+// (including `dim`).
+void StrRecurse(const std::vector<geom::Vec>& points,
+                std::vector<size_t>& indices, size_t begin, size_t end,
+                size_t dim, size_t dims_left, size_t capacity) {
+  const size_t n = end - begin;
+  if (n <= capacity || dims_left == 0) return;
+
+  std::sort(indices.begin() + static_cast<long>(begin),
+            indices.begin() + static_cast<long>(end),
+            [&](size_t a, size_t b) { return points[a][dim] < points[b][dim]; });
+
+  if (dims_left == 1) return;  // Final dimension: runs of `capacity`.
+
+  const double pages =
+      std::ceil(static_cast<double>(n) / static_cast<double>(capacity));
+  const auto slabs = static_cast<size_t>(std::max(
+      1.0, std::ceil(std::pow(pages, 1.0 / static_cast<double>(dims_left)))));
+  const size_t slab_size = (n + slabs - 1) / slabs;
+
+  for (size_t s = begin; s < end; s += slab_size) {
+    const size_t slab_end = std::min(s + slab_size, end);
+    StrRecurse(points, indices, s, slab_end, dim + 1, dims_left - 1,
+               capacity);
+  }
+}
+
+// Entries (predicate + payload) of one level, in STR order.
+struct LevelEntries {
+  std::vector<gist::Bytes> preds;
+  std::vector<uint64_t> payloads;
+};
+
+}  // namespace
+
+std::vector<size_t> StrOrder(const std::vector<geom::Vec>& points,
+                             size_t node_capacity) {
+  std::vector<size_t> indices(points.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  if (points.empty()) return indices;
+  StrRecurse(points, indices, 0, points.size(), 0, points[0].dim(),
+             std::max<size_t>(node_capacity, 1));
+  return indices;
+}
+
+Status StrBulkLoad(gist::Tree* tree, const std::vector<geom::Vec>& points,
+                   const std::vector<gist::Rid>& rids,
+                   BulkLoadOptions options) {
+  if (points.size() != rids.size()) {
+    return Status::InvalidArgument("points/rids size mismatch");
+  }
+  if (points.empty()) {
+    return Status::InvalidArgument("cannot bulk-load an empty data set");
+  }
+  if (!tree->empty()) {
+    return Status::InvalidArgument("bulk load target tree is not empty");
+  }
+  if (options.fill_fraction <= 0.0 || options.fill_fraction > 1.0) {
+    return Status::InvalidArgument("fill_fraction must be in (0, 1]");
+  }
+
+  gist::Extension& ext = tree->mutable_extension();
+  pages::PageFile* file = tree->file();
+
+  // Bytes one leaf entry occupies: key + payload + slot.
+  const size_t leaf_entry_bytes =
+      ext.PointBytes() + sizeof(uint64_t) + 2 * sizeof(uint32_t);
+  const size_t leaf_capacity = std::max<size_t>(
+      1, static_cast<size_t>(options.fill_fraction *
+                             static_cast<double>(file->page_size())) /
+             leaf_entry_bytes);
+
+  // ---- Level 0: pack leaves from the STR tiling. ----
+  std::vector<size_t> order = StrOrder(points, leaf_capacity);
+
+  LevelEntries level;
+  int current_level = 0;
+  for (size_t begin = 0; begin < order.size(); begin += leaf_capacity) {
+    const size_t end = std::min(begin + leaf_capacity, order.size());
+    const pages::PageId page_id = file->Allocate();
+    BW_ASSIGN_OR_RETURN(pages::Page * page, file->Write(page_id));
+    gist::NodeView node(page);
+    node.Format(/*level=*/0);
+    std::vector<geom::Vec> node_points;
+    node_points.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      const size_t idx = order[i];
+      node_points.push_back(points[idx]);
+      BW_RETURN_IF_ERROR(node.Append(ext.EncodePoint(points[idx]), rids[idx]));
+    }
+    level.preds.push_back(ext.BpFromPoints(node_points));
+    level.payloads.push_back(page_id);
+  }
+
+  // ---- Upper levels: STR over BP centers, nodes derive BPs from
+  // children, until a single node remains. ----
+  while (level.preds.size() > 1) {
+    ++current_level;
+
+    // Capacity from the (uniform) BP size of this level.
+    const size_t bp_bytes = level.preds[0].size();
+    const size_t entry_bytes = bp_bytes + sizeof(uint64_t) + 2 * sizeof(uint32_t);
+    const size_t capacity = std::max<size_t>(
+        2, static_cast<size_t>(options.fill_fraction *
+                               static_cast<double>(file->page_size())) /
+               entry_bytes);
+
+    std::vector<geom::Vec> centers;
+    centers.reserve(level.preds.size());
+    for (const auto& bp : level.preds) centers.push_back(ext.BpCenter(bp));
+    std::vector<size_t> node_order = StrOrder(centers, capacity);
+
+    LevelEntries next;
+    size_t begin = 0;
+    while (begin < node_order.size()) {
+      size_t end = std::min(begin + capacity, node_order.size());
+      // Never strand a single child in the last node (it would make an
+      // internal node with fanout 1).
+      if (node_order.size() - begin > capacity &&
+          node_order.size() - end == 1) {
+        --end;
+      }
+      const pages::PageId page_id = file->Allocate();
+      BW_ASSIGN_OR_RETURN(pages::Page * page, file->Write(page_id));
+      gist::NodeView node(page);
+      node.Format(current_level);
+      std::vector<gist::Bytes> child_bps;
+      child_bps.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        const size_t idx = node_order[i];
+        Status appended = node.Append(level.preds[idx], level.payloads[idx]);
+        if (!appended.ok()) {
+          return Status::Internal(
+              "bulk load internal node overflow; BP too large for page");
+        }
+        child_bps.push_back(level.preds[idx]);
+      }
+      next.preds.push_back(ext.BpFromChildBps(child_bps));
+      next.payloads.push_back(page_id);
+      begin = end;
+    }
+    level = std::move(next);
+  }
+
+  tree->InstallBulkLoaded(static_cast<pages::PageId>(level.payloads[0]),
+                          current_level + 1, points.size());
+  return Status::OK();
+}
+
+Status InsertionLoad(gist::Tree* tree, const std::vector<geom::Vec>& points,
+                     const std::vector<gist::Rid>& rids) {
+  if (points.size() != rids.size()) {
+    return Status::InvalidArgument("points/rids size mismatch");
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    BW_RETURN_IF_ERROR(tree->Insert(points[i], rids[i]));
+  }
+  return Status::OK();
+}
+
+}  // namespace bw::am

@@ -1,0 +1,48 @@
+// STR (Sort-Tile-Recursive) bulk loading [Leutenegger et al., ICDE '97],
+// generalized over any GiST extension: leaves are packed from the STR
+// tiling of the data points; each upper level is built by re-applying
+// STR to the child BP centers and deriving node BPs through the
+// extension's BpFromChildBps — so a JB tree gets JB predicates at every
+// level, exactly as the paper's trees do.
+//
+// The paper found that STR bulk loading minimizes utilization and
+// clustering loss, leaving excess coverage as the dominant R-tree
+// problem (Table 2); the insertion loader below provides the contrast.
+
+#ifndef BLOBWORLD_AM_BULK_LOAD_H_
+#define BLOBWORLD_AM_BULK_LOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec.h"
+#include "gist/tree.h"
+#include "util/status.h"
+
+namespace bw::am {
+
+struct BulkLoadOptions {
+  /// Target node fill fraction (leaves and internal nodes).
+  double fill_fraction = 0.85;
+};
+
+/// Bulk-loads `tree` (which must be empty) with the given points. RID of
+/// points[i] is rids[i].
+Status StrBulkLoad(gist::Tree* tree, const std::vector<geom::Vec>& points,
+                   const std::vector<gist::Rid>& rids,
+                   BulkLoadOptions options = BulkLoadOptions());
+
+/// Loads the tree through repeated INSERT calls (penalty descent +
+/// pickSplit), i.e. the "insertion loaded" trees of Table 2.
+Status InsertionLoad(gist::Tree* tree, const std::vector<geom::Vec>& points,
+                     const std::vector<gist::Rid>& rids);
+
+/// Computes the STR ordering of `points`: a permutation such that
+/// consecutive runs of `node_capacity` points form the STR tiles.
+/// Exposed for tests and for the amdb optimal-clustering seed.
+std::vector<size_t> StrOrder(const std::vector<geom::Vec>& points,
+                             size_t node_capacity);
+
+}  // namespace bw::am
+
+#endif  // BLOBWORLD_AM_BULK_LOAD_H_

@@ -1,0 +1,126 @@
+#include "am/rstar_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace bw::am {
+
+double RStarTreeExtension::BpPenalty(gist::ByteSpan bp,
+                                     const geom::Vec& point) const {
+  const geom::Rect rect = DecodeRect(bp);
+  const double enlargement = rect.Enlargement(geom::Rect(point));
+  // Tie-break toward smaller boxes: scaled by a factor small enough to
+  // never override a genuine enlargement difference.
+  return enlargement + 1e-9 * rect.Volume();
+}
+
+gist::SplitAssignment RStarTreeExtension::RStarSplit(
+    const std::vector<geom::Rect>& rects) const {
+  const size_t n = rects.size();
+  BW_CHECK_GE(n, 2u);
+  const size_t dim = rects[0].dim();
+  const size_t min_fill = std::max<size_t>(
+      1, static_cast<size_t>(min_fill_ * static_cast<double>(n)));
+  const size_t max_left = n - min_fill;
+
+  // ChooseSplitAxis: for each dimension, sort by lower then by upper
+  // bound and sum the margins of all candidate distributions; pick the
+  // axis with the minimum margin sum.
+  struct Candidate {
+    size_t axis = 0;
+    bool by_upper = false;
+    size_t left_count = 0;
+  };
+
+  double best_margin_sum = std::numeric_limits<double>::infinity();
+  size_t best_axis = 0;
+  bool best_axis_by_upper = false;
+  std::vector<size_t> order(n);
+
+  auto sorted_order = [&](size_t axis, bool by_upper) {
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      const float va = by_upper ? rects[a].hi()[axis] : rects[a].lo()[axis];
+      const float vb = by_upper ? rects[b].hi()[axis] : rects[b].lo()[axis];
+      return va < vb;
+    });
+    return order;
+  };
+
+  // Prefix/suffix MBRs of one sorted order; reused for axis selection
+  // and the final index selection.
+  std::vector<geom::Rect> prefix(n);
+  std::vector<geom::Rect> suffix(n);
+  auto fill_sweeps = [&](const std::vector<size_t>& ord) {
+    prefix[0] = rects[ord[0]];
+    for (size_t i = 1; i < n; ++i) {
+      prefix[i] = prefix[i - 1];
+      prefix[i].ExpandToInclude(rects[ord[i]]);
+    }
+    suffix[n - 1] = rects[ord[n - 1]];
+    for (size_t i = n - 1; i-- > 0;) {
+      suffix[i] = suffix[i + 1];
+      suffix[i].ExpandToInclude(rects[ord[i]]);
+    }
+  };
+
+  for (size_t axis = 0; axis < dim; ++axis) {
+    for (bool by_upper : {false, true}) {
+      const auto& ord = sorted_order(axis, by_upper);
+      fill_sweeps(ord);
+      double margin_sum = 0.0;
+      for (size_t left = min_fill; left <= max_left; ++left) {
+        margin_sum += prefix[left - 1].Margin() + suffix[left].Margin();
+      }
+      if (margin_sum < best_margin_sum) {
+        best_margin_sum = margin_sum;
+        best_axis = axis;
+        best_axis_by_upper = by_upper;
+      }
+    }
+  }
+
+  // ChooseSplitIndex on the winning axis: minimize overlap volume, then
+  // total volume.
+  const auto& ord = sorted_order(best_axis, best_axis_by_upper);
+  fill_sweeps(ord);
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_volume = std::numeric_limits<double>::infinity();
+  size_t best_left = min_fill;
+  for (size_t left = min_fill; left <= max_left; ++left) {
+    const geom::Rect& a = prefix[left - 1];
+    const geom::Rect& b = suffix[left];
+    const double overlap = a.IntersectionVolume(b);
+    const double volume = a.Volume() + b.Volume();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && volume < best_volume)) {
+      best_overlap = overlap;
+      best_volume = volume;
+      best_left = left;
+    }
+  }
+
+  gist::SplitAssignment to_right(n, false);
+  for (size_t i = best_left; i < n; ++i) to_right[ord[i]] = true;
+  return to_right;
+}
+
+gist::SplitAssignment RStarTreeExtension::PickSplitPoints(
+    const std::vector<geom::Vec>& points) {
+  std::vector<geom::Rect> rects;
+  rects.reserve(points.size());
+  for (const auto& p : points) rects.emplace_back(p);
+  return RStarSplit(rects);
+}
+
+gist::SplitAssignment RStarTreeExtension::PickSplitBps(
+    const std::vector<gist::Bytes>& bps) {
+  std::vector<geom::Rect> rects;
+  rects.reserve(bps.size());
+  for (const auto& bp : bps) rects.push_back(DecodeRect(bp));
+  return RStarSplit(rects);
+}
+
+}  // namespace bw::am

@@ -1,0 +1,86 @@
+#include "am/rtree.h"
+
+#include <cmath>
+
+#include "am/split_heuristics.h"
+
+namespace bw::am {
+
+gist::Bytes RtreeExtension::EncodeRect(const geom::Rect& rect) const {
+  BW_CHECK_EQ(rect.dim(), dim());
+  gist::Bytes out;
+  out.reserve(2 * dim() * sizeof(float));
+  for (size_t i = 0; i < dim(); ++i) AppendFloat(out, rect.lo()[i]);
+  for (size_t i = 0; i < dim(); ++i) AppendFloat(out, rect.hi()[i]);
+  return out;
+}
+
+geom::Rect RtreeExtension::DecodeRect(gist::ByteSpan bp) const {
+  BW_CHECK_EQ(bp.size(), 2 * dim() * sizeof(float));
+  geom::Vec lo(dim());
+  geom::Vec hi(dim());
+  for (size_t i = 0; i < dim(); ++i) lo[i] = ReadFloat(bp, i);
+  for (size_t i = 0; i < dim(); ++i) hi[i] = ReadFloat(bp, dim() + i);
+  return geom::Rect(std::move(lo), std::move(hi));
+}
+
+gist::Bytes RtreeExtension::BpFromPoints(const std::vector<geom::Vec>& points) {
+  return EncodeRect(geom::Rect::BoundingBox(points));
+}
+
+gist::Bytes RtreeExtension::BpFromChildBps(
+    const std::vector<gist::Bytes>& children) {
+  BW_CHECK(!children.empty());
+  geom::Rect merged = DecodeRect(children[0]);
+  for (size_t i = 1; i < children.size(); ++i) {
+    merged.ExpandToInclude(DecodeRect(children[i]));
+  }
+  return EncodeRect(merged);
+}
+
+double RtreeExtension::BpMinDistance(gist::ByteSpan bp,
+                                     const geom::Vec& query) const {
+  return std::sqrt(DecodeRect(bp).MinDistanceSquared(query));
+}
+
+double RtreeExtension::BpPenalty(gist::ByteSpan bp,
+                                 const geom::Vec& point) const {
+  return DecodeRect(bp).Enlargement(geom::Rect(point));
+}
+
+geom::Vec RtreeExtension::BpCenter(gist::ByteSpan bp) const {
+  return DecodeRect(bp).Center();
+}
+
+gist::Bytes RtreeExtension::BpIncludePoint(gist::ByteSpan bp,
+                                           const geom::Vec& point) const {
+  geom::Rect rect = DecodeRect(bp);
+  rect.ExpandToInclude(point);
+  return EncodeRect(rect);
+}
+
+gist::SplitAssignment RtreeExtension::PickSplitPoints(
+    const std::vector<geom::Vec>& points) {
+  std::vector<geom::Rect> rects;
+  rects.reserve(points.size());
+  for (const auto& p : points) rects.emplace_back(p);
+  return QuadraticSplit(rects, min_fill_);
+}
+
+gist::SplitAssignment RtreeExtension::PickSplitBps(
+    const std::vector<gist::Bytes>& bps) {
+  std::vector<geom::Rect> rects;
+  rects.reserve(bps.size());
+  for (const auto& bp : bps) rects.push_back(DecodeRect(bp));
+  return QuadraticSplit(rects, min_fill_);
+}
+
+double RtreeExtension::BpVolume(gist::ByteSpan bp) const {
+  return DecodeRect(bp).Volume();
+}
+
+std::string RtreeExtension::BpToString(gist::ByteSpan bp) const {
+  return DecodeRect(bp).ToString();
+}
+
+}  // namespace bw::am

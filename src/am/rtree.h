@@ -1,0 +1,52 @@
+// R-tree extension (Guttman '84): minimum bounding rectangles as BPs,
+// volume-enlargement insertion penalty, quadratic split. The baseline
+// access method of the paper's evaluation.
+
+#ifndef BLOBWORLD_AM_RTREE_H_
+#define BLOBWORLD_AM_RTREE_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+#include "gist/extension.h"
+
+namespace bw::am {
+
+/// R-tree bounding-predicate codec and heuristics. BP layout: 2D floats
+/// (lo[0..D), hi[0..D)) — the "2D numbers" of the paper's Table 3.
+class RtreeExtension : public gist::Extension {
+ public:
+  explicit RtreeExtension(size_t dim, uint64_t seed = 42,
+                          double min_fill = 0.40)
+      : Extension(dim, seed), min_fill_(min_fill) {}
+
+  std::string Name() const override { return "rtree"; }
+
+  gist::Bytes BpFromPoints(const std::vector<geom::Vec>& points) override;
+  gist::Bytes BpFromChildBps(const std::vector<gist::Bytes>& children) override;
+  double BpMinDistance(gist::ByteSpan bp,
+                       const geom::Vec& query) const override;
+  double BpPenalty(gist::ByteSpan bp, const geom::Vec& point) const override;
+  geom::Vec BpCenter(gist::ByteSpan bp) const override;
+  gist::Bytes BpIncludePoint(gist::ByteSpan bp,
+                             const geom::Vec& point) const override;
+  gist::SplitAssignment PickSplitPoints(
+      const std::vector<geom::Vec>& points) override;
+  gist::SplitAssignment PickSplitBps(
+      const std::vector<gist::Bytes>& bps) override;
+  double BpVolume(gist::ByteSpan bp) const override;
+  std::string BpToString(gist::ByteSpan bp) const override;
+
+  /// Serializes a rectangle in the R-tree BP layout.
+  gist::Bytes EncodeRect(const geom::Rect& rect) const;
+  /// Parses a BP back into a rectangle.
+  geom::Rect DecodeRect(gist::ByteSpan bp) const;
+
+ private:
+  double min_fill_;
+};
+
+}  // namespace bw::am
+
+#endif  // BLOBWORLD_AM_RTREE_H_

@@ -1,0 +1,183 @@
+#include "am/split_heuristics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace bw::am {
+
+gist::SplitAssignment QuadraticSplit(const std::vector<geom::Rect>& rects,
+                                     double min_fill_fraction) {
+  const size_t n = rects.size();
+  BW_CHECK_GE(n, 2u);
+  const size_t min_fill =
+      std::max<size_t>(1, static_cast<size_t>(
+                              std::floor(min_fill_fraction *
+                                         static_cast<double>(n))));
+
+  // PickSeeds: the pair with the largest dead space when joined. Margin
+  // (perimeter) breaks ties so that degenerate zero-volume inputs (all
+  // points collinear, a classic Guttman pathology) still split sanely.
+  size_t seed_a = 0;
+  size_t seed_b = 1;
+  double worst_waste = -1.0;
+  double worst_margin = -1.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      geom::Rect merged = rects[i];
+      merged.ExpandToInclude(rects[j]);
+      const double waste =
+          merged.Volume() - rects[i].Volume() - rects[j].Volume();
+      const double margin = merged.Margin();
+      if (waste > worst_waste ||
+          (waste == worst_waste && margin > worst_margin)) {
+        worst_waste = waste;
+        worst_margin = margin;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  gist::SplitAssignment to_right(n, false);
+  std::vector<bool> assigned(n, false);
+  geom::Rect group_a = rects[seed_a];
+  geom::Rect group_b = rects[seed_b];
+  size_t count_a = 1;
+  size_t count_b = 1;
+  assigned[seed_a] = true;
+  assigned[seed_b] = true;
+  to_right[seed_b] = true;
+  size_t remaining = n - 2;
+
+  while (remaining > 0) {
+    // If one group must take all remaining entries to reach min fill,
+    // hand them over.
+    if (count_a + remaining <= min_fill) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          assigned[i] = true;
+          to_right[i] = false;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    if (count_b + remaining <= min_fill) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          assigned[i] = true;
+          to_right[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+
+    // PickNext: the entry with the greatest preference for one group.
+    // Volume enlargement decides; margin enlargement breaks ties (which
+    // otherwise dominate for zero-volume degenerate inputs).
+    auto margin_cost = [&](const geom::Rect& group, const geom::Rect& r) {
+      geom::Rect merged = group;
+      merged.ExpandToInclude(r);
+      return merged.Margin() - group.Margin();
+    };
+    size_t best = n;
+    double best_diff = -1.0;
+    double best_margin_diff = -1.0;
+    double best_cost_a = 0.0;
+    double best_cost_b = 0.0;
+    double best_mcost_a = 0.0;
+    double best_mcost_b = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      const double cost_a = group_a.Enlargement(rects[i]);
+      const double cost_b = group_b.Enlargement(rects[i]);
+      const double mcost_a = margin_cost(group_a, rects[i]);
+      const double mcost_b = margin_cost(group_b, rects[i]);
+      const double diff = std::abs(cost_a - cost_b);
+      const double margin_diff = std::abs(mcost_a - mcost_b);
+      if (diff > best_diff ||
+          (diff == best_diff && margin_diff > best_margin_diff)) {
+        best_diff = diff;
+        best_margin_diff = margin_diff;
+        best = i;
+        best_cost_a = cost_a;
+        best_cost_b = cost_b;
+        best_mcost_a = mcost_a;
+        best_mcost_b = mcost_b;
+      }
+    }
+    BW_CHECK_LT(best, n);
+
+    bool to_b;
+    if (best_cost_a != best_cost_b) {
+      to_b = best_cost_b < best_cost_a;
+    } else if (best_mcost_a != best_mcost_b) {
+      to_b = best_mcost_b < best_mcost_a;
+    } else if (group_a.Volume() != group_b.Volume()) {
+      to_b = group_b.Volume() < group_a.Volume();
+    } else {
+      to_b = count_b < count_a;
+    }
+    assigned[best] = true;
+    to_right[best] = to_b;
+    if (to_b) {
+      group_b.ExpandToInclude(rects[best]);
+      ++count_b;
+    } else {
+      group_a.ExpandToInclude(rects[best]);
+      ++count_a;
+    }
+    --remaining;
+  }
+  return to_right;
+}
+
+gist::SplitAssignment MaxVarianceSplit(const std::vector<geom::Vec>& centers,
+                                       double min_fill_fraction) {
+  const size_t n = centers.size();
+  BW_CHECK_GE(n, 2u);
+  const size_t d = centers[0].dim();
+
+  // Dimension of maximum variance.
+  size_t split_dim = 0;
+  double best_var = -1.0;
+  for (size_t dim = 0; dim < d; ++dim) {
+    double mean = 0.0;
+    for (const auto& c : centers) mean += c[dim];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (const auto& c : centers) {
+      const double delta = c[dim] - mean;
+      var += delta * delta;
+    }
+    if (var > best_var) {
+      best_var = var;
+      split_dim = dim;
+    }
+  }
+
+  // Median split along that dimension (respecting min fill by being
+  // perfectly balanced).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return centers[a][split_dim] < centers[b][split_dim];
+  });
+
+  size_t left_count = n / 2;
+  const auto min_fill = std::max<size_t>(
+      1, static_cast<size_t>(min_fill_fraction * static_cast<double>(n)));
+  left_count = std::clamp(left_count, min_fill, n - min_fill);
+
+  gist::SplitAssignment to_right(n, false);
+  for (size_t rank = left_count; rank < n; ++rank) {
+    to_right[order[rank]] = true;
+  }
+  return to_right;
+}
+
+}  // namespace bw::am

@@ -1,0 +1,30 @@
+// Node-splitting heuristics shared by the access-method extensions:
+// Guttman's quadratic split over rectangles (R-tree) and the
+// max-variance-dimension split of the SS-tree family.
+
+#ifndef BLOBWORLD_AM_SPLIT_HEURISTICS_H_
+#define BLOBWORLD_AM_SPLIT_HEURISTICS_H_
+
+#include <vector>
+
+#include "geom/rect.h"
+#include "geom/vec.h"
+#include "gist/extension.h"
+
+namespace bw::am {
+
+/// Guttman's quadratic split: picks the pair of seed rectangles wasting
+/// the most area if grouped together, then assigns each remaining entry
+/// to the group whose MBR it enlarges least, while enforcing that each
+/// side receives at least `min_fill_fraction` of the entries.
+gist::SplitAssignment QuadraticSplit(const std::vector<geom::Rect>& rects,
+                                     double min_fill_fraction);
+
+/// SS-tree split: find the coordinate of maximum variance among the
+/// entry centers and split at the median along it (balanced halves).
+gist::SplitAssignment MaxVarianceSplit(const std::vector<geom::Vec>& centers,
+                                       double min_fill_fraction);
+
+}  // namespace bw::am
+
+#endif  // BLOBWORLD_AM_SPLIT_HEURISTICS_H_

@@ -1,0 +1,122 @@
+#include "am/srtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "am/split_heuristics.h"
+
+namespace bw::am {
+
+gist::Bytes SrTreeExtension::Encode(const geom::Rect& rect,
+                                    const geom::Sphere& sphere,
+                                    uint32_t weight) const {
+  BW_CHECK_EQ(rect.dim(), dim());
+  BW_CHECK_EQ(sphere.dim(), dim());
+  gist::Bytes out;
+  out.reserve((3 * dim() + 1) * sizeof(float) + sizeof(uint32_t));
+  for (size_t i = 0; i < dim(); ++i) AppendFloat(out, rect.lo()[i]);
+  for (size_t i = 0; i < dim(); ++i) AppendFloat(out, rect.hi()[i]);
+  for (size_t i = 0; i < dim(); ++i) AppendFloat(out, sphere.center()[i]);
+  AppendFloat(out, static_cast<float>(sphere.radius()));
+  AppendU32(out, weight);
+  return out;
+}
+
+geom::Rect SrTreeExtension::DecodeRect(gist::ByteSpan bp) const {
+  geom::Vec lo(dim());
+  geom::Vec hi(dim());
+  for (size_t i = 0; i < dim(); ++i) lo[i] = ReadFloat(bp, i);
+  for (size_t i = 0; i < dim(); ++i) hi[i] = ReadFloat(bp, dim() + i);
+  return geom::Rect(std::move(lo), std::move(hi));
+}
+
+geom::Sphere SrTreeExtension::DecodeSphere(gist::ByteSpan bp) const {
+  geom::Vec center(dim());
+  for (size_t i = 0; i < dim(); ++i) center[i] = ReadFloat(bp, 2 * dim() + i);
+  double radius = ReadFloat(bp, 3 * dim());
+  radius += 1e-5 * (1.0 + radius);
+  return geom::Sphere(std::move(center), radius);
+}
+
+uint32_t SrTreeExtension::DecodeWeight(gist::ByteSpan bp) const {
+  return ReadU32(bp, (3 * dim() + 1) * sizeof(float));
+}
+
+gist::Bytes SrTreeExtension::BpFromPoints(
+    const std::vector<geom::Vec>& points) {
+  geom::Rect rect = geom::Rect::BoundingBox(points);
+  geom::Sphere sphere = geom::Sphere::CentroidBound(points);
+  geom::Sphere padded(sphere.center(), sphere.radius() * (1.0 + 1e-5) + 1e-6);
+  return Encode(rect, padded, static_cast<uint32_t>(points.size()));
+}
+
+gist::Bytes SrTreeExtension::BpFromChildBps(
+    const std::vector<gist::Bytes>& children) {
+  BW_CHECK(!children.empty());
+  geom::Rect rect = DecodeRect(children[0]);
+  std::vector<geom::Sphere> spheres;
+  std::vector<double> weights;
+  uint32_t total_weight = 0;
+  for (const auto& child : children) {
+    rect.ExpandToInclude(DecodeRect(child));
+    spheres.push_back(DecodeSphere(child));
+    const uint32_t w = DecodeWeight(child);
+    weights.push_back(static_cast<double>(w));
+    total_weight += w;
+  }
+  geom::Sphere sphere = geom::Sphere::CentroidBoundOfSpheres(spheres, weights);
+  geom::Sphere padded(sphere.center(), sphere.radius() * (1.0 + 1e-5) + 1e-6);
+  return Encode(rect, padded, total_weight);
+}
+
+double SrTreeExtension::BpMinDistance(gist::ByteSpan bp,
+                                      const geom::Vec& query) const {
+  // The covered region is rect ∩ sphere: both bounds are admissible, so
+  // their max is the tighter admissible bound (SR-tree Lemma 1).
+  const double rect_bound = std::sqrt(DecodeRect(bp).MinDistanceSquared(query));
+  const double sphere_bound = DecodeSphere(bp).MinDistance(query);
+  return std::max(rect_bound, sphere_bound);
+}
+
+double SrTreeExtension::BpPenalty(gist::ByteSpan bp,
+                                  const geom::Vec& point) const {
+  return DecodeSphere(bp).center().DistanceTo(point);
+}
+
+geom::Vec SrTreeExtension::BpCenter(gist::ByteSpan bp) const {
+  return DecodeSphere(bp).center();
+}
+
+gist::Bytes SrTreeExtension::BpIncludePoint(gist::ByteSpan bp,
+                                            const geom::Vec& point) const {
+  geom::Rect rect = DecodeRect(bp);
+  rect.ExpandToInclude(point);
+  const geom::Sphere ball = DecodeSphere(bp);
+  const double radius = std::max(ball.radius(), ball.center().DistanceTo(point));
+  return Encode(rect, geom::Sphere(ball.center(), radius * (1.0 + 1e-6)),
+                DecodeWeight(bp) + 1);
+}
+
+gist::SplitAssignment SrTreeExtension::PickSplitPoints(
+    const std::vector<geom::Vec>& points) {
+  return MaxVarianceSplit(points, min_fill_);
+}
+
+gist::SplitAssignment SrTreeExtension::PickSplitBps(
+    const std::vector<gist::Bytes>& bps) {
+  std::vector<geom::Vec> centers;
+  centers.reserve(bps.size());
+  for (const auto& bp : bps) centers.push_back(DecodeSphere(bp).center());
+  return MaxVarianceSplit(centers, min_fill_);
+}
+
+double SrTreeExtension::BpVolume(gist::ByteSpan bp) const {
+  // Approximate the rect ∩ sphere region volume by the smaller of the two.
+  return std::min(DecodeRect(bp).Volume(), DecodeSphere(bp).Volume());
+}
+
+std::string SrTreeExtension::BpToString(gist::ByteSpan bp) const {
+  return DecodeRect(bp).ToString() + " & " + DecodeSphere(bp).ToString();
+}
+
+}  // namespace bw::am

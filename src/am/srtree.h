@@ -1,0 +1,54 @@
+// SR-tree extension (Katayama & Satoh '97): each BP stores both a
+// minimum bounding rectangle and a bounding sphere; the covered region
+// is their intersection, so the distance bound is the max of the two.
+
+#ifndef BLOBWORLD_AM_SRTREE_H_
+#define BLOBWORLD_AM_SRTREE_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+#include "geom/sphere.h"
+#include "gist/extension.h"
+
+namespace bw::am {
+
+/// SR-tree bounding-predicate codec. BP layout: 2D floats (rect), D+1
+/// floats (sphere), one uint32 (subtree weight).
+class SrTreeExtension : public gist::Extension {
+ public:
+  explicit SrTreeExtension(size_t dim, uint64_t seed = 42,
+                           double min_fill = 0.40)
+      : Extension(dim, seed), min_fill_(min_fill) {}
+
+  std::string Name() const override { return "srtree"; }
+
+  gist::Bytes BpFromPoints(const std::vector<geom::Vec>& points) override;
+  gist::Bytes BpFromChildBps(const std::vector<gist::Bytes>& children) override;
+  double BpMinDistance(gist::ByteSpan bp,
+                       const geom::Vec& query) const override;
+  double BpPenalty(gist::ByteSpan bp, const geom::Vec& point) const override;
+  geom::Vec BpCenter(gist::ByteSpan bp) const override;
+  gist::Bytes BpIncludePoint(gist::ByteSpan bp,
+                             const geom::Vec& point) const override;
+  gist::SplitAssignment PickSplitPoints(
+      const std::vector<geom::Vec>& points) override;
+  gist::SplitAssignment PickSplitBps(
+      const std::vector<gist::Bytes>& bps) override;
+  double BpVolume(gist::ByteSpan bp) const override;
+  std::string BpToString(gist::ByteSpan bp) const override;
+
+  gist::Bytes Encode(const geom::Rect& rect, const geom::Sphere& sphere,
+                     uint32_t weight) const;
+  geom::Rect DecodeRect(gist::ByteSpan bp) const;
+  geom::Sphere DecodeSphere(gist::ByteSpan bp) const;
+  uint32_t DecodeWeight(gist::ByteSpan bp) const;
+
+ private:
+  double min_fill_;
+};
+
+}  // namespace bw::am
+
+#endif  // BLOBWORLD_AM_SRTREE_H_

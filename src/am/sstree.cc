@@ -1,0 +1,105 @@
+#include "am/sstree.h"
+
+#include "am/split_heuristics.h"
+
+namespace bw::am {
+
+gist::Bytes SsTreeExtension::EncodeSphere(const geom::Sphere& sphere,
+                                          uint32_t weight) const {
+  BW_CHECK_EQ(sphere.dim(), dim());
+  gist::Bytes out;
+  out.reserve((dim() + 1) * sizeof(float) + sizeof(uint32_t));
+  for (size_t i = 0; i < dim(); ++i) AppendFloat(out, sphere.center()[i]);
+  AppendFloat(out, static_cast<float>(sphere.radius()));
+  AppendU32(out, weight);
+  return out;
+}
+
+geom::Sphere SsTreeExtension::DecodeSphere(gist::ByteSpan bp) const {
+  BW_CHECK_EQ(bp.size(), (dim() + 1) * sizeof(float) + sizeof(uint32_t));
+  geom::Vec center(dim());
+  for (size_t i = 0; i < dim(); ++i) center[i] = ReadFloat(bp, i);
+  // Stored radii are float32; pad by one ulp-scale epsilon so points on
+  // the boundary stay covered after the round-trip.
+  double radius = ReadFloat(bp, dim());
+  radius += 1e-5 * (1.0 + radius);
+  return geom::Sphere(std::move(center), radius);
+}
+
+uint32_t SsTreeExtension::DecodeWeight(gist::ByteSpan bp) const {
+  return ReadU32(bp, (dim() + 1) * sizeof(float));
+}
+
+gist::Bytes SsTreeExtension::BpFromPoints(
+    const std::vector<geom::Vec>& points) {
+  geom::Sphere bound = geom::Sphere::CentroidBound(points);
+  // Pad for float32 storage truncation.
+  geom::Sphere padded(bound.center(), bound.radius() * (1.0 + 1e-5) + 1e-6);
+  return EncodeSphere(padded, static_cast<uint32_t>(points.size()));
+}
+
+gist::Bytes SsTreeExtension::BpFromChildBps(
+    const std::vector<gist::Bytes>& children) {
+  BW_CHECK(!children.empty());
+  std::vector<geom::Sphere> spheres;
+  std::vector<double> weights;
+  spheres.reserve(children.size());
+  weights.reserve(children.size());
+  uint32_t total_weight = 0;
+  for (const auto& child : children) {
+    spheres.push_back(DecodeSphere(child));
+    const uint32_t w = DecodeWeight(child);
+    weights.push_back(static_cast<double>(w));
+    total_weight += w;
+  }
+  geom::Sphere bound = geom::Sphere::CentroidBoundOfSpheres(spheres, weights);
+  geom::Sphere padded(bound.center(), bound.radius() * (1.0 + 1e-5) + 1e-6);
+  return EncodeSphere(padded, total_weight);
+}
+
+double SsTreeExtension::BpMinDistance(gist::ByteSpan bp,
+                                      const geom::Vec& query) const {
+  return DecodeSphere(bp).MinDistance(query);
+}
+
+double SsTreeExtension::BpPenalty(gist::ByteSpan bp,
+                                  const geom::Vec& point) const {
+  // SS-tree: descend toward the subtree whose centroid is nearest.
+  return DecodeSphere(bp).center().DistanceTo(point);
+}
+
+geom::Vec SsTreeExtension::BpCenter(gist::ByteSpan bp) const {
+  return DecodeSphere(bp).center();
+}
+
+gist::Bytes SsTreeExtension::BpIncludePoint(gist::ByteSpan bp,
+                                            const geom::Vec& point) const {
+  // Classic enlarge-only maintenance: keep the center, grow the radius.
+  const geom::Sphere ball = DecodeSphere(bp);
+  const double radius = std::max(ball.radius(), ball.center().DistanceTo(point));
+  return EncodeSphere(geom::Sphere(ball.center(), radius * (1.0 + 1e-6)),
+                      DecodeWeight(bp) + 1);
+}
+
+gist::SplitAssignment SsTreeExtension::PickSplitPoints(
+    const std::vector<geom::Vec>& points) {
+  return MaxVarianceSplit(points, min_fill_);
+}
+
+gist::SplitAssignment SsTreeExtension::PickSplitBps(
+    const std::vector<gist::Bytes>& bps) {
+  std::vector<geom::Vec> centers;
+  centers.reserve(bps.size());
+  for (const auto& bp : bps) centers.push_back(DecodeSphere(bp).center());
+  return MaxVarianceSplit(centers, min_fill_);
+}
+
+double SsTreeExtension::BpVolume(gist::ByteSpan bp) const {
+  return DecodeSphere(bp).Volume();
+}
+
+std::string SsTreeExtension::BpToString(gist::ByteSpan bp) const {
+  return DecodeSphere(bp).ToString();
+}
+
+}  // namespace bw::am

@@ -1,0 +1,51 @@
+// SS-tree extension (White & Jain '96): bounding spheres as BPs, with
+// centroid-proximity insertion penalty and max-variance splits.
+
+#ifndef BLOBWORLD_AM_SSTREE_H_
+#define BLOBWORLD_AM_SSTREE_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/sphere.h"
+#include "gist/extension.h"
+
+namespace bw::am {
+
+/// SS-tree bounding-predicate codec. BP layout: D floats (center), one
+/// float (radius), one uint32 (weight = number of points in the subtree;
+/// the SS-tree carries this to form weighted centroids at upper levels).
+class SsTreeExtension : public gist::Extension {
+ public:
+  explicit SsTreeExtension(size_t dim, uint64_t seed = 42,
+                           double min_fill = 0.40)
+      : Extension(dim, seed), min_fill_(min_fill) {}
+
+  std::string Name() const override { return "sstree"; }
+
+  gist::Bytes BpFromPoints(const std::vector<geom::Vec>& points) override;
+  gist::Bytes BpFromChildBps(const std::vector<gist::Bytes>& children) override;
+  double BpMinDistance(gist::ByteSpan bp,
+                       const geom::Vec& query) const override;
+  double BpPenalty(gist::ByteSpan bp, const geom::Vec& point) const override;
+  geom::Vec BpCenter(gist::ByteSpan bp) const override;
+  gist::Bytes BpIncludePoint(gist::ByteSpan bp,
+                             const geom::Vec& point) const override;
+  gist::SplitAssignment PickSplitPoints(
+      const std::vector<geom::Vec>& points) override;
+  gist::SplitAssignment PickSplitBps(
+      const std::vector<gist::Bytes>& bps) override;
+  double BpVolume(gist::ByteSpan bp) const override;
+  std::string BpToString(gist::ByteSpan bp) const override;
+
+  gist::Bytes EncodeSphere(const geom::Sphere& sphere, uint32_t weight) const;
+  geom::Sphere DecodeSphere(gist::ByteSpan bp) const;
+  uint32_t DecodeWeight(gist::ByteSpan bp) const;
+
+ private:
+  double min_fill_;
+};
+
+}  // namespace bw::am
+
+#endif  // BLOBWORLD_AM_SSTREE_H_

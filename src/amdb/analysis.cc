@@ -1,0 +1,153 @@
+#include "amdb/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace bw::amdb {
+
+Result<AnalysisReport> AnalyzeWorkload(const gist::Tree& tree,
+                                       const Workload& workload,
+                                       const AnalysisOptions& options) {
+  BW_ASSIGN_OR_RETURN(std::vector<QueryTrace> traces,
+                      ExecuteWorkload(tree, workload));
+  return AnalyzeTraces(tree, traces, options);
+}
+
+Result<AnalysisReport> AnalyzeTraces(const gist::Tree& tree,
+                                     const std::vector<QueryTrace>& traces,
+                                     const AnalysisOptions& options) {
+  AnalysisReport report;
+  report.num_queries = traces.size();
+  report.shape = tree.Shape();
+
+  // ---- Static maps over the tree. ----
+  std::unordered_map<gist::Rid, pages::PageId> leaf_of_rid;
+  std::unordered_map<pages::PageId, size_t> entries_of_leaf;
+  size_t num_items = 0;
+  tree.ForEachNode([&](pages::PageId id, const gist::NodeView& node) {
+    if (!node.IsLeaf()) return;
+    entries_of_leaf[id] = node.entry_count();
+    for (gist::Rid rid : tree.LeafRids(id)) {
+      leaf_of_rid[rid] = id;
+      num_items = std::max(num_items, static_cast<size_t>(rid) + 1);
+    }
+  });
+
+  // Parent links for inner-node usefulness.
+  std::unordered_map<pages::PageId, pages::PageId> parent_of;
+  tree.ForEachNode([&](pages::PageId id, const gist::NodeView& node) {
+    if (node.IsLeaf()) return;
+    for (size_t i = 0; i < node.entry_count(); ++i) {
+      parent_of[node.entry(i).ChildPage()] = id;
+    }
+  });
+
+  // ---- Leaf capacity at target utilization. ----
+  const size_t entry_bytes = tree.extension().PointBytes() +
+                             sizeof(uint64_t) + 2 * sizeof(uint32_t);
+  const size_t leaf_capacity =
+      std::max<size_t>(1, tree.file()->page_size() / entry_bytes);
+  const size_t packed_capacity = std::max<size_t>(
+      1, static_cast<size_t>(options.target_utilization *
+                             static_cast<double>(leaf_capacity)));
+
+  // ---- Optimal clustering over the workload's result sets. ----
+  std::vector<std::vector<uint64_t>> edges;
+  edges.reserve(traces.size());
+  for (const auto& trace : traces) {
+    edges.emplace_back(trace.results.begin(), trace.results.end());
+  }
+  PartitionOptions part_options;
+  part_options.part_capacity = packed_capacity;
+  part_options.refinement_passes = options.refinement_passes;
+  BW_ASSIGN_OR_RETURN(Partition partition,
+                      PartitionHypergraph(num_items, edges, part_options));
+
+  // ---- Per-query loss decomposition. ----
+  for (size_t q = 0; q < traces.size(); ++q) {
+    const QueryTrace& trace = traces[q];
+    report.leaf_accesses += trace.accessed_leaves.size();
+    report.internal_accesses += trace.accessed_internals.size();
+
+    // Useful leaves: those holding at least one result.
+    std::unordered_set<pages::PageId> useful_leaves;
+    for (gist::Rid rid : trace.results) {
+      auto it = leaf_of_rid.find(rid);
+      if (it != leaf_of_rid.end()) useful_leaves.insert(it->second);
+    }
+    size_t useful_accessed = 0;
+    size_t useful_entry_total = 0;
+    for (pages::PageId leaf : trace.accessed_leaves) {
+      if (useful_leaves.count(leaf)) {
+        ++useful_accessed;
+        useful_entry_total += entries_of_leaf[leaf];
+      }
+    }
+    const size_t excess = trace.accessed_leaves.size() - useful_accessed;
+    report.leaf_excess_coverage_loss += excess;
+
+    // Utilization loss: useful leaves vs. the same entries repacked at
+    // target utilization.
+    const size_t packed =
+        useful_accessed == 0
+            ? 0
+            : (useful_entry_total + packed_capacity - 1) / packed_capacity;
+    const size_t util_loss =
+        useful_accessed > packed ? useful_accessed - packed : 0;
+    report.leaf_utilization_loss += util_loss;
+
+    // Clustering loss vs. the optimal partition.
+    const size_t optimal = partition.PartsSpanned(edges[q]);
+    report.leaf_optimal_accesses += optimal;
+    if (packed > optimal) {
+      report.leaf_clustering_loss += packed - optimal;
+    } else {
+      report.leaf_clustering_gain += optimal - packed;
+    }
+
+    // Inner-node excess: accessed internals with no useful leaf beneath.
+    std::unordered_set<pages::PageId> useful_internals;
+    for (pages::PageId leaf : useful_leaves) {
+      pages::PageId cursor = leaf;
+      auto it = parent_of.find(cursor);
+      while (it != parent_of.end()) {
+        if (!useful_internals.insert(it->second).second) break;
+        cursor = it->second;
+        it = parent_of.find(cursor);
+      }
+    }
+    for (pages::PageId node : trace.accessed_internals) {
+      if (!useful_internals.count(node)) {
+        ++report.internal_excess_coverage_loss;
+      }
+    }
+  }
+  return report;
+}
+
+std::string AnalysisReport::ToString() const {
+  std::ostringstream oss;
+  oss << "queries: " << num_queries << "\n"
+      << "tree height: " << shape.height
+      << ", nodes: " << shape.TotalNodes()
+      << " (leaves: " << shape.LeafNodes() << ")\n"
+      << "leaf accesses:        " << leaf_accesses << " ("
+      << MeanLeafAccessesPerQuery() << " per query)\n"
+      << "  excess coverage:    " << leaf_excess_coverage_loss << " ("
+      << LeafExcessFraction() * 100.0 << "%)\n"
+      << "  utilization loss:   " << leaf_utilization_loss << " ("
+      << LeafUtilizationFraction() * 100.0 << "%)\n"
+      << "  clustering loss:    " << leaf_clustering_loss << " ("
+      << LeafClusteringFraction() * 100.0 << "%)\n"
+      << "  optimal accesses:   " << leaf_optimal_accesses << "\n"
+      << "  clustering gain:    " << leaf_clustering_gain << "\n"
+      << "internal accesses:    " << internal_accesses << " (excess "
+      << internal_excess_coverage_loss << ")\n"
+      << "total accesses:       " << TotalAccesses() << "\n";
+  return oss.str();
+}
+
+}  // namespace bw::amdb

@@ -1,0 +1,98 @@
+// The amdb loss metrics (Table 1 of the paper): excess coverage loss,
+// utilization loss and clustering loss, computed from traced workload
+// execution against an optimal-clustering baseline.
+//
+// Decomposition per query q (leaf level):
+//   accessed(q) = optimal(q) + clustering_loss(q) + utilization_loss(q)
+//                 + excess_coverage_loss(q)
+// where
+//   excess_coverage_loss = accessed leaves holding no result of q,
+//   utilization_loss     = useful leaves minus the leaves needed to hold
+//                          the same entries at target utilization,
+//   optimal(q)           = parts of the workload-optimal partition
+//                          (hypergraph partitioning) spanning q's results,
+//   clustering_loss      = the remainder (clamped at 0; a negative
+//                          remainder is reported as clustering gain).
+// Inner-node excess coverage counts accessed internal nodes whose
+// subtree contributed no result.
+
+#ifndef BLOBWORLD_AMDB_ANALYSIS_H_
+#define BLOBWORLD_AMDB_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "amdb/partitioning.h"
+#include "amdb/workload.h"
+#include "gist/stats.h"
+#include "gist/tree.h"
+
+namespace bw::amdb {
+
+/// Analysis configuration.
+struct AnalysisOptions {
+  /// Target node utilization (the bulk-load fill fraction).
+  double target_utilization = 0.85;
+  /// FM refinement passes for the optimal-clustering heuristic.
+  size_t refinement_passes = 4;
+};
+
+/// Aggregate loss report over a workload.
+struct AnalysisReport {
+  size_t num_queries = 0;
+
+  // Leaf level (the paper's primary metric; Figures 7/8/14/15).
+  uint64_t leaf_accesses = 0;
+  uint64_t leaf_excess_coverage_loss = 0;
+  uint64_t leaf_utilization_loss = 0;
+  uint64_t leaf_clustering_loss = 0;
+  uint64_t leaf_optimal_accesses = 0;
+  /// Queries where the real tree beat the heuristic optimal (amount).
+  uint64_t leaf_clustering_gain = 0;
+
+  // Inner nodes (Figure 16 adds these to leaf accesses).
+  uint64_t internal_accesses = 0;
+  uint64_t internal_excess_coverage_loss = 0;
+
+  gist::TreeShape shape;
+
+  uint64_t TotalAccesses() const { return leaf_accesses + internal_accesses; }
+  double LeafExcessFraction() const {
+    return leaf_accesses == 0
+               ? 0.0
+               : double(leaf_excess_coverage_loss) / double(leaf_accesses);
+  }
+  double LeafUtilizationFraction() const {
+    return leaf_accesses == 0
+               ? 0.0
+               : double(leaf_utilization_loss) / double(leaf_accesses);
+  }
+  double LeafClusteringFraction() const {
+    return leaf_accesses == 0
+               ? 0.0
+               : double(leaf_clustering_loss) / double(leaf_accesses);
+  }
+  double MeanLeafAccessesPerQuery() const {
+    return num_queries == 0 ? 0.0
+                            : double(leaf_accesses) / double(num_queries);
+  }
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Runs `workload` against `tree` and computes the loss report.
+Result<AnalysisReport> AnalyzeWorkload(const gist::Tree& tree,
+                                       const Workload& workload,
+                                       const AnalysisOptions& options =
+                                           AnalysisOptions());
+
+/// Variant reusing pre-executed traces (lets callers analyze the same
+/// trace under several target utilizations without re-running queries).
+Result<AnalysisReport> AnalyzeTraces(const gist::Tree& tree,
+                                     const std::vector<QueryTrace>& traces,
+                                     const AnalysisOptions& options);
+
+}  // namespace bw::amdb
+
+#endif  // BLOBWORLD_AMDB_ANALYSIS_H_

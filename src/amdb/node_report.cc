@@ -1,0 +1,74 @@
+#include "amdb/node_report.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/table_printer.h"
+
+namespace bw::amdb {
+
+std::vector<NodeLosses> AttributeNodeLosses(
+    const gist::Tree& tree, const std::vector<QueryTrace>& traces) {
+  std::unordered_map<pages::PageId, NodeLosses> by_page;
+  std::unordered_map<gist::Rid, pages::PageId> leaf_of_rid;
+  tree.ForEachNode([&](pages::PageId id, const gist::NodeView& node) {
+    if (!node.IsLeaf()) return;
+    NodeLosses losses;
+    losses.page = id;
+    losses.entries = node.entry_count();
+    losses.utilization = node.Utilization();
+    by_page.emplace(id, losses);
+    for (gist::Rid rid : tree.LeafRids(id)) leaf_of_rid[rid] = id;
+  });
+
+  for (const QueryTrace& trace : traces) {
+    // Results served per leaf for this query.
+    std::unordered_map<pages::PageId, uint64_t> served;
+    for (gist::Rid rid : trace.results) {
+      auto it = leaf_of_rid.find(rid);
+      if (it != leaf_of_rid.end()) ++served[it->second];
+    }
+    for (pages::PageId leaf : trace.accessed_leaves) {
+      auto it = by_page.find(leaf);
+      if (it == by_page.end()) continue;  // tree changed under the trace.
+      NodeLosses& losses = it->second;
+      ++losses.accesses;
+      auto hit = served.find(leaf);
+      if (hit != served.end()) {
+        ++losses.useful_accesses;
+        losses.results_served += hit->second;
+      }
+    }
+  }
+
+  std::vector<NodeLosses> out;
+  out.reserve(by_page.size());
+  for (auto& [page, losses] : by_page) out.push_back(losses);
+  std::sort(out.begin(), out.end(), [](const NodeLosses& a,
+                                       const NodeLosses& b) {
+    if (a.ExcessAccesses() != b.ExcessAccesses()) {
+      return a.ExcessAccesses() > b.ExcessAccesses();
+    }
+    return a.page < b.page;
+  });
+  return out;
+}
+
+std::string RenderWorstNodes(const std::vector<NodeLosses>& nodes, size_t n) {
+  TablePrinter table({"leaf page", "entries", "util", "accesses",
+                      "useful", "excess", "results served"});
+  for (size_t i = 0; i < std::min(n, nodes.size()); ++i) {
+    const NodeLosses& node = nodes[i];
+    table.AddRow({TablePrinter::Count(node.page),
+                  TablePrinter::Count((long long)node.entries),
+                  TablePrinter::Num(node.utilization, 2),
+                  TablePrinter::Count((long long)node.accesses),
+                  TablePrinter::Count((long long)node.useful_accesses),
+                  TablePrinter::Count((long long)node.ExcessAccesses()),
+                  TablePrinter::Count((long long)node.results_served)});
+  }
+  return table.ToString();
+}
+
+}  // namespace bw::amdb

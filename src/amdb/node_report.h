@@ -1,0 +1,44 @@
+// Per-node loss attribution: amdb's node-level debugging view. The
+// aggregate metrics say *how much* performance is lost; this report says
+// *where* — which leaves draw false hits, how full they are, and how
+// much of the workload they serve — so the AM designer can look at the
+// worst offenders (the workflow behind the paper's Figure 10).
+
+#ifndef BLOBWORLD_AMDB_NODE_REPORT_H_
+#define BLOBWORLD_AMDB_NODE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "amdb/workload.h"
+#include "gist/tree.h"
+
+namespace bw::amdb {
+
+/// Per-leaf accounting over a traced workload.
+struct NodeLosses {
+  pages::PageId page = pages::kInvalidPageId;
+  size_t entries = 0;
+  double utilization = 0.0;
+  uint64_t accesses = 0;         // queries that read this leaf.
+  uint64_t useful_accesses = 0;  // ... and got at least one result from it.
+  uint64_t results_served = 0;   // result tuples delivered by this leaf.
+
+  uint64_t ExcessAccesses() const { return accesses - useful_accesses; }
+  double ExcessFraction() const {
+    return accesses == 0 ? 0.0
+                         : double(ExcessAccesses()) / double(accesses);
+  }
+};
+
+/// Computes per-leaf losses from executed traces. Output is sorted by
+/// excess accesses, worst first — the nodes whose BPs most need work.
+std::vector<NodeLosses> AttributeNodeLosses(
+    const gist::Tree& tree, const std::vector<QueryTrace>& traces);
+
+/// Renders the top `n` offenders as an aligned table.
+std::string RenderWorstNodes(const std::vector<NodeLosses>& nodes, size_t n);
+
+}  // namespace bw::amdb
+
+#endif  // BLOBWORLD_AMDB_NODE_REPORT_H_

@@ -1,0 +1,165 @@
+#include "amdb/partitioning.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace bw::amdb {
+
+size_t Partition::PartsSpanned(const std::vector<uint64_t>& items) const {
+  std::unordered_set<uint32_t> parts;
+  for (uint64_t item : items) {
+    BW_DCHECK_LT(item, part_of_item.size());
+    parts.insert(part_of_item[item]);
+  }
+  return parts.size();
+}
+
+uint64_t TotalConnectivity(const Partition& partition,
+                           const std::vector<std::vector<uint64_t>>& edges) {
+  uint64_t total = 0;
+  for (const auto& edge : edges) total += partition.PartsSpanned(edge);
+  return total;
+}
+
+Result<Partition> PartitionHypergraph(
+    size_t num_items, const std::vector<std::vector<uint64_t>>& edges,
+    const PartitionOptions& options) {
+  if (options.part_capacity == 0) {
+    return Status::InvalidArgument("part_capacity must be positive");
+  }
+  constexpr uint32_t kUnassigned = 0xFFFFFFFFu;
+  Partition partition;
+  partition.part_of_item.assign(num_items, kUnassigned);
+  std::vector<uint32_t> part_size;
+
+  auto open_part = [&]() {
+    part_size.push_back(0);
+    return static_cast<uint32_t>(part_size.size() - 1);
+  };
+  auto place = [&](uint64_t item, uint32_t part) {
+    partition.part_of_item[item] = part;
+    ++part_size[part];
+  };
+
+  // ---- Greedy query-driven seeding: keep each query's results together
+  // as far as capacity allows. ----
+  for (const auto& edge : edges) {
+    // Parts already touched by this edge, by member count.
+    std::unordered_map<uint32_t, uint32_t> touched;
+    std::vector<uint64_t> pending;
+    for (uint64_t item : edge) {
+      if (item >= num_items) {
+        return Status::InvalidArgument("edge references item out of range");
+      }
+      const uint32_t part = partition.part_of_item[item];
+      if (part == kUnassigned) {
+        pending.push_back(item);
+      } else {
+        ++touched[part];
+      }
+    }
+    if (pending.empty()) continue;
+    // Candidate parts, most-members first, then any with room.
+    std::vector<std::pair<uint32_t, uint32_t>> candidates(touched.begin(),
+                                                          touched.end());
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    size_t next = 0;
+    uint32_t current = kUnassigned;
+    for (uint64_t item : pending) {
+      while (current == kUnassigned ||
+             part_size[current] >= options.part_capacity) {
+        if (next < candidates.size()) {
+          current = candidates[next++].first;
+        } else {
+          current = open_part();
+        }
+      }
+      place(item, current);
+    }
+  }
+
+  // ---- Fill-in for items no query ever touches. ----
+  uint32_t fill_part = kUnassigned;
+  for (uint64_t item = 0; item < num_items; ++item) {
+    if (partition.part_of_item[item] != kUnassigned) continue;
+    if (fill_part == kUnassigned ||
+        part_size[fill_part] >= options.part_capacity) {
+      fill_part = open_part();
+    }
+    place(item, fill_part);
+  }
+
+  // ---- FM-style refinement under the capacity constraint. ----
+  std::vector<std::vector<uint32_t>> item_edges(num_items);
+  for (uint32_t e = 0; e < edges.size(); ++e) {
+    for (uint64_t item : edges[e]) {
+      item_edges[item].push_back(e);
+    }
+  }
+  // Per-edge membership count per part.
+  std::vector<std::unordered_map<uint32_t, uint32_t>> edge_parts(edges.size());
+  for (uint32_t e = 0; e < edges.size(); ++e) {
+    for (uint64_t item : edges[e]) {
+      ++edge_parts[e][partition.part_of_item[item]];
+    }
+  }
+
+  for (size_t pass = 0; pass < options.refinement_passes; ++pass) {
+    size_t moves = 0;
+    for (uint64_t item = 0; item < num_items; ++item) {
+      const auto& my_edges = item_edges[item];
+      if (my_edges.empty()) continue;
+      const uint32_t from = partition.part_of_item[item];
+
+      // Candidate destinations: parts co-touched by this item's edges.
+      std::unordered_map<uint32_t, int> gain;
+      for (uint32_t e : my_edges) {
+        for (const auto& [part, count] : edge_parts[e]) {
+          (void)count;
+          if (part != from) gain.emplace(part, 0);
+        }
+      }
+      if (gain.empty()) continue;
+      // Gain of moving item from `from` to `to`: edges where item is the
+      // last member in `from` lose a part (+1 gain); edges with no
+      // member yet in `to` gain a part (-1).
+      for (auto& [to, g] : gain) {
+        for (uint32_t e : my_edges) {
+          const auto& parts = edge_parts[e];
+          if (parts.at(from) == 1) ++g;
+          if (parts.find(to) == parts.end()) --g;
+        }
+      }
+      uint32_t best_to = from;
+      int best_gain = 0;
+      for (const auto& [to, g] : gain) {
+        if (g > best_gain && part_size[to] < options.part_capacity) {
+          best_gain = g;
+          best_to = to;
+        }
+      }
+      if (best_to == from) continue;
+
+      // Apply the move.
+      partition.part_of_item[item] = best_to;
+      --part_size[from];
+      ++part_size[best_to];
+      for (uint32_t e : my_edges) {
+        auto& parts = edge_parts[e];
+        if (--parts[from] == 0) parts.erase(from);
+        ++parts[best_to];
+      }
+      ++moves;
+    }
+    if (moves == 0) break;
+  }
+
+  partition.num_parts = part_size.size();
+  return partition;
+}
+
+}  // namespace bw::amdb

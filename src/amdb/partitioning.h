@@ -1,0 +1,53 @@
+// Workload-optimal clustering via hypergraph partitioning.
+//
+// Amdb's performance baseline is the clustering of data items into
+// leaf-sized parts that minimizes the number of parts each query's
+// result set spans (its "connectivity"). Items are hypergraph vertices;
+// each query's result set is a hyperedge. Truly optimal clustering is
+// NP-hard; like the original amdb (which used hMETIS), we use a
+// heuristic: greedy query-driven aggregation seeding followed by
+// Fiduccia–Mattheyses-style refinement passes under a part-capacity
+// constraint.
+
+#ifndef BLOBWORLD_AMDB_PARTITIONING_H_
+#define BLOBWORLD_AMDB_PARTITIONING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bw::amdb {
+
+/// A partition of items 0..n-1 into capacity-bounded parts.
+struct Partition {
+  std::vector<uint32_t> part_of_item;  // item -> part id.
+  size_t num_parts = 0;
+
+  /// Number of distinct parts the given item set touches (the
+  /// connectivity of one hyperedge).
+  size_t PartsSpanned(const std::vector<uint64_t>& items) const;
+};
+
+/// Partitioner configuration.
+struct PartitionOptions {
+  /// Maximum items per part (= target_utilization * leaf capacity).
+  size_t part_capacity = 100;
+  /// FM refinement sweeps over all items.
+  size_t refinement_passes = 4;
+};
+
+/// Computes a capacity-bounded partition of `num_items` items minimizing
+/// total hyperedge connectivity. `edges[q]` lists the item ids of query
+/// q's result set.
+Result<Partition> PartitionHypergraph(
+    size_t num_items, const std::vector<std::vector<uint64_t>>& edges,
+    const PartitionOptions& options);
+
+/// Total connectivity objective: sum over edges of PartsSpanned.
+uint64_t TotalConnectivity(const Partition& partition,
+                           const std::vector<std::vector<uint64_t>>& edges);
+
+}  // namespace bw::amdb
+
+#endif  // BLOBWORLD_AMDB_PARTITIONING_H_

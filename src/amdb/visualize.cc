@@ -1,0 +1,201 @@
+#include "amdb/visualize.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "am/rtree.h"
+#include "am/srtree.h"
+#include "am/sstree.h"
+#include "core/jagged.h"
+#include "core/map_tree.h"
+
+namespace bw::amdb {
+
+namespace {
+
+// Qualitative palette (re-used cyclically per leaf).
+constexpr const char* kPalette[] = {
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee",
+    "#aa3377", "#bbbbbb", "#e07b39", "#44aa99", "#882255"};
+constexpr size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+struct Mapper {
+  double x0, y0, sx, sy;
+  int height_px;
+
+  double X(double world_x) const { return (world_x - x0) * sx + 10; }
+  // SVG y grows downward; flip so the plot reads like a plot.
+  double Y(double world_y) const {
+    return height_px - ((world_y - y0) * sy + 10);
+  }
+};
+
+void EmitRect(std::ostringstream& svg, const Mapper& map,
+              const geom::Rect& rect, const char* color, double stroke,
+              const char* fill, double fill_opacity) {
+  const double x = map.X(rect.lo()[0]);
+  const double y = map.Y(rect.hi()[1]);
+  const double w = map.X(rect.hi()[0]) - map.X(rect.lo()[0]);
+  const double h = map.Y(rect.lo()[1]) - map.Y(rect.hi()[1]);
+  svg << "<rect x='" << x << "' y='" << y << "' width='" << w
+      << "' height='" << h << "' stroke='" << color << "' stroke-width='"
+      << stroke << "' fill='" << fill << "' fill-opacity='" << fill_opacity
+      << "'/>\n";
+}
+
+void EmitCircle(std::ostringstream& svg, const Mapper& map, double cx,
+                double cy, double world_r, const char* color) {
+  // Radius scaled by the x axis (isotropic enough for inspection).
+  svg << "<circle cx='" << map.X(cx) << "' cy='" << map.Y(cy) << "' r='"
+      << world_r * map.sx << "' stroke='" << color
+      << "' stroke-width='1' fill='none'/>\n";
+}
+
+void EmitPoint(std::ostringstream& svg, const Mapper& map,
+               const geom::Vec& p, const char* color) {
+  svg << "<circle cx='" << map.X(p[0]) << "' cy='" << map.Y(p[1])
+      << "' r='1.6' fill='" << color << "'/>\n";
+}
+
+// The axis-aligned box a bite removes from its MBR corner.
+geom::Rect BiteBox(const geom::Rect& mbr, const core::Bite& bite) {
+  geom::Vec lo(2);
+  geom::Vec hi(2);
+  for (size_t d = 0; d < 2; ++d) {
+    const float corner = ((bite.corner >> d) & 1u) ? mbr.hi()[d] : mbr.lo()[d];
+    lo[d] = std::min(corner, bite.inner[d]);
+    hi[d] = std::max(corner, bite.inner[d]);
+  }
+  return geom::Rect(std::move(lo), std::move(hi));
+}
+
+}  // namespace
+
+Result<std::string> RenderLeavesSvg(const gist::Tree& tree,
+                                    const VisualizeOptions& options) {
+  if (tree.extension().dim() != 2) {
+    return Status::InvalidArgument(
+        "visualization requires a 2-D tree (the paper's Figure 10 uses 2-D "
+        "R-trees because 5-D data cannot be drawn)");
+  }
+  if (tree.empty()) return Status::InvalidArgument("tree is empty");
+
+  // Collect leaves with their stored predicates (from the parents); a
+  // root-only tree has no stored leaf predicate.
+  struct LeafInfo {
+    pages::PageId page;
+    gist::Bytes predicate;  // may be empty.
+  };
+  std::vector<LeafInfo> leaves;
+  if (tree.height() == 1) {
+    leaves.push_back(LeafInfo{tree.root(), {}});
+  } else {
+    tree.ForEachNode([&](pages::PageId, const gist::NodeView& node) {
+      if (node.IsLeaf() || node.level() != 1) return;
+      for (size_t i = 0; i < node.entry_count(); ++i) {
+        gist::EntryView e = node.entry(i);
+        leaves.push_back(LeafInfo{
+            e.ChildPage(),
+            gist::Bytes(e.predicate.begin(), e.predicate.end())});
+      }
+    });
+  }
+  if (options.max_leaves > 0 && leaves.size() > options.max_leaves) {
+    leaves.resize(options.max_leaves);
+  }
+
+  // World bounding box over the rendered leaves.
+  geom::Rect world;
+  for (const LeafInfo& leaf : leaves) {
+    for (const auto& [point, rid] : tree.LeafPoints(leaf.page)) {
+      (void)rid;
+      world.ExpandToInclude(point);
+    }
+  }
+  Mapper map;
+  map.x0 = world.lo()[0];
+  map.y0 = world.lo()[1];
+  map.sx = (options.width_px - 20) / std::max(world.Extent(0), 1e-9);
+  map.sy = (options.height_px - 20) / std::max(world.Extent(1), 1e-9);
+  map.height_px = options.height_px;
+
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='"
+      << options.width_px << "' height='" << options.height_px << "'>\n"
+      << "<rect width='100%' height='100%' fill='white'/>\n";
+
+  const gist::Extension& ext = tree.extension();
+  const auto* rtree = dynamic_cast<const am::RtreeExtension*>(&ext);
+  const auto* sstree = dynamic_cast<const am::SsTreeExtension*>(&ext);
+  const auto* srtree = dynamic_cast<const am::SrTreeExtension*>(&ext);
+  const auto* amap = dynamic_cast<const core::MapExtension*>(&ext);
+  const auto* jagged = dynamic_cast<const core::JaggedExtension*>(&ext);
+
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    const LeafInfo& leaf = leaves[i];
+    const char* color = kPalette[i % kPaletteSize];
+    const auto points = tree.LeafPoints(leaf.page);
+
+    if (options.draw_predicates && !leaf.predicate.empty()) {
+      const gist::ByteSpan pred(leaf.predicate);
+      if (jagged != nullptr) {
+        const core::JaggedBp bp = jagged->Decode(pred);
+        EmitRect(svg, map, bp.mbr, color, 1.5, "none", 0.0);
+        for (const core::Bite& bite : bp.bites) {
+          if (bite.IsEmpty(bp.mbr)) continue;
+          EmitRect(svg, map, BiteBox(bp.mbr, bite), color, 0.5, color, 0.18);
+        }
+      } else if (amap != nullptr) {
+        auto [a, b] = amap->DecodePair(pred);
+        EmitRect(svg, map, a, color, 1.5, "none", 0.0);
+        EmitRect(svg, map, b, color, 1.5, "none", 0.0);
+      } else if (srtree != nullptr) {
+        EmitRect(svg, map, srtree->DecodeRect(pred), color, 1.5, "none", 0.0);
+        const geom::Sphere ball = srtree->DecodeSphere(pred);
+        EmitCircle(svg, map, ball.center()[0], ball.center()[1],
+                   ball.radius(), color);
+      } else if (sstree != nullptr) {
+        const geom::Sphere ball = sstree->DecodeSphere(pred);
+        EmitCircle(svg, map, ball.center()[0], ball.center()[1],
+                   ball.radius(), color);
+      } else if (rtree != nullptr) {
+        EmitRect(svg, map, rtree->DecodeRect(pred), color, 1.5, "none", 0.0);
+      }
+    } else if (options.draw_predicates) {
+      // Root-only tree: draw the tight MBR of the points.
+      std::vector<geom::Vec> pts;
+      for (const auto& [p, rid] : points) {
+        (void)rid;
+        pts.push_back(p);
+      }
+      if (!pts.empty()) {
+        EmitRect(svg, map, geom::Rect::BoundingBox(pts), color, 1.5, "none",
+                 0.0);
+      }
+    }
+
+    if (options.draw_points) {
+      for (const auto& [point, rid] : points) {
+        (void)rid;
+        EmitPoint(svg, map, point, color);
+      }
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+Status WriteLeavesSvg(const gist::Tree& tree, const std::string& path,
+                      const VisualizeOptions& options) {
+  BW_ASSIGN_OR_RETURN(std::string svg, RenderLeavesSvg(tree, options));
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  const size_t written = std::fwrite(svg.data(), 1, svg.size(), f);
+  std::fclose(f);
+  if (written != svg.size()) return Status::IoError("short write");
+  return Status::OK();
+}
+
+}  // namespace bw::amdb

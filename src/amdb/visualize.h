@@ -1,0 +1,42 @@
+// amdb's visualization capability: renders the leaves of a 2-D tree —
+// data points, MBRs, and for the custom access methods the actual
+// bounding-predicate shapes (MAP rectangle pairs, JB/XJB corner bites) —
+// as an SVG image. This reproduces the pictures behind the paper's
+// Figures 10 (R-tree leaf MBRs with empty corners), 11 (a MAP BP) and
+// 12 (a JB BP).
+
+#ifndef BLOBWORLD_AMDB_VISUALIZE_H_
+#define BLOBWORLD_AMDB_VISUALIZE_H_
+
+#include <string>
+
+#include "gist/tree.h"
+
+namespace bw::amdb {
+
+/// Rendering options.
+struct VisualizeOptions {
+  int width_px = 900;
+  int height_px = 900;
+  /// Render at most this many leaves (0 = all).
+  size_t max_leaves = 0;
+  /// Draw the data points.
+  bool draw_points = true;
+  /// Draw the AM's true predicate shape (bites / rectangle pairs) when
+  /// the extension supports it; otherwise only MBRs are drawn.
+  bool draw_predicates = true;
+};
+
+/// Renders the leaf level of `tree` (whose extension must be 2-D) to an
+/// SVG document. InvalidArgument for non-2-D trees.
+Result<std::string> RenderLeavesSvg(const gist::Tree& tree,
+                                    const VisualizeOptions& options =
+                                        VisualizeOptions());
+
+/// Convenience: render and write to a file.
+Status WriteLeavesSvg(const gist::Tree& tree, const std::string& path,
+                      const VisualizeOptions& options = VisualizeOptions());
+
+}  // namespace bw::amdb
+
+#endif  // BLOBWORLD_AMDB_VISUALIZE_H_

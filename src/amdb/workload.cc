@@ -1,0 +1,34 @@
+#include "amdb/workload.h"
+
+namespace bw::amdb {
+
+Workload Workload::NnOverFoci(const std::vector<geom::Vec>& data,
+                              const std::vector<uint32_t>& foci, size_t k) {
+  Workload workload;
+  workload.queries.reserve(foci.size());
+  for (uint32_t f : foci) {
+    BW_CHECK_LT(f, data.size());
+    workload.queries.push_back(NnQuery{data[f], k});
+  }
+  return workload;
+}
+
+Result<std::vector<QueryTrace>> ExecuteWorkload(const gist::Tree& tree,
+                                                const Workload& workload) {
+  std::vector<QueryTrace> traces;
+  traces.reserve(workload.queries.size());
+  for (const NnQuery& query : workload.queries) {
+    gist::TraversalStats stats;
+    BW_ASSIGN_OR_RETURN(std::vector<gist::Neighbor> neighbors,
+                        tree.KnnSearch(query.center, query.k, &stats));
+    QueryTrace trace;
+    trace.accessed_leaves = std::move(stats.accessed_leaves);
+    trace.accessed_internals = std::move(stats.accessed_internals);
+    trace.results.reserve(neighbors.size());
+    for (const auto& n : neighbors) trace.results.push_back(n.rid);
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+}  // namespace bw::amdb

@@ -1,0 +1,46 @@
+// Workloads and traced execution for the amdb analysis framework
+// (Kornacker/Shah/Hellerstein). A workload is a set of queries; tracing
+// records, per query, every node the access method touched and the
+// result set, which is all the loss metrics need.
+
+#ifndef BLOBWORLD_AMDB_WORKLOAD_H_
+#define BLOBWORLD_AMDB_WORKLOAD_H_
+
+#include <vector>
+
+#include "gist/tree.h"
+#include "util/status.h"
+
+namespace bw::amdb {
+
+/// One nearest-neighbor query.
+struct NnQuery {
+  geom::Vec center;
+  size_t k = 200;
+};
+
+/// A workload: the paper's is 5531 200-NN queries whose centers are
+/// randomly chosen data blobs.
+struct Workload {
+  std::vector<NnQuery> queries;
+
+  /// Builds the paper-style workload: `count` queries centered on the
+  /// data vectors indexed by `foci`, each retrieving `k` neighbors.
+  static Workload NnOverFoci(const std::vector<geom::Vec>& data,
+                             const std::vector<uint32_t>& foci, size_t k);
+};
+
+/// Trace of one executed query.
+struct QueryTrace {
+  std::vector<pages::PageId> accessed_leaves;
+  std::vector<pages::PageId> accessed_internals;
+  std::vector<gist::Rid> results;
+};
+
+/// Runs every query of `workload` against `tree`, collecting traces.
+Result<std::vector<QueryTrace>> ExecuteWorkload(const gist::Tree& tree,
+                                                const Workload& workload);
+
+}  // namespace bw::amdb
+
+#endif  // BLOBWORLD_AMDB_WORKLOAD_H_

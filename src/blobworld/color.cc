@@ -1,0 +1,161 @@
+#include "blobworld/color.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bw::blobworld {
+
+namespace {
+
+// sRGB gamma expansion.
+double Linearize(double channel) {
+  return channel <= 0.04045 ? channel / 12.92
+                            : std::pow((channel + 0.055) / 1.055, 2.4);
+}
+
+double LabF(double t) {
+  constexpr double kDelta = 6.0 / 29.0;
+  return t > kDelta * kDelta * kDelta
+             ? std::cbrt(t)
+             : t / (3.0 * kDelta * kDelta) + 4.0 / 29.0;
+}
+
+}  // namespace
+
+LabColor RgbToLab(float r, float g, float b) {
+  const double rl = Linearize(std::clamp(r, 0.0f, 1.0f));
+  const double gl = Linearize(std::clamp(g, 0.0f, 1.0f));
+  const double bl = Linearize(std::clamp(b, 0.0f, 1.0f));
+
+  // sRGB -> XYZ (D65).
+  const double x = 0.4124 * rl + 0.3576 * gl + 0.1805 * bl;
+  const double y = 0.2126 * rl + 0.7152 * gl + 0.0722 * bl;
+  const double z = 0.0193 * rl + 0.1192 * gl + 0.9505 * bl;
+
+  constexpr double kXn = 0.95047;
+  constexpr double kYn = 1.0;
+  constexpr double kZn = 1.08883;
+
+  const double fx = LabF(x / kXn);
+  const double fy = LabF(y / kYn);
+  const double fz = LabF(z / kZn);
+
+  LabColor lab;
+  lab.l = static_cast<float>(116.0 * fy - 16.0);
+  lab.a = static_cast<float>(500.0 * (fx - fy));
+  lab.b = static_cast<float>(200.0 * (fy - fz));
+  return lab;
+}
+
+double LabDistanceSquared(const LabColor& x, const LabColor& y) {
+  const double dl = double(x.l) - y.l;
+  const double da = double(x.a) - y.a;
+  const double db = double(x.b) - y.b;
+  return dl * dl + da * da + db * db;
+}
+
+HistogramLayout::HistogramLayout()
+    : l_lo_(5.0f), l_hi_(95.0f), ab_lo_(-60.0f), ab_hi_(60.0f) {
+  bin_colors_.reserve(kBins);
+  const float l_step = (l_hi_ - l_lo_) / kLatticeSide;
+  const float ab_step = (ab_hi_ - ab_lo_) / kLatticeSide;
+  for (size_t i = 0; i < kLatticeSide; ++i) {
+    for (size_t j = 0; j < kLatticeSide; ++j) {
+      for (size_t k = 0; k < kLatticeSide; ++k) {
+        geom::Vec c(3);
+        c[0] = l_lo_ + (static_cast<float>(i) + 0.5f) * l_step;
+        c[1] = ab_lo_ + (static_cast<float>(j) + 0.5f) * ab_step;
+        c[2] = ab_lo_ + (static_cast<float>(k) + 0.5f) * ab_step;
+        bin_colors_.push_back(std::move(c));
+      }
+    }
+  }
+  // Achromatic bins: near-black and near-white.
+  bin_colors_.push_back(geom::Vec{0.0f, 0.0f, 0.0f});
+  bin_colors_.push_back(geom::Vec{100.0f, 0.0f, 0.0f});
+  BW_CHECK_EQ(bin_colors_.size(), kBins);
+}
+
+HistogramLayout::LatticeCoord HistogramLayout::CoordOf(
+    const LabColor& color) const {
+  const float l_step = (l_hi_ - l_lo_) / kLatticeSide;
+  const float ab_step = (ab_hi_ - ab_lo_) / kLatticeSide;
+  auto clamp_idx = [](float v, float lo, float step) {
+    int idx = static_cast<int>(std::floor((v - lo) / step));
+    return std::clamp(idx, 0, static_cast<int>(kLatticeSide) - 1);
+  };
+  return LatticeCoord{clamp_idx(color.l, l_lo_, l_step),
+                      clamp_idx(color.a, ab_lo_, ab_step),
+                      clamp_idx(color.b, ab_lo_, ab_step)};
+}
+
+size_t HistogramLayout::NearestLatticeBin(const LabColor& color) const {
+  const LatticeCoord c = CoordOf(color);
+  return BinIndex(c.i, c.j, c.k);
+}
+
+void HistogramLayout::Accumulate(const LabColor& color, double mass,
+                                 double smear_sigma,
+                                 std::vector<double>* histogram) const {
+  BW_CHECK_EQ(histogram->size(), kBins);
+  // Achromatic shortcut.
+  if (color.l < l_lo_) {
+    (*histogram)[kBins - 2] += mass;
+    return;
+  }
+  if (color.l > l_hi_) {
+    (*histogram)[kBins - 1] += mass;
+    return;
+  }
+
+  const LatticeCoord c = CoordOf(color);
+  const double inv_two_sigma_sq = 1.0 / (2.0 * smear_sigma * smear_sigma);
+  double weight_sum = 0.0;
+  double weights[27];
+  size_t bins[27];
+  size_t count = 0;
+  for (int di = -1; di <= 1; ++di) {
+    for (int dj = -1; dj <= 1; ++dj) {
+      for (int dk = -1; dk <= 1; ++dk) {
+        const int i = c.i + di;
+        const int j = c.j + dj;
+        const int k = c.k + dk;
+        if (i < 0 || j < 0 || k < 0 ||
+            i >= static_cast<int>(kLatticeSide) ||
+            j >= static_cast<int>(kLatticeSide) ||
+            k >= static_cast<int>(kLatticeSide)) {
+          continue;
+        }
+        const size_t bin = BinIndex(i, j, k);
+        const geom::Vec& bc = bin_colors_[bin];
+        LabColor bin_color{bc[0], bc[1], bc[2]};
+        const double w =
+            std::exp(-LabDistanceSquared(color, bin_color) * inv_two_sigma_sq);
+        weights[count] = w;
+        bins[count] = bin;
+        weight_sum += w;
+        ++count;
+      }
+    }
+  }
+  if (weight_sum <= 0.0 || count == 0) {
+    (*histogram)[NearestLatticeBin(color)] += mass;
+    return;
+  }
+  for (size_t n = 0; n < count; ++n) {
+    (*histogram)[bins[n]] += mass * weights[n] / weight_sum;
+  }
+}
+
+geom::Vec HistogramLayout::Normalize(const std::vector<double>& histogram) {
+  double total = 0.0;
+  for (double v : histogram) total += v;
+  geom::Vec out(histogram.size());
+  if (total <= 0.0) return out;
+  for (size_t i = 0; i < histogram.size(); ++i) {
+    out[i] = static_cast<float>(histogram[i] / total);
+  }
+  return out;
+}
+
+}  // namespace bw::blobworld

@@ -1,0 +1,80 @@
+// Color-space plumbing for the Blobworld feature pipeline: CIE L*a*b*
+// conversion and the 218-bin color histogram layout the paper indexes
+// ("the full image feature vectors have 218 dimensions").
+//
+// Bin layout: a 6x6x6 lattice over the (L, a, b) gamut (216 bins) plus
+// two achromatic catch-all bins for near-black and near-white, totalling
+// 218. Histograms are built with Gaussian smearing over neighboring bins
+// so that perceptually close colors produce close histograms.
+
+#ifndef BLOBWORLD_BLOBWORLD_COLOR_H_
+#define BLOBWORLD_BLOBWORLD_COLOR_H_
+
+#include <vector>
+
+#include "geom/vec.h"
+
+namespace bw::blobworld {
+
+/// A color in CIE L*a*b* (L in [0, 100], a/b roughly [-60, 60] here).
+struct LabColor {
+  float l = 0.0f;
+  float a = 0.0f;
+  float b = 0.0f;
+};
+
+/// Converts sRGB in [0,1]^3 to L*a*b* (D65 white point).
+LabColor RgbToLab(float r, float g, float b);
+
+/// Squared Euclidean distance in Lab space (a reasonable perceptual
+/// proxy, as used by the original Blobworld features).
+double LabDistanceSquared(const LabColor& x, const LabColor& y);
+
+/// The 218-bin histogram layout.
+class HistogramLayout {
+ public:
+  static constexpr size_t kLatticeSide = 6;
+  static constexpr size_t kBins =
+      kLatticeSide * kLatticeSide * kLatticeSide + 2;  // = 218.
+
+  HistogramLayout();
+
+  size_t num_bins() const { return kBins; }
+
+  /// Representative Lab color of each bin (for the quadratic-form
+  /// distance similarity matrix).
+  const std::vector<geom::Vec>& bin_colors() const { return bin_colors_; }
+
+  /// Index of the lattice bin nearest to `color` (ignoring the two
+  /// achromatic bins).
+  size_t NearestLatticeBin(const LabColor& color) const;
+
+  /// Adds `mass` of `color` into `histogram` (length kBins), spreading
+  /// it over nearby bins with Gaussian weights of scale `smear_sigma`
+  /// (in Lab units). Near-black/near-white mass goes to the achromatic
+  /// bins.
+  void Accumulate(const LabColor& color, double mass, double smear_sigma,
+                  std::vector<double>* histogram) const;
+
+  /// L1-normalizes `histogram` into a unit-mass feature vector.
+  static geom::Vec Normalize(const std::vector<double>& histogram);
+
+ private:
+  struct LatticeCoord {
+    int i, j, k;
+  };
+  LatticeCoord CoordOf(const LabColor& color) const;
+  size_t BinIndex(int i, int j, int k) const {
+    return (static_cast<size_t>(i) * kLatticeSide + static_cast<size_t>(j)) *
+               kLatticeSide +
+           static_cast<size_t>(k);
+  }
+
+  std::vector<geom::Vec> bin_colors_;
+  // Lattice geometry.
+  float l_lo_, l_hi_, ab_lo_, ab_hi_;
+};
+
+}  // namespace bw::blobworld
+
+#endif  // BLOBWORLD_BLOBWORLD_COLOR_H_

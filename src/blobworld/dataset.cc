@@ -1,0 +1,216 @@
+#include "blobworld/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace bw::blobworld {
+
+BlobDescriptor FeatureExtractor::Extract(const Image& image,
+                                         const Region& region,
+                                         ImageId image_id) const {
+  BW_CHECK(!region.pixels.empty());
+  const size_t w = image.width();
+  std::vector<double> histogram(layout_->num_bins(), 0.0);
+  double texture = 0.0;
+  double cx = 0.0;
+  double cy = 0.0;
+  for (uint32_t p : region.pixels) {
+    const size_t x = p % w;
+    const size_t y = p / w;
+    layout_->Accumulate(image.color(x, y), 1.0, smear_sigma_, &histogram);
+    texture += image.contrast(x, y);
+    cx += static_cast<double>(x);
+    cy += static_cast<double>(y);
+  }
+  const double n = static_cast<double>(region.pixels.size());
+  BlobDescriptor blob;
+  blob.histogram = HistogramLayout::Normalize(histogram);
+  blob.texture = static_cast<float>(texture / n);
+  blob.x = static_cast<float>(cx / n / static_cast<double>(image.width()));
+  blob.y = static_cast<float>(cy / n / static_cast<double>(image.height()));
+  blob.size = static_cast<float>(n / static_cast<double>(image.pixel_count()));
+  blob.image = image_id;
+  return blob;
+}
+
+std::vector<geom::Vec> BlobDataset::Histograms() const {
+  std::vector<geom::Vec> out;
+  out.reserve(blobs_.size());
+  for (const auto& blob : blobs_) out.push_back(blob.histogram);
+  return out;
+}
+
+std::vector<uint32_t> BlobDataset::BlobsOfImage(ImageId image) const {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < blobs_.size(); ++i) {
+    if (blobs_[i].image == image) out.push_back(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+void BlobDataset::Add(BlobDescriptor blob) {
+  blobs_.push_back(std::move(blob));
+}
+
+namespace {
+constexpr uint32_t kDatasetMagic = 0x424C4F42;  // "BLOB"
+constexpr uint32_t kDatasetVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+}  // namespace
+
+Status BlobDataset::SaveTo(const std::string& path) const {
+  std::unique_ptr<std::FILE, FileCloser> file(
+      std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  auto write_u32 = [&](uint32_t v) {
+    return std::fwrite(&v, sizeof(v), 1, file.get()) == 1;
+  };
+  auto write_f32 = [&](float v) {
+    return std::fwrite(&v, sizeof(v), 1, file.get()) == 1;
+  };
+  const size_t hist_dim =
+      blobs_.empty() ? HistogramLayout::kBins : blobs_[0].histogram.dim();
+  if (!write_u32(kDatasetMagic) || !write_u32(kDatasetVersion) ||
+      !write_u32(static_cast<uint32_t>(num_images_)) ||
+      !write_u32(static_cast<uint32_t>(blobs_.size())) ||
+      !write_u32(static_cast<uint32_t>(hist_dim))) {
+    return Status::IoError("header write failed");
+  }
+  for (const auto& blob : blobs_) {
+    for (size_t i = 0; i < hist_dim; ++i) {
+      if (!write_f32(blob.histogram[i])) {
+        return Status::IoError("histogram write failed");
+      }
+    }
+    if (!write_f32(blob.texture) || !write_f32(blob.x) ||
+        !write_f32(blob.y) || !write_f32(blob.size) ||
+        !write_u32(blob.image)) {
+      return Status::IoError("descriptor write failed");
+    }
+  }
+  return Status::OK();
+}
+
+Result<BlobDataset> BlobDataset::LoadFrom(const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> file(
+      std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  auto read_u32 = [&](uint32_t* v) {
+    return std::fread(v, sizeof(*v), 1, file.get()) == 1;
+  };
+  auto read_f32 = [&](float* v) {
+    return std::fread(v, sizeof(*v), 1, file.get()) == 1;
+  };
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t num_images = 0;
+  uint32_t num_blobs = 0;
+  uint32_t hist_dim = 0;
+  if (!read_u32(&magic) || !read_u32(&version) || !read_u32(&num_images) ||
+      !read_u32(&num_blobs) || !read_u32(&hist_dim)) {
+    return Status::Corruption("truncated dataset header");
+  }
+  if (magic != kDatasetMagic) {
+    return Status::Corruption("bad dataset magic");
+  }
+  if (version != kDatasetVersion) {
+    return Status::NotSupported("unsupported dataset version");
+  }
+  BlobDataset dataset;
+  dataset.set_num_images(num_images);
+  for (uint32_t b = 0; b < num_blobs; ++b) {
+    BlobDescriptor blob;
+    blob.histogram = geom::Vec(hist_dim);
+    for (uint32_t i = 0; i < hist_dim; ++i) {
+      if (!read_f32(&blob.histogram[i])) {
+        return Status::Corruption("truncated histogram");
+      }
+    }
+    if (!read_f32(&blob.texture) || !read_f32(&blob.x) ||
+        !read_f32(&blob.y) || !read_f32(&blob.size) ||
+        !read_u32(&blob.image)) {
+      return Status::Corruption("truncated descriptor");
+    }
+    dataset.Add(std::move(blob));
+  }
+  return dataset;
+}
+
+BlobDataset GenerateDataset(const DatasetParams& params) {
+  const HistogramLayout layout;
+  const LatentModel model(params.latent_clusters, params.seed,
+                          params.within_cluster_sigma, params.zipf_exponent,
+                          params.local_dims);
+  const ImageGenerator generator(&model, params.image);
+  const Segmenter segmenter(params.segmenter, params.seed ^ 0x5E6u);
+  const FeatureExtractor extractor(&layout);
+
+  Rng rng(params.seed);
+  BlobDataset dataset;
+  dataset.set_num_images(params.num_images);
+  for (size_t img = 0; img < params.num_images; ++img) {
+    const Image image = generator.Generate(rng);
+    const std::vector<Region> regions = segmenter.Segment(image);
+    for (const Region& region : regions) {
+      dataset.Add(extractor.Extract(image, region,
+                                    static_cast<ImageId>(img)));
+    }
+  }
+  return dataset;
+}
+
+BlobDataset GenerateDatasetDirect(const DatasetParams& params) {
+  const HistogramLayout layout;
+  const LatentModel model(params.latent_clusters, params.seed,
+                          params.within_cluster_sigma, params.zipf_exponent,
+                          params.local_dims);
+  Rng rng(params.seed);
+  BlobDataset dataset;
+  dataset.set_num_images(params.num_images);
+  for (size_t img = 0; img < params.num_images; ++img) {
+    // 2..(2*mean-2) blobs per image, mean ~= blobs_per_image.
+    const size_t span = static_cast<size_t>(
+        std::max(1.0, 2.0 * (params.blobs_per_image - 2.0)));
+    const size_t blobs = 2 + rng.NextBelow(span + 1);
+    for (size_t b = 0; b < blobs; ++b) {
+      const BlobLatent latent = model.Sample(rng);
+      geom::Vec expected = model.ExpectedHistogram(latent, layout);
+      if (rng.Bernoulli(params.blend_fraction)) {
+        // Two-color blob: its histogram mixes two appearance families.
+        const BlobLatent other = model.Sample(rng);
+        const geom::Vec second = model.ExpectedHistogram(other, layout);
+        const auto t = static_cast<float>(rng.NextDouble());
+        expected = expected * t + second * (1.0f - t);
+      }
+      // Finite-pixel noise: perturb and renormalize.
+      std::vector<double> noisy(expected.dim());
+      for (size_t i = 0; i < expected.dim(); ++i) {
+        const double jitter = 1.0 + params.direct_noise * rng.Gaussian();
+        noisy[i] = std::max(0.0, static_cast<double>(expected[i]) * jitter);
+      }
+      BlobDescriptor blob;
+      blob.histogram = HistogramLayout::Normalize(noisy);
+      blob.texture = latent.texture;
+      blob.x = static_cast<float>(rng.NextDouble());
+      blob.y = static_cast<float>(rng.NextDouble());
+      blob.size = static_cast<float>(rng.Uniform(0.02, 0.5));
+      blob.image = static_cast<ImageId>(img);
+      dataset.Add(std::move(blob));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace bw::blobworld

@@ -1,0 +1,80 @@
+#include "blobworld/pipeline.h"
+
+#include <algorithm>
+
+namespace bw::blobworld {
+
+Result<std::unique_ptr<Pipeline>> Pipeline::Build(
+    const BlobDataset* dataset, const PipelineOptions& options) {
+  BW_CHECK(dataset != nullptr);
+  if (dataset->num_blobs() == 0) {
+    return Status::InvalidArgument("dataset has no blobs");
+  }
+  auto pipeline =
+      std::unique_ptr<Pipeline>(new Pipeline(dataset, options));
+
+  // Fit the SVD basis on the full histograms and project.
+  BW_RETURN_IF_ERROR(pipeline->reducer_.Fit(dataset->Histograms(),
+                                            options.reduced_dim));
+  pipeline->reduced_ =
+      pipeline->reducer_.ProjectAll(dataset->Histograms(),
+                                    options.reduced_dim);
+
+  // Build the access method over the reduced vectors.
+  BW_ASSIGN_OR_RETURN(pipeline->index_,
+                      core::BuildIndex(pipeline->reduced_, options.index));
+
+  // Ground-truth ranker over the full vectors.
+  BW_ASSIGN_OR_RETURN(FullRanker ranker, FullRanker::Create(dataset));
+  pipeline->ranker_ = std::make_unique<FullRanker>(std::move(ranker));
+  return pipeline;
+}
+
+Result<PipelineAnswer> Pipeline::Query(uint32_t query_blob,
+                                       const QueryWeights& weights) const {
+  if (query_blob >= dataset_->num_blobs()) {
+    return Status::InvalidArgument("query blob id out of range");
+  }
+  PipelineAnswer answer;
+  BW_ASSIGN_OR_RETURN(
+      std::vector<gist::Neighbor> neighbors,
+      index_->Knn(reduced_[query_blob], options_.am_candidates,
+                  &answer.am_stats));
+  std::vector<uint32_t> candidates;
+  candidates.reserve(neighbors.size());
+  for (const auto& n : neighbors) {
+    candidates.push_back(static_cast<uint32_t>(n.rid));
+  }
+  answer.candidate_blobs = candidates.size();
+  answer.images = ranker_->RankCandidates(query_blob, candidates,
+                                          options_.answer_size, weights);
+  return answer;
+}
+
+std::vector<RankedImage> Pipeline::FullQuery(
+    uint32_t query_blob, const QueryWeights& weights) const {
+  return ranker_->RankAllImages(query_blob, options_.answer_size, weights);
+}
+
+Result<double> Pipeline::QueryRecall(uint32_t query_blob) const {
+  BW_ASSIGN_OR_RETURN(PipelineAnswer answer, Query(query_blob));
+  const std::vector<RankedImage> truth = FullQuery(query_blob);
+  std::vector<ImageId> candidate_images;
+  candidate_images.reserve(answer.images.size());
+  for (const auto& r : answer.images) candidate_images.push_back(r.image);
+  return RecallAgainst(truth, candidate_images);
+}
+
+std::vector<uint32_t> SampleQueryBlobs(const BlobDataset& dataset,
+                                       size_t count, uint64_t seed) {
+  Rng rng(seed);
+  count = std::min(count, dataset.num_blobs());
+  std::vector<size_t> picks =
+      rng.SampleWithoutReplacement(dataset.num_blobs(), count);
+  std::vector<uint32_t> out;
+  out.reserve(picks.size());
+  for (size_t p : picks) out.push_back(static_cast<uint32_t>(p));
+  return out;
+}
+
+}  // namespace bw::blobworld

@@ -1,0 +1,89 @@
+// The end-to-end Blobworld query pipeline of the paper's Figure 2:
+//
+//   query blob -> SVD-reduced vector -> access method (k-NN over a few
+//   hundred blobs) -> candidate images -> full-feature re-ranking ->
+//   top few dozen answers.
+//
+// The pipeline owns the reducer, the reduced vectors, the chosen access
+// method index and the ground-truth ranker, and exposes both the fast
+// two-stage query and the exhaustive reference query.
+
+#ifndef BLOBWORLD_BLOBWORLD_PIPELINE_H_
+#define BLOBWORLD_BLOBWORLD_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "blobworld/dataset.h"
+#include "blobworld/ranker.h"
+#include "core/index_factory.h"
+#include "linalg/reducer.h"
+
+namespace bw::blobworld {
+
+/// Pipeline configuration.
+struct PipelineOptions {
+  /// SVD dimensionality of the indexed vectors (the paper settles on 5).
+  size_t reduced_dim = 5;
+  /// How many blobs the access method retrieves per query (paper: 200).
+  size_t am_candidates = 200;
+  /// Final answer size (paper: "top few dozen", recall measured at 40).
+  size_t answer_size = 40;
+  /// Access-method construction.
+  core::IndexBuildOptions index;
+};
+
+/// Result of one pipeline query.
+struct PipelineAnswer {
+  std::vector<RankedImage> images;       // final ranked answers.
+  gist::TraversalStats am_stats;         // page accesses of the AM stage.
+  size_t candidate_blobs = 0;            // AM result size.
+};
+
+/// Owns everything needed to serve Blobworld queries over one dataset.
+class Pipeline {
+ public:
+  static Result<std::unique_ptr<Pipeline>> Build(const BlobDataset* dataset,
+                                                 const PipelineOptions&
+                                                     options);
+
+  /// Two-stage query (Figure 2), keyed by a query blob in the dataset.
+  Result<PipelineAnswer> Query(uint32_t query_blob,
+                               const QueryWeights& weights =
+                                   QueryWeights()) const;
+
+  /// Exhaustive reference query over full feature vectors.
+  std::vector<RankedImage> FullQuery(uint32_t query_blob,
+                                     const QueryWeights& weights =
+                                         QueryWeights()) const;
+
+  /// Recall of the two-stage answer against the full query (both at
+  /// options.answer_size).
+  Result<double> QueryRecall(uint32_t query_blob) const;
+
+  const linalg::SvdReducer& reducer() const { return reducer_; }
+  const std::vector<geom::Vec>& reduced_vectors() const { return reduced_; }
+  core::BuiltIndex& index() { return *index_; }
+  const FullRanker& ranker() const { return *ranker_; }
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  Pipeline(const BlobDataset* dataset, PipelineOptions options)
+      : dataset_(dataset), options_(std::move(options)) {}
+
+  const BlobDataset* dataset_;
+  PipelineOptions options_;
+  linalg::SvdReducer reducer_;
+  std::vector<geom::Vec> reduced_;
+  std::unique_ptr<core::BuiltIndex> index_;
+  std::unique_ptr<FullRanker> ranker_;
+};
+
+/// Samples `count` distinct query blob ids, mirroring the paper's
+/// workload of 5531 randomly selected blobs.
+std::vector<uint32_t> SampleQueryBlobs(const BlobDataset& dataset,
+                                       size_t count, uint64_t seed);
+
+}  // namespace bw::blobworld
+
+#endif  // BLOBWORLD_BLOBWORLD_PIPELINE_H_

@@ -1,0 +1,141 @@
+#include "blobworld/ranker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+
+namespace bw::blobworld {
+
+Result<FullRanker> FullRanker::Create(const BlobDataset* dataset,
+                                      double alpha) {
+  BW_CHECK(dataset != nullptr);
+  if (dataset->num_blobs() == 0) {
+    return Status::InvalidArgument("dataset has no blobs");
+  }
+  const HistogramLayout layout;
+  const size_t d = dataset->blob(0).histogram.dim();
+  if (d != layout.num_bins()) {
+    return Status::InvalidArgument("histogram dimensionality mismatch");
+  }
+
+  // Bin-similarity matrix A, ridged for numerical positive definiteness.
+  const geom::QuadraticFormDistance qf(layout.bin_colors(), alpha);
+  linalg::Matrix a(d, d);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) a(i, j) = qf.SimilarityAt(i, j);
+    a(i, i) += 1e-7;
+  }
+  BW_ASSIGN_OR_RETURN(linalg::Matrix l, linalg::CholeskyFactor(a));
+
+  // Transform every histogram once: t = L^T h.
+  std::vector<geom::Vec> transformed;
+  transformed.reserve(dataset->num_blobs());
+  for (const auto& blob : dataset->blobs()) {
+    geom::Vec t(d);
+    for (size_t j = 0; j < d; ++j) {
+      // (L^T h)_j = sum_i L(i, j) h_i; L is lower triangular so i >= j.
+      double acc = 0.0;
+      for (size_t i = j; i < d; ++i) {
+        acc += l(i, j) * blob.histogram[i];
+      }
+      t[j] = static_cast<float>(acc);
+    }
+    transformed.push_back(std::move(t));
+  }
+  return FullRanker(dataset, std::move(transformed));
+}
+
+FullRanker::FullRanker(const BlobDataset* dataset,
+                       std::vector<geom::Vec> transformed)
+    : dataset_(dataset), transformed_(std::move(transformed)) {}
+
+double FullRanker::ColorDistance(uint32_t blob_a, uint32_t blob_b) const {
+  return transformed_[blob_a].DistanceSquaredTo(transformed_[blob_b]);
+}
+
+double FullRanker::BlobDistance(uint32_t query_blob, uint32_t candidate_blob,
+                                const QueryWeights& weights) const {
+  const BlobDescriptor& q = dataset_->blob(query_blob);
+  const BlobDescriptor& c = dataset_->blob(candidate_blob);
+  double score = weights.color * ColorDistance(query_blob, candidate_blob);
+  if (weights.texture > 0.0) {
+    const double dt = double(q.texture) - c.texture;
+    score += weights.texture * dt * dt;
+  }
+  if (weights.location > 0.0) {
+    const double dx = double(q.x) - c.x;
+    const double dy = double(q.y) - c.y;
+    score += weights.location * (dx * dx + dy * dy);
+  }
+  if (weights.size > 0.0) {
+    const double ds = double(q.size) - c.size;
+    score += weights.size * ds * ds;
+  }
+  return score;
+}
+
+std::vector<RankedImage> FullRanker::TopImages(
+    const std::vector<std::pair<double, uint32_t>>& blob_scores,
+    const BlobDataset& dataset, size_t k) {
+  // Image score = best blob score.
+  std::unordered_map<ImageId, std::pair<double, uint32_t>> best;
+  best.reserve(blob_scores.size());
+  for (const auto& [score, blob] : blob_scores) {
+    const ImageId image = dataset.blob(blob).image;
+    auto it = best.find(image);
+    if (it == best.end() || score < it->second.first) {
+      best[image] = {score, blob};
+    }
+  }
+  std::vector<RankedImage> ranked;
+  ranked.reserve(best.size());
+  for (const auto& [image, entry] : best) {
+    ranked.push_back(RankedImage{image, entry.first, entry.second});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedImage& a, const RankedImage& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.image < b.image;  // Deterministic tie-break.
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+std::vector<RankedImage> FullRanker::RankAllImages(
+    uint32_t query_blob, size_t k, const QueryWeights& weights) const {
+  std::vector<std::pair<double, uint32_t>> scores;
+  scores.reserve(dataset_->num_blobs());
+  for (uint32_t b = 0; b < dataset_->num_blobs(); ++b) {
+    scores.emplace_back(BlobDistance(query_blob, b, weights), b);
+  }
+  return TopImages(scores, *dataset_, k);
+}
+
+std::vector<RankedImage> FullRanker::RankCandidates(
+    uint32_t query_blob, const std::vector<uint32_t>& candidate_blobs,
+    size_t k, const QueryWeights& weights) const {
+  std::vector<std::pair<double, uint32_t>> scores;
+  scores.reserve(candidate_blobs.size());
+  for (uint32_t b : candidate_blobs) {
+    scores.emplace_back(BlobDistance(query_blob, b, weights), b);
+  }
+  return TopImages(scores, *dataset_, k);
+}
+
+double RecallAgainst(const std::vector<RankedImage>& truth,
+                     const std::vector<ImageId>& candidate_images) {
+  if (truth.empty()) return 0.0;
+  std::unordered_set<ImageId> candidates(candidate_images.begin(),
+                                         candidate_images.end());
+  size_t hits = 0;
+  for (const RankedImage& t : truth) {
+    if (candidates.count(t.image)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace bw::blobworld

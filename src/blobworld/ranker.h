@@ -1,0 +1,86 @@
+// The "full Blobworld query" engine: ranks every image in the database
+// against a query blob using the complete 218-D feature vectors. This is
+// the ground truth the access methods approximate (Figure 2: the AM
+// proposes a few hundred candidate images, Blobworld re-ranks them with
+// this code and returns the top few dozen).
+//
+// Color distance is the quadratic-form histogram distance of Hafner et
+// al. [11]; with A = L L^T it is evaluated as plain L2 between
+// L^T-transformed histograms, which turns the O(d^2) form into O(d) per
+// pair after a one-time O(n d^2) transform.
+
+#ifndef BLOBWORLD_BLOBWORLD_RANKER_H_
+#define BLOBWORLD_BLOBWORLD_RANKER_H_
+
+#include <vector>
+
+#include "blobworld/dataset.h"
+#include "geom/distance.h"
+#include "util/status.h"
+
+namespace bw::blobworld {
+
+/// Weights of the composite blob-to-blob score (the sliders of the
+/// paper's Figure 3: "Color is very important, location is not...").
+struct QueryWeights {
+  double color = 1.0;
+  double texture = 0.0;
+  double location = 0.0;
+  double size = 0.0;
+};
+
+/// One ranked image.
+struct RankedImage {
+  ImageId image = 0;
+  double score = 0.0;  // lower is better.
+  uint32_t best_blob = 0;  // the blob that achieved the score.
+};
+
+/// Exhaustive full-feature ranking engine over a BlobDataset.
+class FullRanker {
+ public:
+  /// `alpha` shapes the bin-similarity matrix (higher = closer to plain
+  /// L2 between histograms).
+  static Result<FullRanker> Create(const BlobDataset* dataset,
+                                   double alpha = 8.0);
+
+  /// Color-only distance between two blobs (quadratic form).
+  double ColorDistance(uint32_t blob_a, uint32_t blob_b) const;
+
+  /// Composite weighted distance between two blobs.
+  double BlobDistance(uint32_t query_blob, uint32_t candidate_blob,
+                      const QueryWeights& weights) const;
+
+  /// Full Blobworld query: scores every image by its best-matching blob
+  /// and returns the top `k` images, best first.
+  std::vector<RankedImage> RankAllImages(uint32_t query_blob, size_t k,
+                                         const QueryWeights& weights =
+                                             QueryWeights()) const;
+
+  /// Restricted ranking over candidate blob ids (the second stage of the
+  /// Figure-2 pipeline: re-rank what the access method returned).
+  std::vector<RankedImage> RankCandidates(
+      uint32_t query_blob, const std::vector<uint32_t>& candidate_blobs,
+      size_t k, const QueryWeights& weights = QueryWeights()) const;
+
+  const BlobDataset& dataset() const { return *dataset_; }
+
+ private:
+  FullRanker(const BlobDataset* dataset, std::vector<geom::Vec> transformed);
+
+  static std::vector<RankedImage> TopImages(
+      const std::vector<std::pair<double, uint32_t>>& blob_scores,
+      const BlobDataset& dataset, size_t k);
+
+  const BlobDataset* dataset_;
+  std::vector<geom::Vec> transformed_;  // L^T * histogram per blob.
+};
+
+/// Recall of `candidates` against the top-`truth_k` ground-truth images:
+/// |truth ∩ candidates| / truth_k (Figure 6's y-axis).
+double RecallAgainst(const std::vector<RankedImage>& truth,
+                     const std::vector<ImageId>& candidate_images);
+
+}  // namespace bw::blobworld
+
+#endif  // BLOBWORLD_BLOBWORLD_RANKER_H_

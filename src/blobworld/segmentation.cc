@@ -1,0 +1,194 @@
+#include "blobworld/segmentation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace bw::blobworld {
+
+namespace {
+
+constexpr size_t kFeatureDim = 6;  // L, a, b, contrast, x, y.
+
+// Flattened per-pixel feature extraction.
+std::vector<float> PixelFeatures(const Image& image,
+                                 const SegmenterOptions& options) {
+  const size_t w = image.width();
+  const size_t h = image.height();
+  std::vector<float> features(w * h * kFeatureDim);
+  for (size_t y = 0; y < h; ++y) {
+    for (size_t x = 0; x < w; ++x) {
+      float* f = &features[(y * w + x) * kFeatureDim];
+      const LabColor& c = image.color(x, y);
+      f[0] = c.l;
+      f[1] = c.a;
+      f[2] = c.b;
+      f[3] = static_cast<float>(image.contrast(x, y) *
+                                options.contrast_weight);
+      f[4] = static_cast<float>(static_cast<double>(x) /
+                                static_cast<double>(w) *
+                                options.position_weight);
+      f[5] = static_cast<float>(static_cast<double>(y) /
+                                static_cast<double>(h) *
+                                options.position_weight);
+    }
+  }
+  return features;
+}
+
+}  // namespace
+
+double Segmenter::KMeansLabels(const std::vector<float>& features,
+                               size_t num_pixels, size_t feature_dim,
+                               size_t k, Rng& rng,
+                               std::vector<uint32_t>* labels) const {
+  BW_CHECK_GE(num_pixels, k);
+  // k-means++ style seeding: first center uniform, subsequent centers
+  // proportional to squared distance.
+  std::vector<double> centers(k * feature_dim);
+  std::vector<double> dist_sq(num_pixels,
+                              std::numeric_limits<double>::infinity());
+  size_t first = rng.NextBelow(num_pixels);
+  for (size_t d = 0; d < feature_dim; ++d) {
+    centers[d] = features[first * feature_dim + d];
+  }
+  for (size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (size_t p = 0; p < num_pixels; ++p) {
+      double acc = 0.0;
+      const float* f = &features[p * feature_dim];
+      const double* prev = &centers[(c - 1) * feature_dim];
+      for (size_t d = 0; d < feature_dim; ++d) {
+        const double delta = f[d] - prev[d];
+        acc += delta * delta;
+      }
+      dist_sq[p] = std::min(dist_sq[p], acc);
+      total += dist_sq[p];
+    }
+    double target = rng.NextDouble() * total;
+    size_t chosen = num_pixels - 1;
+    for (size_t p = 0; p < num_pixels; ++p) {
+      target -= dist_sq[p];
+      if (target <= 0.0) {
+        chosen = p;
+        break;
+      }
+    }
+    for (size_t d = 0; d < feature_dim; ++d) {
+      centers[c * feature_dim + d] = features[chosen * feature_dim + d];
+    }
+  }
+
+  labels->assign(num_pixels, 0);
+  std::vector<double> sums(k * feature_dim);
+  std::vector<size_t> counts(k);
+  double distortion = 0.0;
+
+  for (size_t iter = 0; iter < options_.kmeans_iterations; ++iter) {
+    distortion = 0.0;
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (size_t p = 0; p < num_pixels; ++p) {
+      const float* f = &features[p * feature_dim];
+      double best = std::numeric_limits<double>::infinity();
+      uint32_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const double* center = &centers[c * feature_dim];
+        double acc = 0.0;
+        for (size_t d = 0; d < feature_dim; ++d) {
+          const double delta = f[d] - center[d];
+          acc += delta * delta;
+        }
+        if (acc < best) {
+          best = acc;
+          best_c = static_cast<uint32_t>(c);
+        }
+      }
+      (*labels)[p] = best_c;
+      distortion += best;
+      counts[best_c] += 1;
+      double* sum = &sums[best_c * feature_dim];
+      for (size_t d = 0; d < feature_dim; ++d) sum[d] += f[d];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // Empty cluster: keep old center.
+      for (size_t d = 0; d < feature_dim; ++d) {
+        centers[c * feature_dim + d] =
+            sums[c * feature_dim + d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+  return distortion / static_cast<double>(num_pixels);
+}
+
+std::vector<Region> Segmenter::Segment(const Image& image) const {
+  const size_t w = image.width();
+  const size_t h = image.height();
+  const size_t n = w * h;
+  const std::vector<float> features = PixelFeatures(image, options_);
+
+  // Model-order selection: penalized distortion over candidate k.
+  Rng rng(seed_ ^ (n * 0x9E3779B97F4A7C15ULL));
+  std::vector<uint32_t> best_labels;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (size_t k = options_.min_clusters; k <= options_.max_clusters; ++k) {
+    std::vector<uint32_t> labels;
+    const double distortion =
+        KMeansLabels(features, n, kFeatureDim, k, rng, &labels);
+    const double score =
+        distortion * (1.0 + options_.order_penalty * static_cast<double>(k));
+    if (score < best_score) {
+      best_score = score;
+      best_labels = std::move(labels);
+    }
+  }
+
+  // Split clusters into 4-connected components.
+  std::vector<Region> regions;
+  std::vector<uint8_t> visited(n, 0);
+  std::vector<uint32_t> queue;
+  for (size_t start = 0; start < n; ++start) {
+    if (visited[start]) continue;
+    const uint32_t label = best_labels[start];
+    Region region;
+    queue.clear();
+    queue.push_back(static_cast<uint32_t>(start));
+    visited[start] = 1;
+    while (!queue.empty()) {
+      const uint32_t p = queue.back();
+      queue.pop_back();
+      region.pixels.push_back(p);
+      const size_t x = p % w;
+      const size_t y = p / w;
+      const uint32_t candidates[4] = {
+          static_cast<uint32_t>(x > 0 ? p - 1 : p),
+          static_cast<uint32_t>(x + 1 < w ? p + 1 : p),
+          static_cast<uint32_t>(y > 0 ? p - w : p),
+          static_cast<uint32_t>(y + 1 < h ? p + w : p)};
+      for (uint32_t q : candidates) {
+        if (q == p || visited[q] || best_labels[q] != label) continue;
+        visited[q] = 1;
+        queue.push_back(q);
+      }
+    }
+    regions.push_back(std::move(region));
+  }
+
+  // Drop fragments below the size threshold, largest regions first.
+  const auto min_pixels = static_cast<size_t>(
+      options_.min_region_fraction * static_cast<double>(n));
+  std::vector<Region> kept;
+  for (auto& region : regions) {
+    if (region.pixels.size() >= std::max<size_t>(min_pixels, 1)) {
+      kept.push_back(std::move(region));
+    }
+  }
+  std::sort(kept.begin(), kept.end(), [](const Region& a, const Region& b) {
+    return a.pixels.size() > b.pixels.size();
+  });
+  return kept;
+}
+
+}  // namespace bw::blobworld

@@ -1,0 +1,63 @@
+// Image segmentation into "blobs": a simplified realization of the
+// Blobworld pipeline (Belongie et al. '98). Per-pixel color/texture/
+// position features are clustered with k-means-EM (hard assignment,
+// model order chosen by penalized distortion, standing in for the
+// paper's MDL-selected EM), then clusters are split into 4-connected
+// components and small fragments are discarded. Fully automatic — no
+// parameter tuning per image, as the paper emphasizes.
+
+#ifndef BLOBWORLD_BLOBWORLD_SEGMENTATION_H_
+#define BLOBWORLD_BLOBWORLD_SEGMENTATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "blobworld/synthetic.h"
+#include "util/random.h"
+
+namespace bw::blobworld {
+
+/// A segmented region: the pixel indices (y * width + x) it covers.
+struct Region {
+  std::vector<uint32_t> pixels;
+};
+
+/// Segmentation tuning knobs (fixed across the whole collection).
+struct SegmenterOptions {
+  size_t min_clusters = 2;
+  size_t max_clusters = 6;
+  size_t kmeans_iterations = 12;
+  /// Model-order penalty per cluster, in units of average distortion.
+  double order_penalty = 0.05;
+  /// Regions smaller than this fraction of the image are dropped.
+  double min_region_fraction = 0.02;
+  /// Weight of the normalized (x, y) position features.
+  double position_weight = 18.0;
+  /// Weight of the texture-contrast feature.
+  double contrast_weight = 25.0;
+};
+
+/// Segments images into blob regions.
+class Segmenter {
+ public:
+  explicit Segmenter(SegmenterOptions options = SegmenterOptions(),
+                     uint64_t seed = 7)
+      : options_(options), seed_(seed) {}
+
+  /// Returns the regions of `image`, largest first.
+  std::vector<Region> Segment(const Image& image) const;
+
+ private:
+  /// Hard-EM k-means over pixel features; returns per-pixel labels and
+  /// the mean within-cluster distortion.
+  double KMeansLabels(const std::vector<float>& features, size_t num_pixels,
+                      size_t feature_dim, size_t k, Rng& rng,
+                      std::vector<uint32_t>* labels) const;
+
+  SegmenterOptions options_;
+  uint64_t seed_;
+};
+
+}  // namespace bw::blobworld
+
+#endif  // BLOBWORLD_BLOBWORLD_SEGMENTATION_H_

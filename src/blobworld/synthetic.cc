@@ -1,0 +1,182 @@
+#include "blobworld/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bw::blobworld {
+
+LatentModel::LatentModel(size_t num_clusters, uint64_t seed,
+                         double within_cluster_sigma, double zipf_exponent,
+                         size_t local_dims)
+    : within_cluster_sigma_(within_cluster_sigma),
+      local_dims_(std::min<size_t>(local_dims, 4)) {
+  BW_CHECK_GT(num_clusters, 0u);
+  Rng rng(seed);
+  clusters_.reserve(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    BlobLatent latent;
+    latent.color.l = static_cast<float>(rng.Uniform(20.0, 85.0));
+    latent.color.a = static_cast<float>(rng.Uniform(-45.0, 45.0));
+    latent.color.b = static_cast<float>(rng.Uniform(-45.0, 45.0));
+    latent.spread = static_cast<float>(rng.Uniform(10.0, 26.0));
+    latent.texture = static_cast<float>(rng.Uniform(0.05, 0.8));
+    clusters_.push_back(latent);
+  }
+  if (local_dims_ > 0) {
+    // Random orthonormal appearance directions per cluster, via
+    // Gram-Schmidt over Gaussian draws in (L, a, b, spread) space.
+    sheet_dirs_.resize(num_clusters);
+    for (size_t c = 0; c < num_clusters; ++c) {
+      std::vector<std::vector<double>> basis;
+      while (basis.size() < local_dims_) {
+        std::vector<double> dir(4);
+        for (double& x : dir) x = rng.Gaussian();
+        for (const auto& prev : basis) {
+          double dot = 0.0;
+          for (size_t i = 0; i < 4; ++i) dot += dir[i] * prev[i];
+          for (size_t i = 0; i < 4; ++i) dir[i] -= dot * prev[i];
+        }
+        double norm = 0.0;
+        for (double x : dir) norm += x * x;
+        norm = std::sqrt(norm);
+        if (norm < 1e-6) continue;
+        for (double& x : dir) x /= norm;
+        basis.push_back(std::move(dir));
+      }
+      std::vector<double> flat;
+      for (const auto& dir : basis) {
+        flat.insert(flat.end(), dir.begin(), dir.end());
+      }
+      sheet_dirs_[c] = std::move(flat);
+    }
+  }
+  sampling_cdf_.resize(num_clusters);
+  double acc = 0.0;
+  for (size_t c = 0; c < num_clusters; ++c) {
+    acc += 1.0 / std::pow(static_cast<double>(c + 1), zipf_exponent);
+    sampling_cdf_[c] = acc;
+  }
+  for (double& v : sampling_cdf_) v /= acc;
+}
+
+BlobLatent LatentModel::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  size_t pick = static_cast<size_t>(
+      std::lower_bound(sampling_cdf_.begin(), sampling_cdf_.end(), u) -
+      sampling_cdf_.begin());
+  if (pick >= clusters_.size()) pick = clusters_.size() - 1;
+  const BlobLatent& center = clusters_[pick];
+  const double sigma = within_cluster_sigma_;
+  double offset[4] = {0.0, 0.0, 0.0, 0.0};
+  if (local_dims_ == 0) {
+    offset[0] = rng.Gaussian(0.0, sigma);
+    offset[1] = rng.Gaussian(0.0, sigma);
+    offset[2] = rng.Gaussian(0.0, sigma);
+    offset[3] = rng.Gaussian(0.0, sigma / 3.0);
+  } else {
+    // Uniform spread along the cluster's appearance sheet plus a whisper
+    // of isotropic noise (sheet thickness).
+    const std::vector<double>& dirs = sheet_dirs_[pick];
+    for (size_t j = 0; j < local_dims_; ++j) {
+      const double u = rng.Uniform(-sigma, sigma);
+      for (size_t i = 0; i < 4; ++i) offset[i] += u * dirs[j * 4 + i];
+    }
+    for (double& x : offset) x += rng.Gaussian(0.0, sigma * 0.02);
+  }
+  BlobLatent out;
+  out.color.l = std::clamp(static_cast<float>(center.color.l + offset[0]),
+                           2.0f, 98.0f);
+  out.color.a = std::clamp(static_cast<float>(center.color.a + offset[1]),
+                           -58.0f, 58.0f);
+  out.color.b = std::clamp(static_cast<float>(center.color.b + offset[2]),
+                           -58.0f, 58.0f);
+  out.spread = std::clamp(static_cast<float>(center.spread + offset[3]),
+                          6.0f, 34.0f);
+  out.texture = std::clamp(
+      static_cast<float>(rng.Gaussian(center.texture, 0.05)), 0.0f, 1.0f);
+  return out;
+}
+
+geom::Vec LatentModel::ExpectedHistogram(const BlobLatent& latent,
+                                         const HistogramLayout& layout) const {
+  const auto& bin_colors = layout.bin_colors();
+  std::vector<double> histogram(bin_colors.size(), 0.0);
+  const double inv_two_sigma_sq =
+      1.0 / (2.0 * double(latent.spread) * latent.spread);
+  for (size_t bin = 0; bin < bin_colors.size(); ++bin) {
+    const geom::Vec& bc = bin_colors[bin];
+    const LabColor bin_color{bc[0], bc[1], bc[2]};
+    histogram[bin] =
+        std::exp(-LabDistanceSquared(latent.color, bin_color) *
+                 inv_two_sigma_sq);
+  }
+  return HistogramLayout::Normalize(histogram);
+}
+
+Image ImageGenerator::Generate(Rng& rng, size_t* num_regions) const {
+  const size_t w = params_.width;
+  const size_t h = params_.height;
+  Image image(w, h);
+
+  struct Ellipse {
+    double cx, cy, rx, ry, cos_t, sin_t;
+    BlobLatent latent;
+  };
+
+  const size_t objects =
+      params_.min_objects +
+      rng.NextBelow(params_.max_objects - params_.min_objects + 1);
+  if (num_regions != nullptr) *num_regions = objects + 1;
+
+  const BlobLatent background = model_->Sample(rng);
+  std::vector<Ellipse> scene;
+  scene.reserve(objects);
+  for (size_t i = 0; i < objects; ++i) {
+    Ellipse e;
+    e.cx = rng.Uniform(0.15, 0.85) * static_cast<double>(w);
+    e.cy = rng.Uniform(0.15, 0.85) * static_cast<double>(h);
+    e.rx = rng.Uniform(0.08, 0.28) * static_cast<double>(w);
+    e.ry = rng.Uniform(0.08, 0.28) * static_cast<double>(h);
+    const double theta = rng.Uniform(0.0, 3.14159265358979);
+    e.cos_t = std::cos(theta);
+    e.sin_t = std::sin(theta);
+    e.latent = model_->Sample(rng);
+    scene.push_back(e);
+  }
+
+  for (size_t y = 0; y < h; ++y) {
+    for (size_t x = 0; x < w; ++x) {
+      // Last-drawn object wins (painter's order).
+      const BlobLatent* latent = &background;
+      for (auto it = scene.rbegin(); it != scene.rend(); ++it) {
+        const double dx = static_cast<double>(x) - it->cx;
+        const double dy = static_cast<double>(y) - it->cy;
+        const double u = (dx * it->cos_t + dy * it->sin_t) / it->rx;
+        const double v = (-dx * it->sin_t + dy * it->cos_t) / it->ry;
+        if (u * u + v * v <= 1.0) {
+          latent = &it->latent;
+          break;
+        }
+      }
+      // Per-pixel color: latent mean + spread noise, modulated by
+      // texture (stronger texture = rougher surface).
+      const double sigma = latent->spread * (0.4 + 0.6 * latent->texture);
+      LabColor c;
+      c.l = std::clamp(
+          static_cast<float>(rng.Gaussian(latent->color.l, sigma)), 0.0f,
+          100.0f);
+      c.a = std::clamp(
+          static_cast<float>(rng.Gaussian(latent->color.a, sigma)), -60.0f,
+          60.0f);
+      c.b = std::clamp(
+          static_cast<float>(rng.Gaussian(latent->color.b, sigma)), -60.0f,
+          60.0f);
+      image.color(x, y) = c;
+      image.contrast(x, y) = std::clamp(
+          static_cast<float>(rng.Gaussian(latent->texture, 0.05)), 0.0f, 1.0f);
+    }
+  }
+  return image;
+}
+
+}  // namespace bw::blobworld

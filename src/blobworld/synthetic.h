@@ -1,0 +1,128 @@
+// Synthetic stand-in for the Berkeley Digital Library image collection.
+//
+// Images are composed of a background plus a few elliptical objects.
+// Object appearance is drawn from a low-dimensional latent family —
+// Lab color (3 parameters), color spread (1) and texture strength (1) —
+// sampled around a fixed set of latent clusters ("object categories").
+// This gives the two properties the paper's experiments rest on:
+//   1. blob color histograms concentrate their variance in ~5 SVD
+//      dimensions (Figure 6 saturates near 5-D), and
+//   2. reduced feature vectors are clustered, not uniform, which is what
+//      makes bounding-predicate geometry matter for the AM experiments.
+//
+// The same latent model also backs a direct descriptor sampler used by
+// the large-scale AM benches, bypassing the pixel pipeline for speed
+// while drawing from the identical feature distribution.
+
+#ifndef BLOBWORLD_BLOBWORLD_SYNTHETIC_H_
+#define BLOBWORLD_BLOBWORLD_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "blobworld/color.h"
+#include "util/random.h"
+
+namespace bw::blobworld {
+
+/// Latent appearance parameters of one object/blob.
+struct BlobLatent {
+  LabColor color;        // mean Lab color.
+  float spread = 6.0f;   // Lab-space color spread (sigma).
+  float texture = 0.2f;  // texture strength in [0, 1].
+};
+
+/// The latent family: a mixture of appearance clusters.
+class LatentModel {
+ public:
+  /// `within_cluster_sigma` is the Lab-space spread of blob colors around
+  /// their cluster center; small values give tightly clustered features
+  /// (real image collections sit at the tight end: most blobs are sky,
+  /// skin, foliage... variations on a modest set of appearances).
+  /// `zipf_exponent` skews cluster popularity (0 = uniform; 1 =
+  /// realistic image collections, where a few appearance families such
+  /// as sky or skin dominate the blob population).
+  /// `local_dims` > 0 gives each cluster a random `local_dims`-
+  /// dimensional appearance subspace (a "sheet"): blobs of one material
+  /// vary along a few directions (shading, slight hue shift) rather
+  /// than isotropically. 0 = isotropic Gaussian clusters.
+  LatentModel(size_t num_clusters, uint64_t seed,
+              double within_cluster_sigma = 1.5, double zipf_exponent = 0.0,
+              size_t local_dims = 0);
+
+  size_t num_clusters() const { return clusters_.size(); }
+
+  /// Draws a latent: random cluster center + within-cluster noise.
+  BlobLatent Sample(Rng& rng) const;
+
+  /// The expected 218-bin histogram of a blob with this latent: a
+  /// Gaussian color bump of scale `spread` around the mean color,
+  /// discretized over the layout's bin colors.
+  geom::Vec ExpectedHistogram(const BlobLatent& latent,
+                              const HistogramLayout& layout) const;
+
+ private:
+  std::vector<BlobLatent> clusters_;
+  double within_cluster_sigma_;
+  size_t local_dims_;
+  // Per cluster, local_dims_ orthonormal directions in (L, a, b, spread)
+  // latent space (flattened 4-vectors).
+  std::vector<std::vector<double>> sheet_dirs_;
+  std::vector<double> sampling_cdf_;  // cluster popularity CDF.
+};
+
+/// A rasterized synthetic image: per-pixel Lab color plus a local
+/// texture-contrast channel.
+class Image {
+ public:
+  Image(size_t width, size_t height)
+      : width_(width), height_(height), colors_(width * height),
+        contrast_(width * height, 0.0f) {}
+
+  size_t width() const { return width_; }
+  size_t height() const { return height_; }
+  size_t pixel_count() const { return colors_.size(); }
+
+  const LabColor& color(size_t x, size_t y) const {
+    return colors_[y * width_ + x];
+  }
+  LabColor& color(size_t x, size_t y) { return colors_[y * width_ + x]; }
+  float contrast(size_t x, size_t y) const {
+    return contrast_[y * width_ + x];
+  }
+  float& contrast(size_t x, size_t y) { return contrast_[y * width_ + x]; }
+
+ private:
+  size_t width_;
+  size_t height_;
+  std::vector<LabColor> colors_;
+  std::vector<float> contrast_;
+};
+
+/// Scene composition parameters.
+struct ImageParams {
+  size_t width = 64;
+  size_t height = 64;
+  size_t min_objects = 2;  // in addition to the background.
+  size_t max_objects = 5;
+};
+
+/// Composes images of elliptical objects over a background, all drawn
+/// from a LatentModel.
+class ImageGenerator {
+ public:
+  ImageGenerator(const LatentModel* model, ImageParams params)
+      : model_(model), params_(params) {}
+
+  /// Renders one image; if `num_regions` is non-null it receives the
+  /// ground-truth region count (objects + background).
+  Image Generate(Rng& rng, size_t* num_regions = nullptr) const;
+
+ private:
+  const LatentModel* model_;
+  ImageParams params_;
+};
+
+}  // namespace bw::blobworld
+
+#endif  // BLOBWORLD_BLOBWORLD_SYNTHETIC_H_

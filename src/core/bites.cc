@@ -1,0 +1,409 @@
+#include "core/bites.h"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace bw::core {
+
+namespace {
+
+inline bool CornerAtHi(uint32_t corner, size_t d) {
+  return ((corner >> d) & 1u) != 0;
+}
+
+inline float CornerCoord(const geom::Rect& mbr, uint32_t corner, size_t d) {
+  return CornerAtHi(corner, d) ? mbr.hi()[d] : mbr.lo()[d];
+}
+
+}  // namespace
+
+double Bite::Volume(const geom::Rect& mbr) const {
+  double v = 1.0;
+  for (size_t d = 0; d < inner.dim(); ++d) {
+    v *= std::abs(static_cast<double>(CornerCoord(mbr, corner, d)) - inner[d]);
+  }
+  return v;
+}
+
+bool Bite::IsEmpty(const geom::Rect& mbr) const {
+  for (size_t d = 0; d < inner.dim(); ++d) {
+    if (inner[d] == CornerCoord(mbr, corner, d)) return true;
+  }
+  return false;
+}
+
+bool PointInsideBite(const geom::Rect& mbr, const Bite& bite,
+                     const geom::Vec& point) {
+  (void)mbr;
+  for (size_t d = 0; d < point.dim(); ++d) {
+    if (CornerAtHi(bite.corner, d)) {
+      if (!(point[d] > bite.inner[d])) return false;
+    } else {
+      if (!(point[d] < bite.inner[d])) return false;
+    }
+  }
+  return true;
+}
+
+bool RectIntersectsBite(const geom::Rect& mbr, const Bite& bite,
+                        const geom::Rect& rect) {
+  (void)mbr;
+  for (size_t d = 0; d < rect.dim(); ++d) {
+    if (CornerAtHi(bite.corner, d)) {
+      if (!(rect.hi()[d] > bite.inner[d])) return false;
+    } else {
+      if (!(rect.lo()[d] < bite.inner[d])) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Bite> NibbleAllCorners(const geom::Rect& mbr,
+                                   const std::vector<geom::Rect>& contents) {
+  const size_t dim = mbr.dim();
+  BW_CHECK_LE(dim, 16u);
+  const uint32_t corner_count = 1u << dim;
+
+  // Per dimension, the content coordinates that nibbling can step
+  // through: ascending (for lo corners) and descending (for hi corners),
+  // deduplicated. Index 0 is the MBR face itself (zero-extent bite).
+  std::vector<std::vector<float>> ascending(dim);
+  std::vector<std::vector<float>> descending(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    std::vector<float>& asc = ascending[d];
+    std::vector<float>& desc = descending[d];
+    asc.reserve(contents.size());
+    desc.reserve(contents.size());
+    for (const geom::Rect& r : contents) {
+      asc.push_back(r.lo()[d]);
+      desc.push_back(r.hi()[d]);
+    }
+    std::sort(asc.begin(), asc.end());
+    asc.erase(std::unique(asc.begin(), asc.end()), asc.end());
+    std::sort(desc.begin(), desc.end(), std::greater<float>());
+    desc.erase(std::unique(desc.begin(), desc.end()), desc.end());
+  }
+
+  std::vector<Bite> bites;
+  bites.reserve(corner_count);
+  for (uint32_t corner = 0; corner < corner_count; ++corner) {
+    Bite bite;
+    bite.corner = corner;
+    bite.inner = geom::Vec(dim);
+
+    // Figure 13: simultaneously nibble the next projected value in each
+    // dimension until content stops the nibbling everywhere.
+    std::vector<size_t> how_far(dim, 0);
+    std::vector<bool> done(dim, false);
+    size_t stopped = 0;
+
+    auto value_at = [&](size_t d, size_t steps) {
+      const auto& vals = CornerAtHi(corner, d) ? descending[d] : ascending[d];
+      return vals[std::min(steps, vals.size() - 1)];
+    };
+    auto values_count = [&](size_t d) {
+      return (CornerAtHi(corner, d) ? descending[d] : ascending[d]).size();
+    };
+
+    while (stopped < dim) {
+      for (size_t d = 0; d < dim; ++d) {
+        if (done[d]) continue;
+        if (how_far[d] + 1 >= values_count(d)) {
+          done[d] = true;
+          ++stopped;
+          continue;
+        }
+        ++how_far[d];
+        Bite candidate;
+        candidate.corner = corner;
+        candidate.inner = geom::Vec(dim);
+        for (size_t d2 = 0; d2 < dim; ++d2) {
+          candidate.inner[d2] = value_at(d2, how_far[d2]);
+        }
+        bool blocked = false;
+        for (const geom::Rect& r : contents) {
+          if (RectIntersectsBite(mbr, candidate, r)) {
+            blocked = true;
+            break;
+          }
+        }
+        if (blocked) {
+          --how_far[d];
+          done[d] = true;
+          ++stopped;
+        }
+      }
+    }
+
+    for (size_t d = 0; d < dim; ++d) {
+      bite.inner[d] = value_at(d, how_far[d]);
+    }
+    bites.push_back(std::move(bite));
+  }
+  return bites;
+}
+
+std::vector<Bite> MaxVolumeCorners(const geom::Rect& mbr,
+                                   const std::vector<geom::Rect>& contents) {
+  const size_t dim = mbr.dim();
+  BW_CHECK_LE(dim, 16u);
+
+  // Extends dimension d of the quadrant (corner .. inner) as far as
+  // possible while keeping it free of contents. A content rect blocks
+  // only if it protrudes strictly beyond `inner` in every other
+  // dimension; the extension must stop at the extreme coordinate of the
+  // blocking set, which keeps the quadrant empty by construction.
+  auto extend_dim = [&](uint32_t corner, geom::Vec& inner, size_t d) {
+    const bool hi = CornerAtHi(corner, d);
+    // Start from the fully-extended position (the opposite face).
+    float limit = hi ? mbr.lo()[d] : mbr.hi()[d];
+    for (const geom::Rect& r : contents) {
+      bool beyond_elsewhere = true;
+      for (size_t d2 = 0; d2 < dim; ++d2) {
+        if (d2 == d) continue;
+        if (CornerAtHi(corner, d2)) {
+          if (!(r.hi()[d2] > inner[d2])) {
+            beyond_elsewhere = false;
+            break;
+          }
+        } else {
+          if (!(r.lo()[d2] < inner[d2])) {
+            beyond_elsewhere = false;
+            break;
+          }
+        }
+      }
+      if (!beyond_elsewhere) continue;
+      if (hi) {
+        limit = std::max(limit, r.hi()[d]);
+      } else {
+        limit = std::min(limit, r.lo()[d]);
+      }
+    }
+    inner[d] = limit;
+  };
+
+  // Dimension orders to try: all cyclic rotations, forward and reversed.
+  std::vector<std::vector<size_t>> orders;
+  for (size_t rot = 0; rot < dim; ++rot) {
+    std::vector<size_t> fwd(dim);
+    std::vector<size_t> rev(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      fwd[i] = (rot + i) % dim;
+      rev[i] = (rot + dim - i) % dim;
+    }
+    orders.push_back(std::move(fwd));
+    if (dim > 2) orders.push_back(std::move(rev));
+  }
+
+  // Seed with the Figure-13 nibble bites (valid by construction), then
+  // run maximal extension passes. Seeding matters: extending dimensions
+  // of a zero-size quadrant in sequence degenerates (early dimensions
+  // extend fully and block every later one); from a square-ish seed the
+  // extension rule converges to a genuinely maximal empty quadrant.
+  std::vector<Bite> seeds = NibbleAllCorners(mbr, contents);
+  std::vector<Bite> bites;
+  bites.reserve(seeds.size());
+  for (Bite& seed : seeds) {
+    Bite best = seed;
+    double best_volume = best.Volume(mbr);
+    for (const auto& order : orders) {
+      Bite candidate = seed;
+      for (int pass = 0; pass < 2; ++pass) {
+        for (size_t d : order) extend_dim(candidate.corner, candidate.inner, d);
+      }
+      const double volume = candidate.Volume(mbr);
+      if (volume > best_volume) {
+        best_volume = volume;
+        best = candidate;
+      }
+    }
+    bites.push_back(std::move(best));
+  }
+  return bites;
+}
+
+double DistanceAroundBite(const geom::Rect& mbr, const Bite& bite,
+                          const geom::Vec& query) {
+  double best_sq = -1.0;
+  for (size_t d = 0; d < query.dim(); ++d) {
+    // Clip the MBR to the far side of the bite's interior face in
+    // dimension d; the closest region point behind this face bounds the
+    // way "around" the bite through that face.
+    geom::Vec lo = mbr.lo();
+    geom::Vec hi = mbr.hi();
+    if (CornerAtHi(bite.corner, d)) {
+      hi[d] = bite.inner[d];
+    } else {
+      lo[d] = bite.inner[d];
+    }
+    if (lo[d] > hi[d]) continue;  // Degenerate: bite spans the whole side.
+    geom::Rect shrunk(std::move(lo), std::move(hi));
+    const double d_sq = shrunk.MinDistanceSquared(query);
+    if (best_sq < 0.0 || d_sq < best_sq) best_sq = d_sq;
+  }
+  // All faces degenerate cannot happen for a valid bite produced by
+  // NibbleAllCorners (its inner point is a content coordinate inside the
+  // MBR), but fall back to the MBR bound defensively.
+  if (best_sq < 0.0) return std::sqrt(mbr.MinDistanceSquared(query));
+  return std::sqrt(best_sq);
+}
+
+namespace {
+
+// Exact distance to (box ∖ ∪ bites) by recursive decomposition: if the
+// clamp of q onto the box lies inside some bite b, then every region
+// point avoids b's quadrant through at least one dimension, i.e.
+//   box ∖ b = ∪_d clip_d(box),
+// where clip_d trims the box at b's interior face in dimension d. The
+// distance is the min over those D sub-boxes, recursively. `budget`
+// bounds the number of visited boxes; on exhaustion the plain box
+// distance is returned, which is always admissible.
+constexpr size_t kMaxRegionDim = 16;
+
+// Allocation-free state for the region-distance search: boxes live in
+// fixed stack arrays (BpMinDistance sits on the k-NN hot path, where a
+// heap allocation per box would dominate the kernel cost).
+struct RegionSearch {
+  const geom::Vec* query;
+  // Live non-empty bites, pre-filtered once (at most 2^12 tracked; a
+  // 12-D jagged BP is already far beyond any page budget). Each bite is
+  // a corner mask plus a pointer to its `dim` inner coordinates.
+  uint32_t live_corner[4096];
+  const float* live_inner[4096];
+  size_t live_count = 0;
+  size_t dim = 0;
+  int budget = 0;
+};
+
+// `upper` is the best region distance found so far anywhere in the
+// search: branches whose plain box distance already reaches it cannot
+// improve the answer and are pruned (branch and bound).
+double RegionDistanceImpl(RegionSearch& search, const float* lo,
+                          const float* hi, double upper) {
+  const geom::Vec& q = *search.query;
+  const size_t dim = search.dim;
+
+  double box_dist_sq = 0.0;
+  float clamped[kMaxRegionDim];
+  for (size_t d = 0; d < dim; ++d) {
+    const float v = q[d];
+    const float c = v < lo[d] ? lo[d] : (v > hi[d] ? hi[d] : v);
+    clamped[d] = c;
+    const double gap = double(v) - c;
+    box_dist_sq += gap * gap;
+  }
+  const double box_dist = std::sqrt(box_dist_sq);
+  if (box_dist >= upper) return upper;
+  if (--search.budget < 0) return box_dist;
+
+  uint32_t covering_corner = 0;
+  const float* covering_inner = nullptr;
+  for (size_t b = 0; b < search.live_count; ++b) {
+    const uint32_t corner = search.live_corner[b];
+    const float* inner = search.live_inner[b];
+    bool inside = true;
+    for (size_t d = 0; d < dim; ++d) {
+      if ((corner >> d) & 1u) {
+        if (!(clamped[d] > inner[d])) {
+          inside = false;
+          break;
+        }
+      } else {
+        if (!(clamped[d] < inner[d])) {
+          inside = false;
+          break;
+        }
+      }
+    }
+    if (inside) {
+      covering_corner = corner;
+      covering_inner = inner;
+      break;
+    }
+  }
+  if (covering_inner == nullptr) {
+    // The clamp point itself is in the region: exact.
+    return box_dist;
+  }
+
+  double best = upper;
+  float child_lo[kMaxRegionDim];
+  float child_hi[kMaxRegionDim];
+  for (size_t d = 0; d < dim; ++d) {
+    std::copy(lo, lo + dim, child_lo);
+    std::copy(hi, hi + dim, child_hi);
+    if ((covering_corner >> d) & 1u) {
+      child_hi[d] = std::min(child_hi[d], covering_inner[d]);
+    } else {
+      child_lo[d] = std::max(child_lo[d], covering_inner[d]);
+    }
+    if (child_lo[d] > child_hi[d]) continue;  // Sub-box vanished.
+    best = std::min(best,
+                    RegionDistanceImpl(search, child_lo, child_hi, best));
+    if (best <= box_dist + 1e-12) break;  // Cannot get closer than the box.
+  }
+  // If every sub-box vanished (the bites cover this whole box), `best`
+  // stays at `upper`, correctly pruning the branch: no data lives here.
+  return best;
+}
+
+}  // namespace
+
+double JaggedMinDistanceRaw(size_t dim, const float* lo, const float* hi,
+                            const uint32_t* corners, const float* inners,
+                            size_t bite_count, const geom::Vec& query) {
+  BW_CHECK_LE(dim, kMaxRegionDim);
+  RegionSearch search;
+  search.query = &query;
+  search.dim = dim;
+  search.budget = 48;
+  for (size_t b = 0; b < bite_count && search.live_count < 4096; ++b) {
+    const uint32_t corner = corners[b];
+    const float* inner = inners + b * dim;
+    bool empty = false;
+    for (size_t d = 0; d < dim; ++d) {
+      const float corner_coord = ((corner >> d) & 1u) ? hi[d] : lo[d];
+      if (inner[d] == corner_coord) {
+        empty = true;
+        break;
+      }
+    }
+    if (empty) continue;
+    search.live_corner[search.live_count] = corner;
+    search.live_inner[search.live_count] = inner;
+    ++search.live_count;
+  }
+  return RegionDistanceImpl(search, lo, hi,
+                            std::numeric_limits<double>::infinity());
+}
+
+double JaggedMinDistance(const geom::Rect& mbr,
+                         const std::vector<Bite>& bites,
+                         const geom::Vec& query) {
+  const size_t dim = query.dim();
+  BW_CHECK_LE(dim, kMaxRegionDim);
+  // Flatten the bites into the raw layout (bounded stack buffers).
+  BW_CHECK_LE(bites.size(), 4096u);
+  static thread_local std::vector<uint32_t> corners;
+  static thread_local std::vector<float> inners;
+  corners.clear();
+  inners.clear();
+  for (const Bite& bite : bites) {
+    corners.push_back(bite.corner);
+    for (size_t d = 0; d < dim; ++d) inners.push_back(bite.inner[d]);
+  }
+  float lo[kMaxRegionDim];
+  float hi[kMaxRegionDim];
+  for (size_t d = 0; d < dim; ++d) {
+    lo[d] = mbr.lo()[d];
+    hi[d] = mbr.hi()[d];
+  }
+  return JaggedMinDistanceRaw(dim, lo, hi, corners.data(), inners.data(),
+                              corners.size(), query);
+}
+
+}  // namespace bw::core

@@ -1,0 +1,99 @@
+// Corner-bite machinery shared by the JB and XJB bounding predicates
+// (Sections 5.2-5.3 of the paper).
+//
+// A "bite" removes an axis-aligned box from one corner of an MBR. It is
+// identified by the corner (bitmask: bit d set = corner at hi in
+// dimension d) and the "inner point" — the one corner of the bite box
+// that touches no MBR hyper-edge. The nibbling heuristic of the paper's
+// Figure 13 grows each bite over the sorted per-dimension projections of
+// the node's contents until a content element would fall inside.
+//
+// Contents are modeled as rectangles so one implementation serves both
+// levels of the tree: leaf points are degenerate rectangles, and at
+// internal levels the bites are grown against the child BPs' MBRs
+// (conservative: a parent bite never cuts into any child region).
+
+#ifndef BLOBWORLD_CORE_BITES_H_
+#define BLOBWORLD_CORE_BITES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.h"
+#include "geom/vec.h"
+
+namespace bw::core {
+
+/// One corner bite.
+struct Bite {
+  uint32_t corner = 0;  // bit d set => corner is at hi[d].
+  geom::Vec inner;      // the bite box spans (inner, corner point).
+
+  /// Volume of the bite box given the owning MBR.
+  double Volume(const geom::Rect& mbr) const;
+
+  /// True when the bite removes nothing (inner == corner point).
+  bool IsEmpty(const geom::Rect& mbr) const;
+};
+
+/// True if `point` lies strictly inside the open bite box (such points
+/// are NOT covered by the jagged BP).
+bool PointInsideBite(const geom::Rect& mbr, const Bite& bite,
+                     const geom::Vec& point);
+
+/// True if `rect` overlaps the open bite box with positive extent in
+/// every dimension.
+bool RectIntersectsBite(const geom::Rect& mbr, const Bite& bite,
+                        const geom::Rect& rect);
+
+/// Runs the Figure-13 nibbling heuristic for every corner of `mbr`
+/// against `contents` (none of which may protrude from `mbr`). Returns
+/// 2^D bites, indexed by corner bitmask; unproductive corners come back
+/// as empty bites. D is capped at 16 dimensions (65536 corners) by the
+/// caller's page budget long before that.
+std::vector<Bite> NibbleAllCorners(const geom::Rect& mbr,
+                                   const std::vector<geom::Rect>& contents);
+
+/// The "better JB BP" construction the paper's footnote 7 alludes to:
+/// per corner, the dimensions are extended one at a time to their exact
+/// maximal empty extent (the extension rule keeps the quadrant free of
+/// contents by construction), under several dimension orders; the
+/// largest-volume result is kept. Strictly dominates the Figure-13
+/// nibble (every nibbled bite is a subset of some maximal bite).
+std::vector<Bite> MaxVolumeCorners(const geom::Rect& mbr,
+                                   const std::vector<geom::Rect>& contents);
+
+/// Which bite construction a jagged extension uses.
+enum class BiteAlgorithm {
+  kFigure13Nibble,  // the paper's published heuristic (lower bound).
+  kMaxVolume,       // the improved construction (default).
+};
+
+/// Exact distance from `query` to the region (mbr minus one bite): the
+/// minimum over the bite's D interior faces of the distance to the
+/// correspondingly shrunken MBR. Requires the clamp of `query` onto
+/// `mbr` to lie inside the bite (otherwise the plain MBR distance is
+/// already exact and this function must not be used).
+double DistanceAroundBite(const geom::Rect& mbr, const Bite& bite,
+                          const geom::Vec& query);
+
+/// Admissible lower bound on the distance from `query` to
+/// (mbr minus all bites), computed by exact recursive decomposition of
+/// the region (a covering bite splits the box into D clipped sub-boxes)
+/// under a node budget; budget exhaustion falls back to the plain box
+/// distance, so the bound is always admissible and usually exact.
+double JaggedMinDistance(const geom::Rect& mbr,
+                         const std::vector<Bite>& bites,
+                         const geom::Vec& query);
+
+/// Allocation-free variant for the k-NN hot path: the MBR as raw float
+/// arrays and the bites as parallel (corner mask, inner coordinates)
+/// arrays, `dim` floats per bite. Empty bites (zero extent in any
+/// dimension) are skipped internally.
+double JaggedMinDistanceRaw(size_t dim, const float* lo, const float* hi,
+                            const uint32_t* corners, const float* inners,
+                            size_t bite_count, const geom::Vec& query);
+
+}  // namespace bw::core
+
+#endif  // BLOBWORLD_CORE_BITES_H_

@@ -1,0 +1,329 @@
+#include "core/jagged.h"
+
+#include <algorithm>
+#include <cstring>
+#include <cmath>
+#include <numeric>
+
+#include "am/split_heuristics.h"
+
+namespace bw::core {
+
+// ---------------------------------------------------------------------------
+// JaggedExtension: shared behavior
+// ---------------------------------------------------------------------------
+
+gist::Bytes JaggedExtension::BuildOver(
+    const std::vector<geom::Rect>& contents) {
+  const geom::Rect mbr = geom::Rect::BoundingBoxOfRects(contents);
+  std::vector<Bite> bites = algorithm_ == BiteAlgorithm::kMaxVolume
+                                ? MaxVolumeCorners(mbr, contents)
+                                : NibbleAllCorners(mbr, contents);
+  return Encode(mbr, bites);
+}
+
+gist::Bytes JaggedExtension::BpFromPoints(
+    const std::vector<geom::Vec>& points) {
+  std::vector<geom::Rect> contents;
+  contents.reserve(points.size());
+  for (const auto& p : points) contents.emplace_back(p);
+  return BuildOver(contents);
+}
+
+gist::Bytes JaggedExtension::BpFromChildBps(
+    const std::vector<gist::Bytes>& children) {
+  // Parent bites are nibbled against the child MBRs: conservative (a
+  // child's region is inside its MBR), so covering is preserved.
+  std::vector<geom::Rect> contents;
+  contents.reserve(children.size());
+  for (const auto& child : children) contents.push_back(Decode(child).mbr);
+  return BuildOver(contents);
+}
+
+double JaggedExtension::BpMinDistance(gist::ByteSpan bp,
+                                      const geom::Vec& query) const {
+  const JaggedBp decoded = Decode(bp);
+  return JaggedMinDistance(decoded.mbr, decoded.bites, query);
+}
+
+double JaggedExtension::BpPenalty(gist::ByteSpan bp,
+                                  const geom::Vec& point) const {
+  // Insertion descends by MBR enlargement; bites are rebuilt by the
+  // adjust-keys pass after the insert (the paper left native JB/XJB
+  // insertion algorithms as future work; this recompute-based scheme is
+  // the straightforward realization).
+  return Decode(bp).mbr.Enlargement(geom::Rect(point));
+}
+
+geom::Vec JaggedExtension::BpCenter(gist::ByteSpan bp) const {
+  return Decode(bp).mbr.Center();
+}
+
+gist::Bytes JaggedExtension::BpIncludePoint(gist::ByteSpan bp,
+                                            const geom::Vec& point) const {
+  // Enlarge the MBR; invalidate any bite the new point now falls into
+  // (covering must be preserved; bites are only rebuilt on splits).
+  JaggedBp decoded = Decode(bp);
+  decoded.mbr.ExpandToInclude(point);
+  const size_t corners = size_t{1} << dim();
+  std::vector<Bite> full(corners);
+  for (size_t c = 0; c < corners; ++c) {
+    full[c].corner = static_cast<uint32_t>(c);
+    full[c].inner = geom::Vec(dim());
+    for (size_t d = 0; d < dim(); ++d) {
+      full[c].inner[d] = ((c >> d) & 1u) ? decoded.mbr.hi()[d]
+                                         : decoded.mbr.lo()[d];
+    }
+  }
+  for (const Bite& bite : decoded.bites) {
+    if (!PointInsideBite(decoded.mbr, bite, point)) {
+      full[bite.corner] = bite;
+    }
+  }
+  return Encode(decoded.mbr, full);
+}
+
+gist::SplitAssignment JaggedExtension::PickSplitPoints(
+    const std::vector<geom::Vec>& points) {
+  std::vector<geom::Rect> rects;
+  rects.reserve(points.size());
+  for (const auto& p : points) rects.emplace_back(p);
+  return am::QuadraticSplit(rects, min_fill_);
+}
+
+gist::SplitAssignment JaggedExtension::PickSplitBps(
+    const std::vector<gist::Bytes>& bps) {
+  std::vector<geom::Rect> rects;
+  rects.reserve(bps.size());
+  for (const auto& bp : bps) rects.push_back(Decode(bp).mbr);
+  return am::QuadraticSplit(rects, min_fill_);
+}
+
+double JaggedExtension::BpVolume(gist::ByteSpan bp) const {
+  const JaggedBp decoded = Decode(bp);
+  double volume = decoded.mbr.Volume();
+  // Bites may overlap each other; subtracting their raw volumes is an
+  // optimistic diagnostic, clamped at zero.
+  for (const Bite& bite : decoded.bites) {
+    volume -= bite.Volume(decoded.mbr);
+  }
+  return std::max(volume, 0.0);
+}
+
+std::string JaggedExtension::BpToString(gist::ByteSpan bp) const {
+  const JaggedBp decoded = Decode(bp);
+  size_t live = 0;
+  for (const Bite& b : decoded.bites) {
+    if (!b.IsEmpty(decoded.mbr)) ++live;
+  }
+  return decoded.mbr.ToString() + " with " + std::to_string(live) + " bites";
+}
+
+// ---------------------------------------------------------------------------
+// JB codec: positional bites for every corner
+// ---------------------------------------------------------------------------
+
+gist::Bytes JbExtension::Encode(const geom::Rect& mbr,
+                                const std::vector<Bite>& all_bites) const {
+  const size_t corners = size_t{1} << dim();
+  BW_CHECK_EQ(all_bites.size(), corners);
+  gist::Bytes out;
+  out.reserve(BpFloatCount() * sizeof(float));
+  for (size_t i = 0; i < dim(); ++i) AppendFloat(out, mbr.lo()[i]);
+  for (size_t i = 0; i < dim(); ++i) AppendFloat(out, mbr.hi()[i]);
+  for (size_t c = 0; c < corners; ++c) {
+    BW_CHECK_EQ(all_bites[c].corner, static_cast<uint32_t>(c));
+    for (size_t i = 0; i < dim(); ++i) {
+      AppendFloat(out, all_bites[c].inner[i]);
+    }
+  }
+  return out;
+}
+
+double JbExtension::BpMinDistance(gist::ByteSpan bp,
+                                  const geom::Vec& query) const {
+  const size_t d = dim();
+  BW_CHECK_MSG(bp.size() == BpFloatCount() * sizeof(float),
+               "JB predicate size mismatch");
+  const size_t corner_count = size_t{1} << d;
+  // Stack buffer covers JB up to D = 8 ((2 + 256) * 8 floats); beyond
+  // that, fall back to the generic decoding path.
+  float buf[2064];
+  static constexpr size_t kMaxCorners = 256;
+  if (bp.size() > sizeof(buf) || corner_count > kMaxCorners) {
+    return JaggedExtension::BpMinDistance(bp, query);
+  }
+  std::memcpy(buf, bp.data(), bp.size());
+  uint32_t corner_ids[kMaxCorners];
+  for (uint32_t c = 0; c < corner_count; ++c) corner_ids[c] = c;
+  return JaggedMinDistanceRaw(d, buf, buf + d, corner_ids, buf + 2 * d,
+                              corner_count, query);
+}
+
+JaggedBp JbExtension::Decode(gist::ByteSpan bp) const {
+  BW_CHECK_EQ(bp.size(), BpFloatCount() * sizeof(float));
+  JaggedBp out;
+  geom::Vec lo(dim());
+  geom::Vec hi(dim());
+  for (size_t i = 0; i < dim(); ++i) lo[i] = ReadFloat(bp, i);
+  for (size_t i = 0; i < dim(); ++i) hi[i] = ReadFloat(bp, dim() + i);
+  out.mbr = geom::Rect(std::move(lo), std::move(hi));
+  const size_t corners = size_t{1} << dim();
+  out.bites.reserve(corners);
+  for (size_t c = 0; c < corners; ++c) {
+    Bite bite;
+    bite.corner = static_cast<uint32_t>(c);
+    bite.inner = geom::Vec(dim());
+    for (size_t i = 0; i < dim(); ++i) {
+      bite.inner[i] = ReadFloat(bp, (2 + c) * dim() + i);
+    }
+    out.bites.push_back(std::move(bite));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// XJB codec: the X largest bites, tagged by corner
+// ---------------------------------------------------------------------------
+
+gist::Bytes XjbExtension::Encode(const geom::Rect& mbr,
+                                 const std::vector<Bite>& all_bites) const {
+  // Rank bites and keep the top X non-empty ones. Default ranking is the
+  // paper's heuristic ("picking the bites with the largest volumes");
+  // with reference queries the primary key becomes the number of queries
+  // whose clamp onto this MBR falls inside the bite — the queries the
+  // bite actually shields.
+  std::vector<size_t> order(all_bites.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> volumes(all_bites.size());
+  std::vector<double> shields(all_bites.size(), 0.0);
+  for (size_t i = 0; i < all_bites.size(); ++i) {
+    volumes[i] = all_bites[i].IsEmpty(mbr) ? 0.0 : all_bites[i].Volume(mbr);
+  }
+  if (!reference_queries_.empty()) {
+    for (const geom::Vec& q : reference_queries_) {
+      if (q.dim() != mbr.dim()) continue;
+      const geom::Vec clamp = mbr.ClosestPointTo(q);
+      for (size_t i = 0; i < all_bites.size(); ++i) {
+        if (volumes[i] <= 0.0) continue;
+        if (PointInsideBite(mbr, all_bites[i], clamp)) shields[i] += 1.0;
+      }
+    }
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (shields[a] != shields[b]) return shields[a] > shields[b];
+    return volumes[a] > volumes[b];
+  });
+
+  gist::Bytes out;
+  out.reserve(BpNumberCount() * sizeof(float));
+  for (size_t i = 0; i < dim(); ++i) AppendFloat(out, mbr.lo()[i]);
+  for (size_t i = 0; i < dim(); ++i) AppendFloat(out, mbr.hi()[i]);
+  for (size_t rank = 0; rank < x_; ++rank) {
+    if (rank < order.size() && volumes[order[rank]] > 0.0) {
+      const Bite& bite = all_bites[order[rank]];
+      AppendU32(out, bite.corner);
+      for (size_t i = 0; i < dim(); ++i) AppendFloat(out, bite.inner[i]);
+    } else {
+      // Pad with an empty bite at corner 0 (inner == corner point).
+      AppendU32(out, 0);
+      for (size_t i = 0; i < dim(); ++i) AppendFloat(out, mbr.lo()[i]);
+    }
+  }
+  return out;
+}
+
+double XjbExtension::BpMinDistance(gist::ByteSpan bp,
+                                   const geom::Vec& query) const {
+  const size_t d = dim();
+  BW_CHECK_MSG(bp.size() == BpNumberCount() * sizeof(float),
+               "XJB predicate size mismatch: index built with a different X");
+  static constexpr size_t kMaxBites = 256;
+  float mbr[2 * 16];
+  float inners[kMaxBites * 16];
+  uint32_t corners[kMaxBites];
+  if (x_ > kMaxBites || d > 16) {
+    return JaggedExtension::BpMinDistance(bp, query);
+  }
+  std::memcpy(mbr, bp.data(), 2 * d * sizeof(float));
+  // Repack the interleaved (corner, inner) records into parallel arrays.
+  size_t offset = 2 * d * sizeof(float);
+  for (size_t b = 0; b < x_; ++b) {
+    std::memcpy(&corners[b], bp.data() + offset, sizeof(uint32_t));
+    offset += sizeof(uint32_t);
+    std::memcpy(&inners[b * d], bp.data() + offset, d * sizeof(float));
+    offset += d * sizeof(float);
+  }
+  return JaggedMinDistanceRaw(d, mbr, mbr + d, corners, inners, x_, query);
+}
+
+JaggedBp XjbExtension::Decode(gist::ByteSpan bp) const {
+  BW_CHECK_EQ(bp.size(), BpNumberCount() * sizeof(float));
+  JaggedBp out;
+  geom::Vec lo(dim());
+  geom::Vec hi(dim());
+  for (size_t i = 0; i < dim(); ++i) lo[i] = ReadFloat(bp, i);
+  for (size_t i = 0; i < dim(); ++i) hi[i] = ReadFloat(bp, dim() + i);
+  out.mbr = geom::Rect(std::move(lo), std::move(hi));
+  out.bites.reserve(x_);
+  size_t offset = 2 * dim() * sizeof(float);
+  for (size_t rank = 0; rank < x_; ++rank) {
+    Bite bite;
+    bite.corner = ReadU32(bp, offset);
+    offset += sizeof(uint32_t);
+    bite.inner = geom::Vec(dim());
+    for (size_t i = 0; i < dim(); ++i) {
+      bite.inner[i] = ReadFloat(bp.subspan(offset), i);
+    }
+    offset += dim() * sizeof(float);
+    if (!bite.IsEmpty(out.mbr)) out.bites.push_back(std::move(bite));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Automatic X selection (paper future-work item)
+// ---------------------------------------------------------------------------
+
+int EstimateXjbHeight(size_t num_points, size_t dim, size_t x,
+                      size_t page_bytes, double fill_fraction) {
+  const size_t slot_overhead = 2 * sizeof(uint32_t);
+  const size_t usable =
+      static_cast<size_t>(fill_fraction * static_cast<double>(page_bytes));
+
+  const size_t leaf_entry = dim * sizeof(float) + sizeof(uint64_t) +
+                            slot_overhead;
+  const size_t leaf_capacity = std::max<size_t>(1, usable / leaf_entry);
+
+  const size_t bp_bytes =
+      (2 * dim + (dim + 1) * x) * sizeof(float);
+  const size_t internal_entry = bp_bytes + sizeof(uint64_t) + slot_overhead;
+  const size_t internal_capacity = std::max<size_t>(2, usable / internal_entry);
+
+  size_t nodes = (num_points + leaf_capacity - 1) / leaf_capacity;
+  int height = 1;
+  while (nodes > 1) {
+    nodes = (nodes + internal_capacity - 1) / internal_capacity;
+    ++height;
+  }
+  return height;
+}
+
+size_t AutoSelectXjbX(size_t num_points, size_t dim, size_t page_bytes,
+                      double fill_fraction) {
+  const size_t max_x = size_t{1} << std::min<size_t>(dim, 12);
+  const int base_height =
+      EstimateXjbHeight(num_points, dim, 1, page_bytes, fill_fraction);
+  size_t best = 1;
+  for (size_t x = 2; x <= max_x; ++x) {
+    if (EstimateXjbHeight(num_points, dim, x, page_bytes, fill_fraction) ==
+        base_height) {
+      best = x;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace bw::core

@@ -1,0 +1,166 @@
+#include "core/map_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "am/split_heuristics.h"
+
+namespace bw::core {
+
+gist::Bytes MapExtension::EncodePair(const geom::Rect& a,
+                                     const geom::Rect& b) const {
+  BW_CHECK_EQ(a.dim(), dim());
+  BW_CHECK_EQ(b.dim(), dim());
+  gist::Bytes out;
+  out.reserve(4 * dim() * sizeof(float));
+  for (const geom::Rect* r : {&a, &b}) {
+    for (size_t i = 0; i < dim(); ++i) AppendFloat(out, r->lo()[i]);
+    for (size_t i = 0; i < dim(); ++i) AppendFloat(out, r->hi()[i]);
+  }
+  return out;
+}
+
+std::pair<geom::Rect, geom::Rect> MapExtension::DecodePair(
+    gist::ByteSpan bp) const {
+  BW_CHECK_EQ(bp.size(), 4 * dim() * sizeof(float));
+  auto read_rect = [&](size_t base) {
+    geom::Vec lo(dim());
+    geom::Vec hi(dim());
+    for (size_t i = 0; i < dim(); ++i) lo[i] = ReadFloat(bp, base + i);
+    for (size_t i = 0; i < dim(); ++i) hi[i] = ReadFloat(bp, base + dim() + i);
+    return geom::Rect(std::move(lo), std::move(hi));
+  };
+  return {read_rect(0), read_rect(2 * dim())};
+}
+
+double MapExtension::PairVolume(const geom::Rect& a, const geom::Rect& b) {
+  return a.Volume() + b.Volume() - a.IntersectionVolume(b);
+}
+
+std::pair<geom::Rect, geom::Rect> MapExtension::BestPair(
+    const std::vector<geom::Rect>& units) {
+  BW_CHECK(!units.empty());
+  const geom::Rect everything = geom::Rect::BoundingBoxOfRects(units);
+  if (units.size() == 1) return {everything, everything};
+
+  geom::Rect best_a = everything;
+  geom::Rect best_b = everything;
+  double best_volume = PairVolume(best_a, best_b);
+
+  for (size_t sample = 0; sample < partition_samples_; ++sample) {
+    // Random 2-partition; re-draw the two anchors to guarantee both
+    // sides are non-empty.
+    const size_t anchor_a = rng().NextBelow(units.size());
+    size_t anchor_b = rng().NextBelow(units.size() - 1);
+    if (anchor_b >= anchor_a) ++anchor_b;
+
+    geom::Rect a = units[anchor_a];
+    geom::Rect b = units[anchor_b];
+    for (size_t i = 0; i < units.size(); ++i) {
+      if (i == anchor_a || i == anchor_b) continue;
+      if (rng().Bernoulli(0.5)) {
+        a.ExpandToInclude(units[i]);
+      } else {
+        b.ExpandToInclude(units[i]);
+      }
+    }
+    const double volume = PairVolume(a, b);
+    if (volume < best_volume) {
+      best_volume = volume;
+      best_a = a;
+      best_b = b;
+    }
+  }
+  return {best_a, best_b};
+}
+
+gist::Bytes MapExtension::BpFromPoints(const std::vector<geom::Vec>& points) {
+  std::vector<geom::Rect> units;
+  units.reserve(points.size());
+  for (const auto& p : points) units.emplace_back(p);
+  auto [a, b] = BestPair(units);
+  return EncodePair(a, b);
+}
+
+gist::Bytes MapExtension::BpFromChildBps(
+    const std::vector<gist::Bytes>& children) {
+  // Each child contributes its two rectangles as indivisible units; the
+  // sampled partition keeps a child's rectangles together so the child
+  // region stays covered by whichever parent rectangle absorbs it.
+  std::vector<geom::Rect> units;
+  units.reserve(children.size());
+  for (const auto& child : children) {
+    auto [a, b] = DecodePair(child);
+    geom::Rect merged = a;
+    merged.ExpandToInclude(b);
+    units.push_back(std::move(merged));
+  }
+  auto [a, b] = BestPair(units);
+  return EncodePair(a, b);
+}
+
+double MapExtension::BpMinDistance(gist::ByteSpan bp,
+                                   const geom::Vec& query) const {
+  auto [a, b] = DecodePair(bp);
+  return std::sqrt(
+      std::min(a.MinDistanceSquared(query), b.MinDistanceSquared(query)));
+}
+
+double MapExtension::BpPenalty(gist::ByteSpan bp,
+                               const geom::Vec& point) const {
+  auto [a, b] = DecodePair(bp);
+  const geom::Rect point_rect(point);
+  return std::min(a.Enlargement(point_rect), b.Enlargement(point_rect));
+}
+
+geom::Vec MapExtension::BpCenter(gist::ByteSpan bp) const {
+  auto [a, b] = DecodePair(bp);
+  geom::Rect merged = a;
+  merged.ExpandToInclude(b);
+  return merged.Center();
+}
+
+gist::Bytes MapExtension::BpIncludePoint(gist::ByteSpan bp,
+                                         const geom::Vec& point) const {
+  auto [a, b] = DecodePair(bp);
+  const geom::Rect point_rect(point);
+  if (a.Enlargement(point_rect) <= b.Enlargement(point_rect)) {
+    a.ExpandToInclude(point);
+  } else {
+    b.ExpandToInclude(point);
+  }
+  return EncodePair(a, b);
+}
+
+gist::SplitAssignment MapExtension::PickSplitPoints(
+    const std::vector<geom::Vec>& points) {
+  std::vector<geom::Rect> rects;
+  rects.reserve(points.size());
+  for (const auto& p : points) rects.emplace_back(p);
+  return am::QuadraticSplit(rects, min_fill_);
+}
+
+gist::SplitAssignment MapExtension::PickSplitBps(
+    const std::vector<gist::Bytes>& bps) {
+  std::vector<geom::Rect> rects;
+  rects.reserve(bps.size());
+  for (const auto& bp : bps) {
+    auto [a, b] = DecodePair(bp);
+    geom::Rect merged = a;
+    merged.ExpandToInclude(b);
+    rects.push_back(std::move(merged));
+  }
+  return am::QuadraticSplit(rects, min_fill_);
+}
+
+double MapExtension::BpVolume(gist::ByteSpan bp) const {
+  auto [a, b] = DecodePair(bp);
+  return PairVolume(a, b);
+}
+
+std::string MapExtension::BpToString(gist::ByteSpan bp) const {
+  auto [a, b] = DecodePair(bp);
+  return a.ToString() + " | " + b.ToString();
+}
+
+}  // namespace bw::core

@@ -1,0 +1,70 @@
+// MAP (Minimum Area Predicate) extension, Section 5.1 of the paper: each
+// BP stores TWO hyper-rectangles whose union covers the node's contents.
+// The idealized MAP minimizes total enclosed volume over every
+// 2-partition of the contents; this implementation is aMAP (approximate
+// MAP), which samples 1024 random partitions and keeps the best, exactly
+// as the paper did.
+
+#ifndef BLOBWORLD_CORE_MAP_TREE_H_
+#define BLOBWORLD_CORE_MAP_TREE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geom/rect.h"
+#include "gist/extension.h"
+
+namespace bw::core {
+
+/// aMAP bounding-predicate codec. BP layout: 4D floats (rect A lo/hi,
+/// rect B lo/hi) — the "4D numbers" of Table 3.
+class MapExtension : public gist::Extension {
+ public:
+  /// `partition_samples` is the number of random 2-partitions tried per
+  /// BP construction (the paper's aMAP uses 1024).
+  explicit MapExtension(size_t dim, uint64_t seed = 42,
+                        double min_fill = 0.40,
+                        size_t partition_samples = 1024)
+      : Extension(dim, seed),
+        min_fill_(min_fill),
+        partition_samples_(partition_samples) {}
+
+  std::string Name() const override { return "amap"; }
+
+  gist::Bytes BpFromPoints(const std::vector<geom::Vec>& points) override;
+  gist::Bytes BpFromChildBps(const std::vector<gist::Bytes>& children) override;
+  double BpMinDistance(gist::ByteSpan bp,
+                       const geom::Vec& query) const override;
+  double BpPenalty(gist::ByteSpan bp, const geom::Vec& point) const override;
+  geom::Vec BpCenter(gist::ByteSpan bp) const override;
+  gist::Bytes BpIncludePoint(gist::ByteSpan bp,
+                             const geom::Vec& point) const override;
+  gist::SplitAssignment PickSplitPoints(
+      const std::vector<geom::Vec>& points) override;
+  gist::SplitAssignment PickSplitBps(
+      const std::vector<gist::Bytes>& bps) override;
+  double BpVolume(gist::ByteSpan bp) const override;
+  std::string BpToString(gist::ByteSpan bp) const override;
+
+  gist::Bytes EncodePair(const geom::Rect& a, const geom::Rect& b) const;
+  std::pair<geom::Rect, geom::Rect> DecodePair(gist::ByteSpan bp) const;
+
+  /// Total volume of a rectangle pair, counting the overlap once:
+  /// V(A) + V(B) - V(A ∩ B). This is the quantity aMAP minimizes.
+  static double PairVolume(const geom::Rect& a, const geom::Rect& b);
+
+ private:
+  /// Core of aMAP: samples random 2-partitions of `units` (each unit is
+  /// a rectangle that must stay whole) and returns the minimum-volume
+  /// MBR pair.
+  std::pair<geom::Rect, geom::Rect> BestPair(
+      const std::vector<geom::Rect>& units);
+
+  double min_fill_;
+  size_t partition_samples_;
+};
+
+}  // namespace bw::core
+
+#endif  // BLOBWORLD_CORE_MAP_TREE_H_

@@ -1,0 +1,59 @@
+#include "geom/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bw::geom {
+
+double WeightedL2Squared(const Vec& x, const Vec& y,
+                         const std::vector<double>& weights) {
+  BW_CHECK_EQ(x.dim(), y.dim());
+  BW_CHECK_EQ(x.dim(), weights.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < x.dim(); ++i) {
+    double d = static_cast<double>(x[i]) - y[i];
+    acc += weights[i] * d * d;
+  }
+  return acc;
+}
+
+QuadraticFormDistance::QuadraticFormDistance(const std::vector<Vec>& bin_colors,
+                                             double alpha)
+    : n_(bin_colors.size()), a_(n_ * n_, 0.0) {
+  BW_CHECK_GT(n_, 0u);
+  // Max pairwise bin-color distance, to normalize.
+  double d_max = 0.0;
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = i + 1; j < n_; ++j) {
+      d_max = std::max(d_max, bin_colors[i].DistanceTo(bin_colors[j]));
+    }
+  }
+  if (d_max <= 0.0) d_max = 1.0;
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < n_; ++j) {
+      double dij = bin_colors[i].DistanceTo(bin_colors[j]);
+      a_[i * n_ + j] = std::exp(-alpha * dij / d_max);
+    }
+  }
+}
+
+double QuadraticFormDistance::Distance(const Vec& x, const Vec& y) const {
+  BW_CHECK_EQ(x.dim(), n_);
+  BW_CHECK_EQ(y.dim(), n_);
+  std::vector<double> z(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    z[i] = static_cast<double>(x[i]) - y[i];
+  }
+  double acc = 0.0;
+  for (size_t i = 0; i < n_; ++i) {
+    if (z[i] == 0.0) continue;
+    const double* row = &a_[i * n_];
+    double dot = 0.0;
+    for (size_t j = 0; j < n_; ++j) dot += row[j] * z[j];
+    acc += z[i] * dot;
+  }
+  // Guard tiny negative values from floating-point cancellation.
+  return acc > 0.0 ? acc : 0.0;
+}
+
+}  // namespace bw::geom

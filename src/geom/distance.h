@@ -1,0 +1,43 @@
+// Distance kernels used by the Blobworld ranking pipeline: plain and
+// weighted L2 for reduced vectors, and the quadratic-form histogram
+// distance of Hafner et al. used for full 218-D color histograms.
+
+#ifndef BLOBWORLD_GEOM_DISTANCE_H_
+#define BLOBWORLD_GEOM_DISTANCE_H_
+
+#include <vector>
+
+#include "geom/vec.h"
+
+namespace bw::geom {
+
+/// Squared L2 with per-dimension weights: sum_i w_i (x_i - y_i)^2.
+double WeightedL2Squared(const Vec& x, const Vec& y,
+                         const std::vector<double>& weights);
+
+/// Quadratic-form distance d(x,y) = (x-y)^T A (x-y) where A is a
+/// bin-similarity matrix. The classic color-histogram distance [Hafner95]:
+/// cross-bin similarity lets perceptually close colors match.
+class QuadraticFormDistance {
+ public:
+  /// Builds the similarity matrix A with a_ij = exp(-alpha * d_ij / d_max)
+  /// where d_ij is the Euclidean distance between the representative
+  /// colors of bins i and j (as in the QBIC / Hafner formulation).
+  QuadraticFormDistance(const std::vector<Vec>& bin_colors, double alpha);
+
+  size_t num_bins() const { return n_; }
+
+  /// d(x, y) >= 0; 0 iff x == y (A is positive definite for alpha > 0).
+  double Distance(const Vec& x, const Vec& y) const;
+
+  /// Raw matrix entry A[i][j] (exposed for tests).
+  double SimilarityAt(size_t i, size_t j) const { return a_[i * n_ + j]; }
+
+ private:
+  size_t n_;
+  std::vector<double> a_;  // row-major n_ x n_.
+};
+
+}  // namespace bw::geom
+
+#endif  // BLOBWORLD_GEOM_DISTANCE_H_

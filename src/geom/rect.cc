@@ -1,0 +1,157 @@
+#include "geom/rect.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bw::geom {
+
+Rect::Rect(Vec lo, Vec hi) : lo_(std::move(lo)), hi_(std::move(hi)) {
+  BW_CHECK_EQ(lo_.dim(), hi_.dim());
+  for (size_t d = 0; d < lo_.dim(); ++d) {
+    BW_CHECK_LE(lo_[d], hi_[d]);
+  }
+}
+
+Rect Rect::BoundingBox(const std::vector<Vec>& points) {
+  BW_CHECK(!points.empty());
+  Rect box(points[0]);
+  for (size_t i = 1; i < points.size(); ++i) box.ExpandToInclude(points[i]);
+  return box;
+}
+
+Rect Rect::BoundingBoxOfRects(const std::vector<Rect>& rects) {
+  BW_CHECK(!rects.empty());
+  Rect box = rects[0];
+  for (size_t i = 1; i < rects.size(); ++i) box.ExpandToInclude(rects[i]);
+  return box;
+}
+
+double Rect::Volume() const {
+  double v = 1.0;
+  for (size_t d = 0; d < dim(); ++d) v *= Extent(d);
+  return v;
+}
+
+double Rect::Margin() const {
+  double m = 0.0;
+  for (size_t d = 0; d < dim(); ++d) m += Extent(d);
+  return m;
+}
+
+Vec Rect::Center() const {
+  Vec c(dim());
+  for (size_t d = 0; d < dim(); ++d) {
+    c[d] = 0.5f * (lo_[d] + hi_[d]);
+  }
+  return c;
+}
+
+bool Rect::Contains(const Vec& point) const {
+  BW_DCHECK_EQ(point.dim(), dim());
+  for (size_t d = 0; d < dim(); ++d) {
+    if (point[d] < lo_[d] || point[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+bool Rect::ContainsRect(const Rect& other) const {
+  BW_DCHECK_EQ(other.dim(), dim());
+  for (size_t d = 0; d < dim(); ++d) {
+    if (other.lo_[d] < lo_[d] || other.hi_[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+bool Rect::Intersects(const Rect& other) const {
+  BW_DCHECK_EQ(other.dim(), dim());
+  for (size_t d = 0; d < dim(); ++d) {
+    if (other.hi_[d] < lo_[d] || other.lo_[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+double Rect::IntersectionVolume(const Rect& other) const {
+  BW_DCHECK_EQ(other.dim(), dim());
+  double v = 1.0;
+  for (size_t d = 0; d < dim(); ++d) {
+    double lo = std::max(lo_[d], other.lo_[d]);
+    double hi = std::min(hi_[d], other.hi_[d]);
+    if (hi <= lo) return 0.0;
+    v *= hi - lo;
+  }
+  return v;
+}
+
+void Rect::ExpandToInclude(const Vec& point) {
+  if (IsEmpty()) {
+    lo_ = point;
+    hi_ = point;
+    return;
+  }
+  BW_DCHECK_EQ(point.dim(), dim());
+  for (size_t d = 0; d < dim(); ++d) {
+    lo_[d] = std::min(lo_[d], point[d]);
+    hi_[d] = std::max(hi_[d], point[d]);
+  }
+}
+
+void Rect::ExpandToInclude(const Rect& other) {
+  if (other.IsEmpty()) return;
+  if (IsEmpty()) {
+    *this = other;
+    return;
+  }
+  BW_DCHECK_EQ(other.dim(), dim());
+  for (size_t d = 0; d < dim(); ++d) {
+    lo_[d] = std::min(lo_[d], other.lo_[d]);
+    hi_[d] = std::max(hi_[d], other.hi_[d]);
+  }
+}
+
+double Rect::Enlargement(const Rect& other) const {
+  Rect merged = *this;
+  merged.ExpandToInclude(other);
+  return merged.Volume() - Volume();
+}
+
+double Rect::MinDistanceSquared(const Vec& point) const {
+  BW_DCHECK_EQ(point.dim(), dim());
+  double acc = 0.0;
+  for (size_t d = 0; d < dim(); ++d) {
+    double gap = 0.0;
+    if (point[d] < lo_[d]) {
+      gap = double(lo_[d]) - point[d];
+    } else if (point[d] > hi_[d]) {
+      gap = double(point[d]) - hi_[d];
+    }
+    acc += gap * gap;
+  }
+  return acc;
+}
+
+double Rect::MaxDistanceSquared(const Vec& point) const {
+  BW_DCHECK_EQ(point.dim(), dim());
+  double acc = 0.0;
+  for (size_t d = 0; d < dim(); ++d) {
+    double to_lo = std::abs(double(point[d]) - lo_[d]);
+    double to_hi = std::abs(double(point[d]) - hi_[d]);
+    double gap = std::max(to_lo, to_hi);
+    acc += gap * gap;
+  }
+  return acc;
+}
+
+Vec Rect::ClosestPointTo(const Vec& point) const {
+  BW_DCHECK_EQ(point.dim(), dim());
+  Vec out(dim());
+  for (size_t d = 0; d < dim(); ++d) {
+    out[d] = std::clamp(point[d], lo_[d], hi_[d]);
+  }
+  return out;
+}
+
+std::string Rect::ToString() const {
+  return "[" + lo_.ToString() + " .. " + hi_.ToString() + "]";
+}
+
+}  // namespace bw::geom

@@ -1,0 +1,98 @@
+// Hyper-rectangle (minimum bounding rectangle) geometry: the backbone of
+// the R-tree, SR-tree, MAP, JB and XJB bounding predicates.
+
+#ifndef BLOBWORLD_GEOM_RECT_H_
+#define BLOBWORLD_GEOM_RECT_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/vec.h"
+
+namespace bw::geom {
+
+/// Axis-aligned hyper-rectangle [lo, hi] in D dimensions. An empty Rect
+/// (dim() == 0) acts as the identity for ExpandToInclude.
+class Rect {
+ public:
+  Rect() = default;
+  /// Degenerate rectangle containing exactly one point.
+  explicit Rect(const Vec& point) : lo_(point), hi_(point) {}
+  Rect(Vec lo, Vec hi);
+
+  /// The MBR of a set of points. Requires a non-empty set.
+  static Rect BoundingBox(const std::vector<Vec>& points);
+  /// The MBR of a set of rectangles. Requires a non-empty set.
+  static Rect BoundingBoxOfRects(const std::vector<Rect>& rects);
+
+  size_t dim() const { return lo_.dim(); }
+  bool IsEmpty() const { return lo_.dim() == 0; }
+
+  const Vec& lo() const { return lo_; }
+  const Vec& hi() const { return hi_; }
+
+  /// Side length along dimension d (>= 0).
+  double Extent(size_t d) const { return double(hi_[d]) - lo_[d]; }
+
+  /// Product of extents. Zero for degenerate rectangles.
+  double Volume() const;
+
+  /// Sum of extents (the R*-tree "margin" heuristic).
+  double Margin() const;
+
+  /// Center point.
+  Vec Center() const;
+
+  /// True if the point lies within [lo, hi] (closed on all faces).
+  bool Contains(const Vec& point) const;
+
+  /// True if `other` lies entirely within this rectangle.
+  bool ContainsRect(const Rect& other) const;
+
+  /// True if the two rectangles share at least one point.
+  bool Intersects(const Rect& other) const;
+
+  /// Volume of the intersection (0 if disjoint).
+  double IntersectionVolume(const Rect& other) const;
+
+  /// Grows this rectangle minimally to include the point.
+  void ExpandToInclude(const Vec& point);
+  /// Grows this rectangle minimally to include the other rectangle.
+  void ExpandToInclude(const Rect& other);
+
+  /// Volume increase if this rectangle were expanded to include `other`
+  /// (the Guttman insertion penalty).
+  double Enlargement(const Rect& other) const;
+
+  /// Squared Euclidean distance from `point` to the nearest point of the
+  /// rectangle; 0 if the point is inside. This is MINDIST of Roussopoulos
+  /// et al., the admissible lower bound used by best-first NN search.
+  double MinDistanceSquared(const Vec& point) const;
+
+  /// Squared distance from `point` to the farthest point of the rectangle
+  /// (MAXDIST); used by tests as an upper-bound sanity check.
+  double MaxDistanceSquared(const Vec& point) const;
+
+  /// The point of the rectangle closest to `point` (the clamp of `point`
+  /// to [lo, hi]).
+  Vec ClosestPointTo(const Vec& point) const;
+
+  /// True if a sphere of radius r around `center` intersects the rect.
+  bool IntersectsSphere(const Vec& center, double radius) const {
+    return MinDistanceSquared(center) <= radius * radius;
+  }
+
+  bool operator==(const Rect& other) const {
+    return lo_ == other.lo_ && hi_ == other.hi_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  Vec lo_;
+  Vec hi_;
+};
+
+}  // namespace bw::geom
+
+#endif  // BLOBWORLD_GEOM_RECT_H_

@@ -1,0 +1,89 @@
+#include "geom/sphere.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace bw::geom {
+
+Sphere::Sphere(Vec center, double radius)
+    : center_(std::move(center)), radius_(radius) {
+  BW_CHECK_GE(radius, 0.0);
+}
+
+Sphere Sphere::CentroidBound(const std::vector<Vec>& points) {
+  BW_CHECK(!points.empty());
+  const size_t d = points[0].dim();
+  std::vector<double> acc(d, 0.0);
+  for (const Vec& p : points) {
+    BW_DCHECK_EQ(p.dim(), d);
+    for (size_t i = 0; i < d; ++i) acc[i] += p[i];
+  }
+  Vec center(d);
+  for (size_t i = 0; i < d; ++i) {
+    center[i] = static_cast<float>(acc[i] / static_cast<double>(points.size()));
+  }
+  double r2 = 0.0;
+  for (const Vec& p : points) {
+    r2 = std::max(r2, center.DistanceSquaredTo(p));
+  }
+  return Sphere(std::move(center), std::sqrt(r2));
+}
+
+Sphere Sphere::CentroidBoundOfSpheres(const std::vector<Sphere>& spheres,
+                                      const std::vector<double>& weights) {
+  BW_CHECK(!spheres.empty());
+  BW_CHECK_EQ(spheres.size(), weights.size());
+  const size_t d = spheres[0].dim();
+  std::vector<double> acc(d, 0.0);
+  double total_weight = 0.0;
+  for (size_t s = 0; s < spheres.size(); ++s) {
+    BW_DCHECK_EQ(spheres[s].dim(), d);
+    for (size_t i = 0; i < d; ++i) {
+      acc[i] += weights[s] * spheres[s].center()[i];
+    }
+    total_weight += weights[s];
+  }
+  BW_CHECK_GT(total_weight, 0.0);
+  Vec center(d);
+  for (size_t i = 0; i < d; ++i) {
+    center[i] = static_cast<float>(acc[i] / total_weight);
+  }
+  double radius = 0.0;
+  for (const Sphere& s : spheres) {
+    radius = std::max(radius, center.DistanceTo(s.center()) + s.radius());
+  }
+  return Sphere(std::move(center), radius);
+}
+
+double Sphere::MinDistance(const Vec& point) const {
+  double d = center_.DistanceTo(point) - radius_;
+  return d > 0.0 ? d : 0.0;
+}
+
+Rect Sphere::BoundingRect() const {
+  Vec lo(dim());
+  Vec hi(dim());
+  for (size_t i = 0; i < dim(); ++i) {
+    lo[i] = static_cast<float>(center_[i] - radius_);
+    hi[i] = static_cast<float>(center_[i] + radius_);
+  }
+  return Rect(std::move(lo), std::move(hi));
+}
+
+double Sphere::Volume() const {
+  // V_d(r) = pi^(d/2) / Gamma(d/2 + 1) * r^d.
+  const double d = static_cast<double>(dim());
+  const double log_vol = (d / 2.0) * std::log(std::numbers::pi) -
+                         std::lgamma(d / 2.0 + 1.0) +
+                         d * std::log(std::max(radius_, 0.0) + 1e-300);
+  return std::exp(log_vol);
+}
+
+std::string Sphere::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", radius_);
+  return "Ball(center=" + center_.ToString() + ", r=" + buf + ")";
+}
+
+}  // namespace bw::geom

@@ -1,0 +1,68 @@
+// Bounding sphere geometry for the SS-tree and SR-tree predicates.
+
+#ifndef BLOBWORLD_GEOM_SPHERE_H_
+#define BLOBWORLD_GEOM_SPHERE_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+#include "geom/vec.h"
+
+namespace bw::geom {
+
+/// A D-dimensional ball: center + radius.
+class Sphere {
+ public:
+  Sphere() : radius_(0.0) {}
+  Sphere(Vec center, double radius);
+
+  /// Minimal-ish bounding sphere of a point set: centroid center with
+  /// radius = max distance to any point. This is the construction the
+  /// SS-tree paper uses (centroid-based), not the exact minimum enclosing
+  /// ball; it is what the paper's SS/SR trees bound data with.
+  static Sphere CentroidBound(const std::vector<Vec>& points);
+
+  /// Centroid-based bounding sphere of child spheres, weighted by their
+  /// `weights` (typically subtree entry counts per the SS-tree paper).
+  static Sphere CentroidBoundOfSpheres(const std::vector<Sphere>& spheres,
+                                       const std::vector<double>& weights);
+
+  size_t dim() const { return center_.dim(); }
+  const Vec& center() const { return center_; }
+  double radius() const { return radius_; }
+
+  bool Contains(const Vec& point) const {
+    return center_.DistanceSquaredTo(point) <= radius_ * radius_ + kEps;
+  }
+
+  /// Distance from `point` to the sphere surface (0 if inside).
+  double MinDistance(const Vec& point) const;
+  double MinDistanceSquared(const Vec& point) const {
+    double d = MinDistance(point);
+    return d * d;
+  }
+
+  /// True if a query ball of radius r around `point` intersects this sphere.
+  bool IntersectsSphere(const Vec& point, double r) const {
+    return center_.DistanceTo(point) <= radius_ + r + kEps;
+  }
+
+  /// Tight axis-aligned bounding box of the ball.
+  Rect BoundingRect() const;
+
+  /// Ball volume (unit-ball coefficient included), for loss diagnostics.
+  double Volume() const;
+
+  std::string ToString() const;
+
+ private:
+  static constexpr double kEps = 1e-9;
+
+  Vec center_;
+  double radius_;
+};
+
+}  // namespace bw::geom
+
+#endif  // BLOBWORLD_GEOM_SPHERE_H_

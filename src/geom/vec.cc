@@ -1,0 +1,19 @@
+#include "geom/vec.h"
+
+#include <cstdio>
+
+namespace bw::geom {
+
+std::string Vec::ToString() const {
+  std::string out = "(";
+  char buf[32];
+  for (size_t i = 0; i < coords_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%g", coords_[i]);
+    if (i) out += ", ";
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace bw::geom

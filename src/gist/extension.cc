@@ -1,0 +1,48 @@
+#include "gist/extension.h"
+
+#include <cstring>
+
+namespace bw::gist {
+
+Bytes Extension::EncodePoint(const geom::Vec& point) const {
+  BW_CHECK_EQ(point.dim(), dim_);
+  Bytes out;
+  out.reserve(PointBytes());
+  for (size_t i = 0; i < dim_; ++i) AppendFloat(out, point[i]);
+  return out;
+}
+
+geom::Vec Extension::DecodePoint(ByteSpan bytes) const {
+  BW_CHECK_EQ(bytes.size(), PointBytes());
+  geom::Vec out(dim_);
+  for (size_t i = 0; i < dim_; ++i) out[i] = ReadFloat(bytes, i);
+  return out;
+}
+
+void Extension::AppendFloat(Bytes& out, float v) {
+  uint8_t buf[sizeof(float)];
+  std::memcpy(buf, &v, sizeof(float));
+  out.insert(out.end(), buf, buf + sizeof(float));
+}
+
+void Extension::AppendU32(Bytes& out, uint32_t v) {
+  uint8_t buf[sizeof(uint32_t)];
+  std::memcpy(buf, &v, sizeof(uint32_t));
+  out.insert(out.end(), buf, buf + sizeof(uint32_t));
+}
+
+float Extension::ReadFloat(ByteSpan bytes, size_t float_index) {
+  float v;
+  BW_DCHECK_LE((float_index + 1) * sizeof(float), bytes.size());
+  std::memcpy(&v, bytes.data() + float_index * sizeof(float), sizeof(float));
+  return v;
+}
+
+uint32_t Extension::ReadU32(ByteSpan bytes, size_t offset_bytes) {
+  uint32_t v;
+  BW_DCHECK_LE(offset_bytes + sizeof(uint32_t), bytes.size());
+  std::memcpy(&v, bytes.data() + offset_bytes, sizeof(uint32_t));
+  return v;
+}
+
+}  // namespace bw::gist

@@ -1,0 +1,138 @@
+// The GiST extension interface (Hellerstein/Naughton/Pfeffer, VLDB '95).
+//
+// A GiST is specialized to a particular access method by supplying a set
+// of extension methods that define the bounding predicates (BPs): how a
+// BP is built over leaf points or child BPs, how search decides whether a
+// BP is consistent with a query, and how inserts choose and split
+// subtrees. Everything the tree stores is opaque bytes; only the
+// extension can interpret them.
+//
+// This project stores points (blob feature vectors) at the leaves and a
+// per-AM predicate in internal entries, exactly as the paper's R/SS/SR/
+// MAP/JB/XJB trees do.
+
+#ifndef BLOBWORLD_GIST_EXTENSION_H_
+#define BLOBWORLD_GIST_EXTENSION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/vec.h"
+#include "util/random.h"
+
+namespace bw::gist {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+
+/// Result of a pickSplit: entry i goes to the right node iff
+/// assignment[i] is true. Both sides must be non-empty.
+using SplitAssignment = std::vector<bool>;
+
+/// Access-method extension: the complete per-AM behavior pluggable into
+/// the GiST template algorithms. Implementations must be deterministic
+/// given their construction seed (randomized heuristics such as aMAP's
+/// partition sampling draw from the internal Rng).
+class Extension {
+ public:
+  explicit Extension(size_t dim, uint64_t seed = 42)
+      : dim_(dim), rng_(seed) {
+    BW_CHECK_GT(dim, 0u);
+  }
+  virtual ~Extension() = default;
+
+  Extension(const Extension&) = delete;
+  Extension& operator=(const Extension&) = delete;
+
+  size_t dim() const { return dim_; }
+
+  /// Human-readable AM name ("rtree", "xjb", ...).
+  virtual std::string Name() const = 0;
+
+  /// One extension-specific tuning parameter persisted alongside the
+  /// index (XJB stores its X here); 0 when the AM has none. An index
+  /// file must be reopened with the parameters it was built with or its
+  /// predicates would be misparsed.
+  virtual uint32_t AuxParam() const { return 0; }
+
+  // --- Leaf keys (shared across all AMs: raw float coordinates) -------
+
+  /// Serializes a point into a leaf key (dim() little-endian floats).
+  Bytes EncodePoint(const geom::Vec& point) const;
+  /// Parses a leaf key back into a point.
+  geom::Vec DecodePoint(ByteSpan bytes) const;
+  /// Size in bytes of an encoded leaf key.
+  size_t PointBytes() const { return dim_ * sizeof(float); }
+
+  // --- Bounding predicates --------------------------------------------
+
+  /// Builds the BP covering a set of leaf points (bulk load, leaf level).
+  virtual Bytes BpFromPoints(const std::vector<geom::Vec>& points) = 0;
+
+  /// Builds the BP covering a set of child BPs (bulk load, inner levels;
+  /// also used to refresh a parent entry after inserts/splits).
+  virtual Bytes BpFromChildBps(const std::vector<Bytes>& children) = 0;
+
+  /// Admissible lower bound on the distance from `query` to any point
+  /// covered by the BP (0 if the query lies inside). This drives both
+  /// best-first k-NN ordering and range-search pruning; it must never
+  /// exceed the true minimum distance, or search would lose results.
+  virtual double BpMinDistance(ByteSpan bp, const geom::Vec& query) const = 0;
+
+  /// consistent() for an expanding-sphere / range query: may the subtree
+  /// contain a point within `radius` of `query`?
+  virtual bool BpConsistentRange(ByteSpan bp, const geom::Vec& query,
+                                 double radius) const {
+    return BpMinDistance(bp, query) <= radius;
+  }
+
+  /// Insertion penalty: cost of widening `bp` to absorb `point` (the
+  /// R-tree uses volume enlargement). Lower is better.
+  virtual double BpPenalty(ByteSpan bp, const geom::Vec& point) const = 0;
+
+  /// A representative point of the BP (rect/sphere center), used by the
+  /// STR bulk loader to spatially order upper tree levels.
+  virtual geom::Vec BpCenter(ByteSpan bp) const = 0;
+
+  /// Minimally widens `bp` so it also covers `point`. This is the
+  /// classic R-tree AdjustTree step: INSERT only ever *enlarges* the
+  /// predicates on its descent path (it never re-tightens them), which
+  /// is exactly why insertion-loaded trees accumulate sloppy BPs —
+  /// the effect the paper's Table 2 quantifies.
+  virtual Bytes BpIncludePoint(ByteSpan bp, const geom::Vec& point) const = 0;
+
+  /// Splits an over-full leaf's points into two groups.
+  virtual SplitAssignment PickSplitPoints(
+      const std::vector<geom::Vec>& points) = 0;
+
+  /// Splits an over-full internal node's child BPs into two groups.
+  virtual SplitAssignment PickSplitBps(const std::vector<Bytes>& bps) = 0;
+
+  // --- Diagnostics ------------------------------------------------------
+
+  /// Volume enclosed by the BP (for excess-coverage diagnostics). AMs
+  /// whose BPs are not volume-shaped may return an approximation.
+  virtual double BpVolume(ByteSpan bp) const = 0;
+
+  /// Debug rendering of a BP.
+  virtual std::string BpToString(ByteSpan bp) const = 0;
+
+ protected:
+  Rng& rng() { return rng_; }
+
+  // Little-endian float (de)serialization helpers shared by subclasses.
+  static void AppendFloat(Bytes& out, float v);
+  static void AppendU32(Bytes& out, uint32_t v);
+  static float ReadFloat(ByteSpan bytes, size_t float_index);
+  static uint32_t ReadU32(ByteSpan bytes, size_t offset_bytes);
+
+ private:
+  size_t dim_;
+  Rng rng_;
+};
+
+}  // namespace bw::gist
+
+#endif  // BLOBWORLD_GIST_EXTENSION_H_

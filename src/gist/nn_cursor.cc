@@ -1,0 +1,59 @@
+#include "gist/nn_cursor.h"
+
+#include <limits>
+
+namespace bw::gist {
+
+NnCursor::NnCursor(const Tree& tree, geom::Vec query, TraversalStats* stats)
+    : tree_(tree), query_(std::move(query)), stats_(stats) {
+  if (!tree_.empty()) {
+    frontier_.push(Item{0.0, false, tree_.root(), 0});
+  }
+}
+
+double NnCursor::FrontierDistance() const {
+  return frontier_.empty() ? std::numeric_limits<double>::infinity()
+                           : frontier_.top().distance;
+}
+
+Result<std::optional<Neighbor>> NnCursor::Next() {
+  const Extension& extension = tree_.extension();
+  while (!frontier_.empty()) {
+    const Item item = frontier_.top();
+    frontier_.pop();
+
+    if (item.is_data) {
+      ++produced_;
+      return std::optional<Neighbor>(
+          Neighbor{item.rid, item.distance, item.page});
+    }
+
+    // Expand a node. The cursor reads through the tree's fetch path so
+    // buffer pools and I/O accounting behave exactly as KnnSearch does.
+    BW_ASSIGN_OR_RETURN(pages::Page * page, tree_.FetchNode(item.page));
+    const NodeView node(page);
+    if (stats_ != nullptr) {
+      if (node.IsLeaf()) {
+        ++stats_->leaf_accesses;
+        stats_->accessed_leaves.push_back(item.page);
+      } else {
+        ++stats_->internal_accesses;
+        stats_->accessed_internals.push_back(item.page);
+      }
+    }
+    for (size_t i = 0; i < node.entry_count(); ++i) {
+      EntryView e = node.entry(i);
+      if (node.IsLeaf()) {
+        const geom::Vec point = extension.DecodePoint(e.predicate);
+        frontier_.push(
+            Item{point.DistanceTo(query_), true, item.page, e.rid()});
+      } else {
+        frontier_.push(Item{extension.BpMinDistance(e.predicate, query_),
+                            false, e.ChildPage(), 0});
+      }
+    }
+  }
+  return std::optional<Neighbor>(std::nullopt);
+}
+
+}  // namespace bw::gist

@@ -1,0 +1,63 @@
+// Incremental nearest-neighbor cursor (Hjaltason & Samet's distance
+// browsing): yields neighbors one at a time in ascending distance order
+// without a fixed k. This is the search mode the Blobworld front end
+// really wants — "give me images until the user stops scrolling" — and
+// the one amdb drives when it replays query workloads step by step.
+
+#ifndef BLOBWORLD_GIST_NN_CURSOR_H_
+#define BLOBWORLD_GIST_NN_CURSOR_H_
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "gist/tree.h"
+
+namespace bw::gist {
+
+/// Streaming k-NN over a Tree. The cursor holds a reference to the tree;
+/// the tree must not be modified while a cursor is open.
+///
+///   NnCursor cursor(tree, query);
+///   while (auto n = cursor.Next()) { ... }
+class NnCursor {
+ public:
+  NnCursor(const Tree& tree, geom::Vec query, TraversalStats* stats = nullptr);
+
+  NnCursor(const NnCursor&) = delete;
+  NnCursor& operator=(const NnCursor&) = delete;
+
+  /// The next-nearest entry, or nullopt when the tree is exhausted.
+  /// Distances are non-decreasing across calls.
+  Result<std::optional<Neighbor>> Next();
+
+  /// Number of results produced so far.
+  size_t produced() const { return produced_; }
+
+  /// Lower bound on the distance of everything not yet returned (the
+  /// head of the frontier); infinity once exhausted. Lets callers stop
+  /// early ("no more candidates within my budget radius").
+  double FrontierDistance() const;
+
+ private:
+  struct Item {
+    double distance;
+    bool is_data;
+    pages::PageId page;
+    Rid rid;
+    bool operator>(const Item& other) const {
+      if (distance != other.distance) return distance > other.distance;
+      return is_data && !other.is_data;
+    }
+  };
+
+  const Tree& tree_;
+  geom::Vec query_;
+  TraversalStats* stats_;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier_;
+  size_t produced_ = 0;
+};
+
+}  // namespace bw::gist
+
+#endif  // BLOBWORLD_GIST_NN_CURSOR_H_

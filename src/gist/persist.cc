@@ -1,0 +1,175 @@
+#include "gist/persist.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "gist/node.h"
+
+namespace bw::gist {
+
+namespace {
+
+constexpr uint32_t kIndexMagic = 0x42574958;  // "BWIX"
+constexpr uint32_t kIndexVersion = 2;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using UniqueFile = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteU32(std::FILE* f, uint32_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+bool WriteU64(std::FILE* f, uint64_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+bool ReadU32(std::FILE* f, uint32_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+bool ReadU64(std::FILE* f, uint64_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+}  // namespace
+
+Status SaveTree(const Tree& tree, const std::string& path) {
+  const pages::PageFile* file = tree.file();
+  UniqueFile out(std::fopen(path.c_str(), "wb"));
+  if (out == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  const std::string name = tree.extension().Name();
+  if (!WriteU32(out.get(), kIndexMagic) ||
+      !WriteU32(out.get(), kIndexVersion) ||
+      !WriteU32(out.get(), static_cast<uint32_t>(file->page_size())) ||
+      !WriteU32(out.get(), static_cast<uint32_t>(file->page_count())) ||
+      !WriteU32(out.get(), tree.root()) ||
+      !WriteU32(out.get(), static_cast<uint32_t>(tree.height())) ||
+      !WriteU64(out.get(), tree.size()) ||
+      !WriteU32(out.get(), static_cast<uint32_t>(tree.extension().dim())) ||
+      !WriteU32(out.get(), tree.extension().AuxParam()) ||
+      !WriteU32(out.get(), static_cast<uint32_t>(name.size())) ||
+      std::fwrite(name.data(), 1, name.size(), out.get()) != name.size()) {
+    return Status::IoError("header write failed");
+  }
+
+  // Pages: header words, then each record verbatim.
+  for (pages::PageId id = 0; id < file->page_count(); ++id) {
+    const pages::Page* page = file->PeekNoIo(id);
+    for (size_t w = 0; w < pages::Page::kHeaderWords; ++w) {
+      if (!WriteU32(out.get(), page->header_word(w))) {
+        return Status::IoError("page header write failed");
+      }
+    }
+    if (!WriteU32(out.get(), static_cast<uint32_t>(page->slot_count()))) {
+      return Status::IoError("slot count write failed");
+    }
+    for (size_t s = 0; s < page->slot_count(); ++s) {
+      const uint32_t length = static_cast<uint32_t>(page->RecordLength(s));
+      if (!WriteU32(out.get(), length) ||
+          std::fwrite(page->RecordData(s), 1, length, out.get()) != length) {
+        return Status::IoError("record write failed");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<LoadedIndex> LoadIndexFile(const std::string& path) {
+  UniqueFile in(std::fopen(path.c_str(), "rb"));
+  if (in == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  uint32_t magic = 0, version = 0, page_size = 0, page_count = 0;
+  uint32_t root = 0, height = 0, dim = 0, aux = 0, name_len = 0;
+  uint64_t size = 0;
+  if (!ReadU32(in.get(), &magic) || !ReadU32(in.get(), &version) ||
+      !ReadU32(in.get(), &page_size) || !ReadU32(in.get(), &page_count) ||
+      !ReadU32(in.get(), &root) || !ReadU32(in.get(), &height) ||
+      !ReadU64(in.get(), &size) || !ReadU32(in.get(), &dim) ||
+      !ReadU32(in.get(), &aux) || !ReadU32(in.get(), &name_len)) {
+    return Status::Corruption("truncated index header");
+  }
+  if (magic != kIndexMagic) return Status::Corruption("bad index magic");
+  if (version != kIndexVersion) {
+    return Status::NotSupported("unsupported index version");
+  }
+  if (page_size < 512 || page_size > (64u << 20) || name_len > 256) {
+    return Status::Corruption("implausible index header values");
+  }
+  LoadedIndex loaded;
+  loaded.extension_name.resize(name_len);
+  if (std::fread(loaded.extension_name.data(), 1, name_len, in.get()) !=
+      name_len) {
+    return Status::Corruption("truncated extension name");
+  }
+  loaded.root = root;
+  loaded.aux_param = aux;
+  loaded.height = static_cast<int>(height);
+  loaded.size = size;
+  loaded.dim = dim;
+  loaded.file = std::make_unique<pages::PageFile>(page_size);
+
+  std::vector<uint8_t> record;
+  for (uint32_t id = 0; id < page_count; ++id) {
+    const pages::PageId allocated = loaded.file->Allocate();
+    pages::Page* page = loaded.file->PeekNoIo(allocated);
+    for (size_t w = 0; w < pages::Page::kHeaderWords; ++w) {
+      uint32_t word = 0;
+      if (!ReadU32(in.get(), &word)) {
+        return Status::Corruption("truncated page header");
+      }
+      page->set_header_word(w, word);
+    }
+    uint32_t slots = 0;
+    if (!ReadU32(in.get(), &slots)) {
+      return Status::Corruption("truncated slot count");
+    }
+    for (uint32_t s = 0; s < slots; ++s) {
+      uint32_t length = 0;
+      if (!ReadU32(in.get(), &length) || length > page_size) {
+        return Status::Corruption("implausible record length");
+      }
+      record.resize(length);
+      if (std::fread(record.data(), 1, length, in.get()) != length) {
+        return Status::Corruption("truncated record");
+      }
+      auto inserted = page->Insert(record.data(), record.size());
+      if (!inserted.ok()) return inserted.status();
+    }
+  }
+  if (loaded.root != pages::kInvalidPageId &&
+      loaded.root >= loaded.file->page_count()) {
+    return Status::Corruption("root page out of range");
+  }
+  return loaded;
+}
+
+Result<std::unique_ptr<Tree>> LoadedIndex::AttachExtension(
+    std::unique_ptr<Extension> extension) {
+  if (extension == nullptr) {
+    return Status::InvalidArgument("null extension");
+  }
+  if (extension->Name() != extension_name) {
+    return Status::InvalidArgument("extension '" + extension->Name() +
+                                   "' does not match index file ('" +
+                                   extension_name + "')");
+  }
+  if (extension->dim() != dim) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+  if (extension->AuxParam() != aux_param) {
+    return Status::InvalidArgument(
+        "extension parameter mismatch (index built with " +
+        std::to_string(aux_param) + ", reopened with " +
+        std::to_string(extension->AuxParam()) + ")");
+  }
+  auto tree = std::make_unique<Tree>(file.get(), std::move(extension));
+  tree->InstallBulkLoaded(root, height, size);
+  BW_RETURN_IF_ERROR(tree->Validate());
+  return tree;
+}
+
+}  // namespace bw::gist

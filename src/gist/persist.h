@@ -1,0 +1,44 @@
+// Index persistence: serialize a GiST (its page file plus tree
+// metadata) to a binary file and load it back. Blobworld's collection
+// is static and bulk-loaded offline (Section 3.2 of the paper), so
+// build-once / serve-many is the intended production deployment.
+
+#ifndef BLOBWORLD_GIST_PERSIST_H_
+#define BLOBWORLD_GIST_PERSIST_H_
+
+#include <memory>
+#include <string>
+
+#include "gist/tree.h"
+#include "pages/page_file.h"
+
+namespace bw::gist {
+
+/// Everything read back from an index file except the extension (which
+/// the caller re-creates; predicates are meaningless without it).
+struct LoadedIndex {
+  std::unique_ptr<pages::PageFile> file;
+  pages::PageId root = pages::kInvalidPageId;
+  int height = 0;
+  uint64_t size = 0;
+  std::string extension_name;
+  uint32_t dim = 0;
+  /// Extension-specific parameter recorded at save time (XJB's X).
+  uint32_t aux_param = 0;
+
+  /// Assembles a Tree over the loaded pages with the given extension
+  /// (whose Name(), dim() and AuxParam() must match what the file
+  /// recorded).
+  Result<std::unique_ptr<Tree>> AttachExtension(
+      std::unique_ptr<Extension> extension);
+};
+
+/// Writes the tree's pages and metadata to `path` (overwrites).
+Status SaveTree(const Tree& tree, const std::string& path);
+
+/// Reads an index file; Corruption on malformed input.
+Result<LoadedIndex> LoadIndexFile(const std::string& path);
+
+}  // namespace bw::gist
+
+#endif  // BLOBWORLD_GIST_PERSIST_H_

@@ -1,0 +1,186 @@
+// The GiST template algorithms: SEARCH (range and best-first k-NN),
+// INSERT (penalty descent, pickSplit on overflow), DELETE (with
+// underflow condensation), plus structural validation and iteration
+// hooks for the amdb analysis framework.
+
+#ifndef BLOBWORLD_GIST_TREE_H_
+#define BLOBWORLD_GIST_TREE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gist/extension.h"
+#include "gist/node.h"
+#include "gist/stats.h"
+#include "pages/buffer_pool.h"
+#include "pages/page_file.h"
+
+namespace bw::gist {
+
+/// One k-NN result.
+struct Neighbor {
+  Rid rid = 0;
+  double distance = 0.0;
+  pages::PageId leaf = pages::kInvalidPageId;  // leaf that held the entry.
+};
+
+/// Tree construction options.
+struct TreeOptions {
+  /// Minimum fill fraction enforced by splits and deletes.
+  double min_fill = 0.40;
+};
+
+/// A Generalized Search Tree over points, specialized by an Extension.
+///
+/// The tree reads pages through an optional BufferPool (set via
+/// set_buffer_pool) so experiments can model memory residency; when no
+/// pool is attached, every node visit costs one PageFile read.
+class Tree {
+ public:
+  Tree(pages::PageFile* file, std::unique_ptr<Extension> extension,
+       TreeOptions options = TreeOptions());
+
+  Tree(const Tree&) = delete;
+  Tree& operator=(const Tree&) = delete;
+  Tree(Tree&&) = default;
+
+  const Extension& extension() const { return *extension_; }
+  Extension& mutable_extension() { return *extension_; }
+  pages::PageFile* file() { return file_; }
+  const pages::PageFile* file() const { return file_; }
+
+  bool empty() const { return root_ == pages::kInvalidPageId; }
+  pages::PageId root() const { return root_; }
+  /// Number of levels (0 for an empty tree, 1 for a single leaf root).
+  int height() const { return height_; }
+  /// Number of stored (point, RID) pairs.
+  uint64_t size() const { return size_; }
+
+  /// Routes all node reads through `pool` (pass nullptr to detach).
+  void set_buffer_pool(pages::BufferPool* pool) { pool_ = pool; }
+
+  // --- Index operations -------------------------------------------------
+
+  /// INSERT: adds one (point, RID) pair.
+  Status Insert(const geom::Vec& point, Rid rid);
+
+  /// DELETE: removes the pair if present; NotFound otherwise.
+  Status Delete(const geom::Vec& point, Rid rid);
+
+  /// SEARCH with an expanding-sphere predicate: all RIDs whose point lies
+  /// within `radius` of `query`.
+  Result<std::vector<Neighbor>> RangeSearch(const geom::Vec& query,
+                                            double radius,
+                                            TraversalStats* stats) const;
+
+  /// Best-first k-nearest-neighbor search (Hjaltason-Samet). Exact given
+  /// an admissible extension MinDistance. Results sorted by distance.
+  Result<std::vector<Neighbor>> KnnSearch(const geom::Vec& query, size_t k,
+                                          TraversalStats* stats) const;
+
+  /// Depth-first branch-and-bound k-NN (Roussopoulos/Kelley/Vincent
+  /// style): children are visited in MinDistance order and pruned
+  /// against the current k-th best candidate. Exact, but accesses a
+  /// superset of the nodes best-first search touches — extra accesses
+  /// happen while the candidate bound is still loose, which makes this
+  /// search *far* more sensitive to bounding-predicate quality. This is
+  /// the search the original libgist/amdb stack executed, so the amdb
+  /// reproduction benches use it.
+  Result<std::vector<Neighbor>> KnnSearchDfs(const geom::Vec& query,
+                                             size_t k,
+                                             TraversalStats* stats) const;
+
+  // --- Bulk-load hook -----------------------------------------------------
+
+  /// Installs a pre-built structure (used by the STR bulk loader).
+  void InstallBulkLoaded(pages::PageId root, int height, uint64_t size);
+
+  // --- Introspection ------------------------------------------------------
+
+  /// Computes per-level shape statistics without I/O accounting.
+  TreeShape Shape() const;
+
+  /// Invokes `fn(page_id, node)` for every node, leaves included,
+  /// without I/O accounting (analysis must not perturb counters).
+  void ForEachNode(
+      const std::function<void(pages::PageId, const NodeView&)>& fn) const;
+
+  /// Fetches a node page through the tree's configured read path
+  /// (buffer pool if attached, counted I/O otherwise). Used by search
+  /// cursors; analysis code should use the no-I/O iteration hooks.
+  Result<pages::Page*> FetchNode(pages::PageId id) const { return Fetch(id); }
+
+  /// RIDs stored in one leaf (no I/O accounting).
+  std::vector<Rid> LeafRids(pages::PageId leaf) const;
+
+  /// All (point, rid) pairs in one leaf (no I/O accounting).
+  std::vector<std::pair<geom::Vec, Rid>> LeafPoints(pages::PageId leaf) const;
+
+  /// Verifies structural invariants: balanced height, level monotonicity,
+  /// and BP consistency (every stored point has MinDistance 0 from every
+  /// ancestor predicate). Returns Corruption describing the first
+  /// violation found.
+  Status Validate() const;
+
+ private:
+  struct PathStep {
+    pages::PageId page;
+    size_t entry_index;  // index within parent; undefined for root.
+  };
+
+  Result<pages::Page*> Fetch(pages::PageId id) const;
+
+  /// Descends to the level-0 leaf with the minimum insertion penalty,
+  /// recording the path (root first).
+  Status DescendForInsert(const geom::Vec& point,
+                          std::vector<PathStep>* path) const;
+
+  /// Re-derives the BP for `page` and updates it in the parent entry,
+  /// continuing upward while predicates change. `path` ends at the node
+  /// whose predicate must be refreshed. Used by splits and deletes.
+  Status AdjustKeysUpward(std::vector<PathStep>& path);
+
+  /// Classic AdjustTree: widens every predicate on the insertion path
+  /// just enough to cover `point` (never re-tightens). This is what
+  /// dynamic R-tree-family inserts do, and the reason insertion-loaded
+  /// trees accumulate the sloppy BPs Table 2 measures.
+  Status EnlargeUpward(const std::vector<PathStep>& path,
+                       const geom::Vec& point);
+
+  /// Builds the current BP of a node from its live contents. Non-const:
+  /// BP construction may draw from the extension's Rng.
+  Result<Bytes> ComputeNodeBp(pages::PageId page);
+
+  /// Splits the node at path.back() which cannot absorb the pending
+  /// entry, then inserts the pending (predicate, payload) into the
+  /// appropriate side and fixes up ancestors (possibly growing the tree).
+  Status SplitAndInsert(std::vector<PathStep>& path, ByteSpan predicate,
+                        uint64_t payload);
+
+  /// Inserts an entry into an internal node at `path.back()`, splitting
+  /// upward as needed.
+  Status InsertIntoNode(std::vector<PathStep>& path, ByteSpan predicate,
+                        uint64_t payload);
+
+  /// Removes the entry `path.back().entry_index` of the parent of the
+  /// (now empty or underfull) node, reinserting orphaned points.
+  Status CondensePath(std::vector<PathStep>& path);
+
+  Status ValidateSubtree(pages::PageId page, int expected_level,
+                         std::vector<ByteSpan>& ancestor_preds,
+                         std::vector<Bytes>& ancestor_storage) const;
+
+  pages::PageFile* file_;
+  pages::BufferPool* pool_ = nullptr;
+  std::unique_ptr<Extension> extension_;
+  TreeOptions options_;
+
+  pages::PageId root_ = pages::kInvalidPageId;
+  int height_ = 0;
+  uint64_t size_ = 0;
+};
+
+}  // namespace bw::gist
+
+#endif  // BLOBWORLD_GIST_TREE_H_

@@ -1,0 +1,20 @@
+// Cholesky factorization, used to turn the quadratic-form histogram
+// distance into a plain L2 distance in a transformed space:
+// (x-y)^T A (x-y) = ||L^T x - L^T y||^2 for A = L L^T.
+
+#ifndef BLOBWORLD_LINALG_CHOLESKY_H_
+#define BLOBWORLD_LINALG_CHOLESKY_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace bw::linalg {
+
+/// Lower-triangular L with A = L L^T. Returns InvalidArgument for
+/// non-square input and Corruption if A is not (numerically) positive
+/// definite; callers typically add a small diagonal ridge first.
+Result<Matrix> CholeskyFactor(const Matrix& a);
+
+}  // namespace bw::linalg
+
+#endif  // BLOBWORLD_LINALG_CHOLESKY_H_

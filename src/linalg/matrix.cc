@@ -1,0 +1,54 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+namespace bw::linalg {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  BW_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double v = (*this)(r, k);
+      if (v == 0.0) continue;
+      const double* src = other.RowPtr(k);
+      double* dst = out.RowPtr(r);
+      for (size_t c = 0; c < other.cols_; ++c) dst[c] += v * src[c];
+    }
+  }
+  return out;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  BW_CHECK_EQ(rows_, other.rows_);
+  BW_CHECK_EQ(cols_, other.cols_);
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+}  // namespace bw::linalg

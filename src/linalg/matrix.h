@@ -1,0 +1,59 @@
+// Dense row-major double matrix: the minimal linear-algebra substrate
+// needed for the SVD dimensionality reduction of blob feature vectors.
+
+#ifndef BLOBWORLD_LINALG_MATRIX_H_
+#define BLOBWORLD_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace bw::linalg {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double operator()(size_t r, size_t c) const {
+    BW_DCHECK_LT(r, rows_);
+    BW_DCHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double& operator()(size_t r, size_t c) {
+    BW_DCHECK_LT(r, rows_);
+    BW_DCHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const double* RowPtr(size_t r) const { return &data_[r * cols_]; }
+  double* RowPtr(size_t r) { return &data_[r * cols_]; }
+
+  Matrix Transposed() const;
+
+  /// this * other. Requires cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Max absolute element difference; used by tests for approx equality.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace bw::linalg
+
+#endif  // BLOBWORLD_LINALG_MATRIX_H_

@@ -1,0 +1,103 @@
+#include "linalg/reducer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/svd.h"
+
+namespace bw::linalg {
+
+Status SvdReducer::Fit(const std::vector<geom::Vec>& data,
+                       size_t max_components) {
+  if (data.empty()) {
+    return Status::InvalidArgument("SvdReducer::Fit needs at least 1 vector");
+  }
+  const size_t d = data[0].dim();
+  for (const auto& v : data) {
+    if (v.dim() != d) {
+      return Status::InvalidArgument("inconsistent vector dimensionality");
+    }
+  }
+  max_components = std::min(max_components, d);
+
+  // Mean.
+  std::vector<double> mean(d, 0.0);
+  for (const auto& v : data) {
+    for (size_t i = 0; i < d; ++i) mean[i] += v[i];
+  }
+  for (double& m : mean) m /= static_cast<double>(data.size());
+  mean_ = geom::Vec(d);
+  for (size_t i = 0; i < d; ++i) mean_[i] = static_cast<float>(mean[i]);
+
+  // Covariance C = (1/n) sum (x - mean)(x - mean)^T, accumulated in the
+  // upper triangle then mirrored.
+  Matrix cov(d, d, 0.0);
+  std::vector<double> centered(d);
+  for (const auto& v : data) {
+    for (size_t i = 0; i < d; ++i) centered[i] = v[i] - mean[i];
+    for (size_t i = 0; i < d; ++i) {
+      if (centered[i] == 0.0) continue;
+      double* row = cov.RowPtr(i);
+      for (size_t j = i; j < d; ++j) row[j] += centered[i] * centered[j];
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i; j < d; ++j) {
+      cov(i, j) *= inv_n;
+      cov(j, i) = cov(i, j);
+    }
+  }
+
+  BW_ASSIGN_OR_RETURN(EigenDecomposition eig, SymmetricEigen(cov));
+
+  total_variance_ = 0.0;
+  for (double w : eig.eigenvalues) total_variance_ += std::max(w, 0.0);
+
+  basis_.assign(max_components, std::vector<double>(d));
+  singular_values_.assign(max_components, 0.0);
+  component_variances_.assign(max_components, 0.0);
+  for (size_t j = 0; j < max_components; ++j) {
+    for (size_t i = 0; i < d; ++i) basis_[j][i] = eig.eigenvectors(i, j);
+    component_variances_[j] = std::max(eig.eigenvalues[j], 0.0);
+    singular_values_[j] = std::sqrt(component_variances_[j] *
+                                    static_cast<double>(data.size()));
+  }
+  return Status::OK();
+}
+
+double SvdReducer::ExplainedVarianceRatio(size_t k) const {
+  BW_CHECK(fitted());
+  k = std::min(k, component_variances_.size());
+  if (total_variance_ <= 0.0) return 1.0;
+  double captured = 0.0;
+  for (size_t j = 0; j < k; ++j) captured += component_variances_[j];
+  return captured / total_variance_;
+}
+
+geom::Vec SvdReducer::Project(const geom::Vec& v, size_t k) const {
+  BW_CHECK(fitted());
+  BW_CHECK_LE(k, basis_.size());
+  BW_CHECK_EQ(v.dim(), mean_.dim());
+  geom::Vec out(k);
+  const size_t d = mean_.dim();
+  for (size_t j = 0; j < k; ++j) {
+    double acc = 0.0;
+    const std::vector<double>& dir = basis_[j];
+    for (size_t i = 0; i < d; ++i) {
+      acc += (static_cast<double>(v[i]) - mean_[i]) * dir[i];
+    }
+    out[j] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+std::vector<geom::Vec> SvdReducer::ProjectAll(
+    const std::vector<geom::Vec>& data, size_t k) const {
+  std::vector<geom::Vec> out;
+  out.reserve(data.size());
+  for (const auto& v : data) out.push_back(Project(v, k));
+  return out;
+}
+
+}  // namespace bw::linalg

@@ -1,0 +1,59 @@
+// SVD dimensionality reduction of feature vectors (Section 3 of the
+// paper): fit on the full-dimensional blob histograms, project each
+// vector onto the top-k principal directions, truncate.
+
+#ifndef BLOBWORLD_LINALG_REDUCER_H_
+#define BLOBWORLD_LINALG_REDUCER_H_
+
+#include <vector>
+
+#include "geom/vec.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace bw::linalg {
+
+/// Fits the SVD basis of a set of high-dimensional vectors and projects
+/// vectors onto the leading components. For a mean-centered data matrix A
+/// the right singular vectors equal the eigenvectors of A^T A, which is
+/// how Fit computes them (tall-skinny data makes the covariance route
+/// vastly cheaper than a direct SVD and numerically equivalent).
+class SvdReducer {
+ public:
+  SvdReducer() = default;
+
+  /// Learns mean and basis from `data` (all vectors must share one
+  /// dimensionality). `max_components` caps how many directions are kept.
+  Status Fit(const std::vector<geom::Vec>& data, size_t max_components);
+
+  bool fitted() const { return !basis_.empty(); }
+  size_t input_dim() const { return mean_.dim(); }
+  size_t num_components() const { return basis_.size(); }
+
+  /// Fraction of total variance captured by the first k components.
+  double ExplainedVarianceRatio(size_t k) const;
+
+  /// Singular-value spectrum (sqrt of covariance eigenvalues, descending).
+  const std::vector<double>& singular_values() const {
+    return singular_values_;
+  }
+
+  /// Projects one vector onto the first `k` components (k <=
+  /// num_components()).
+  geom::Vec Project(const geom::Vec& v, size_t k) const;
+
+  /// Projects a whole data set.
+  std::vector<geom::Vec> ProjectAll(const std::vector<geom::Vec>& data,
+                                    size_t k) const;
+
+ private:
+  geom::Vec mean_;
+  std::vector<std::vector<double>> basis_;  // basis_[j] = j-th direction.
+  std::vector<double> singular_values_;
+  std::vector<double> component_variances_;  // covariance eigenvalues kept.
+  double total_variance_ = 0.0;              // covariance trace.
+};
+
+}  // namespace bw::linalg
+
+#endif  // BLOBWORLD_LINALG_REDUCER_H_

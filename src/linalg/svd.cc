@@ -1,0 +1,174 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace bw::linalg {
+
+namespace {
+
+// Sorts eigen/singular pairs descending by value, permuting columns of v
+// (and optionally u) to match.
+void SortPairsDescending(std::vector<double>& values, Matrix& v, Matrix* u) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return values[a] > values[b]; });
+
+  std::vector<double> sorted_values(n);
+  Matrix sorted_v(v.rows(), v.cols());
+  Matrix sorted_u = u ? Matrix(u->rows(), u->cols()) : Matrix();
+  for (size_t j = 0; j < n; ++j) {
+    sorted_values[j] = values[order[j]];
+    for (size_t r = 0; r < v.rows(); ++r) sorted_v(r, j) = v(r, order[j]);
+    if (u) {
+      for (size_t r = 0; r < u->rows(); ++r) {
+        sorted_u(r, j) = (*u)(r, order[j]);
+      }
+    }
+  }
+  values = std::move(sorted_values);
+  v = std::move(sorted_v);
+  if (u) *u = std::move(sorted_u);
+}
+
+}  // namespace
+
+Result<EigenDecomposition> SymmetricEigen(const Matrix& input, int max_sweeps,
+                                          double tol) {
+  if (input.rows() != input.cols()) {
+    return Status::InvalidArgument("SymmetricEigen requires a square matrix");
+  }
+  const size_t n = input.rows();
+  Matrix a = input;
+  Matrix v = Matrix::Identity(n);
+
+  const double frobenius = a.FrobeniusNorm();
+  const double threshold = tol * std::max(frobenius, 1e-300);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Largest off-diagonal magnitude this sweep; convergence criterion.
+    double off_max = 0.0;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        off_max = std::max(off_max, std::abs(a(p, q)));
+      }
+    }
+    if (off_max <= threshold) break;
+
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= threshold * 1e-3) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        // Classic Jacobi rotation computation.
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  for (size_t i = 0; i < n; ++i) out.eigenvalues[i] = a(i, i);
+  out.eigenvectors = std::move(v);
+  SortPairsDescending(out.eigenvalues, out.eigenvectors, nullptr);
+  return out;
+}
+
+Result<SvdDecomposition> ThinSvd(const Matrix& input, int max_sweeps,
+                                 double tol) {
+  const size_t m = input.rows();
+  const size_t n = input.cols();
+  if (m == 0 || n == 0) {
+    return Status::InvalidArgument("ThinSvd requires a non-empty matrix");
+  }
+
+  // One-sided Jacobi: orthogonalize the columns of U (initialized to A)
+  // by plane rotations, accumulating them into V.
+  Matrix u = input;
+  Matrix v = Matrix::Identity(n);
+
+  auto col_dot = [&](size_t i, size_t j) {
+    double acc = 0.0;
+    for (size_t r = 0; r < m; ++r) acc += u(r, i) * u(r, j);
+    return acc;
+  };
+
+  const double scale = input.FrobeniusNorm();
+  const double threshold = tol * std::max(scale * scale, 1e-300);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double alpha = col_dot(p, p);
+        const double beta = col_dot(q, q);
+        const double gamma = col_dot(p, q);
+        if (std::abs(gamma) <= threshold) continue;
+        rotated = true;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(zeta * zeta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (size_t r = 0; r < m; ++r) {
+          const double up = u(r, p);
+          const double uq = u(r, q);
+          u(r, p) = c * up - s * uq;
+          u(r, q) = s * up + c * uq;
+        }
+        for (size_t r = 0; r < n; ++r) {
+          const double vp = v(r, p);
+          const double vq = v(r, q);
+          v(r, p) = c * vp - s * vq;
+          v(r, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  SvdDecomposition out;
+  out.singular_values.resize(n);
+  for (size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (size_t r = 0; r < m; ++r) norm += u(r, j) * u(r, j);
+    norm = std::sqrt(norm);
+    out.singular_values[j] = norm;
+    if (norm > 0.0) {
+      for (size_t r = 0; r < m; ++r) u(r, j) /= norm;
+    }
+  }
+  out.u = std::move(u);
+  out.v = std::move(v);
+  SortPairsDescending(out.singular_values, out.v, &out.u);
+  return out;
+}
+
+}  // namespace bw::linalg

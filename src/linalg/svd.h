@@ -1,0 +1,43 @@
+// Symmetric eigendecomposition (cyclic Jacobi) and singular value
+// decomposition. The Blobworld pipeline reduces 218-D histograms to k-D
+// via SVD of the mean-centered data matrix; for tall-skinny data this is
+// computed through the D x D covariance eigendecomposition, which is
+// numerically equivalent and orders of magnitude cheaper.
+
+#ifndef BLOBWORLD_LINALG_SVD_H_
+#define BLOBWORLD_LINALG_SVD_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace bw::linalg {
+
+/// Result of a symmetric eigendecomposition A = V diag(w) V^T with
+/// eigenvalues sorted in descending order; V's columns are eigenvectors.
+struct EigenDecomposition {
+  std::vector<double> eigenvalues;
+  Matrix eigenvectors;  // n x n; column j corresponds to eigenvalues[j].
+};
+
+/// Cyclic Jacobi eigensolver for a symmetric matrix. Returns
+/// InvalidArgument if `a` is not square, Internal if convergence fails
+/// (does not happen for symmetric input within the sweep limit).
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a,
+                                          int max_sweeps = 64,
+                                          double tol = 1e-12);
+
+/// Thin SVD A = U diag(s) V^T via one-sided Jacobi on the columns of A.
+/// Intended for small/medium matrices (tests, reference computations).
+struct SvdDecomposition {
+  Matrix u;                     // m x n (thin).
+  std::vector<double> singular_values;  // descending, length n.
+  Matrix v;                     // n x n.
+};
+Result<SvdDecomposition> ThinSvd(const Matrix& a, int max_sweeps = 64,
+                                 double tol = 1e-12);
+
+}  // namespace bw::linalg
+
+#endif  // BLOBWORLD_LINALG_SVD_H_

@@ -1,0 +1,69 @@
+// LRU buffer pool over a PageFile. Section 6 of the paper argues that
+// XJB beats JB once inner nodes must fit in a memory budget; the buffer
+// pool makes that argument measurable: hits are free, misses are charged
+// to the underlying file's I/O counters.
+
+#ifndef BLOBWORLD_PAGES_BUFFER_POOL_H_
+#define BLOBWORLD_PAGES_BUFFER_POOL_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "pages/page_file.h"
+
+namespace bw::pages {
+
+/// Buffer pool counters.
+struct BufferStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+  void Reset() { *this = BufferStats(); }
+};
+
+/// Simple LRU cache of page ids. The pool does not copy page contents
+/// (the PageFile is already in memory); it only models which pages would
+/// be resident, which is all the experiments need.
+class BufferPool {
+ public:
+  /// `capacity` = number of resident pages; 0 means "cache nothing".
+  BufferPool(PageFile* file, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Fetches a page through the cache: a hit costs no file I/O, a miss
+  /// reads through to the file (incrementing its IoStats).
+  Result<Page*> Fetch(PageId id);
+
+  /// Pre-loads a page without counting a miss (used to model "inner
+  /// nodes are pinned in memory" scenarios).
+  void Prime(PageId id);
+
+  /// Drops all cached pages.
+  void Clear();
+
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  void Touch(PageId id);
+  void InsertResident(PageId id);
+
+  PageFile* file_;
+  size_t capacity_;
+  std::list<PageId> lru_;  // front = most recent.
+  std::unordered_map<PageId, std::list<PageId>::iterator> resident_;
+  BufferStats stats_;
+};
+
+}  // namespace bw::pages
+
+#endif  // BLOBWORLD_PAGES_BUFFER_POOL_H_

@@ -1,0 +1,24 @@
+#include "pages/io_model.h"
+
+namespace bw::pages {
+
+double IoModel::TransferMs() const {
+  const double bytes_per_ms = params_.throughput_mb_per_s * 1e6 / 1e3;
+  return static_cast<double>(params_.page_bytes) / bytes_per_ms;
+}
+
+double IoModel::RandomReadMs() const {
+  return params_.seek_ms + params_.rotational_delay_ms + TransferMs();
+}
+
+double IoModel::RandomToSequentialRatio() const {
+  return RandomReadMs() / SequentialReadMs();
+}
+
+double IoModel::WorkloadMs(uint64_t random_reads,
+                           uint64_t sequential_reads) const {
+  return static_cast<double>(random_reads) * RandomReadMs() +
+         static_cast<double>(sequential_reads) * SequentialReadMs();
+}
+
+}  // namespace bw::pages

@@ -1,0 +1,58 @@
+// Disk cost model reproducing the paper's Section 3.2 / footnote 4
+// arithmetic: on a late-90s Seagate Barracuda, one random 8 KB I/O costs
+// about as much as ~14-15 sequential 8 KB transfers, so an access method
+// must touch fewer than ~1/15 of the leaf pages to beat a flat-file scan.
+
+#ifndef BLOBWORLD_PAGES_IO_MODEL_H_
+#define BLOBWORLD_PAGES_IO_MODEL_H_
+
+#include <cstdint>
+
+namespace bw::pages {
+
+/// Parameters of a rotating disk, defaulted to the drive the paper cites
+/// (Seagate Barracuda ultra-wide SCSI-2: 9 MB/s throughput, 7.1 ms seek,
+/// 4.17 ms rotational delay, 8 KB transfers).
+struct DiskParameters {
+  double seek_ms = 7.1;
+  double rotational_delay_ms = 4.17;
+  double throughput_mb_per_s = 9.0;
+  uint32_t page_bytes = 8192;
+};
+
+/// Analytic disk cost model.
+class IoModel {
+ public:
+  explicit IoModel(DiskParameters params = DiskParameters())
+      : params_(params) {}
+
+  const DiskParameters& params() const { return params_; }
+
+  /// Time to transfer one page off the platter (no positioning).
+  double TransferMs() const;
+
+  /// Cost of one sequential page read (pure transfer).
+  double SequentialReadMs() const { return TransferMs(); }
+
+  /// Cost of one random page read (seek + rotate + transfer).
+  double RandomReadMs() const;
+
+  /// RandomReadMs / SequentialReadMs: the paper's ~15x factor.
+  double RandomToSequentialRatio() const;
+
+  /// Total time for a mixed workload of counted I/Os.
+  double WorkloadMs(uint64_t random_reads, uint64_t sequential_reads) const;
+
+  /// Largest fraction of pages an index may touch (randomly) and still
+  /// beat a full sequential scan of all pages: 1 / ratio.
+  double BreakEvenPageFraction() const {
+    return 1.0 / RandomToSequentialRatio();
+  }
+
+ private:
+  DiskParameters params_;
+};
+
+}  // namespace bw::pages
+
+#endif  // BLOBWORLD_PAGES_IO_MODEL_H_

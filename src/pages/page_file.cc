@@ -1,0 +1,45 @@
+#include "pages/page_file.h"
+
+namespace bw::pages {
+
+PageId PageFile::Allocate() {
+  pages_.push_back(std::make_unique<Page>(page_size_));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status PageFile::CheckId(PageId id) const {
+  if (id >= pages_.size()) {
+    return Status::InvalidArgument("page id out of range");
+  }
+  return Status::OK();
+}
+
+Result<Page*> PageFile::Read(PageId id) {
+  BW_RETURN_IF_ERROR(CheckId(id));
+  ++stats_.reads;
+  if (last_read_ != kInvalidPageId && id == last_read_ + 1) {
+    ++stats_.sequential_reads;
+  } else {
+    ++stats_.random_reads;
+  }
+  last_read_ = id;
+  return pages_[id].get();
+}
+
+Result<Page*> PageFile::Write(PageId id) {
+  BW_RETURN_IF_ERROR(CheckId(id));
+  ++stats_.writes;
+  return pages_[id].get();
+}
+
+Page* PageFile::PeekNoIo(PageId id) {
+  BW_CHECK_LT(id, pages_.size());
+  return pages_[id].get();
+}
+
+const Page* PageFile::PeekNoIo(PageId id) const {
+  BW_CHECK_LT(id, pages_.size());
+  return pages_[id].get();
+}
+
+}  // namespace bw::pages

@@ -1,0 +1,164 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace bw {
+
+int64_t* Flags::AddInt64(const std::string& name, int64_t default_value,
+                         const std::string& help) {
+  Entry& e = entries_[name];
+  e.type = Type::kInt64;
+  e.help = help;
+  e.int_value = default_value;
+  return &e.int_value;
+}
+
+double* Flags::AddDouble(const std::string& name, double default_value,
+                         const std::string& help) {
+  Entry& e = entries_[name];
+  e.type = Type::kDouble;
+  e.help = help;
+  e.double_value = default_value;
+  return &e.double_value;
+}
+
+bool* Flags::AddBool(const std::string& name, bool default_value,
+                     const std::string& help) {
+  Entry& e = entries_[name];
+  e.type = Type::kBool;
+  e.help = help;
+  e.bool_value = default_value;
+  return &e.bool_value;
+}
+
+std::string* Flags::AddString(const std::string& name,
+                              const std::string& default_value,
+                              const std::string& help) {
+  Entry& e = entries_[name];
+  e.type = Type::kString;
+  e.help = help;
+  e.string_value = default_value;
+  return &e.string_value;
+}
+
+Status Flags::SetFromString(Entry& entry, const std::string& value) {
+  char* end = nullptr;
+  switch (entry.type) {
+    case Type::kInt64: {
+      long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad integer value '" + value + "'");
+      }
+      entry.int_value = v;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad double value '" + value + "'");
+      }
+      entry.double_value = v;
+      return Status::OK();
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1") {
+        entry.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        entry.bool_value = false;
+      } else {
+        return Status::InvalidArgument("bad bool value '" + value + "'");
+      }
+      return Status::OK();
+    }
+    case Type::kString:
+      entry.string_value = value;
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "%s", Usage().c_str());
+      return Status::NotFound("help requested");
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected positional argument '" +
+                                     arg + "'");
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+
+    // Boolean negation: --no-foo.
+    bool negated = false;
+    if (!has_value && name.rfind("no-", 0) == 0 &&
+        entries_.count(name.substr(3)) > 0) {
+      name = name.substr(3);
+      negated = true;
+    }
+
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      return Status::InvalidArgument("unknown flag '--" + name + "'\n" +
+                                     Usage());
+    }
+    Entry& entry = it->second;
+
+    if (entry.type == Type::kBool && !has_value) {
+      entry.bool_value = !negated;
+      continue;
+    }
+    if (negated) {
+      return Status::InvalidArgument("--no- prefix only valid for bools");
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag '--" + name +
+                                       "' expects a value");
+      }
+      value = argv[++i];
+    }
+    BW_RETURN_IF_ERROR(SetFromString(entry, value));
+  }
+  return Status::OK();
+}
+
+std::string Flags::Usage() const {
+  std::ostringstream oss;
+  oss << "Flags:\n";
+  for (const auto& [name, entry] : entries_) {
+    oss << "  --" << name << "  ";
+    switch (entry.type) {
+      case Type::kInt64:
+        oss << "(int, default " << entry.int_value << ")";
+        break;
+      case Type::kDouble:
+        oss << "(double, default " << entry.double_value << ")";
+        break;
+      case Type::kBool:
+        oss << "(bool, default " << (entry.bool_value ? "true" : "false")
+            << ")";
+        break;
+      case Type::kString:
+        oss << "(string, default '" << entry.string_value << "')";
+        break;
+    }
+    oss << "  " << entry.help << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace bw

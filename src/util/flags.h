@@ -1,0 +1,68 @@
+// Minimal command-line flag parsing for bench and example binaries.
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name` forms. Unknown flags are reported as errors so that typos
+// in experiment sweeps do not silently run the default configuration.
+
+#ifndef BLOBWORLD_UTIL_FLAGS_H_
+#define BLOBWORLD_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bw {
+
+/// Registry of typed flags for one binary. Typical use:
+///
+///   bw::Flags flags;
+///   int64_t* blobs = flags.AddInt64("blobs", 20000, "number of blobs");
+///   BW_CHECK_OK(flags.Parse(argc, argv));
+class Flags {
+ public:
+  Flags() = default;
+  Flags(const Flags&) = delete;
+  Flags& operator=(const Flags&) = delete;
+
+  /// Registers a flag; the returned pointer stays valid for the lifetime
+  /// of this Flags object and holds the parsed (or default) value.
+  int64_t* AddInt64(const std::string& name, int64_t default_value,
+                    const std::string& help);
+  double* AddDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  bool* AddBool(const std::string& name, bool default_value,
+                const std::string& help);
+  std::string* AddString(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help);
+
+  /// Parses argv. Returns InvalidArgument on unknown flags or malformed
+  /// values. `--help` prints usage and returns NotFound (callers should
+  /// exit 0 on that code).
+  Status Parse(int argc, char** argv);
+
+  /// One usage line per registered flag.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt64, kDouble, kBool, kString };
+  struct Entry {
+    Type type;
+    std::string help;
+    // Owned storage; exactly one is used per Type.
+    int64_t int_value = 0;
+    double double_value = 0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+
+  Status SetFromString(Entry& entry, const std::string& value);
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace bw
+
+#endif  // BLOBWORLD_UTIL_FLAGS_H_

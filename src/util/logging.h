@@ -1,0 +1,84 @@
+// Lightweight logging and invariant-checking macros.
+//
+// BW_CHECK* abort on violation in all build modes: they guard structural
+// invariants (page bounds, tree balance) whose violation would otherwise
+// corrupt downstream results silently. BW_DCHECK* compile out in NDEBUG.
+
+#ifndef BLOBWORLD_UTIL_LOGGING_H_
+#define BLOBWORLD_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace bw::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::abort();
+}
+
+}  // namespace bw::internal
+
+#define BW_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::bw::internal::CheckFailed(__FILE__, __LINE__, #expr, "");   \
+    }                                                               \
+  } while (0)
+
+#define BW_CHECK_MSG(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream _bw_oss;                                      \
+      _bw_oss << "(" << (msg) << ")";                                  \
+      ::bw::internal::CheckFailed(__FILE__, __LINE__, #expr,           \
+                                  _bw_oss.str());                      \
+    }                                                                  \
+  } while (0)
+
+#define BW_CHECK_OP(op, a, b)                                          \
+  do {                                                                 \
+    auto _bw_a = (a);                                                  \
+    auto _bw_b = (b);                                                  \
+    if (!(_bw_a op _bw_b)) {                                           \
+      std::ostringstream _bw_oss;                                      \
+      _bw_oss << "(" << _bw_a << " vs " << _bw_b << ")";               \
+      ::bw::internal::CheckFailed(__FILE__, __LINE__,                  \
+                                  #a " " #op " " #b, _bw_oss.str());   \
+    }                                                                  \
+  } while (0)
+
+#define BW_CHECK_EQ(a, b) BW_CHECK_OP(==, a, b)
+#define BW_CHECK_NE(a, b) BW_CHECK_OP(!=, a, b)
+#define BW_CHECK_LT(a, b) BW_CHECK_OP(<, a, b)
+#define BW_CHECK_LE(a, b) BW_CHECK_OP(<=, a, b)
+#define BW_CHECK_GT(a, b) BW_CHECK_OP(>, a, b)
+#define BW_CHECK_GE(a, b) BW_CHECK_OP(>=, a, b)
+
+// Checks that a bw::Status expression is OK.
+#define BW_CHECK_OK(expr)                                                \
+  do {                                                                   \
+    ::bw::Status _bw_st = (expr);                                        \
+    BW_CHECK_MSG(_bw_st.ok(), _bw_st.ToString());                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define BW_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#define BW_DCHECK_EQ(a, b) BW_DCHECK((a) == (b))
+#define BW_DCHECK_LE(a, b) BW_DCHECK((a) <= (b))
+#define BW_DCHECK_LT(a, b) BW_DCHECK((a) < (b))
+#else
+#define BW_DCHECK(expr) BW_CHECK(expr)
+#define BW_DCHECK_EQ(a, b) BW_CHECK_EQ(a, b)
+#define BW_DCHECK_LE(a, b) BW_CHECK_LE(a, b)
+#define BW_DCHECK_LT(a, b) BW_CHECK_LT(a, b)
+#endif
+
+#endif  // BLOBWORLD_UTIL_LOGGING_H_

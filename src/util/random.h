@@ -1,0 +1,124 @@
+// Deterministic pseudo-random number generation for reproducible
+// experiments. All randomized components of the library (data generators,
+// aMAP partition sampling, workload selection) take an explicit Rng so
+// that every run of a bench or test is bit-reproducible.
+
+#ifndef BLOBWORLD_UTIL_RANDOM_H_
+#define BLOBWORLD_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace bw {
+
+/// xoshiro256**: small, fast, high-quality, reproducible across platforms
+/// (unlike std::mt19937's distribution wrappers, whose outputs are not
+/// specified identically across standard libraries).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator via splitmix64 expansion of `seed`.
+  void Seed(uint64_t seed) {
+    for (auto& s : state_) {
+      // splitmix64 step
+      seed += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n) {
+    assert(n > 0);
+    // Debiased modulo via rejection on the tail.
+    const uint64_t threshold = -n % n;
+    for (;;) {
+      uint64_t r = NextU64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float NextFloat() {
+    return static_cast<float>(NextU64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box-Muller (no cached second value, for
+  /// reproducibility simplicity).
+  double Gaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (reservoir sampling); result is
+  /// in ascending order of selection position, not sorted numerically.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k) {
+    assert(k <= n);
+    std::vector<size_t> reservoir(k);
+    for (size_t i = 0; i < k; ++i) reservoir[i] = i;
+    for (size_t i = k; i < n; ++i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      if (j < k) reservoir[j] = i;
+    }
+    return reservoir;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace bw
+
+#endif  // BLOBWORLD_UTIL_RANDOM_H_

@@ -1,0 +1,153 @@
+// Status and Result<T>: exception-free error handling in the style of
+// RocksDB's Status / Arrow's Result. All fallible public APIs in this
+// project return one of these two types.
+
+#ifndef BLOBWORLD_UTIL_STATUS_H_
+#define BLOBWORLD_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bw {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kCorruption,
+  kNoSpace,
+  kNotSupported,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
+const char* StatusCodeName(StatusCode code);
+
+/// Success-or-error result of an operation, carrying an error message on
+/// failure. Cheap to copy on the success path (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NoSpace(std::string msg) {
+    return Status(StatusCode::kNoSpace, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status. Access to the value when the
+/// result holds an error is a programming bug and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status, enabling
+  /// `return value;` and `return Status::...;` in the same function.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+// Propagates a non-OK Status from an expression, RocksDB-style.
+#define BW_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::bw::Status _bw_status = (expr);            \
+    if (!_bw_status.ok()) return _bw_status;     \
+  } while (0)
+
+// Evaluates a Result expression; on error returns its Status, otherwise
+// assigns the value to `lhs` (which must be declared by the caller, e.g.
+// `BW_ASSIGN_OR_RETURN(auto x, MakeX());`).
+#define BW_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+#define BW_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define BW_ASSIGN_OR_RETURN_NAME(a, b) BW_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define BW_ASSIGN_OR_RETURN(lhs, expr) \
+  BW_ASSIGN_OR_RETURN_IMPL(BW_ASSIGN_OR_RETURN_NAME(_bw_result_, __LINE__), \
+                           lhs, expr)
+
+}  // namespace bw
+
+#endif  // BLOBWORLD_UTIL_STATUS_H_

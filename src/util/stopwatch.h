@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for coarse experiment timing.
+
+#ifndef BLOBWORLD_UTIL_STOPWATCH_H_
+#define BLOBWORLD_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace bw {
+
+/// Starts timing on construction; ElapsedSeconds() reads without stopping.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bw
+
+#endif  // BLOBWORLD_UTIL_STOPWATCH_H_

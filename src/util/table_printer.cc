@@ -1,0 +1,57 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace bw {
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      oss << (c == 0 ? "| " : " ");
+      oss << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    oss << "\n";
+  };
+
+  emit_row(header_);
+  for (size_t c = 0; c < widths.size(); ++c) {
+    oss << (c == 0 ? "|-" : "-") << std::string(widths[c], '-') << "-|";
+  }
+  oss << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return oss.str();
+}
+
+std::string TablePrinter::Num(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TablePrinter::Count(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string TablePrinter::Percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace bw

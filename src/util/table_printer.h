@@ -1,0 +1,40 @@
+// Plain-text table rendering for bench harness output. The bench binaries
+// print the same rows/series the paper's tables and figures report; this
+// formats them with aligned columns so the output is diffable run-to-run.
+
+#ifndef BLOBWORLD_UTIL_TABLE_PRINTER_H_
+#define BLOBWORLD_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace bw {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders header, separator, and all rows with column alignment.
+  std::string ToString() const;
+
+  /// Formats a double with the given number of decimal places.
+  static std::string Num(double v, int decimals = 2);
+  /// Formats an integer count.
+  static std::string Count(long long v);
+  /// Formats a ratio as a percentage string like "31.4%".
+  static std::string Percent(double fraction, int decimals = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bw
+
+#endif  // BLOBWORLD_UTIL_TABLE_PRINTER_H_

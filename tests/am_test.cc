@@ -1,0 +1,252 @@
+// Tests for src/am: the standard extensions' codecs and heuristics, the
+// split algorithms, and STR bulk loading.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "am/bulk_load.h"
+#include "am/rtree.h"
+#include "am/split_heuristics.h"
+#include "am/srtree.h"
+#include "am/sstree.h"
+#include "gist/tree.h"
+#include "tests/test_helpers.h"
+
+namespace bw::am {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Codecs
+// ---------------------------------------------------------------------------
+
+TEST(RtreeExtensionTest, RectCodecRoundTrips) {
+  RtreeExtension ext(4);
+  const auto points = testing::MakeUniformPoints(20, 4, 1);
+  const geom::Rect rect = geom::Rect::BoundingBox(points);
+  EXPECT_EQ(ext.DecodeRect(ext.EncodeRect(rect)), rect);
+}
+
+TEST(RtreeExtensionTest, PenaltyIsEnlargement) {
+  RtreeExtension ext(2);
+  geom::Rect r(geom::Vec{0.0f, 0.0f}, geom::Vec{2.0f, 2.0f});
+  const gist::Bytes bp = ext.EncodeRect(r);
+  EXPECT_DOUBLE_EQ(ext.BpPenalty(bp, geom::Vec{1.0f, 1.0f}), 0.0);
+  // Point at (4, 2): enlarges to [0,4]x[0,2] = 8, delta 4.
+  EXPECT_DOUBLE_EQ(ext.BpPenalty(bp, geom::Vec{4.0f, 2.0f}), 4.0);
+}
+
+TEST(SsTreeExtensionTest, SphereCodecCarriesWeight) {
+  SsTreeExtension ext(3);
+  geom::Sphere ball(geom::Vec{1.0f, 2.0f, 3.0f}, 4.0);
+  const gist::Bytes bp = ext.EncodeSphere(ball, 123);
+  EXPECT_EQ(ext.DecodeWeight(bp), 123u);
+  const geom::Sphere decoded = ext.DecodeSphere(bp);
+  EXPECT_EQ(decoded.center(), ball.center());
+  EXPECT_NEAR(decoded.radius(), 4.0, 1e-3);
+}
+
+TEST(SsTreeExtensionTest, ParentBpCoversChildren) {
+  SsTreeExtension ext(3);
+  std::vector<gist::Bytes> children;
+  std::vector<std::vector<geom::Vec>> groups;
+  for (int g = 0; g < 5; ++g) {
+    groups.push_back(testing::MakeClusteredPoints(30, 3, 1, g + 1));
+    children.push_back(ext.BpFromPoints(groups.back()));
+  }
+  const gist::Bytes parent = ext.BpFromChildBps(children);
+  EXPECT_EQ(ext.DecodeWeight(parent), 150u);
+  for (const auto& group : groups) {
+    for (const auto& p : group) {
+      EXPECT_DOUBLE_EQ(ext.BpMinDistance(parent, p), 0.0);
+    }
+  }
+}
+
+TEST(SrTreeExtensionTest, BoundIsMaxOfRectAndSphere) {
+  SrTreeExtension ext(2);
+  const auto points = testing::MakeClusteredPoints(40, 2, 1, 3);
+  const gist::Bytes bp = ext.BpFromPoints(points);
+  const auto queries = testing::MakeUniformPoints(30, 2, 4);
+  for (const auto& q : queries) {
+    const double rect_d =
+        std::sqrt(ext.DecodeRect(bp).MinDistanceSquared(q));
+    const double sphere_d = ext.DecodeSphere(bp).MinDistance(q);
+    EXPECT_DOUBLE_EQ(ext.BpMinDistance(bp, q), std::max(rect_d, sphere_d));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Split heuristics
+// ---------------------------------------------------------------------------
+
+TEST(QuadraticSplitTest, BothSidesRespectMinFill) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 10 + rng.NextBelow(100);
+    const auto points = testing::MakeUniformPoints(n, 3, trial);
+    std::vector<geom::Rect> rects;
+    for (const auto& p : points) rects.emplace_back(p);
+    const auto split = QuadraticSplit(rects, 0.4);
+    size_t right = 0;
+    for (bool b : split) right += b;
+    const size_t min_fill = std::max<size_t>(1, size_t(0.4 * double(n)));
+    EXPECT_GE(right, min_fill) << "n=" << n;
+    EXPECT_GE(n - right, min_fill) << "n=" << n;
+  }
+}
+
+TEST(QuadraticSplitTest, SeparatesTwoObviousClusters) {
+  // Two groups far apart: the split must be the cluster assignment.
+  std::vector<geom::Rect> rects;
+  for (int i = 0; i < 10; ++i) {
+    rects.emplace_back(geom::Vec{float(i) * 0.01f, 0.0f});
+  }
+  for (int i = 0; i < 10; ++i) {
+    rects.emplace_back(geom::Vec{100.0f + float(i) * 0.01f, 0.0f});
+  }
+  const auto split = QuadraticSplit(rects, 0.4);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(split[i], split[0]);
+  for (int i = 10; i < 20; ++i) EXPECT_EQ(split[i], split[10]);
+  EXPECT_NE(split[0], split[10]);
+}
+
+TEST(MaxVarianceSplitTest, SplitsAlongHighVarianceDimension) {
+  // Variance concentrated in dim 1: the median split must separate low
+  // from high dim-1 halves.
+  std::vector<geom::Vec> centers;
+  for (int i = 0; i < 20; ++i) {
+    centers.push_back(geom::Vec{0.5f, float(i) * 10.0f});
+  }
+  const auto split = MaxVarianceSplit(centers, 0.4);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(split[i]);
+  for (int i = 10; i < 20; ++i) EXPECT_TRUE(split[i]);
+}
+
+TEST(MaxVarianceSplitTest, BalancedHalves) {
+  const auto centers = testing::MakeUniformPoints(31, 4, 9);
+  const auto split = MaxVarianceSplit(centers, 0.4);
+  size_t right = 0;
+  for (bool b : split) right += b;
+  EXPECT_GE(right, 12u);
+  EXPECT_LE(right, 19u);
+}
+
+// ---------------------------------------------------------------------------
+// STR order + bulk load
+// ---------------------------------------------------------------------------
+
+TEST(StrOrderTest, IsAPermutation) {
+  const auto points = testing::MakeUniformPoints(500, 3, 11);
+  const auto order = StrOrder(points, 20);
+  std::set<size_t> distinct(order.begin(), order.end());
+  EXPECT_EQ(distinct.size(), points.size());
+}
+
+TEST(StrOrderTest, TilesAreSpatiallyCoherent) {
+  // The average MBR volume of STR tiles must be far below the volume of
+  // random tiles of the same size.
+  const auto points = testing::MakeUniformPoints(2000, 2, 13);
+  const size_t capacity = 50;
+  const auto order = StrOrder(points, capacity);
+
+  auto tile_volume = [&](const std::vector<size_t>& perm) {
+    double total = 0.0;
+    size_t tiles = 0;
+    for (size_t begin = 0; begin + capacity <= perm.size();
+         begin += capacity) {
+      std::vector<geom::Vec> tile;
+      for (size_t i = begin; i < begin + capacity; ++i) {
+        tile.push_back(points[perm[i]]);
+      }
+      total += geom::Rect::BoundingBox(tile).Volume();
+      ++tiles;
+    }
+    return total / double(tiles);
+  };
+
+  std::vector<size_t> identity(points.size());
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_LT(tile_volume(order), 0.2 * tile_volume(identity));
+}
+
+TEST(BulkLoadTest, RejectsBadInput) {
+  pages::PageFile file(4096);
+  gist::Tree tree(&file, std::make_unique<RtreeExtension>(3));
+  std::vector<geom::Vec> points = {geom::Vec(3)};
+  EXPECT_FALSE(StrBulkLoad(&tree, points, {}).ok());     // size mismatch
+  EXPECT_FALSE(StrBulkLoad(&tree, {}, {}).ok());         // empty
+  BulkLoadOptions bad;
+  bad.fill_fraction = 1.5;
+  EXPECT_FALSE(StrBulkLoad(&tree, points, {7}, bad).ok());
+  ASSERT_TRUE(StrBulkLoad(&tree, points, {7}).ok());
+  EXPECT_FALSE(StrBulkLoad(&tree, points, {8}).ok());    // non-empty tree
+}
+
+TEST(BulkLoadTest, ProducesValidTreeAtTargetFill) {
+  pages::PageFile file(4096);
+  gist::Tree tree(&file, std::make_unique<RtreeExtension>(5));
+  const auto points = testing::MakeClusteredPoints(10000, 5, 20, 17);
+  std::vector<gist::Rid> rids(points.size());
+  std::iota(rids.begin(), rids.end(), 0);
+  BulkLoadOptions options;
+  options.fill_fraction = 0.85;
+  ASSERT_TRUE(StrBulkLoad(&tree, points, rids, options).ok());
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  EXPECT_EQ(tree.size(), points.size());
+
+  const auto shape = tree.Shape();
+  // All leaves except possibly the last are near the fill target.
+  EXPECT_NEAR(shape.avg_utilization_per_level[0], 0.85, 0.08);
+  // Fanout sanity: height = ceil-log of leaf count.
+  EXPECT_GE(shape.height, 2);
+  EXPECT_LE(shape.height, 4);
+}
+
+TEST(BulkLoadTest, LowFillProducesMoreLeaves) {
+  const auto points = testing::MakeUniformPoints(3000, 3, 23);
+  std::vector<gist::Rid> rids(points.size());
+  std::iota(rids.begin(), rids.end(), 0);
+
+  auto leaves_at = [&](double fill) {
+    pages::PageFile file(4096);
+    gist::Tree tree(&file, std::make_unique<RtreeExtension>(3));
+    BulkLoadOptions options;
+    options.fill_fraction = fill;
+    BW_CHECK_OK(StrBulkLoad(&tree, points, rids, options));
+    return tree.Shape().LeafNodes();
+  };
+  EXPECT_GT(leaves_at(0.5), leaves_at(1.0) * 3 / 2);
+}
+
+TEST(BulkLoadTest, InsertionLoadMatchesBulkResults) {
+  const auto points = testing::MakeClusteredPoints(800, 3, 5, 29);
+  std::vector<gist::Rid> rids(points.size());
+  std::iota(rids.begin(), rids.end(), 0);
+
+  pages::PageFile f1(2048), f2(2048);
+  gist::Tree bulk(&f1, std::make_unique<RtreeExtension>(3));
+  gist::Tree inserted(&f2, std::make_unique<RtreeExtension>(3));
+  ASSERT_TRUE(StrBulkLoad(&bulk, points, rids).ok());
+  ASSERT_TRUE(InsertionLoad(&inserted, points, rids).ok());
+  ASSERT_TRUE(inserted.Validate().ok());
+
+  // Same query answers from both trees.
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const geom::Vec& q = points[rng.NextBelow(points.size())];
+    auto a = bulk.KnnSearch(q, 15, nullptr);
+    auto b = inserted.KnnSearch(q, 15, nullptr);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    for (size_t i = 0; i < 15; ++i) {
+      EXPECT_NEAR((*a)[i].distance, (*b)[i].distance, 1e-6);
+    }
+  }
+  // Insertion-loaded trees are less tightly packed.
+  EXPECT_GE(inserted.Shape().LeafNodes(), bulk.Shape().LeafNodes());
+}
+
+}  // namespace
+}  // namespace bw::am

@@ -1,0 +1,113 @@
+// Tests for the amdb extras: per-node loss attribution and the SVG leaf
+// visualizer.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "amdb/node_report.h"
+#include "amdb/visualize.h"
+#include "core/index_factory.h"
+#include "tests/test_helpers.h"
+
+namespace bw::amdb {
+namespace {
+
+struct Scenario {
+  std::unique_ptr<core::BuiltIndex> index;
+  std::vector<geom::Vec> points;
+  std::vector<QueryTrace> traces;
+
+  explicit Scenario(const char* am, size_t dim = 5) {
+    points = testing::MakeClusteredPoints(4000, dim, 8, 77);
+    core::IndexBuildOptions options;
+    options.am = am;
+    auto built = core::BuildIndex(points, options);
+    BW_CHECK_MSG(built.ok(), built.status().ToString());
+    index = std::move(built).value();
+
+    std::vector<uint32_t> foci;
+    for (uint32_t f = 0; f < 30; ++f) foci.push_back(f * 131 % 4000);
+    const Workload workload = Workload::NnOverFoci(points, foci, 50);
+    auto executed = ExecuteWorkload(index->tree(), workload);
+    BW_CHECK_MSG(executed.ok(), executed.status().ToString());
+    traces = std::move(executed).value();
+  }
+};
+
+TEST(NodeReportTest, AccountsEveryLeafAndAccess) {
+  Scenario scenario("rtree");
+  const auto nodes = AttributeNodeLosses(scenario.index->tree(), scenario.traces);
+  EXPECT_EQ(nodes.size(), scenario.index->tree().Shape().LeafNodes());
+
+  uint64_t total_accesses = 0;
+  uint64_t total_results = 0;
+  size_t total_entries = 0;
+  for (const NodeLosses& node : nodes) {
+    EXPECT_LE(node.useful_accesses, node.accesses);
+    total_accesses += node.accesses;
+    total_results += node.results_served;
+    total_entries += node.entries;
+  }
+  uint64_t traced_accesses = 0;
+  uint64_t traced_results = 0;
+  for (const auto& trace : scenario.traces) {
+    traced_accesses += trace.accessed_leaves.size();
+    traced_results += trace.results.size();
+  }
+  EXPECT_EQ(total_accesses, traced_accesses);
+  EXPECT_EQ(total_results, traced_results);
+  EXPECT_EQ(total_entries, scenario.points.size());
+}
+
+TEST(NodeReportTest, SortedWorstFirstAndRenders) {
+  Scenario scenario("rtree");
+  const auto nodes = AttributeNodeLosses(scenario.index->tree(), scenario.traces);
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_GE(nodes[i - 1].ExcessAccesses(), nodes[i].ExcessAccesses());
+  }
+  const std::string table = RenderWorstNodes(nodes, 5);
+  EXPECT_NE(table.find("excess"), std::string::npos);
+  // Header + separator + up to 5 rows.
+  EXPECT_LE(std::count(table.begin(), table.end(), '\n'), 7);
+}
+
+TEST(VisualizeTest, RejectsNon2D) {
+  Scenario scenario("rtree", 5);
+  EXPECT_EQ(RenderLeavesSvg(scenario.index->tree()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+class Visualize2DTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Visualize2DTest, ProducesWellFormedSvg) {
+  Scenario scenario(GetParam(), 2);
+  VisualizeOptions options;
+  options.max_leaves = 10;
+  auto svg = RenderLeavesSvg(scenario.index->tree(), options);
+  ASSERT_TRUE(svg.ok()) << svg.status().ToString();
+  EXPECT_EQ(svg->rfind("<svg", 0), 0u);
+  EXPECT_NE(svg->find("</svg>"), std::string::npos);
+  // Points and at least one predicate shape were drawn.
+  EXPECT_NE(svg->find("<circle"), std::string::npos);
+  if (std::string(GetParam()) != "sstree") {
+    EXPECT_NE(svg->find("<rect"), std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ams, Visualize2DTest,
+                         ::testing::Values("rtree", "amap", "jb", "xjb",
+                                           "sstree", "srtree"));
+
+TEST(VisualizeTest, WritesFile) {
+  Scenario scenario("jb", 2);
+  const std::string path = ::testing::TempDir() + "/leaves.svg";
+  ASSERT_TRUE(WriteLeavesSvg(scenario.index->tree(), path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bw::amdb

@@ -1,0 +1,410 @@
+// Tests for the Blobworld application substrate: color space, histogram
+// layout, synthetic images, segmentation, dataset round-trips, the
+// quadratic-form ranker and the end-to-end pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <numeric>
+#include <set>
+
+#include "blobworld/color.h"
+#include "blobworld/dataset.h"
+#include "blobworld/pipeline.h"
+#include "blobworld/ranker.h"
+#include "blobworld/segmentation.h"
+#include "blobworld/synthetic.h"
+
+namespace bw::blobworld {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Color
+// ---------------------------------------------------------------------------
+
+TEST(ColorTest, RgbToLabKnownAnchors) {
+  // White: L ~ 100, a ~ b ~ 0. Black: L ~ 0.
+  const LabColor white = RgbToLab(1.0f, 1.0f, 1.0f);
+  EXPECT_NEAR(white.l, 100.0, 0.5);
+  EXPECT_NEAR(white.a, 0.0, 0.5);
+  EXPECT_NEAR(white.b, 0.0, 0.5);
+  const LabColor black = RgbToLab(0.0f, 0.0f, 0.0f);
+  EXPECT_NEAR(black.l, 0.0, 0.5);
+  // Red has positive a; blue has negative b.
+  EXPECT_GT(RgbToLab(1.0f, 0.0f, 0.0f).a, 40.0);
+  EXPECT_LT(RgbToLab(0.0f, 0.0f, 1.0f).b, -40.0);
+}
+
+TEST(HistogramLayoutTest, Has218Bins) {
+  HistogramLayout layout;
+  EXPECT_EQ(layout.num_bins(), 218u);
+  EXPECT_EQ(layout.bin_colors().size(), 218u);
+}
+
+TEST(HistogramLayoutTest, AccumulatedMassIsConserved) {
+  HistogramLayout layout;
+  std::vector<double> histogram(layout.num_bins(), 0.0);
+  Rng rng(1);
+  double mass = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    LabColor c{float(rng.Uniform(0, 100)), float(rng.Uniform(-60, 60)),
+               float(rng.Uniform(-60, 60))};
+    layout.Accumulate(c, 1.0, 7.0, &histogram);
+    mass += 1.0;
+  }
+  double total = 0.0;
+  for (double v : histogram) total += v;
+  EXPECT_NEAR(total, mass, 1e-9);
+}
+
+TEST(HistogramLayoutTest, AchromaticColorsRouteToExtraBins) {
+  HistogramLayout layout;
+  std::vector<double> histogram(layout.num_bins(), 0.0);
+  layout.Accumulate(LabColor{1.0f, 0.0f, 0.0f}, 1.0, 7.0, &histogram);
+  layout.Accumulate(LabColor{99.0f, 0.0f, 0.0f}, 2.0, 7.0, &histogram);
+  EXPECT_DOUBLE_EQ(histogram[216], 1.0);  // near-black
+  EXPECT_DOUBLE_EQ(histogram[217], 2.0);  // near-white
+}
+
+TEST(HistogramLayoutTest, SimilarColorsProduceSimilarHistograms) {
+  HistogramLayout layout;
+  auto histogram_of = [&](float l, float a, float b) {
+    std::vector<double> h(layout.num_bins(), 0.0);
+    layout.Accumulate(LabColor{l, a, b}, 1.0, 7.0, &h);
+    return HistogramLayout::Normalize(h);
+  };
+  const geom::Vec base = histogram_of(50, 10, 10);
+  const geom::Vec near = histogram_of(52, 11, 9);
+  const geom::Vec far = histogram_of(80, -40, -40);
+  EXPECT_LT(base.DistanceTo(near), base.DistanceTo(far));
+}
+
+TEST(HistogramLayoutTest, NormalizeHandlesZeroMass) {
+  std::vector<double> empty(218, 0.0);
+  const geom::Vec v = HistogramLayout::Normalize(empty);
+  EXPECT_DOUBLE_EQ(v.Sum(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic model and images
+// ---------------------------------------------------------------------------
+
+TEST(LatentModelTest, SamplesStayInGamut) {
+  LatentModel model(20, 5);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const BlobLatent latent = model.Sample(rng);
+    EXPECT_GE(latent.color.l, 2.0f);
+    EXPECT_LE(latent.color.l, 98.0f);
+    EXPECT_GE(latent.spread, 6.0f);
+    EXPECT_LE(latent.spread, 34.0f);
+    EXPECT_GE(latent.texture, 0.0f);
+    EXPECT_LE(latent.texture, 1.0f);
+  }
+}
+
+TEST(LatentModelTest, ZipfSkewsClusterPopularity) {
+  // With a strong skew, samples concentrate on early clusters.
+  LatentModel uniform(50, 5, 1.5, 0.0);
+  LatentModel zipf(50, 5, 1.5, 1.5);
+  (void)uniform;
+  Rng rng(3);
+  // Measure by histogram expectation: draw colors; the zipf model's draws
+  // should repeat a small set of colors much more often.
+  std::set<int> zipf_colors;
+  std::set<int> uniform_colors;
+  Rng rng2(3);
+  for (int i = 0; i < 300; ++i) {
+    zipf_colors.insert(int(zipf.Sample(rng).color.l * 10));
+    uniform_colors.insert(int(uniform.Sample(rng2).color.l * 10));
+  }
+  EXPECT_LT(zipf_colors.size(), uniform_colors.size());
+}
+
+TEST(LatentModelTest, ExpectedHistogramIsUnitMassAndPeaked) {
+  LatentModel model(10, 7);
+  HistogramLayout layout;
+  Rng rng(4);
+  const BlobLatent latent = model.Sample(rng);
+  const geom::Vec h = model.ExpectedHistogram(latent, layout);
+  EXPECT_NEAR(h.Sum(), 1.0, 1e-5);
+  // The bin nearest the latent color should carry above-average mass.
+  const size_t peak = layout.NearestLatticeBin(latent.color);
+  EXPECT_GT(h[peak], 1.0 / 218.0);
+}
+
+TEST(ImageGeneratorTest, RendersRequestedGeometry) {
+  LatentModel model(10, 11);
+  ImageParams params;
+  params.width = 32;
+  params.height = 24;
+  ImageGenerator generator(&model, params);
+  Rng rng(5);
+  size_t regions = 0;
+  const Image image = generator.Generate(rng, &regions);
+  EXPECT_EQ(image.width(), 32u);
+  EXPECT_EQ(image.height(), 24u);
+  EXPECT_GE(regions, params.min_objects + 1);
+  EXPECT_LE(regions, params.max_objects + 1);
+  // Pixels carry plausible Lab values and contrast in [0, 1].
+  for (size_t y = 0; y < image.height(); ++y) {
+    for (size_t x = 0; x < image.width(); ++x) {
+      EXPECT_GE(image.color(x, y).l, 0.0f);
+      EXPECT_LE(image.color(x, y).l, 100.0f);
+      EXPECT_GE(image.contrast(x, y), 0.0f);
+      EXPECT_LE(image.contrast(x, y), 1.0f);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Segmentation
+// ---------------------------------------------------------------------------
+
+TEST(SegmenterTest, RegionsPartitionKeptPixels) {
+  LatentModel model(10, 13);
+  ImageParams params;
+  params.width = 48;
+  params.height = 48;
+  ImageGenerator generator(&model, params);
+  Rng rng(6);
+  const Image image = generator.Generate(rng);
+
+  Segmenter segmenter;
+  const auto regions = segmenter.Segment(image);
+  ASSERT_GE(regions.size(), 1u);
+  std::set<uint32_t> seen;
+  for (const auto& region : regions) {
+    EXPECT_GE(region.pixels.size(),
+              size_t(0.02 * 48 * 48));  // min_region_fraction
+    for (uint32_t p : region.pixels) {
+      EXPECT_LT(p, 48u * 48u);
+      EXPECT_TRUE(seen.insert(p).second) << "pixel in two regions";
+    }
+  }
+  // Largest-first ordering.
+  for (size_t i = 1; i < regions.size(); ++i) {
+    EXPECT_GE(regions[i - 1].pixels.size(), regions[i].pixels.size());
+  }
+}
+
+TEST(SegmenterTest, RegionsAreConnected) {
+  LatentModel model(8, 17);
+  ImageParams params;
+  params.width = 40;
+  params.height = 40;
+  ImageGenerator generator(&model, params);
+  Rng rng(7);
+  const Image image = generator.Generate(rng);
+  Segmenter segmenter;
+  for (const auto& region : segmenter.Segment(image)) {
+    // BFS from the first pixel must reach every pixel of the region.
+    std::set<uint32_t> members(region.pixels.begin(), region.pixels.end());
+    std::set<uint32_t> reached;
+    std::vector<uint32_t> queue = {region.pixels[0]};
+    reached.insert(region.pixels[0]);
+    while (!queue.empty()) {
+      uint32_t p = queue.back();
+      queue.pop_back();
+      const uint32_t w = 40;
+      const uint32_t x = p % w;
+      const uint32_t y = p / w;
+      for (uint32_t q : {x > 0 ? p - 1 : p, x + 1 < w ? p + 1 : p,
+                         y > 0 ? p - w : p, p + w}) {
+        if (q != p && members.count(q) && !reached.count(q)) {
+          reached.insert(q);
+          queue.push_back(q);
+        }
+      }
+    }
+    EXPECT_EQ(reached.size(), members.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dataset
+// ---------------------------------------------------------------------------
+
+TEST(DatasetTest, DirectModeShapes) {
+  DatasetParams params;
+  params.num_images = 100;
+  const BlobDataset dataset = GenerateDatasetDirect(params);
+  EXPECT_EQ(dataset.num_images(), 100u);
+  EXPECT_GE(dataset.num_blobs(), 200u);  // >= 2 blobs per image
+  for (const auto& blob : dataset.blobs()) {
+    EXPECT_EQ(blob.histogram.dim(), 218u);
+    EXPECT_NEAR(blob.histogram.Sum(), 1.0, 1e-4);
+    EXPECT_LT(blob.image, 100u);
+  }
+}
+
+TEST(DatasetTest, FullPipelineProducesBlobs) {
+  DatasetParams params;
+  params.num_images = 6;
+  params.image.width = 32;
+  params.image.height = 32;
+  const BlobDataset dataset = GenerateDataset(params);
+  EXPECT_EQ(dataset.num_images(), 6u);
+  EXPECT_GE(dataset.num_blobs(), 6u);  // at least one region per image
+  for (const auto& blob : dataset.blobs()) {
+    EXPECT_NEAR(blob.histogram.Sum(), 1.0, 1e-4);
+    EXPECT_GE(blob.size, 0.0f);
+    EXPECT_LE(blob.size, 1.0f);
+    EXPECT_GE(blob.x, 0.0f);
+    EXPECT_LE(blob.x, 1.0f);
+  }
+}
+
+TEST(DatasetTest, SaveLoadRoundTrip) {
+  DatasetParams params;
+  params.num_images = 30;
+  const BlobDataset original = GenerateDatasetDirect(params);
+  const std::string path = ::testing::TempDir() + "/blobs.bin";
+  ASSERT_TRUE(original.SaveTo(path).ok());
+  auto loaded = BlobDataset::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_blobs(), original.num_blobs());
+  EXPECT_EQ(loaded->num_images(), original.num_images());
+  for (size_t i = 0; i < original.num_blobs(); ++i) {
+    EXPECT_EQ(loaded->blob(i).histogram, original.blob(i).histogram);
+    EXPECT_EQ(loaded->blob(i).image, original.blob(i).image);
+    EXPECT_FLOAT_EQ(loaded->blob(i).texture, original.blob(i).texture);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/garbage.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a dataset", f);
+  std::fclose(f);
+  EXPECT_FALSE(BlobDataset::LoadFrom(path).ok());
+  EXPECT_FALSE(BlobDataset::LoadFrom("/nonexistent/x.bin").ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, BlobsOfImageInvertsMapping) {
+  DatasetParams params;
+  params.num_images = 20;
+  const BlobDataset dataset = GenerateDatasetDirect(params);
+  size_t total = 0;
+  for (ImageId img = 0; img < 20; ++img) {
+    for (uint32_t blob : dataset.BlobsOfImage(img)) {
+      EXPECT_EQ(dataset.blob(blob).image, img);
+    }
+    total += dataset.BlobsOfImage(img).size();
+  }
+  EXPECT_EQ(total, dataset.num_blobs());
+}
+
+// ---------------------------------------------------------------------------
+// Ranker + pipeline
+// ---------------------------------------------------------------------------
+
+TEST(RankerTest, QueryBlobRanksItsOwnImageFirst) {
+  DatasetParams params;
+  params.num_images = 150;
+  const BlobDataset dataset = GenerateDatasetDirect(params);
+  auto ranker = FullRanker::Create(&dataset);
+  ASSERT_TRUE(ranker.ok());
+  for (uint32_t blob : {0u, 17u, 101u}) {
+    const auto ranked = ranker->RankAllImages(blob, 5);
+    ASSERT_FALSE(ranked.empty());
+    EXPECT_EQ(ranked[0].image, dataset.blob(blob).image);
+    EXPECT_NEAR(ranked[0].score, 0.0, 1e-9);
+    // Scores ascending.
+    for (size_t i = 1; i < ranked.size(); ++i) {
+      EXPECT_GE(ranked[i].score, ranked[i - 1].score);
+    }
+  }
+}
+
+TEST(RankerTest, CandidateRankingIsConsistentWithFullRanking) {
+  DatasetParams params;
+  params.num_images = 100;
+  const BlobDataset dataset = GenerateDatasetDirect(params);
+  auto ranker = FullRanker::Create(&dataset);
+  ASSERT_TRUE(ranker.ok());
+  // Restricting to ALL blobs must reproduce the full ranking.
+  std::vector<uint32_t> all(dataset.num_blobs());
+  std::iota(all.begin(), all.end(), 0);
+  const auto full = ranker->RankAllImages(3, 10);
+  const auto restricted = ranker->RankCandidates(3, all, 10);
+  ASSERT_EQ(full.size(), restricted.size());
+  for (size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(full[i].image, restricted[i].image);
+  }
+}
+
+TEST(RankerTest, WeightsChangeTheRanking) {
+  DatasetParams params;
+  params.num_images = 120;
+  const BlobDataset dataset = GenerateDatasetDirect(params);
+  auto ranker = FullRanker::Create(&dataset);
+  ASSERT_TRUE(ranker.ok());
+  QueryWeights color_only;
+  QueryWeights with_texture;
+  with_texture.texture = 50.0;
+  const auto a = ranker->RankAllImages(5, 20, color_only);
+  const auto b = ranker->RankAllImages(5, 20, with_texture);
+  bool differs = false;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    if (a[i].image != b[i].image) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RecallTest, Bounds) {
+  std::vector<RankedImage> truth = {{1, 0.1, 0}, {2, 0.2, 0}, {3, 0.3, 0}};
+  EXPECT_DOUBLE_EQ(RecallAgainst(truth, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAgainst(truth, {1, 9}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAgainst(truth, {}), 0.0);
+}
+
+TEST(PipelineTest, EndToEndQueryRecall) {
+  DatasetParams params;
+  params.num_images = 400;
+  const BlobDataset dataset = GenerateDatasetDirect(params);
+
+  PipelineOptions options;
+  options.reduced_dim = 5;
+  options.am_candidates = 200;
+  options.answer_size = 20;
+  options.index.am = "xjb";
+  auto pipeline = Pipeline::Build(&dataset, options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+
+  const auto foci = SampleQueryBlobs(dataset, 10, 1);
+  double recall_sum = 0.0;
+  for (uint32_t focus : foci) {
+    auto recall = (*pipeline)->QueryRecall(focus);
+    ASSERT_TRUE(recall.ok());
+    recall_sum += *recall;
+  }
+  // The AM's 200 candidates over 5-D vectors must recover the bulk of
+  // the full query's top-20 images.
+  EXPECT_GT(recall_sum / 10.0, 0.6);
+}
+
+TEST(PipelineTest, QueryValidatesBlobId) {
+  DatasetParams params;
+  params.num_images = 50;
+  const BlobDataset dataset = GenerateDatasetDirect(params);
+  PipelineOptions options;
+  auto pipeline = Pipeline::Build(&dataset, options);
+  ASSERT_TRUE(pipeline.ok());
+  EXPECT_FALSE((*pipeline)->Query(10000000).ok());
+}
+
+TEST(PipelineTest, SampleQueryBlobsDistinct) {
+  DatasetParams params;
+  params.num_images = 40;
+  const BlobDataset dataset = GenerateDatasetDirect(params);
+  const auto foci = SampleQueryBlobs(dataset, 50, 3);
+  std::set<uint32_t> distinct(foci.begin(), foci.end());
+  EXPECT_EQ(distinct.size(), foci.size());
+  for (uint32_t f : foci) EXPECT_LT(f, dataset.num_blobs());
+}
+
+}  // namespace
+}  // namespace bw::blobworld

@@ -1,0 +1,100 @@
+// Randomized operation fuzzing: every access method is driven through a
+// long random interleaving of inserts, deletes, k-NN and range queries,
+// checked after every step against a brute-force reference set. This is
+// the heaviest structural stress in the suite: splits, condensation and
+// predicate maintenance all interact here.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/index_factory.h"
+#include "gist/tree.h"
+#include "tests/test_helpers.h"
+
+namespace bw {
+namespace {
+
+class FuzzOpsTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FuzzOpsTest, RandomInterleavingMatchesReference) {
+  const size_t kDim = 3;
+  core::IndexBuildOptions options;
+  options.am = GetParam();
+  options.xjb_x = 4;
+  options.amap_samples = 32;
+
+  pages::PageFile file(2048);
+  auto extension = core::MakeExtension(kDim, options, 2000);
+  ASSERT_TRUE(extension.ok());
+  gist::Tree tree(&file, std::move(extension).value());
+
+  Rng rng(2024);
+  std::map<gist::Rid, geom::Vec> reference;
+  gist::Rid next_rid = 0;
+  const auto pool = testing::MakeClusteredPoints(500, kDim, 5, 17);
+
+  for (int step = 0; step < 1500; ++step) {
+    const uint32_t dice = static_cast<uint32_t>(rng.NextBelow(100));
+    if (dice < 55 || reference.empty()) {
+      // Insert (weighted toward growth).
+      const geom::Vec& p = pool[rng.NextBelow(pool.size())];
+      ASSERT_TRUE(tree.Insert(p, next_rid).ok()) << "step " << step;
+      reference.emplace(next_rid, p);
+      ++next_rid;
+    } else if (dice < 80) {
+      // Delete a random live rid.
+      auto it = reference.begin();
+      std::advance(it, rng.NextBelow(reference.size()));
+      ASSERT_TRUE(tree.Delete(it->second, it->first).ok())
+          << "step " << step << " rid " << it->first;
+      reference.erase(it);
+    } else if (dice < 90) {
+      // k-NN spot check.
+      const geom::Vec& q = pool[rng.NextBelow(pool.size())];
+      const size_t k = std::min<size_t>(1 + rng.NextBelow(10),
+                                        reference.size());
+      auto result = tree.KnnSearch(q, k, nullptr);
+      ASSERT_TRUE(result.ok());
+      ASSERT_EQ(result->size(), k);
+      // Reference k-th distance.
+      std::vector<double> dists;
+      dists.reserve(reference.size());
+      for (const auto& [rid, p] : reference) dists.push_back(p.DistanceTo(q));
+      std::sort(dists.begin(), dists.end());
+      for (size_t i = 0; i < k; ++i) {
+        EXPECT_NEAR((*result)[i].distance, dists[i], 1e-4)
+            << "step " << step << " rank " << i;
+      }
+    } else {
+      // Range query spot check.
+      const geom::Vec& q = pool[rng.NextBelow(pool.size())];
+      const double radius = rng.Uniform(0.5, 10.0);
+      auto result = tree.RangeSearch(q, radius, nullptr);
+      ASSERT_TRUE(result.ok());
+      std::multiset<gist::Rid> got;
+      for (const auto& n : *result) got.insert(n.rid);
+      std::multiset<gist::Rid> expected;
+      for (const auto& [rid, p] : reference) {
+        if (p.DistanceTo(q) <= radius) expected.insert(rid);
+      }
+      EXPECT_EQ(got, expected) << "step " << step;
+    }
+
+    if (step % 250 == 0) {
+      ASSERT_TRUE(tree.Validate().ok())
+          << "step " << step << ": " << tree.Validate().ToString();
+      EXPECT_EQ(tree.size(), reference.size());
+    }
+  }
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  EXPECT_EQ(tree.size(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAms, FuzzOpsTest,
+                         ::testing::Values("rtree", "rstar", "sstree",
+                                           "srtree", "amap", "jb", "xjb"));
+
+}  // namespace
+}  // namespace bw

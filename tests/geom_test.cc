@@ -1,0 +1,230 @@
+// Unit and property tests for src/geom: Vec, Rect, Sphere, distances.
+// The MinDistance properties here are the foundation of exact k-NN for
+// every access method in the library.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/distance.h"
+#include "geom/rect.h"
+#include "geom/sphere.h"
+#include "geom/vec.h"
+#include "tests/test_helpers.h"
+#include "util/random.h"
+
+namespace bw::geom {
+namespace {
+
+TEST(VecTest, BasicAccessors) {
+  Vec v{1.0f, 2.0f, 3.0f};
+  EXPECT_EQ(v.dim(), 3u);
+  EXPECT_FLOAT_EQ(v[1], 2.0f);
+  EXPECT_DOUBLE_EQ(v.Sum(), 6.0);
+}
+
+TEST(VecTest, DistanceIsEuclidean) {
+  Vec a{0.0f, 0.0f};
+  Vec b{3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(a.DistanceSquaredTo(b), 25.0);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), 5.0);
+  EXPECT_DOUBLE_EQ(b.Norm(), 5.0);
+}
+
+TEST(VecTest, Arithmetic) {
+  Vec a{1.0f, 2.0f};
+  Vec b{3.0f, 5.0f};
+  EXPECT_EQ(a + b, Vec({4.0f, 7.0f}));
+  EXPECT_EQ(b - a, Vec({2.0f, 3.0f}));
+  EXPECT_EQ(a * 2.0f, Vec({2.0f, 4.0f}));
+}
+
+TEST(VecTest, TruncatedTakesPrefix) {
+  Vec v{1.0f, 2.0f, 3.0f, 4.0f};
+  EXPECT_EQ(v.Truncated(2), Vec({1.0f, 2.0f}));
+  EXPECT_EQ(v.Truncated(4), v);
+}
+
+TEST(RectTest, BoundingBoxCoversAllPoints) {
+  const auto points = testing::MakeUniformPoints(50, 4, 3);
+  Rect box = Rect::BoundingBox(points);
+  for (const auto& p : points) {
+    EXPECT_TRUE(box.Contains(p));
+    EXPECT_DOUBLE_EQ(box.MinDistanceSquared(p), 0.0);
+  }
+}
+
+TEST(RectTest, VolumeAndMargin) {
+  Rect r(Vec{0.0f, 0.0f}, Vec{2.0f, 3.0f});
+  EXPECT_DOUBLE_EQ(r.Volume(), 6.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 5.0);
+  EXPECT_EQ(r.Center(), Vec({1.0f, 1.5f}));
+}
+
+TEST(RectTest, DegeneratePointRect) {
+  Rect r(Vec{1.0f, 2.0f});
+  EXPECT_DOUBLE_EQ(r.Volume(), 0.0);
+  EXPECT_TRUE(r.Contains(Vec{1.0f, 2.0f}));
+  EXPECT_FALSE(r.Contains(Vec{1.0f, 2.1f}));
+}
+
+TEST(RectTest, IntersectionLogic) {
+  Rect a(Vec{0.0f, 0.0f}, Vec{2.0f, 2.0f});
+  Rect b(Vec{1.0f, 1.0f}, Vec{3.0f, 3.0f});
+  Rect c(Vec{5.0f, 5.0f}, Vec{6.0f, 6.0f});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_DOUBLE_EQ(a.IntersectionVolume(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.IntersectionVolume(c), 0.0);
+  // Touching edges intersect with zero volume.
+  Rect d(Vec{2.0f, 0.0f}, Vec{4.0f, 2.0f});
+  EXPECT_TRUE(a.Intersects(d));
+  EXPECT_DOUBLE_EQ(a.IntersectionVolume(d), 0.0);
+}
+
+TEST(RectTest, ContainsRect) {
+  Rect outer(Vec{0.0f, 0.0f}, Vec{10.0f, 10.0f});
+  Rect inner(Vec{2.0f, 3.0f}, Vec{4.0f, 5.0f});
+  EXPECT_TRUE(outer.ContainsRect(inner));
+  EXPECT_FALSE(inner.ContainsRect(outer));
+  EXPECT_TRUE(outer.ContainsRect(outer));
+}
+
+TEST(RectTest, EnlargementMatchesVolumeDelta) {
+  Rect a(Vec{0.0f, 0.0f}, Vec{2.0f, 2.0f});
+  Rect b(Vec{3.0f, 0.0f}, Vec{4.0f, 1.0f});
+  Rect merged = a;
+  merged.ExpandToInclude(b);
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), merged.Volume() - a.Volume());
+  EXPECT_DOUBLE_EQ(a.Enlargement(a), 0.0);
+}
+
+TEST(RectTest, MinDistanceKnownValues) {
+  Rect r(Vec{0.0f, 0.0f}, Vec{1.0f, 1.0f});
+  EXPECT_DOUBLE_EQ(r.MinDistanceSquared(Vec{0.5f, 0.5f}), 0.0);  // inside
+  EXPECT_DOUBLE_EQ(r.MinDistanceSquared(Vec{2.0f, 0.5f}), 1.0);  // face
+  EXPECT_DOUBLE_EQ(r.MinDistanceSquared(Vec{2.0f, 2.0f}), 2.0);  // corner
+}
+
+// Property: MinDistance is the true minimum over the rect (verified by
+// comparing against the clamped point) and MaxDistance bounds every
+// contained point.
+TEST(RectTest, PropertyMinMaxDistanceBracketContainedPoints) {
+  Rng rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t dim = 2 + rng.NextBelow(5);
+    auto corner_points = testing::MakeUniformPoints(2, dim, trial * 2 + 1);
+    Rect box(Rect::BoundingBox(corner_points));
+    auto queries = testing::MakeUniformPoints(4, dim, trial * 3 + 7);
+    for (const auto& q : queries) {
+      const Vec closest = box.ClosestPointTo(q);
+      EXPECT_NEAR(box.MinDistanceSquared(q), q.DistanceSquaredTo(closest),
+                  1e-9);
+      EXPECT_TRUE(box.Contains(closest));
+      // Any contained point is at least MinDistance away and at most
+      // MaxDistance away.
+      Vec inside = box.Center();
+      const double d = q.DistanceSquaredTo(inside);
+      EXPECT_GE(d + 1e-9, box.MinDistanceSquared(q));
+      EXPECT_LE(d, box.MaxDistanceSquared(q) + 1e-9);
+    }
+  }
+}
+
+TEST(SphereTest, CentroidBoundCoversPoints) {
+  const auto points = testing::MakeClusteredPoints(100, 3, 2, 5);
+  Sphere ball = Sphere::CentroidBound(points);
+  for (const auto& p : points) {
+    EXPECT_TRUE(ball.Contains(p));
+    EXPECT_DOUBLE_EQ(ball.MinDistance(p), 0.0);
+  }
+}
+
+TEST(SphereTest, MinDistanceOutside) {
+  Sphere ball(Vec{0.0f, 0.0f}, 1.0);
+  EXPECT_DOUBLE_EQ(ball.MinDistance(Vec{3.0f, 0.0f}), 2.0);
+  EXPECT_DOUBLE_EQ(ball.MinDistance(Vec{0.5f, 0.0f}), 0.0);
+}
+
+TEST(SphereTest, CentroidBoundOfSpheresCoversChildren) {
+  Rng rng(31);
+  std::vector<Sphere> children;
+  std::vector<double> weights;
+  for (int i = 0; i < 8; ++i) {
+    Vec c(3);
+    for (size_t d = 0; d < 3; ++d) c[d] = float(rng.Uniform(-5, 5));
+    children.emplace_back(c, rng.Uniform(0.1, 2.0));
+    weights.push_back(double(1 + rng.NextBelow(20)));
+  }
+  Sphere parent = Sphere::CentroidBoundOfSpheres(children, weights);
+  for (const auto& child : children) {
+    // Every point of the child (center +/- radius along any direction)
+    // must be inside the parent; test the extreme along the separating
+    // direction.
+    const double center_gap = parent.center().DistanceTo(child.center());
+    EXPECT_LE(center_gap + child.radius(), parent.radius() + 1e-6);
+  }
+}
+
+TEST(SphereTest, BoundingRectIsTight) {
+  Sphere ball(Vec{1.0f, 2.0f}, 3.0);
+  Rect box = ball.BoundingRect();
+  EXPECT_FLOAT_EQ(box.lo()[0], -2.0f);
+  EXPECT_FLOAT_EQ(box.hi()[1], 5.0f);
+}
+
+TEST(SphereTest, VolumeMatchesKnownFormulas) {
+  // V_2 = pi r^2, V_3 = 4/3 pi r^3.
+  Sphere circle(Vec{0.0f, 0.0f}, 2.0);
+  EXPECT_NEAR(circle.Volume(), M_PI * 4.0, 1e-9);
+  Sphere ball(Vec{0.0f, 0.0f, 0.0f}, 1.0);
+  EXPECT_NEAR(ball.Volume(), 4.0 / 3.0 * M_PI, 1e-9);
+}
+
+TEST(DistanceTest, WeightedL2) {
+  Vec a{1.0f, 2.0f};
+  Vec b{2.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(WeightedL2Squared(a, b, {1.0, 1.0}), 5.0);
+  EXPECT_DOUBLE_EQ(WeightedL2Squared(a, b, {2.0, 0.0}), 2.0);
+}
+
+TEST(QuadraticFormTest, ZeroForIdenticalHistograms) {
+  std::vector<Vec> bins = {Vec{0.0f}, Vec{1.0f}, Vec{2.0f}};
+  QuadraticFormDistance qf(bins, 4.0);
+  Vec h{0.2f, 0.5f, 0.3f};
+  EXPECT_NEAR(qf.Distance(h, h), 0.0, 1e-12);
+}
+
+TEST(QuadraticFormTest, CrossBinSimilarityOrdersDistances) {
+  // Bins at positions 0, 1, 10: mass moving to a NEAR bin must cost less
+  // than mass moving to a FAR bin — the defining property the plain L2
+  // lacks.
+  std::vector<Vec> bins = {Vec{0.0f}, Vec{1.0f}, Vec{10.0f}};
+  QuadraticFormDistance qf(bins, 4.0);
+  Vec base{1.0f, 0.0f, 0.0f};
+  Vec near{0.0f, 1.0f, 0.0f};
+  Vec far{0.0f, 0.0f, 1.0f};
+  EXPECT_LT(qf.Distance(base, near), qf.Distance(base, far));
+}
+
+TEST(QuadraticFormTest, SymmetricAndNonNegative) {
+  std::vector<Vec> bins;
+  Rng rng(41);
+  for (int i = 0; i < 10; ++i) {
+    bins.push_back(Vec{float(rng.Uniform(0, 100)), float(rng.Uniform(0, 50))});
+  }
+  QuadraticFormDistance qf(bins, 8.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vec x(10), y(10);
+    for (size_t i = 0; i < 10; ++i) {
+      x[i] = rng.NextFloat();
+      y[i] = rng.NextFloat();
+    }
+    const double dxy = qf.Distance(x, y);
+    EXPECT_GE(dxy, 0.0);
+    EXPECT_NEAR(dxy, qf.Distance(y, x), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace bw::geom

@@ -1,0 +1,189 @@
+// Cross-module integration tests: the full experiment pipeline at small
+// scale, asserting the paper's qualitative findings hold end to end.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "amdb/analysis.h"
+#include "blobworld/dataset.h"
+#include "blobworld/pipeline.h"
+#include "core/index_factory.h"
+#include "linalg/reducer.h"
+
+namespace bw {
+namespace {
+
+// One shared mid-size experiment (built once; the suite asserts many
+// facts against it).
+class ExperimentFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    blobworld::DatasetParams params;
+    params.num_images = 2000;
+    params.within_cluster_sigma = 0.5;
+    params.direct_noise = 0.02;
+    params.blend_fraction = 0.2;
+    params.zipf_exponent = 0.8;
+    params.seed = 77;
+    dataset_ = new blobworld::BlobDataset(
+        blobworld::GenerateDatasetDirect(params));
+
+    reducer_ = new linalg::SvdReducer();
+    BW_CHECK_OK(reducer_->Fit(dataset_->Histograms(), 5));
+    vectors_ = new std::vector<geom::Vec>(
+        reducer_->ProjectAll(dataset_->Histograms(), 5));
+
+    foci_ = new std::vector<uint32_t>(
+        blobworld::SampleQueryBlobs(*dataset_, 60, 5));
+    workload_ = new amdb::Workload(
+        amdb::Workload::NnOverFoci(*vectors_, *foci_, 100));
+  }
+
+  static void TearDownTestSuite() {
+    delete workload_;
+    delete foci_;
+    delete vectors_;
+    delete reducer_;
+    delete dataset_;
+  }
+
+  static amdb::AnalysisReport Analyze(const std::string& am) {
+    core::IndexBuildOptions options;
+    options.am = am;
+    options.page_bytes = 4096;
+    auto index = core::BuildIndex(*vectors_, options);
+    BW_CHECK_MSG(index.ok(), index.status().ToString());
+    BW_CHECK_OK((*index)->tree().Validate());
+    auto report = amdb::AnalyzeWorkload((*index)->tree(), *workload_);
+    BW_CHECK_MSG(report.ok(), report.status().ToString());
+    return *report;
+  }
+
+  static blobworld::BlobDataset* dataset_;
+  static linalg::SvdReducer* reducer_;
+  static std::vector<geom::Vec>* vectors_;
+  static std::vector<uint32_t>* foci_;
+  static amdb::Workload* workload_;
+};
+
+blobworld::BlobDataset* ExperimentFixture::dataset_ = nullptr;
+linalg::SvdReducer* ExperimentFixture::reducer_ = nullptr;
+std::vector<geom::Vec>* ExperimentFixture::vectors_ = nullptr;
+std::vector<uint32_t>* ExperimentFixture::foci_ = nullptr;
+amdb::Workload* ExperimentFixture::workload_ = nullptr;
+
+TEST_F(ExperimentFixture, AllAmsReturnIdenticalAnswers) {
+  // The six AMs disagree in cost, never in results.
+  std::vector<std::vector<gist::Rid>> answers;
+  for (const std::string& am : core::KnownAccessMethods()) {
+    core::IndexBuildOptions options;
+    options.am = am;
+    auto index = core::BuildIndex(*vectors_, options);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    auto nn = (*index)->Knn((*vectors_)[(*foci_)[0]], 50, nullptr);
+    ASSERT_TRUE(nn.ok());
+    std::vector<gist::Rid> rids;
+    for (const auto& n : *nn) rids.push_back(n.rid);
+    answers.push_back(std::move(rids));
+  }
+  // Distances are tie-free with overwhelming probability at this scale,
+  // so the rid sequences must agree exactly.
+  for (size_t i = 1; i < answers.size(); ++i) {
+    EXPECT_EQ(answers[i], answers[0]) << core::KnownAccessMethods()[i];
+  }
+}
+
+TEST_F(ExperimentFixture, PaperOrderingAtLeafLevel) {
+  const auto rtree = Analyze("rtree");
+  const auto amap = Analyze("amap");
+  const auto jb = Analyze("jb");
+  const auto xjb = Analyze("xjb");
+
+  // Figures 14/15: JB has the fewest leaf I/Os; both jagged AMs beat the
+  // R-tree; aMAP is on par with the R-tree (within 5%).
+  EXPECT_LE(jb.leaf_accesses, xjb.leaf_accesses);
+  EXPECT_LT(jb.leaf_accesses, rtree.leaf_accesses);
+  EXPECT_LT(xjb.leaf_accesses, rtree.leaf_accesses);
+  EXPECT_NEAR(double(amap.leaf_accesses), double(rtree.leaf_accesses),
+              0.05 * double(rtree.leaf_accesses));
+
+  // Figure 16: taller custom trees pay more inner I/Os in total.
+  EXPECT_GT(jb.TotalAccesses(), rtree.TotalAccesses());
+  EXPECT_GT(amap.TotalAccesses(), rtree.TotalAccesses());
+  EXPECT_GT(jb.internal_accesses, xjb.internal_accesses);
+
+  // Tree heights grow with BP size: R <= XJB <= JB, strictly R < JB.
+  EXPECT_LE(rtree.shape.height, xjb.shape.height);
+  EXPECT_LE(xjb.shape.height, jb.shape.height);
+  EXPECT_LT(rtree.shape.height, jb.shape.height);
+}
+
+TEST_F(ExperimentFixture, SsTreeIsTheWorstStandardAm) {
+  const auto rtree = Analyze("rtree");
+  const auto srtree = Analyze("srtree");
+  const auto sstree = Analyze("sstree");
+  // Figure 8's headline: SS excess alone exceeds R's total leaf I/Os.
+  EXPECT_GT(sstree.leaf_excess_coverage_loss, rtree.leaf_accesses);
+  // R and SR are comparable (within 10%).
+  EXPECT_NEAR(double(srtree.leaf_accesses), double(rtree.leaf_accesses),
+              0.10 * double(rtree.leaf_accesses));
+}
+
+TEST_F(ExperimentFixture, BulkLoadingEliminatesUtilizationLoss) {
+  const auto report = Analyze("rtree");
+  EXPECT_EQ(report.leaf_utilization_loss, 0u);
+}
+
+TEST_F(ExperimentFixture, BufferPoolAbsorbsInnerNodes) {
+  core::IndexBuildOptions options;
+  options.am = "jb";
+  auto index = core::BuildIndex(*vectors_, options);
+  ASSERT_TRUE(index.ok());
+  auto& built = **index;
+
+  auto reads_with_pool = [&](size_t capacity) {
+    built.UseBufferPool(capacity);
+    if (built.buffer_pool() != nullptr) built.buffer_pool()->Clear();
+    built.file().ResetStats();
+    for (const auto& q : workload_->queries) {
+      BW_CHECK(built.Knn(q.center, q.k, nullptr).ok());
+    }
+    return built.file().stats().reads;
+  };
+  const uint64_t cold = reads_with_pool(0);
+  const uint64_t warm = reads_with_pool(256);
+  EXPECT_LT(warm, cold / 2);
+}
+
+TEST_F(ExperimentFixture, SvdConcentratesVariance) {
+  // The synthetic collection reproduces the Figure-6 premise: the first
+  // five components carry the bulk of the histogram variance and each
+  // additional component helps less.
+  const double r1 = reducer_->ExplainedVarianceRatio(1);
+  const double r5 = reducer_->ExplainedVarianceRatio(5);
+  EXPECT_GT(r5, 0.5);
+  EXPECT_GT(r1, 0.1);
+  double previous_gain = r1;
+  for (size_t d = 2; d <= 5; ++d) {
+    const double gain = reducer_->ExplainedVarianceRatio(d) -
+                        reducer_->ExplainedVarianceRatio(d - 1);
+    EXPECT_LE(gain, previous_gain + 0.02) << d;
+    previous_gain = gain;
+  }
+}
+
+TEST_F(ExperimentFixture, AutoXjbBuildsWorkingIndex) {
+  core::IndexBuildOptions options;
+  options.am = "xjb";
+  options.xjb_x = 0;  // auto-select.
+  auto index = core::BuildIndex(*vectors_, options);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  ASSERT_TRUE((*index)->tree().Validate().ok());
+  auto nn = (*index)->Knn((*vectors_)[0], 10, nullptr);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->size(), 10u);
+}
+
+}  // namespace
+}  // namespace bw

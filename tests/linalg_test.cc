@@ -1,0 +1,225 @@
+// Unit tests for src/linalg: Matrix, Jacobi eigensolver, thin SVD,
+// Cholesky, and the SVD dimensionality reducer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/vec.h"
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+#include "linalg/reducer.h"
+#include "linalg/svd.h"
+#include "util/random.h"
+
+namespace bw::linalg {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m(r, c) = rng.Gaussian();
+  }
+  return m;
+}
+
+Matrix Symmetrize(const Matrix& a) {
+  Matrix s(a.rows(), a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.rows(); ++j) {
+      s(i, j) = 0.5 * (a(i, j) + a(j, i));
+    }
+  }
+  return s;
+}
+
+TEST(MatrixTest, MultiplyIdentity) {
+  Rng rng(1);
+  Matrix a = RandomMatrix(4, 4, rng);
+  Matrix prod = a.Multiply(Matrix::Identity(4));
+  EXPECT_LT(prod.MaxAbsDiff(a), 1e-12);
+}
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  Matrix b(3, 1);
+  b(0, 0) = 1; b(1, 0) = 0; b(2, 0) = -1;
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), -2.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Rng rng(2);
+  Matrix a = RandomMatrix(3, 5, rng);
+  EXPECT_LT(a.Transposed().Transposed().MaxAbsDiff(a), 1e-15);
+}
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix a(3, 3, 0.0);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[2], 1.0, 1e-12);
+}
+
+TEST(EigenTest, ReconstructsMatrix) {
+  Rng rng(3);
+  for (size_t n : {2u, 5u, 12u}) {
+    Matrix a = Symmetrize(RandomMatrix(n, n, rng));
+    auto eig = SymmetricEigen(a);
+    ASSERT_TRUE(eig.ok());
+    // A = V diag(w) V^T.
+    Matrix reconstructed(n, n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (size_t k = 0; k < n; ++k) {
+          acc += eig->eigenvectors(i, k) * eig->eigenvalues[k] *
+                 eig->eigenvectors(j, k);
+        }
+        reconstructed(i, j) = acc;
+      }
+    }
+    EXPECT_LT(reconstructed.MaxAbsDiff(a), 1e-8) << "n=" << n;
+  }
+}
+
+TEST(EigenTest, EigenvectorsOrthonormal) {
+  Rng rng(4);
+  Matrix a = Symmetrize(RandomMatrix(8, 8, rng));
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  Matrix vtv = eig->eigenvectors.Transposed().Multiply(eig->eigenvectors);
+  EXPECT_LT(vtv.MaxAbsDiff(Matrix::Identity(8)), 1e-9);
+}
+
+TEST(EigenTest, RejectsNonSquare) {
+  EXPECT_FALSE(SymmetricEigen(Matrix(2, 3)).ok());
+}
+
+TEST(SvdTest, ReconstructsMatrix) {
+  Rng rng(5);
+  Matrix a = RandomMatrix(10, 4, rng);
+  auto svd = ThinSvd(a);
+  ASSERT_TRUE(svd.ok());
+  // A = U diag(s) V^T.
+  Matrix usv(10, 4, 0.0);
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < 4; ++k) {
+        acc += svd->u(i, k) * svd->singular_values[k] * svd->v(j, k);
+      }
+      usv(i, j) = acc;
+    }
+  }
+  EXPECT_LT(usv.MaxAbsDiff(a), 1e-9);
+  // Singular values descending and non-negative.
+  for (size_t k = 1; k < 4; ++k) {
+    EXPECT_GE(svd->singular_values[k - 1], svd->singular_values[k]);
+    EXPECT_GE(svd->singular_values[k], 0.0);
+  }
+}
+
+TEST(SvdTest, AgreesWithEigenOfGram) {
+  Rng rng(6);
+  Matrix a = RandomMatrix(20, 5, rng);
+  auto svd = ThinSvd(a);
+  ASSERT_TRUE(svd.ok());
+  auto eig = SymmetricEigen(a.Transposed().Multiply(a));
+  ASSERT_TRUE(eig.ok());
+  for (size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(svd->singular_values[k] * svd->singular_values[k],
+                eig->eigenvalues[k], 1e-8);
+  }
+}
+
+TEST(CholeskyTest, FactorsSpdMatrix) {
+  Rng rng(7);
+  Matrix b = RandomMatrix(6, 6, rng);
+  // A = B B^T + eps I is SPD.
+  Matrix a = b.Multiply(b.Transposed());
+  for (size_t i = 0; i < 6; ++i) a(i, i) += 0.1;
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  Matrix llt = l->Multiply(l->Transposed());
+  EXPECT_LT(llt.MaxAbsDiff(a), 1e-10);
+  // Lower triangular.
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = i + 1; j < 6; ++j) EXPECT_DOUBLE_EQ((*l)(i, j), 0.0);
+  }
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a(2, 2, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  EXPECT_EQ(CholeskyFactor(a).status().code(), StatusCode::kCorruption);
+}
+
+TEST(ReducerTest, RecoversPlantedLowRankStructure) {
+  // Data = 3-D latent mapped linearly into 20-D + small noise: the first
+  // 3 components must capture nearly all variance.
+  Rng rng(8);
+  std::vector<std::vector<double>> dirs(3, std::vector<double>(20));
+  for (auto& dir : dirs) {
+    for (double& x : dir) x = rng.Gaussian();
+  }
+  std::vector<geom::Vec> data;
+  for (int i = 0; i < 500; ++i) {
+    geom::Vec v(20);
+    double z[3] = {rng.Gaussian() * 3, rng.Gaussian() * 2, rng.Gaussian()};
+    for (size_t d = 0; d < 20; ++d) {
+      double acc = 0.0;
+      for (int k = 0; k < 3; ++k) acc += z[k] * dirs[k][d];
+      v[d] = float(acc + rng.Gaussian() * 0.01);
+    }
+    data.push_back(std::move(v));
+  }
+  SvdReducer reducer;
+  ASSERT_TRUE(reducer.Fit(data, 10).ok());
+  EXPECT_GT(reducer.ExplainedVarianceRatio(3), 0.99);
+  EXPECT_LT(reducer.ExplainedVarianceRatio(2), 0.995);
+}
+
+TEST(ReducerTest, ProjectionPreservesPairwiseDistancesOfLowRankData) {
+  // For exactly rank-k data, the k-D projection is an isometry on the
+  // data (SVD rotation): pairwise distances must match.
+  Rng rng(9);
+  std::vector<geom::Vec> data;
+  for (int i = 0; i < 100; ++i) {
+    geom::Vec v(10, 0.0f);
+    const float a = float(rng.Gaussian());
+    const float b = float(rng.Gaussian());
+    v[0] = a + b;
+    v[3] = a - b;
+    v[7] = 2 * a;
+    data.push_back(std::move(v));
+  }
+  SvdReducer reducer;
+  ASSERT_TRUE(reducer.Fit(data, 2).ok());
+  auto projected = reducer.ProjectAll(data, 2);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t i = rng.NextBelow(100);
+    size_t j = rng.NextBelow(100);
+    EXPECT_NEAR(data[i].DistanceTo(data[j]),
+                projected[i].DistanceTo(projected[j]), 1e-3);
+  }
+}
+
+TEST(ReducerTest, RejectsEmptyAndInconsistentInput) {
+  SvdReducer reducer;
+  EXPECT_FALSE(reducer.Fit({}, 3).ok());
+  std::vector<geom::Vec> mixed = {geom::Vec(3), geom::Vec(4)};
+  EXPECT_FALSE(reducer.Fit(mixed, 2).ok());
+}
+
+}  // namespace
+}  // namespace bw::linalg

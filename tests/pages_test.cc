@@ -1,0 +1,220 @@
+// Unit tests for src/pages: slotted Page, PageFile I/O accounting,
+// BufferPool LRU behavior, and the IoModel disk arithmetic of the
+// paper's footnote 4.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "pages/buffer_pool.h"
+#include "pages/io_model.h"
+#include "pages/page.h"
+#include "pages/page_file.h"
+
+namespace bw::pages {
+namespace {
+
+Result<size_t> InsertString(Page& page, const std::string& s) {
+  return page.Insert(s.data(), s.size());
+}
+
+std::string ReadString(const Page& page, size_t slot) {
+  return std::string(reinterpret_cast<const char*>(page.RecordData(slot)),
+                     page.RecordLength(slot));
+}
+
+TEST(PageTest, InsertAndRead) {
+  Page page(1024);
+  auto a = InsertString(page, "hello");
+  auto b = InsertString(page, "world!");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 1u);
+  EXPECT_EQ(page.slot_count(), 2u);
+  EXPECT_EQ(ReadString(page, 0), "hello");
+  EXPECT_EQ(ReadString(page, 1), "world!");
+}
+
+TEST(PageTest, FillsUntilNoSpace) {
+  Page page(1024);
+  std::string record(100, 'x');
+  size_t inserted = 0;
+  while (true) {
+    auto r = page.Insert(record.data(), record.size());
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kNoSpace);
+      break;
+    }
+    ++inserted;
+  }
+  // 1024 bytes / (100 payload + 8 slot) ~ 9 records.
+  EXPECT_GE(inserted, 8u);
+  EXPECT_LE(inserted, 10u);
+  EXPECT_GT(page.Utilization(), 0.8);
+}
+
+TEST(PageTest, EraseShiftsSlots) {
+  Page page(1024);
+  (void)InsertString(page, "a");
+  (void)InsertString(page, "b");
+  (void)InsertString(page, "c");
+  ASSERT_TRUE(page.Erase(1).ok());
+  EXPECT_EQ(page.slot_count(), 2u);
+  EXPECT_EQ(ReadString(page, 0), "a");
+  EXPECT_EQ(ReadString(page, 1), "c");
+}
+
+TEST(PageTest, EraseReclaimsSpaceViaCompaction) {
+  Page page(1024);
+  std::string big(400, 'x');
+  ASSERT_TRUE(page.Insert(big.data(), big.size()).ok());
+  ASSERT_TRUE(page.Insert(big.data(), big.size()).ok());
+  EXPECT_FALSE(page.Insert(big.data(), big.size()).ok());
+  ASSERT_TRUE(page.Erase(0).ok());
+  // After erasing, the hole must be reusable.
+  EXPECT_TRUE(page.Insert(big.data(), big.size()).ok());
+  EXPECT_EQ(ReadString(page, 0), big);
+}
+
+TEST(PageTest, UpdateInPlaceAndGrowing) {
+  Page page(1024);
+  (void)InsertString(page, "abcdef");
+  (void)InsertString(page, "tail");
+  ASSERT_TRUE(page.Update(0, "XY", 2).ok());
+  EXPECT_EQ(ReadString(page, 0), "XY");
+  EXPECT_EQ(ReadString(page, 1), "tail");
+  std::string grown(100, 'g');
+  ASSERT_TRUE(page.Update(0, grown.data(), grown.size()).ok());
+  EXPECT_EQ(ReadString(page, 0), grown);
+  EXPECT_EQ(ReadString(page, 1), "tail");
+}
+
+TEST(PageTest, UpdateBeyondCapacityFails) {
+  Page page(512);
+  (void)InsertString(page, "x");
+  std::string huge(1000, 'h');
+  EXPECT_EQ(page.Update(0, huge.data(), huge.size()).code(),
+            StatusCode::kNoSpace);
+}
+
+TEST(PageTest, HeaderWords) {
+  Page page(512);
+  page.set_header_word(0, 7);
+  page.set_header_word(1, 0xDEADBEEF);
+  EXPECT_EQ(page.header_word(0), 7u);
+  EXPECT_EQ(page.header_word(1), 0xDEADBEEFu);
+}
+
+TEST(PageTest, OutOfRangeOperationsFail) {
+  Page page(512);
+  EXPECT_EQ(page.Erase(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(page.Update(3, "x", 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PageFileTest, AllocateAndAccess) {
+  PageFile file(512);
+  PageId a = file.Allocate();
+  PageId b = file.Allocate();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(file.page_count(), 2u);
+  ASSERT_TRUE(file.Read(a).ok());
+  EXPECT_FALSE(file.Read(99).ok());
+}
+
+TEST(PageFileTest, ClassifiesSequentialVsRandomReads) {
+  PageFile file(512);
+  for (int i = 0; i < 10; ++i) file.Allocate();
+  file.ResetStats();
+  // Sequential sweep: first read is random, the rest sequential.
+  for (PageId id = 0; id < 10; ++id) (void)file.Read(id);
+  EXPECT_EQ(file.stats().reads, 10u);
+  EXPECT_EQ(file.stats().random_reads, 1u);
+  EXPECT_EQ(file.stats().sequential_reads, 9u);
+  // A backwards jump is random.
+  (void)file.Read(0);
+  EXPECT_EQ(file.stats().random_reads, 2u);
+}
+
+TEST(PageFileTest, PeekDoesNotCount) {
+  PageFile file(512);
+  file.Allocate();
+  file.ResetStats();
+  (void)file.PeekNoIo(0);
+  EXPECT_EQ(file.stats().reads, 0u);
+}
+
+TEST(BufferPoolTest, HitsAvoidFileReads) {
+  PageFile file(512);
+  for (int i = 0; i < 4; ++i) file.Allocate();
+  BufferPool pool(&file, 4);
+  file.ResetStats();
+  for (int round = 0; round < 3; ++round) {
+    for (PageId id = 0; id < 4; ++id) ASSERT_TRUE(pool.Fetch(id).ok());
+  }
+  EXPECT_EQ(file.stats().reads, 4u);  // only the cold misses
+  EXPECT_EQ(pool.stats().misses, 4u);
+  EXPECT_EQ(pool.stats().hits, 8u);
+  EXPECT_NEAR(pool.stats().HitRate(), 8.0 / 12.0, 1e-12);
+}
+
+TEST(BufferPoolTest, LruEvictsLeastRecent) {
+  PageFile file(512);
+  for (int i = 0; i < 3; ++i) file.Allocate();
+  BufferPool pool(&file, 2);
+  (void)pool.Fetch(0);
+  (void)pool.Fetch(1);
+  (void)pool.Fetch(0);  // 0 is now most recent
+  (void)pool.Fetch(2);  // evicts 1
+  file.ResetStats();
+  (void)pool.Fetch(0);  // hit
+  (void)pool.Fetch(1);  // miss (was evicted)
+  EXPECT_EQ(file.stats().reads, 1u);
+  EXPECT_EQ(pool.stats().evictions, 2u);  // inserting 2 evicted 1; 1 evicted 0
+}
+
+TEST(BufferPoolTest, ZeroCapacityCachesNothing) {
+  PageFile file(512);
+  file.Allocate();
+  BufferPool pool(&file, 0);
+  (void)pool.Fetch(0);
+  (void)pool.Fetch(0);
+  EXPECT_EQ(pool.stats().misses, 2u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+}
+
+TEST(BufferPoolTest, PrimeAvoidsColdMiss) {
+  PageFile file(512);
+  file.Allocate();
+  BufferPool pool(&file, 2);
+  pool.Prime(0);
+  file.ResetStats();
+  (void)pool.Fetch(0);
+  EXPECT_EQ(file.stats().reads, 0u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(IoModelTest, PaperFootnote4Arithmetic) {
+  // Seagate Barracuda defaults, 8 KB pages: the paper derives ~14
+  // sequential I/Os per random I/O.
+  IoModel model;
+  EXPECT_NEAR(model.TransferMs(), 8192.0 / 9000.0, 1e-6);
+  EXPECT_NEAR(model.RandomReadMs(), 7.1 + 4.17 + model.TransferMs(), 1e-9);
+  EXPECT_GT(model.RandomToSequentialRatio(), 13.0);
+  EXPECT_LT(model.RandomToSequentialRatio(), 15.0);
+  EXPECT_NEAR(model.BreakEvenPageFraction(),
+              1.0 / model.RandomToSequentialRatio(), 1e-12);
+}
+
+TEST(IoModelTest, WorkloadCostAdds) {
+  IoModel model;
+  const double cost = model.WorkloadMs(2, 10);
+  EXPECT_NEAR(cost,
+              2 * model.RandomReadMs() + 10 * model.SequentialReadMs(),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace bw::pages

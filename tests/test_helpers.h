@@ -1,0 +1,79 @@
+// Shared helpers for the test suite: deterministic clustered point
+// generation and brute-force reference search.
+
+#ifndef BLOBWORLD_TESTS_TEST_HELPERS_H_
+#define BLOBWORLD_TESTS_TEST_HELPERS_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/vec.h"
+#include "util/random.h"
+
+namespace bw::testing {
+
+/// Clustered points: `clusters` Gaussian blobs in [0, 100]^dim, matching
+/// the shape of SVD-reduced Blobworld vectors.
+inline std::vector<geom::Vec> MakeClusteredPoints(size_t n, size_t dim,
+                                                  size_t clusters,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geom::Vec> centers;
+  centers.reserve(clusters);
+  for (size_t c = 0; c < clusters; ++c) {
+    geom::Vec v(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      v[d] = static_cast<float>(rng.Uniform(0.0, 100.0));
+    }
+    centers.push_back(std::move(v));
+  }
+  std::vector<geom::Vec> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const geom::Vec& center = centers[rng.NextBelow(clusters)];
+    geom::Vec v(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      v[d] = static_cast<float>(rng.Gaussian(center[d], 4.0));
+    }
+    points.push_back(std::move(v));
+  }
+  return points;
+}
+
+/// Uniform points in [0, 100]^dim.
+inline std::vector<geom::Vec> MakeUniformPoints(size_t n, size_t dim,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geom::Vec> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    geom::Vec v(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      v[d] = static_cast<float>(rng.Uniform(0.0, 100.0));
+    }
+    points.push_back(std::move(v));
+  }
+  return points;
+}
+
+/// Brute-force k-NN: indices of the k nearest points, sorted by distance
+/// (ties broken by index for determinism).
+inline std::vector<size_t> BruteForceKnn(const std::vector<geom::Vec>& points,
+                                         const geom::Vec& query, size_t k) {
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    scored.emplace_back(points[i].DistanceSquaredTo(query), i);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<size_t> out;
+  out.reserve(std::min(k, scored.size()));
+  for (size_t i = 0; i < std::min(k, scored.size()); ++i) {
+    out.push_back(scored[i].second);
+  }
+  return out;
+}
+
+}  // namespace bw::testing
+
+#endif  // BLOBWORLD_TESTS_TEST_HELPERS_H_
