@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_bites_search.cc" "bench/CMakeFiles/ablation_bites_search.dir/ablation_bites_search.cc.o" "gcc" "bench/CMakeFiles/ablation_bites_search.dir/ablation_bites_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bw_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/blobworld/CMakeFiles/bw_blobworld.dir/DependInfo.cmake"
+  "/root/repo/build/src/amdb/CMakeFiles/bw_amdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/am/CMakeFiles/bw_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/gist/CMakeFiles/bw_gist.dir/DependInfo.cmake"
+  "/root/repo/build/src/pages/CMakeFiles/bw_pages.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/bw_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/bw_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

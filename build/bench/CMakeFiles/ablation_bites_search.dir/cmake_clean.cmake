@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bites_search.dir/ablation_bites_search.cc.o"
+  "CMakeFiles/ablation_bites_search.dir/ablation_bites_search.cc.o.d"
+  "ablation_bites_search"
+  "ablation_bites_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bites_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

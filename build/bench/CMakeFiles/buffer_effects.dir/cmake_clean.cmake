@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_effects.dir/buffer_effects.cc.o"
+  "CMakeFiles/buffer_effects.dir/buffer_effects.cc.o.d"
+  "buffer_effects"
+  "buffer_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

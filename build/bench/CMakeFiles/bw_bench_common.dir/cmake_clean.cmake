@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/bw_bench_common.dir/bench_common.cc.o.d"
+  "libbw_bench_common.a"
+  "libbw_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

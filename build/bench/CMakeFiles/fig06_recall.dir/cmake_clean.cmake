@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_recall.dir/fig06_recall.cc.o"
+  "CMakeFiles/fig06_recall.dir/fig06_recall.cc.o.d"
+  "fig06_recall"
+  "fig06_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_08_standard.dir/fig07_08_standard.cc.o"
+  "CMakeFiles/fig07_08_standard.dir/fig07_08_standard.cc.o.d"
+  "fig07_08_standard"
+  "fig07_08_standard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_08_standard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

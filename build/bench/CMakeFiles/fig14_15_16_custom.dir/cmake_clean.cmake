@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_15_16_custom.dir/fig14_15_16_custom.cc.o"
+  "CMakeFiles/fig14_15_16_custom.dir/fig14_15_16_custom.cc.o.d"
+  "fig14_15_16_custom"
+  "fig14_15_16_custom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_15_16_custom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_15_16_custom.
+# This may be replaced when dependencies are built.

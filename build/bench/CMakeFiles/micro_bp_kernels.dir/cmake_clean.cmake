@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bp_kernels.dir/micro_bp_kernels.cc.o"
+  "CMakeFiles/micro_bp_kernels.dir/micro_bp_kernels.cc.o.d"
+  "micro_bp_kernels"
+  "micro_bp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/other_datasets.dir/other_datasets.cc.o"
+  "CMakeFiles/other_datasets.dir/other_datasets.cc.o.d"
+  "other_datasets"
+  "other_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/other_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

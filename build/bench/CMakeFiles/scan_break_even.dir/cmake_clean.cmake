@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_break_even.dir/scan_break_even.cc.o"
+  "CMakeFiles/scan_break_even.dir/scan_break_even.cc.o.d"
+  "scan_break_even"
+  "scan_break_even.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_break_even.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

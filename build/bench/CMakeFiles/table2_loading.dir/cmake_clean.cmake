@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_loading.dir/table2_loading.cc.o"
+  "CMakeFiles/table2_loading.dir/table2_loading.cc.o.d"
+  "table2_loading"
+  "table2_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

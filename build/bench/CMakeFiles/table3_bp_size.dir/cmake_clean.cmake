@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_bp_size.dir/table3_bp_size.cc.o"
+  "CMakeFiles/table3_bp_size.dir/table3_bp_size.cc.o.d"
+  "table3_bp_size"
+  "table3_bp_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bp_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

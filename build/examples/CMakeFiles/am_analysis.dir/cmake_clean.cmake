@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/am_analysis.dir/am_analysis.cpp.o"
+  "CMakeFiles/am_analysis.dir/am_analysis.cpp.o.d"
+  "am_analysis"
+  "am_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/am_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwadmin.dir/bwadmin.cpp.o"
+  "CMakeFiles/bwadmin.dir/bwadmin.cpp.o.d"
+  "bwadmin"
+  "bwadmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwadmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

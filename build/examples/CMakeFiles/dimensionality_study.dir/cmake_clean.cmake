@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimensionality_study.dir/dimensionality_study.cpp.o"
+  "CMakeFiles/dimensionality_study.dir/dimensionality_study.cpp.o.d"
+  "dimensionality_study"
+  "dimensionality_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimensionality_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize_leaves.dir/visualize_leaves.cpp.o"
+  "CMakeFiles/visualize_leaves.dir/visualize_leaves.cpp.o.d"
+  "visualize_leaves"
+  "visualize_leaves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize_leaves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/am/bulk_load.cc" "src/am/CMakeFiles/bw_am.dir/bulk_load.cc.o" "gcc" "src/am/CMakeFiles/bw_am.dir/bulk_load.cc.o.d"
+  "/root/repo/src/am/rstar_tree.cc" "src/am/CMakeFiles/bw_am.dir/rstar_tree.cc.o" "gcc" "src/am/CMakeFiles/bw_am.dir/rstar_tree.cc.o.d"
+  "/root/repo/src/am/rtree.cc" "src/am/CMakeFiles/bw_am.dir/rtree.cc.o" "gcc" "src/am/CMakeFiles/bw_am.dir/rtree.cc.o.d"
+  "/root/repo/src/am/split_heuristics.cc" "src/am/CMakeFiles/bw_am.dir/split_heuristics.cc.o" "gcc" "src/am/CMakeFiles/bw_am.dir/split_heuristics.cc.o.d"
+  "/root/repo/src/am/srtree.cc" "src/am/CMakeFiles/bw_am.dir/srtree.cc.o" "gcc" "src/am/CMakeFiles/bw_am.dir/srtree.cc.o.d"
+  "/root/repo/src/am/sstree.cc" "src/am/CMakeFiles/bw_am.dir/sstree.cc.o" "gcc" "src/am/CMakeFiles/bw_am.dir/sstree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gist/CMakeFiles/bw_gist.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/bw_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pages/CMakeFiles/bw_pages.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

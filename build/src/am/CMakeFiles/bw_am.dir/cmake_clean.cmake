@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_am.dir/bulk_load.cc.o"
+  "CMakeFiles/bw_am.dir/bulk_load.cc.o.d"
+  "CMakeFiles/bw_am.dir/rstar_tree.cc.o"
+  "CMakeFiles/bw_am.dir/rstar_tree.cc.o.d"
+  "CMakeFiles/bw_am.dir/rtree.cc.o"
+  "CMakeFiles/bw_am.dir/rtree.cc.o.d"
+  "CMakeFiles/bw_am.dir/split_heuristics.cc.o"
+  "CMakeFiles/bw_am.dir/split_heuristics.cc.o.d"
+  "CMakeFiles/bw_am.dir/srtree.cc.o"
+  "CMakeFiles/bw_am.dir/srtree.cc.o.d"
+  "CMakeFiles/bw_am.dir/sstree.cc.o"
+  "CMakeFiles/bw_am.dir/sstree.cc.o.d"
+  "libbw_am.a"
+  "libbw_am.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_am.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

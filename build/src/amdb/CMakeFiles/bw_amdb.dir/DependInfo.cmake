@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amdb/analysis.cc" "src/amdb/CMakeFiles/bw_amdb.dir/analysis.cc.o" "gcc" "src/amdb/CMakeFiles/bw_amdb.dir/analysis.cc.o.d"
+  "/root/repo/src/amdb/node_report.cc" "src/amdb/CMakeFiles/bw_amdb.dir/node_report.cc.o" "gcc" "src/amdb/CMakeFiles/bw_amdb.dir/node_report.cc.o.d"
+  "/root/repo/src/amdb/partitioning.cc" "src/amdb/CMakeFiles/bw_amdb.dir/partitioning.cc.o" "gcc" "src/amdb/CMakeFiles/bw_amdb.dir/partitioning.cc.o.d"
+  "/root/repo/src/amdb/visualize.cc" "src/amdb/CMakeFiles/bw_amdb.dir/visualize.cc.o" "gcc" "src/amdb/CMakeFiles/bw_amdb.dir/visualize.cc.o.d"
+  "/root/repo/src/amdb/workload.cc" "src/amdb/CMakeFiles/bw_amdb.dir/workload.cc.o" "gcc" "src/amdb/CMakeFiles/bw_amdb.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/am/CMakeFiles/bw_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/gist/CMakeFiles/bw_gist.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/bw_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pages/CMakeFiles/bw_pages.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_amdb.dir/analysis.cc.o"
+  "CMakeFiles/bw_amdb.dir/analysis.cc.o.d"
+  "CMakeFiles/bw_amdb.dir/node_report.cc.o"
+  "CMakeFiles/bw_amdb.dir/node_report.cc.o.d"
+  "CMakeFiles/bw_amdb.dir/partitioning.cc.o"
+  "CMakeFiles/bw_amdb.dir/partitioning.cc.o.d"
+  "CMakeFiles/bw_amdb.dir/visualize.cc.o"
+  "CMakeFiles/bw_amdb.dir/visualize.cc.o.d"
+  "CMakeFiles/bw_amdb.dir/workload.cc.o"
+  "CMakeFiles/bw_amdb.dir/workload.cc.o.d"
+  "libbw_amdb.a"
+  "libbw_amdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_amdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_blobworld.dir/color.cc.o"
+  "CMakeFiles/bw_blobworld.dir/color.cc.o.d"
+  "CMakeFiles/bw_blobworld.dir/dataset.cc.o"
+  "CMakeFiles/bw_blobworld.dir/dataset.cc.o.d"
+  "CMakeFiles/bw_blobworld.dir/pipeline.cc.o"
+  "CMakeFiles/bw_blobworld.dir/pipeline.cc.o.d"
+  "CMakeFiles/bw_blobworld.dir/ranker.cc.o"
+  "CMakeFiles/bw_blobworld.dir/ranker.cc.o.d"
+  "CMakeFiles/bw_blobworld.dir/segmentation.cc.o"
+  "CMakeFiles/bw_blobworld.dir/segmentation.cc.o.d"
+  "CMakeFiles/bw_blobworld.dir/synthetic.cc.o"
+  "CMakeFiles/bw_blobworld.dir/synthetic.cc.o.d"
+  "libbw_blobworld.a"
+  "libbw_blobworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_blobworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bites.cc" "src/core/CMakeFiles/bw_core.dir/bites.cc.o" "gcc" "src/core/CMakeFiles/bw_core.dir/bites.cc.o.d"
+  "/root/repo/src/core/index_factory.cc" "src/core/CMakeFiles/bw_core.dir/index_factory.cc.o" "gcc" "src/core/CMakeFiles/bw_core.dir/index_factory.cc.o.d"
+  "/root/repo/src/core/jagged.cc" "src/core/CMakeFiles/bw_core.dir/jagged.cc.o" "gcc" "src/core/CMakeFiles/bw_core.dir/jagged.cc.o.d"
+  "/root/repo/src/core/map_tree.cc" "src/core/CMakeFiles/bw_core.dir/map_tree.cc.o" "gcc" "src/core/CMakeFiles/bw_core.dir/map_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/am/CMakeFiles/bw_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/gist/CMakeFiles/bw_gist.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/bw_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pages/CMakeFiles/bw_pages.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_core.dir/bites.cc.o"
+  "CMakeFiles/bw_core.dir/bites.cc.o.d"
+  "CMakeFiles/bw_core.dir/index_factory.cc.o"
+  "CMakeFiles/bw_core.dir/index_factory.cc.o.d"
+  "CMakeFiles/bw_core.dir/jagged.cc.o"
+  "CMakeFiles/bw_core.dir/jagged.cc.o.d"
+  "CMakeFiles/bw_core.dir/map_tree.cc.o"
+  "CMakeFiles/bw_core.dir/map_tree.cc.o.d"
+  "libbw_core.a"
+  "libbw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

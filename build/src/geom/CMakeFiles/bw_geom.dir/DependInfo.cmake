@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/distance.cc" "src/geom/CMakeFiles/bw_geom.dir/distance.cc.o" "gcc" "src/geom/CMakeFiles/bw_geom.dir/distance.cc.o.d"
+  "/root/repo/src/geom/rect.cc" "src/geom/CMakeFiles/bw_geom.dir/rect.cc.o" "gcc" "src/geom/CMakeFiles/bw_geom.dir/rect.cc.o.d"
+  "/root/repo/src/geom/sphere.cc" "src/geom/CMakeFiles/bw_geom.dir/sphere.cc.o" "gcc" "src/geom/CMakeFiles/bw_geom.dir/sphere.cc.o.d"
+  "/root/repo/src/geom/vec.cc" "src/geom/CMakeFiles/bw_geom.dir/vec.cc.o" "gcc" "src/geom/CMakeFiles/bw_geom.dir/vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

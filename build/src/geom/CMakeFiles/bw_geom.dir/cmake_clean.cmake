@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_geom.dir/distance.cc.o"
+  "CMakeFiles/bw_geom.dir/distance.cc.o.d"
+  "CMakeFiles/bw_geom.dir/rect.cc.o"
+  "CMakeFiles/bw_geom.dir/rect.cc.o.d"
+  "CMakeFiles/bw_geom.dir/sphere.cc.o"
+  "CMakeFiles/bw_geom.dir/sphere.cc.o.d"
+  "CMakeFiles/bw_geom.dir/vec.cc.o"
+  "CMakeFiles/bw_geom.dir/vec.cc.o.d"
+  "libbw_geom.a"
+  "libbw_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

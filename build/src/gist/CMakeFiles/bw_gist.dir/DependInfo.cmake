@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gist/extension.cc" "src/gist/CMakeFiles/bw_gist.dir/extension.cc.o" "gcc" "src/gist/CMakeFiles/bw_gist.dir/extension.cc.o.d"
+  "/root/repo/src/gist/nn_cursor.cc" "src/gist/CMakeFiles/bw_gist.dir/nn_cursor.cc.o" "gcc" "src/gist/CMakeFiles/bw_gist.dir/nn_cursor.cc.o.d"
+  "/root/repo/src/gist/node.cc" "src/gist/CMakeFiles/bw_gist.dir/node.cc.o" "gcc" "src/gist/CMakeFiles/bw_gist.dir/node.cc.o.d"
+  "/root/repo/src/gist/persist.cc" "src/gist/CMakeFiles/bw_gist.dir/persist.cc.o" "gcc" "src/gist/CMakeFiles/bw_gist.dir/persist.cc.o.d"
+  "/root/repo/src/gist/tree.cc" "src/gist/CMakeFiles/bw_gist.dir/tree.cc.o" "gcc" "src/gist/CMakeFiles/bw_gist.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/bw_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/pages/CMakeFiles/bw_pages.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_gist.dir/extension.cc.o"
+  "CMakeFiles/bw_gist.dir/extension.cc.o.d"
+  "CMakeFiles/bw_gist.dir/nn_cursor.cc.o"
+  "CMakeFiles/bw_gist.dir/nn_cursor.cc.o.d"
+  "CMakeFiles/bw_gist.dir/node.cc.o"
+  "CMakeFiles/bw_gist.dir/node.cc.o.d"
+  "CMakeFiles/bw_gist.dir/persist.cc.o"
+  "CMakeFiles/bw_gist.dir/persist.cc.o.d"
+  "CMakeFiles/bw_gist.dir/tree.cc.o"
+  "CMakeFiles/bw_gist.dir/tree.cc.o.d"
+  "libbw_gist.a"
+  "libbw_gist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_gist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

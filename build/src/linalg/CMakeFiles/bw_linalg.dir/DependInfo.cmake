@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cholesky.cc" "src/linalg/CMakeFiles/bw_linalg.dir/cholesky.cc.o" "gcc" "src/linalg/CMakeFiles/bw_linalg.dir/cholesky.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/linalg/CMakeFiles/bw_linalg.dir/matrix.cc.o" "gcc" "src/linalg/CMakeFiles/bw_linalg.dir/matrix.cc.o.d"
+  "/root/repo/src/linalg/reducer.cc" "src/linalg/CMakeFiles/bw_linalg.dir/reducer.cc.o" "gcc" "src/linalg/CMakeFiles/bw_linalg.dir/reducer.cc.o.d"
+  "/root/repo/src/linalg/svd.cc" "src/linalg/CMakeFiles/bw_linalg.dir/svd.cc.o" "gcc" "src/linalg/CMakeFiles/bw_linalg.dir/svd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/bw_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

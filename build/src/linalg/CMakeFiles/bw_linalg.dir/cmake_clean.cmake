@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_linalg.dir/cholesky.cc.o"
+  "CMakeFiles/bw_linalg.dir/cholesky.cc.o.d"
+  "CMakeFiles/bw_linalg.dir/matrix.cc.o"
+  "CMakeFiles/bw_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/bw_linalg.dir/reducer.cc.o"
+  "CMakeFiles/bw_linalg.dir/reducer.cc.o.d"
+  "CMakeFiles/bw_linalg.dir/svd.cc.o"
+  "CMakeFiles/bw_linalg.dir/svd.cc.o.d"
+  "libbw_linalg.a"
+  "libbw_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pages/buffer_pool.cc" "src/pages/CMakeFiles/bw_pages.dir/buffer_pool.cc.o" "gcc" "src/pages/CMakeFiles/bw_pages.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/pages/io_model.cc" "src/pages/CMakeFiles/bw_pages.dir/io_model.cc.o" "gcc" "src/pages/CMakeFiles/bw_pages.dir/io_model.cc.o.d"
+  "/root/repo/src/pages/page.cc" "src/pages/CMakeFiles/bw_pages.dir/page.cc.o" "gcc" "src/pages/CMakeFiles/bw_pages.dir/page.cc.o.d"
+  "/root/repo/src/pages/page_file.cc" "src/pages/CMakeFiles/bw_pages.dir/page_file.cc.o" "gcc" "src/pages/CMakeFiles/bw_pages.dir/page_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

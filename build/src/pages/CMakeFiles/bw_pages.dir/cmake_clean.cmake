@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_pages.dir/buffer_pool.cc.o"
+  "CMakeFiles/bw_pages.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/bw_pages.dir/io_model.cc.o"
+  "CMakeFiles/bw_pages.dir/io_model.cc.o.d"
+  "CMakeFiles/bw_pages.dir/page.cc.o"
+  "CMakeFiles/bw_pages.dir/page.cc.o.d"
+  "CMakeFiles/bw_pages.dir/page_file.cc.o"
+  "CMakeFiles/bw_pages.dir/page_file.cc.o.d"
+  "libbw_pages.a"
+  "libbw_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

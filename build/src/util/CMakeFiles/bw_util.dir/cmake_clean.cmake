@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_util.dir/flags.cc.o"
+  "CMakeFiles/bw_util.dir/flags.cc.o.d"
+  "CMakeFiles/bw_util.dir/status.cc.o"
+  "CMakeFiles/bw_util.dir/status.cc.o.d"
+  "CMakeFiles/bw_util.dir/table_printer.cc.o"
+  "CMakeFiles/bw_util.dir/table_printer.cc.o.d"
+  "libbw_util.a"
+  "libbw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdb_extras_test.dir/amdb_extras_test.cc.o"
+  "CMakeFiles/amdb_extras_test.dir/amdb_extras_test.cc.o.d"
+  "amdb_extras_test"
+  "amdb_extras_test.pdb"
+  "amdb_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdb_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

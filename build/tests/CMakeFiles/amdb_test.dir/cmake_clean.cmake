@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdb_test.dir/amdb_test.cc.o"
+  "CMakeFiles/amdb_test.dir/amdb_test.cc.o.d"
+  "amdb_test"
+  "amdb_test.pdb"
+  "amdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

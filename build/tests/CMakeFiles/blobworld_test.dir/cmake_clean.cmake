@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blobworld_test.dir/blobworld_test.cc.o"
+  "CMakeFiles/blobworld_test.dir/blobworld_test.cc.o.d"
+  "blobworld_test"
+  "blobworld_test.pdb"
+  "blobworld_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blobworld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

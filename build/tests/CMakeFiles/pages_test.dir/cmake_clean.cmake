@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pages_test.dir/pages_test.cc.o"
+  "CMakeFiles/pages_test.dir/pages_test.cc.o.d"
+  "pages_test"
+  "pages_test.pdb"
+  "pages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persist_cursor_test.dir/persist_cursor_test.cc.o"
+  "CMakeFiles/persist_cursor_test.dir/persist_cursor_test.cc.o.d"
+  "persist_cursor_test"
+  "persist_cursor_test.pdb"
+  "persist_cursor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persist_cursor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

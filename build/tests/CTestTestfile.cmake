@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/am_correctness_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/pages_test[1]_include.cmake")
+include("/root/repo/build/tests/gist_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/am_test[1]_include.cmake")
+include("/root/repo/build/tests/amdb_test[1]_include.cmake")
+include("/root/repo/build/tests/blobworld_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/persist_cursor_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/amdb_extras_test[1]_include.cmake")
