@@ -23,6 +23,8 @@ struct BoundFlags {
   int64_t* local_dims;
   int64_t* seed;
   bool* paper_scale;
+  int64_t* threads;
+  int64_t* queue_depth;
   ExperimentConfig config;
 };
 BoundFlags* g_bound = nullptr;
@@ -53,6 +55,10 @@ ExperimentConfig* ExperimentConfig::Register(Flags* flags) {
   bound.paper_scale = flags->AddBool(
       "paper_scale", false,
       "run at the paper's scale (221231 blobs, 5531 queries, 8KB pages)");
+  bound.threads =
+      flags->AddInt64("threads", 4, "query-service worker threads");
+  bound.queue_depth = flags->AddInt64(
+      "queue_depth", 64, "query-service submission queue capacity");
   return &bound.config;
 }
 
@@ -72,6 +78,8 @@ void ExperimentConfig::Resolve() {
   local_dims = *g_bound->local_dims;
   seed = *g_bound->seed;
   paper_scale = *g_bound->paper_scale;
+  threads = *g_bound->threads;
+  queue_depth = *g_bound->queue_depth;
   if (paper_scale) {
     blobs = 221231;
     queries = 5531;
@@ -80,6 +88,8 @@ void ExperimentConfig::Resolve() {
   BW_CHECK_GT(blobs, 0);
   BW_CHECK_GT(queries, 0);
   BW_CHECK_GT(dim, 0);
+  BW_CHECK_GT(threads, 0);
+  BW_CHECK_GT(queue_depth, 0);
 }
 
 ExperimentData PrepareExperiment(const ExperimentConfig& config) {

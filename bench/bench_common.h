@@ -39,6 +39,11 @@ struct ExperimentConfig {
   int64_t local_dims = 2;       // appearance-sheet dimensionality.
   int64_t seed = 1234;
   bool paper_scale = false;
+  // Load-generator plumbing shared by the concurrent-service benches
+  // (and reusable from any bench): service worker threads and bounded
+  // submission-queue capacity (`--threads`, `--queue-depth`).
+  int64_t threads = 4;
+  int64_t queue_depth = 64;
 
   /// Registers the shared flags on `flags` and returns a config bound to
   /// them (call Resolve() after parsing).

@@ -1,0 +1,246 @@
+// Concurrent query-service throughput on the fig07-style workload
+// (Blobworld vectors, 200-NN queries): sweeps worker threads under a
+// closed-loop load generator and reports aggregate QPS + tail latency,
+// verifying every concurrent result set against serial execution. An
+// optional open-loop run offers a fixed arrival rate and measures the
+// admission-control reject fraction.
+//
+// The container the benches run in may have a single core, so raw CPU
+// parallelism is not what this measures: each worker's private buffer
+// pool charges a simulated random-read latency per miss (--io_delay_us,
+// a scaled-down IoModel::RandomReadMs), and concurrency wins by
+// overlapping those I/O waits — exactly how a disk-bound serving tier
+// scales. Set --io_delay_us=0 on a many-core machine to measure pure
+// CPU scaling instead.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "service/query_service.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace {
+
+struct RunOutcome {
+  double seconds = 0;
+  double qps = 0;
+  bool identical = true;
+  bw::service::ServiceSnapshot snap;
+};
+
+// Closed loop: `clients` submitter threads, each keeping one query in
+// flight (submit, wait, next), until the workload is exhausted.
+RunOutcome RunClosedLoop(const bw::gist::Tree& tree,
+                         const std::vector<bw::geom::Vec>& queries, size_t k,
+                         const bw::service::ServiceOptions& options,
+                         size_t clients,
+                         const std::vector<std::vector<bw::gist::Rid>>&
+                             expected) {
+  bw::service::QueryService service(tree, options);
+  std::vector<std::vector<bw::gist::Rid>> got(queries.size());
+  std::atomic<size_t> next{0};
+  std::atomic<bool> all_ok{true};
+
+  bw::Stopwatch watch;
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= queries.size()) return;
+        auto future = service.SubmitKnn(queries[i], k);
+        if (!future.ok()) {  // kBlock never rejects; guard anyway.
+          all_ok.store(false);
+          continue;
+        }
+        auto response = future->get();
+        if (!response.ok()) {
+          all_ok.store(false);
+          continue;
+        }
+        got[i].reserve(response->neighbors.size());
+        for (const auto& n : response->neighbors) got[i].push_back(n.rid);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  RunOutcome out;
+  out.seconds = watch.ElapsedSeconds();
+  out.qps = static_cast<double>(queries.size()) / out.seconds;
+  out.snap = service.Snapshot();
+  out.identical = all_ok.load() && got == expected;
+  return out;
+}
+
+// Open loop: one submitter offers queries at `offered_qps`; queries that
+// find the queue full are rejected by admission control and counted.
+RunOutcome RunOpenLoop(const bw::gist::Tree& tree,
+                       const std::vector<bw::geom::Vec>& queries, size_t k,
+                       bw::service::ServiceOptions options,
+                       double offered_qps) {
+  options.overflow = bw::service::OverflowPolicy::kReject;
+  bw::service::QueryService service(tree, options);
+  std::vector<std::optional<bw::service::QueryService::ResponseFuture>>
+      futures(queries.size());
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::chrono::duration<double> interval(1.0 / offered_qps);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    interval * static_cast<double>(i)));
+    auto future = service.SubmitKnn(queries[i], k);
+    if (future.ok()) futures[i] = std::move(*future);
+  }
+  size_t completed = 0;
+  for (auto& f : futures) {
+    if (f.has_value() && f->get().ok()) ++completed;
+  }
+  RunOutcome out;
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  out.qps = static_cast<double>(completed) / out.seconds;
+  out.snap = service.Snapshot();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bw::Flags flags;
+  auto* config = bw::bench::ExperimentConfig::Register(&flags);
+  std::string* am = flags.AddString("am", "rtree", "access method to serve");
+  int64_t* io_delay_us = flags.AddInt64(
+      "io_delay_us", 200,
+      "simulated random-read latency per pool miss (0 = in-memory)");
+  int64_t* pool_pages = flags.AddInt64(
+      "pool_pages", 32, "per-worker buffer pool capacity in pages");
+  int64_t* clients =
+      flags.AddInt64("clients", 16, "closed-loop client threads");
+  double* open_loop_qps = flags.AddDouble(
+      "open_loop_qps", 0.0,
+      "offered arrival rate for an extra open-loop run (0 = skip)");
+  int exit_code = 0;
+  if (!bw::bench::ParseFlagsOrExit(flags, argc, argv, &exit_code)) {
+    return exit_code;
+  }
+  config->Resolve();
+
+  std::printf("=== Query-service throughput (fig07-style workload) ===\n");
+  bw::Stopwatch watch;
+  const bw::bench::ExperimentData data = bw::bench::PrepareExperiment(*config);
+  std::printf("prepared %zu blobs in %.1fs\n", data.vectors.size(),
+              watch.ElapsedSeconds());
+
+  bw::core::IndexBuildOptions build;
+  build.am = *am;
+  build.page_bytes = static_cast<size_t>(config->page_bytes);
+  build.fill_fraction = config->fill;
+  build.seed = static_cast<uint64_t>(config->seed);
+  watch.Restart();
+  auto built = bw::core::BuildIndex(data.vectors, build);
+  BW_CHECK_MSG(built.ok(), built.status().ToString());
+  const bw::gist::Tree& tree = (*built)->tree();
+  std::printf("built %s (height %d) in %.1fs\n", am->c_str(), tree.height(),
+              watch.ElapsedSeconds());
+
+  // Query points: the workload's focus blobs, as in fig07.
+  std::vector<bw::geom::Vec> queries;
+  queries.reserve(data.query_foci.size());
+  for (uint32_t focus : data.query_foci) {
+    queries.push_back(data.vectors[focus]);
+  }
+  const size_t k = static_cast<size_t>(config->k);
+
+  // Serial reference execution (also the identity baseline).
+  std::vector<std::vector<bw::gist::Rid>> expected(queries.size());
+  watch.Restart();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto result = tree.KnnSearch(queries[i], k, nullptr);
+    BW_CHECK_MSG(result.ok(), result.status().ToString());
+    expected[i].reserve(result->size());
+    for (const auto& n : *result) expected[i].push_back(n.rid);
+  }
+  std::printf("serial reference (no pool, no I/O model): %.0f QPS\n\n",
+              static_cast<double>(queries.size()) / watch.ElapsedSeconds());
+
+  bw::service::ServiceOptions options;
+  options.queue_capacity = static_cast<size_t>(config->queue_depth);
+  options.worker_pool_pages = static_cast<size_t>(*pool_pages);
+  options.io_delay_us = static_cast<uint32_t>(*io_delay_us);
+  options.overflow = bw::service::OverflowPolicy::kBlock;
+
+  std::vector<size_t> sweep = {1, 2, 4};
+  if (std::find(sweep.begin(), sweep.end(),
+                static_cast<size_t>(config->threads)) == sweep.end()) {
+    sweep.push_back(static_cast<size_t>(config->threads));
+    std::sort(sweep.begin(), sweep.end());
+  }
+
+  using bw::TablePrinter;
+  TablePrinter table({"workers", "QPS", "speedup", "p50 us", "p95 us",
+                      "p99 us", "mean us", "pool hit-rate", "identical"});
+  double qps_at_1 = 0, qps_at_4 = 0;
+  for (size_t workers : sweep) {
+    options.num_workers = workers;
+    const RunOutcome run =
+        RunClosedLoop(tree, queries, k, options,
+                      std::max<size_t>(*clients, workers), expected);
+    if (workers == 1) qps_at_1 = run.qps;
+    if (workers == 4) qps_at_4 = run.qps;
+    const auto& s = run.snap;
+    const double hit_rate =
+        s.pool_hits + s.pool_misses > 0
+            ? static_cast<double>(s.pool_hits) /
+                  static_cast<double>(s.pool_hits + s.pool_misses)
+            : 0.0;
+    table.AddRow({TablePrinter::Count(static_cast<long long>(workers)),
+                  TablePrinter::Num(run.qps, 1),
+                  TablePrinter::Num(qps_at_1 > 0 ? run.qps / qps_at_1 : 1.0, 2),
+                  TablePrinter::Count(static_cast<long long>(s.p50_latency_us)),
+                  TablePrinter::Count(static_cast<long long>(s.p95_latency_us)),
+                  TablePrinter::Count(static_cast<long long>(s.p99_latency_us)),
+                  TablePrinter::Num(s.mean_latency_us, 0),
+                  TablePrinter::Percent(hit_rate),
+                  run.identical ? "yes" : "NO"});
+  }
+  std::printf("closed loop: %zu clients, queue depth %lld, k=%lld, "
+              "io_delay=%lldus, pool=%lld pages\n%s\n",
+              static_cast<size_t>(*clients),
+              static_cast<long long>(config->queue_depth),
+              static_cast<long long>(config->k),
+              static_cast<long long>(*io_delay_us),
+              static_cast<long long>(*pool_pages),
+              table.ToString().c_str());
+
+  if (qps_at_1 > 0 && qps_at_4 > 0) {
+    std::printf("scaling check: 4 workers / 1 worker = %.2fx aggregate QPS "
+                "(target > 2x)\n\n",
+                qps_at_4 / qps_at_1);
+  }
+
+  if (*open_loop_qps > 0) {
+    options.num_workers = static_cast<size_t>(config->threads);
+    const RunOutcome run =
+        RunOpenLoop(tree, queries, k, options, *open_loop_qps);
+    const auto& s = run.snap;
+    std::printf("open loop: offered %.0f QPS with %zu workers -> achieved "
+                "%.1f QPS, rejected %llu/%llu (%.1f%%), p99 %llu us\n",
+                *open_loop_qps, options.num_workers, run.qps,
+                (unsigned long long)s.rejected,
+                (unsigned long long)(s.rejected + s.submitted),
+                100.0 * static_cast<double>(s.rejected) /
+                    static_cast<double>(s.rejected + s.submitted),
+                (unsigned long long)s.p99_latency_us);
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Concurrent serving demo: many simulated users streaming "more results
+// until I stop scrolling" queries against one shared index — the
+// Blobworld front-end scenario the paper's NN cursor exists for, run
+// through the bw::service::QueryService thread pool.
+//
+//   $ ./serve_demo
+//
+// Builds a small synthetic collection, starts a 4-worker service with a
+// bounded admission queue, then mixes three request shapes concurrently:
+// exact k-NN, radius-budgeted streams, and deadline-capped streams.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "blobworld/dataset.h"
+#include "core/index_factory.h"
+#include "linalg/reducer.h"
+#include "service/query_service.h"
+
+int main() {
+  // 1. Data + index, exactly as in quickstart.
+  bw::blobworld::DatasetParams params;
+  params.num_images = 1000;
+  params.seed = 7;
+  const bw::blobworld::BlobDataset dataset =
+      bw::blobworld::GenerateDatasetDirect(params);
+  bw::linalg::SvdReducer reducer;
+  BW_CHECK_OK(reducer.Fit(dataset.Histograms(), 5));
+  const std::vector<bw::geom::Vec> vectors =
+      reducer.ProjectAll(dataset.Histograms(), 5);
+
+  bw::core::IndexBuildOptions build;
+  build.am = "xjb";
+  build.xjb_x = 0;
+  auto index = bw::core::BuildIndex(vectors, build);
+  BW_CHECK_MSG(index.ok(), index.status().ToString());
+  std::printf("index: %s over %zu blobs, height %d\n", build.am.c_str(),
+              vectors.size(), (*index)->tree().height());
+
+  // 2. Start the service: 4 workers, each with a private 64-page LRU
+  //    pool; a 32-deep admission queue rejects overload with a Status.
+  bw::service::ServiceOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 32;
+  options.worker_pool_pages = 64;
+  bw::service::QueryService service(std::move(*index), options);
+
+  // 3. Eight concurrent "users", mixing request shapes.
+  std::vector<std::thread> users;
+  for (size_t u = 0; u < 8; ++u) {
+    users.emplace_back([&service, &vectors, u] {
+      const bw::geom::Vec& focus = vectors[(u * 131) % vectors.size()];
+      if (u % 3 == 0) {
+        // Exact top-20.
+        auto response = service.Knn(focus, 20);
+        BW_CHECK_MSG(response.ok(), response.status().ToString());
+        std::printf("user %zu: top-20 in %.0f us (%llu leaf I/Os)\n", u,
+                    response->metrics.latency_us,
+                    (unsigned long long)response->metrics.leaf_accesses);
+      } else if (u % 3 == 1) {
+        // Stream everything within a distance budget: the cursor stops
+        // the moment its frontier proves nothing closer remains.
+        bw::service::StreamOptions stream;
+        stream.budget_radius = 0.05;
+        auto future = service.SubmitStream(focus, stream);
+        BW_CHECK_MSG(future.ok(), future.status().ToString());
+        auto response = future->get();
+        BW_CHECK_MSG(response.ok(), response.status().ToString());
+        std::printf("user %zu: %zu blobs within r=%.2f in %.0f us\n", u,
+                    response->neighbors.size(), stream.budget_radius,
+                    response->metrics.latency_us);
+      } else {
+        // Scroll with a deadline: whatever arrives in 200 us, nearest
+        // first; metrics.truncated says whether the deadline cut it off.
+        bw::service::StreamOptions stream;
+        stream.max_results = 50;
+        stream.deadline_us = 200;
+        auto future = service.SubmitStream(focus, stream);
+        BW_CHECK_MSG(future.ok(), future.status().ToString());
+        auto response = future->get();
+        BW_CHECK_MSG(response.ok(), response.status().ToString());
+        std::printf("user %zu: %zu results before the %.0f us deadline%s\n",
+                    u, response->neighbors.size(), stream.deadline_us,
+                    response->metrics.truncated ? " (truncated)" : "");
+      }
+    });
+  }
+  for (auto& t : users) t.join();
+
+  // 4. Service-wide view.
+  const bw::service::ServiceSnapshot snap = service.Snapshot();
+  std::printf(
+      "\nservice: %llu completed (%llu rejected), p50 %llu us, p95 %llu us, "
+      "p99 %llu us, pool hit rate %.0f%%\n",
+      (unsigned long long)snap.completed, (unsigned long long)snap.rejected,
+      (unsigned long long)snap.p50_latency_us,
+      (unsigned long long)snap.p95_latency_us,
+      (unsigned long long)snap.p99_latency_us,
+      snap.pool_hits + snap.pool_misses > 0
+          ? 100.0 * static_cast<double>(snap.pool_hits) /
+                static_cast<double>(snap.pool_hits + snap.pool_misses)
+          : 0.0);
+  return 0;
+}

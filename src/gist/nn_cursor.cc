@@ -4,8 +4,9 @@
 
 namespace bw::gist {
 
-NnCursor::NnCursor(const Tree& tree, geom::Vec query, TraversalStats* stats)
-    : tree_(tree), query_(std::move(query)), stats_(stats) {
+NnCursor::NnCursor(const Tree& tree, geom::Vec query, TraversalStats* stats,
+                   pages::BufferPool* pool)
+    : tree_(tree), query_(std::move(query)), stats_(stats), pool_(pool) {
   if (!tree_.empty()) {
     frontier_.push(Item{0.0, false, tree_.root(), 0});
   }
@@ -30,7 +31,8 @@ Result<std::optional<Neighbor>> NnCursor::Next() {
 
     // Expand a node. The cursor reads through the tree's fetch path so
     // buffer pools and I/O accounting behave exactly as KnnSearch does.
-    BW_ASSIGN_OR_RETURN(pages::Page * page, tree_.FetchNode(item.page));
+    BW_ASSIGN_OR_RETURN(pages::Page * page,
+                        tree_.FetchNode(item.page, pool_));
     const NodeView node(page);
     if (stats_ != nullptr) {
       if (node.IsLeaf()) {

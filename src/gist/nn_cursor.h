@@ -20,9 +20,15 @@ namespace bw::gist {
 ///
 ///   NnCursor cursor(tree, query);
 ///   while (auto n = cursor.Next()) { ... }
+///
+/// A non-null `pool` routes every node read of this cursor through that
+/// pool instead of the tree's configured read path; concurrent cursors
+/// over one shared tree must each bring their own pool (see the Tree
+/// thread-safety contract).
 class NnCursor {
  public:
-  NnCursor(const Tree& tree, geom::Vec query, TraversalStats* stats = nullptr);
+  NnCursor(const Tree& tree, geom::Vec query, TraversalStats* stats = nullptr,
+           pages::BufferPool* pool = nullptr);
 
   NnCursor(const NnCursor&) = delete;
   NnCursor& operator=(const NnCursor&) = delete;
@@ -54,6 +60,7 @@ class NnCursor {
   const Tree& tree_;
   geom::Vec query_;
   TraversalStats* stats_;
+  pages::BufferPool* pool_;
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier_;
   size_t produced_ = 0;
 };

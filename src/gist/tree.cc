@@ -34,7 +34,9 @@ Tree::Tree(pages::PageFile* file, std::unique_ptr<Extension> extension,
   BW_CHECK(extension_ != nullptr);
 }
 
-Result<pages::Page*> Tree::Fetch(pages::PageId id) const {
+Result<pages::Page*> Tree::Fetch(pages::PageId id,
+                                 pages::BufferPool* pool) const {
+  if (pool != nullptr) return pool->Fetch(id);
   if (pool_ != nullptr) return pool_->Fetch(id);
   return file_->Read(id);
 }
@@ -51,7 +53,8 @@ void Tree::InstallBulkLoaded(pages::PageId root, int height, uint64_t size) {
 
 Result<std::vector<Neighbor>> Tree::RangeSearch(const geom::Vec& query,
                                                 double radius,
-                                                TraversalStats* stats) const {
+                                                TraversalStats* stats,
+                                                pages::BufferPool* pool) const {
   std::vector<Neighbor> results;
   if (empty()) return results;
 
@@ -59,7 +62,7 @@ Result<std::vector<Neighbor>> Tree::RangeSearch(const geom::Vec& query,
   while (!todo.empty()) {
     const pages::PageId id = todo.back();
     todo.pop_back();
-    BW_ASSIGN_OR_RETURN(pages::Page * page, Fetch(id));
+    BW_ASSIGN_OR_RETURN(pages::Page * page, Fetch(id, pool));
     NodeView node(page);
     if (stats != nullptr) {
       if (node.IsLeaf()) {
@@ -96,8 +99,8 @@ Result<std::vector<Neighbor>> Tree::RangeSearch(const geom::Vec& query,
 }
 
 Result<std::vector<Neighbor>> Tree::KnnSearch(const geom::Vec& query,
-                                              size_t k,
-                                              TraversalStats* stats) const {
+                                              size_t k, TraversalStats* stats,
+                                              pages::BufferPool* pool) const {
   std::vector<Neighbor> results;
   if (empty() || k == 0) return results;
 
@@ -115,7 +118,7 @@ Result<std::vector<Neighbor>> Tree::KnnSearch(const geom::Vec& query,
       continue;
     }
 
-    BW_ASSIGN_OR_RETURN(pages::Page * page, Fetch(item.page));
+    BW_ASSIGN_OR_RETURN(pages::Page * page, Fetch(item.page, pool));
     NodeView node(page);
     if (stats != nullptr) {
       if (node.IsLeaf()) {
@@ -182,9 +185,9 @@ class CandidateHeap {
 
 }  // namespace
 
-Result<std::vector<Neighbor>> Tree::KnnSearchDfs(const geom::Vec& query,
-                                                 size_t k,
-                                                 TraversalStats* stats) const {
+Result<std::vector<Neighbor>> Tree::KnnSearchDfs(
+    const geom::Vec& query, size_t k, TraversalStats* stats,
+    pages::BufferPool* pool) const {
   std::vector<Neighbor> results;
   if (empty() || k == 0) return results;
   CandidateHeap candidates(k);
@@ -202,7 +205,7 @@ Result<std::vector<Neighbor>> Tree::KnnSearchDfs(const geom::Vec& query,
     stack.pop_back();
     if (frame.bound > candidates.Bound()) continue;
 
-    BW_ASSIGN_OR_RETURN(pages::Page * page, Fetch(frame.page));
+    BW_ASSIGN_OR_RETURN(pages::Page * page, Fetch(frame.page, pool));
     NodeView node(page);
     if (stats != nullptr) {
       if (node.IsLeaf()) {

@@ -36,6 +36,21 @@ struct TreeOptions {
 /// The tree reads pages through an optional BufferPool (set via
 /// set_buffer_pool) so experiments can model memory residency; when no
 /// pool is attached, every node visit costs one PageFile read.
+///
+/// Thread-safety contract (audited for the concurrent query service):
+/// the search methods (RangeSearch, KnnSearch, KnnSearchDfs) and the
+/// cursor fetch path are const and mutate no tree, extension, or node
+/// state — the only mutation on a default search is I/O accounting in
+/// the attached pool or the PageFile, both shared. Concurrent searches
+/// over one tree are therefore safe if and only if every caller passes
+/// its own per-call BufferPool (constructed with charge_file_io=false)
+/// via the `pool` parameter, which overrides both the attached pool and
+/// the direct PageFile::Read path. Insert/Delete and set_buffer_pool
+/// require exclusive access. Extension consistency methods
+/// (BpMinDistance, BpConsistentRange, DecodePoint) are const and draw
+/// nothing from the extension Rng (the Rng feeds only the non-const
+/// build-side methods), so one Extension instance safely serves
+/// concurrent readers.
 class Tree {
  public:
   Tree(pages::PageFile* file, std::unique_ptr<Extension> extension,
@@ -69,15 +84,20 @@ class Tree {
   Status Delete(const geom::Vec& point, Rid rid);
 
   /// SEARCH with an expanding-sphere predicate: all RIDs whose point lies
-  /// within `radius` of `query`.
+  /// within `radius` of `query`. A non-null `pool` overrides the tree's
+  /// read path for this call only (see the thread-safety contract above).
   Result<std::vector<Neighbor>> RangeSearch(const geom::Vec& query,
                                             double radius,
-                                            TraversalStats* stats) const;
+                                            TraversalStats* stats,
+                                            pages::BufferPool* pool =
+                                                nullptr) const;
 
   /// Best-first k-nearest-neighbor search (Hjaltason-Samet). Exact given
   /// an admissible extension MinDistance. Results sorted by distance.
   Result<std::vector<Neighbor>> KnnSearch(const geom::Vec& query, size_t k,
-                                          TraversalStats* stats) const;
+                                          TraversalStats* stats,
+                                          pages::BufferPool* pool =
+                                              nullptr) const;
 
   /// Depth-first branch-and-bound k-NN (Roussopoulos/Kelley/Vincent
   /// style): children are visited in MinDistance order and pruned
@@ -88,8 +108,9 @@ class Tree {
   /// the search the original libgist/amdb stack executed, so the amdb
   /// reproduction benches use it.
   Result<std::vector<Neighbor>> KnnSearchDfs(const geom::Vec& query,
-                                             size_t k,
-                                             TraversalStats* stats) const;
+                                             size_t k, TraversalStats* stats,
+                                             pages::BufferPool* pool =
+                                                 nullptr) const;
 
   // --- Bulk-load hook -----------------------------------------------------
 
@@ -107,9 +128,13 @@ class Tree {
       const std::function<void(pages::PageId, const NodeView&)>& fn) const;
 
   /// Fetches a node page through the tree's configured read path
-  /// (buffer pool if attached, counted I/O otherwise). Used by search
-  /// cursors; analysis code should use the no-I/O iteration hooks.
-  Result<pages::Page*> FetchNode(pages::PageId id) const { return Fetch(id); }
+  /// (buffer pool if attached, counted I/O otherwise); a non-null `pool`
+  /// overrides that path for this call. Used by search cursors; analysis
+  /// code should use the no-I/O iteration hooks.
+  Result<pages::Page*> FetchNode(pages::PageId id,
+                                 pages::BufferPool* pool = nullptr) const {
+    return Fetch(id, pool);
+  }
 
   /// RIDs stored in one leaf (no I/O accounting).
   std::vector<Rid> LeafRids(pages::PageId leaf) const;
@@ -129,7 +154,10 @@ class Tree {
     size_t entry_index;  // index within parent; undefined for root.
   };
 
-  Result<pages::Page*> Fetch(pages::PageId id) const;
+  /// Reads a node page: through `pool` when non-null, else the attached
+  /// pool, else a counted PageFile read.
+  Result<pages::Page*> Fetch(pages::PageId id,
+                             pages::BufferPool* pool = nullptr) const;
 
   /// Descends to the level-0 leaf with the minimum insertion penalty,
   /// recording the path (root first).

@@ -1,9 +1,13 @@
 #include "pages/buffer_pool.h"
 
+#include <chrono>
+#include <thread>
+
 namespace bw::pages {
 
-BufferPool::BufferPool(PageFile* file, size_t capacity)
-    : file_(file), capacity_(capacity) {
+BufferPool::BufferPool(PageFile* file, size_t capacity,
+                       BufferPoolOptions options)
+    : file_(file), capacity_(capacity), options_(options) {
   BW_CHECK(file != nullptr);
 }
 
@@ -15,7 +19,19 @@ Result<Page*> BufferPool::Fetch(PageId id) {
     return file_->PeekNoIo(id);
   }
   ++stats_.misses;
-  BW_ASSIGN_OR_RETURN(Page * page, file_->Read(id));
+  Page* page = nullptr;
+  if (options_.charge_file_io) {
+    BW_ASSIGN_OR_RETURN(page, file_->Read(id));
+  } else {
+    if (id >= file_->page_count()) {
+      return Status::InvalidArgument("page id out of range");
+    }
+    page = file_->PeekNoIo(id);
+  }
+  if (options_.miss_delay_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.miss_delay_us));
+  }
   if (capacity_ > 0) InsertResident(id);
   return page;
 }

@@ -26,13 +26,35 @@ struct BufferStats {
   void Reset() { *this = BufferStats(); }
 };
 
+/// Behavioral knobs for a BufferPool.
+struct BufferPoolOptions {
+  /// When true (default), a miss reads through PageFile::Read and is
+  /// charged to the file's shared IoStats. When false, a miss resolves
+  /// via the const, accounting-free PeekNoIo path and is counted only in
+  /// this pool's BufferStats — the mode the concurrent query service
+  /// uses so per-worker pools never mutate the shared PageFile.
+  bool charge_file_io = true;
+  /// Simulated random-read latency per miss, in microseconds (the pool
+  /// sleeps this long before returning). 0 = no simulation. Lets the
+  /// service benches model the paper's disk (IoModel::RandomReadMs) on
+  /// wall-clock time, so overlapping I/O across workers is measurable.
+  uint32_t miss_delay_us = 0;
+};
+
 /// Simple LRU cache of page ids. The pool does not copy page contents
 /// (the PageFile is already in memory); it only models which pages would
 /// be resident, which is all the experiments need.
+///
+/// Thread-safety: a BufferPool is single-threaded — the query service
+/// gives each worker its own pool. With charge_file_io=false, Fetch
+/// touches no shared mutable state (only const PageFile reads), so any
+/// number of pools may serve the same file concurrently provided no one
+/// calls PageFile::Allocate/Write/Read meanwhile.
 class BufferPool {
  public:
   /// `capacity` = number of resident pages; 0 means "cache nothing".
-  BufferPool(PageFile* file, size_t capacity);
+  BufferPool(PageFile* file, size_t capacity,
+             BufferPoolOptions options = BufferPoolOptions());
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -59,6 +81,7 @@ class BufferPool {
 
   PageFile* file_;
   size_t capacity_;
+  BufferPoolOptions options_;
   std::list<PageId> lru_;  // front = most recent.
   std::unordered_map<PageId, std::list<PageId>::iterator> resident_;
   BufferStats stats_;

@@ -28,6 +28,17 @@ struct IoStats {
 /// Pages are handed out as raw pointers; the file retains ownership and
 /// pointers stay valid until the file is destroyed (pages are allocated
 /// individually, never relocated).
+///
+/// Thread-safety contract (audited for the concurrent query service):
+///  - Read() and Write() mutate the shared IoStats counters and the
+///    sequential-read tracker, so they are single-threaded — they belong
+///    to the build/bench path, never to concurrent query execution.
+///  - PeekNoIo() is a pure read and safe from any number of threads,
+///    provided no thread calls Allocate() concurrently (Allocate may
+///    grow the page table; page contents themselves never move).
+///  - Concurrent readers therefore go through per-worker BufferPools
+///    constructed with charge_file_io=false, whose misses resolve via
+///    PeekNoIo; per-query I/O is accounted in each pool's BufferStats.
 class PageFile {
  public:
   explicit PageFile(size_t page_size = kDefaultPageSize)

@@ -1,0 +1,288 @@
+#include "service/query_service.h"
+
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace bw::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+QueryService::QueryService(const gist::Tree& tree, ServiceOptions options)
+    : tree_(&tree), options_(options) {
+  Start();
+}
+
+QueryService::QueryService(std::unique_ptr<core::BuiltIndex> index,
+                           ServiceOptions options)
+    : owned_index_(std::move(index)), options_(options) {
+  BW_CHECK(owned_index_ != nullptr);
+  tree_ = &owned_index_->tree();
+  Start();
+}
+
+void QueryService::Start() {
+  BW_CHECK_GE(options_.num_workers, 1u);
+  BW_CHECK_GE(options_.queue_capacity, 1u);
+  paused_ = options_.start_paused;
+  start_time_ = Clock::now();
+
+  pages::BufferPoolOptions pool_options;
+  pool_options.charge_file_io = false;  // never mutate the shared file.
+  pool_options.miss_delay_us = options_.io_delay_us;
+  worker_pools_.reserve(options_.num_workers);
+  workers_.reserve(options_.num_workers);
+  // The const_cast is sound: with charge_file_io=false the pool resolves
+  // every fetch through the const PeekNoIo path, so the shared file is
+  // never written through this pointer.
+  auto* file = const_cast<pages::PageFile*>(tree_->file());
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    worker_pools_.push_back(std::make_unique<pages::BufferPool>(
+        file, options_.worker_pool_pages, pool_options));
+  }
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back(&QueryService::WorkerLoop, this, i);
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      // Already shut down (Shutdown is idempotent); workers are joined.
+      return;
+    }
+    shutdown_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void QueryService::Pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void QueryService::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  not_empty_.notify_all();
+}
+
+size_t QueryService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Submission / admission control
+// ---------------------------------------------------------------------------
+
+Result<QueryService::ResponseFuture> QueryService::Submit(Task task) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (shutdown_) {
+    return Status::Unavailable("query service is shut down");
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    if (options_.overflow == OverflowPolicy::kReject) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(
+          "query queue full (capacity " +
+          std::to_string(options_.queue_capacity) + "); retry later");
+    }
+    // Backpressure: the submitter waits for space.
+    not_full_.wait(lock, [&] {
+      return queue_.size() < options_.queue_capacity || shutdown_;
+    });
+    if (shutdown_) {
+      return Status::Unavailable("query service shut down while waiting");
+    }
+  }
+  task.enqueue_time = Clock::now();
+  ResponseFuture future = task.promise.get_future();
+  queue_.push_back(std::move(task));
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+  not_empty_.notify_one();
+  return future;
+}
+
+Result<QueryService::ResponseFuture> QueryService::SubmitKnn(geom::Vec query,
+                                                             size_t k) {
+  Task task;
+  task.kind = Kind::kKnn;
+  task.query = std::move(query);
+  task.k = k;
+  return Submit(std::move(task));
+}
+
+Result<QueryService::ResponseFuture> QueryService::SubmitRange(
+    geom::Vec query, double radius) {
+  Task task;
+  task.kind = Kind::kRange;
+  task.query = std::move(query);
+  task.radius = radius;
+  return Submit(std::move(task));
+}
+
+Result<QueryService::ResponseFuture> QueryService::SubmitStream(
+    geom::Vec query, StreamOptions stream) {
+  Task task;
+  task.kind = Kind::kStream;
+  task.query = std::move(query);
+  task.stream = stream;
+  return Submit(std::move(task));
+}
+
+QueryService::Response QueryService::Knn(const geom::Vec& query, size_t k) {
+  auto future = SubmitKnn(query, k);
+  if (!future.ok()) return future.status();
+  return future->get();
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+void QueryService::WorkerLoop(size_t worker_index) {
+  pages::BufferPool* pool = worker_pools_[worker_index].get();
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [&] {
+        return shutdown_ || (!paused_ && !queue_.empty());
+      });
+      // Exit only once the queue is drained, so every admitted promise
+      // is fulfilled; on shutdown draining proceeds even while paused.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+
+    const double queue_wait_us = MicrosSince(task.enqueue_time);
+    Response response = Execute(task, pool);
+
+    // Aggregate into the shared counters (relaxed: monitoring only).
+    if (response.ok()) {
+      response->metrics.queue_wait_us = queue_wait_us;
+      const QueryMetrics& m = response->metrics;
+      latency_histogram_.Record(static_cast<uint64_t>(m.latency_us));
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      leaf_accesses_.fetch_add(m.leaf_accesses, std::memory_order_relaxed);
+      internal_accesses_.fetch_add(m.internal_accesses,
+                                   std::memory_order_relaxed);
+      pool_hits_.fetch_add(m.pool_hits, std::memory_order_relaxed);
+      pool_misses_.fetch_add(m.pool_misses, std::memory_order_relaxed);
+      if (m.truncated) {
+        truncated_streams_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    task.promise.set_value(std::move(response));
+  }
+}
+
+QueryService::Response QueryService::Execute(Task& task,
+                                             pages::BufferPool* pool) {
+  const pages::BufferStats pool_before = pool->stats();
+  gist::TraversalStats traversal;
+  const Clock::time_point start = Clock::now();
+
+  QueryResponse response;
+  switch (task.kind) {
+    case Kind::kKnn: {
+      BW_ASSIGN_OR_RETURN(response.neighbors,
+                          tree_->KnnSearch(task.query, task.k, &traversal,
+                                           pool));
+      break;
+    }
+    case Kind::kRange: {
+      BW_ASSIGN_OR_RETURN(response.neighbors,
+                          tree_->RangeSearch(task.query, task.radius,
+                                             &traversal, pool));
+      break;
+    }
+    case Kind::kStream: {
+      const StreamOptions& limits = task.stream;
+      gist::NnCursor cursor(*tree_, task.query, &traversal, pool);
+      for (;;) {
+        if (limits.max_results > 0 &&
+            response.neighbors.size() >= limits.max_results) {
+          break;
+        }
+        if (limits.deadline_us > 0 &&
+            MicrosSince(start) >= limits.deadline_us) {
+          response.metrics.truncated = true;
+          break;
+        }
+        // Frontier early-stop: once the lower bound on everything not
+        // yet returned exceeds the budget radius, the stream is exactly
+        // complete and no further pages need fetching.
+        if (cursor.FrontierDistance() > limits.budget_radius) break;
+        BW_ASSIGN_OR_RETURN(std::optional<gist::Neighbor> next,
+                            cursor.Next());
+        if (!next.has_value()) break;
+        if (next->distance > limits.budget_radius) break;
+        response.neighbors.push_back(*next);
+      }
+      break;
+    }
+  }
+
+  response.metrics.latency_us = MicrosSince(start);
+  response.metrics.internal_accesses = traversal.internal_accesses;
+  response.metrics.leaf_accesses = traversal.leaf_accesses;
+  const pages::BufferStats& pool_after = pool->stats();
+  response.metrics.pool_hits = pool_after.hits - pool_before.hits;
+  response.metrics.pool_misses = pool_after.misses - pool_before.misses;
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Monitoring
+// ---------------------------------------------------------------------------
+
+ServiceSnapshot QueryService::Snapshot() const {
+  ServiceSnapshot snap;
+  snap.submitted = submitted_.load(std::memory_order_relaxed);
+  snap.rejected = rejected_.load(std::memory_order_relaxed);
+  snap.completed = completed_.load(std::memory_order_relaxed);
+  snap.failed = failed_.load(std::memory_order_relaxed);
+  snap.truncated_streams = truncated_streams_.load(std::memory_order_relaxed);
+  snap.leaf_accesses = leaf_accesses_.load(std::memory_order_relaxed);
+  snap.internal_accesses = internal_accesses_.load(std::memory_order_relaxed);
+  snap.pool_hits = pool_hits_.load(std::memory_order_relaxed);
+  snap.pool_misses = pool_misses_.load(std::memory_order_relaxed);
+  snap.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - start_time_).count();
+  snap.qps = snap.elapsed_seconds > 0
+                 ? static_cast<double>(snap.completed) / snap.elapsed_seconds
+                 : 0.0;
+  snap.mean_latency_us = latency_histogram_.Mean();
+  snap.p50_latency_us = latency_histogram_.Percentile(0.50);
+  snap.p95_latency_us = latency_histogram_.Percentile(0.95);
+  snap.p99_latency_us = latency_histogram_.Percentile(0.99);
+  return snap;
+}
+
+}  // namespace bw::service

@@ -1,0 +1,237 @@
+// Concurrent query service over a shared read-only index: the serving
+// tier the paper's Blobworld front end implies ("give me images until
+// the user stops scrolling", many users at once) but the one-shot bench
+// binaries never built. A fixed pool of worker threads executes k-NN,
+// range, and streaming cursor-with-deadline requests against one shared
+// gist::Tree; a bounded submission queue applies admission control
+// (reject-with-Status or block, configurable); every query returns
+// latency + I/O metrics and the service aggregates them into a
+// lock-cheap latency histogram and throughput snapshot.
+//
+// Concurrency model (see the audited contracts in gist/tree.h and
+// pages/page_file.h): the tree, its extension, and the page file are
+// shared and strictly read-only during serving. Each worker owns a
+// private pages::BufferPool built with charge_file_io=false, so LRU
+// state, BufferStats, and TraversalStats are all worker-private and the
+// shared PageFile is only ever touched through its const PeekNoIo path.
+
+#ifndef BLOBWORLD_SERVICE_QUERY_SERVICE_H_
+#define BLOBWORLD_SERVICE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/index_factory.h"
+#include "gist/nn_cursor.h"
+#include "gist/tree.h"
+#include "pages/buffer_pool.h"
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace bw::service {
+
+/// What to do with a submission that finds the queue full.
+enum class OverflowPolicy {
+  kReject,  // fail fast with Status::Unavailable (default).
+  kBlock,   // apply backpressure: block the submitter until space frees.
+};
+
+/// Service configuration.
+struct ServiceOptions {
+  /// Worker threads executing queries (>= 1).
+  size_t num_workers = 4;
+  /// Maximum queued (admitted but not yet executing) requests.
+  size_t queue_capacity = 128;
+  /// Capacity, in pages, of each worker's private LRU buffer pool.
+  /// 0 caches nothing but still keeps per-worker I/O accounting.
+  size_t worker_pool_pages = 256;
+  OverflowPolicy overflow = OverflowPolicy::kReject;
+  /// Simulated random-read latency per buffer-pool miss (microseconds),
+  /// forwarded to the worker pools. Models the paper's disk so benches
+  /// can measure I/O overlap across workers in wall-clock time; 0 for
+  /// pure in-memory serving.
+  uint32_t io_delay_us = 0;
+  /// Start with execution paused (requests are admitted and queued but
+  /// not run until Resume()). Used by admission-control tests and for
+  /// warm-up staging.
+  bool start_paused = false;
+};
+
+/// Limits for a streaming (incremental NN cursor) request.
+struct StreamOptions {
+  /// Stop after this many results; 0 = no count limit.
+  size_t max_results = 0;
+  /// Stop once the cursor frontier exceeds this distance: everything
+  /// within the budget radius has then been returned, exactly
+  /// (NnCursor::FrontierDistance early-stop).
+  double budget_radius = std::numeric_limits<double>::infinity();
+  /// Wall-clock execution budget in microseconds, measured from the
+  /// moment a worker picks the request up; 0 = no deadline. Expiry
+  /// returns the results streamed so far with metrics.truncated set.
+  double deadline_us = 0;
+};
+
+/// Per-query measurements, returned with every response.
+struct QueryMetrics {
+  double latency_us = 0;     // execution time on the worker.
+  double queue_wait_us = 0;  // admission -> start of execution.
+  uint64_t internal_accesses = 0;  // tree nodes visited, by level.
+  uint64_t leaf_accesses = 0;
+  uint64_t pool_hits = 0;    // worker buffer-pool hits / misses.
+  uint64_t pool_misses = 0;
+  /// Streaming only: the deadline expired before the stream finished.
+  bool truncated = false;
+};
+
+/// Results + metrics of one executed query.
+struct QueryResponse {
+  std::vector<gist::Neighbor> neighbors;
+  QueryMetrics metrics;
+};
+
+/// Aggregated service counters and latency distribution.
+struct ServiceSnapshot {
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;   // refused by admission control.
+  uint64_t completed = 0;
+  uint64_t failed = 0;     // executed but returned an error Status.
+  uint64_t truncated_streams = 0;
+  uint64_t leaf_accesses = 0;
+  uint64_t internal_accesses = 0;
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  double elapsed_seconds = 0;  // since service start.
+  double qps = 0;              // completed / elapsed_seconds.
+  double mean_latency_us = 0;
+  uint64_t p50_latency_us = 0;
+  uint64_t p95_latency_us = 0;
+  uint64_t p99_latency_us = 0;
+};
+
+/// A thread-pool query executor over one shared read-only index.
+///
+///   auto built = bw::core::BuildIndex(vectors, build_options);
+///   bw::service::QueryService service(std::move(*built), {});
+///   auto future = service.SubmitKnn(query, 200);
+///   if (future.ok()) { auto response = future->get(); ... }
+///
+/// Submit* methods are thread-safe and may be called from any number of
+/// client threads. The returned future resolves to Result<QueryResponse>
+/// once a worker has executed the query. The tree must not be mutated
+/// while the service is alive.
+class QueryService {
+ public:
+  using Response = Result<QueryResponse>;
+  using ResponseFuture = std::future<Response>;
+
+  /// Serves a tree owned by the caller (must outlive the service and
+  /// stay unmodified).
+  QueryService(const gist::Tree& tree, ServiceOptions options);
+
+  /// Takes ownership of a built index and serves its tree.
+  QueryService(std::unique_ptr<core::BuiltIndex> index,
+               ServiceOptions options);
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Drains the queue and joins all workers.
+  ~QueryService();
+
+  // --- Submission (thread-safe) ----------------------------------------
+
+  /// Exact k-nearest-neighbor request.
+  Result<ResponseFuture> SubmitKnn(geom::Vec query, size_t k);
+
+  /// All points within `radius` of `query`.
+  Result<ResponseFuture> SubmitRange(geom::Vec query, double radius);
+
+  /// Streaming nearest-first request with count/radius/deadline limits.
+  Result<ResponseFuture> SubmitStream(geom::Vec query, StreamOptions stream);
+
+  /// Synchronous convenience wrapper around SubmitKnn.
+  Response Knn(const geom::Vec& query, size_t k);
+
+  // --- Control ----------------------------------------------------------
+
+  /// Stops dequeuing (in-flight queries finish; submissions still
+  /// admitted). Idempotent.
+  void Pause();
+  /// Resumes execution after Pause() or start_paused.
+  void Resume();
+  /// Rejects new submissions, drains queued work, joins workers.
+  /// Idempotent; called by the destructor.
+  void Shutdown();
+
+  // --- Introspection ----------------------------------------------------
+
+  /// Requests admitted but not yet picked up by a worker.
+  size_t queue_depth() const;
+  size_t num_workers() const { return options_.num_workers; }
+  const gist::Tree& tree() const { return *tree_; }
+
+  /// Point-in-time aggregate of all per-query metrics recorded so far.
+  /// Safe to call concurrently with serving; counters are relaxed
+  /// atomics, so the view may lag in-flight queries by a few samples.
+  ServiceSnapshot Snapshot() const;
+
+ private:
+  enum class Kind { kKnn, kRange, kStream };
+
+  struct Task {
+    Kind kind = Kind::kKnn;
+    geom::Vec query;
+    size_t k = 0;
+    double radius = 0;
+    StreamOptions stream;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueue_time;
+  };
+
+  void Start();
+  Result<ResponseFuture> Submit(Task task);
+  void WorkerLoop(size_t worker_index);
+  /// Runs one query on the calling worker's private pool. Fills
+  /// metrics.latency_us/accesses/pool counters; queue_wait_us is set by
+  /// the caller.
+  Response Execute(Task& task, pages::BufferPool* pool);
+
+  std::unique_ptr<core::BuiltIndex> owned_index_;  // may be null.
+  const gist::Tree* tree_;
+  ServiceOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Task> queue_;
+  bool paused_ = false;
+  bool shutdown_ = false;
+
+  std::vector<std::unique_ptr<pages::BufferPool>> worker_pools_;
+  std::vector<std::thread> workers_;
+
+  // Aggregate metrics (relaxed atomics: hot-path increments never
+  // contend on a lock).
+  LatencyHistogram latency_histogram_;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> truncated_streams_{0};
+  std::atomic<uint64_t> leaf_accesses_{0};
+  std::atomic<uint64_t> internal_accesses_{0};
+  std::atomic<uint64_t> pool_hits_{0};
+  std::atomic<uint64_t> pool_misses_{0};
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace bw::service
+
+#endif  // BLOBWORLD_SERVICE_QUERY_SERVICE_H_

@@ -101,10 +101,15 @@ Status Flags::Parse(int argc, char** argv) {
     } else {
       name = body;
     }
+    // Accept --queue-depth as a spelling of --queue_depth: flags are
+    // registered with underscores, but hyphens are common muscle memory.
+    for (char& c : name) {
+      if (c == '-') c = '_';
+    }
 
-    // Boolean negation: --no-foo.
+    // Boolean negation: --no-foo / --no_foo.
     bool negated = false;
-    if (!has_value && name.rfind("no-", 0) == 0 &&
+    if (!has_value && name.rfind("no_", 0) == 0 &&
         entries_.count(name.substr(3)) > 0) {
       name = name.substr(3);
       negated = true;

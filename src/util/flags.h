@@ -1,7 +1,9 @@
 // Minimal command-line flag parsing for bench and example binaries.
 // Supports `--name=value`, `--name value`, and boolean `--name` /
-// `--no-name` forms. Unknown flags are reported as errors so that typos
-// in experiment sweeps do not silently run the default configuration.
+// `--no-name` forms; hyphens and underscores in flag names are
+// interchangeable (`--queue-depth` == `--queue_depth`). Unknown flags
+// are reported as errors so that typos in experiment sweeps do not
+// silently run the default configuration.
 
 #ifndef BLOBWORLD_UTIL_FLAGS_H_
 #define BLOBWORLD_UTIL_FLAGS_H_

@@ -1,0 +1,114 @@
+// Lock-cheap latency histogram for the concurrent query service: fixed
+// log-spaced buckets with relaxed atomic counters, so many worker
+// threads can record latencies without contending on a mutex, and a
+// monitoring thread can read p50/p95/p99 concurrently. Percentiles are
+// exact to within one bucket (buckets are ~1/8 apart in log scale, i.e.
+// <= ~12.5% relative error), which is plenty for tail-latency tables.
+
+#ifndef BLOBWORLD_UTIL_HISTOGRAM_H_
+#define BLOBWORLD_UTIL_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace bw {
+
+/// Concurrent histogram of non-negative values (microseconds by
+/// convention). Record() is wait-free (two relaxed atomic adds); reads
+/// (Percentile, Mean, Count) may run concurrently with writers and see a
+/// slightly stale but internally consistent-enough view — fine for
+/// monitoring, not for exact accounting.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one sample. Values are clamped to the top bucket beyond
+  /// ~2^32 us (~1.2 hours), far outside any query latency.
+  void Record(uint64_t value) {
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  double Mean() const {
+    const uint64_t n = Count();
+    if (n == 0) return 0.0;
+    return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+           static_cast<double>(n);
+  }
+
+  /// Value at quantile `q` in [0, 1] (0.5 = median). Returns the upper
+  /// bound of the bucket containing the q-th sample; 0 when empty.
+  uint64_t Percentile(double q) const {
+    const uint64_t n = Count();
+    if (n == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Rank of the target sample, 1-based.
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+    if (rank == 0) rank = 1;
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      seen += buckets_[b].load(std::memory_order_relaxed);
+      if (seen >= rank) return BucketUpperBound(b);
+    }
+    return BucketUpperBound(kNumBuckets - 1);
+  }
+
+  /// Zeroes all counters (not atomic with respect to in-flight Records;
+  /// call when writers are quiescent or accept a few lost samples).
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  // Bucketing: values 0..kLinearMax are exact (one bucket per value);
+  // above that, each power of two is split into kSubBuckets linear
+  // sub-buckets (HdrHistogram-style), giving bounded relative error.
+  static constexpr uint64_t kSubBuckets = 8;       // resolution ~12.5%.
+  static constexpr uint64_t kLinearMax = 16;       // exact small values.
+  static constexpr size_t kLogGroups = 29;         // up to ~2^33.
+  static constexpr size_t kNumBuckets =
+      kLinearMax + 1 + kLogGroups * kSubBuckets;
+
+  static size_t BucketFor(uint64_t v) {
+    if (v <= kLinearMax) return static_cast<size_t>(v);
+    // Group g covers [2^(g+4), 2^(g+5)) split into kSubBuckets ranges.
+    size_t bit = 63 - static_cast<size_t>(__builtin_clzll(v));
+    size_t group = bit - 4;  // v > 16 implies bit >= 4.
+    if (group >= kLogGroups) {
+      group = kLogGroups - 1;
+      return kLinearMax + 1 + group * kSubBuckets + (kSubBuckets - 1);
+    }
+    const uint64_t base = uint64_t{1} << bit;
+    const uint64_t sub = (v - base) / ((base + kSubBuckets - 1) / kSubBuckets);
+    return kLinearMax + 1 + group * kSubBuckets +
+           static_cast<size_t>(sub < kSubBuckets ? sub : kSubBuckets - 1);
+  }
+
+  static uint64_t BucketUpperBound(size_t b) {
+    if (b <= kLinearMax) return static_cast<uint64_t>(b);
+    const size_t rel = b - kLinearMax - 1;
+    const size_t group = rel / kSubBuckets;
+    const size_t sub = rel % kSubBuckets;
+    const uint64_t base = uint64_t{1} << (group + 4);
+    const uint64_t width = (base + kSubBuckets - 1) / kSubBuckets;
+    return base + width * (sub + 1);
+  }
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+}  // namespace bw
+
+#endif  // BLOBWORLD_UTIL_HISTOGRAM_H_

@@ -22,6 +22,7 @@ enum class StatusCode {
   kNotSupported,
   kInternal,
   kIoError,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
@@ -59,6 +60,11 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  /// Transient overload: the operation was refused by admission control
+  /// (e.g. a full query queue) and may be retried later.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -154,6 +154,54 @@ TEST(NnCursorTest, FrontierDistanceBoundsFutureResults) {
   }
 }
 
+TEST(NnCursorTest, FrontierDistanceEarlyStopMatchesRangeSearch) {
+  const auto points = testing::MakeClusteredPoints(2500, 5, 8, 44);
+  core::IndexBuildOptions options;
+  auto built = core::BuildIndex(points, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const gist::Tree& tree = (*built)->tree();
+
+  // Budget: the distance of roughly the 30th nearest neighbor.
+  const geom::Vec& q = points[123];
+  auto knn = tree.KnnSearch(q, 30, nullptr);
+  ASSERT_TRUE(knn.ok());
+  const double budget = (*knn)[29].distance;
+
+  // Stream until the frontier lower bound proves nothing within the
+  // budget remains, collecting everything at distance <= budget.
+  gist::TraversalStats stats;
+  gist::NnCursor cursor(tree, q, &stats);
+  std::vector<gist::Rid> streamed;
+  for (;;) {
+    if (cursor.FrontierDistance() > budget) break;  // early stop.
+    auto next = cursor.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) break;
+    if ((**next).distance > budget) break;
+    streamed.push_back((**next).rid);
+  }
+  const uint64_t accesses_at_stop = stats.TotalAccesses();
+
+  // The early-stopped stream is exactly the range query's answer.
+  auto range = tree.RangeSearch(q, budget, nullptr);
+  ASSERT_TRUE(range.ok());
+  std::vector<gist::Rid> expected;
+  expected.reserve(range->size());
+  for (const auto& n : *range) expected.push_back(n.rid);
+  std::sort(expected.begin(), expected.end());
+  std::vector<gist::Rid> got = streamed;
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+
+  // Stopping early genuinely saved node accesses vs full exhaustion.
+  for (;;) {
+    auto next = cursor.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) break;
+  }
+  EXPECT_LT(accesses_at_stop, stats.TotalAccesses());
+}
+
 TEST(NnCursorTest, EmptyTreeYieldsNothing) {
   pages::PageFile file(4096);
   gist::Tree tree(&file, std::make_unique<am::RtreeExtension>(3));

@@ -1,0 +1,411 @@
+// Tests for the concurrent query service: result identity between
+// concurrent and serial execution, admission control (reject and
+// blocking backpressure), streaming limits, metrics aggregation, and
+// lifecycle. The whole file doubles as the ThreadSanitizer target for
+// the shared-index read path (build with -DBW_SANITIZE=thread).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/index_factory.h"
+#include "service/query_service.h"
+#include "tests/test_helpers.h"
+
+namespace bw {
+namespace {
+
+using service::OverflowPolicy;
+using service::QueryService;
+using service::ServiceOptions;
+using service::StreamOptions;
+
+std::unique_ptr<core::BuiltIndex> BuildSmallIndex(const char* am = "rtree",
+                                                  size_t n = 2000,
+                                                  uint64_t seed = 11) {
+  const auto points = testing::MakeClusteredPoints(n, 5, 8, seed);
+  core::IndexBuildOptions options;
+  options.am = am;
+  options.xjb_x = 6;
+  auto built = core::BuildIndex(points, options);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(*built);
+}
+
+std::vector<gist::Rid> Rids(const std::vector<gist::Neighbor>& neighbors) {
+  std::vector<gist::Rid> rids;
+  rids.reserve(neighbors.size());
+  for (const auto& n : neighbors) rids.push_back(n.rid);
+  return rids;
+}
+
+// ---------------------------------------------------------------------------
+// Result identity: concurrent == serial
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, ConcurrentKnnMatchesSerial) {
+  const auto points = testing::MakeClusteredPoints(3000, 5, 10, 77);
+  core::IndexBuildOptions build;
+  auto built = core::BuildIndex(points, build);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const gist::Tree& tree = (*built)->tree();
+
+  constexpr size_t kQueries = 64;
+  constexpr size_t kK = 25;
+  std::vector<std::vector<gist::Rid>> expected(kQueries);
+  for (size_t i = 0; i < kQueries; ++i) {
+    auto serial = tree.KnnSearch(points[i * 37 % points.size()], kK, nullptr);
+    ASSERT_TRUE(serial.ok());
+    expected[i] = Rids(*serial);
+  }
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 16;
+  options.overflow = OverflowPolicy::kBlock;
+  QueryService service(tree, options);
+
+  std::vector<QueryService::ResponseFuture> futures;
+  futures.reserve(kQueries);
+  for (size_t i = 0; i < kQueries; ++i) {
+    auto future = service.SubmitKnn(points[i * 37 % points.size()], kK);
+    ASSERT_TRUE(future.ok()) << future.status().ToString();
+    futures.push_back(std::move(*future));
+  }
+  for (size_t i = 0; i < kQueries; ++i) {
+    auto response = futures[i].get();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(Rids(response->neighbors), expected[i]) << "query " << i;
+    EXPECT_GT(response->metrics.latency_us, 0.0);
+    EXPECT_GT(response->metrics.leaf_accesses, 0u);
+  }
+}
+
+TEST(QueryServiceTest, ConcurrentRangeMatchesSerial) {
+  auto built = BuildSmallIndex("xjb");
+  const gist::Tree& tree = built->tree();
+
+  // Pick radii from serial k-NN distances so result sets are non-empty.
+  const auto points = testing::MakeClusteredPoints(2000, 5, 8, 11);
+  std::vector<QueryService::ResponseFuture> futures;
+  std::vector<std::vector<gist::Rid>> expected;
+  ServiceOptions options;
+  options.num_workers = 3;
+  options.overflow = OverflowPolicy::kBlock;
+  QueryService service(tree, options);
+  for (size_t i = 0; i < 16; ++i) {
+    const geom::Vec& query = points[i * 101 % points.size()];
+    auto knn = tree.KnnSearch(query, 20, nullptr);
+    ASSERT_TRUE(knn.ok());
+    const double radius = (*knn)[19].distance;
+    auto serial = tree.RangeSearch(query, radius, nullptr);
+    ASSERT_TRUE(serial.ok());
+    auto rids = Rids(*serial);
+    std::sort(rids.begin(), rids.end());
+    expected.push_back(std::move(rids));
+    auto future = service.SubmitRange(query, radius);
+    ASSERT_TRUE(future.ok());
+    futures.push_back(std::move(*future));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto response = futures[i].get();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    auto rids = Rids(response->neighbors);
+    std::sort(rids.begin(), rids.end());
+    EXPECT_EQ(rids, expected[i]) << "query " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, QueueFullReturnsUnavailable) {
+  auto built = BuildSmallIndex();
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 4;
+  options.overflow = OverflowPolicy::kReject;
+  options.start_paused = true;  // nothing dequeues until Resume().
+  QueryService service(built->tree(), options);
+  const auto points = testing::MakeClusteredPoints(16, 5, 2, 99);
+
+  std::vector<QueryService::ResponseFuture> admitted;
+  for (int i = 0; i < 4; ++i) {
+    auto future = service.SubmitKnn(points[i], 5);
+    ASSERT_TRUE(future.ok()) << future.status().ToString();
+    admitted.push_back(std::move(*future));
+  }
+  EXPECT_EQ(service.queue_depth(), 4u);
+
+  // Fifth submission finds the queue full and is rejected with a Status.
+  auto rejected = service.SubmitKnn(points[4], 5);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+
+  service.Resume();
+  for (auto& f : admitted) {
+    auto response = f.get();
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+  }
+  const auto snap = service.Snapshot();
+  EXPECT_EQ(snap.submitted, 4u);
+  EXPECT_EQ(snap.rejected, 1u);
+  EXPECT_EQ(snap.completed, 4u);
+}
+
+TEST(QueryServiceTest, BlockingBackpressureUnblocksOnResume) {
+  auto built = BuildSmallIndex();
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 2;
+  options.overflow = OverflowPolicy::kBlock;
+  options.start_paused = true;
+  QueryService service(built->tree(), options);
+  const auto points = testing::MakeClusteredPoints(8, 5, 2, 5);
+
+  std::vector<QueryService::ResponseFuture> futures;
+  for (int i = 0; i < 2; ++i) {
+    auto f = service.SubmitKnn(points[i], 5);
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+
+  // The third submitter blocks until Resume() frees queue space.
+  std::atomic<bool> submitted{false};
+  std::thread blocked([&] {
+    auto f = service.SubmitKnn(points[2], 5);
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    submitted.store(true);
+    futures.push_back(std::move(*f));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(submitted.load());  // still blocked while paused.
+
+  service.Resume();
+  blocked.join();
+  EXPECT_TRUE(submitted.load());
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().ok());
+  }
+  EXPECT_EQ(service.Snapshot().rejected, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming limits
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, StreamBudgetRadiusMatchesRange) {
+  auto built = BuildSmallIndex("rtree", 2500, 13);
+  const gist::Tree& tree = built->tree();
+  const auto points = testing::MakeClusteredPoints(2500, 5, 8, 13);
+  const geom::Vec& query = points[42];
+
+  auto knn = tree.KnnSearch(query, 40, nullptr);
+  ASSERT_TRUE(knn.ok());
+  const double radius = (*knn)[39].distance;
+  auto range = tree.RangeSearch(query, radius, nullptr);
+  ASSERT_TRUE(range.ok());
+  auto expected = Rids(*range);
+  std::sort(expected.begin(), expected.end());
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  QueryService service(tree, options);
+  StreamOptions stream;
+  stream.budget_radius = radius;
+  auto future = service.SubmitStream(query, stream);
+  ASSERT_TRUE(future.ok());
+  auto response = future->get();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(response->metrics.truncated);
+  auto got = Rids(response->neighbors);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+  // Nearest-first order within the budget.
+  for (size_t i = 1; i < response->neighbors.size(); ++i) {
+    EXPECT_GE(response->neighbors[i].distance,
+              response->neighbors[i - 1].distance - 1e-12);
+  }
+}
+
+TEST(QueryServiceTest, StreamMaxResultsReturnsExactPrefix) {
+  auto built = BuildSmallIndex("rtree", 1500, 29);
+  const auto points = testing::MakeClusteredPoints(1500, 5, 8, 29);
+  const geom::Vec& query = points[7];
+
+  auto knn = built->tree().KnnSearch(query, 10, nullptr);
+  ASSERT_TRUE(knn.ok());
+
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(built->tree(), options);
+  StreamOptions stream;
+  stream.max_results = 10;
+  auto future = service.SubmitStream(query, stream);
+  ASSERT_TRUE(future.ok());
+  auto response = future->get();
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->neighbors.size(), 10u);
+  EXPECT_FALSE(response->metrics.truncated);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(response->neighbors[i].rid, (*knn)[i].rid);
+    EXPECT_NEAR(response->neighbors[i].distance, (*knn)[i].distance, 1e-12);
+  }
+}
+
+TEST(QueryServiceTest, StreamDeadlineTruncates) {
+  auto built = BuildSmallIndex("rtree", 4000, 61);
+  const auto points = testing::MakeClusteredPoints(4000, 5, 8, 61);
+
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.io_delay_us = 50;       // make every page miss cost wall time
+  options.worker_pool_pages = 1;  // and make nearly every fetch a miss.
+  QueryService service(built->tree(), options);
+
+  StreamOptions stream;
+  stream.deadline_us = 1;  // expires essentially immediately.
+  auto future = service.SubmitStream(points[3], stream);
+  ASSERT_TRUE(future.ok());
+  auto response = future->get();
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->metrics.truncated);
+  EXPECT_LT(response->neighbors.size(), 4000u);
+  EXPECT_EQ(service.Snapshot().truncated_streams, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics, lifecycle, mixed stress
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, SnapshotAggregates) {
+  auto built = BuildSmallIndex();
+  const auto points = testing::MakeClusteredPoints(2000, 5, 8, 11);
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.overflow = OverflowPolicy::kBlock;
+  QueryService service(built->tree(), options);
+
+  constexpr size_t kN = 40;
+  std::vector<QueryService::ResponseFuture> futures;
+  for (size_t i = 0; i < kN; ++i) {
+    auto f = service.SubmitKnn(points[i * 17 % points.size()], 15);
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+
+  const auto snap = service.Snapshot();
+  EXPECT_EQ(snap.submitted, kN);
+  EXPECT_EQ(snap.completed, kN);
+  EXPECT_EQ(snap.failed, 0u);
+  EXPECT_GT(snap.leaf_accesses, 0u);
+  EXPECT_GT(snap.internal_accesses, 0u);
+  EXPECT_GT(snap.pool_hits + snap.pool_misses, 0u);
+  EXPECT_GT(snap.elapsed_seconds, 0.0);
+  EXPECT_GT(snap.qps, 0.0);
+  EXPECT_GT(snap.mean_latency_us, 0.0);
+  EXPECT_LE(snap.p50_latency_us, snap.p95_latency_us);
+  EXPECT_LE(snap.p95_latency_us, snap.p99_latency_us);
+}
+
+TEST(QueryServiceTest, SyncKnnConvenience) {
+  auto built = BuildSmallIndex();
+  const auto points = testing::MakeClusteredPoints(2000, 5, 8, 11);
+  QueryService service(built->tree(), ServiceOptions{});
+  auto response = service.Knn(points[0], 12);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->neighbors.size(), 12u);
+  EXPECT_EQ(response->neighbors[0].rid, 0u);  // the query point itself.
+}
+
+TEST(QueryServiceTest, ShutdownRejectsNewSubmissionsAndDrains) {
+  auto built = BuildSmallIndex();
+  const auto points = testing::MakeClusteredPoints(16, 5, 2, 3);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.start_paused = true;
+  QueryService service(built->tree(), options);
+
+  auto queued = service.SubmitKnn(points[0], 5);
+  ASSERT_TRUE(queued.ok());
+  service.Shutdown();  // drains the paused queue before joining.
+  auto response = queued->get();
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+
+  auto after = service.SubmitKnn(points[1], 5);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
+  service.Shutdown();  // idempotent.
+}
+
+TEST(QueryServiceTest, OwnedIndexConstructor) {
+  auto built = BuildSmallIndex();
+  const auto points = testing::MakeClusteredPoints(2000, 5, 8, 11);
+  QueryService service(std::move(built), ServiceOptions{});
+  auto response = service.Knn(points[5], 8);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->neighbors.size(), 8u);
+}
+
+// Multi-client mixed-kind stress: the primary ThreadSanitizer target.
+// Many client threads hammer one service with k-NN, range, and stream
+// requests concurrently; every response must be well-formed.
+TEST(QueryServiceTest, MixedKindStress) {
+  auto built = BuildSmallIndex("xjb", 2500, 47);
+  const auto points = testing::MakeClusteredPoints(2500, 5, 8, 47);
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 8;
+  options.overflow = OverflowPolicy::kBlock;
+  options.worker_pool_pages = 32;
+  QueryService service(built->tree(), options);
+
+  constexpr size_t kClients = 6;
+  constexpr size_t kPerClient = 20;
+  std::atomic<uint64_t> results{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = 0; i < kPerClient; ++i) {
+        const geom::Vec& q = points[(c * 131 + i * 17) % points.size()];
+        auto future = [&]() -> Result<QueryService::ResponseFuture> {
+          switch ((c + i) % 3) {
+            case 0:
+              return service.SubmitKnn(q, 10);
+            case 1:
+              return service.SubmitRange(q, 5.0);
+            default: {
+              StreamOptions stream;
+              stream.max_results = 15;
+              return service.SubmitStream(q, stream);
+            }
+          }
+        }();
+        ASSERT_TRUE(future.ok()) << future.status().ToString();
+        auto response = future->get();
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        for (size_t j = 1; j < response->neighbors.size(); ++j) {
+          ASSERT_GE(response->neighbors[j].distance,
+                    response->neighbors[j - 1].distance - 1e-12);
+        }
+        results.fetch_add(response->neighbors.size());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_GT(results.load(), 0u);
+  const auto snap = service.Snapshot();
+  EXPECT_EQ(snap.submitted, kClients * kPerClient);
+  EXPECT_EQ(snap.completed, kClients * kPerClient);
+  EXPECT_EQ(snap.failed, 0u);
+}
+
+}  // namespace
+}  // namespace bw

@@ -4,8 +4,11 @@
 
 #include <cmath>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "util/flags.h"
+#include "util/histogram.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/table_printer.h"
@@ -37,9 +40,16 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kCorruption, StatusCode::kNoSpace,
         StatusCode::kNotSupported, StatusCode::kInternal,
-        StatusCode::kIoError}) {
+        StatusCode::kIoError, StatusCode::kUnavailable}) {
     EXPECT_STRNE(StatusCodeName(code), "Unknown");
   }
+}
+
+TEST(StatusTest, UnavailableIsDistinctCode) {
+  Status s = Status::Unavailable("queue full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.ToString(), "Unavailable: queue full");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -203,6 +213,16 @@ TEST(FlagsTest, BooleanNegation) {
   EXPECT_FALSE(*b);
 }
 
+TEST(FlagsTest, HyphensAndUnderscoresInterchangeable) {
+  Flags flags;
+  int64_t* depth = flags.AddInt64("queue_depth", 8, "");
+  bool* cache = flags.AddBool("use_cache", true, "");
+  const char* argv[] = {"prog", "--queue-depth=32", "--no-use-cache"};
+  ASSERT_TRUE(flags.Parse(3, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(*depth, 32);
+  EXPECT_FALSE(*cache);
+}
+
 TEST(FlagsTest, UnknownFlagIsError) {
   Flags flags;
   flags.AddInt64("count", 1, "");
@@ -251,6 +271,68 @@ TEST(TablePrinterTest, Formatters) {
   EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
   EXPECT_EQ(TablePrinter::Count(1234567), "1234567");
   EXPECT_EQ(TablePrinter::Percent(0.314, 1), "31.4%");
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (uint64_t v : {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}) h.Record(v);
+  EXPECT_EQ(h.Count(), 10u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 5.5);
+  EXPECT_EQ(h.Percentile(0.5), 5u);   // values <= 16 land in exact buckets.
+  EXPECT_EQ(h.Percentile(1.0), 10u);
+  EXPECT_EQ(h.Percentile(0.0), 1u);
+}
+
+TEST(LatencyHistogramTest, PercentileWithinBucketError) {
+  LatencyHistogram h;
+  // 100 samples at 1000, one outlier at 100000.
+  for (int i = 0; i < 100; ++i) h.Record(1000);
+  h.Record(100000);
+  // p50 bucket upper bound must be within ~12.5% above 1000.
+  const uint64_t p50 = h.Percentile(0.5);
+  EXPECT_GE(p50, 1000u);
+  EXPECT_LE(p50, 1150u);
+  // p99+ reaches the outlier's bucket.
+  const uint64_t p100 = h.Percentile(1.0);
+  EXPECT_GE(p100, 100000u);
+  EXPECT_LE(p100, 115000u);
+  EXPECT_LE(h.Percentile(0.5), h.Percentile(0.95));
+  EXPECT_LE(h.Percentile(0.95), h.Percentile(0.99));
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(100 + t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Percentile(0.99), 0u);
 }
 
 }  // namespace
