@@ -74,7 +74,7 @@ Status StrBulkLoad(gist::Tree* tree, const std::vector<geom::Vec>& points,
   }
 
   gist::Extension& ext = tree->mutable_extension();
-  pages::PageFile* file = tree->file();
+  pages::PageStore* file = tree->file();
 
   // Bytes one leaf entry occupies: key + payload + slot.
   const size_t leaf_entry_bytes =

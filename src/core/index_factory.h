@@ -15,7 +15,7 @@
 
 #include "gist/tree.h"
 #include "pages/buffer_pool.h"
-#include "pages/page_file.h"
+#include "pages/page_store.h"
 #include "util/status.h"
 
 namespace bw::core {
@@ -51,13 +51,14 @@ struct IndexBuildOptions {
 /// packaged so callers do not manage substrate lifetimes.
 class BuiltIndex {
  public:
-  BuiltIndex(std::unique_ptr<pages::PageFile> file,
+  BuiltIndex(std::unique_ptr<pages::PageStore> file,
              std::unique_ptr<gist::Tree> tree)
       : file_(std::move(file)), tree_(std::move(tree)) {}
 
   gist::Tree& tree() { return *tree_; }
   const gist::Tree& tree() const { return *tree_; }
-  pages::PageFile& file() { return *file_; }
+  pages::PageStore& file() { return *file_; }
+  const pages::PageStore& file() const { return *file_; }
 
   /// k-nearest-neighbor query; stats may be null.
   Result<std::vector<gist::Neighbor>> Knn(const geom::Vec& query, size_t k,
@@ -72,7 +73,7 @@ class BuiltIndex {
   pages::BufferPool* buffer_pool() { return pool_.get(); }
 
  private:
-  std::unique_ptr<pages::PageFile> file_;
+  std::unique_ptr<pages::PageStore> file_;
   std::unique_ptr<gist::Tree> tree_;
   std::unique_ptr<pages::BufferPool> pool_;
 };

@@ -4,13 +4,15 @@
 #include <cstring>
 
 #include "gist/node.h"
+#include "util/crc32.h"
 
 namespace bw::gist {
 
 namespace {
 
 constexpr uint32_t kIndexMagic = 0x42574958;  // "BWIX"
-constexpr uint32_t kIndexVersion = 2;
+// Version 3 added the whole-file CRC-32 trailer.
+constexpr uint32_t kIndexVersion = 3;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -19,61 +21,105 @@ struct FileCloser {
 };
 using UniqueFile = std::unique_ptr<std::FILE, FileCloser>;
 
-bool WriteU32(std::FILE* f, uint32_t v) {
-  return std::fwrite(&v, sizeof(v), 1, f) == 1;
-}
-bool WriteU64(std::FILE* f, uint64_t v) {
-  return std::fwrite(&v, sizeof(v), 1, f) == 1;
-}
-bool ReadU32(std::FILE* f, uint32_t* v) {
-  return std::fread(v, sizeof(*v), 1, f) == 1;
-}
-bool ReadU64(std::FILE* f, uint64_t* v) {
-  return std::fread(v, sizeof(*v), 1, f) == 1;
-}
+/// Writes while accumulating the CRC that becomes the file's trailer.
+class CrcWriter {
+ public:
+  explicit CrcWriter(std::FILE* f) : f_(f) {}
+
+  bool Bytes(const void* p, size_t n) {
+    crc_ = Crc32Extend(crc_, p, n);
+    return std::fwrite(p, 1, n, f_) == n;
+  }
+  bool U32(uint32_t v) { return Bytes(&v, sizeof(v)); }
+  bool U64(uint64_t v) { return Bytes(&v, sizeof(v)); }
+
+  /// Appends the accumulated CRC (itself unchecksummed).
+  bool Trailer() {
+    const uint32_t crc = crc_;
+    return std::fwrite(&crc, sizeof(crc), 1, f_) == 1;
+  }
+
+ private:
+  std::FILE* f_;
+  uint32_t crc_ = 0;
+};
+
+/// Reads while accumulating the CRC to verify against the trailer.
+class CrcReader {
+ public:
+  explicit CrcReader(std::FILE* f) : f_(f) {}
+
+  bool Bytes(void* p, size_t n) {
+    if (std::fread(p, 1, n, f_) != n) return false;
+    crc_ = Crc32Extend(crc_, p, n);
+    return true;
+  }
+  bool U32(uint32_t* v) { return Bytes(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Bytes(v, sizeof(*v)); }
+
+  /// Consumes the trailer and verifies it; also rejects trailing bytes.
+  Status VerifyTrailer() {
+    uint32_t stored = 0;
+    if (std::fread(&stored, sizeof(stored), 1, f_) != 1) {
+      return Status::Corruption("index file missing checksum trailer");
+    }
+    if (std::fgetc(f_) != EOF) {
+      return Status::Corruption("index file has trailing bytes");
+    }
+    if (stored != crc_) {
+      return Status::DataLoss("index file failed its checksum (stored " +
+                              std::to_string(stored) + ", computed " +
+                              std::to_string(crc_) + ")");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* f_;
+  uint32_t crc_ = 0;
+};
 
 }  // namespace
 
 Status SaveTree(const Tree& tree, const std::string& path) {
-  const pages::PageFile* file = tree.file();
+  const pages::PageStore* file = tree.file();
   UniqueFile out(std::fopen(path.c_str(), "wb"));
   if (out == nullptr) {
     return Status::IoError("cannot open '" + path + "' for writing");
   }
+  CrcWriter w(out.get());
   const std::string name = tree.extension().Name();
-  if (!WriteU32(out.get(), kIndexMagic) ||
-      !WriteU32(out.get(), kIndexVersion) ||
-      !WriteU32(out.get(), static_cast<uint32_t>(file->page_size())) ||
-      !WriteU32(out.get(), static_cast<uint32_t>(file->page_count())) ||
-      !WriteU32(out.get(), tree.root()) ||
-      !WriteU32(out.get(), static_cast<uint32_t>(tree.height())) ||
-      !WriteU64(out.get(), tree.size()) ||
-      !WriteU32(out.get(), static_cast<uint32_t>(tree.extension().dim())) ||
-      !WriteU32(out.get(), tree.extension().AuxParam()) ||
-      !WriteU32(out.get(), static_cast<uint32_t>(name.size())) ||
-      std::fwrite(name.data(), 1, name.size(), out.get()) != name.size()) {
+  if (!w.U32(kIndexMagic) || !w.U32(kIndexVersion) ||
+      !w.U32(static_cast<uint32_t>(file->page_size())) ||
+      !w.U32(static_cast<uint32_t>(file->page_count())) ||
+      !w.U32(tree.root()) || !w.U32(static_cast<uint32_t>(tree.height())) ||
+      !w.U64(tree.size()) ||
+      !w.U32(static_cast<uint32_t>(tree.extension().dim())) ||
+      !w.U32(tree.extension().AuxParam()) ||
+      !w.U32(static_cast<uint32_t>(name.size())) ||
+      !w.Bytes(name.data(), name.size())) {
     return Status::IoError("header write failed");
   }
 
   // Pages: header words, then each record verbatim.
   for (pages::PageId id = 0; id < file->page_count(); ++id) {
     const pages::Page* page = file->PeekNoIo(id);
-    for (size_t w = 0; w < pages::Page::kHeaderWords; ++w) {
-      if (!WriteU32(out.get(), page->header_word(w))) {
+    for (size_t word = 0; word < pages::Page::kHeaderWords; ++word) {
+      if (!w.U32(page->header_word(word))) {
         return Status::IoError("page header write failed");
       }
     }
-    if (!WriteU32(out.get(), static_cast<uint32_t>(page->slot_count()))) {
+    if (!w.U32(static_cast<uint32_t>(page->slot_count()))) {
       return Status::IoError("slot count write failed");
     }
     for (size_t s = 0; s < page->slot_count(); ++s) {
       const uint32_t length = static_cast<uint32_t>(page->RecordLength(s));
-      if (!WriteU32(out.get(), length) ||
-          std::fwrite(page->RecordData(s), 1, length, out.get()) != length) {
+      if (!w.U32(length) || !w.Bytes(page->RecordData(s), length)) {
         return Status::IoError("record write failed");
       }
     }
   }
+  if (!w.Trailer()) return Status::IoError("checksum trailer write failed");
   return Status::OK();
 }
 
@@ -82,14 +128,13 @@ Result<LoadedIndex> LoadIndexFile(const std::string& path) {
   if (in == nullptr) {
     return Status::IoError("cannot open '" + path + "' for reading");
   }
+  CrcReader r(in.get());
   uint32_t magic = 0, version = 0, page_size = 0, page_count = 0;
   uint32_t root = 0, height = 0, dim = 0, aux = 0, name_len = 0;
   uint64_t size = 0;
-  if (!ReadU32(in.get(), &magic) || !ReadU32(in.get(), &version) ||
-      !ReadU32(in.get(), &page_size) || !ReadU32(in.get(), &page_count) ||
-      !ReadU32(in.get(), &root) || !ReadU32(in.get(), &height) ||
-      !ReadU64(in.get(), &size) || !ReadU32(in.get(), &dim) ||
-      !ReadU32(in.get(), &aux) || !ReadU32(in.get(), &name_len)) {
+  if (!r.U32(&magic) || !r.U32(&version) || !r.U32(&page_size) ||
+      !r.U32(&page_count) || !r.U32(&root) || !r.U32(&height) ||
+      !r.U64(&size) || !r.U32(&dim) || !r.U32(&aux) || !r.U32(&name_len)) {
     return Status::Corruption("truncated index header");
   }
   if (magic != kIndexMagic) return Status::Corruption("bad index magic");
@@ -101,8 +146,7 @@ Result<LoadedIndex> LoadIndexFile(const std::string& path) {
   }
   LoadedIndex loaded;
   loaded.extension_name.resize(name_len);
-  if (std::fread(loaded.extension_name.data(), 1, name_len, in.get()) !=
-      name_len) {
+  if (!r.Bytes(loaded.extension_name.data(), name_len)) {
     return Status::Corruption("truncated extension name");
   }
   loaded.root = root;
@@ -116,30 +160,31 @@ Result<LoadedIndex> LoadIndexFile(const std::string& path) {
   for (uint32_t id = 0; id < page_count; ++id) {
     const pages::PageId allocated = loaded.file->Allocate();
     pages::Page* page = loaded.file->PeekNoIo(allocated);
-    for (size_t w = 0; w < pages::Page::kHeaderWords; ++w) {
-      uint32_t word = 0;
-      if (!ReadU32(in.get(), &word)) {
+    for (size_t word = 0; word < pages::Page::kHeaderWords; ++word) {
+      uint32_t value = 0;
+      if (!r.U32(&value)) {
         return Status::Corruption("truncated page header");
       }
-      page->set_header_word(w, word);
+      page->set_header_word(word, value);
     }
     uint32_t slots = 0;
-    if (!ReadU32(in.get(), &slots)) {
+    if (!r.U32(&slots)) {
       return Status::Corruption("truncated slot count");
     }
     for (uint32_t s = 0; s < slots; ++s) {
       uint32_t length = 0;
-      if (!ReadU32(in.get(), &length) || length > page_size) {
+      if (!r.U32(&length) || length > page_size) {
         return Status::Corruption("implausible record length");
       }
       record.resize(length);
-      if (std::fread(record.data(), 1, length, in.get()) != length) {
+      if (!r.Bytes(record.data(), length)) {
         return Status::Corruption("truncated record");
       }
       auto inserted = page->Insert(record.data(), record.size());
       if (!inserted.ok()) return inserted.status();
     }
   }
+  BW_RETURN_IF_ERROR(r.VerifyTrailer());
   if (loaded.root != pages::kInvalidPageId &&
       loaded.root >= loaded.file->page_count()) {
     return Status::Corruption("root page out of range");

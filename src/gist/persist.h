@@ -2,6 +2,11 @@
 // metadata) to a binary file and load it back. Blobworld's collection
 // is static and bulk-loaded offline (Section 3.2 of the paper), so
 // build-once / serve-many is the intended production deployment.
+//
+// The file ends with a CRC-32 trailer over every preceding byte;
+// LoadIndexFile verifies it and reports silent corruption (bit rot,
+// partial copies) as DataLoss rather than deserializing garbage.
+// Structurally malformed input is still Corruption.
 
 #ifndef BLOBWORLD_GIST_PERSIST_H_
 #define BLOBWORLD_GIST_PERSIST_H_

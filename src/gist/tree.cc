@@ -27,7 +27,7 @@ struct QueueItem {
 
 }  // namespace
 
-Tree::Tree(pages::PageFile* file, std::unique_ptr<Extension> extension,
+Tree::Tree(pages::PageStore* file, std::unique_ptr<Extension> extension,
            TreeOptions options)
     : file_(file), extension_(std::move(extension)), options_(options) {
   BW_CHECK(file_ != nullptr);

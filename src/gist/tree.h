@@ -14,7 +14,7 @@
 #include "gist/node.h"
 #include "gist/stats.h"
 #include "pages/buffer_pool.h"
-#include "pages/page_file.h"
+#include "pages/page_store.h"
 
 namespace bw::gist {
 
@@ -35,17 +35,17 @@ struct TreeOptions {
 ///
 /// The tree reads pages through an optional BufferPool (set via
 /// set_buffer_pool) so experiments can model memory residency; when no
-/// pool is attached, every node visit costs one PageFile read.
+/// pool is attached, every node visit costs one PageStore read.
 ///
 /// Thread-safety contract (audited for the concurrent query service):
 /// the search methods (RangeSearch, KnnSearch, KnnSearchDfs) and the
 /// cursor fetch path are const and mutate no tree, extension, or node
 /// state — the only mutation on a default search is I/O accounting in
-/// the attached pool or the PageFile, both shared. Concurrent searches
+/// the attached pool or the PageStore, both shared. Concurrent searches
 /// over one tree are therefore safe if and only if every caller passes
 /// its own per-call BufferPool (constructed with charge_file_io=false)
 /// via the `pool` parameter, which overrides both the attached pool and
-/// the direct PageFile::Read path. Insert/Delete and set_buffer_pool
+/// the direct PageStore::Read path. Insert/Delete and set_buffer_pool
 /// require exclusive access. Extension consistency methods
 /// (BpMinDistance, BpConsistentRange, DecodePoint) are const and draw
 /// nothing from the extension Rng (the Rng feeds only the non-const
@@ -53,7 +53,7 @@ struct TreeOptions {
 /// concurrent readers.
 class Tree {
  public:
-  Tree(pages::PageFile* file, std::unique_ptr<Extension> extension,
+  Tree(pages::PageStore* file, std::unique_ptr<Extension> extension,
        TreeOptions options = TreeOptions());
 
   Tree(const Tree&) = delete;
@@ -62,8 +62,8 @@ class Tree {
 
   const Extension& extension() const { return *extension_; }
   Extension& mutable_extension() { return *extension_; }
-  pages::PageFile* file() { return file_; }
-  const pages::PageFile* file() const { return file_; }
+  pages::PageStore* file() { return file_; }
+  const pages::PageStore* file() const { return file_; }
 
   bool empty() const { return root_ == pages::kInvalidPageId; }
   pages::PageId root() const { return root_; }
@@ -155,7 +155,7 @@ class Tree {
   };
 
   /// Reads a node page: through `pool` when non-null, else the attached
-  /// pool, else a counted PageFile read.
+  /// pool, else a counted PageStore read.
   Result<pages::Page*> Fetch(pages::PageId id,
                              pages::BufferPool* pool = nullptr) const;
 
@@ -199,7 +199,7 @@ class Tree {
                          std::vector<ByteSpan>& ancestor_preds,
                          std::vector<Bytes>& ancestor_storage) const;
 
-  pages::PageFile* file_;
+  pages::PageStore* file_;
   pages::BufferPool* pool_ = nullptr;
   std::unique_ptr<Extension> extension_;
   TreeOptions options_;

@@ -1,11 +1,13 @@
 #include "pages/buffer_pool.h"
 
+#include "util/logging.h"
+
 #include <chrono>
 #include <thread>
 
 namespace bw::pages {
 
-BufferPool::BufferPool(PageFile* file, size_t capacity,
+BufferPool::BufferPool(PageStore* file, size_t capacity,
                        BufferPoolOptions options)
     : file_(file), capacity_(capacity), options_(options) {
   BW_CHECK(file != nullptr);

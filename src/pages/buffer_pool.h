@@ -1,4 +1,4 @@
-// LRU buffer pool over a PageFile. Section 6 of the paper argues that
+// LRU buffer pool over a PageStore. Section 6 of the paper argues that
 // XJB beats JB once inner nodes must fit in a memory budget; the buffer
 // pool makes that argument measurable: hits are free, misses are charged
 // to the underlying file's I/O counters.
@@ -9,7 +9,7 @@
 #include <list>
 #include <unordered_map>
 
-#include "pages/page_file.h"
+#include "pages/page_store.h"
 
 namespace bw::pages {
 
@@ -28,11 +28,11 @@ struct BufferStats {
 
 /// Behavioral knobs for a BufferPool.
 struct BufferPoolOptions {
-  /// When true (default), a miss reads through PageFile::Read and is
+  /// When true (default), a miss reads through PageStore::Read and is
   /// charged to the file's shared IoStats. When false, a miss resolves
   /// via the const, accounting-free PeekNoIo path and is counted only in
   /// this pool's BufferStats — the mode the concurrent query service
-  /// uses so per-worker pools never mutate the shared PageFile.
+  /// uses so per-worker pools never mutate the shared page store.
   bool charge_file_io = true;
   /// Simulated random-read latency per miss, in microseconds (the pool
   /// sleeps this long before returning). 0 = no simulation. Lets the
@@ -42,18 +42,18 @@ struct BufferPoolOptions {
 };
 
 /// Simple LRU cache of page ids. The pool does not copy page contents
-/// (the PageFile is already in memory); it only models which pages would
+/// (every PageStore keeps its pages resident); it only models which pages would
 /// be resident, which is all the experiments need.
 ///
 /// Thread-safety: a BufferPool is single-threaded — the query service
 /// gives each worker its own pool. With charge_file_io=false, Fetch
-/// touches no shared mutable state (only const PageFile reads), so any
-/// number of pools may serve the same file concurrently provided no one
-/// calls PageFile::Allocate/Write/Read meanwhile.
+/// touches no shared mutable state (only const PageStore reads), so any
+/// number of pools may serve the same store concurrently provided no one
+/// calls PageStore::Allocate/Write/Read meanwhile.
 class BufferPool {
  public:
   /// `capacity` = number of resident pages; 0 means "cache nothing".
-  BufferPool(PageFile* file, size_t capacity,
+  BufferPool(PageStore* file, size_t capacity,
              BufferPoolOptions options = BufferPoolOptions());
 
   BufferPool(const BufferPool&) = delete;
@@ -79,7 +79,7 @@ class BufferPool {
   void Touch(PageId id);
   void InsertResident(PageId id);
 
-  PageFile* file_;
+  PageStore* file_;
   size_t capacity_;
   BufferPoolOptions options_;
   std::list<PageId> lru_;  // front = most recent.

@@ -1,0 +1,81 @@
+#include "pages/page_codec.h"
+
+#include <cstring>
+
+namespace bw::pages {
+
+namespace {
+
+// Image layout (little-endian u32 fields, as written by memcpy on the
+// platforms this project targets):
+//   [header_word 0..3][slot_count][len_0][bytes_0]...[len_n-1][bytes_n-1]
+constexpr size_t kFixedBytes = (Page::kHeaderWords + 1) * sizeof(uint32_t);
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(v));
+  std::memcpy(out->data() + at, &v, sizeof(v));
+}
+
+bool ConsumeU32(const uint8_t** data, size_t* remaining, uint32_t* v) {
+  if (*remaining < sizeof(*v)) return false;
+  std::memcpy(v, *data, sizeof(*v));
+  *data += sizeof(*v);
+  *remaining -= sizeof(*v);
+  return true;
+}
+
+}  // namespace
+
+size_t MaxEncodedPageBytes(size_t page_size) {
+  return page_size + kFixedBytes;
+}
+
+void EncodePage(const Page& page, std::vector<uint8_t>* out) {
+  out->clear();
+  out->reserve(kFixedBytes + page.UsedBytes());
+  for (size_t w = 0; w < Page::kHeaderWords; ++w) {
+    AppendU32(out, page.header_word(w));
+  }
+  AppendU32(out, static_cast<uint32_t>(page.slot_count()));
+  for (size_t s = 0; s < page.slot_count(); ++s) {
+    const size_t length = page.RecordLength(s);
+    AppendU32(out, static_cast<uint32_t>(length));
+    const size_t at = out->size();
+    out->resize(at + length);
+    std::memcpy(out->data() + at, page.RecordData(s), length);
+  }
+}
+
+Status DecodePage(const uint8_t* data, size_t size, Page* page) {
+  page->Clear();
+  size_t remaining = size;
+  for (size_t w = 0; w < Page::kHeaderWords; ++w) {
+    uint32_t word = 0;
+    if (!ConsumeU32(&data, &remaining, &word)) {
+      return Status::Corruption("page image truncated in header");
+    }
+    page->set_header_word(w, word);
+  }
+  uint32_t slots = 0;
+  if (!ConsumeU32(&data, &remaining, &slots)) {
+    return Status::Corruption("page image truncated at slot count");
+  }
+  for (uint32_t s = 0; s < slots; ++s) {
+    uint32_t length = 0;
+    if (!ConsumeU32(&data, &remaining, &length) || length > remaining) {
+      return Status::Corruption("page image truncated in record " +
+                                std::to_string(s));
+    }
+    auto inserted = page->Insert(data, length);
+    if (!inserted.ok()) return inserted.status();
+    data += length;
+    remaining -= length;
+  }
+  if (remaining != 0) {
+    return Status::Corruption("page image has trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace bw::pages

@@ -1,0 +1,35 @@
+// Page <-> byte-image codec shared by the durable storage engine: the
+// same encoding is used for page frames in a DiskPageFile base file and
+// for full-page redo images in WAL records, so recovery can splat a WAL
+// image over a base page without a separate format.
+
+#ifndef BLOBWORLD_PAGES_PAGE_CODEC_H_
+#define BLOBWORLD_PAGES_PAGE_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pages/page.h"
+#include "util/status.h"
+
+namespace bw::pages {
+
+/// Upper bound on EncodePage output for a page of `page_size` bytes.
+/// Encoding stores 4 bytes of length per record where the page's slot
+/// directory spends 8, so the image never exceeds the page itself plus
+/// the fixed header.
+size_t MaxEncodedPageBytes(size_t page_size);
+
+/// Serializes `page` (header words + records in slot order) into `out`,
+/// replacing its contents. Holes left by Erase/Update are squeezed out;
+/// decoding reproduces the same records in the same slot order.
+void EncodePage(const Page& page, std::vector<uint8_t>* out);
+
+/// Rebuilds `page` from an image produced by EncodePage. The page is
+/// cleared first and must have been constructed with the original page
+/// size. Returns Corruption on a malformed image.
+Status DecodePage(const uint8_t* data, size_t size, Page* page);
+
+}  // namespace bw::pages
+
+#endif  // BLOBWORLD_PAGES_PAGE_CODEC_H_

@@ -6,28 +6,19 @@
 #ifndef BLOBWORLD_PAGES_PAGE_FILE_H_
 #define BLOBWORLD_PAGES_PAGE_FILE_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "pages/page.h"
+#include "pages/page_store.h"
 #include "util/status.h"
 
 namespace bw::pages {
 
-/// I/O counters accumulated by a PageFile.
-struct IoStats {
-  uint64_t reads = 0;
-  uint64_t sequential_reads = 0;
-  uint64_t random_reads = 0;
-  uint64_t writes = 0;
-
-  void Reset() { *this = IoStats(); }
-};
-
-/// A growable array of Pages owned by the file, with read accounting.
-/// Pages are handed out as raw pointers; the file retains ownership and
-/// pointers stay valid until the file is destroyed (pages are allocated
-/// individually, never relocated).
+/// The in-memory PageStore: a growable array of Pages owned by the file,
+/// with read accounting. This is the experiment/bench substrate; the
+/// durable, file-backed implementation is storage::DiskPageFile.
 ///
 /// Thread-safety contract (audited for the concurrent query service):
 ///  - Read() and Write() mutate the shared IoStats counters and the
@@ -39,7 +30,13 @@ struct IoStats {
 ///  - Concurrent readers therefore go through per-worker BufferPools
 ///    constructed with charge_file_io=false, whose misses resolve via
 ///    PeekNoIo; per-query I/O is accounted in each pool's BufferStats.
-class PageFile {
+///
+/// Debug builds enforce the contract with atomic occupancy counters:
+/// a mutating call (Read/Write/Allocate) overlapping another mutating
+/// call or an in-flight PeekNoIo aborts with a CHECK failure instead of
+/// silently racing. The counters compile out under NDEBUG, keeping the
+/// serving hot path free of shared writes.
+class PageFile final : public PageStore {
  public:
   explicit PageFile(size_t page_size = kDefaultPageSize)
       : page_size_(page_size) {}
@@ -47,31 +44,34 @@ class PageFile {
   PageFile(const PageFile&) = delete;
   PageFile& operator=(const PageFile&) = delete;
 
-  size_t page_size() const { return page_size_; }
-  size_t page_count() const { return pages_.size(); }
+  size_t page_size() const override { return page_size_; }
+  size_t page_count() const override { return pages_.size(); }
 
-  /// Allocates a fresh page and returns its id.
-  PageId Allocate();
+  PageId Allocate() override;
+  Result<Page*> Read(PageId id) override;
+  Result<Page*> Write(PageId id) override;
 
-  /// Fetches a page for reading, counting one read I/O.
-  Result<Page*> Read(PageId id);
+  /// Access without I/O accounting (for validation, debugging tools, and
+  /// the concurrent read path, which must not perturb the measured
+  /// workload).
+  Page* PeekNoIo(PageId id) override;
+  const Page* PeekNoIo(PageId id) const override;
 
-  /// Fetches a page for writing, counting one write I/O.
-  Result<Page*> Write(PageId id);
-
-  /// Access without I/O accounting (for validation and debugging tools
-  /// that must not perturb the measured workload).
-  Page* PeekNoIo(PageId id);
-  const Page* PeekNoIo(PageId id) const;
-
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() {
+  const IoStats& stats() const override { return stats_; }
+  void ResetStats() override {
     stats_.Reset();
     last_read_ = kInvalidPageId;
   }
 
  private:
   Status CheckId(PageId id) const;
+
+#ifndef NDEBUG
+  /// Occupancy counters for the debug-mode contract check: number of
+  /// threads currently inside a mutating call / inside PeekNoIo.
+  mutable std::atomic<int> active_mutators_{0};
+  mutable std::atomic<int> active_peekers_{0};
+#endif
 
   size_t page_size_;
   std::vector<std::unique_ptr<Page>> pages_;

@@ -1,0 +1,67 @@
+// The abstract page-store surface every index substrate implements.
+//
+// The GiST layer (gist::Tree), the bulk loaders, and the buffer pool all
+// talk to storage through this interface, so the same tree code runs
+// over the purely in-memory pages::PageFile (the bench/experiment
+// substrate) and the durable storage::DiskPageFile (file-backed pages
+// with checksums and a write-ahead log underneath).
+//
+// Contract shared by all implementations:
+//  - Pages are handed out as raw pointers; the store retains ownership
+//    and pointers stay valid until the store is destroyed (pages are
+//    allocated individually and never relocated).
+//  - Read()/Write()/Allocate() are the accounted, possibly-mutating
+//    build-path operations and are single-threaded.
+//  - PeekNoIo() is a pure read, safe from any number of threads provided
+//    no thread is inside Allocate()/Write()/Read() meanwhile (see the
+//    audited serving contract in page_file.h and service/).
+
+#ifndef BLOBWORLD_PAGES_PAGE_STORE_H_
+#define BLOBWORLD_PAGES_PAGE_STORE_H_
+
+#include "pages/page.h"
+#include "util/status.h"
+
+namespace bw::pages {
+
+/// I/O counters accumulated by a page store.
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t sequential_reads = 0;
+  uint64_t random_reads = 0;
+  uint64_t writes = 0;
+
+  void Reset() { *this = IoStats(); }
+};
+
+/// A growable array of Pages with read/write accounting.
+class PageStore {
+ public:
+  virtual ~PageStore() = default;
+
+  virtual size_t page_size() const = 0;
+  virtual size_t page_count() const = 0;
+
+  /// Allocates a fresh page and returns its id.
+  virtual PageId Allocate() = 0;
+
+  /// Fetches a page for reading, counting one read I/O.
+  virtual Result<Page*> Read(PageId id) = 0;
+
+  /// Fetches a page for writing, counting one write I/O. All intended
+  /// page mutations go through this call, so implementations may use it
+  /// to track dirty pages.
+  virtual Result<Page*> Write(PageId id) = 0;
+
+  /// Access without I/O accounting (validation, analysis, and the
+  /// concurrent read path, which must not perturb shared counters).
+  virtual Page* PeekNoIo(PageId id) = 0;
+  virtual const Page* PeekNoIo(PageId id) const = 0;
+
+  virtual const IoStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+};
+
+}  // namespace bw::pages
+
+#endif  // BLOBWORLD_PAGES_PAGE_STORE_H_

@@ -31,6 +31,14 @@ QueryService::QueryService(std::unique_ptr<core::BuiltIndex> index,
   Start();
 }
 
+QueryService::QueryService(std::unique_ptr<core::DurableIndex> index,
+                           ServiceOptions options)
+    : owned_durable_(std::move(index)), options_(options) {
+  BW_CHECK(owned_durable_ != nullptr);
+  tree_ = &owned_durable_->tree();
+  Start();
+}
+
 void QueryService::Start() {
   BW_CHECK_GE(options_.num_workers, 1u);
   BW_CHECK_GE(options_.queue_capacity, 1u);
@@ -45,7 +53,7 @@ void QueryService::Start() {
   // The const_cast is sound: with charge_file_io=false the pool resolves
   // every fetch through the const PeekNoIo path, so the shared file is
   // never written through this pointer.
-  auto* file = const_cast<pages::PageFile*>(tree_->file());
+  auto* file = const_cast<pages::PageStore*>(tree_->file());
   for (size_t i = 0; i < options_.num_workers; ++i) {
     worker_pools_.push_back(std::make_unique<pages::BufferPool>(
         file, options_.worker_pool_pages, pool_options));

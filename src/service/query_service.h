@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/durable_index.h"
 #include "core/index_factory.h"
 #include "gist/nn_cursor.h"
 #include "gist/tree.h"
@@ -139,6 +140,12 @@ class QueryService {
   QueryService(std::unique_ptr<core::BuiltIndex> index,
                ServiceOptions options);
 
+  /// Takes ownership of a durable (possibly crash-recovered) index and
+  /// serves its tree; the store stays quiescent while serving (no
+  /// commits or checkpoints), which is exactly the read-only contract.
+  QueryService(std::unique_ptr<core::DurableIndex> index,
+               ServiceOptions options);
+
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
@@ -203,7 +210,8 @@ class QueryService {
   /// the caller.
   Response Execute(Task& task, pages::BufferPool* pool);
 
-  std::unique_ptr<core::BuiltIndex> owned_index_;  // may be null.
+  std::unique_ptr<core::BuiltIndex> owned_index_;      // may be null.
+  std::unique_ptr<core::DurableIndex> owned_durable_;  // may be null.
   const gist::Tree* tree_;
   ServiceOptions options_;
 

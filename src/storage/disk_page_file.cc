@@ -1,0 +1,281 @@
+#include "storage/disk_page_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "pages/page_codec.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace bw::storage {
+
+namespace {
+
+constexpr uint32_t kBaseMagic = 0x46505742;  // "BWPF"
+constexpr uint32_t kBaseVersion = 1;
+constexpr size_t kHeaderSlotBytes = 64;
+constexpr size_t kPageFramesOffset = 2 * kHeaderSlotBytes;
+/// Frame overhead: u32 encoded_len + u32 crc, rounded up generously so
+/// the page_codec image (page_size + 20 worst case) always fits.
+constexpr size_t kFrameOverhead = 32;
+
+struct HeaderImage {
+  uint32_t magic = kBaseMagic;
+  uint32_t version = kBaseVersion;
+  uint32_t page_size = 0;
+  uint32_t page_count = 0;
+  uint64_t checkpoint_lsn = 0;
+  uint64_t epoch = 0;
+};
+
+void EncodeHeader(const HeaderImage& h, uint8_t out[kHeaderSlotBytes]) {
+  std::memset(out, 0, kHeaderSlotBytes);
+  std::memcpy(out + 0, &h.magic, 4);
+  std::memcpy(out + 4, &h.version, 4);
+  std::memcpy(out + 8, &h.page_size, 4);
+  std::memcpy(out + 12, &h.page_count, 4);
+  std::memcpy(out + 16, &h.checkpoint_lsn, 8);
+  std::memcpy(out + 24, &h.epoch, 8);
+  const uint32_t crc = bw::Crc32(out, kHeaderSlotBytes - 4);
+  std::memcpy(out + kHeaderSlotBytes - 4, &crc, 4);
+}
+
+bool DecodeHeader(const uint8_t in[kHeaderSlotBytes], HeaderImage* h) {
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, in + kHeaderSlotBytes - 4, 4);
+  if (stored_crc != bw::Crc32(in, kHeaderSlotBytes - 4)) return false;
+  std::memcpy(&h->magic, in + 0, 4);
+  std::memcpy(&h->version, in + 4, 4);
+  std::memcpy(&h->page_size, in + 8, 4);
+  std::memcpy(&h->page_count, in + 12, 4);
+  std::memcpy(&h->checkpoint_lsn, in + 16, 8);
+  std::memcpy(&h->epoch, in + 24, 8);
+  if (h->magic != kBaseMagic || h->version != kBaseVersion) return false;
+  if (h->page_size < 512 || h->page_size > (64u << 20)) return false;
+  return true;
+}
+
+}  // namespace
+
+size_t DiskPageFile::frame_bytes() const { return page_size_ + kFrameOverhead; }
+
+uint64_t DiskPageFile::FrameOffset(pages::PageId id) const {
+  return kPageFramesOffset + static_cast<uint64_t>(id) * frame_bytes();
+}
+
+Result<std::unique_ptr<DiskPageFile>> DiskPageFile::Create(
+    const std::string& path, size_t page_size, DiskPageFileOptions options) {
+  if (page_size < 512) {
+    return Status::InvalidArgument("page_size must be >= 512");
+  }
+  BW_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                      File::Open(path, /*truncate=*/true, options.injector));
+  std::unique_ptr<DiskPageFile> store(
+      new DiskPageFile(std::move(file), page_size));
+  BW_RETURN_IF_ERROR(store->CommitHeader(/*checkpoint_lsn=*/0));
+  return store;
+}
+
+Result<std::unique_ptr<DiskPageFile>> DiskPageFile::Open(
+    const std::string& path, DiskPageFileOptions options) {
+  BW_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                      File::Open(path, /*truncate=*/false, options.injector));
+
+  // Pick the valid header slot with the highest epoch; a torn header
+  // write leaves the other slot intact.
+  HeaderImage header;
+  int slot_found = -1;
+  for (int slot = 0; slot < 2; ++slot) {
+    uint8_t raw[kHeaderSlotBytes];
+    if (!file->ReadAt(slot * kHeaderSlotBytes, raw, sizeof(raw)).ok()) {
+      continue;  // file too short for this slot.
+    }
+    HeaderImage candidate;
+    if (!DecodeHeader(raw, &candidate)) continue;
+    if (slot_found < 0 || candidate.epoch > header.epoch) {
+      header = candidate;
+      slot_found = slot;
+    }
+  }
+  if (slot_found < 0) {
+    return Status::DataLoss("'" + path +
+                            "' has no valid header slot (both corrupt)");
+  }
+
+  std::unique_ptr<DiskPageFile> store(
+      new DiskPageFile(std::move(file), header.page_size));
+  store->checkpoint_lsn_ = header.checkpoint_lsn;
+  store->header_epoch_ = header.epoch;
+  store->active_header_slot_ = slot_found;
+
+  std::vector<uint8_t> frame(store->frame_bytes());
+  for (uint32_t id = 0; id < header.page_count; ++id) {
+    auto page = std::make_unique<pages::Page>(header.page_size);
+    bool intact = false;
+    if (store->file_->ReadAt(store->FrameOffset(id), frame.data(),
+                             frame.size())
+            .ok()) {
+      uint32_t encoded_len;
+      std::memcpy(&encoded_len, frame.data(), 4);
+      if (encoded_len <= frame.size() - 8) {
+        uint32_t stored_crc;
+        std::memcpy(&stored_crc, frame.data() + 4 + encoded_len, 4);
+        if (stored_crc == bw::Crc32(frame.data(), 4 + encoded_len) &&
+            pages::DecodePage(frame.data() + 4, encoded_len, page.get())
+                .ok()) {
+          intact = true;
+        }
+      }
+    }
+    if (!intact) {
+      page->Clear();
+      store->suspect_.insert(id);
+    }
+    store->pages_.push_back(std::move(page));
+  }
+  return store;
+}
+
+pages::PageId DiskPageFile::Allocate() {
+  pages_.push_back(std::make_unique<pages::Page>(page_size_));
+  const auto id = static_cast<pages::PageId>(pages_.size() - 1);
+  alloc_commit_.push_back(id);
+  dirty_checkpoint_.insert(id);
+  return id;
+}
+
+Status DiskPageFile::CheckId(pages::PageId id) const {
+  if (id >= pages_.size()) {
+    return Status::InvalidArgument("page id out of range");
+  }
+  return Status::OK();
+}
+
+Result<pages::Page*> DiskPageFile::Read(pages::PageId id) {
+  BW_RETURN_IF_ERROR(CheckId(id));
+  ++stats_.reads;
+  if (last_read_ != pages::kInvalidPageId && id == last_read_ + 1) {
+    ++stats_.sequential_reads;
+  } else {
+    ++stats_.random_reads;
+  }
+  last_read_ = id;
+  return pages_[id].get();
+}
+
+Result<pages::Page*> DiskPageFile::Write(pages::PageId id) {
+  BW_RETURN_IF_ERROR(CheckId(id));
+  ++stats_.writes;
+  dirty_commit_.insert(id);
+  dirty_checkpoint_.insert(id);
+  return pages_[id].get();
+}
+
+pages::Page* DiskPageFile::PeekNoIo(pages::PageId id) {
+  BW_CHECK_LT(id, pages_.size());
+  return pages_[id].get();
+}
+
+const pages::Page* DiskPageFile::PeekNoIo(pages::PageId id) const {
+  BW_CHECK_LT(id, pages_.size());
+  return pages_[id].get();
+}
+
+std::vector<pages::PageId> DiskPageFile::TakeDirtySinceCommit() {
+  std::vector<pages::PageId> ids(dirty_commit_.begin(), dirty_commit_.end());
+  dirty_commit_.clear();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<pages::PageId> DiskPageFile::TakeAllocationsSinceCommit() {
+  std::vector<pages::PageId> ids = std::move(alloc_commit_);
+  alloc_commit_.clear();
+  return ids;
+}
+
+std::vector<pages::PageId> DiskPageFile::TakeCheckpointDirty() {
+  std::vector<pages::PageId> ids(dirty_checkpoint_.begin(),
+                                 dirty_checkpoint_.end());
+  dirty_checkpoint_.clear();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void DiskPageFile::MarkAllDirtyForCheckpoint() {
+  for (pages::PageId id = 0; id < pages_.size(); ++id) {
+    dirty_checkpoint_.insert(id);
+  }
+}
+
+void DiskPageFile::ClearCommitTracking() {
+  dirty_commit_.clear();
+  alloc_commit_.clear();
+}
+
+Status DiskPageFile::FlushPagesAndSync(
+    const std::vector<pages::PageId>& ids) {
+  std::vector<uint8_t> image;
+  std::vector<uint8_t> frame(frame_bytes());
+  for (const pages::PageId id : ids) {
+    BW_RETURN_IF_ERROR(CheckId(id));
+    pages::EncodePage(*pages_[id], &image);
+    BW_CHECK_LE(image.size(), frame.size() - 8);
+    std::fill(frame.begin(), frame.end(), 0);
+    const auto encoded_len = static_cast<uint32_t>(image.size());
+    std::memcpy(frame.data(), &encoded_len, 4);
+    std::memcpy(frame.data() + 4, image.data(), image.size());
+    const uint32_t crc = bw::Crc32(frame.data(), 4 + image.size());
+    std::memcpy(frame.data() + 4 + image.size(), &crc, 4);
+    BW_RETURN_IF_ERROR(file_->WriteAt(FrameOffset(id), frame.data(),
+                                      frame.size()));
+  }
+  return file_->Sync();
+}
+
+Status DiskPageFile::CommitHeader(uint64_t checkpoint_lsn) {
+  HeaderImage header;
+  header.page_size = static_cast<uint32_t>(page_size_);
+  header.page_count = static_cast<uint32_t>(pages_.size());
+  header.checkpoint_lsn = checkpoint_lsn;
+  header.epoch = header_epoch_ + 1;
+  uint8_t raw[kHeaderSlotBytes];
+  EncodeHeader(header, raw);
+  const int slot = 1 - active_header_slot_;
+  BW_RETURN_IF_ERROR(
+      file_->WriteAt(slot * kHeaderSlotBytes, raw, sizeof(raw)));
+  BW_RETURN_IF_ERROR(file_->Sync());
+  // The new header is durable; only now may in-memory state adopt it.
+  active_header_slot_ = slot;
+  header_epoch_ = header.epoch;
+  checkpoint_lsn_ = checkpoint_lsn;
+  return Status::OK();
+}
+
+Status DiskPageFile::EnsureAllocated(pages::PageId id) {
+  if (id == pages::kInvalidPageId) {
+    return Status::Corruption("WAL alloc record for invalid page id");
+  }
+  while (pages_.size() <= id) {
+    pages_.push_back(std::make_unique<pages::Page>(page_size_));
+    dirty_checkpoint_.insert(static_cast<pages::PageId>(pages_.size() - 1));
+  }
+  return Status::OK();
+}
+
+Status DiskPageFile::ApplyPageImage(pages::PageId id, const uint8_t* image,
+                                    size_t len) {
+  BW_RETURN_IF_ERROR(EnsureAllocated(id));
+  BW_RETURN_IF_ERROR(pages::DecodePage(image, len, pages_[id].get()));
+  suspect_.erase(id);
+  dirty_checkpoint_.insert(id);
+  return Status::OK();
+}
+
+std::vector<pages::PageId> DiskPageFile::suspect_pages() const {
+  std::vector<pages::PageId> ids(suspect_.begin(), suspect_.end());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace bw::storage

@@ -1,0 +1,140 @@
+// The durable PageStore: file-backed pages with per-frame CRC32
+// checksums. Pages stay resident in memory (the read path is identical
+// to pages::PageFile, including the audited concurrent PeekNoIo
+// contract), but every page has a home frame in a base file, mutations
+// are tracked for WAL logging, and checkpoints/recovery move state
+// between memory and disk.
+//
+// Base file layout:
+//
+//   [header slot A: 64 B][header slot B: 64 B][frame 0][frame 1]...
+//
+// Headers are written alternately (ping-pong) with a monotonically
+// increasing epoch and a CRC, so a crash mid-header-write can never
+// brick the store: the other slot still holds the previous durable
+// header. Each page frame is `page_size + 32` bytes:
+//
+//   [u32 encoded_len][page_codec image][u32 crc32 over len+image][pad]
+//
+// DiskPageFile does not log or checkpoint by itself — that is the job of
+// storage::DurableStore / CheckpointManager / RecoveryManager, which
+// drive the dirty-page tracking exposed here. Opening a base file never
+// fails on a checksum mismatch alone: bad frames are parked in
+// suspect_pages() so recovery can repair them from WAL redo images, and
+// only an unrepaired suspect page is an error (see RecoveryManager).
+
+#ifndef BLOBWORLD_STORAGE_DISK_PAGE_FILE_H_
+#define BLOBWORLD_STORAGE_DISK_PAGE_FILE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "pages/page_store.h"
+#include "storage/file_io.h"
+#include "util/status.h"
+
+namespace bw::storage {
+
+struct DiskPageFileOptions {
+  FaultInjector* injector = nullptr;
+};
+
+class DiskPageFile final : public pages::PageStore {
+ public:
+  /// Creates a fresh, empty store at `path` (truncating any existing
+  /// file) and makes its header durable.
+  static Result<std::unique_ptr<DiskPageFile>> Create(
+      const std::string& path, size_t page_size,
+      DiskPageFileOptions options = DiskPageFileOptions());
+
+  /// Opens an existing store and loads every page frame, verifying
+  /// checksums. Frames that fail verification become empty pages listed
+  /// in suspect_pages(); DataLoss only if no valid header survives.
+  static Result<std::unique_ptr<DiskPageFile>> Open(
+      const std::string& path,
+      DiskPageFileOptions options = DiskPageFileOptions());
+
+  // --- PageStore surface (same accounting semantics as PageFile) -------
+
+  size_t page_size() const override { return page_size_; }
+  size_t page_count() const override { return pages_.size(); }
+  pages::PageId Allocate() override;
+  Result<pages::Page*> Read(pages::PageId id) override;
+  Result<pages::Page*> Write(pages::PageId id) override;
+  pages::Page* PeekNoIo(pages::PageId id) override;
+  const pages::Page* PeekNoIo(pages::PageId id) const override;
+  const pages::IoStats& stats() const override { return stats_; }
+  void ResetStats() override {
+    stats_.Reset();
+    last_read_ = pages::kInvalidPageId;
+  }
+
+  // --- Durability surface (driven by DurableStore and recovery) --------
+
+  /// LSN recorded by the last durable checkpoint header.
+  uint64_t checkpoint_lsn() const { return checkpoint_lsn_; }
+
+  /// Drains the pages dirtied / ids allocated since the last drain
+  /// (sorted). CommitBatch turns these into WAL records.
+  std::vector<pages::PageId> TakeDirtySinceCommit();
+  std::vector<pages::PageId> TakeAllocationsSinceCommit();
+
+  /// Drains the set a fuzzy checkpoint must flush: every page dirtied or
+  /// allocated since the previous checkpoint.
+  std::vector<pages::PageId> TakeCheckpointDirty();
+
+  /// Marks every page dirty-for-checkpoint (recovery uses this to
+  /// re-establish a clean base from replayed state).
+  void MarkAllDirtyForCheckpoint();
+
+  /// Forgets pending commit tracking (recovery's replay applies images
+  /// directly; they must not be re-logged).
+  void ClearCommitTracking();
+
+  /// Writes the frames of `ids` to the base file and fsyncs.
+  Status FlushPagesAndSync(const std::vector<pages::PageId>& ids);
+
+  /// Publishes a new durable header (page count + `checkpoint_lsn`) via
+  /// the alternate slot and fsyncs.
+  Status CommitHeader(uint64_t checkpoint_lsn);
+
+  /// Redo hooks: extends the page table to include `id` / replaces the
+  /// in-memory page from a WAL image (clearing its suspect mark).
+  Status EnsureAllocated(pages::PageId id);
+  Status ApplyPageImage(pages::PageId id, const uint8_t* image, size_t len);
+
+  /// Pages whose base frames failed their checksum on Open and have not
+  /// been repaired by ApplyPageImage (sorted).
+  std::vector<pages::PageId> suspect_pages() const;
+
+  const std::string& path() const { return file_->path(); }
+
+ private:
+  DiskPageFile(std::unique_ptr<File> file, size_t page_size)
+      : file_(std::move(file)), page_size_(page_size) {}
+
+  size_t frame_bytes() const;
+  uint64_t FrameOffset(pages::PageId id) const;
+  Status CheckId(pages::PageId id) const;
+
+  std::unique_ptr<File> file_;
+  size_t page_size_;
+  std::vector<std::unique_ptr<pages::Page>> pages_;
+  pages::IoStats stats_;
+  pages::PageId last_read_ = pages::kInvalidPageId;
+
+  std::unordered_set<pages::PageId> dirty_commit_;
+  std::vector<pages::PageId> alloc_commit_;
+  std::unordered_set<pages::PageId> dirty_checkpoint_;
+  std::unordered_set<pages::PageId> suspect_;
+
+  uint64_t checkpoint_lsn_ = 0;
+  uint64_t header_epoch_ = 0;
+  int active_header_slot_ = 0;
+};
+
+}  // namespace bw::storage
+
+#endif  // BLOBWORLD_STORAGE_DISK_PAGE_FILE_H_

@@ -1,0 +1,104 @@
+// Deterministic write-path fault injection, threaded through every
+// physical write the storage engine performs (base file and WAL). The
+// crash-recovery tests do not merely unit-test replay logic: they arm an
+// injector, actually kill the write stream mid-operation at a chosen
+// point, throw the in-memory state away, and then require recovery to
+// reconstruct a consistent store from whatever bytes made it to disk.
+//
+// Faults:
+//  - kCrash:     the Nth write (and everything after it) is dropped, as
+//                if the process died just before the syscall.
+//  - kTornWrite: the Nth write persists only a prefix (half) of its
+//                buffer, then the process dies — models a torn sector
+//                write during power loss.
+//  - kBitFlip:   one bit of the Nth write's buffer is inverted and the
+//                write otherwise succeeds — models silent media
+//                corruption that only checksums can catch.
+
+#ifndef BLOBWORLD_STORAGE_FAULT_INJECTOR_H_
+#define BLOBWORLD_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bw::storage {
+
+class FaultInjector {
+ public:
+  enum class Fault { kNone, kCrash, kTornWrite, kBitFlip };
+
+  /// What storage::File must do with one physical write.
+  struct WriteDecision {
+    /// Drop the write entirely and fail (the "process" is dead).
+    bool drop = false;
+    /// If not SIZE_MAX: persist only this many bytes, then fail.
+    size_t truncate_to = static_cast<size_t>(-1);
+    /// Invert one bit of the buffer before writing (write succeeds).
+    bool flip_bit = false;
+  };
+
+  /// Arms `fault` to fire on the nth_write-th subsequent physical write
+  /// (1-based, counted from this call).
+  void Arm(Fault fault, uint64_t nth_write) {
+    fault_ = fault;
+    trigger_ = nth_write;
+    writes_seen_ = 0;
+    crashed_ = false;
+    fired_ = false;
+  }
+
+  void Disarm() {
+    fault_ = Fault::kNone;
+    crashed_ = false;
+  }
+
+  /// True once a kCrash/kTornWrite fault has fired: every later write
+  /// and sync fails, like a dead process's would.
+  bool crashed() const { return crashed_; }
+  /// True once the armed fault has fired at its trigger point.
+  bool fired() const { return fired_; }
+  /// Physical writes observed since Arm() (a disarmed injector still
+  /// counts, so a fault-free dry run measures the write schedule).
+  uint64_t writes_seen() const { return writes_seen_; }
+
+  WriteDecision OnWrite(size_t len) {
+    WriteDecision decision;
+    ++writes_seen_;
+    if (crashed_) {
+      decision.drop = true;
+      return decision;
+    }
+    if (fault_ == Fault::kNone || writes_seen_ != trigger_) {
+      return decision;
+    }
+    fired_ = true;
+    switch (fault_) {
+      case Fault::kCrash:
+        crashed_ = true;
+        decision.drop = true;
+        break;
+      case Fault::kTornWrite:
+        crashed_ = true;
+        decision.truncate_to = len / 2;
+        break;
+      case Fault::kBitFlip:
+        decision.flip_bit = true;
+        fault_ = Fault::kNone;  // one-shot; writes continue normally.
+        break;
+      case Fault::kNone:
+        break;
+    }
+    return decision;
+  }
+
+ private:
+  Fault fault_ = Fault::kNone;
+  uint64_t trigger_ = 0;
+  uint64_t writes_seen_ = 0;
+  bool crashed_ = false;
+  bool fired_ = false;
+};
+
+}  // namespace bw::storage
+
+#endif  // BLOBWORLD_STORAGE_FAULT_INJECTOR_H_

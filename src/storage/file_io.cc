@@ -1,0 +1,133 @@
+#include "storage/file_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace bw::storage {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<File>> File::Open(const std::string& path,
+                                         bool truncate,
+                                         FaultInjector* injector) {
+  int flags = O_RDWR | O_CREAT | O_CLOEXEC;
+  if (truncate) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Errno("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Errno("fstat", path);
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<File>(
+      new File(fd, static_cast<uint64_t>(st.st_size), path, injector));
+}
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status File::CheckAlive() const {
+  if (injector_ != nullptr && injector_->crashed()) {
+    return Status::IoError("simulated crash: '" + path_ + "' is dead");
+  }
+  return Status::OK();
+}
+
+Status File::WriteAt(uint64_t offset, const void* data, size_t n) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  std::vector<uint8_t> mutated;  // only used when the injector mutates.
+  size_t to_write = n;
+  bool fail_after = false;
+  if (injector_ != nullptr) {
+    FaultInjector::WriteDecision decision = injector_->OnWrite(n);
+    if (decision.drop) {
+      return Status::IoError("simulated crash: write to '" + path_ +
+                             "' dropped");
+    }
+    if (decision.flip_bit && n > 0) {
+      mutated.assign(bytes, bytes + n);
+      mutated[n / 2] ^= 0x10;
+      bytes = mutated.data();
+    }
+    if (decision.truncate_to != static_cast<size_t>(-1)) {
+      to_write = decision.truncate_to < n ? decision.truncate_to : n;
+      fail_after = true;
+    }
+  }
+  size_t done = 0;
+  while (done < to_write) {
+    const ssize_t wrote = ::pwrite(fd_, bytes + done, to_write - done,
+                                   static_cast<off_t>(offset + done));
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pwrite", path_);
+    }
+    done += static_cast<size_t>(wrote);
+  }
+  if (offset + done > size_) size_ = offset + done;
+  if (fail_after) {
+    return Status::IoError("simulated crash: torn write to '" + path_ + "'");
+  }
+  return Status::OK();
+}
+
+Status File::Append(const void* data, size_t n) {
+  return WriteAt(size_, data, n);
+}
+
+Status File::ReadAt(uint64_t offset, void* data, size_t n) const {
+  uint8_t* bytes = static_cast<uint8_t*>(data);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::pread(fd_, bytes + done, n - done,
+                                static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pread", path_);
+    }
+    if (got == 0) {
+      return Status::IoError("short read from '" + path_ + "' at offset " +
+                             std::to_string(offset));
+    }
+    done += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+Status File::Sync() {
+  BW_RETURN_IF_ERROR(CheckAlive());
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+Status File::Truncate(uint64_t new_size) {
+  BW_RETURN_IF_ERROR(CheckAlive());
+  if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+    return Errno("ftruncate", path_);
+  }
+  size_ = new_size;
+  return Status::OK();
+}
+
+Status ReadFile(const std::string& path, std::vector<uint8_t>* out) {
+  BW_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                      File::Open(path, /*truncate=*/false));
+  out->resize(file->size());
+  if (out->empty()) return Status::OK();
+  return file->ReadAt(0, out->data(), out->size());
+}
+
+}  // namespace bw::storage

@@ -1,0 +1,71 @@
+// Thin positional-I/O file wrapper (POSIX fd underneath) with the
+// FaultInjector hook on every physical write. All durable state in the
+// storage engine — base page files and WALs — goes through this class,
+// so a single injector can kill the entire write stream of a store at a
+// chosen point.
+
+#ifndef BLOBWORLD_STORAGE_FILE_IO_H_
+#define BLOBWORLD_STORAGE_FILE_IO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/fault_injector.h"
+#include "util/status.h"
+
+namespace bw::storage {
+
+class File {
+ public:
+  /// Opens `path` read-write, creating it if missing; truncates existing
+  /// contents when `truncate` is set. The injector (may be null) is
+  /// consulted before every physical write and sync.
+  static Result<std::unique_ptr<File>> Open(const std::string& path,
+                                            bool truncate,
+                                            FaultInjector* injector = nullptr);
+
+  ~File();
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Writes exactly `n` bytes at `offset` (extending the file as
+  /// needed). IoError if the write cannot complete — including a
+  /// simulated crash, in which case a torn prefix may have been
+  /// persisted.
+  Status WriteAt(uint64_t offset, const void* data, size_t n);
+
+  /// Appends exactly `n` bytes at the current end of file.
+  Status Append(const void* data, size_t n);
+
+  /// Reads exactly `n` bytes at `offset`; IoError on a short read.
+  Status ReadAt(uint64_t offset, void* data, size_t n) const;
+
+  uint64_t size() const { return size_; }
+
+  /// fsync. Fails after a simulated crash.
+  Status Sync();
+
+  /// Truncates the file to `new_size` bytes.
+  Status Truncate(uint64_t new_size);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  File(int fd, uint64_t size, std::string path, FaultInjector* injector)
+      : fd_(fd), size_(size), path_(std::move(path)), injector_(injector) {}
+
+  Status CheckAlive() const;
+
+  int fd_;
+  uint64_t size_;
+  std::string path_;
+  FaultInjector* injector_;
+};
+
+/// Reads the entire file at `path` into `out`. IoError if unreadable.
+Status ReadFile(const std::string& path, std::vector<uint8_t>* out);
+
+}  // namespace bw::storage
+
+#endif  // BLOBWORLD_STORAGE_FILE_IO_H_

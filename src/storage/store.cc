@@ -1,0 +1,184 @@
+#include "storage/store.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "pages/page_codec.h"
+#include "util/logging.h"
+
+namespace bw::storage {
+
+Status CheckpointManager::Checkpoint() {
+  // Order matters (invariant 3 in store.h): the WAL must hold every
+  // image we are about to flush before a frame write can tear, the
+  // header may only advance once the frames it describes are synced,
+  // and the log is truncated only after the header that supersedes its
+  // records is durable.
+  BW_RETURN_IF_ERROR(wal_->Sync());
+  BW_RETURN_IF_ERROR(disk_->FlushPagesAndSync(disk_->TakeCheckpointDirty()));
+  BW_RETURN_IF_ERROR(disk_->CommitHeader(wal_->durable_lsn()));
+  BW_RETURN_IF_ERROR(wal_->Reset());
+  ++checkpoints_;
+  return Status::OK();
+}
+
+Status CheckpointManager::MaybeCheckpoint(uint64_t committed_batches) {
+  if (every_commits_ == 0 || committed_batches % every_commits_ != 0) {
+    return Status::OK();
+  }
+  return Checkpoint();
+}
+
+DurableStore::DurableStore(std::unique_ptr<DiskPageFile> disk,
+                           std::unique_ptr<Wal> wal, StoreOptions options,
+                           uint64_t committed_batches)
+    : disk_(std::move(disk)),
+      wal_(std::move(wal)),
+      options_(options),
+      checkpointer_(disk_.get(), wal_.get(), options.checkpoint_every_commits),
+      committed_batches_(committed_batches) {}
+
+Result<std::unique_ptr<DurableStore>> DurableStore::Create(
+    const std::string& base_path, const std::string& wal_path,
+    StoreOptions options) {
+  DiskPageFileOptions disk_options;
+  disk_options.injector = options.injector;
+  BW_ASSIGN_OR_RETURN(
+      std::unique_ptr<DiskPageFile> disk,
+      DiskPageFile::Create(base_path, options.page_size, disk_options));
+  WalOptions wal_options;
+  wal_options.sync_every_records = options.wal_sync_every_records;
+  wal_options.injector = options.injector;
+  BW_ASSIGN_OR_RETURN(std::unique_ptr<Wal> wal,
+                      Wal::Create(wal_path, wal_options));
+  return std::make_unique<DurableStore>(std::move(disk), std::move(wal),
+                                        options, /*committed_batches=*/0);
+}
+
+Status DurableStore::CommitBatch(uint64_t tag) {
+  // Allocations first so replay extends the page table before any image
+  // lands in it; images second; the commit record seals the batch.
+  std::vector<uint8_t> image;
+  for (const pages::PageId id : disk_->TakeAllocationsSinceCommit()) {
+    BW_RETURN_IF_ERROR(
+        wal_->Append(WalRecordType::kAlloc, id, nullptr, 0).status());
+  }
+  for (const pages::PageId id : disk_->TakeDirtySinceCommit()) {
+    // PeekNoIo, not Read: logging is bookkeeping, not index I/O, and
+    // must not skew the IoStats that benchmarks report.
+    pages::EncodePage(*disk_->PeekNoIo(id), &image);
+    BW_RETURN_IF_ERROR(
+        wal_->Append(WalRecordType::kPageImage, id, image.data(), image.size())
+            .status());
+  }
+  uint8_t tag_bytes[8];
+  std::memcpy(tag_bytes, &tag, sizeof(tag));
+  BW_RETURN_IF_ERROR(wal_->Append(WalRecordType::kCommit,
+                                  pages::kInvalidPageId, tag_bytes,
+                                  sizeof(tag_bytes))
+                         .status());
+  ++committed_batches_;
+  return checkpointer_.MaybeCheckpoint(committed_batches_);
+}
+
+Result<std::unique_ptr<DurableStore>> RecoveryManager::Recover(
+    const std::string& base_path, const std::string& wal_path,
+    StoreOptions options, Summary* summary) {
+  Summary local;
+  Summary& out = summary != nullptr ? *summary : local;
+  out = Summary();
+
+  DiskPageFileOptions disk_options;
+  disk_options.injector = options.injector;
+  BW_ASSIGN_OR_RETURN(std::unique_ptr<DiskPageFile> disk,
+                      DiskPageFile::Open(base_path, disk_options));
+
+  // Redo scan. Records at or below the checkpoint LSN are already
+  // reflected in the base file (a crash can land between header publish
+  // and WAL truncation, leaving stale records). Later records are
+  // buffered per batch and applied only when the batch's kCommit record
+  // proves the whole batch reached the log.
+  const uint64_t checkpoint_lsn = disk->checkpoint_lsn();
+  struct PendingOp {
+    WalRecordType type;
+    pages::PageId page_id;
+    std::vector<uint8_t> payload;
+  };
+  std::vector<PendingOp> pending;
+  uint64_t pending_records = 0;
+  BW_ASSIGN_OR_RETURN(
+      WalReplayStats replay,
+      ReplayWal(wal_path, [&](const WalRecordView& record) -> Status {
+        if (record.lsn <= checkpoint_lsn) return Status::OK();
+        if (record.type == WalRecordType::kCommit) {
+          if (record.payload_len != 8) {
+            return Status::DataLoss("WAL commit record with malformed tag");
+          }
+          for (const PendingOp& op : pending) {
+            if (op.type == WalRecordType::kAlloc) {
+              BW_RETURN_IF_ERROR(disk->EnsureAllocated(op.page_id));
+            } else {
+              BW_RETURN_IF_ERROR(disk->ApplyPageImage(
+                  op.page_id, op.payload.data(), op.payload.size()));
+            }
+          }
+          out.records_applied += pending_records;
+          pending.clear();
+          pending_records = 0;
+          ++out.committed_batches;
+          std::memcpy(&out.last_commit_tag, record.payload, 8);
+          return Status::OK();
+        }
+        PendingOp op;
+        op.type = record.type;
+        op.page_id = record.page_id;
+        op.payload.assign(record.payload, record.payload + record.payload_len);
+        pending.push_back(std::move(op));
+        ++pending_records;
+        return Status::OK();
+      }));
+  out.records_discarded = pending_records;
+  out.wal_tail_truncated = replay.tail_truncated;
+  out.recovered_lsn = std::max(checkpoint_lsn, replay.last_lsn);
+
+  // Every suspect frame must have been repaired by a replayed image;
+  // a survivor means the base file rotted outside any redo window.
+  const std::vector<pages::PageId> suspects = disk->suspect_pages();
+  if (!suspects.empty()) {
+    std::string ids;
+    for (const pages::PageId id : suspects) {
+      if (!ids.empty()) ids += ", ";
+      ids += std::to_string(id);
+    }
+    return Status::DataLoss("base file page(s) [" + ids +
+                            "] failed checksum verification and no WAL "
+                            "redo image repairs them");
+  }
+
+  // Replay applied images directly; none of it is new work to re-log.
+  disk->ClearCommitTracking();
+  // But the next checkpoint must rewrite everything: the base frames on
+  // disk may predate the replayed state (fuzzy checkpoints flush only
+  // what changed, so "unchanged since replay" is not "clean on disk").
+  disk->MarkAllDirtyForCheckpoint();
+
+  WalOptions wal_options;
+  wal_options.sync_every_records = options.wal_sync_every_records;
+  wal_options.injector = options.injector;
+  const uint64_t next_lsn = out.recovered_lsn + 1;
+  BW_ASSIGN_OR_RETURN(
+      std::unique_ptr<Wal> wal,
+      Wal::Continue(wal_path, wal_options, replay.valid_bytes, next_lsn));
+
+  auto store = std::make_unique<DurableStore>(std::move(disk), std::move(wal),
+                                              options, out.committed_batches);
+  // Fold the replayed state into a fresh checkpoint so the store starts
+  // from a clean base and an empty log; a crash during this checkpoint
+  // is itself recoverable (the old header + full WAL still exist until
+  // the new header is durable).
+  BW_RETURN_IF_ERROR(store->Checkpoint());
+  return store;
+}
+
+}  // namespace bw::storage

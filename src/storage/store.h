@@ -1,0 +1,138 @@
+// The durable storage engine's coordination layer: DurableStore ties a
+// DiskPageFile (checksummed base file) to a Wal (redo log) and enforces
+// the ARIES-lite protocol; CheckpointManager runs fuzzy checkpoints;
+// RecoveryManager rebuilds a store from whatever bytes survived a crash.
+//
+// Protocol invariants (tested by the crash-injection harness):
+//
+//  1. WAL-first: a page's post-write image is appended to the WAL before
+//     that page may be flushed to the base file (CommitBatch before
+//     Checkpoint flush).
+//  2. Batch atomicity: CommitBatch frames all changes since the previous
+//     commit between the prior kCommit record and a new one. Recovery
+//     applies only whole committed batches; a crash mid-batch rolls the
+//     store back to the previous commit.
+//  3. Checkpoint ordering: sync WAL -> flush dirty frames -> fsync ->
+//     publish header (alternate slot, fsync) -> truncate WAL. A crash at
+//     any point leaves either the old header + full WAL (redo repairs
+//     torn frames) or the new header (stale WAL records are skipped by
+//     their LSN filter).
+//  4. Detection over trust: a checksum mismatch that redo cannot repair
+//     (bit-flipped base frame with no WAL image, corrupt WAL record with
+//     intact successors) surfaces as DataLoss instead of serving bytes
+//     that were never written.
+
+#ifndef BLOBWORLD_STORAGE_STORE_H_
+#define BLOBWORLD_STORAGE_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/disk_page_file.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace bw::storage {
+
+struct StoreOptions {
+  size_t page_size = pages::kDefaultPageSize;
+  /// Group-commit batch size forwarded to the WAL (records per fsync).
+  size_t wal_sync_every_records = 1;
+  /// Run a fuzzy checkpoint automatically every N committed batches;
+  /// 0 = checkpoint only on explicit Checkpoint() calls.
+  size_t checkpoint_every_commits = 0;
+  FaultInjector* injector = nullptr;
+};
+
+/// Runs the fuzzy-checkpoint protocol over a (DiskPageFile, Wal) pair.
+class CheckpointManager {
+ public:
+  CheckpointManager(DiskPageFile* disk, Wal* wal, size_t every_commits)
+      : disk_(disk), wal_(wal), every_commits_(every_commits) {}
+
+  /// Makes everything logged so far durable in the base file and empties
+  /// the WAL (protocol invariant 3 above).
+  Status Checkpoint();
+
+  /// Checkpoints when the configured commit cadence is due.
+  Status MaybeCheckpoint(uint64_t committed_batches);
+
+  uint64_t checkpoints_taken() const { return checkpoints_; }
+
+ private:
+  DiskPageFile* disk_;
+  Wal* wal_;
+  size_t every_commits_;
+  uint64_t checkpoints_ = 0;
+};
+
+/// A durable page store: the PageStore any index builds onto, plus the
+/// commit/checkpoint surface that makes its state crash-recoverable.
+/// Single-threaded on the mutation side, like every PageStore; the
+/// concurrent read path (PeekNoIo through per-worker BufferPools) is
+/// unchanged.
+class DurableStore {
+ public:
+  /// Creates a fresh store (truncating both files).
+  static Result<std::unique_ptr<DurableStore>> Create(
+      const std::string& base_path, const std::string& wal_path,
+      StoreOptions options);
+
+  /// Adopts already-constructed parts; used by RecoveryManager. Prefer
+  /// Create/Recover.
+  DurableStore(std::unique_ptr<DiskPageFile> disk, std::unique_ptr<Wal> wal,
+               StoreOptions options, uint64_t committed_batches);
+
+  /// The substrate indexes build onto and serve from.
+  pages::PageStore* pages() { return disk_.get(); }
+  DiskPageFile* disk() { return disk_.get(); }
+  Wal* wal() { return wal_.get(); }
+
+  /// Logs everything changed since the previous commit (allocations,
+  /// then full post-write page images) as one atomic WAL batch closed by
+  /// a kCommit record carrying `tag`. Durability follows the WAL's
+  /// group-commit cadence; a batch is recovered all-or-nothing. The tag
+  /// of the newest durable batch is reported by recovery, so callers can
+  /// use it to identify how much logical work survived a crash.
+  Status CommitBatch(uint64_t tag);
+  Status CommitBatch() { return CommitBatch(committed_batches_ + 1); }
+
+  /// Forces the fuzzy checkpoint protocol now.
+  Status Checkpoint() { return checkpointer_.Checkpoint(); }
+
+  uint64_t committed_batches() const { return committed_batches_; }
+  const CheckpointManager& checkpointer() const { return checkpointer_; }
+
+ private:
+  std::unique_ptr<DiskPageFile> disk_;
+  std::unique_ptr<Wal> wal_;
+  StoreOptions options_;
+  CheckpointManager checkpointer_;
+  uint64_t committed_batches_ = 0;
+};
+
+/// ARIES-lite redo recovery: rebuilds a DurableStore from the base file
+/// and WAL left behind by a crash.
+class RecoveryManager {
+ public:
+  struct Summary {
+    uint64_t committed_batches = 0;  // whole batches redone from the WAL.
+    uint64_t last_commit_tag = 0;    // tag of the newest durable batch.
+    uint64_t records_applied = 0;    // alloc/page-image records redone.
+    uint64_t records_discarded = 0;  // records of the uncommitted tail.
+    bool wal_tail_truncated = false;  // torn tail detected and dropped.
+    uint64_t recovered_lsn = 0;       // durable state as of this LSN.
+  };
+
+  /// Replays committed WAL batches over the checkpointed base, verifies
+  /// every page checksum, then re-checkpoints so the returned store
+  /// starts from a clean base and an empty log. DataLoss if corruption
+  /// is detected that redo cannot repair.
+  static Result<std::unique_ptr<DurableStore>> Recover(
+      const std::string& base_path, const std::string& wal_path,
+      StoreOptions options, Summary* summary = nullptr);
+};
+
+}  // namespace bw::storage
+
+#endif  // BLOBWORLD_STORAGE_STORE_H_

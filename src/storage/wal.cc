@@ -1,0 +1,194 @@
+#include "storage/wal.h"
+
+#include <sys/stat.h>
+
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace bw::storage {
+
+namespace {
+
+constexpr uint32_t kRecordMagic = 0x4C415742;  // "BWAL"
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 4 + 4;
+constexpr size_t kTrailerBytes = 4;  // crc
+/// Sanity cap on one record's payload; anything larger is a corrupt
+/// length field, not a real record.
+constexpr uint32_t kMaxPayload = 64u << 20;
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(v));
+  std::memcpy(out->data() + at, &v, sizeof(v));
+}
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(v));
+  std::memcpy(out->data() + at, &v, sizeof(v));
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Wal>> Wal::Create(const std::string& path,
+                                         WalOptions options,
+                                         uint64_t first_lsn) {
+  if (options.sync_every_records == 0) {
+    return Status::InvalidArgument("sync_every_records must be >= 1");
+  }
+  BW_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                      File::Open(path, /*truncate=*/true, options.injector));
+  return std::unique_ptr<Wal>(new Wal(std::move(file), options, first_lsn));
+}
+
+Result<std::unique_ptr<Wal>> Wal::Continue(const std::string& path,
+                                           WalOptions options,
+                                           uint64_t valid_bytes,
+                                           uint64_t next_lsn) {
+  if (options.sync_every_records == 0) {
+    return Status::InvalidArgument("sync_every_records must be >= 1");
+  }
+  BW_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                      File::Open(path, /*truncate=*/false, options.injector));
+  if (valid_bytes > file->size()) {
+    return Status::InvalidArgument("valid_bytes beyond end of WAL");
+  }
+  if (valid_bytes < file->size()) {
+    BW_RETURN_IF_ERROR(file->Truncate(valid_bytes));
+    BW_RETURN_IF_ERROR(file->Sync());
+  }
+  return std::unique_ptr<Wal>(new Wal(std::move(file), options, next_lsn));
+}
+
+Result<uint64_t> Wal::Append(WalRecordType type, pages::PageId page_id,
+                             const void* payload, size_t payload_len) {
+  if (payload_len > kMaxPayload) {
+    return Status::InvalidArgument("WAL payload too large");
+  }
+  const uint64_t lsn = next_lsn_++;
+  const size_t frame_start = buffer_.size();
+  AppendU32(&buffer_, kRecordMagic);
+  AppendU32(&buffer_, static_cast<uint32_t>(type));
+  AppendU64(&buffer_, lsn);
+  AppendU32(&buffer_, page_id);
+  AppendU32(&buffer_, static_cast<uint32_t>(payload_len));
+  if (payload_len > 0) {
+    const size_t at = buffer_.size();
+    buffer_.resize(at + payload_len);
+    std::memcpy(buffer_.data() + at, payload, payload_len);
+  }
+  const uint32_t crc =
+      Crc32(buffer_.data() + frame_start, kHeaderBytes + payload_len);
+  AppendU32(&buffer_, crc);
+  ++appended_;
+  ++buffered_records_;
+  if (buffered_records_ >= options_.sync_every_records) {
+    BW_RETURN_IF_ERROR(Sync());
+  }
+  return lsn;
+}
+
+Status Wal::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  BW_RETURN_IF_ERROR(file_->Append(buffer_.data(), buffer_.size()));
+  buffer_.clear();
+  buffered_records_ = 0;
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  BW_RETURN_IF_ERROR(Flush());
+  BW_RETURN_IF_ERROR(file_->Sync());
+  ++syncs_;
+  durable_lsn_ = next_lsn_ - 1;
+  return Status::OK();
+}
+
+Status Wal::Reset() {
+  BW_RETURN_IF_ERROR(Sync());
+  BW_RETURN_IF_ERROR(file_->Truncate(0));
+  return file_->Sync();
+}
+
+Result<WalReplayStats> ReplayWal(
+    const std::string& path,
+    const std::function<Status(const WalRecordView&)>& fn) {
+  WalReplayStats stats;
+  if (!FileExists(path)) return stats;  // empty log.
+  std::vector<uint8_t> bytes;
+  BW_RETURN_IF_ERROR(ReadFile(path, &bytes));
+
+  size_t at = 0;
+  while (at < bytes.size()) {
+    const size_t remaining = bytes.size() - at;
+    if (remaining < kHeaderBytes) {
+      stats.tail_truncated = true;  // partial header at EOF.
+      break;
+    }
+    const uint8_t* frame = bytes.data() + at;
+    const uint32_t magic = LoadU32(frame);
+    const uint32_t type = LoadU32(frame + 4);
+    const uint64_t lsn = LoadU64(frame + 8);
+    const uint32_t page_id = LoadU32(frame + 16);
+    const uint32_t payload_len = LoadU32(frame + 20);
+    if (magic != kRecordMagic) {
+      return Status::DataLoss("WAL record at offset " + std::to_string(at) +
+                              " has bad magic");
+    }
+    if (payload_len > kMaxPayload) {
+      return Status::DataLoss("WAL record at offset " + std::to_string(at) +
+                              " has implausible payload length");
+    }
+    const size_t frame_bytes = kHeaderBytes + payload_len + kTrailerBytes;
+    if (remaining < frame_bytes) {
+      stats.tail_truncated = true;  // torn mid-payload at EOF.
+      break;
+    }
+    const uint32_t stored_crc = LoadU32(frame + kHeaderBytes + payload_len);
+    const uint32_t actual_crc = Crc32(frame, kHeaderBytes + payload_len);
+    if (stored_crc != actual_crc) {
+      return Status::DataLoss(
+          "WAL record at offset " + std::to_string(at) +
+          " failed its checksum (LSN " + std::to_string(lsn) + ")");
+    }
+    if (type != static_cast<uint32_t>(WalRecordType::kAlloc) &&
+        type != static_cast<uint32_t>(WalRecordType::kPageImage) &&
+        type != static_cast<uint32_t>(WalRecordType::kCommit)) {
+      return Status::DataLoss("WAL record at offset " + std::to_string(at) +
+                              " has unknown type " + std::to_string(type));
+    }
+    WalRecordView view;
+    view.type = static_cast<WalRecordType>(type);
+    view.lsn = lsn;
+    view.page_id = page_id;
+    view.payload = frame + kHeaderBytes;
+    view.payload_len = payload_len;
+    BW_RETURN_IF_ERROR(fn(view));
+    ++stats.records;
+    if (view.type == WalRecordType::kCommit) ++stats.commits;
+    stats.last_lsn = lsn;
+    at += frame_bytes;
+    stats.valid_bytes = at;
+  }
+  return stats;
+}
+
+}  // namespace bw::storage

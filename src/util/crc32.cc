@@ -1,0 +1,34 @@
+#include "util/crc32.h"
+
+namespace bw {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+
+  constexpr Crc32Table() : entries() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+constexpr Crc32Table kTable;
+
+}  // namespace
+
+uint32_t Crc32Extend(uint32_t crc, const void* data, size_t n) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = kTable.entries[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace bw

@@ -1,0 +1,27 @@
+// CRC-32 (the IEEE 802.3 polynomial, reflected: 0xEDB88320) used for
+// every on-disk integrity check in the storage engine: page frames in a
+// DiskPageFile, WAL record framing, index snapshot trailers. One shared
+// implementation so a checksum written by any layer can be verified by
+// any other.
+
+#ifndef BLOBWORLD_UTIL_CRC32_H_
+#define BLOBWORLD_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bw {
+
+/// Extends a running CRC-32 with `n` more bytes. Start a fresh checksum
+/// with `crc = 0`; feed chunks in order; the result is independent of
+/// how the input was split.
+uint32_t Crc32Extend(uint32_t crc, const void* data, size_t n);
+
+/// One-shot CRC-32 of a buffer.
+inline uint32_t Crc32(const void* data, size_t n) {
+  return Crc32Extend(0, data, n);
+}
+
+}  // namespace bw
+
+#endif  // BLOBWORLD_UTIL_CRC32_H_

@@ -23,6 +23,7 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kUnavailable,
+  kDataLoss,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
@@ -65,6 +66,14 @@ class Status {
   /// (e.g. a full query queue) and may be retried later.
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Durable state failed an integrity check (checksum mismatch on a
+  /// page, WAL record, or snapshot): the bytes on disk are not the bytes
+  /// that were written, and serving them would silently return wrong
+  /// results. Unlike kCorruption (malformed logical structure), this is
+  /// the storage engine's "detected bit rot / torn write" verdict.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <set>
 
+#include "pages/page_file.h"
 #include "am/bulk_load.h"
 #include "am/rtree.h"
 #include "am/split_heuristics.h"

@@ -6,6 +6,7 @@
 
 #include <numeric>
 
+#include "pages/page_file.h"
 #include "am/bulk_load.h"
 #include "am/rtree.h"
 #include "amdb/analysis.h"

@@ -9,6 +9,7 @@
 #include <map>
 #include <set>
 
+#include "pages/page_file.h"
 #include "core/index_factory.h"
 #include "gist/tree.h"
 #include "tests/test_helpers.h"

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <numeric>
 
+#include "pages/page_file.h"
 #include "am/rtree.h"
 #include "am/sstree.h"
 #include "core/index_factory.h"
