@@ -11,7 +11,8 @@
 // a scaled-down IoModel::RandomReadMs), and concurrency wins by
 // overlapping those I/O waits — exactly how a disk-bound serving tier
 // scales. Set --io_delay_us=0 on a many-core machine to measure pure
-// CPU scaling instead.
+// CPU scaling instead. Flags accept hyphenated spellings as well
+// (--io-delay-us == --io_delay_us), like every bench binary.
 
 #include <algorithm>
 #include <atomic>

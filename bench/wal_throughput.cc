@@ -7,12 +7,17 @@
 //
 //   ./wal_throughput [--records=8000] [--payload_bytes=1024]
 //                    [--dir=/tmp] [--recovery_batches=1024]
+//
+// Hyphenated spellings work too (--payload-bytes == --payload_bytes),
+// as with every bench binary.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "storage/file_io.h"
 #include "storage/store.h"
 #include "storage/wal.h"
@@ -89,8 +94,8 @@ void BenchRecoveryTime(const std::string& dir, int64_t max_batches) {
       "checkpoints)\n");
   TablePrinter table({"wal_batches", "wal_MB", "recover_ms", "replayed",
                       "batches/s"});
-  for (int64_t batches = max_batches / 64; batches <= max_batches;
-       batches *= 4) {
+  for (int64_t batches = std::max<int64_t>(1, max_batches / 64);
+       batches <= max_batches; batches *= 4) {
     const std::string base = JoinPath(dir, "wal_recovery.bwpf");
     const std::string wal = JoinPath(dir, "wal_recovery.wal");
     storage::StoreOptions options;
@@ -150,12 +155,9 @@ int main(int argc, char** argv) {
       "recovery_batches", 1024, "largest committed-batch count to recover");
   std::string* dir =
       flags.AddString("dir", "/tmp", "directory for the bench files");
-  const bw::Status status = flags.Parse(argc, argv);
-  if (status.code() == bw::StatusCode::kNotFound) return 0;  // --help
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
-                 flags.Usage().c_str());
-    return 1;
+  int exit_code = 0;
+  if (!bw::bench::ParseFlagsOrExit(flags, argc, argv, &exit_code)) {
+    return exit_code;
   }
 
   bw::BenchAppendThroughput(*dir, *records, *payload_bytes);

@@ -47,6 +47,7 @@ class DurableIndex {
   gist::Tree& tree() { return *tree_; }
   const gist::Tree& tree() const { return *tree_; }
   storage::DurableStore& store() { return *store_; }
+  const storage::DurableStore& store() const { return *store_; }
 
   /// Makes everything since the previous commit durable as one atomic
   /// WAL batch (metadata included). `tag` is an application sequence

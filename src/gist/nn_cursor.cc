@@ -5,8 +5,12 @@
 namespace bw::gist {
 
 NnCursor::NnCursor(const Tree& tree, geom::Vec query, TraversalStats* stats,
-                   pages::BufferPool* pool)
-    : tree_(tree), query_(std::move(query)), stats_(stats), pool_(pool) {
+                   pages::BufferPool* pool, DegradedRead* degraded)
+    : tree_(tree),
+      query_(std::move(query)),
+      stats_(stats),
+      pool_(pool),
+      degraded_(degraded) {
   if (!tree_.empty()) {
     frontier_.push(Item{0.0, false, tree_.root(), 0});
   }
@@ -31,8 +35,16 @@ Result<std::optional<Neighbor>> NnCursor::Next() {
 
     // Expand a node. The cursor reads through the tree's fetch path so
     // buffer pools and I/O accounting behave exactly as KnnSearch does.
-    BW_ASSIGN_OR_RETURN(pages::Page * page,
-                        tree_.FetchNode(item.page, pool_));
+    auto fetched = tree_.FetchNode(item.page, pool_);
+    if (!fetched.ok()) {
+      if (degraded_ != nullptr && IsDegradableReadError(fetched.status()) &&
+          degraded_->skipped.size() < degraded_->budget) {
+        degraded_->skipped.push_back(item.page);
+        continue;  // drop the subtree; the rest of the frontier lives on.
+      }
+      return fetched.status();
+    }
+    pages::Page* page = fetched.value();
     const NodeView node(page);
     if (stats_ != nullptr) {
       if (node.IsLeaf()) {

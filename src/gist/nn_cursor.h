@@ -24,11 +24,15 @@ namespace bw::gist {
 /// A non-null `pool` routes every node read of this cursor through that
 /// pool instead of the tree's configured read path; concurrent cursors
 /// over one shared tree must each bring their own pool (see the Tree
-/// thread-safety contract).
+/// thread-safety contract). A non-null `degraded` enables degraded-mode
+/// streaming: an unreadable subtree is skipped and recorded (within
+/// budget) instead of failing the stream, so later Next() calls keep
+/// producing the neighbors that remain reachable.
 class NnCursor {
  public:
   NnCursor(const Tree& tree, geom::Vec query, TraversalStats* stats = nullptr,
-           pages::BufferPool* pool = nullptr);
+           pages::BufferPool* pool = nullptr,
+           DegradedRead* degraded = nullptr);
 
   NnCursor(const NnCursor&) = delete;
   NnCursor& operator=(const NnCursor&) = delete;
@@ -61,6 +65,7 @@ class NnCursor {
   geom::Vec query_;
   TraversalStats* stats_;
   pages::BufferPool* pool_;
+  DegradedRead* degraded_;
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier_;
   size_t produced_ = 0;
 };

@@ -25,6 +25,17 @@ struct QueueItem {
   }
 };
 
+// Degraded-mode skip decision for one failed node fetch: true when the
+// traversal should drop the subtree at `id` and continue. Consumes one
+// unit of the skip budget.
+bool AbsorbFetchError(const Status& status, pages::PageId id,
+                      DegradedRead* degraded) {
+  if (degraded == nullptr || !IsDegradableReadError(status)) return false;
+  if (degraded->skipped.size() >= degraded->budget) return false;
+  degraded->skipped.push_back(id);
+  return true;
+}
+
 }  // namespace
 
 Tree::Tree(pages::PageStore* file, std::unique_ptr<Extension> extension,
@@ -54,7 +65,8 @@ void Tree::InstallBulkLoaded(pages::PageId root, int height, uint64_t size) {
 Result<std::vector<Neighbor>> Tree::RangeSearch(const geom::Vec& query,
                                                 double radius,
                                                 TraversalStats* stats,
-                                                pages::BufferPool* pool) const {
+                                                pages::BufferPool* pool,
+                                                DegradedRead* degraded) const {
   std::vector<Neighbor> results;
   if (empty()) return results;
 
@@ -62,7 +74,12 @@ Result<std::vector<Neighbor>> Tree::RangeSearch(const geom::Vec& query,
   while (!todo.empty()) {
     const pages::PageId id = todo.back();
     todo.pop_back();
-    BW_ASSIGN_OR_RETURN(pages::Page * page, Fetch(id, pool));
+    auto fetched = Fetch(id, pool);
+    if (!fetched.ok()) {
+      if (AbsorbFetchError(fetched.status(), id, degraded)) continue;
+      return fetched.status();
+    }
+    pages::Page* page = fetched.value();
     NodeView node(page);
     if (stats != nullptr) {
       if (node.IsLeaf()) {
@@ -100,7 +117,8 @@ Result<std::vector<Neighbor>> Tree::RangeSearch(const geom::Vec& query,
 
 Result<std::vector<Neighbor>> Tree::KnnSearch(const geom::Vec& query,
                                               size_t k, TraversalStats* stats,
-                                              pages::BufferPool* pool) const {
+                                              pages::BufferPool* pool,
+                                              DegradedRead* degraded) const {
   std::vector<Neighbor> results;
   if (empty() || k == 0) return results;
 
@@ -118,7 +136,12 @@ Result<std::vector<Neighbor>> Tree::KnnSearch(const geom::Vec& query,
       continue;
     }
 
-    BW_ASSIGN_OR_RETURN(pages::Page * page, Fetch(item.page, pool));
+    auto fetched = Fetch(item.page, pool);
+    if (!fetched.ok()) {
+      if (AbsorbFetchError(fetched.status(), item.page, degraded)) continue;
+      return fetched.status();
+    }
+    pages::Page* page = fetched.value();
     NodeView node(page);
     if (stats != nullptr) {
       if (node.IsLeaf()) {
@@ -187,7 +210,7 @@ class CandidateHeap {
 
 Result<std::vector<Neighbor>> Tree::KnnSearchDfs(
     const geom::Vec& query, size_t k, TraversalStats* stats,
-    pages::BufferPool* pool) const {
+    pages::BufferPool* pool, DegradedRead* degraded) const {
   std::vector<Neighbor> results;
   if (empty() || k == 0) return results;
   CandidateHeap candidates(k);
@@ -205,7 +228,12 @@ Result<std::vector<Neighbor>> Tree::KnnSearchDfs(
     stack.pop_back();
     if (frame.bound > candidates.Bound()) continue;
 
-    BW_ASSIGN_OR_RETURN(pages::Page * page, Fetch(frame.page, pool));
+    auto fetched = Fetch(frame.page, pool);
+    if (!fetched.ok()) {
+      if (AbsorbFetchError(fetched.status(), frame.page, degraded)) continue;
+      return fetched.status();
+    }
+    pages::Page* page = fetched.value();
     NodeView node(page);
     if (stats != nullptr) {
       if (node.IsLeaf()) {

@@ -31,6 +31,39 @@ struct TreeOptions {
   double min_fill = 0.40;
 };
 
+/// Degraded-mode traversal state, threaded through the search methods.
+/// When non-null, a search that fails to fetch a node with a degradable
+/// error (quarantined page, unreadable frame) skips that subtree —
+/// recording it here — instead of failing the whole query, as long as
+/// the skip budget holds out. The caller owns flagging the partial
+/// answer (see service::QueryResponse::completeness).
+struct DegradedRead {
+  /// Maximum unreadable subtrees one traversal may skip before the
+  /// query fails outright (0 = degraded mode off: first error wins).
+  size_t budget = 0;
+  /// Roots of the subtrees skipped, in skip order. Non-empty means the
+  /// result is a subset of the true answer.
+  std::vector<pages::PageId> skipped;
+
+  bool degraded() const { return !skipped.empty(); }
+};
+
+/// True for fetch errors that degraded-mode traversal may absorb by
+/// skipping the subtree: the page is sick or unreadable (kUnavailable,
+/// kDataLoss, kIoError). Deliberately excludes kAborted — a watchdog
+/// expiry is the caller's own deadline and must end the query, not eat
+/// the skip budget.
+inline bool IsDegradableReadError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDataLoss:
+    case StatusCode::kIoError:
+      return true;
+    default:
+      return false;
+  }
+}
+
 /// A Generalized Search Tree over points, specialized by an Extension.
 ///
 /// The tree reads pages through an optional BufferPool (set via
@@ -86,17 +119,25 @@ class Tree {
   /// SEARCH with an expanding-sphere predicate: all RIDs whose point lies
   /// within `radius` of `query`. A non-null `pool` overrides the tree's
   /// read path for this call only (see the thread-safety contract above).
+  /// A non-null `degraded` enables degraded-mode traversal: unreadable
+  /// subtrees are skipped (within budget) and recorded instead of
+  /// failing the search.
   Result<std::vector<Neighbor>> RangeSearch(const geom::Vec& query,
                                             double radius,
                                             TraversalStats* stats,
-                                            pages::BufferPool* pool =
+                                            pages::BufferPool* pool = nullptr,
+                                            DegradedRead* degraded =
                                                 nullptr) const;
 
   /// Best-first k-nearest-neighbor search (Hjaltason-Samet). Exact given
   /// an admissible extension MinDistance. Results sorted by distance.
+  /// Under degraded-mode traversal the result is a subset of the true
+  /// k-NN set: every returned (rid, distance) is genuine, but neighbors
+  /// stored under skipped subtrees are missing.
   Result<std::vector<Neighbor>> KnnSearch(const geom::Vec& query, size_t k,
                                           TraversalStats* stats,
-                                          pages::BufferPool* pool =
+                                          pages::BufferPool* pool = nullptr,
+                                          DegradedRead* degraded =
                                               nullptr) const;
 
   /// Depth-first branch-and-bound k-NN (Roussopoulos/Kelley/Vincent
@@ -109,7 +150,8 @@ class Tree {
   /// reproduction benches use it.
   Result<std::vector<Neighbor>> KnnSearchDfs(const geom::Vec& query,
                                              size_t k, TraversalStats* stats,
-                                             pages::BufferPool* pool =
+                                             pages::BufferPool* pool = nullptr,
+                                             DegradedRead* degraded =
                                                  nullptr) const;
 
   // --- Bulk-load hook -----------------------------------------------------

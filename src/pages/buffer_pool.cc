@@ -13,7 +13,32 @@ BufferPool::BufferPool(PageStore* file, size_t capacity,
   BW_CHECK(file != nullptr);
 }
 
+Status BufferPool::MissDelay() {
+  if (options_.miss_delay_us == 0) return Status::OK();
+  const auto end = std::chrono::steady_clock::now() +
+                   std::chrono::microseconds(options_.miss_delay_us);
+  // Sliced so the watchdog bounds a long simulated read instead of
+  // waiting it out.
+  constexpr auto kSlice = std::chrono::microseconds(100);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (watchdog_armed_ && now >= watchdog_deadline_) {
+      ++watchdog_expirations_;
+      return Status::Aborted("i/o watchdog: deadline expired mid-read");
+    }
+    if (now >= end) return Status::OK();
+    std::this_thread::sleep_for(end - now < kSlice ? end - now : kSlice);
+  }
+}
+
 Result<Page*> BufferPool::Fetch(PageId id) {
+  if (watchdog_armed_ &&
+      std::chrono::steady_clock::now() >= watchdog_deadline_) {
+    ++watchdog_expirations_;
+    return Status::Aborted("i/o watchdog: deadline expired");
+  }
+  // Quarantine gate: a sick page is unfit to serve even on a cache hit.
+  BW_RETURN_IF_ERROR(file_->ReadHealth(id));
   auto it = resident_.find(id);
   if (it != resident_.end()) {
     ++stats_.hits;
@@ -30,10 +55,7 @@ Result<Page*> BufferPool::Fetch(PageId id) {
     }
     page = file_->PeekNoIo(id);
   }
-  if (options_.miss_delay_us > 0) {
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(options_.miss_delay_us));
-  }
+  BW_RETURN_IF_ERROR(MissDelay());
   if (capacity_ > 0) InsertResident(id);
   return page;
 }

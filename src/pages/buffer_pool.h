@@ -6,6 +6,7 @@
 #ifndef BLOBWORLD_PAGES_BUFFER_POOL_H_
 #define BLOBWORLD_PAGES_BUFFER_POOL_H_
 
+#include <chrono>
 #include <list>
 #include <unordered_map>
 
@@ -63,7 +64,27 @@ class BufferPool {
 
   /// Fetches a page through the cache: a hit costs no file I/O, a miss
   /// reads through to the file (incrementing its IoStats).
+  ///
+  /// Failure modes surfaced to the traversal layer:
+  ///  - Unavailable: the store quarantined this page (ReadHealth gate);
+  ///    degraded-mode traversal may skip the subtree and flag it.
+  ///  - Aborted: the armed I/O watchdog expired while this fetch was
+  ///    stuck in (simulated) storage-read latency; never skipped, always
+  ///    ends the query.
   Result<Page*> Fetch(PageId id);
+
+  /// Arms an I/O watchdog: any Fetch at or past `deadline` — including
+  /// one that crosses it mid-miss-latency — fails with Aborted instead
+  /// of sleeping on. This is how a query deadline covers time stuck
+  /// inside storage reads, not just the gaps between pages.
+  void ArmWatchdog(std::chrono::steady_clock::time_point deadline) {
+    watchdog_deadline_ = deadline;
+    watchdog_armed_ = true;
+  }
+  void DisarmWatchdog() { watchdog_armed_ = false; }
+
+  /// Times the watchdog fired since construction.
+  uint64_t watchdog_expirations() const { return watchdog_expirations_; }
 
   /// Pre-loads a page without counting a miss (used to model "inner
   /// nodes are pinned in memory" scenarios).
@@ -79,9 +100,16 @@ class BufferPool {
   void Touch(PageId id);
   void InsertResident(PageId id);
 
+  /// Sleeps the configured miss latency in slices, returning Aborted as
+  /// soon as the armed watchdog deadline passes.
+  Status MissDelay();
+
   PageStore* file_;
   size_t capacity_;
   BufferPoolOptions options_;
+  bool watchdog_armed_ = false;
+  std::chrono::steady_clock::time_point watchdog_deadline_{};
+  uint64_t watchdog_expirations_ = 0;
   std::list<PageId> lru_;  // front = most recent.
   std::unordered_map<PageId, std::list<PageId>::iterator> resident_;
   BufferStats stats_;

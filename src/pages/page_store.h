@@ -58,6 +58,13 @@ class PageStore {
   virtual Page* PeekNoIo(PageId id) = 0;
   virtual const Page* PeekNoIo(PageId id) const = 0;
 
+  /// Serving-path health gate, consulted before trusting PeekNoIo:
+  /// OK when the page is fit to serve, Unavailable while it is
+  /// quarantined pending repair. Must be thread-safe under the same
+  /// conditions as PeekNoIo. Stores without a failure mode (the
+  /// in-memory PageFile) are always healthy.
+  virtual Status ReadHealth(PageId /*id*/) const { return Status::OK(); }
+
   virtual const IoStats& stats() const = 0;
   virtual void ResetStats() = 0;
 };

@@ -36,6 +36,15 @@ QueryService::QueryService(std::unique_ptr<core::DurableIndex> index,
     : owned_durable_(std::move(index)), options_(options) {
   BW_CHECK(owned_durable_ != nullptr);
   tree_ = &owned_durable_->tree();
+  durable_ = owned_durable_.get();
+  Start();
+}
+
+QueryService::QueryService(core::DurableIndex* index, ServiceOptions options)
+    : options_(options) {
+  BW_CHECK(index != nullptr);
+  tree_ = &index->tree();
+  durable_ = index;
   Start();
 }
 
@@ -203,6 +212,10 @@ void QueryService::WorkerLoop(size_t worker_index) {
       if (m.truncated) {
         truncated_streams_.fetch_add(1, std::memory_order_relaxed);
       }
+      if (response->degraded()) {
+        degraded_responses_.fetch_add(1, std::memory_order_relaxed);
+        pages_skipped_.fetch_add(m.pages_skipped, std::memory_order_relaxed);
+      }
     } else {
       failed_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -214,6 +227,10 @@ QueryService::Response QueryService::Execute(Task& task,
                                              pages::BufferPool* pool) {
   const pages::BufferStats pool_before = pool->stats();
   gist::TraversalStats traversal;
+  // Per-query fault budget: how many unreadable subtrees this query may
+  // absorb before failing. With budget 0 the first fault wins.
+  gist::DegradedRead degraded;
+  degraded.budget = options_.fault_budget;
   const Clock::time_point start = Clock::now();
 
   QueryResponse response;
@@ -221,18 +238,24 @@ QueryService::Response QueryService::Execute(Task& task,
     case Kind::kKnn: {
       BW_ASSIGN_OR_RETURN(response.neighbors,
                           tree_->KnnSearch(task.query, task.k, &traversal,
-                                           pool));
+                                           pool, &degraded));
       break;
     }
     case Kind::kRange: {
       BW_ASSIGN_OR_RETURN(response.neighbors,
                           tree_->RangeSearch(task.query, task.radius,
-                                             &traversal, pool));
+                                             &traversal, pool, &degraded));
       break;
     }
     case Kind::kStream: {
       const StreamOptions& limits = task.stream;
-      gist::NnCursor cursor(*tree_, task.query, &traversal, pool);
+      // The watchdog makes the deadline cover time stuck *inside* a
+      // storage read, not just the checks between results.
+      if (limits.deadline_us > 0) {
+        pool->ArmWatchdog(start + std::chrono::microseconds(static_cast<
+                              int64_t>(limits.deadline_us)));
+      }
+      gist::NnCursor cursor(*tree_, task.query, &traversal, pool, &degraded);
       for (;;) {
         if (limits.max_results > 0 &&
             response.neighbors.size() >= limits.max_results) {
@@ -247,12 +270,24 @@ QueryService::Response QueryService::Execute(Task& task,
         // yet returned exceeds the budget radius, the stream is exactly
         // complete and no further pages need fetching.
         if (cursor.FrontierDistance() > limits.budget_radius) break;
-        BW_ASSIGN_OR_RETURN(std::optional<gist::Neighbor> next,
-                            cursor.Next());
-        if (!next.has_value()) break;
-        if (next->distance > limits.budget_radius) break;
-        response.neighbors.push_back(*next);
+        auto next = cursor.Next();
+        if (!next.ok()) {
+          if (next.status().code() == StatusCode::kAborted) {
+            // The watchdog cut a fetch off mid-read: same contract as a
+            // deadline expiring between pages — partial stream, flagged.
+            watchdog_expirations_.fetch_add(1, std::memory_order_relaxed);
+            response.metrics.truncated = true;
+            break;
+          }
+          pool->DisarmWatchdog();
+          return next.status();
+        }
+        if (!next.value().has_value()) break;
+        const gist::Neighbor& neighbor = *next.value();
+        if (neighbor.distance > limits.budget_radius) break;
+        response.neighbors.push_back(neighbor);
       }
+      pool->DisarmWatchdog();
       break;
     }
   }
@@ -260,6 +295,9 @@ QueryService::Response QueryService::Execute(Task& task,
   response.metrics.latency_us = MicrosSince(start);
   response.metrics.internal_accesses = traversal.internal_accesses;
   response.metrics.leaf_accesses = traversal.leaf_accesses;
+  response.metrics.pages_skipped = degraded.skipped.size();
+  response.completeness = degraded.degraded() ? Completeness::kDegraded
+                                              : Completeness::kComplete;
   const pages::BufferStats& pool_after = pool->stats();
   response.metrics.pool_hits = pool_after.hits - pool_before.hits;
   response.metrics.pool_misses = pool_after.misses - pool_before.misses;
@@ -277,6 +315,18 @@ ServiceSnapshot QueryService::Snapshot() const {
   snap.completed = completed_.load(std::memory_order_relaxed);
   snap.failed = failed_.load(std::memory_order_relaxed);
   snap.truncated_streams = truncated_streams_.load(std::memory_order_relaxed);
+  snap.degraded_responses =
+      degraded_responses_.load(std::memory_order_relaxed);
+  snap.pages_skipped = pages_skipped_.load(std::memory_order_relaxed);
+  snap.watchdog_expirations =
+      watchdog_expirations_.load(std::memory_order_relaxed);
+  if (durable_ != nullptr) {
+    const storage::DiskPageFile* disk = durable_->store().disk();
+    snap.store_read_retries = disk->read_retries();
+    snap.store_pages_quarantined = disk->health().quarantined_count();
+    snap.store_quarantines_total = disk->health().total_quarantined();
+    snap.store_repairs_total = disk->health().total_repaired();
+  }
   snap.leaf_accesses = leaf_accesses_.load(std::memory_order_relaxed);
   snap.internal_accesses = internal_accesses_.load(std::memory_order_relaxed);
   snap.pool_hits = pool_hits_.load(std::memory_order_relaxed);

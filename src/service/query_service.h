@@ -14,6 +14,14 @@
 // private pages::BufferPool built with charge_file_io=false, so LRU
 // state, BufferStats, and TraversalStats are all worker-private and the
 // shared PageFile is only ever touched through its const PeekNoIo path.
+//
+// Serving through faults: when the store underneath quarantines pages
+// (see storage/page_health.h), queries carrying a fault budget
+// (ServiceOptions::fault_budget) skip unreadable subtrees and return
+// flagged, partial answers (QueryResponse::completeness = kDegraded)
+// instead of failing — every returned neighbor is genuine, some may be
+// missing. Stream deadlines are enforced through an I/O watchdog on the
+// worker pool, so they also bound time stuck inside a storage read.
 
 #ifndef BLOBWORLD_SERVICE_QUERY_SERVICE_H_
 #define BLOBWORLD_SERVICE_QUERY_SERVICE_H_
@@ -63,6 +71,11 @@ struct ServiceOptions {
   /// not run until Resume()). Used by admission-control tests and for
   /// warm-up staging.
   bool start_paused = false;
+  /// Per-query fault budget: how many unreadable subtrees one query may
+  /// skip (returning a flagged, degraded answer) before failing outright.
+  /// 0 (default) is fail-closed — the first read fault fails the query,
+  /// exactly the pre-fault-tolerance behavior.
+  size_t fault_budget = 0;
 };
 
 /// Limits for a streaming (incremental NN cursor) request.
@@ -76,6 +89,10 @@ struct StreamOptions {
   /// Wall-clock execution budget in microseconds, measured from the
   /// moment a worker picks the request up; 0 = no deadline. Expiry
   /// returns the results streamed so far with metrics.truncated set.
+  /// The deadline also covers time stuck *inside* a storage read: the
+  /// worker's buffer pool runs an I/O watchdog for the duration of the
+  /// stream, so a read that outlives the deadline is cut off mid-fetch
+  /// instead of being waited out.
   double deadline_us = 0;
 };
 
@@ -87,14 +104,29 @@ struct QueryMetrics {
   uint64_t leaf_accesses = 0;
   uint64_t pool_hits = 0;    // worker buffer-pool hits / misses.
   uint64_t pool_misses = 0;
+  /// Unreadable subtrees this query skipped under its fault budget.
+  uint64_t pages_skipped = 0;
   /// Streaming only: the deadline expired before the stream finished.
   bool truncated = false;
+};
+
+/// Whether a response covers the full answer set.
+enum class Completeness {
+  /// Every reachable page was read: the answer is exact.
+  kComplete,
+  /// One or more subtrees were skipped under the fault budget: the
+  /// answer is a genuine subset of the true answer (every returned
+  /// neighbor is real; some may be missing).
+  kDegraded,
 };
 
 /// Results + metrics of one executed query.
 struct QueryResponse {
   std::vector<gist::Neighbor> neighbors;
   QueryMetrics metrics;
+  Completeness completeness = Completeness::kComplete;
+
+  bool degraded() const { return completeness == Completeness::kDegraded; }
 };
 
 /// Aggregated service counters and latency distribution.
@@ -104,10 +136,19 @@ struct ServiceSnapshot {
   uint64_t completed = 0;
   uint64_t failed = 0;     // executed but returned an error Status.
   uint64_t truncated_streams = 0;
+  uint64_t degraded_responses = 0;   // completed with a partial answer.
+  uint64_t pages_skipped = 0;        // subtrees skipped, summed.
+  uint64_t watchdog_expirations = 0; // streams cut off mid-storage-read.
   uint64_t leaf_accesses = 0;
   uint64_t internal_accesses = 0;
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
+  /// Mirrored from the served store's self-healing machinery when the
+  /// service fronts a DurableIndex (all zero otherwise).
+  uint64_t store_read_retries = 0;       // transient read faults absorbed.
+  uint64_t store_pages_quarantined = 0;  // currently quarantined.
+  uint64_t store_quarantines_total = 0;  // lifetime quarantine events.
+  uint64_t store_repairs_total = 0;      // lifetime successful repairs.
   double elapsed_seconds = 0;  // since service start.
   double qps = 0;              // completed / elapsed_seconds.
   double mean_latency_us = 0;
@@ -145,6 +186,13 @@ class QueryService {
   /// commits or checkpoints), which is exactly the read-only contract.
   QueryService(std::unique_ptr<core::DurableIndex> index,
                ServiceOptions options);
+
+  /// Serves a durable index owned by the caller (must outlive the
+  /// service). The caller may run scrub/repair on the store's
+  /// self-healing surface while the service serves — that is the
+  /// intended degraded-serving + background-repair deployment, and the
+  /// chaos soak harness's shape.
+  QueryService(core::DurableIndex* index, ServiceOptions options);
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
@@ -213,6 +261,9 @@ class QueryService {
   std::unique_ptr<core::BuiltIndex> owned_index_;      // may be null.
   std::unique_ptr<core::DurableIndex> owned_durable_;  // may be null.
   const gist::Tree* tree_;
+  /// The durable index being served, owned or not; null when serving a
+  /// bare tree or BuiltIndex. Snapshot() mirrors its health counters.
+  const core::DurableIndex* durable_ = nullptr;
   ServiceOptions options_;
 
   mutable std::mutex mutex_;
@@ -233,6 +284,9 @@ class QueryService {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> truncated_streams_{0};
+  std::atomic<uint64_t> degraded_responses_{0};
+  std::atomic<uint64_t> pages_skipped_{0};
+  std::atomic<uint64_t> watchdog_expirations_{0};
   std::atomic<uint64_t> leaf_accesses_{0};
   std::atomic<uint64_t> internal_accesses_{0};
   std::atomic<uint64_t> pool_hits_{0};

@@ -1,7 +1,9 @@
 #include "storage/disk_page_file.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "pages/page_codec.h"
 #include "util/crc32.h"
@@ -10,6 +12,20 @@
 namespace bw::storage {
 
 namespace {
+
+/// Deterministic jitter in [0, cap): a splitmix-style hash of
+/// (seed, stream, attempt), so the backoff schedule is reproducible per
+/// seed yet decorrelated across pages and attempts.
+uint32_t DeterministicJitter(uint64_t seed, uint64_t stream, int attempt,
+                             uint32_t cap) {
+  if (cap == 0) return 0;
+  uint64_t x = seed ^ (stream * 0xbf58476d1ce4e5b9ull) ^
+               (static_cast<uint64_t>(attempt) * 0x94d049bb133111ebull);
+  x ^= x >> 31;
+  x *= 0xd6e8feb86659fd93ull;
+  x ^= x >> 27;
+  return static_cast<uint32_t>(x % cap);
+}
 
 constexpr uint32_t kBaseMagic = 0x46505742;  // "BWPF"
 constexpr uint32_t kBaseVersion = 1;
@@ -63,6 +79,43 @@ uint64_t DiskPageFile::FrameOffset(pages::PageId id) const {
   return kPageFramesOffset + static_cast<uint64_t>(id) * frame_bytes();
 }
 
+Status DiskPageFile::ReadWithRetry(uint64_t offset, void* data, size_t n,
+                                   uint64_t jitter_stream) const {
+  const int attempts = retry_.max_attempts < 1 ? 1 : retry_.max_attempts;
+  Status last;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      uint64_t backoff = static_cast<uint64_t>(retry_.backoff_us)
+                         << (attempt - 2);
+      if (backoff > retry_.max_backoff_us) backoff = retry_.max_backoff_us;
+      backoff += DeterministicJitter(retry_.jitter_seed, jitter_stream,
+                                     attempt,
+                                     static_cast<uint32_t>(backoff / 2 + 1));
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      read_retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    last = file_->ReadAt(offset, data, n);
+    if (!IsRetryable(last)) return last;
+  }
+  return last;  // kUnavailable: transient faults outlasted the budget.
+}
+
+Status DiskPageFile::CheckFrame(const uint8_t* frame, size_t frame_len,
+                                pages::Page* scratch) const {
+  uint32_t encoded_len;
+  std::memcpy(&encoded_len, frame, 4);
+  if (encoded_len > frame_len - 8) {
+    return Status::DataLoss("frame length field out of range");
+  }
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, frame + 4 + encoded_len, 4);
+  if (stored_crc != bw::Crc32(frame, 4 + encoded_len)) {
+    return Status::DataLoss("frame checksum mismatch");
+  }
+  BW_RETURN_IF_ERROR(pages::DecodePage(frame + 4, encoded_len, scratch));
+  return Status::OK();
+}
+
 Result<std::unique_ptr<DiskPageFile>> DiskPageFile::Create(
     const std::string& path, size_t page_size, DiskPageFileOptions options) {
   if (page_size < 512) {
@@ -72,6 +125,7 @@ Result<std::unique_ptr<DiskPageFile>> DiskPageFile::Create(
                       File::Open(path, /*truncate=*/true, options.injector));
   std::unique_ptr<DiskPageFile> store(
       new DiskPageFile(std::move(file), page_size));
+  store->retry_ = options.read_retry;
   BW_RETURN_IF_ERROR(store->CommitHeader(/*checkpoint_lsn=*/0));
   return store;
 }
@@ -104,6 +158,7 @@ Result<std::unique_ptr<DiskPageFile>> DiskPageFile::Open(
 
   std::unique_ptr<DiskPageFile> store(
       new DiskPageFile(std::move(file), header.page_size));
+  store->retry_ = options.read_retry;
   store->checkpoint_lsn_ = header.checkpoint_lsn;
   store->header_epoch_ = header.epoch;
   store->active_header_slot_ = slot_found;
@@ -111,25 +166,15 @@ Result<std::unique_ptr<DiskPageFile>> DiskPageFile::Open(
   std::vector<uint8_t> frame(store->frame_bytes());
   for (uint32_t id = 0; id < header.page_count; ++id) {
     auto page = std::make_unique<pages::Page>(header.page_size);
-    bool intact = false;
-    if (store->file_->ReadAt(store->FrameOffset(id), frame.data(),
-                             frame.size())
-            .ok()) {
-      uint32_t encoded_len;
-      std::memcpy(&encoded_len, frame.data(), 4);
-      if (encoded_len <= frame.size() - 8) {
-        uint32_t stored_crc;
-        std::memcpy(&stored_crc, frame.data() + 4 + encoded_len, 4);
-        if (stored_crc == bw::Crc32(frame.data(), 4 + encoded_len) &&
-            pages::DecodePage(frame.data() + 4, encoded_len, page.get())
-                .ok()) {
-          intact = true;
-        }
-      }
-    }
+    bool intact =
+        store->ReadWithRetry(store->FrameOffset(id), frame.data(),
+                             frame.size(), /*jitter_stream=*/id)
+            .ok() &&
+        store->CheckFrame(frame.data(), frame.size(), page.get()).ok();
     if (!intact) {
       page->Clear();
       store->suspect_.insert(id);
+      store->health_.Quarantine(id);
     }
     store->pages_.push_back(std::move(page));
   }
@@ -219,6 +264,15 @@ Status DiskPageFile::FlushPagesAndSync(
   std::vector<uint8_t> frame(frame_bytes());
   for (const pages::PageId id : ids) {
     BW_RETURN_IF_ERROR(CheckId(id));
+    if (suspect_.count(id) > 0) {
+      // The memory copy is Clear()ed garbage (frame was bad at Open and
+      // no WAL image has repaired it yet). Writing it out would
+      // overwrite the rotted-but-maybe-repairable frame with a "valid"
+      // empty page — a silent data loss. Keep the page dirty so a later
+      // checkpoint flushes it once repair lands.
+      dirty_checkpoint_.insert(id);
+      continue;
+    }
     pages::EncodePage(*pages_[id], &image);
     BW_CHECK_LE(image.size(), frame.size() - 8);
     std::fill(frame.begin(), frame.end(), 0);
@@ -268,6 +322,7 @@ Status DiskPageFile::ApplyPageImage(pages::PageId id, const uint8_t* image,
   BW_RETURN_IF_ERROR(EnsureAllocated(id));
   BW_RETURN_IF_ERROR(pages::DecodePage(image, len, pages_[id].get()));
   suspect_.erase(id);
+  health_.Release(id);
   dirty_checkpoint_.insert(id);
   return Status::OK();
 }
@@ -276,6 +331,83 @@ std::vector<pages::PageId> DiskPageFile::suspect_pages() const {
   std::vector<pages::PageId> ids(suspect_.begin(), suspect_.end());
   std::sort(ids.begin(), ids.end());
   return ids;
+}
+
+Status DiskPageFile::ReadHealth(pages::PageId id) const {
+  BW_RETURN_IF_ERROR(CheckId(id));
+  if (health_.IsQuarantined(id)) {
+    return Status::Unavailable("page " + std::to_string(id) +
+                               " quarantined pending repair");
+  }
+  return Status::OK();
+}
+
+Status DiskPageFile::VerifyFrame(pages::PageId id) {
+  BW_RETURN_IF_ERROR(CheckId(id));
+  std::vector<uint8_t> frame(frame_bytes());
+  BW_RETURN_IF_ERROR(
+      ReadWithRetry(FrameOffset(id), frame.data(), frame.size(),
+                    /*jitter_stream=*/id));
+  pages::Page scratch(page_size_);
+  Status check = CheckFrame(frame.data(), frame.size(), &scratch);
+  if (!check.ok()) {
+    return Status::DataLoss("page " + std::to_string(id) + " frame in '" +
+                            file_->path() + "': " + check.message());
+  }
+  return Status::OK();
+}
+
+Status DiskPageFile::Scrub(ScrubReport* report) {
+  ScrubReport local;
+  for (pages::PageId id = 0; id < pages_.size(); ++id) {
+    ++local.frames_checked;
+    if (health_.IsQuarantined(id)) continue;  // already awaiting repair.
+    const Status status = VerifyFrame(id);
+    if (status.ok()) continue;
+    if (status.code() == StatusCode::kDataLoss) {
+      health_.Quarantine(id);
+      ++local.frames_quarantined;
+    } else {
+      ++local.frames_unreadable;  // transient; next pass retries.
+    }
+  }
+  if (report != nullptr) *report = local;
+  return Status::OK();
+}
+
+Status DiskPageFile::ReloadFromDisk(pages::PageId id) {
+  BW_RETURN_IF_ERROR(CheckId(id));
+  std::vector<uint8_t> frame(frame_bytes());
+  BW_RETURN_IF_ERROR(
+      ReadWithRetry(FrameOffset(id), frame.data(), frame.size(),
+                    /*jitter_stream=*/id));
+  // Decode into a scratch page first: the live page must not hold a
+  // half-decoded image if the frame turns out to be rotten, and while
+  // the page is quarantined readers are gated off it, so the final
+  // assignment races with no one.
+  pages::Page scratch(page_size_);
+  Status check = CheckFrame(frame.data(), frame.size(), &scratch);
+  if (!check.ok()) {
+    return Status::DataLoss("page " + std::to_string(id) + " frame in '" +
+                            file_->path() + "': " + check.message());
+  }
+  *pages_[id] = scratch;
+  suspect_.erase(id);
+  health_.Release(id);
+  return Status::OK();
+}
+
+Status DiskPageFile::RepairFromMemory(pages::PageId id) {
+  BW_RETURN_IF_ERROR(CheckId(id));
+  if (suspect_.count(id) > 0) {
+    return Status::InvalidArgument(
+        "page " + std::to_string(id) +
+        " has no valid memory copy; repair it from the WAL instead");
+  }
+  BW_RETURN_IF_ERROR(FlushPagesAndSync({id}));
+  BW_RETURN_IF_ERROR(VerifyFrame(id));
+  health_.Release(id);
+  return Status::OK();
 }
 
 }  // namespace bw::storage

@@ -22,10 +22,26 @@
 // fails on a checksum mismatch alone: bad frames are parked in
 // suspect_pages() so recovery can repair them from WAL redo images, and
 // only an unrepaired suspect page is an error (see RecoveryManager).
+//
+// Self-healing read path (this layer's share of it):
+//  - Every disk read goes through a bounded retry loop (exponential
+//    backoff, deterministic jitter) so transient faults (kUnavailable
+//    from File::ReadAt) are absorbed; only exhaustion or a permanent
+//    verdict surfaces to the caller.
+//  - A PageHealth registry tracks pages unfit to serve. Two ways in:
+//    a frame that fails its CRC at Open (memory copy is also invalid —
+//    only a WAL redo image can repair it), and a frame that fails
+//    verification during Scrub() (disk rot under a still-valid memory
+//    copy — RepairFromMemory rewrites the frame and releases the page).
+//  - ReadHealth(id) is the serving path's gate: pages::BufferPool asks
+//    it before trusting the memory-resident page, so quarantine turns
+//    into degraded (partial-but-flagged) query answers upstream.
 
 #ifndef BLOBWORLD_STORAGE_DISK_PAGE_FILE_H_
 #define BLOBWORLD_STORAGE_DISK_PAGE_FILE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -33,12 +49,37 @@
 
 #include "pages/page_store.h"
 #include "storage/file_io.h"
+#include "storage/page_health.h"
 #include "util/status.h"
 
 namespace bw::storage {
 
+/// Bounded retry for transient (kUnavailable) disk-read faults. Backoff
+/// doubles per attempt up to max_backoff_us, plus a deterministic jitter
+/// derived from (seed, page id, attempt) so concurrent retriers do not
+/// march in lockstep yet every test run sleeps the same schedule.
+struct ReadRetryPolicy {
+  /// Total attempts per read, including the first (1 = no retry).
+  int max_attempts = 4;
+  /// Backoff before attempt k (k >= 2) is backoff_us << (k - 2), capped.
+  uint32_t backoff_us = 100;
+  uint32_t max_backoff_us = 5000;
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
+
 struct DiskPageFileOptions {
   FaultInjector* injector = nullptr;
+  ReadRetryPolicy read_retry;
+};
+
+/// What one Scrub() pass over the base file found and did.
+struct ScrubReport {
+  uint64_t frames_checked = 0;
+  /// Frames newly quarantined this pass (CRC/decode failure on disk).
+  uint64_t frames_quarantined = 0;
+  /// Frames that could not be checked (transient faults outlasted the
+  /// retry budget); not quarantined — the next pass will retry them.
+  uint64_t frames_unreadable = 0;
 };
 
 class DiskPageFile final : public pages::PageStore {
@@ -70,6 +111,11 @@ class DiskPageFile final : public pages::PageStore {
     stats_.Reset();
     last_read_ = pages::kInvalidPageId;
   }
+
+  /// Serving-path gate: OK for a healthy page, Unavailable while the
+  /// page is quarantined pending repair. Thread-safe (lock-free when no
+  /// page is quarantined).
+  Status ReadHealth(pages::PageId id) const override;
 
   // --- Durability surface (driven by DurableStore and recovery) --------
 
@@ -106,8 +152,50 @@ class DiskPageFile final : public pages::PageStore {
   Status ApplyPageImage(pages::PageId id, const uint8_t* image, size_t len);
 
   /// Pages whose base frames failed their checksum on Open and have not
-  /// been repaired by ApplyPageImage (sorted).
+  /// been repaired by ApplyPageImage (sorted). These pages' in-memory
+  /// copies are invalid (Clear()ed) — only a WAL redo image heals them.
   std::vector<pages::PageId> suspect_pages() const;
+
+  // --- Self-healing surface --------------------------------------------
+
+  /// Re-verifies every frame on disk (with the retry policy), newly
+  /// quarantining frames whose stored bytes no longer check out. Safe to
+  /// run from a background thread while queries serve from memory.
+  Status Scrub(ScrubReport* report = nullptr);
+
+  /// Reads and fully verifies one frame from disk (retrying transient
+  /// faults): OK, DataLoss (CRC/decode failure — permanent until
+  /// rewritten), or Unavailable (transient faults outlasted the budget).
+  Status VerifyFrame(pages::PageId id);
+
+  /// Repairs a quarantined page whose in-memory copy is still valid by
+  /// rewriting its frame from memory, re-verifying it, and releasing the
+  /// quarantine. InvalidArgument if the memory copy is itself invalid
+  /// (suspect from Open — use ReloadFromDisk or the WAL path in
+  /// DurableStore instead).
+  Status RepairFromMemory(pages::PageId id);
+
+  /// Repairs a page whose in-memory copy is invalid by re-reading its
+  /// frame from disk (with retries) — the cure when the frame was
+  /// unreadable at Open only because of a transient fault. On a verified
+  /// read the memory copy is replaced and the quarantine released;
+  /// DataLoss if the frame really is rotten.
+  Status ReloadFromDisk(pages::PageId id);
+
+  /// Quarantine registry (shared with callers for metrics).
+  const PageHealth& health() const { return health_; }
+  PageHealth& health() { return health_; }
+
+  /// True if the in-memory copy of `id` is invalid (frame was bad at
+  /// Open and no WAL image has been applied yet).
+  bool memory_invalid(pages::PageId id) const {
+    return suspect_.count(id) > 0;
+  }
+
+  /// Transient read faults absorbed by the retry loop so far.
+  uint64_t read_retries() const {
+    return read_retries_.load(std::memory_order_relaxed);
+  }
 
   const std::string& path() const { return file_->path(); }
 
@@ -118,6 +206,21 @@ class DiskPageFile final : public pages::PageStore {
   size_t frame_bytes() const;
   uint64_t FrameOffset(pages::PageId id) const;
   Status CheckId(pages::PageId id) const;
+
+  /// File::ReadAt wrapped in the bounded retry loop: kUnavailable
+  /// results are retried with backoff+jitter; anything else (or
+  /// exhaustion) is returned as-is.
+  Status ReadWithRetry(uint64_t offset, void* data, size_t n,
+                       uint64_t jitter_stream) const;
+
+  /// CRC-checks and decodes one raw frame into `scratch`; OK iff the
+  /// frame holds a valid image.
+  Status CheckFrame(const uint8_t* frame, size_t frame_len,
+                    pages::Page* scratch) const;
+
+  ReadRetryPolicy retry_;
+  mutable std::atomic<uint64_t> read_retries_{0};
+  PageHealth health_;
 
   std::unique_ptr<File> file_;
   size_t page_size_;

@@ -5,7 +5,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 namespace bw::storage {
@@ -90,6 +92,20 @@ Status File::Append(const void* data, size_t n) {
 
 Status File::ReadAt(uint64_t offset, void* data, size_t n) const {
   uint8_t* bytes = static_cast<uint8_t*>(data);
+  bool flip_bit = false;
+  if (injector_ != nullptr) {
+    FaultInjector::ReadDecision decision = injector_->OnRead(n);
+    if (decision.delay_us > 0) {
+      // A hung I/O: the caller's watchdog, not this loop, bounds it.
+      std::this_thread::sleep_for(std::chrono::microseconds(decision.delay_us));
+    }
+    if (decision.fail_transient) {
+      return Status::Unavailable("simulated transient read fault on '" +
+                                 path_ + "' at offset " +
+                                 std::to_string(offset));
+    }
+    flip_bit = decision.flip_bit && n > 0;
+  }
   size_t done = 0;
   while (done < n) {
     const ssize_t got = ::pread(fd_, bytes + done, n - done,
@@ -104,6 +120,9 @@ Status File::ReadAt(uint64_t offset, void* data, size_t n) const {
     }
     done += static_cast<size_t>(got);
   }
+  // Flip after the pread so the on-disk bytes stay intact: this models
+  // rot on the read path (bad cable, flaky DMA) that a retry can clear.
+  if (flip_bit) bytes[n / 2] ^= 0x10;
   return Status::OK();
 }
 

@@ -1,8 +1,9 @@
 // Thin positional-I/O file wrapper (POSIX fd underneath) with the
-// FaultInjector hook on every physical write. All durable state in the
-// storage engine — base page files and WALs — goes through this class,
-// so a single injector can kill the entire write stream of a store at a
-// chosen point.
+// FaultInjector hook on every physical write AND read. All durable
+// state in the storage engine — base page files and WALs — goes through
+// this class, so a single injector can kill the entire write stream of
+// a store at a chosen point, or make its read path flaky (transient
+// pread failures, read-side bit flips, hung reads) on a schedule.
 
 #ifndef BLOBWORLD_STORAGE_FILE_IO_H_
 #define BLOBWORLD_STORAGE_FILE_IO_H_
@@ -38,7 +39,10 @@ class File {
   /// Appends exactly `n` bytes at the current end of file.
   Status Append(const void* data, size_t n);
 
-  /// Reads exactly `n` bytes at `offset`; IoError on a short read.
+  /// Reads exactly `n` bytes at `offset`; IoError on a short read,
+  /// Unavailable on a simulated transient read fault (retryable). An
+  /// armed injector may also delay the read or flip one bit of the
+  /// returned buffer (the bytes on disk stay intact).
   Status ReadAt(uint64_t offset, void* data, size_t n) const;
 
   uint64_t size() const { return size_; }

@@ -1,0 +1,98 @@
+// Per-page health registry: the source of truth for whether a page of a
+// DiskPageFile is currently fit to serve. Pages enter quarantine when a
+// frame fails its CRC (at Open or during a scrub/re-read) and leave it
+// when repair re-materializes a verified image (from a disk re-read, the
+// in-memory copy, or the newest committed WAL image). The serving path
+// consults this registry — via pages::PageStore::ReadHealth — before
+// trusting a memory-resident page, which is how quarantine gates query
+// traffic even though serving reads never touch the disk themselves.
+//
+// Thread-safety: queries check health from many worker threads while
+// the scrubber/repair thread mutates it. The empty case (healthy store)
+// is the common one, so it is answered by a lock-free size check; the
+// per-page lookup takes the mutex only when at least one page is sick.
+
+#ifndef BLOBWORLD_STORAGE_PAGE_HEALTH_H_
+#define BLOBWORLD_STORAGE_PAGE_HEALTH_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+namespace bw::storage {
+
+class PageHealth {
+ public:
+  PageHealth() = default;
+  PageHealth(const PageHealth&) = delete;
+  PageHealth& operator=(const PageHealth&) = delete;
+
+  /// True if `page_id` is quarantined. Lock-free when nothing is.
+  bool IsQuarantined(uint32_t page_id) const {
+    if (count_.load(std::memory_order_acquire) == 0) return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    return quarantined_.count(page_id) > 0;
+  }
+
+  /// Marks `page_id` unfit to serve. Returns true if it was healthy
+  /// before (so callers can count distinct quarantine events).
+  bool Quarantine(uint32_t page_id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool inserted = quarantined_.insert(page_id).second;
+    if (inserted) {
+      count_.store(quarantined_.size(), std::memory_order_release);
+      ++total_quarantined_;
+    }
+    return inserted;
+  }
+
+  /// Returns `page_id` to service after a verified repair. Returns true
+  /// if it was quarantined.
+  bool Release(uint32_t page_id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool erased = quarantined_.erase(page_id) > 0;
+    if (erased) {
+      count_.store(quarantined_.size(), std::memory_order_release);
+      ++total_repaired_;
+    }
+    return erased;
+  }
+
+  /// Pages currently quarantined, sorted ascending (stable for tests).
+  std::vector<uint32_t> Quarantined() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<uint32_t> out(quarantined_.begin(), quarantined_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  size_t quarantined_count() const {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  /// Lifetime counters (monotonic): distinct quarantine entries and
+  /// successful repairs since construction.
+  uint64_t total_quarantined() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_quarantined_;
+  }
+  uint64_t total_repaired() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_repaired_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::atomic<size_t> count_{0};
+  std::unordered_set<uint32_t> quarantined_;
+  uint64_t total_quarantined_ = 0;
+  uint64_t total_repaired_ = 0;
+};
+
+}  // namespace bw::storage
+
+#endif  // BLOBWORLD_STORAGE_PAGE_HEALTH_H_

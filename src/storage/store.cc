@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "pages/page_codec.h"
@@ -10,6 +11,13 @@
 namespace bw::storage {
 
 Status CheckpointManager::Checkpoint() {
+  // A page quarantined since Open has no valid copy anywhere but the
+  // WAL; truncating the log now would make it permanently unrepairable.
+  if (!disk_->suspect_pages().empty()) {
+    return Status::Unavailable(
+        "checkpoint deferred: quarantined page(s) still pin WAL redo "
+        "images; run RepairQuarantined first");
+  }
   // Order matters (invariant 3 in store.h): the WAL must hold every
   // image we are about to flush before a frame write can tear, the
   // header may only advance once the frames it describes are synced,
@@ -26,6 +34,9 @@ Status CheckpointManager::Checkpoint() {
 Status CheckpointManager::MaybeCheckpoint(uint64_t committed_batches) {
   if (every_commits_ == 0 || committed_batches % every_commits_ != 0) {
     return Status::OK();
+  }
+  if (!disk_->suspect_pages().empty()) {
+    return Status::OK();  // deferred until repair frees the WAL.
   }
   return Checkpoint();
 }
@@ -44,6 +55,7 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Create(
     StoreOptions options) {
   DiskPageFileOptions disk_options;
   disk_options.injector = options.injector;
+  disk_options.read_retry = options.read_retry;
   BW_ASSIGN_OR_RETURN(
       std::unique_ptr<DiskPageFile> disk,
       DiskPageFile::Create(base_path, options.page_size, disk_options));
@@ -82,6 +94,72 @@ Status DurableStore::CommitBatch(uint64_t tag) {
   return checkpointer_.MaybeCheckpoint(committed_batches_);
 }
 
+Status DurableStore::RepairQuarantined(RepairReport* report) {
+  RepairReport local;
+  std::vector<pages::PageId> need_wal;
+  for (const pages::PageId id : disk_->health().Quarantined()) {
+    if (!disk_->memory_invalid(id)) {
+      // Disk rot under a still-valid memory copy (scrub-detected, or a
+      // read-path flip): rewrite the frame from memory.
+      if (disk_->RepairFromMemory(id).ok()) {
+        ++local.repaired_from_memory;
+      } else {
+        ++local.unrepaired;  // verification still failing; retry later.
+      }
+      continue;
+    }
+    // No valid memory copy. The cheap cure first: the frame may have
+    // been unreadable at Open only because of a transient fault.
+    if (disk_->ReloadFromDisk(id).ok()) {
+      ++local.repaired_from_disk;
+    } else {
+      need_wal.push_back(id);
+    }
+  }
+
+  if (!need_wal.empty()) {
+    // Mine the preserved WAL for the newest *committed* redo image of
+    // each page (uncommitted tails must not leak into served state).
+    std::unordered_set<pages::PageId> wanted(need_wal.begin(),
+                                             need_wal.end());
+    std::unordered_map<pages::PageId, std::vector<uint8_t>> pending;
+    std::unordered_map<pages::PageId, std::vector<uint8_t>> committed;
+    const Status scanned =
+        ReplayWal(wal_->path(), [&](const WalRecordView& record) -> Status {
+          if (record.type == WalRecordType::kPageImage &&
+              wanted.count(record.page_id) > 0) {
+            pending[record.page_id].assign(
+                record.payload, record.payload + record.payload_len);
+          } else if (record.type == WalRecordType::kCommit) {
+            for (auto& [id, image] : pending) {
+              committed[id] = std::move(image);
+            }
+            pending.clear();
+          }
+          return Status::OK();
+        }).status();
+    if (!scanned.ok()) return scanned;
+
+    for (const pages::PageId id : need_wal) {
+      auto it = committed.find(id);
+      if (it == committed.end() ||
+          !disk_->ApplyPageImage(id, it->second.data(), it->second.size())
+               .ok()) {
+        ++local.unrepaired;
+        continue;
+      }
+      // The page is servable again from memory; also rewrite its frame
+      // so the heal is durable (best effort — a failure here just means
+      // the next scrub/repair pass revisits the frame).
+      (void)disk_->RepairFromMemory(id);
+      ++local.repaired_from_wal;
+    }
+  }
+
+  if (report != nullptr) *report = local;
+  return Status::OK();
+}
+
 Result<std::unique_ptr<DurableStore>> RecoveryManager::Recover(
     const std::string& base_path, const std::string& wal_path,
     StoreOptions options, Summary* summary) {
@@ -91,6 +169,7 @@ Result<std::unique_ptr<DurableStore>> RecoveryManager::Recover(
 
   DiskPageFileOptions disk_options;
   disk_options.injector = options.injector;
+  disk_options.read_retry = options.read_retry;
   BW_ASSIGN_OR_RETURN(std::unique_ptr<DiskPageFile> disk,
                       DiskPageFile::Open(base_path, disk_options));
 
@@ -145,7 +224,7 @@ Result<std::unique_ptr<DurableStore>> RecoveryManager::Recover(
   // Every suspect frame must have been repaired by a replayed image;
   // a survivor means the base file rotted outside any redo window.
   const std::vector<pages::PageId> suspects = disk->suspect_pages();
-  if (!suspects.empty()) {
+  if (!suspects.empty() && !options.quarantine_unrepaired) {
     std::string ids;
     for (const pages::PageId id : suspects) {
       if (!ids.empty()) ids += ", ";
@@ -155,6 +234,7 @@ Result<std::unique_ptr<DurableStore>> RecoveryManager::Recover(
                             "] failed checksum verification and no WAL "
                             "redo image repairs them");
   }
+  out.pages_quarantined = suspects.size();
 
   // Replay applied images directly; none of it is new work to re-log.
   disk->ClearCommitTracking();
@@ -173,6 +253,14 @@ Result<std::unique_ptr<DurableStore>> RecoveryManager::Recover(
 
   auto store = std::make_unique<DurableStore>(std::move(disk), std::move(wal),
                                               options, out.committed_batches);
+  if (out.pages_quarantined > 0) {
+    // Tolerant mode with survivors: skip the post-recovery checkpoint.
+    // It would truncate the WAL, and the WAL is the only place a redo
+    // image for a quarantined page can still turn up (a record past the
+    // bad batch, or one a later RepairQuarantined pass can reach after
+    // operator intervention). The store serves degraded instead.
+    return store;
+  }
   // Fold the replayed state into a fresh checkpoint so the store starts
   // from a clean base and an empty log; a crash during this checkpoint
   // is itself recoverable (the old header + full WAL still exist until

@@ -42,6 +42,16 @@ struct StoreOptions {
   /// 0 = checkpoint only on explicit Checkpoint() calls.
   size_t checkpoint_every_commits = 0;
   FaultInjector* injector = nullptr;
+  /// Transient-read retry policy forwarded to the DiskPageFile.
+  ReadRetryPolicy read_retry;
+  /// Recovery disposition for base pages whose frames fail their
+  /// checksum and have no WAL redo image. false (default): recovery
+  /// fails with DataLoss — the fail-closed contract PR 2 shipped with.
+  /// true: such pages are quarantined instead, the store opens and
+  /// serves degraded (traversals skip them), and the WAL is preserved —
+  /// not folded into a checkpoint — so RepairQuarantined can still mine
+  /// it for redo images.
+  bool quarantine_unrepaired = false;
 };
 
 /// Runs the fuzzy-checkpoint protocol over a (DiskPageFile, Wal) pair.
@@ -51,10 +61,14 @@ class CheckpointManager {
       : disk_(disk), wal_(wal), every_commits_(every_commits) {}
 
   /// Makes everything logged so far durable in the base file and empties
-  /// the WAL (protocol invariant 3 above).
+  /// the WAL (protocol invariant 3 above). Unavailable while any page's
+  /// memory copy is invalid (quarantined since Open, not yet repaired):
+  /// truncating the WAL then would destroy the only redo images that can
+  /// still heal those pages.
   Status Checkpoint();
 
-  /// Checkpoints when the configured commit cadence is due.
+  /// Checkpoints when the configured commit cadence is due; silently
+  /// deferred while unrepaired quarantined pages pin the WAL.
   Status MaybeCheckpoint(uint64_t committed_batches);
 
   uint64_t checkpoints_taken() const { return checkpoints_; }
@@ -86,6 +100,7 @@ class DurableStore {
   /// The substrate indexes build onto and serve from.
   pages::PageStore* pages() { return disk_.get(); }
   DiskPageFile* disk() { return disk_.get(); }
+  const DiskPageFile* disk() const { return disk_.get(); }
   Wal* wal() { return wal_.get(); }
 
   /// Logs everything changed since the previous commit (allocations,
@@ -99,6 +114,28 @@ class DurableStore {
 
   /// Forces the fuzzy checkpoint protocol now.
   Status Checkpoint() { return checkpointer_.Checkpoint(); }
+
+  /// What one RepairQuarantined() pass accomplished.
+  struct RepairReport {
+    /// Pages whose memory copy was valid: frame rewritten from memory.
+    uint64_t repaired_from_memory = 0;
+    /// Pages healed by re-reading a frame that was only transiently
+    /// unreadable at Open.
+    uint64_t repaired_from_disk = 0;
+    /// Pages healed from the newest committed WAL redo image.
+    uint64_t repaired_from_wal = 0;
+    /// Pages still quarantined after the pass (no WAL image exists, or
+    /// the rewrite could not be verified); later passes retry them.
+    uint64_t unrepaired = 0;
+  };
+
+  /// On-demand repair: returns every quarantined page to service that
+  /// can be healed, preferring the in-memory copy (disk rot under a
+  /// valid page) and falling back to a WAL scan for pages quarantined at
+  /// Open. Safe to run from a background thread while queries serve —
+  /// it only rewrites frames of pages the health registry already gates
+  /// and replaces page bytes only for pages that were never readable.
+  Status RepairQuarantined(RepairReport* report = nullptr);
 
   uint64_t committed_batches() const { return committed_batches_; }
   const CheckpointManager& checkpointer() const { return checkpointer_; }
@@ -122,12 +159,16 @@ class RecoveryManager {
     uint64_t records_discarded = 0;  // records of the uncommitted tail.
     bool wal_tail_truncated = false;  // torn tail detected and dropped.
     uint64_t recovered_lsn = 0;       // durable state as of this LSN.
+    uint64_t pages_quarantined = 0;   // unrepaired suspects (tolerant mode).
   };
 
   /// Replays committed WAL batches over the checkpointed base, verifies
   /// every page checksum, then re-checkpoints so the returned store
   /// starts from a clean base and an empty log. DataLoss if corruption
-  /// is detected that redo cannot repair.
+  /// is detected that redo cannot repair — unless
+  /// StoreOptions::quarantine_unrepaired is set, in which case the store
+  /// opens degraded with those pages quarantined and the WAL preserved
+  /// for RepairQuarantined.
   static Result<std::unique_ptr<DurableStore>> Recover(
       const std::string& base_path, const std::string& wal_path,
       StoreOptions options, Summary* summary = nullptr);

@@ -5,9 +5,25 @@
 
 namespace bw {
 
+namespace {
+
+// Canonical spelling used for registry keys: underscores only. Both
+// registration and parsing funnel through this, so a binary that
+// registers "queue-depth" and one that registers "queue_depth" expose
+// the identical flag.
+std::string Canonical(const std::string& name) {
+  std::string canonical = name;
+  for (char& c : canonical) {
+    if (c == '-') c = '_';
+  }
+  return canonical;
+}
+
+}  // namespace
+
 int64_t* Flags::AddInt64(const std::string& name, int64_t default_value,
                          const std::string& help) {
-  Entry& e = entries_[name];
+  Entry& e = entries_[Canonical(name)];
   e.type = Type::kInt64;
   e.help = help;
   e.int_value = default_value;
@@ -16,7 +32,7 @@ int64_t* Flags::AddInt64(const std::string& name, int64_t default_value,
 
 double* Flags::AddDouble(const std::string& name, double default_value,
                          const std::string& help) {
-  Entry& e = entries_[name];
+  Entry& e = entries_[Canonical(name)];
   e.type = Type::kDouble;
   e.help = help;
   e.double_value = default_value;
@@ -25,7 +41,7 @@ double* Flags::AddDouble(const std::string& name, double default_value,
 
 bool* Flags::AddBool(const std::string& name, bool default_value,
                      const std::string& help) {
-  Entry& e = entries_[name];
+  Entry& e = entries_[Canonical(name)];
   e.type = Type::kBool;
   e.help = help;
   e.bool_value = default_value;
@@ -35,7 +51,7 @@ bool* Flags::AddBool(const std::string& name, bool default_value,
 std::string* Flags::AddString(const std::string& name,
                               const std::string& default_value,
                               const std::string& help) {
-  Entry& e = entries_[name];
+  Entry& e = entries_[Canonical(name)];
   e.type = Type::kString;
   e.help = help;
   e.string_value = default_value;
@@ -101,11 +117,9 @@ Status Flags::Parse(int argc, char** argv) {
     } else {
       name = body;
     }
-    // Accept --queue-depth as a spelling of --queue_depth: flags are
-    // registered with underscores, but hyphens are common muscle memory.
-    for (char& c : name) {
-      if (c == '-') c = '_';
-    }
+    // Accept --queue-depth as a spelling of --queue_depth: names are
+    // canonicalized to underscores on both registration and parse.
+    name = Canonical(name);
 
     // Boolean negation: --no-foo / --no_foo.
     bool negated = false;
@@ -143,7 +157,8 @@ Status Flags::Parse(int argc, char** argv) {
 
 std::string Flags::Usage() const {
   std::ostringstream oss;
-  oss << "Flags:\n";
+  oss << "Flags (hyphens and underscores are interchangeable, e.g. "
+         "--queue-depth == --queue_depth):\n";
   for (const auto& [name, entry] : entries_) {
     oss << "  --" << name << "  ";
     switch (entry.type) {

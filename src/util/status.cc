@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

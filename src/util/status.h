@@ -24,10 +24,21 @@ enum class StatusCode {
   kIoError,
   kUnavailable,
   kDataLoss,
+  kAborted,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
 const char* StatusCodeName(StatusCode code);
+
+/// True for codes that describe a transient condition where the same
+/// operation, retried later (possibly after backoff or repair), may
+/// succeed: kUnavailable (admission control, quarantined page, transient
+/// I/O fault). Everything else — including kAborted, which means the
+/// caller's own budget expired — is permanent from the retrier's point
+/// of view.
+constexpr bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
 
 /// Success-or-error result of an operation, carrying an error message on
 /// failure. Cheap to copy on the success path (no allocation).
@@ -75,6 +86,14 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  /// The operation was deliberately cut short by the caller's own limits
+  /// (deadline watchdog, cancellation) rather than by the system being
+  /// busy or broken. Retrying with the same limits will fail the same
+  /// way, so kAborted is not retryable; the caller must raise its budget
+  /// first.
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -86,6 +105,9 @@ class Status {
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
   }
+
+  /// IsRetryable(code()) — see the free function above.
+  bool IsRetryable() const { return ::bw::IsRetryable(code_); }
 
  private:
   Status(StatusCode code, std::string msg)
@@ -162,6 +184,12 @@ class Result {
 #define BW_ASSIGN_OR_RETURN(lhs, expr) \
   BW_ASSIGN_OR_RETURN_IMPL(BW_ASSIGN_OR_RETURN_NAME(_bw_result_, __LINE__), \
                            lhs, expr)
+
+/// Status overload of the code classifier, for call sites holding a
+/// Status: `if (IsRetryable(status)) backoff_and_retry();`.
+inline bool IsRetryable(const Status& status) {
+  return IsRetryable(status.code());
+}
 
 }  // namespace bw
 

@@ -10,11 +10,15 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "core/durable_index.h"
 #include "core/index_factory.h"
 #include "service/query_service.h"
+#include "storage/disk_page_file.h"
+#include "storage/store.h"
 #include "tests/test_helpers.h"
 
 namespace bw {
@@ -357,6 +361,118 @@ TEST(QueryServiceTest, OwnedIndexConstructor) {
 // Multi-client mixed-kind stress: the primary ThreadSanitizer target.
 // Many client threads hammer one service with k-NN, range, and stream
 // requests concurrently; every response must be well-formed.
+// ---------------------------------------------------------------------------
+// Serving through faults: watchdog deadlines and degraded-mode queries
+// ---------------------------------------------------------------------------
+
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::unique_ptr<core::DurableIndex> BuildDurableSmallIndex(
+    const std::string& tag) {
+  const auto points = testing::MakeClusteredPoints(800, 3, 6, 29);
+  core::IndexBuildOptions options;
+  options.am = "rtree";
+  options.page_bytes = 1024;
+  auto built = core::BuildDurableIndex(points, options,
+                                       TempPath("svc_" + tag + ".bwpf"),
+                                       TempPath("svc_" + tag + ".bwwal"));
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(*built);
+}
+
+TEST(QueryServiceFaultTest, DeadlineExpiresDuringStorageRead) {
+  auto built = BuildSmallIndex();
+  const auto points = testing::MakeClusteredPoints(2000, 5, 8, 11);
+
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.worker_pool_pages = 0;  // every page access is a miss.
+  options.io_delay_us = 20000;    // one simulated read dwarfs the deadline.
+  QueryService service(built->tree(), options);
+
+  StreamOptions stream;
+  stream.max_results = 50;
+  stream.deadline_us = 2000;
+  auto future = service.SubmitStream(points[0], stream);
+  ASSERT_TRUE(future.ok());
+  auto response = future->get();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  // The deadline expired inside the very first 20 ms storage read, so the
+  // watchdog — not the between-pages check — must have cut the stream:
+  // the query comes back truncated well before one full read completes.
+  EXPECT_TRUE(response->metrics.truncated);
+  EXPECT_LT(response->metrics.latency_us, 15000.0);
+  const auto snap = service.Snapshot();
+  EXPECT_GE(snap.watchdog_expirations, 1u);
+  EXPECT_EQ(snap.truncated_streams, 1u);
+}
+
+TEST(QueryServiceFaultTest, QuarantineDegradesThenHealsExact) {
+  auto index = BuildDurableSmallIndex("degrade");
+  ASSERT_NE(index, nullptr);
+  storage::DiskPageFile* disk = index->store().disk();
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.fault_budget = disk->page_count() + 1;
+  QueryService service(index.get(), options);
+  const geom::Vec query = testing::MakeUniformPoints(1, 3, 5)[0];
+
+  auto baseline = service.Knn(query, 10);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_FALSE(baseline->degraded());
+  ASSERT_EQ(baseline->neighbors.size(), 10u);
+
+  // Quarantine every page: the root fetch itself is skipped, so the
+  // answer degrades all the way to flagged-and-empty — available, never
+  // silently wrong.
+  for (pages::PageId id = 0; id < disk->page_count(); ++id) {
+    disk->health().Quarantine(id);
+  }
+  auto degraded = service.Knn(query, 10);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->degraded());
+  EXPECT_GE(degraded->metrics.pages_skipped, 1u);
+  EXPECT_TRUE(degraded->neighbors.empty());
+
+  for (pages::PageId id = 0; id < disk->page_count(); ++id) {
+    disk->health().Release(id);
+  }
+  auto healed = service.Knn(query, 10);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_FALSE(healed->degraded());
+  EXPECT_EQ(Rids(healed->neighbors), Rids(baseline->neighbors));
+
+  const auto snap = service.Snapshot();
+  EXPECT_EQ(snap.degraded_responses, 1u);
+  EXPECT_GE(snap.pages_skipped, 1u);
+  EXPECT_EQ(snap.store_pages_quarantined, 0u);
+  EXPECT_EQ(snap.store_quarantines_total, disk->page_count());
+  EXPECT_EQ(snap.store_repairs_total, disk->page_count());
+}
+
+TEST(QueryServiceFaultTest, ZeroFaultBudgetFailsClosed) {
+  auto index = BuildDurableSmallIndex("failclosed");
+  ASSERT_NE(index, nullptr);
+  storage::DiskPageFile* disk = index->store().disk();
+
+  ServiceOptions options;  // fault_budget = 0: pre-fault-tolerance behavior.
+  options.num_workers = 1;
+  QueryService service(index.get(), options);
+  for (pages::PageId id = 0; id < disk->page_count(); ++id) {
+    disk->health().Quarantine(id);
+  }
+  const geom::Vec query = testing::MakeUniformPoints(1, 3, 5)[0];
+  auto response = service.Knn(query, 10);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.Snapshot().failed, 1u);
+}
+
 TEST(QueryServiceTest, MixedKindStress) {
   auto built = BuildSmallIndex("xjb", 2500, 47);
   const auto points = testing::MakeClusteredPoints(2500, 5, 8, 47);

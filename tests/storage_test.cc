@@ -448,7 +448,7 @@ TEST(DiskPageFileTest, BitFlippedFrameIsSuspectAndRepairable) {
   }
   // Frames start at byte 128; each is page_size + 32 bytes. Rot a byte
   // in the middle of frame 1.
-  FlipByteAt(path, 128 + (1024 + 32) + 40);
+  FlipByteAt(path, 128 + (1024 + 32) + 5);
 
   auto reopened = DiskPageFile::Open(path);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
@@ -666,6 +666,203 @@ TEST(DurableStoreTest, UnrepairableRotIsDataLoss) {
   auto recovered = RecoveryManager::Recover(base, wal, SmallStore());
   ASSERT_FALSE(recovered.ok());
   EXPECT_EQ(recovered.status().code(), StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing read path: retry, scrub, quarantine, repair
+// ---------------------------------------------------------------------------
+
+storage::ReadRetryPolicy FastRetry() {
+  storage::ReadRetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.backoff_us = 5;
+  retry.max_backoff_us = 50;
+  retry.jitter_seed = 1;
+  return retry;
+}
+
+/// Creates a flushed, committed 3-page base file at `path`; page i holds
+/// one record "page-i".
+void WriteThreePageBase(const std::string& path) {
+  auto disk = DiskPageFile::Create(path, 1024);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  for (int i = 0; i < 3; ++i) {
+    const pages::PageId id = (*disk)->Allocate();
+    auto page = (*disk)->Write(id);
+    ASSERT_TRUE(page.ok());
+    const std::string record = "page-" + std::to_string(i);
+    ASSERT_TRUE((*page)->Insert(record.data(), record.size()).ok());
+  }
+  ASSERT_TRUE((*disk)->FlushPagesAndSync({0, 1, 2}).ok());
+  ASSERT_TRUE((*disk)->CommitHeader(/*checkpoint_lsn=*/0).ok());
+}
+
+TEST(ReadRetryTest, TransientOpenFaultsAbsorbedByBackoffRetry) {
+  const std::string path = TempPath("retry_absorbed.bwpf");
+  WriteThreePageBase(path);
+
+  FaultInjector injector;
+  FaultInjector::ReadFaultPlan plan;
+  plan.transient_every_n = 3;  // two consecutive faults, then success:
+  plan.transient_burst = 2;    // always inside the 4-attempt budget.
+  injector.ArmReads(plan);
+  storage::DiskPageFileOptions options;
+  options.injector = &injector;
+  options.read_retry = FastRetry();
+  auto disk = DiskPageFile::Open(path, options);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_TRUE((*disk)->suspect_pages().empty());
+  EXPECT_EQ((*disk)->health().quarantined_count(), 0u);
+  EXPECT_GT((*disk)->read_retries(), 0u);
+  EXPECT_GT(injector.transient_read_faults(), 0u);
+  EXPECT_EQ((*disk)->PeekNoIo(2)->slot_count(), 1u);
+}
+
+TEST(ReadRetryTest, ExhaustedRetryBudgetIsUnavailable) {
+  const std::string path = TempPath("retry_exhausted.bwpf");
+  WriteThreePageBase(path);
+  FaultInjector injector;
+  storage::DiskPageFileOptions options;
+  options.injector = &injector;
+  options.read_retry = FastRetry();
+  auto disk = DiskPageFile::Open(path, options);
+  ASSERT_TRUE(disk.ok());
+
+  FaultInjector::ReadFaultPlan plan;
+  plan.transient_every_n = 1;  // every read (and every retry) faults.
+  injector.ArmReads(plan);
+  const Status status = (*disk)->VerifyFrame(0);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(status.IsRetryable());
+  // All attempts were burned: the original read plus three retries.
+  EXPECT_EQ((*disk)->read_retries(), 3u);
+  injector.DisarmReads();
+  EXPECT_TRUE((*disk)->VerifyFrame(0).ok());
+}
+
+TEST(PageHealthTest, RegistryGatesCountsAndReleases) {
+  const std::string path = TempPath("health_registry.bwpf");
+  WriteThreePageBase(path);
+  auto disk = DiskPageFile::Open(path);
+  ASSERT_TRUE(disk.ok());
+
+  EXPECT_TRUE((*disk)->ReadHealth(1).ok());
+  EXPECT_TRUE((*disk)->health().Quarantine(1));
+  EXPECT_FALSE((*disk)->health().Quarantine(1));  // no double-count.
+  const Status gated = (*disk)->ReadHealth(1);
+  EXPECT_EQ(gated.code(), StatusCode::kUnavailable);
+  EXPECT_EQ((*disk)->health().quarantined_count(), 1u);
+  EXPECT_EQ((*disk)->health().Quarantined(), std::vector<pages::PageId>{1});
+
+  (*disk)->health().Release(1);
+  EXPECT_TRUE((*disk)->ReadHealth(1).ok());
+  EXPECT_EQ((*disk)->health().quarantined_count(), 0u);
+  EXPECT_EQ((*disk)->health().total_quarantined(), 1u);
+  EXPECT_EQ((*disk)->health().total_repaired(), 1u);
+}
+
+TEST(SelfHealTest, ScrubQuarantinesRotAndRepairFromMemoryHeals) {
+  const std::string path = TempPath("scrub_repair.bwpf");
+  auto disk = DiskPageFile::Create(path, 1024);
+  ASSERT_TRUE(disk.ok());
+  for (int i = 0; i < 3; ++i) {
+    const pages::PageId id = (*disk)->Allocate();
+    auto page = (*disk)->Write(id);
+    ASSERT_TRUE(page.ok());
+    ASSERT_TRUE((*page)->Insert("payload", 7).ok());
+  }
+  ASSERT_TRUE((*disk)->FlushPagesAndSync({0, 1, 2}).ok());
+  ASSERT_TRUE((*disk)->CommitHeader(0).ok());
+
+  // Disk rot under a live store: the memory copy stays valid.
+  FlipByteAt(path, 128 + (1024 + 32) + 5);
+  storage::ScrubReport report;
+  ASSERT_TRUE((*disk)->Scrub(&report).ok());
+  EXPECT_EQ(report.frames_checked, 3u);
+  EXPECT_EQ(report.frames_quarantined, 1u);
+  EXPECT_EQ((*disk)->health().Quarantined(), std::vector<pages::PageId>{1});
+  EXPECT_FALSE((*disk)->memory_invalid(1));
+  EXPECT_EQ((*disk)->VerifyFrame(1).code(), StatusCode::kDataLoss);
+
+  ASSERT_TRUE((*disk)->RepairFromMemory(1).ok());
+  EXPECT_EQ((*disk)->health().quarantined_count(), 0u);
+  EXPECT_TRUE((*disk)->VerifyFrame(1).ok());
+  // A second scrub confirms the heal is durable on disk.
+  ASSERT_TRUE((*disk)->Scrub(&report).ok());
+  EXPECT_EQ(report.frames_quarantined, 0u);
+}
+
+TEST(SelfHealTest, ReloadFromDiskHealsTransientOpenRot) {
+  const std::string path = TempPath("reload_heal.bwpf");
+  WriteThreePageBase(path);
+
+  const long rotten_byte = 128 + (1024 + 32) + 5;
+  FlipByteAt(path, rotten_byte);
+  auto disk = DiskPageFile::Open(path);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ((*disk)->suspect_pages(), std::vector<pages::PageId>{1});
+  EXPECT_TRUE((*disk)->memory_invalid(1));
+  EXPECT_EQ((*disk)->PeekNoIo(1)->slot_count(), 0u);  // cleared, gated.
+
+  // The rot clears up (as a transient medium fault at Open would):
+  // ReloadFromDisk re-materializes the page without any WAL.
+  FlipByteAt(path, rotten_byte);
+  ASSERT_TRUE((*disk)->ReloadFromDisk(1).ok());
+  EXPECT_FALSE((*disk)->memory_invalid(1));
+  EXPECT_EQ((*disk)->health().quarantined_count(), 0u);
+  EXPECT_EQ((*disk)->PeekNoIo(1)->slot_count(), 1u);
+}
+
+TEST(SelfHealTest, WalMinedRepairHealsPageQuarantinedAtOpen) {
+  const std::string base = TempPath("wal_repair.bwpf");
+  const std::string wal = TempPath("wal_repair.wal");
+  StoreOptions options = SmallStore();
+  std::vector<uint8_t> wal_bytes;
+  {
+    auto store = DurableStore::Create(base, wal, options);
+    ASSERT_TRUE(store.ok());
+    const pages::PageId id = (*store)->pages()->Allocate();
+    auto page = (*store)->pages()->Write(id);
+    ASSERT_TRUE(page.ok());
+    ASSERT_TRUE((*page)->Insert("precious", 8).ok());
+    ASSERT_TRUE((*store)->CommitBatch(1).ok());
+    // Snapshot the log while it still holds the batch-1 image, then
+    // checkpoint. Restoring these bytes below reproduces a crash that
+    // landed between header publish and WAL truncation.
+    ASSERT_TRUE(storage::ReadFile(wal, &wal_bytes).ok());
+    ASSERT_TRUE((*store)->Checkpoint().ok());
+  }
+  {
+    std::FILE* f = std::fopen(wal.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(wal_bytes.data(), 1, wal_bytes.size(), f),
+              wal_bytes.size());
+    std::fclose(f);
+  }
+  FlipByteAt(base, 128 + 16);  // rot the only base copy of page 0.
+
+  // Fail-closed recovery refuses; tolerant recovery opens degraded.
+  ASSERT_FALSE(RecoveryManager::Recover(base, wal, options).ok());
+  options.quarantine_unrepaired = true;
+  RecoveryManager::Summary summary;
+  auto recovered = RecoveryManager::Recover(base, wal, options, &summary);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(summary.pages_quarantined, 1u);
+  EXPECT_EQ((*recovered)->disk()->ReadHealth(0).code(),
+            StatusCode::kUnavailable);
+
+  // The unrepaired page pins the WAL: checkpoints must refuse to
+  // truncate the only surviving redo image.
+  EXPECT_EQ((*recovered)->Checkpoint().code(), StatusCode::kUnavailable);
+
+  DurableStore::RepairReport report;
+  ASSERT_TRUE((*recovered)->RepairQuarantined(&report).ok());
+  EXPECT_EQ(report.repaired_from_wal, 1u);
+  EXPECT_EQ(report.unrepaired, 0u);
+  EXPECT_TRUE((*recovered)->disk()->ReadHealth(0).ok());
+  EXPECT_EQ((*recovered)->pages()->PeekNoIo(0)->slot_count(), 1u);
+  // With the page healed the WAL is no longer pinned.
+  EXPECT_TRUE((*recovered)->Checkpoint().ok());
 }
 
 // ---------------------------------------------------------------------------

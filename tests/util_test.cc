@@ -40,9 +40,35 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kCorruption, StatusCode::kNoSpace,
         StatusCode::kNotSupported, StatusCode::kInternal,
-        StatusCode::kIoError, StatusCode::kUnavailable}) {
+        StatusCode::kIoError, StatusCode::kUnavailable, StatusCode::kDataLoss,
+        StatusCode::kAborted}) {
     EXPECT_STRNE(StatusCodeName(code), "Unknown");
   }
+}
+
+TEST(StatusTest, AbortedIsDistinctCode) {
+  Status s = Status::Aborted("i/o watchdog: deadline expired");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(s.ToString(), "Aborted: i/o watchdog: deadline expired");
+}
+
+TEST(StatusTest, OnlyUnavailableIsRetryable) {
+  // The self-healing read path retries exactly the transient class:
+  // kDataLoss is permanent rot, kAborted is a deadline (retrying would
+  // defeat it), kIoError is a hard environment failure.
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("transient")));
+  EXPECT_TRUE(Status::Unavailable("transient").IsRetryable());
+  for (const Status& s :
+       {Status::OK(), Status::DataLoss("rot"), Status::Aborted("deadline"),
+        Status::IoError("pread"), Status::NotFound("x"),
+        Status::InvalidArgument("x"), Status::Internal("x")}) {
+    EXPECT_FALSE(IsRetryable(s)) << s.ToString();
+    EXPECT_FALSE(s.IsRetryable()) << s.ToString();
+  }
+  static_assert(IsRetryable(StatusCode::kUnavailable));
+  static_assert(!IsRetryable(StatusCode::kAborted));
+  static_assert(!IsRetryable(StatusCode::kDataLoss));
 }
 
 TEST(StatusTest, UnavailableIsDistinctCode) {
@@ -221,6 +247,17 @@ TEST(FlagsTest, HyphensAndUnderscoresInterchangeable) {
   ASSERT_TRUE(flags.Parse(3, const_cast<char**>(argv)).ok());
   EXPECT_EQ(*depth, 32);
   EXPECT_FALSE(*cache);
+}
+
+TEST(FlagsTest, HyphenatedRegistrationAcceptsUnderscores) {
+  // Normalization applies at registration too, so a flag declared with
+  // hyphens parses under either spelling.
+  Flags flags;
+  int64_t* depth = flags.AddInt64("queue-depth", 8, "");
+  const char* argv[] = {"prog", "--queue_depth=32"};
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(*depth, 32);
+  EXPECT_NE(flags.Usage().find("interchangeable"), std::string::npos);
 }
 
 TEST(FlagsTest, UnknownFlagIsError) {
