@@ -139,6 +139,51 @@ Result<amdb::AnalysisReport> AnalyzeAm(const std::string& am,
   return amdb::AnalyzeWorkload(index->tree(), data.workload, analysis);
 }
 
+void MetricsJson::Set(const std::string& key, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  entries_.emplace_back(key, buffer);
+}
+
+void MetricsJson::Set(const std::string& key, const std::string& value) {
+  entries_.emplace_back(key, "\"" + value + "\"");
+}
+
+std::string MetricsJson::ToString() const {
+  std::string out = "{\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    out += "  \"" + entries_[i].first + "\": " + entries_[i].second;
+    if (i + 1 < entries_.size()) out += ",";
+    out += "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+void MetricsJson::Write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  BW_CHECK_MSG(f != nullptr, "cannot open json_out file: " + path);
+  const std::string body = ToString();
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  BW_CHECK_MSG(written == body.size(), "short write to " + path);
+}
+
+std::string ExtractJsonOutFlag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json_out=", 0) == 0 || arg.rfind("--json-out=", 0) == 0) {
+      path = arg.substr(arg.find('=') + 1);
+      continue;  // drop it from argv.
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return path;
+}
+
 bool ParseFlagsOrExit(Flags& flags, int argc, char** argv, int* exit_code) {
   Status status = flags.Parse(argc, argv);
   if (status.ok()) return true;

@@ -12,6 +12,7 @@
 #define BLOBWORLD_BENCH_BENCH_COMMON_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "amdb/analysis.h"
@@ -74,6 +75,29 @@ Result<amdb::AnalysisReport> AnalyzeAm(const std::string& am,
 /// Standard flag-parse prologue for bench main()s: returns false if the
 /// process should exit (help requested or bad flags; *exit_code is set).
 bool ParseFlagsOrExit(Flags& flags, int argc, char** argv, int* exit_code);
+
+/// Flat, insertion-ordered metric collection written as one JSON object.
+/// The bench binaries use it to emit machine-readable result files (the
+/// committed BENCH_*.json records) next to their human-readable tables.
+class MetricsJson {
+ public:
+  void Set(const std::string& key, double value);
+  void Set(const std::string& key, const std::string& value);
+
+  /// Serializes `{ "k": v, ... }` with one key per line.
+  std::string ToString() const;
+  /// Writes ToString() to `path`; BW_CHECKs on I/O failure.
+  void Write(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Removes a `--json_out=PATH` (or `--json-out=PATH`) argument from
+/// argv, compacting it in place and updating *argc, and returns PATH
+/// ("" when absent). Needed by benches whose remaining flags are parsed
+/// by google-benchmark, which rejects arguments it does not know.
+std::string ExtractJsonOutFlag(int* argc, char** argv);
 
 }  // namespace bw::bench
 

@@ -4,25 +4,41 @@
 // add significantly to query execution time".
 //
 // Measures, per BP type: construction from a leaf's points, the
-// MinDistance kernel that drives k-NN ordering, and the range-query
-// consistency check.
+// MinDistance kernel that drives k-NN ordering, the range-query
+// consistency check, and — the read-path headline — batched node scans
+// (one BpMinDistanceBatch / BpConsistentRangeBatch call over a whole
+// node's entries) against the per-entry scalar loop they replace.
+// `--json_out=PATH` additionally runs a self-timed scalar-vs-batched
+// comparison and writes entries/sec + speedups as a flat JSON object
+// (the committed BENCH_read_path.json record).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "am/rtree.h"
 #include "am/srtree.h"
 #include "am/sstree.h"
+#include "bench/bench_common.h"
 #include "core/index_factory.h"
 #include "core/jagged.h"
 #include "core/map_tree.h"
 #include "tests/test_helpers.h"
+#include "util/stopwatch.h"
 
 namespace {
 
 constexpr size_t kDim = 5;
 constexpr size_t kLeafPoints = 100;
+// Entries per simulated internal node: the fanout regime of 4 KB pages
+// with 40-200 byte BPs.
+constexpr size_t kNodeEntries = 64;
+constexpr double kRangeRadius = 5.0;
+
+const char* const kAms[] = {"rtree", "sstree", "srtree", "amap", "jb", "xjb"};
 
 std::unique_ptr<bw::gist::Extension> MakeExt(const std::string& name) {
   bw::core::IndexBuildOptions options;
@@ -33,6 +49,49 @@ std::unique_ptr<bw::gist::Extension> MakeExt(const std::string& name) {
   BW_CHECK_MSG(ext.ok(), ext.status().ToString());
   return std::move(ext).value();
 }
+
+/// One simulated internal node: kNodeEntries BPs, each built from one
+/// tight point cluster — the spatial-partitioning shape real sibling
+/// entries have after bulk load, where most queries fall *outside* most
+/// entry MBRs (a node of space-spanning BPs would instead measure the
+/// covered-query slow path every AM shares) — plus the staged batch
+/// scratch viewing them.
+struct NodeFixture {
+  std::unique_ptr<bw::gist::Extension> ext;
+  std::vector<bw::gist::Bytes> bps;
+  bw::gist::BatchScratch scratch;
+  std::vector<bw::geom::Vec> queries;
+  std::vector<double> scalar_out;
+
+  explicit NodeFixture(const std::string& am) : ext(MakeExt(am)) {
+    bps.reserve(kNodeEntries);
+    scratch.preds.reserve(kNodeEntries);
+    for (size_t e = 0; e < kNodeEntries; ++e) {
+      const auto points = bw::testing::MakeClusteredPoints(
+          kLeafPoints, kDim, 1, 100 + e);
+      bps.push_back(ext->BpFromPoints(points));
+    }
+    for (const bw::gist::Bytes& bp : bps) {
+      scratch.preds.push_back(bw::gist::ByteSpan(bp.data(), bp.size()));
+    }
+    queries = bw::testing::MakeUniformPoints(256, kDim, 11);
+    scalar_out.resize(kNodeEntries);
+  }
+
+  void ScalarMinDist(const bw::geom::Vec& q) {
+    for (size_t e = 0; e < kNodeEntries; ++e) {
+      scalar_out[e] = ext->BpMinDistance(scratch.preds[e], q);
+    }
+  }
+
+  void ScalarConsistent(const bw::geom::Vec& q) {
+    for (size_t e = 0; e < kNodeEntries; ++e) {
+      scalar_out[e] = ext->BpConsistentRange(scratch.preds[e], q, kRangeRadius)
+                          ? 1.0
+                          : 0.0;
+    }
+  }
+};
 
 void BM_BpConstruct(benchmark::State& state, const std::string& am) {
   auto ext = MakeExt(am);
@@ -62,12 +121,59 @@ void BM_BpConsistentRange(benchmark::State& state, const std::string& am) {
   size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        ext->BpConsistentRange(bp, queries[i++ & 255], 5.0));
+        ext->BpConsistentRange(bp, queries[i++ & 255], kRangeRadius));
   }
 }
 
+void BM_NodeScanMinDistScalar(benchmark::State& state, const std::string& am) {
+  NodeFixture node(am);
+  size_t i = 0;
+  for (auto _ : state) {
+    node.ScalarMinDist(node.queries[i++ & 255]);
+    benchmark::DoNotOptimize(node.scalar_out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kNodeEntries);
+}
+
+void BM_NodeScanMinDistBatch(benchmark::State& state, const std::string& am) {
+  NodeFixture node(am);
+  size_t i = 0;
+  for (auto _ : state) {
+    node.ext->BpMinDistanceBatch(node.scratch, node.queries[i++ & 255]);
+    benchmark::DoNotOptimize(node.scratch.distances.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kNodeEntries);
+}
+
+void BM_NodeScanConsistentScalar(benchmark::State& state,
+                                 const std::string& am) {
+  NodeFixture node(am);
+  size_t i = 0;
+  for (auto _ : state) {
+    node.ScalarConsistent(node.queries[i++ & 255]);
+    benchmark::DoNotOptimize(node.scalar_out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kNodeEntries);
+}
+
+void BM_NodeScanConsistentBatch(benchmark::State& state,
+                                const std::string& am) {
+  NodeFixture node(am);
+  size_t i = 0;
+  for (auto _ : state) {
+    node.ext->BpConsistentRangeBatch(node.scratch, node.queries[i++ & 255],
+                                     kRangeRadius);
+    benchmark::DoNotOptimize(node.scratch.consistent.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kNodeEntries);
+}
+
 void RegisterAll() {
-  for (const char* am : {"rtree", "sstree", "srtree", "amap", "jb", "xjb"}) {
+  for (const char* am : kAms) {
     benchmark::RegisterBenchmark(
         (std::string("BM_BpConstruct/") + am).c_str(),
         [am](benchmark::State& s) { BM_BpConstruct(s, am); });
@@ -77,16 +183,82 @@ void RegisterAll() {
     benchmark::RegisterBenchmark(
         (std::string("BM_BpConsistentRange/") + am).c_str(),
         [am](benchmark::State& s) { BM_BpConsistentRange(s, am); });
+    benchmark::RegisterBenchmark(
+        (std::string("BM_NodeScanMinDist_scalar/") + am).c_str(),
+        [am](benchmark::State& s) { BM_NodeScanMinDistScalar(s, am); });
+    benchmark::RegisterBenchmark(
+        (std::string("BM_NodeScanMinDist_batch/") + am).c_str(),
+        [am](benchmark::State& s) { BM_NodeScanMinDistBatch(s, am); });
+    benchmark::RegisterBenchmark(
+        (std::string("BM_NodeScanConsistent_scalar/") + am).c_str(),
+        [am](benchmark::State& s) { BM_NodeScanConsistentScalar(s, am); });
+    benchmark::RegisterBenchmark(
+        (std::string("BM_NodeScanConsistent_batch/") + am).c_str(),
+        [am](benchmark::State& s) { BM_NodeScanConsistentBatch(s, am); });
   }
+}
+
+/// Self-timed entries/sec of `fn` over whole-node scans (fn must scan
+/// kNodeEntries entries per call). Runs ~0.2 s after a warm-up.
+template <typename Fn>
+double MeasureEntriesPerSec(NodeFixture& node, Fn&& fn) {
+  size_t i = 0;
+  for (int warm = 0; warm < 1000; ++warm) fn(node.queries[i++ & 255]);
+  bw::Stopwatch watch;
+  size_t iters = 0;
+  do {
+    for (int burst = 0; burst < 500; ++burst) fn(node.queries[i++ & 255]);
+    iters += 500;
+  } while (watch.ElapsedSeconds() < 0.2);
+  return static_cast<double>(iters) * kNodeEntries / watch.ElapsedSeconds();
+}
+
+void WriteJsonComparison(const std::string& path) {
+  bw::bench::MetricsJson json;
+  json.Set("bench", std::string("micro_bp_kernels"));
+  json.Set("node_entries", static_cast<double>(kNodeEntries));
+  json.Set("dim", static_cast<double>(kDim));
+  std::printf("\n=== node-scan scalar vs batched (entries/sec, %zu-entry "
+              "nodes) ===\n", kNodeEntries);
+  for (const char* am : kAms) {
+    NodeFixture node(am);
+    const double min_scalar = MeasureEntriesPerSec(
+        node, [&](const bw::geom::Vec& q) { node.ScalarMinDist(q); });
+    const double min_batch = MeasureEntriesPerSec(
+        node, [&](const bw::geom::Vec& q) {
+          node.ext->BpMinDistanceBatch(node.scratch, q);
+        });
+    const double con_scalar = MeasureEntriesPerSec(
+        node, [&](const bw::geom::Vec& q) { node.ScalarConsistent(q); });
+    const double con_batch = MeasureEntriesPerSec(
+        node, [&](const bw::geom::Vec& q) {
+          node.ext->BpConsistentRangeBatch(node.scratch, q, kRangeRadius);
+        });
+    const std::string key(am);
+    json.Set("min_dist_scalar_eps_" + key, min_scalar);
+    json.Set("min_dist_batch_eps_" + key, min_batch);
+    json.Set("min_dist_batch_speedup_" + key, min_batch / min_scalar);
+    json.Set("consistent_scalar_eps_" + key, con_scalar);
+    json.Set("consistent_batch_eps_" + key, con_batch);
+    json.Set("consistent_batch_speedup_" + key, con_batch / con_scalar);
+    std::printf("%-7s min-dist %10.3gM -> %10.3gM (%.2fx)   "
+                "consistent %10.3gM -> %10.3gM (%.2fx)\n",
+                am, min_scalar / 1e6, min_batch / 1e6, min_batch / min_scalar,
+                con_scalar / 1e6, con_batch / 1e6, con_batch / con_scalar);
+  }
+  json.Write(path);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_out = bw::bench::ExtractJsonOutFlag(&argc, argv);
   RegisterAll();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!json_out.empty()) WriteJsonComparison(json_out);
   return 0;
 }

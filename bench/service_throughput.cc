@@ -6,13 +6,19 @@
 // admission-control reject fraction.
 //
 // The container the benches run in may have a single core, so raw CPU
-// parallelism is not what this measures: each worker's private buffer
-// pool charges a simulated random-read latency per miss (--io_delay_us,
-// a scaled-down IoModel::RandomReadMs), and concurrency wins by
-// overlapping those I/O waits — exactly how a disk-bound serving tier
-// scales. Set --io_delay_us=0 on a many-core machine to measure pure
-// CPU scaling instead. Flags accept hyphenated spellings as well
-// (--io-delay-us == --io_delay_us), like every bench binary.
+// parallelism is not what this measures: the buffer pool charges a
+// simulated random-read latency per miss (--io_delay_us, a scaled-down
+// IoModel::RandomReadMs), and concurrency wins by overlapping those
+// I/O waits — exactly how a disk-bound serving tier scales. Set
+// --io_delay_us=0 on a many-core machine to measure pure CPU scaling
+// instead. Flags accept hyphenated spellings as well (--io-delay-us ==
+// --io_delay_us), like every bench binary.
+//
+// Both pool layouts are swept at every worker count — the process-wide
+// sharded pool (the serving default) and the per-worker private pools
+// it replaced — at a constant total page budget, so the shared pool's
+// QPS is directly comparable against the baseline. `--json_out=PATH`
+// records the sweep as a flat JSON object (see BENCH_read_path.json).
 
 #include <algorithm>
 #include <atomic>
@@ -130,6 +136,8 @@ int main(int argc, char** argv) {
   double* open_loop_qps = flags.AddDouble(
       "open_loop_qps", 0.0,
       "offered arrival rate for an extra open-loop run (0 = skip)");
+  std::string* json_out = flags.AddString(
+      "json_out", "", "write sweep results to this JSON file ('' = skip)");
   int exit_code = 0;
   if (!bw::bench::ParseFlagsOrExit(flags, argc, argv, &exit_code)) {
     return exit_code;
@@ -188,45 +196,76 @@ int main(int argc, char** argv) {
   }
 
   using bw::TablePrinter;
-  TablePrinter table({"workers", "QPS", "speedup", "p50 us", "p95 us",
-                      "p99 us", "mean us", "pool hit-rate", "identical"});
-  double qps_at_1 = 0, qps_at_4 = 0;
-  for (size_t workers : sweep) {
-    options.num_workers = workers;
-    const RunOutcome run =
-        RunClosedLoop(tree, queries, k, options,
-                      std::max<size_t>(*clients, workers), expected);
-    if (workers == 1) qps_at_1 = run.qps;
-    if (workers == 4) qps_at_4 = run.qps;
-    const auto& s = run.snap;
-    const double hit_rate =
-        s.pool_hits + s.pool_misses > 0
-            ? static_cast<double>(s.pool_hits) /
-                  static_cast<double>(s.pool_hits + s.pool_misses)
-            : 0.0;
-    table.AddRow({TablePrinter::Count(static_cast<long long>(workers)),
-                  TablePrinter::Num(run.qps, 1),
-                  TablePrinter::Num(qps_at_1 > 0 ? run.qps / qps_at_1 : 1.0, 2),
-                  TablePrinter::Count(static_cast<long long>(s.p50_latency_us)),
-                  TablePrinter::Count(static_cast<long long>(s.p95_latency_us)),
-                  TablePrinter::Count(static_cast<long long>(s.p99_latency_us)),
-                  TablePrinter::Num(s.mean_latency_us, 0),
-                  TablePrinter::Percent(hit_rate),
-                  run.identical ? "yes" : "NO"});
+  bw::bench::MetricsJson json;
+  json.Set("bench", std::string("service_throughput"));
+  json.Set("am", *am);
+  json.Set("io_delay_us", static_cast<double>(*io_delay_us));
+  json.Set("pool_pages_per_worker", static_cast<double>(*pool_pages));
+  double qps_shared_4 = 0, qps_private_4 = 0;
+  for (const bool shared : {true, false}) {
+    options.shared_pool = shared;
+    const char* mode = shared ? "shared" : "private";
+    TablePrinter table({"workers", "QPS", "speedup", "p50 us", "p95 us",
+                        "p99 us", "mean us", "pool hit-rate", "evictions",
+                        "contention", "identical"});
+    double qps_at_1 = 0;
+    for (size_t workers : sweep) {
+      options.num_workers = workers;
+      const RunOutcome run =
+          RunClosedLoop(tree, queries, k, options,
+                        std::max<size_t>(*clients, workers), expected);
+      if (workers == 1) qps_at_1 = run.qps;
+      if (workers == 4) (shared ? qps_shared_4 : qps_private_4) = run.qps;
+      const auto& s = run.snap;
+      const double hit_rate =
+          s.pool_hits + s.pool_misses > 0
+              ? static_cast<double>(s.pool_hits) /
+                    static_cast<double>(s.pool_hits + s.pool_misses)
+              : 0.0;
+      table.AddRow(
+          {TablePrinter::Count(static_cast<long long>(workers)),
+           TablePrinter::Num(run.qps, 1),
+           TablePrinter::Num(qps_at_1 > 0 ? run.qps / qps_at_1 : 1.0, 2),
+           TablePrinter::Count(static_cast<long long>(s.p50_latency_us)),
+           TablePrinter::Count(static_cast<long long>(s.p95_latency_us)),
+           TablePrinter::Count(static_cast<long long>(s.p99_latency_us)),
+           TablePrinter::Num(s.mean_latency_us, 0),
+           TablePrinter::Percent(hit_rate),
+           TablePrinter::Count(static_cast<long long>(s.pool_evictions)),
+           TablePrinter::Count(static_cast<long long>(s.pool_contention)),
+           run.identical ? "yes" : "NO"});
+      const std::string prefix =
+          std::string("qps_") + mode + "_" + std::to_string(workers) + "w";
+      json.Set(prefix, run.qps);
+      json.Set(std::string("hit_rate_") + mode + "_" +
+                   std::to_string(workers) + "w",
+               hit_rate);
+      if (shared) {
+        json.Set("pool_shards", static_cast<double>(s.pool_shards));
+        json.Set(std::string("contention_shared_") + std::to_string(workers) +
+                     "w",
+                 static_cast<double>(s.pool_contention));
+      }
+    }
+    std::printf("closed loop (%s pool): %zu clients, queue depth %lld, "
+                "k=%lld, io_delay=%lldus, pool budget=%lld pages/worker\n%s\n",
+                mode, static_cast<size_t>(*clients),
+                static_cast<long long>(config->queue_depth),
+                static_cast<long long>(config->k),
+                static_cast<long long>(*io_delay_us),
+                static_cast<long long>(*pool_pages),
+                table.ToString().c_str());
   }
-  std::printf("closed loop: %zu clients, queue depth %lld, k=%lld, "
-              "io_delay=%lldus, pool=%lld pages\n%s\n",
-              static_cast<size_t>(*clients),
-              static_cast<long long>(config->queue_depth),
-              static_cast<long long>(config->k),
-              static_cast<long long>(*io_delay_us),
-              static_cast<long long>(*pool_pages),
-              table.ToString().c_str());
 
-  if (qps_at_1 > 0 && qps_at_4 > 0) {
-    std::printf("scaling check: 4 workers / 1 worker = %.2fx aggregate QPS "
-                "(target > 2x)\n\n",
-                qps_at_4 / qps_at_1);
+  if (qps_shared_4 > 0 && qps_private_4 > 0) {
+    json.Set("qps_shared_over_private_4w", qps_shared_4 / qps_private_4);
+    std::printf("pool comparison: shared / private at 4 workers = %.2fx "
+                "aggregate QPS (target >= 1x)\n\n",
+                qps_shared_4 / qps_private_4);
+  }
+  if (!json_out->empty()) {
+    json.Write(*json_out);
+    std::printf("wrote %s\n", json_out->c_str());
   }
 
   if (*open_loop_qps > 0) {

@@ -1,0 +1,79 @@
+#include "am/bp_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bw::am {
+
+void RectMinDistSquared(size_t dim, size_t count, const float* lo,
+                        const float* hi, const geom::Vec& query, double* out) {
+  std::fill(out, out + count, 0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    const double q = query[d];
+    const float* l = lo + d * count;
+    const float* h = hi + d * count;
+    for (size_t e = 0; e < count; ++e) {
+      // Branchless form of Rect::MinDistanceSquared's per-dim gap: for
+      // lo <= hi exactly one of (lo - q), (q - hi) can be positive, so
+      // max(lo - q, q - hi, 0) reproduces the scalar branch selection.
+      const double gl = double(l[e]) - q;
+      const double gh = q - double(h[e]);
+      double gap = gl > gh ? gl : gh;
+      gap = gap > 0.0 ? gap : 0.0;
+      out[e] += gap * gap;
+    }
+  }
+}
+
+void RectMaxDistSquared(size_t dim, size_t count, const float* lo,
+                        const float* hi, const geom::Vec& query, double* out) {
+  std::fill(out, out + count, 0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    const double q = query[d];
+    const float* l = lo + d * count;
+    const float* h = hi + d * count;
+    for (size_t e = 0; e < count; ++e) {
+      const double to_lo = std::abs(q - double(l[e]));
+      const double to_hi = std::abs(q - double(h[e]));
+      const double gap = to_lo > to_hi ? to_lo : to_hi;
+      out[e] += gap * gap;
+    }
+  }
+}
+
+void RectClampMinDistSquared(size_t dim, size_t count, const float* lo,
+                             const float* hi, const geom::Vec& query,
+                             float* clamp_out, double* out) {
+  std::fill(out, out + count, 0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    const float v = query[d];
+    const float* l = lo + d * count;
+    const float* h = hi + d * count;
+    float* c = clamp_out + d * count;
+    for (size_t e = 0; e < count; ++e) {
+      const float cl = v < l[e] ? l[e] : (v > h[e] ? h[e] : v);
+      c[e] = cl;
+      const double gap = double(v) - cl;
+      out[e] += gap * gap;
+    }
+  }
+}
+
+void SphereMinDist(size_t dim, size_t count, const float* center,
+                   const double* radius, const geom::Vec& query, double* out) {
+  std::fill(out, out + count, 0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    const double q = query[d];
+    const float* c = center + d * count;
+    for (size_t e = 0; e < count; ++e) {
+      const double diff = double(c[e]) - q;
+      out[e] += diff * diff;
+    }
+  }
+  for (size_t e = 0; e < count; ++e) {
+    const double d = std::sqrt(out[e]) - radius[e];
+    out[e] = d > 0.0 ? d : 0.0;
+  }
+}
+
+}  // namespace bw::am

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "am/bp_kernels.h"
 #include "am/split_heuristics.h"
 
 namespace bw::am {
@@ -41,6 +42,28 @@ gist::Bytes RtreeExtension::BpFromChildBps(
 double RtreeExtension::BpMinDistance(gist::ByteSpan bp,
                                      const geom::Vec& query) const {
   return std::sqrt(DecodeRect(bp).MinDistanceSquared(query));
+}
+
+void RtreeExtension::BpMinDistanceBatch(gist::BatchScratch& scratch,
+                                        const geom::Vec& query) const {
+  const size_t d = dim();
+  const size_t n = scratch.count();
+  scratch.distances.resize(n);
+  scratch.soa.resize(2 * d * n);
+  float* lo = scratch.soa.data();
+  float* hi = lo + d * n;
+  for (size_t e = 0; e < n; ++e) {
+    const gist::ByteSpan bp = scratch.preds[e];
+    BW_DCHECK_EQ(bp.size(), 2 * d * sizeof(float));
+    for (size_t dd = 0; dd < d; ++dd) {
+      lo[dd * n + e] = ReadFloat(bp, dd);
+      hi[dd * n + e] = ReadFloat(bp, d + dd);
+    }
+  }
+  RectMinDistSquared(d, n, lo, hi, query, scratch.distances.data());
+  for (size_t e = 0; e < n; ++e) {
+    scratch.distances[e] = std::sqrt(scratch.distances[e]);
+  }
 }
 
 double RtreeExtension::BpPenalty(gist::ByteSpan bp,

@@ -27,6 +27,10 @@ class RtreeExtension : public gist::Extension {
   gist::Bytes BpFromChildBps(const std::vector<gist::Bytes>& children) override;
   double BpMinDistance(gist::ByteSpan bp,
                        const geom::Vec& query) const override;
+  /// Batched scan: one SoA decode of the node's MBRs, then the
+  /// vectorized rect kernel. Also covers the R*-tree (same BP codec).
+  void BpMinDistanceBatch(gist::BatchScratch& scratch,
+                          const geom::Vec& query) const override;
   double BpPenalty(gist::ByteSpan bp, const geom::Vec& point) const override;
   geom::Vec BpCenter(gist::ByteSpan bp) const override;
   gist::Bytes BpIncludePoint(gist::ByteSpan bp,

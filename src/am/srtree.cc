@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "am/bp_kernels.h"
 #include "am/split_heuristics.h"
 
 namespace bw::am {
@@ -76,6 +77,39 @@ double SrTreeExtension::BpMinDistance(gist::ByteSpan bp,
   const double rect_bound = std::sqrt(DecodeRect(bp).MinDistanceSquared(query));
   const double sphere_bound = DecodeSphere(bp).MinDistance(query);
   return std::max(rect_bound, sphere_bound);
+}
+
+void SrTreeExtension::BpMinDistanceBatch(gist::BatchScratch& scratch,
+                                         const geom::Vec& query) const {
+  const size_t d = dim();
+  const size_t n = scratch.count();
+  scratch.distances.resize(n);
+  scratch.soa.resize(3 * d * n);
+  scratch.soa_d.resize(2 * n);
+  float* lo = scratch.soa.data();
+  float* hi = lo + d * n;
+  float* center = hi + d * n;
+  double* rect_sq = scratch.soa_d.data();
+  double* radius = rect_sq + n;
+  for (size_t e = 0; e < n; ++e) {
+    const gist::ByteSpan bp = scratch.preds[e];
+    BW_DCHECK_EQ(bp.size(), (3 * d + 1) * sizeof(float) + sizeof(uint32_t));
+    for (size_t dd = 0; dd < d; ++dd) {
+      lo[dd * n + e] = ReadFloat(bp, dd);
+      hi[dd * n + e] = ReadFloat(bp, d + dd);
+      center[dd * n + e] = ReadFloat(bp, 2 * d + dd);
+    }
+    // Same decode-time padding as DecodeSphere.
+    double r = ReadFloat(bp, 3 * d);
+    r += 1e-5 * (1.0 + r);
+    radius[e] = r;
+  }
+  RectMinDistSquared(d, n, lo, hi, query, rect_sq);
+  SphereMinDist(d, n, center, radius, query, scratch.distances.data());
+  for (size_t e = 0; e < n; ++e) {
+    const double rect_bound = std::sqrt(rect_sq[e]);
+    if (rect_bound > scratch.distances[e]) scratch.distances[e] = rect_bound;
+  }
 }
 
 double SrTreeExtension::BpPenalty(gist::ByteSpan bp,

@@ -28,6 +28,10 @@ class SrTreeExtension : public gist::Extension {
   gist::Bytes BpFromChildBps(const std::vector<gist::Bytes>& children) override;
   double BpMinDistance(gist::ByteSpan bp,
                        const geom::Vec& query) const override;
+  /// Batched scan: rect and sphere kernels over one SoA decode, combined
+  /// with the same max() as the scalar bound.
+  void BpMinDistanceBatch(gist::BatchScratch& scratch,
+                          const geom::Vec& query) const override;
   double BpPenalty(gist::ByteSpan bp, const geom::Vec& point) const override;
   geom::Vec BpCenter(gist::ByteSpan bp) const override;
   gist::Bytes BpIncludePoint(gist::ByteSpan bp,

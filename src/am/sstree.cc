@@ -1,5 +1,6 @@
 #include "am/sstree.h"
 
+#include "am/bp_kernels.h"
 #include "am/split_heuristics.h"
 
 namespace bw::am {
@@ -60,6 +61,28 @@ gist::Bytes SsTreeExtension::BpFromChildBps(
 double SsTreeExtension::BpMinDistance(gist::ByteSpan bp,
                                       const geom::Vec& query) const {
   return DecodeSphere(bp).MinDistance(query);
+}
+
+void SsTreeExtension::BpMinDistanceBatch(gist::BatchScratch& scratch,
+                                         const geom::Vec& query) const {
+  const size_t d = dim();
+  const size_t n = scratch.count();
+  scratch.distances.resize(n);
+  scratch.soa.resize(d * n);
+  scratch.soa_d.resize(n);
+  for (size_t e = 0; e < n; ++e) {
+    const gist::ByteSpan bp = scratch.preds[e];
+    BW_DCHECK_EQ(bp.size(), (d + 1) * sizeof(float) + sizeof(uint32_t));
+    for (size_t dd = 0; dd < d; ++dd) {
+      scratch.soa[dd * n + e] = ReadFloat(bp, dd);
+    }
+    // Same decode-time padding as DecodeSphere.
+    double radius = ReadFloat(bp, d);
+    radius += 1e-5 * (1.0 + radius);
+    scratch.soa_d[e] = radius;
+  }
+  SphereMinDist(d, n, scratch.soa.data(), scratch.soa_d.data(), query,
+                scratch.distances.data());
 }
 
 double SsTreeExtension::BpPenalty(gist::ByteSpan bp,

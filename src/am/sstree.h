@@ -27,6 +27,10 @@ class SsTreeExtension : public gist::Extension {
   gist::Bytes BpFromChildBps(const std::vector<gist::Bytes>& children) override;
   double BpMinDistance(gist::ByteSpan bp,
                        const geom::Vec& query) const override;
+  /// Batched scan: centers decoded into SoA planes, padded radii into
+  /// the double staging, then the vectorized sphere kernel.
+  void BpMinDistanceBatch(gist::BatchScratch& scratch,
+                          const geom::Vec& query) const override;
   double BpPenalty(gist::ByteSpan bp, const geom::Vec& point) const override;
   geom::Vec BpCenter(gist::ByteSpan bp) const override;
   gist::Bytes BpIncludePoint(gist::ByteSpan bp,

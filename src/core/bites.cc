@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <cmath>
+#include <vector>
 
 #include "util/logging.h"
 
@@ -264,28 +265,246 @@ namespace {
 // distance is returned, which is always admissible.
 constexpr size_t kMaxRegionDim = 16;
 
-// Allocation-free state for the region-distance search: boxes live in
-// fixed stack arrays (BpMinDistance sits on the k-NN hot path, where a
-// heap allocation per box would dominate the kernel cost).
+// Allocation-free state for the region-distance search: points into the
+// caller's staged live-bite arrays (a stack JaggedLiveBites in the
+// common case; BpMinDistance sits on the k-NN hot path, where a heap
+// allocation per box would dominate the kernel cost).
 struct RegionSearch {
-  const geom::Vec* query;
-  // Live non-empty bites, pre-filtered once (at most 2^12 tracked; a
-  // 12-D jagged BP is already far beyond any page budget). Each bite is
-  // a corner mask plus a pointer to its `dim` inner coordinates.
-  uint32_t live_corner[4096];
-  const float* live_inner[4096];
+  const geom::Vec* query = nullptr;
+  const uint32_t* live_corner = nullptr;
+  const float* const* live_inner = nullptr;
+  // Branchless covering-test bounds (see JaggedLiveBites): replacing the
+  // per-dimension corner-mask branches with pure float compares removes
+  // the data-dependent mispredictions that dominated the scan.
+  const float* test_lo = nullptr;
+  const float* test_hi = nullptr;
   size_t live_count = 0;
   size_t dim = 0;
   int budget = 0;
 };
 
+void PointSearchAtLive(RegionSearch& search, const JaggedLiveBites& live) {
+  search.live_corner = live.corner;
+  search.live_inner = live.inner;
+  search.test_lo = live.test_lo;
+  search.test_hi = live.test_hi;
+  search.live_count = live.count;
+}
+
+// Overflow staging for BPs with more than JaggedLiveBites::kMaxBites
+// bites (JB beyond 8 dimensions): same layout, heap-backed,
+// thread-local so the hot path never allocates after warm-up.
+struct OverflowLiveBites {
+  std::vector<uint32_t> corner;
+  std::vector<const float*> inner;
+  std::vector<float> bounds;  // test_lo then test_hi, cap*dim each
+  size_t count = 0;
+};
+
+OverflowLiveBites& OverflowScratch() {
+  static thread_local OverflowLiveBites scratch;
+  return scratch;
+}
+
+// Fills the overflow staging arrays (empty bites filtered out, codec
+// order preserved — the same live filter JaggedLiveBites::Add applies)
+// and points `search` at them.
+void BuildOverflowLiveBites(RegionSearch& search, size_t dim,
+                            const float* lo, const float* hi,
+                            const uint32_t* corners, const float* inners,
+                            size_t bite_count) {
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  OverflowLiveBites& live = OverflowScratch();
+  const size_t cap = std::min<size_t>(bite_count, 4096);
+  live.corner.resize(cap);
+  live.inner.resize(cap);
+  live.bounds.resize(2 * cap * dim);
+  live.count = 0;
+  float* test_lo = live.bounds.data();
+  float* test_hi = test_lo + cap * dim;
+  for (size_t b = 0; b < bite_count && live.count < cap; ++b) {
+    const uint32_t corner = corners[b];
+    const float* inner = inners + b * dim;
+    // Write the tentative live slot unconditionally (branchless; an
+    // empty bite's slot is simply overwritten by the next candidate).
+    const size_t slot = live.count;
+    unsigned empty = 0;
+    for (size_t d = 0; d < dim; ++d) {
+      const unsigned hi_side = (corner >> d) & 1u;
+      const float corner_coord = hi_side ? hi[d] : lo[d];
+      const float in = inner[d];
+      empty |= unsigned(in == corner_coord);
+      test_lo[slot * dim + d] = hi_side ? in : -kInf;
+      test_hi[slot * dim + d] = hi_side ? kInf : in;
+    }
+    live.corner[slot] = corner;
+    live.inner[slot] = inner;
+    live.count += 1 - empty;
+  }
+  search.live_corner = live.corner.data();
+  search.live_inner = live.inner.data();
+  search.test_lo = test_lo;
+  search.test_hi = test_hi;
+  search.live_count = live.count;
+}
+
+// The recursion below is templated on the dimensionality (DIM == 0 is
+// the runtime-dim fallback): the paper's workloads live at d <= 8, and
+// fixing DIM at compile time fully unrolls the per-dimension loops in
+// the covering scan, the clamp, and the child staging — the arithmetic
+// is unchanged (no reassociation), so the result is bit-identical to
+// the generic path.
+
+// Index of the first live bite strictly containing the clamp point, or
+// live_count if none. Same scan order and same strict float compares as
+// the pre-SoA per-bite loop, so the selected bite (and therefore the
+// whole recursion) is unchanged; only the branches are gone.
+template <size_t DIM>
+size_t FirstCoveringBite(const RegionSearch& search, const float* clamped) {
+  const size_t dim = DIM == 0 ? search.dim : DIM;
+  for (size_t b = 0; b < search.live_count; ++b) {
+    const float* blo = search.test_lo + b * dim;
+    const float* bhi = search.test_hi + b * dim;
+    unsigned inside = 1;
+    for (size_t d = 0; d < dim; ++d) {
+      inside &= unsigned(blo[d] < clamped[d]) & unsigned(clamped[d] < bhi[d]);
+    }
+    if (inside) return b;
+  }
+  return search.live_count;
+}
+
+template <size_t DIM>
+double SplitAroundBite(RegionSearch& search, const float* lo, const float* hi,
+                       const float* clamped, double box_dist,
+                       uint32_t covering_corner, const float* covering_inner,
+                       double upper);
+
+// Continues a box evaluation past its (already computed) clamp and box
+// distance: consume a budget tick, look for a covering live bite, and
+// split around it if one exists. The caller has already applied the
+// `box_dist >= upper` prune.
+template <size_t DIM>
+double RegionDistanceResume(RegionSearch& search, const float* lo,
+                            const float* hi, const float* clamped,
+                            double box_dist, double upper) {
+  if (--search.budget < 0) return box_dist;
+  const size_t covering = FirstCoveringBite<DIM>(search, clamped);
+  if (covering == search.live_count) {
+    // The clamp point itself is in the region: exact.
+    return box_dist;
+  }
+  return SplitAroundBite<DIM>(search, lo, hi, clamped, box_dist,
+                              search.live_corner[covering],
+                              search.live_inner[covering], upper);
+}
+
+// The recursive step once a covering bite is known: the region distance
+// of (box \ bites) is the min over the <= dim sub-boxes obtained by
+// clipping the box at the covering bite's interior face in each
+// dimension. Children are visited nearest-first (by their plain box
+// distance, which the split can compute cheaply before recursing):
+// best-first order tightens `best` as fast as possible, and because a
+// child's region distance is at least its box distance, the sorted scan
+// stops outright once `best` is at or below the next child's box
+// distance — the dominant saving on deep decompositions.
+template <size_t DIM>
+double SplitAroundBite(RegionSearch& search, const float* lo, const float* hi,
+                       const float* clamped, double box_dist,
+                       uint32_t covering_corner, const float* covering_inner,
+                       double upper) {
+  const size_t dim = DIM == 0 ? search.dim : DIM;
+  const geom::Vec& q = *search.query;
+
+  // The parent's per-dimension squared gaps, recomputed from its clamp
+  // point — identical values and rounding as the parent's own
+  // accumulation. A child box differs from its parent in exactly one
+  // dimension, so each child's clamp and box distance need only one
+  // dimension recomputed; re-summing the squared gaps in ascending
+  // dimension order keeps the staged distance bit-identical to what a
+  // fresh child evaluation would produce.
+  double g2[kMaxRegionDim];
+  for (size_t d = 0; d < dim; ++d) {
+    const double gap = double(q[d]) - clamped[d];
+    g2[d] = gap * gap;
+  }
+
+  // Stage every non-vanished child's clamp coordinate and box distance
+  // (no budget consumed: this mirrors the upper-bound prune a child
+  // evaluation would apply before its own budget tick).
+  double child_dist[kMaxRegionDim];
+  float child_c[kMaxRegionDim];  // the one clamp coordinate that changes
+  uint8_t child_dim[kMaxRegionDim];
+  size_t child_count = 0;
+  for (size_t d = 0; d < dim; ++d) {
+    const bool hi_side = ((covering_corner >> d) & 1u) != 0;
+    const float clip = covering_inner[d];
+    const float nlo = hi_side ? lo[d] : std::max(lo[d], clip);
+    const float nhi = hi_side ? std::min(hi[d], clip) : hi[d];
+    if (nlo > nhi) continue;  // Sub-box vanished.
+    const float v = q[d];
+    const float c = v < nlo ? nlo : (v > nhi ? nhi : v);
+    const double gap = double(v) - c;
+    const double saved = g2[d];
+    g2[d] = gap * gap;
+    double sum = 0.0;
+    for (size_t dd = 0; dd < dim; ++dd) sum += g2[dd];
+    g2[d] = saved;
+    child_dist[child_count] = std::sqrt(sum);
+    child_c[child_count] = c;
+    child_dim[child_count] = static_cast<uint8_t>(d);
+    ++child_count;
+  }
+
+  // Nearest-first visit order (insertion sort: at most `dim` children).
+  size_t order[kMaxRegionDim];
+  for (size_t i = 0; i < child_count; ++i) order[i] = i;
+  for (size_t i = 1; i < child_count; ++i) {
+    const size_t k = order[i];
+    size_t j = i;
+    for (; j > 0 && child_dist[order[j - 1]] > child_dist[k]; --j) {
+      order[j] = order[j - 1];
+    }
+    order[j] = k;
+  }
+
+  double best = upper;
+  float child_lo[kMaxRegionDim];
+  float child_hi[kMaxRegionDim];
+  float child_clamp[kMaxRegionDim];
+  for (size_t i = 0; i < child_count; ++i) {
+    const size_t k = order[i];
+    // Sorted prune: every remaining child's box distance is >= this
+    // one's, so none can improve `best`.
+    if (child_dist[k] >= best) break;
+    const size_t d = child_dim[k];
+    std::copy(lo, lo + dim, child_lo);
+    std::copy(hi, hi + dim, child_hi);
+    std::copy(clamped, clamped + dim, child_clamp);
+    child_clamp[d] = child_c[k];
+    if ((covering_corner >> d) & 1u) {
+      child_hi[d] = std::min(child_hi[d], covering_inner[d]);
+    } else {
+      child_lo[d] = std::max(child_lo[d], covering_inner[d]);
+    }
+    best = std::min(best, RegionDistanceResume<DIM>(search, child_lo, child_hi,
+                                                    child_clamp, child_dist[k],
+                                                    best));
+    if (best <= box_dist + 1e-12) break;  // Cannot get closer than the box.
+  }
+  // If every sub-box vanished (the bites cover this whole box), `best`
+  // stays at `upper`, correctly pruning the branch: no data lives here.
+  return best;
+}
+
 // `upper` is the best region distance found so far anywhere in the
 // search: branches whose plain box distance already reaches it cannot
 // improve the answer and are pruned (branch and bound).
+template <size_t DIM>
 double RegionDistanceImpl(RegionSearch& search, const float* lo,
                           const float* hi, double upper) {
   const geom::Vec& q = *search.query;
-  const size_t dim = search.dim;
+  const size_t dim = DIM == 0 ? search.dim : DIM;
 
   double box_dist_sq = 0.0;
   float clamped[kMaxRegionDim];
@@ -298,57 +517,55 @@ double RegionDistanceImpl(RegionSearch& search, const float* lo,
   }
   const double box_dist = std::sqrt(box_dist_sq);
   if (box_dist >= upper) return upper;
-  if (--search.budget < 0) return box_dist;
+  return RegionDistanceResume<DIM>(search, lo, hi, clamped, box_dist, upper);
+}
 
-  uint32_t covering_corner = 0;
-  const float* covering_inner = nullptr;
-  for (size_t b = 0; b < search.live_count; ++b) {
-    const uint32_t corner = search.live_corner[b];
-    const float* inner = search.live_inner[b];
-    bool inside = true;
-    for (size_t d = 0; d < dim; ++d) {
-      if ((corner >> d) & 1u) {
-        if (!(clamped[d] > inner[d])) {
-          inside = false;
-          break;
-        }
-      } else {
-        if (!(clamped[d] < inner[d])) {
-          inside = false;
-          break;
-        }
-      }
-    }
-    if (inside) {
-      covering_corner = corner;
-      covering_inner = inner;
-      break;
-    }
+// Dispatches once per region search to the dim-specialized recursion
+// (dims 2..8 cover every paper workload; 0 is the runtime-dim fallback).
+double RegionDistanceDispatch(RegionSearch& search, const float* lo,
+                              const float* hi, double upper) {
+  switch (search.dim) {
+    case 2: return RegionDistanceImpl<2>(search, lo, hi, upper);
+    case 3: return RegionDistanceImpl<3>(search, lo, hi, upper);
+    case 4: return RegionDistanceImpl<4>(search, lo, hi, upper);
+    case 5: return RegionDistanceImpl<5>(search, lo, hi, upper);
+    case 6: return RegionDistanceImpl<6>(search, lo, hi, upper);
+    case 7: return RegionDistanceImpl<7>(search, lo, hi, upper);
+    case 8: return RegionDistanceImpl<8>(search, lo, hi, upper);
+    default: return RegionDistanceImpl<0>(search, lo, hi, upper);
   }
-  if (covering_inner == nullptr) {
-    // The clamp point itself is in the region: exact.
-    return box_dist;
-  }
+}
 
-  double best = upper;
-  float child_lo[kMaxRegionDim];
-  float child_hi[kMaxRegionDim];
-  for (size_t d = 0; d < dim; ++d) {
-    std::copy(lo, lo + dim, child_lo);
-    std::copy(hi, hi + dim, child_hi);
-    if ((covering_corner >> d) & 1u) {
-      child_hi[d] = std::min(child_hi[d], covering_inner[d]);
-    } else {
-      child_lo[d] = std::max(child_lo[d], covering_inner[d]);
-    }
-    if (child_lo[d] > child_hi[d]) continue;  // Sub-box vanished.
-    best = std::min(best,
-                    RegionDistanceImpl(search, child_lo, child_hi, best));
-    if (best <= box_dist + 1e-12) break;  // Cannot get closer than the box.
+double SplitAroundBiteDispatch(RegionSearch& search, const float* lo,
+                               const float* hi, const float* clamped,
+                               double box_dist, uint32_t covering_corner,
+                               const float* covering_inner, double upper) {
+  switch (search.dim) {
+    case 2:
+      return SplitAroundBite<2>(search, lo, hi, clamped, box_dist,
+                                covering_corner, covering_inner, upper);
+    case 3:
+      return SplitAroundBite<3>(search, lo, hi, clamped, box_dist,
+                                covering_corner, covering_inner, upper);
+    case 4:
+      return SplitAroundBite<4>(search, lo, hi, clamped, box_dist,
+                                covering_corner, covering_inner, upper);
+    case 5:
+      return SplitAroundBite<5>(search, lo, hi, clamped, box_dist,
+                                covering_corner, covering_inner, upper);
+    case 6:
+      return SplitAroundBite<6>(search, lo, hi, clamped, box_dist,
+                                covering_corner, covering_inner, upper);
+    case 7:
+      return SplitAroundBite<7>(search, lo, hi, clamped, box_dist,
+                                covering_corner, covering_inner, upper);
+    case 8:
+      return SplitAroundBite<8>(search, lo, hi, clamped, box_dist,
+                                covering_corner, covering_inner, upper);
+    default:
+      return SplitAroundBite<0>(search, lo, hi, clamped, box_dist,
+                                covering_corner, covering_inner, upper);
   }
-  // If every sub-box vanished (the bites cover this whole box), `best`
-  // stays at `upper`, correctly pruning the branch: no data lives here.
-  return best;
 }
 
 }  // namespace
@@ -361,24 +578,43 @@ double JaggedMinDistanceRaw(size_t dim, const float* lo, const float* hi,
   search.query = &query;
   search.dim = dim;
   search.budget = 48;
-  for (size_t b = 0; b < bite_count && search.live_count < 4096; ++b) {
-    const uint32_t corner = corners[b];
-    const float* inner = inners + b * dim;
-    bool empty = false;
-    for (size_t d = 0; d < dim; ++d) {
-      const float corner_coord = ((corner >> d) & 1u) ? hi[d] : lo[d];
-      if (inner[d] == corner_coord) {
-        empty = true;
-        break;
-      }
+  JaggedLiveBites live;
+  if (bite_count <= JaggedLiveBites::kMaxBites) {
+    for (size_t b = 0; b < bite_count; ++b) {
+      live.Add(dim, lo, hi, corners[b], inners + b * dim);
     }
-    if (empty) continue;
-    search.live_corner[search.live_count] = corner;
-    search.live_inner[search.live_count] = inner;
-    ++search.live_count;
+    PointSearchAtLive(search, live);
+  } else {
+    BuildOverflowLiveBites(search, dim, lo, hi, corners, inners, bite_count);
   }
-  return RegionDistanceImpl(search, lo, hi,
-                            std::numeric_limits<double>::infinity());
+  return RegionDistanceDispatch(search, lo, hi,
+                                std::numeric_limits<double>::infinity());
+}
+
+double JaggedMinDistanceStaged(size_t dim, const float* lo, const float* hi,
+                               const JaggedLiveBites& live,
+                               size_t covering_live_index,
+                               const geom::Vec& query, const float* clamped,
+                               double box_dist_sq) {
+  BW_CHECK_LE(dim, kMaxRegionDim);
+  RegionSearch search;
+  search.query = &query;
+  search.dim = dim;
+  // Replays the root-level step of JaggedMinDistanceRaw without
+  // recomputing the clamp or rescanning for the covering bite: at the
+  // root, `upper` is +inf (the box-distance prune cannot fire) and the
+  // budget check (48 -> 47) cannot fire either, and the caller's
+  // mask-filtered covering test selects the same first live bite the
+  // root scan would (the filter drops only provably-non-containing
+  // bites and preserves codec order), so resuming at the split is a
+  // bit-identical recursion.
+  search.budget = 47;
+  PointSearchAtLive(search, live);
+  const double box_dist = std::sqrt(box_dist_sq);
+  return SplitAroundBiteDispatch(search, lo, hi, clamped, box_dist,
+                                 live.corner[covering_live_index],
+                                 live.inner[covering_live_index],
+                                 std::numeric_limits<double>::infinity());
 }
 
 double JaggedMinDistance(const geom::Rect& mbr,

@@ -17,6 +17,7 @@
 #define BLOBWORLD_CORE_BITES_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "geom/rect.h"
@@ -93,6 +94,70 @@ double JaggedMinDistance(const geom::Rect& mbr,
 double JaggedMinDistanceRaw(size_t dim, const float* lo, const float* hi,
                             const uint32_t* corners, const float* inners,
                             size_t bite_count, const geom::Vec& query);
+
+/// Live (non-empty) bites staged for the region search, built in one
+/// pass by the caller. Holds the corner masks, pointers to the inner
+/// coordinates (caller-owned storage that must outlive the search), and
+/// the branchless covering-test bounds: a clamp point c is strictly
+/// inside live bite b iff for every dimension d
+///   test_lo[b*dim + d] < c[d] < test_hi[b*dim + d]
+/// (the side a bite does not constrain is +-infinity, which a finite
+/// clamp coordinate always passes, so the two-sided compare equals the
+/// one-sided strict test the scalar path performs).
+struct JaggedLiveBites {
+  static constexpr size_t kMaxBites = 256;
+  static constexpr size_t kMaxDim = 16;
+
+  uint32_t corner[kMaxBites];
+  const float* inner[kMaxBites];
+  float test_lo[kMaxBites * kMaxDim];
+  float test_hi[kMaxBites * kMaxDim];
+  size_t count = 0;
+
+  /// Appends a bite, filtering empty ones (inner on the MBR corner in
+  /// any dimension) exactly like the region search's live filter.
+  /// Returns the live index, or kMaxBites if the bite was empty or
+  /// capacity is exhausted. `inner_coords` must stay valid for the
+  /// lifetime of the search. DIM, when non-zero, fixes the
+  /// dimensionality at compile time so the loop unrolls (same
+  /// comparisons and stores — the result is identical).
+  template <size_t DIM = 0>
+  size_t Add(size_t dim, const float* lo, const float* hi,
+             uint32_t corner_mask, const float* inner_coords) {
+    if (count >= kMaxBites) return kMaxBites;
+    if (DIM != 0) dim = DIM;
+    const size_t live = count;
+    unsigned empty = 0;
+    for (size_t d = 0; d < dim; ++d) {
+      const unsigned hi_side = (corner_mask >> d) & 1u;
+      const float corner_coord = hi_side ? hi[d] : lo[d];
+      const float in = inner_coords[d];
+      empty |= unsigned(in == corner_coord);
+      constexpr float kInf = std::numeric_limits<float>::infinity();
+      test_lo[live * dim + d] = hi_side ? in : -kInf;
+      test_hi[live * dim + d] = hi_side ? kInf : in;
+    }
+    corner[live] = corner_mask;
+    inner[live] = inner_coords;
+    count += 1 - empty;
+    return empty ? kMaxBites : live;
+  }
+};
+
+/// Entry point for the batched node scan, which has already clamped the
+/// query onto the MBR (with the identical per-dimension float select),
+/// accumulated the squared box distance in the identical dimension
+/// order, staged the live bites, and identified the first live bite
+/// strictly containing the clamp point. Skips the root box evaluation
+/// and the root covering scan and resumes the region search from there;
+/// bit-identical to JaggedMinDistanceRaw over the same bites by
+/// construction (at the root, the prune and budget checks cannot fire,
+/// and the covering scan would select exactly `covering_live_index`).
+double JaggedMinDistanceStaged(size_t dim, const float* lo, const float* hi,
+                               const JaggedLiveBites& live,
+                               size_t covering_live_index,
+                               const geom::Vec& query, const float* clamped,
+                               double box_dist_sq);
 
 }  // namespace bw::core
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "am/bp_kernels.h"
 #include "am/split_heuristics.h"
 
 namespace bw::core {
@@ -140,6 +141,240 @@ gist::Bytes JbExtension::Encode(const geom::Rect& mbr,
   return out;
 }
 
+namespace {
+// Stack-staging caps for the batched covered fallback, mirroring the
+// scalar overrides' own stack buffers; oversized BPs (which those
+// overrides also route to the generic decoding path) take the virtual
+// scalar call instead.
+constexpr size_t kMaxBatchBites = 256;
+constexpr size_t kMaxBatchDim = 16;
+}  // namespace
+
+template <size_t DIM>
+double JaggedExtension::BatchCoveredMinDistance(gist::ByteSpan bp,
+                                                const geom::Vec& query,
+                                                size_t bite_count,
+                                                bool interleaved,
+                                                size_t covering_bite,
+                                                const float* clamped,
+                                                double box_dist_sq) const {
+  const size_t d = DIM == 0 ? dim() : DIM;
+  if (bite_count > kMaxBatchBites || d > kMaxBatchDim) {
+    return BpMinDistance(bp, query);
+  }
+  // Single staging pass: de-interleave the codec records AND build the
+  // live-bite arrays (with their branchless covering-test bounds) in one
+  // sweep, tracking where the covering bite the batch test already
+  // identified lands in the live list. The region search then resumes
+  // directly at the split around that bite — no second decode pass, no
+  // root covering rescan.
+  float mbr[2 * kMaxBatchDim];
+  float inners[kMaxBatchBites * kMaxBatchDim];
+  std::memcpy(mbr, bp.data(), 2 * d * sizeof(float));
+  JaggedLiveBites live;
+  size_t covering_live = JaggedLiveBites::kMaxBites;
+  if (interleaved) {
+    // XJB: (corner, inner) records after the MBR.
+    size_t offset = 2 * d * sizeof(float);
+    for (size_t b = 0; b < bite_count; ++b) {
+      uint32_t corner;
+      std::memcpy(&corner, bp.data() + offset, sizeof(uint32_t));
+      offset += sizeof(uint32_t);
+      std::memcpy(&inners[b * d], bp.data() + offset, d * sizeof(float));
+      offset += d * sizeof(float);
+      const size_t li =
+          live.Add<DIM>(d, mbr, mbr + d, corner, &inners[b * d]);
+      if (b == covering_bite) covering_live = li;
+    }
+  } else {
+    // JB: inners are already planar after the MBR; corners positional.
+    std::memcpy(inners, bp.data() + 2 * d * sizeof(float),
+                bite_count * d * sizeof(float));
+    for (size_t b = 0; b < bite_count; ++b) {
+      const size_t li = live.Add<DIM>(d, mbr, mbr + d,
+                                      static_cast<uint32_t>(b), &inners[b * d]);
+      if (b == covering_bite) covering_live = li;
+    }
+  }
+  if (covering_live == JaggedLiveBites::kMaxBites) {
+    // Unreachable for a well-formed BP (the batch test found the clamp
+    // strictly inside `covering_bite`, which implies it is non-empty and
+    // within capacity); decode-path fallback keeps the answer correct
+    // regardless.
+    return BpMinDistance(bp, query);
+  }
+  return JaggedMinDistanceStaged(d, mbr, mbr + d, live, covering_live, query,
+                                 clamped, box_dist_sq);
+}
+
+template <size_t DIM>
+void JaggedExtension::BatchScanImpl(gist::BatchScratch& scratch,
+                                    const geom::Vec& query, size_t bite_count,
+                                    bool interleaved, bool range_mode,
+                                    double radius) const {
+  const size_t d = DIM == 0 ? dim() : DIM;
+  const size_t n = scratch.count();
+  scratch.distances.resize(n);
+  if (range_mode) scratch.consistent.resize(n);
+  scratch.soa.resize(3 * d * n);
+  float* lo = scratch.soa.data();
+  float* hi = lo + d * n;
+  float* clamp = hi + d * n;
+  for (size_t e = 0; e < n; ++e) {
+    const gist::ByteSpan bp = scratch.preds[e];
+    for (size_t dd = 0; dd < d; ++dd) {
+      lo[dd * n + e] = ReadFloat(bp, dd);
+      hi[dd * n + e] = ReadFloat(bp, d + dd);
+    }
+  }
+  // Vectorized pass: clamp of the query onto every MBR + box distance,
+  // with the exact per-dim arithmetic of the region search.
+  am::RectClampMinDistSquared(d, n, lo, hi, query, clamp,
+                              scratch.distances.data());
+  if (d > kMaxBatchDim) {
+    // Beyond the stack-staging caps every entry takes the scalar path
+    // (the region search itself also caps at 16 dimensions).
+    for (size_t e = 0; e < n; ++e) {
+      scratch.distances[e] = BpMinDistance(scratch.preds[e], query);
+      if (range_mode) {
+        scratch.consistent[e] = scratch.distances[e] <= radius ? 1 : 0;
+      }
+    }
+    return;
+  }
+  for (size_t e = 0; e < n; ++e) {
+    if (range_mode) {
+      // Radius push-down: the region distance is never below the box
+      // distance, so a box already beyond the radius decides the entry
+      // without the covering test or the region search. (Compared as
+      // distances, not squares, to reuse the exact scalar `<= radius`
+      // arithmetic on the boundary.)
+      const double box_dist = std::sqrt(scratch.distances[e]);
+      if (!(box_dist <= radius)) {
+        scratch.distances[e] = box_dist;
+        scratch.consistent[e] = 0;
+        continue;
+      }
+    }
+    const gist::ByteSpan bp = scratch.preds[e];
+    // Is the clamp point strictly inside any bite? Strict inequality on
+    // every axis implies the bite is non-empty (clamp can never lie
+    // strictly beyond its own MBR face), so the scalar path's empty-bite
+    // filter needs no separate check here.
+    //
+    // Corner-mask pre-filter: a dimension whose clamp coordinate sits ON
+    // an MBR face pins the corner bit a containing bite could have — a
+    // clamp at lo[dd] can never be strictly past a hi-side bite's inner
+    // face (codec invariant: inners lie within the MBR), and vice versa.
+    // Distant queries clamp onto faces in most dimensions, so the two
+    // u32 mask compares below reject almost every bite without touching
+    // its inner coordinates.
+    float clamped[kMaxBatchDim];
+    uint32_t face_lo = 0;  // dims clamped onto the lo face: corner bit must be 0
+    uint32_t face_hi = 0;  // dims clamped onto the hi face: corner bit must be 1
+    for (size_t dd = 0; dd < d; ++dd) {
+      const float cl = clamp[dd * n + e];
+      clamped[dd] = cl;
+      face_lo |= uint32_t(cl == lo[dd * n + e]) << dd;
+      face_hi |= uint32_t(cl == hi[dd * n + e]) << dd;
+    }
+    size_t covering = bite_count;
+    for (size_t b = 0; b < bite_count && covering == bite_count; ++b) {
+      uint32_t corner;
+      size_t inner_base;  // float index of the bite's first inner coord.
+      if (interleaved) {
+        const size_t rec = 2 * d + b * (1 + d);
+        corner = ReadU32(bp, rec * sizeof(float));
+        inner_base = rec + 1;
+      } else {
+        corner = static_cast<uint32_t>(b);
+        inner_base = (2 + b) * d;
+      }
+      if ((corner & face_lo) != 0 || (face_hi & ~corner) != 0) continue;
+      // Branchless per-dimension strict-inside test for the rare
+      // candidates that survive the mask filter.
+      unsigned inside = 1;
+      for (size_t dd = 0; dd < d; ++dd) {
+        const float inner = ReadFloat(bp, inner_base + dd);
+        const unsigned hi_side = (corner >> dd) & 1u;
+        inside &= hi_side ? unsigned(clamped[dd] > inner)
+                          : unsigned(clamped[dd] < inner);
+      }
+      if (inside) covering = b;
+    }
+    if (covering != bite_count) {
+      // The query impinges into a carved corner: the answer needs the
+      // recursive region decomposition. Resume the region search from
+      // the clamp, squared box distance, and covering bite this pass
+      // already produced (bit-identical to the scalar path by
+      // construction; see JaggedMinDistanceStaged).
+      scratch.distances[e] = BatchCoveredMinDistance<DIM>(
+          bp, query, bite_count, interleaved, covering, clamped,
+          scratch.distances[e]);
+    } else {
+      // The clamp point itself is in the jagged region: the box distance
+      // is exact, as in RegionDistanceImpl's no-covering-bite return.
+      scratch.distances[e] = std::sqrt(scratch.distances[e]);
+    }
+    if (range_mode) {
+      // Same doubles as the scalar path reached this point, so the
+      // `<= radius` decision is bit-identical.
+      scratch.consistent[e] = scratch.distances[e] <= radius ? 1 : 0;
+    }
+  }
+}
+
+void JaggedExtension::BatchMinDistanceImpl(gist::BatchScratch& scratch,
+                                           const geom::Vec& query,
+                                           size_t bite_count,
+                                           bool interleaved) const {
+  // One dim dispatch per node scan: the specialized bodies fully unroll
+  // their per-dimension loops (dims 2..8 cover the paper's workloads).
+  switch (dim()) {
+    case 2: return BatchScanImpl<2>(scratch, query, bite_count, interleaved,
+                                    /*range_mode=*/false, 0.0);
+    case 3: return BatchScanImpl<3>(scratch, query, bite_count, interleaved,
+                                    /*range_mode=*/false, 0.0);
+    case 4: return BatchScanImpl<4>(scratch, query, bite_count, interleaved,
+                                    /*range_mode=*/false, 0.0);
+    case 5: return BatchScanImpl<5>(scratch, query, bite_count, interleaved,
+                                    /*range_mode=*/false, 0.0);
+    case 6: return BatchScanImpl<6>(scratch, query, bite_count, interleaved,
+                                    /*range_mode=*/false, 0.0);
+    case 7: return BatchScanImpl<7>(scratch, query, bite_count, interleaved,
+                                    /*range_mode=*/false, 0.0);
+    case 8: return BatchScanImpl<8>(scratch, query, bite_count, interleaved,
+                                    /*range_mode=*/false, 0.0);
+    default: return BatchScanImpl<0>(scratch, query, bite_count, interleaved,
+                                     /*range_mode=*/false, 0.0);
+  }
+}
+
+void JaggedExtension::BatchConsistentRangeImpl(gist::BatchScratch& scratch,
+                                               const geom::Vec& query,
+                                               size_t bite_count,
+                                               bool interleaved,
+                                               double radius) const {
+  switch (dim()) {
+    case 2: return BatchScanImpl<2>(scratch, query, bite_count, interleaved,
+                                    /*range_mode=*/true, radius);
+    case 3: return BatchScanImpl<3>(scratch, query, bite_count, interleaved,
+                                    /*range_mode=*/true, radius);
+    case 4: return BatchScanImpl<4>(scratch, query, bite_count, interleaved,
+                                    /*range_mode=*/true, radius);
+    case 5: return BatchScanImpl<5>(scratch, query, bite_count, interleaved,
+                                    /*range_mode=*/true, radius);
+    case 6: return BatchScanImpl<6>(scratch, query, bite_count, interleaved,
+                                    /*range_mode=*/true, radius);
+    case 7: return BatchScanImpl<7>(scratch, query, bite_count, interleaved,
+                                    /*range_mode=*/true, radius);
+    case 8: return BatchScanImpl<8>(scratch, query, bite_count, interleaved,
+                                    /*range_mode=*/true, radius);
+    default: return BatchScanImpl<0>(scratch, query, bite_count, interleaved,
+                                     /*range_mode=*/true, radius);
+  }
+}
+
 double JbExtension::BpMinDistance(gist::ByteSpan bp,
                                   const geom::Vec& query) const {
   const size_t d = dim();
@@ -233,6 +468,27 @@ gist::Bytes XjbExtension::Encode(const geom::Rect& mbr,
   return out;
 }
 
+void JbExtension::BpMinDistanceBatch(gist::BatchScratch& scratch,
+                                     const geom::Vec& query) const {
+  for (size_t e = 0; e < scratch.count(); ++e) {
+    BW_CHECK_MSG(scratch.preds[e].size() == BpFloatCount() * sizeof(float),
+                 "JB predicate size mismatch");
+  }
+  BatchMinDistanceImpl(scratch, query, size_t{1} << dim(),
+                       /*interleaved=*/false);
+}
+
+void JbExtension::BpConsistentRangeBatch(gist::BatchScratch& scratch,
+                                         const geom::Vec& query,
+                                         double radius) const {
+  for (size_t e = 0; e < scratch.count(); ++e) {
+    BW_CHECK_MSG(scratch.preds[e].size() == BpFloatCount() * sizeof(float),
+                 "JB predicate size mismatch");
+  }
+  BatchConsistentRangeImpl(scratch, query, size_t{1} << dim(),
+                           /*interleaved=*/false, radius);
+}
+
 double XjbExtension::BpMinDistance(gist::ByteSpan bp,
                                    const geom::Vec& query) const {
   const size_t d = dim();
@@ -255,6 +511,25 @@ double XjbExtension::BpMinDistance(gist::ByteSpan bp,
     offset += d * sizeof(float);
   }
   return JaggedMinDistanceRaw(d, mbr, mbr + d, corners, inners, x_, query);
+}
+
+void XjbExtension::BpMinDistanceBatch(gist::BatchScratch& scratch,
+                                      const geom::Vec& query) const {
+  for (size_t e = 0; e < scratch.count(); ++e) {
+    BW_CHECK_MSG(scratch.preds[e].size() == BpNumberCount() * sizeof(float),
+                 "XJB predicate size mismatch: index built with a different X");
+  }
+  BatchMinDistanceImpl(scratch, query, x_, /*interleaved=*/true);
+}
+
+void XjbExtension::BpConsistentRangeBatch(gist::BatchScratch& scratch,
+                                          const geom::Vec& query,
+                                          double radius) const {
+  for (size_t e = 0; e < scratch.count(); ++e) {
+    BW_CHECK_MSG(scratch.preds[e].size() == BpNumberCount() * sizeof(float),
+                 "XJB predicate size mismatch: index built with a different X");
+  }
+  BatchConsistentRangeImpl(scratch, query, x_, /*interleaved=*/true, radius);
 }
 
 JaggedBp XjbExtension::Decode(gist::ByteSpan bp) const {

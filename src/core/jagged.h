@@ -57,6 +57,56 @@ class JaggedExtension : public gist::Extension {
   /// Builds the BP over content rectangles (points are degenerate).
   gist::Bytes BuildOver(const std::vector<geom::Rect>& contents);
 
+  /// Shared batched min-distance for both jagged codecs. Fast path: a
+  /// vectorized MBR clamp pass (am::RectClampMinDistSquared), then a
+  /// per-entry test of whether the clamp point falls strictly inside any
+  /// bite — when it does not, the region search's exact answer IS the
+  /// box distance (RegionDistanceImpl returns it before any recursion),
+  /// so sqrt(box_dist_sq) is bit-identical to the scalar result. Only
+  /// covered entries (query clamps into a carved corner) run the
+  /// recursive region search, resumed from the already-computed clamp
+  /// and covering bite (JaggedMinDistanceStaged — bit-identical to the
+  /// scalar path by construction). `interleaved` selects the codec:
+  /// false = JB's
+  /// positional corners (bite c's inner at float (2+c)*D), true = XJB's
+  /// (u32 corner, D floats) records after the MBR.
+  void BatchMinDistanceImpl(gist::BatchScratch& scratch,
+                            const geom::Vec& query, size_t bite_count,
+                            bool interleaved) const;
+
+  /// Shared batched consistent() with the range radius pushed down into
+  /// the scan: an entry whose box distance already exceeds `radius` is
+  /// inconsistent without running the covering test or the region
+  /// search, because the region distance can never be smaller than the
+  /// box distance (every value the recursion returns — exact distances,
+  /// child box distances on budget exhaustion, pruned bounds — is >= the
+  /// root box distance). Entries within `radius` of the box run the
+  /// identical min-distance path, so scratch.consistent is bit-identical
+  /// to the scalar BpConsistentRange decision; scratch.distances is NOT
+  /// meaningful afterwards (see gist/extension.h).
+  void BatchConsistentRangeImpl(gist::BatchScratch& scratch,
+                                const geom::Vec& query, size_t bite_count,
+                                bool interleaved, double radius) const;
+
+  /// Dim-specialized body behind both dispatchers above (DIM = 0 is the
+  /// runtime-dim fallback; `range_mode` selects the radius push-down).
+  template <size_t DIM>
+  void BatchScanImpl(gist::BatchScratch& scratch, const geom::Vec& query,
+                     size_t bite_count, bool interleaved, bool range_mode,
+                     double radius) const;
+
+  /// Covered-entry fallback of BatchScanImpl: stages one BP's
+  /// live bites in a single pass and resumes the region search from the
+  /// batch pass's clamp point, squared box distance, and covering bite
+  /// (`covering_bite` is the codec index the batch test identified).
+  /// Oversized BPs (over 256 bites or 16 dimensions) take the scalar
+  /// virtual call instead, as the scalar overrides themselves do.
+  template <size_t DIM>
+  double BatchCoveredMinDistance(gist::ByteSpan bp, const geom::Vec& query,
+                                 size_t bite_count, bool interleaved,
+                                 size_t covering_bite, const float* clamped,
+                                 double box_dist_sq) const;
+
   double min_fill_;
   BiteAlgorithm algorithm_;
 };
@@ -77,6 +127,11 @@ class JbExtension : public JaggedExtension {
   /// Allocation-free hot-path override (parses the BP on the stack).
   double BpMinDistance(gist::ByteSpan bp,
                        const geom::Vec& query) const override;
+  void BpMinDistanceBatch(gist::BatchScratch& scratch,
+                          const geom::Vec& query) const override;
+  void BpConsistentRangeBatch(gist::BatchScratch& scratch,
+                              const geom::Vec& query,
+                              double radius) const override;
 
   /// BP size in floats: (2 + 2^D) * D.
   size_t BpFloatCount() const { return (2 + (size_t{1} << dim())) * dim(); }
@@ -117,6 +172,11 @@ class XjbExtension : public JaggedExtension {
   /// Allocation-free hot-path override (parses the BP on the stack).
   double BpMinDistance(gist::ByteSpan bp,
                        const geom::Vec& query) const override;
+  void BpMinDistanceBatch(gist::BatchScratch& scratch,
+                          const geom::Vec& query) const override;
+  void BpConsistentRangeBatch(gist::BatchScratch& scratch,
+                              const geom::Vec& query,
+                              double radius) const override;
 
   /// BP size in stored numbers: 2D + (D+1)*X.
   size_t BpNumberCount() const { return 2 * dim() + (dim() + 1) * x_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "am/bp_kernels.h"
 #include "am/split_heuristics.h"
 
 namespace bw::core {
@@ -104,6 +105,35 @@ double MapExtension::BpMinDistance(gist::ByteSpan bp,
   auto [a, b] = DecodePair(bp);
   return std::sqrt(
       std::min(a.MinDistanceSquared(query), b.MinDistanceSquared(query)));
+}
+
+void MapExtension::BpMinDistanceBatch(gist::BatchScratch& scratch,
+                                      const geom::Vec& query) const {
+  const size_t d = dim();
+  const size_t n = scratch.count();
+  scratch.distances.resize(n);
+  scratch.soa.resize(4 * d * n);
+  scratch.soa_d.resize(n);
+  float* lo_a = scratch.soa.data();
+  float* hi_a = lo_a + d * n;
+  float* lo_b = hi_a + d * n;
+  float* hi_b = lo_b + d * n;
+  for (size_t e = 0; e < n; ++e) {
+    const gist::ByteSpan bp = scratch.preds[e];
+    BW_DCHECK_EQ(bp.size(), 4 * d * sizeof(float));
+    for (size_t dd = 0; dd < d; ++dd) {
+      lo_a[dd * n + e] = ReadFloat(bp, dd);
+      hi_a[dd * n + e] = ReadFloat(bp, d + dd);
+      lo_b[dd * n + e] = ReadFloat(bp, 2 * d + dd);
+      hi_b[dd * n + e] = ReadFloat(bp, 3 * d + dd);
+    }
+  }
+  am::RectMinDistSquared(d, n, lo_a, hi_a, query, scratch.distances.data());
+  am::RectMinDistSquared(d, n, lo_b, hi_b, query, scratch.soa_d.data());
+  for (size_t e = 0; e < n; ++e) {
+    scratch.distances[e] =
+        std::sqrt(std::min(scratch.distances[e], scratch.soa_d[e]));
+  }
 }
 
 double MapExtension::BpPenalty(gist::ByteSpan bp,

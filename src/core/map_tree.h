@@ -36,6 +36,10 @@ class MapExtension : public gist::Extension {
   gist::Bytes BpFromChildBps(const std::vector<gist::Bytes>& children) override;
   double BpMinDistance(gist::ByteSpan bp,
                        const geom::Vec& query) const override;
+  /// Batched scan: both rect planes decoded once, the vectorized rect
+  /// kernel run per half, combined with the same min() as the scalar.
+  void BpMinDistanceBatch(gist::BatchScratch& scratch,
+                          const geom::Vec& query) const override;
   double BpPenalty(gist::ByteSpan bp, const geom::Vec& point) const override;
   geom::Vec BpCenter(gist::ByteSpan bp) const override;
   gist::Bytes BpIncludePoint(gist::ByteSpan bp,

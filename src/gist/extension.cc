@@ -1,5 +1,7 @@
 #include "gist/extension.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 
 namespace bw::gist {
@@ -19,30 +21,66 @@ geom::Vec Extension::DecodePoint(ByteSpan bytes) const {
   return out;
 }
 
-void Extension::AppendFloat(Bytes& out, float v) {
-  uint8_t buf[sizeof(float)];
-  std::memcpy(buf, &v, sizeof(float));
-  out.insert(out.end(), buf, buf + sizeof(float));
+double Extension::PointDistance(ByteSpan key, const geom::Vec& query) const {
+  BW_DCHECK_EQ(key.size(), PointBytes());
+  // Same arithmetic as query.DistanceTo(DecodePoint(key)): per-dim
+  // double difference, squared, accumulated in ascending-d order.
+  double acc = 0.0;
+  for (size_t d = 0; d < dim_; ++d) {
+    const double diff = static_cast<double>(query[d]) - ReadFloat(key, d);
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
 }
 
-void Extension::AppendU32(Bytes& out, uint32_t v) {
-  uint8_t buf[sizeof(uint32_t)];
-  std::memcpy(buf, &v, sizeof(uint32_t));
-  out.insert(out.end(), buf, buf + sizeof(uint32_t));
+void Extension::PointDistanceBatch(BatchScratch& scratch,
+                                   const geom::Vec& query) const {
+  const size_t n = scratch.count();
+  scratch.distances.resize(n);
+  scratch.soa.resize(n * dim_);
+  for (size_t d = 0; d < dim_; ++d) {
+    float* plane = scratch.soa.data() + d * n;
+    for (size_t e = 0; e < n; ++e) {
+      BW_DCHECK_EQ(scratch.preds[e].size(), PointBytes());
+      plane[e] = ReadFloat(scratch.preds[e], d);
+    }
+  }
+  std::fill(scratch.distances.begin(), scratch.distances.end(), 0.0);
+  // d-outer / e-inner: the inner loop is a contiguous, branch-free
+  // multiply-add over one SoA plane, and each entry still accumulates
+  // its dims in ascending order — bit-identical to the scalar path.
+  for (size_t d = 0; d < dim_; ++d) {
+    const double q = query[d];
+    const float* plane = scratch.soa.data() + d * n;
+    double* out = scratch.distances.data();
+    for (size_t e = 0; e < n; ++e) {
+      const double diff = q - plane[e];
+      out[e] += diff * diff;
+    }
+  }
+  for (size_t e = 0; e < n; ++e) {
+    scratch.distances[e] = std::sqrt(scratch.distances[e]);
+  }
 }
 
-float Extension::ReadFloat(ByteSpan bytes, size_t float_index) {
-  float v;
-  BW_DCHECK_LE((float_index + 1) * sizeof(float), bytes.size());
-  std::memcpy(&v, bytes.data() + float_index * sizeof(float), sizeof(float));
-  return v;
+void Extension::BpMinDistanceBatch(BatchScratch& scratch,
+                                   const geom::Vec& query) const {
+  const size_t n = scratch.count();
+  scratch.distances.resize(n);
+  for (size_t e = 0; e < n; ++e) {
+    scratch.distances[e] = BpMinDistance(scratch.preds[e], query);
+  }
 }
 
-uint32_t Extension::ReadU32(ByteSpan bytes, size_t offset_bytes) {
-  uint32_t v;
-  BW_DCHECK_LE(offset_bytes + sizeof(uint32_t), bytes.size());
-  std::memcpy(&v, bytes.data() + offset_bytes, sizeof(uint32_t));
-  return v;
+void Extension::BpConsistentRangeBatch(BatchScratch& scratch,
+                                       const geom::Vec& query,
+                                       double radius) const {
+  BpMinDistanceBatch(scratch, query);
+  const size_t n = scratch.count();
+  scratch.consistent.resize(n);
+  for (size_t e = 0; e < n; ++e) {
+    scratch.consistent[e] = scratch.distances[e] <= radius ? 1 : 0;
+  }
 }
 
 }  // namespace bw::gist

@@ -15,6 +15,7 @@
 #define BLOBWORLD_GIST_EXTENSION_H_
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string>
 #include <vector>
@@ -30,6 +31,27 @@ using ByteSpan = std::span<const uint8_t>;
 /// Result of a pickSplit: entry i goes to the right node iff
 /// assignment[i] is true. Both sides must be non-empty.
 using SplitAssignment = std::vector<bool>;
+
+/// Reusable scratch for batched node scans. A cursor owns one of these
+/// and refills it per node, so steady-state traversal performs zero
+/// allocations: the vectors grow to the largest node seen and stay
+/// there.
+///
+/// `preds` is the input (one span per entry, viewing the node page);
+/// `soa` is kernel staging in dim-major layout — plane d occupies
+/// [d * count, (d + 1) * count), so the inner loop of a kernel walks
+/// contiguous floats of one coordinate across all entries; `distances`
+/// and `consistent` are the outputs, indexed like `preds`.
+struct BatchScratch {
+  std::vector<ByteSpan> preds;
+  std::vector<float> soa;
+  std::vector<double> soa_d;  // double staging (radii, partial bounds).
+  std::vector<double> distances;
+  std::vector<uint8_t> consistent;  // 0/1 per entry.
+
+  void Clear() { preds.clear(); }
+  size_t count() const { return preds.size(); }
+};
 
 /// Access-method extension: the complete per-AM behavior pluggable into
 /// the GiST template algorithms. Implementations must be deterministic
@@ -66,6 +88,18 @@ class Extension {
   /// Size in bytes of an encoded leaf key.
   size_t PointBytes() const { return dim_ * sizeof(float); }
 
+  /// Distance from `query` to one leaf key without materializing a Vec;
+  /// bit-identical to query.DistanceTo(DecodePoint(key)).
+  double PointDistance(ByteSpan key, const geom::Vec& query) const;
+
+  /// Batched leaf scan: fills scratch.distances[i] with
+  /// PointDistance(scratch.preds[i], query) for every entry, decoding
+  /// the keys once into the dim-major SoA staging. Non-virtual — the
+  /// leaf key format is shared by all AMs. Bit-identical to the scalar
+  /// path: per-entry accumulation runs in ascending-d order with the
+  /// same double arithmetic as Vec::DistanceSquaredTo.
+  void PointDistanceBatch(BatchScratch& scratch, const geom::Vec& query) const;
+
   // --- Bounding predicates --------------------------------------------
 
   /// Builds the BP covering a set of leaf points (bulk load, leaf level).
@@ -87,6 +121,34 @@ class Extension {
                                  double radius) const {
     return BpMinDistance(bp, query) <= radius;
   }
+
+  // --- Batched node scans ----------------------------------------------
+  //
+  // One virtual call per node instead of per entry. The contract for
+  // every override is bit-identity: scratch.distances[i] must equal
+  // BpMinDistance(scratch.preds[i], query) exactly (same doubles, not
+  // just close), and scratch.consistent[i] must equal
+  // BpConsistentRange(preds[i], query, radius). The property test in
+  // tests/batch_kernel_test.cc enforces this for every AM. Overrides
+  // decode the node's predicates once into scratch.soa (dim-major) and
+  // run the tight kernels in am/bp_kernels.h.
+
+  /// Fills scratch.distances for every predicate in scratch.preds.
+  /// Default: scalar loop over BpMinDistance (correct for any AM).
+  virtual void BpMinDistanceBatch(BatchScratch& scratch,
+                                  const geom::Vec& query) const;
+
+  /// Fills scratch.consistent for every predicate. Only consistent[] is
+  /// contractual after this call: overrides may push `radius` down into
+  /// the scan and skip the exact distance for entries whose admissible
+  /// lower bound already exceeds it, leaving scratch.distances partially
+  /// filled with those bounds. Default derives from BpMinDistanceBatch
+  /// with the same `<= radius` test as the scalar default above; an AM
+  /// that overrides BpConsistentRange with different logic must override
+  /// this too.
+  virtual void BpConsistentRangeBatch(BatchScratch& scratch,
+                                      const geom::Vec& query,
+                                      double radius) const;
 
   /// Insertion penalty: cost of widening `bp` to absorb `point` (the
   /// R-tree uses volume enlargement). Lower is better.
@@ -123,10 +185,31 @@ class Extension {
   Rng& rng() { return rng_; }
 
   // Little-endian float (de)serialization helpers shared by subclasses.
-  static void AppendFloat(Bytes& out, float v);
-  static void AppendU32(Bytes& out, uint32_t v);
-  static float ReadFloat(ByteSpan bytes, size_t float_index);
-  static uint32_t ReadU32(ByteSpan bytes, size_t offset_bytes);
+  // Defined inline: the batched node-scan kernels issue several reads
+  // per entry per dimension, so an out-of-line call here dominates the
+  // gather cost.
+  static void AppendFloat(Bytes& out, float v) {
+    uint8_t buf[sizeof(float)];
+    std::memcpy(buf, &v, sizeof(float));
+    out.insert(out.end(), buf, buf + sizeof(float));
+  }
+  static void AppendU32(Bytes& out, uint32_t v) {
+    uint8_t buf[sizeof(uint32_t)];
+    std::memcpy(buf, &v, sizeof(uint32_t));
+    out.insert(out.end(), buf, buf + sizeof(uint32_t));
+  }
+  static float ReadFloat(ByteSpan bytes, size_t float_index) {
+    float v;
+    BW_DCHECK_LE((float_index + 1) * sizeof(float), bytes.size());
+    std::memcpy(&v, bytes.data() + float_index * sizeof(float), sizeof(float));
+    return v;
+  }
+  static uint32_t ReadU32(ByteSpan bytes, size_t offset_bytes) {
+    uint32_t v;
+    BW_DCHECK_LE(offset_bytes + sizeof(uint32_t), bytes.size());
+    std::memcpy(&v, bytes.data() + offset_bytes, sizeof(uint32_t));
+    return v;
+  }
 
  private:
   size_t dim_;

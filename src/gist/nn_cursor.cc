@@ -5,7 +5,7 @@
 namespace bw::gist {
 
 NnCursor::NnCursor(const Tree& tree, geom::Vec query, TraversalStats* stats,
-                   pages::BufferPool* pool, DegradedRead* degraded)
+                   pages::PageReader* pool, DegradedRead* degraded)
     : tree_(tree),
       query_(std::move(query)),
       stats_(stats),
@@ -55,15 +55,20 @@ Result<std::optional<Neighbor>> NnCursor::Next() {
         stats_->accessed_internals.push_back(item.page);
       }
     }
-    for (size_t i = 0; i < node.entry_count(); ++i) {
-      EntryView e = node.entry(i);
-      if (node.IsLeaf()) {
-        const geom::Vec point = extension.DecodePoint(e.predicate);
-        frontier_.push(
-            Item{point.DistanceTo(query_), true, item.page, e.rid()});
-      } else {
-        frontier_.push(Item{extension.BpMinDistance(e.predicate, query_),
-                            false, e.ChildPage(), 0});
+    // Batched node scan: stage the entries once, one virtual call for
+    // the whole node, no per-entry decode allocation.
+    scan_.Load(node);
+    if (node.IsLeaf()) {
+      extension.PointDistanceBatch(scan_.scratch, query_);
+      for (size_t i = 0; i < scan_.count(); ++i) {
+        frontier_.push(Item{scan_.scratch.distances[i], true, item.page,
+                            static_cast<Rid>(scan_.payloads[i])});
+      }
+    } else {
+      extension.BpMinDistanceBatch(scan_.scratch, query_);
+      for (size_t i = 0; i < scan_.count(); ++i) {
+        frontier_.push(Item{scan_.scratch.distances[i], false,
+                            static_cast<pages::PageId>(scan_.payloads[i]), 0});
       }
     }
   }

@@ -11,6 +11,7 @@
 #include <queue>
 #include <vector>
 
+#include "gist/node_scan.h"
 #include "gist/tree.h"
 
 namespace bw::gist {
@@ -31,7 +32,7 @@ namespace bw::gist {
 class NnCursor {
  public:
   NnCursor(const Tree& tree, geom::Vec query, TraversalStats* stats = nullptr,
-           pages::BufferPool* pool = nullptr,
+           pages::PageReader* pool = nullptr,
            DegradedRead* degraded = nullptr);
 
   NnCursor(const NnCursor&) = delete;
@@ -64,8 +65,9 @@ class NnCursor {
   const Tree& tree_;
   geom::Vec query_;
   TraversalStats* stats_;
-  pages::BufferPool* pool_;
+  pages::PageReader* pool_;
   DegradedRead* degraded_;
+  NodeScanBuffer scan_;  // reused across nodes: zero per-entry allocation.
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier_;
   size_t produced_ = 0;
 };

@@ -1,0 +1,43 @@
+// Batched node-scan staging: one NodeScanBuffer turns a fetched node
+// into the inputs of the Extension batch API (predicate spans + entry
+// payloads) with zero steady-state allocation — the traversal layer
+// reuses one buffer across every node of a query, and its vectors stop
+// growing once the largest node has been seen.
+
+#ifndef BLOBWORLD_GIST_NODE_SCAN_H_
+#define BLOBWORLD_GIST_NODE_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gist/extension.h"
+#include "gist/node.h"
+
+namespace bw::gist {
+
+/// Per-cursor (or per-query) scratch for batched node scans. The
+/// predicate spans in `scratch.preds` view the node's page directly;
+/// they are valid until the page's bytes are mutated (search never
+/// mutates, and the buffer pools serve resident pages without copying).
+struct NodeScanBuffer {
+  BatchScratch scratch;
+  std::vector<uint64_t> payloads;  // entry i's raw payload (child | rid).
+
+  /// Refills from `node`, entry order preserved.
+  void Load(const NodeView& node) {
+    const size_t n = node.entry_count();
+    scratch.preds.resize(n);
+    payloads.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const EntryView e = node.entry(i);
+      scratch.preds[i] = e.predicate;
+      payloads[i] = e.payload;
+    }
+  }
+
+  size_t count() const { return payloads.size(); }
+};
+
+}  // namespace bw::gist
+
+#endif  // BLOBWORLD_GIST_NODE_SCAN_H_

@@ -5,6 +5,8 @@
 #include <limits>
 #include <queue>
 
+#include "gist/node_scan.h"
+
 namespace bw::gist {
 
 namespace {
@@ -46,7 +48,7 @@ Tree::Tree(pages::PageStore* file, std::unique_ptr<Extension> extension,
 }
 
 Result<pages::Page*> Tree::Fetch(pages::PageId id,
-                                 pages::BufferPool* pool) const {
+                                 pages::PageReader* pool) const {
   if (pool != nullptr) return pool->Fetch(id);
   if (pool_ != nullptr) return pool_->Fetch(id);
   return file_->Read(id);
@@ -65,11 +67,12 @@ void Tree::InstallBulkLoaded(pages::PageId root, int height, uint64_t size) {
 Result<std::vector<Neighbor>> Tree::RangeSearch(const geom::Vec& query,
                                                 double radius,
                                                 TraversalStats* stats,
-                                                pages::BufferPool* pool,
+                                                pages::PageReader* pool,
                                                 DegradedRead* degraded) const {
   std::vector<Neighbor> results;
   if (empty()) return results;
 
+  NodeScanBuffer scan;
   std::vector<pages::PageId> todo = {root_};
   while (!todo.empty()) {
     const pages::PageId id = todo.back();
@@ -90,20 +93,20 @@ Result<std::vector<Neighbor>> Tree::RangeSearch(const geom::Vec& query,
         stats->accessed_internals.push_back(id);
       }
     }
+    scan.Load(node);
     if (node.IsLeaf()) {
-      for (size_t i = 0; i < node.entry_count(); ++i) {
-        EntryView e = node.entry(i);
-        geom::Vec point = extension_->DecodePoint(e.predicate);
-        const double d = point.DistanceTo(query);
+      extension_->PointDistanceBatch(scan.scratch, query);
+      for (size_t i = 0; i < scan.count(); ++i) {
+        const double d = scan.scratch.distances[i];
         if (d <= radius) {
-          results.push_back(Neighbor{e.rid(), d, id});
+          results.push_back(Neighbor{static_cast<Rid>(scan.payloads[i]), d, id});
         }
       }
     } else {
-      for (size_t i = 0; i < node.entry_count(); ++i) {
-        EntryView e = node.entry(i);
-        if (extension_->BpConsistentRange(e.predicate, query, radius)) {
-          todo.push_back(e.ChildPage());
+      extension_->BpConsistentRangeBatch(scan.scratch, query, radius);
+      for (size_t i = 0; i < scan.count(); ++i) {
+        if (scan.scratch.consistent[i]) {
+          todo.push_back(static_cast<pages::PageId>(scan.payloads[i]));
         }
       }
     }
@@ -117,11 +120,12 @@ Result<std::vector<Neighbor>> Tree::RangeSearch(const geom::Vec& query,
 
 Result<std::vector<Neighbor>> Tree::KnnSearch(const geom::Vec& query,
                                               size_t k, TraversalStats* stats,
-                                              pages::BufferPool* pool,
+                                              pages::PageReader* pool,
                                               DegradedRead* degraded) const {
   std::vector<Neighbor> results;
   if (empty() || k == 0) return results;
 
+  NodeScanBuffer scan;
   std::priority_queue<QueueItem, std::vector<QueueItem>,
                       std::greater<QueueItem>>
       frontier;
@@ -153,15 +157,19 @@ Result<std::vector<Neighbor>> Tree::KnnSearch(const geom::Vec& query,
       }
     }
 
-    for (size_t i = 0; i < node.entry_count(); ++i) {
-      EntryView e = node.entry(i);
-      if (node.IsLeaf()) {
-        geom::Vec point = extension_->DecodePoint(e.predicate);
-        frontier.push(
-            QueueItem{point.DistanceTo(query), true, item.page, e.rid()});
-      } else {
-        const double bound = extension_->BpMinDistance(e.predicate, query);
-        frontier.push(QueueItem{bound, false, e.ChildPage(), 0});
+    scan.Load(node);
+    if (node.IsLeaf()) {
+      extension_->PointDistanceBatch(scan.scratch, query);
+      for (size_t i = 0; i < scan.count(); ++i) {
+        frontier.push(QueueItem{scan.scratch.distances[i], true, item.page,
+                                static_cast<Rid>(scan.payloads[i])});
+      }
+    } else {
+      extension_->BpMinDistanceBatch(scan.scratch, query);
+      for (size_t i = 0; i < scan.count(); ++i) {
+        frontier.push(QueueItem{scan.scratch.distances[i], false,
+                                static_cast<pages::PageId>(scan.payloads[i]),
+                                0});
       }
     }
   }
@@ -210,9 +218,10 @@ class CandidateHeap {
 
 Result<std::vector<Neighbor>> Tree::KnnSearchDfs(
     const geom::Vec& query, size_t k, TraversalStats* stats,
-    pages::BufferPool* pool, DegradedRead* degraded) const {
+    pages::PageReader* pool, DegradedRead* degraded) const {
   std::vector<Neighbor> results;
   if (empty() || k == 0) return results;
+  NodeScanBuffer scan;
   CandidateHeap candidates(k);
 
   // Explicit DFS stack; children are pushed in reverse bound order so
@@ -245,23 +254,27 @@ Result<std::vector<Neighbor>> Tree::KnnSearchDfs(
       }
     }
 
+    scan.Load(node);
     if (node.IsLeaf()) {
-      for (size_t i = 0; i < node.entry_count(); ++i) {
-        EntryView e = node.entry(i);
-        geom::Vec point = extension_->DecodePoint(e.predicate);
-        candidates.Offer(
-            Neighbor{e.rid(), point.DistanceTo(query), frame.page});
+      extension_->PointDistanceBatch(scan.scratch, query);
+      for (size_t i = 0; i < scan.count(); ++i) {
+        candidates.Offer(Neighbor{static_cast<Rid>(scan.payloads[i]),
+                                  scan.scratch.distances[i], frame.page});
       }
       continue;
     }
 
+    // The candidate bound cannot tighten inside this loop (only leaves
+    // offer candidates), so filtering after the batch call prunes the
+    // same children the per-entry scalar loop would.
+    extension_->BpMinDistanceBatch(scan.scratch, query);
     std::vector<Frame> children;
-    children.reserve(node.entry_count());
-    for (size_t i = 0; i < node.entry_count(); ++i) {
-      EntryView e = node.entry(i);
-      const double bound = extension_->BpMinDistance(e.predicate, query);
+    children.reserve(scan.count());
+    for (size_t i = 0; i < scan.count(); ++i) {
+      const double bound = scan.scratch.distances[i];
       if (bound <= candidates.Bound()) {
-        children.push_back(Frame{bound, e.ChildPage()});
+        children.push_back(
+            Frame{bound, static_cast<pages::PageId>(scan.payloads[i])});
       }
     }
     std::sort(children.begin(), children.end(),

@@ -13,7 +13,7 @@
 #include "gist/extension.h"
 #include "gist/node.h"
 #include "gist/stats.h"
-#include "pages/buffer_pool.h"
+#include "pages/page_reader.h"
 #include "pages/page_store.h"
 
 namespace bw::gist {
@@ -66,24 +66,31 @@ inline bool IsDegradableReadError(const Status& status) {
 
 /// A Generalized Search Tree over points, specialized by an Extension.
 ///
-/// The tree reads pages through an optional BufferPool (set via
+/// The tree reads pages through an optional PageReader (set via
 /// set_buffer_pool) so experiments can model memory residency; when no
-/// pool is attached, every node visit costs one PageStore read.
+/// reader is attached, every node visit costs one PageStore read.
+///
+/// Node scans are batched: each visited node is staged once into a
+/// NodeScanBuffer and handed to the extension's batch API — one virtual
+/// call per node instead of per entry, and zero per-entry allocation.
+/// The batch contract (extension.h) guarantees results bit-identical to
+/// the per-entry scalar methods.
 ///
 /// Thread-safety contract (audited for the concurrent query service):
 /// the search methods (RangeSearch, KnnSearch, KnnSearchDfs) and the
 /// cursor fetch path are const and mutate no tree, extension, or node
 /// state — the only mutation on a default search is I/O accounting in
-/// the attached pool or the PageStore, both shared. Concurrent searches
-/// over one tree are therefore safe if and only if every caller passes
-/// its own per-call BufferPool (constructed with charge_file_io=false)
-/// via the `pool` parameter, which overrides both the attached pool and
-/// the direct PageStore::Read path. Insert/Delete and set_buffer_pool
-/// require exclusive access. Extension consistency methods
-/// (BpMinDistance, BpConsistentRange, DecodePoint) are const and draw
-/// nothing from the extension Rng (the Rng feeds only the non-const
-/// build-side methods), so one Extension instance safely serves
-/// concurrent readers.
+/// the attached reader or the PageStore, both shared. Concurrent
+/// searches over one tree are therefore safe if and only if every
+/// caller passes its own per-call PageReader (a private BufferPool with
+/// charge_file_io=false, or a ShardedBufferPool session) via the `pool`
+/// parameter, which overrides both the attached reader and the direct
+/// PageStore::Read path. Insert/Delete and set_buffer_pool require
+/// exclusive access. Extension consistency methods (BpMinDistance and
+/// its batch variants, BpConsistentRange, DecodePoint) are const and
+/// draw nothing from the extension Rng (the Rng feeds only the
+/// non-const build-side methods), so one Extension instance safely
+/// serves concurrent readers.
 class Tree {
  public:
   Tree(pages::PageStore* file, std::unique_ptr<Extension> extension,
@@ -106,7 +113,7 @@ class Tree {
   uint64_t size() const { return size_; }
 
   /// Routes all node reads through `pool` (pass nullptr to detach).
-  void set_buffer_pool(pages::BufferPool* pool) { pool_ = pool; }
+  void set_buffer_pool(pages::PageReader* pool) { pool_ = pool; }
 
   // --- Index operations -------------------------------------------------
 
@@ -125,7 +132,7 @@ class Tree {
   Result<std::vector<Neighbor>> RangeSearch(const geom::Vec& query,
                                             double radius,
                                             TraversalStats* stats,
-                                            pages::BufferPool* pool = nullptr,
+                                            pages::PageReader* pool = nullptr,
                                             DegradedRead* degraded =
                                                 nullptr) const;
 
@@ -136,7 +143,7 @@ class Tree {
   /// stored under skipped subtrees are missing.
   Result<std::vector<Neighbor>> KnnSearch(const geom::Vec& query, size_t k,
                                           TraversalStats* stats,
-                                          pages::BufferPool* pool = nullptr,
+                                          pages::PageReader* pool = nullptr,
                                           DegradedRead* degraded =
                                               nullptr) const;
 
@@ -150,7 +157,7 @@ class Tree {
   /// reproduction benches use it.
   Result<std::vector<Neighbor>> KnnSearchDfs(const geom::Vec& query,
                                              size_t k, TraversalStats* stats,
-                                             pages::BufferPool* pool = nullptr,
+                                             pages::PageReader* pool = nullptr,
                                              DegradedRead* degraded =
                                                  nullptr) const;
 
@@ -174,7 +181,7 @@ class Tree {
   /// overrides that path for this call. Used by search cursors; analysis
   /// code should use the no-I/O iteration hooks.
   Result<pages::Page*> FetchNode(pages::PageId id,
-                                 pages::BufferPool* pool = nullptr) const {
+                                 pages::PageReader* pool = nullptr) const {
     return Fetch(id, pool);
   }
 
@@ -199,7 +206,7 @@ class Tree {
   /// Reads a node page: through `pool` when non-null, else the attached
   /// pool, else a counted PageStore read.
   Result<pages::Page*> Fetch(pages::PageId id,
-                             pages::BufferPool* pool = nullptr) const;
+                             pages::PageReader* pool = nullptr) const;
 
   /// Descends to the level-0 leaf with the minimum insertion penalty,
   /// recording the path (root first).
@@ -242,7 +249,7 @@ class Tree {
                          std::vector<Bytes>& ancestor_storage) const;
 
   pages::PageStore* file_;
-  pages::BufferPool* pool_ = nullptr;
+  pages::PageReader* pool_ = nullptr;
   std::unique_ptr<Extension> extension_;
   TreeOptions options_;
 

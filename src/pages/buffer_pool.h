@@ -10,22 +10,10 @@
 #include <list>
 #include <unordered_map>
 
+#include "pages/page_reader.h"
 #include "pages/page_store.h"
 
 namespace bw::pages {
-
-/// Buffer pool counters.
-struct BufferStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
-
-  double HitRate() const {
-    const uint64_t total = hits + misses;
-    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
-  }
-  void Reset() { *this = BufferStats(); }
-};
 
 /// Behavioral knobs for a BufferPool.
 struct BufferPoolOptions {
@@ -51,7 +39,7 @@ struct BufferPoolOptions {
 /// touches no shared mutable state (only const PageStore reads), so any
 /// number of pools may serve the same store concurrently provided no one
 /// calls PageStore::Allocate/Write/Read meanwhile.
-class BufferPool {
+class BufferPool : public PageReader {
  public:
   /// `capacity` = number of resident pages; 0 means "cache nothing".
   BufferPool(PageStore* file, size_t capacity,
@@ -63,28 +51,20 @@ class BufferPool {
   size_t capacity() const { return capacity_; }
 
   /// Fetches a page through the cache: a hit costs no file I/O, a miss
-  /// reads through to the file (incrementing its IoStats).
-  ///
-  /// Failure modes surfaced to the traversal layer:
-  ///  - Unavailable: the store quarantined this page (ReadHealth gate);
-  ///    degraded-mode traversal may skip the subtree and flag it.
-  ///  - Aborted: the armed I/O watchdog expired while this fetch was
-  ///    stuck in (simulated) storage-read latency; never skipped, always
-  ///    ends the query.
-  Result<Page*> Fetch(PageId id);
+  /// reads through to the file (incrementing its IoStats). Failure modes
+  /// are the PageReader contract (Unavailable on quarantine, Aborted on
+  /// watchdog expiry).
+  Result<Page*> Fetch(PageId id) override;
 
-  /// Arms an I/O watchdog: any Fetch at or past `deadline` — including
-  /// one that crosses it mid-miss-latency — fails with Aborted instead
-  /// of sleeping on. This is how a query deadline covers time stuck
-  /// inside storage reads, not just the gaps between pages.
-  void ArmWatchdog(std::chrono::steady_clock::time_point deadline) {
+  void ArmWatchdog(std::chrono::steady_clock::time_point deadline) override {
     watchdog_deadline_ = deadline;
     watchdog_armed_ = true;
   }
-  void DisarmWatchdog() { watchdog_armed_ = false; }
+  void DisarmWatchdog() override { watchdog_armed_ = false; }
 
-  /// Times the watchdog fired since construction.
-  uint64_t watchdog_expirations() const { return watchdog_expirations_; }
+  uint64_t watchdog_expirations() const override {
+    return watchdog_expirations_;
+  }
 
   /// Pre-loads a page without counting a miss (used to model "inner
   /// nodes are pinned in memory" scenarios).
@@ -93,7 +73,7 @@ class BufferPool {
   /// Drops all cached pages.
   void Clear();
 
-  const BufferStats& stats() const { return stats_; }
+  const BufferStats& stats() const override { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
  private:

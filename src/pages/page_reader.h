@@ -1,0 +1,67 @@
+// The read-path page access interface shared by every serving cache: the
+// single-threaded LRU BufferPool (private per worker or per bench run)
+// and a process-wide ShardedBufferPool session. gist::Tree and the
+// cursors take a PageReader*, so the traversal layer costs one virtual
+// call per *node*, not per entry, regardless of which cache serves it.
+
+#ifndef BLOBWORLD_PAGES_PAGE_READER_H_
+#define BLOBWORLD_PAGES_PAGE_READER_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "pages/page.h"
+#include "util/status.h"
+
+namespace bw::pages {
+
+/// Buffer-cache counters. For a private BufferPool these cover the whole
+/// pool; for a ShardedBufferPool session they cover only the fetches made
+/// through that session (which is what per-query metrics need).
+struct BufferStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  /// Times a fetch found its lock shard already held by another thread
+  /// and had to wait. Always 0 for the lock-free private BufferPool.
+  uint64_t shard_contention = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+  void Reset() { *this = BufferStats(); }
+};
+
+/// A cached page-read path with an I/O watchdog.
+///
+/// Failure modes surfaced to the traversal layer by every implementation:
+///  - Unavailable: the store quarantined this page (ReadHealth gate);
+///    degraded-mode traversal may skip the subtree and flag it.
+///  - Aborted: the armed I/O watchdog expired while this fetch was stuck
+///    in (simulated) storage-read latency; never skipped, always ends
+///    the query.
+class PageReader {
+ public:
+  virtual ~PageReader() = default;
+
+  /// Fetches a page through the cache.
+  virtual Result<Page*> Fetch(PageId id) = 0;
+
+  /// Arms an I/O watchdog: any Fetch at or past `deadline` — including
+  /// one that crosses it mid-miss-latency — fails with Aborted instead
+  /// of sleeping on. This is how a query deadline covers time stuck
+  /// inside storage reads, not just the gaps between pages.
+  virtual void ArmWatchdog(std::chrono::steady_clock::time_point deadline) = 0;
+  virtual void DisarmWatchdog() = 0;
+
+  /// Times the watchdog fired since construction.
+  virtual uint64_t watchdog_expirations() const = 0;
+
+  /// Counters for the fetches made through this reader.
+  virtual const BufferStats& stats() const = 0;
+};
+
+}  // namespace bw::pages
+
+#endif  // BLOBWORLD_PAGES_PAGE_READER_H_

@@ -1,0 +1,177 @@
+#include "pages/sharded_buffer_pool.h"
+
+#include <thread>
+
+#include "util/logging.h"
+
+namespace bw::pages {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+size_t ResolveShardCount(size_t requested) {
+  if (requested > 0) return RoundUpPow2(requested);
+  // Auto: 2x the hardware threads keeps the expected load per shard
+  // below one concurrent fetch, so try_lock almost always succeeds.
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 4;
+  size_t shards = RoundUpPow2(2 * hw);
+  if (shards < 4) shards = 4;
+  if (shards > 64) shards = 64;
+  return shards;
+}
+
+}  // namespace
+
+ShardedBufferPool::ShardedBufferPool(PageStore* store, size_t capacity,
+                                     ShardedPoolOptions options)
+    : store_(store), capacity_(capacity), options_(options) {
+  BW_CHECK(store != nullptr);
+  const size_t n = ResolveShardCount(options.shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Spread the capacity across shards, round-robin for the remainder
+    // so small capacities are not silently rounded to zero everywhere.
+    shard->capacity = capacity / n + (i < capacity % n ? 1 : 0);
+    shard->frames.reserve(shard->capacity);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Result<Page*> ShardedBufferPool::Session::Fetch(PageId id) {
+  return pool_->Fetch(id, *this);
+}
+
+Status ShardedBufferPool::MissDelay(Session& session) const {
+  if (options_.miss_delay_us == 0) return Status::OK();
+  const auto end = std::chrono::steady_clock::now() +
+                   std::chrono::microseconds(options_.miss_delay_us);
+  // Sliced so the watchdog bounds a long simulated read instead of
+  // waiting it out (same contract as BufferPool::MissDelay).
+  constexpr auto kSlice = std::chrono::microseconds(100);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (session.watchdog_armed_ && now >= session.watchdog_deadline_) {
+      ++session.watchdog_expirations_;
+      return Status::Aborted("i/o watchdog: deadline expired mid-read");
+    }
+    if (now >= end) return Status::OK();
+    std::this_thread::sleep_for(end - now < kSlice ? end - now : kSlice);
+  }
+}
+
+Result<Page*> ShardedBufferPool::Fetch(PageId id, Session& session) {
+  if (session.watchdog_armed_ &&
+      std::chrono::steady_clock::now() >= session.watchdog_deadline_) {
+    ++session.watchdog_expirations_;
+    return Status::Aborted("i/o watchdog: deadline expired");
+  }
+  // Quarantine gate: a sick page is unfit to serve even on a cache hit.
+  BW_RETURN_IF_ERROR(store_->ReadHealth(id));
+  if (id >= store_->page_count()) {
+    return Status::InvalidArgument("page id out of range");
+  }
+
+  Shard& shard = *shards_[ShardIndex(id)];
+  bool hit = false;
+  bool evicted = false;
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      ++session.stats_.shard_contention;
+      lock.lock();
+      ++shard.contention;
+    }
+    auto it = shard.where.find(id);
+    if (it != shard.where.end()) {
+      hit = true;
+      ++shard.hits;
+      shard.frames[it->second].referenced = 1;
+    } else {
+      ++shard.misses;
+      if (shard.capacity > 0) {
+        if (shard.frames.size() < shard.capacity) {
+          shard.where[id] = shard.frames.size();
+          shard.frames.push_back({id, 1});
+        } else {
+          // CLOCK: advance the hand past referenced frames (clearing the
+          // bit) until an unreferenced victim turns up. Bounded: after
+          // one full sweep every bit is clear.
+          for (;;) {
+            Shard::Frame& f = shard.frames[shard.hand];
+            if (f.referenced) {
+              f.referenced = 0;
+              shard.hand = (shard.hand + 1) % shard.frames.size();
+              continue;
+            }
+            shard.where.erase(f.id);
+            ++shard.evictions;
+            evicted = true;
+            f.id = id;
+            f.referenced = 1;
+            shard.where[id] = shard.hand;
+            shard.hand = (shard.hand + 1) % shard.frames.size();
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  if (hit) {
+    ++session.stats_.hits;
+  } else {
+    ++session.stats_.misses;
+    if (evicted) ++session.stats_.evictions;
+    // The simulated storage-read latency happens outside the shard lock:
+    // a real cache would release the latch and wait on the frame's I/O.
+    BW_RETURN_IF_ERROR(MissDelay(session));
+  }
+  return store_->PeekNoIo(id);
+}
+
+BufferStats ShardedBufferPool::TotalStats() const {
+  BufferStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+    total.shard_contention += shard->contention;
+  }
+  return total;
+}
+
+std::vector<ShardStats> ShardedBufferPool::PerShardStats() const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    ShardStats s;
+    s.hits = shard->hits;
+    s.misses = shard->misses;
+    s.evictions = shard->evictions;
+    s.contention = shard->contention;
+    s.resident = shard->frames.size();
+    s.capacity = shard->capacity;
+    out.push_back(s);
+  }
+  return out;
+}
+
+void ShardedBufferPool::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->frames.clear();
+    shard->where.clear();
+    shard->hand = 0;
+  }
+}
+
+}  // namespace bw::pages

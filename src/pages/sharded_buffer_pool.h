@@ -1,0 +1,162 @@
+// Process-wide sharded buffer pool for the concurrent read path.
+//
+// The query service used to give every worker a private LRU pool, which
+// duplicates the hot upper tree levels once per thread and shrinks the
+// effective cache to capacity/num_workers. This pool is shared by all
+// workers: the page-id space is hash-partitioned across N independently
+// locked shards, each running CLOCK (second-chance) eviction over its
+// slice of the capacity, so concurrent queries share hot internal pages
+// while lock acquisitions spread across shards instead of serializing on
+// one mutex.
+//
+// Like the service's private pools, the shared pool is a residency model
+// over a PageStore whose pages are memory-resident: a hit or miss only
+// decides the accounting (and the simulated miss latency); the bytes are
+// always served through the const, thread-safe PeekNoIo path, and the
+// store is never written. The PR 3 self-healing hooks are preserved:
+// every fetch consults PageStore::ReadHealth (quarantined pages fail
+// with Unavailable even on a "hit"), and each Session carries its own
+// I/O watchdog so a stream deadline bounds time stuck inside a
+// simulated storage read.
+//
+// Thread-safety: any number of Sessions may fetch concurrently, provided
+// no thread is inside PageStore::Allocate/Write/Read meanwhile (the same
+// audited serving contract as the per-worker pools). Shard mutexes only
+// guard the shard's residency map; the simulated miss latency is slept
+// outside the lock.
+
+#ifndef BLOBWORLD_PAGES_SHARDED_BUFFER_POOL_H_
+#define BLOBWORLD_PAGES_SHARDED_BUFFER_POOL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "pages/page_reader.h"
+#include "pages/page_store.h"
+
+namespace bw::pages {
+
+/// Point-in-time counters of one lock shard.
+struct ShardStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t contention = 0;  // try_lock failures (waited for the shard).
+  size_t resident = 0;      // frames currently occupied.
+  size_t capacity = 0;      // frames this shard owns.
+};
+
+/// Tuning knobs for a ShardedBufferPool.
+struct ShardedPoolOptions {
+  /// Number of lock shards; rounded up to a power of two. 0 = auto:
+  /// the smallest power of two >= 2 * hardware threads, clamped to
+  /// [4, 64] (see DESIGN.md §9 for the rationale).
+  size_t shards = 0;
+  /// Simulated random-read latency per miss, in microseconds (slept
+  /// outside the shard lock, sliced against the session watchdog).
+  uint32_t miss_delay_us = 0;
+};
+
+/// A shared page cache over one PageStore. Fetches go through per-thread
+/// Session handles (below), which implement PageReader and carry the
+/// session-local stats and watchdog the query service needs per query.
+class ShardedBufferPool {
+ public:
+  /// `capacity` = total resident pages across all shards; 0 caches
+  /// nothing (every fetch is a miss, accounting still works).
+  ShardedBufferPool(PageStore* store, size_t capacity,
+                    ShardedPoolOptions options = ShardedPoolOptions());
+
+  ShardedBufferPool(const ShardedBufferPool&) = delete;
+  ShardedBufferPool& operator=(const ShardedBufferPool&) = delete;
+
+  /// One thread's handle onto the shared pool. Fetches update both the
+  /// owning shard's counters (shared, under the shard lock) and the
+  /// session-local BufferStats (private, lock-free), so per-query deltas
+  /// cost nothing extra. A Session is single-threaded; make one per
+  /// worker. The pool must outlive its sessions.
+  class Session : public PageReader {
+   public:
+    explicit Session(ShardedBufferPool* pool) : pool_(pool) {}
+
+    Result<Page*> Fetch(PageId id) override;
+
+    void ArmWatchdog(std::chrono::steady_clock::time_point deadline) override {
+      watchdog_deadline_ = deadline;
+      watchdog_armed_ = true;
+    }
+    void DisarmWatchdog() override { watchdog_armed_ = false; }
+    uint64_t watchdog_expirations() const override {
+      return watchdog_expirations_;
+    }
+
+    /// Counters for this session's fetches only (evictions = evictions
+    /// this session's misses caused; shard_contention = shard locks this
+    /// session had to wait for).
+    const BufferStats& stats() const override { return stats_; }
+
+   private:
+    friend class ShardedBufferPool;
+
+    ShardedBufferPool* pool_;
+    bool watchdog_armed_ = false;
+    std::chrono::steady_clock::time_point watchdog_deadline_{};
+    uint64_t watchdog_expirations_ = 0;
+    BufferStats stats_;
+  };
+
+  /// Creates a session handle (thread-safe).
+  std::unique_ptr<Session> MakeSession() { return std::make_unique<Session>(this); }
+
+  size_t shard_count() const { return shards_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Aggregate counters summed over all shards (locks each shard once).
+  BufferStats TotalStats() const;
+  /// Per-shard counters, index = shard number.
+  std::vector<ShardStats> PerShardStats() const;
+
+  /// Drops all cached pages (counters are kept). Safe concurrently with
+  /// fetches: each shard is cleared under its lock.
+  void Clear();
+
+ private:
+  /// One CLOCK ring + residency map under one mutex.
+  struct Shard {
+    std::mutex mutex;
+    struct Frame {
+      PageId id = kInvalidPageId;
+      uint8_t referenced = 0;
+    };
+    std::vector<Frame> frames;  // grows up to `capacity`.
+    std::unordered_map<PageId, size_t> where;  // id -> frame index.
+    size_t hand = 0;      // CLOCK hand.
+    size_t capacity = 0;  // this shard's slice of the pool capacity.
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t contention = 0;
+  };
+
+  Result<Page*> Fetch(PageId id, Session& session);
+  size_t ShardIndex(PageId id) const {
+    // Multiplicative hash so tree-layout strides cannot alias one shard.
+    return static_cast<size_t>((id * UINT64_C(0x9E3779B97F4A7C15)) >> 32) &
+           (shards_.size() - 1);
+  }
+  /// Sleeps the miss latency in slices, honoring the session watchdog.
+  Status MissDelay(Session& session) const;
+
+  PageStore* store_;
+  size_t capacity_;
+  ShardedPoolOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace bw::pages
+
+#endif  // BLOBWORLD_PAGES_SHARDED_BUFFER_POOL_H_

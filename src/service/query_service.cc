@@ -54,18 +54,34 @@ void QueryService::Start() {
   paused_ = options_.start_paused;
   start_time_ = Clock::now();
 
-  pages::BufferPoolOptions pool_options;
-  pool_options.charge_file_io = false;  // never mutate the shared file.
-  pool_options.miss_delay_us = options_.io_delay_us;
-  worker_pools_.reserve(options_.num_workers);
+  worker_readers_.reserve(options_.num_workers);
   workers_.reserve(options_.num_workers);
-  // The const_cast is sound: with charge_file_io=false the pool resolves
-  // every fetch through the const PeekNoIo path, so the shared file is
-  // never written through this pointer.
+  // The const_cast is sound: the shared pool is PeekNoIo-only, and a
+  // private pool with charge_file_io=false resolves every fetch through
+  // the same const path — the shared file is never written through this
+  // pointer either way.
   auto* file = const_cast<pages::PageStore*>(tree_->file());
-  for (size_t i = 0; i < options_.num_workers; ++i) {
-    worker_pools_.push_back(std::make_unique<pages::BufferPool>(
-        file, options_.worker_pool_pages, pool_options));
+  if (options_.shared_pool) {
+    const size_t capacity = options_.shared_pool_pages > 0
+                                ? options_.shared_pool_pages
+                                : options_.num_workers *
+                                      options_.worker_pool_pages;
+    pages::ShardedPoolOptions pool_options;
+    pool_options.shards = options_.pool_shards;
+    pool_options.miss_delay_us = options_.io_delay_us;
+    shared_pool_ = std::make_unique<pages::ShardedBufferPool>(
+        file, capacity, pool_options);
+    for (size_t i = 0; i < options_.num_workers; ++i) {
+      worker_readers_.push_back(shared_pool_->MakeSession());
+    }
+  } else {
+    pages::BufferPoolOptions pool_options;
+    pool_options.charge_file_io = false;  // never mutate the shared file.
+    pool_options.miss_delay_us = options_.io_delay_us;
+    for (size_t i = 0; i < options_.num_workers; ++i) {
+      worker_readers_.push_back(std::make_unique<pages::BufferPool>(
+          file, options_.worker_pool_pages, pool_options));
+    }
   }
   for (size_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back(&QueryService::WorkerLoop, this, i);
@@ -179,7 +195,7 @@ QueryService::Response QueryService::Knn(const geom::Vec& query, size_t k) {
 // ---------------------------------------------------------------------------
 
 void QueryService::WorkerLoop(size_t worker_index) {
-  pages::BufferPool* pool = worker_pools_[worker_index].get();
+  pages::PageReader* pool = worker_readers_[worker_index].get();
   for (;;) {
     Task task;
     {
@@ -209,6 +225,9 @@ void QueryService::WorkerLoop(size_t worker_index) {
                                    std::memory_order_relaxed);
       pool_hits_.fetch_add(m.pool_hits, std::memory_order_relaxed);
       pool_misses_.fetch_add(m.pool_misses, std::memory_order_relaxed);
+      pool_evictions_.fetch_add(m.pool_evictions, std::memory_order_relaxed);
+      pool_contention_.fetch_add(m.pool_contention,
+                                 std::memory_order_relaxed);
       if (m.truncated) {
         truncated_streams_.fetch_add(1, std::memory_order_relaxed);
       }
@@ -224,7 +243,7 @@ void QueryService::WorkerLoop(size_t worker_index) {
 }
 
 QueryService::Response QueryService::Execute(Task& task,
-                                             pages::BufferPool* pool) {
+                                             pages::PageReader* pool) {
   const pages::BufferStats pool_before = pool->stats();
   gist::TraversalStats traversal;
   // Per-query fault budget: how many unreadable subtrees this query may
@@ -301,6 +320,10 @@ QueryService::Response QueryService::Execute(Task& task,
   const pages::BufferStats& pool_after = pool->stats();
   response.metrics.pool_hits = pool_after.hits - pool_before.hits;
   response.metrics.pool_misses = pool_after.misses - pool_before.misses;
+  response.metrics.pool_evictions =
+      pool_after.evictions - pool_before.evictions;
+  response.metrics.pool_contention =
+      pool_after.shard_contention - pool_before.shard_contention;
   return response;
 }
 
@@ -331,6 +354,9 @@ ServiceSnapshot QueryService::Snapshot() const {
   snap.internal_accesses = internal_accesses_.load(std::memory_order_relaxed);
   snap.pool_hits = pool_hits_.load(std::memory_order_relaxed);
   snap.pool_misses = pool_misses_.load(std::memory_order_relaxed);
+  snap.pool_evictions = pool_evictions_.load(std::memory_order_relaxed);
+  snap.pool_contention = pool_contention_.load(std::memory_order_relaxed);
+  snap.pool_shards = shared_pool_ != nullptr ? shared_pool_->shard_count() : 0;
   snap.elapsed_seconds =
       std::chrono::duration<double>(Clock::now() - start_time_).count();
   snap.qps = snap.elapsed_seconds > 0

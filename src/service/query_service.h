@@ -10,10 +10,16 @@
 //
 // Concurrency model (see the audited contracts in gist/tree.h and
 // pages/page_file.h): the tree, its extension, and the page file are
-// shared and strictly read-only during serving. Each worker owns a
-// private pages::BufferPool built with charge_file_io=false, so LRU
-// state, BufferStats, and TraversalStats are all worker-private and the
-// shared PageFile is only ever touched through its const PeekNoIo path.
+// shared and strictly read-only during serving. By default all workers
+// share one process-wide pages::ShardedBufferPool (lock-sharded CLOCK
+// cache over the store), each worker reading through its own Session so
+// watchdog state and per-query stat deltas stay worker-private while
+// cached pages are shared — one worker's miss warms every other
+// worker's read path. Setting ServiceOptions::shared_pool=false
+// restores the original per-worker private BufferPool layout
+// (charge_file_io=false), kept as the comparison baseline for the
+// read-path benchmarks. Either way the shared PageFile is only ever
+// touched through its const PeekNoIo path.
 //
 // Serving through faults: when the store underneath quarantines pages
 // (see storage/page_health.h), queries carrying a fault budget
@@ -41,6 +47,7 @@
 #include "gist/nn_cursor.h"
 #include "gist/tree.h"
 #include "pages/buffer_pool.h"
+#include "pages/sharded_buffer_pool.h"
 #include "util/histogram.h"
 #include "util/status.h"
 
@@ -58,9 +65,23 @@ struct ServiceOptions {
   size_t num_workers = 4;
   /// Maximum queued (admitted but not yet executing) requests.
   size_t queue_capacity = 128;
-  /// Capacity, in pages, of each worker's private LRU buffer pool.
-  /// 0 caches nothing but still keeps per-worker I/O accounting.
+  /// Capacity, in pages, of each worker's private LRU buffer pool when
+  /// shared_pool=false; with the shared pool it sizes the default
+  /// shared capacity (see shared_pool_pages). 0 caches nothing but
+  /// still keeps per-worker I/O accounting.
   size_t worker_pool_pages = 256;
+  /// Serve all workers from one process-wide ShardedBufferPool (each
+  /// worker reads through its own session). false restores the
+  /// original per-worker private BufferPool layout — the baseline the
+  /// read-path benchmarks compare against.
+  bool shared_pool = true;
+  /// Total page capacity of the shared pool. 0 (default) derives
+  /// num_workers * worker_pool_pages, so switching shared_pool on or
+  /// off holds the total cache budget constant.
+  size_t shared_pool_pages = 0;
+  /// Lock shards in the shared pool; 0 (default) auto-sizes from
+  /// hardware concurrency (see pages::ShardedPoolOptions::shards).
+  size_t pool_shards = 0;
   OverflowPolicy overflow = OverflowPolicy::kReject;
   /// Simulated random-read latency per buffer-pool miss (microseconds),
   /// forwarded to the worker pools. Models the paper's disk so benches
@@ -102,8 +123,15 @@ struct QueryMetrics {
   double queue_wait_us = 0;  // admission -> start of execution.
   uint64_t internal_accesses = 0;  // tree nodes visited, by level.
   uint64_t leaf_accesses = 0;
-  uint64_t pool_hits = 0;    // worker buffer-pool hits / misses.
+  uint64_t pool_hits = 0;    // buffer-pool hits / misses by this query.
   uint64_t pool_misses = 0;
+  /// Pages this query's misses evicted from the pool (shared pool:
+  /// evictions performed by this query's fetches; private pools: this
+  /// worker's LRU evictions).
+  uint64_t pool_evictions = 0;
+  /// Shard-lock contention events this query's fetches hit in the
+  /// shared pool (always 0 with private per-worker pools).
+  uint64_t pool_contention = 0;
   /// Unreadable subtrees this query skipped under its fault budget.
   uint64_t pages_skipped = 0;
   /// Streaming only: the deadline expired before the stream finished.
@@ -143,6 +171,9 @@ struct ServiceSnapshot {
   uint64_t internal_accesses = 0;
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
+  uint64_t pool_evictions = 0;    // pages evicted to admit misses.
+  uint64_t pool_contention = 0;   // shared-pool shard-lock contention.
+  uint64_t pool_shards = 0;       // shard count (0 = private pools).
   /// Mirrored from the served store's self-healing machinery when the
   /// service fronts a DurableIndex (all zero otherwise).
   uint64_t store_read_retries = 0;       // transient read faults absorbed.
@@ -253,10 +284,10 @@ class QueryService {
   void Start();
   Result<ResponseFuture> Submit(Task task);
   void WorkerLoop(size_t worker_index);
-  /// Runs one query on the calling worker's private pool. Fills
-  /// metrics.latency_us/accesses/pool counters; queue_wait_us is set by
-  /// the caller.
-  Response Execute(Task& task, pages::BufferPool* pool);
+  /// Runs one query through the calling worker's reader (a shared-pool
+  /// session or a private BufferPool). Fills metrics.latency_us/
+  /// accesses/pool counters; queue_wait_us is set by the caller.
+  Response Execute(Task& task, pages::PageReader* pool);
 
   std::unique_ptr<core::BuiltIndex> owned_index_;      // may be null.
   std::unique_ptr<core::DurableIndex> owned_durable_;  // may be null.
@@ -273,7 +304,13 @@ class QueryService {
   bool paused_ = false;
   bool shutdown_ = false;
 
-  std::vector<std::unique_ptr<pages::BufferPool>> worker_pools_;
+  /// Shared page cache (null when shared_pool=false). Workers never
+  /// touch it directly — only through their sessions in
+  /// worker_readers_, which keeps watchdog state worker-private.
+  std::unique_ptr<pages::ShardedBufferPool> shared_pool_;
+  /// One reader per worker: ShardedBufferPool sessions when sharing,
+  /// private BufferPools otherwise.
+  std::vector<std::unique_ptr<pages::PageReader>> worker_readers_;
   std::vector<std::thread> workers_;
 
   // Aggregate metrics (relaxed atomics: hot-path increments never
@@ -291,6 +328,8 @@ class QueryService {
   std::atomic<uint64_t> internal_accesses_{0};
   std::atomic<uint64_t> pool_hits_{0};
   std::atomic<uint64_t> pool_misses_{0};
+  std::atomic<uint64_t> pool_evictions_{0};
+  std::atomic<uint64_t> pool_contention_{0};
   std::chrono::steady_clock::time_point start_time_;
 };
 

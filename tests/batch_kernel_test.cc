@@ -1,0 +1,223 @@
+// Property tests for the batched node-scan API: for every access
+// method, BpMinDistanceBatch / BpConsistentRangeBatch /
+// PointDistanceBatch over random nodes must be bit-identical (exact
+// double equality, not approximate) to the per-entry scalar methods
+// they replace — that is the contract that lets the traversal layer
+// batch unconditionally (gist/extension.h). A traversal-level test
+// additionally checks that batched degraded-mode search (skips under a
+// fault budget) returns exactly the brute-force answer over the
+// surviving points, with exact distances.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/durable_index.h"
+#include "core/index_factory.h"
+#include "gist/extension.h"
+#include "gist/tree.h"
+#include "pages/sharded_buffer_pool.h"
+#include "tests/test_helpers.h"
+#include "util/random.h"
+
+namespace bw {
+namespace {
+
+constexpr size_t kDim = 5;
+
+const char* const kAms[] = {"rtree", "rstar", "sstree", "srtree",
+                            "amap",  "jb",    "xjb"};
+
+std::unique_ptr<gist::Extension> MakeExt(const std::string& am) {
+  core::IndexBuildOptions options;
+  options.am = am;
+  options.amap_samples = 512;
+  options.xjb_x = 6;
+  auto ext = core::MakeExtension(kDim, options, 5000);
+  EXPECT_TRUE(ext.ok()) << ext.status().ToString();
+  return std::move(ext).value();
+}
+
+/// A random "node": `n` BPs, each built from its own point cluster.
+struct RandomNode {
+  std::vector<gist::Bytes> bps;
+  gist::BatchScratch scratch;
+
+  RandomNode(gist::Extension& ext, size_t n, uint64_t seed) {
+    bps.reserve(n);
+    scratch.preds.reserve(n);
+    for (size_t e = 0; e < n; ++e) {
+      const size_t leaf_points = 2 + (seed + e) % 40;
+      bps.push_back(ext.BpFromPoints(testing::MakeClusteredPoints(
+          leaf_points, kDim, 2, seed * 131 + e)));
+    }
+    for (const gist::Bytes& bp : bps) {
+      scratch.preds.push_back(gist::ByteSpan(bp.data(), bp.size()));
+    }
+  }
+};
+
+class BatchKernelTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BatchKernelTest, MinDistanceBatchBitIdentical) {
+  auto ext = MakeExt(GetParam());
+  const auto queries = testing::MakeUniformPoints(16, kDim, 977);
+  for (const size_t n : {size_t{1}, size_t{3}, size_t{17}, size_t{64},
+                         size_t{96}}) {
+    RandomNode node(*ext, n, 5000 + n);
+    for (const geom::Vec& q : queries) {
+      ext->BpMinDistanceBatch(node.scratch, q);
+      ASSERT_EQ(node.scratch.distances.size(), n);
+      for (size_t e = 0; e < n; ++e) {
+        // Exact equality: the batch kernels promise the same doubles,
+        // not merely close ones.
+        EXPECT_EQ(node.scratch.distances[e],
+                  ext->BpMinDistance(node.scratch.preds[e], q))
+            << GetParam() << " entry " << e << " of " << n;
+      }
+    }
+  }
+}
+
+TEST_P(BatchKernelTest, ConsistentRangeBatchBitIdentical) {
+  auto ext = MakeExt(GetParam());
+  const auto queries = testing::MakeUniformPoints(8, kDim, 991);
+  RandomNode node(*ext, 48, 77);
+  for (const geom::Vec& q : queries) {
+    // Radii that stress the <= boundary: 0, an exact per-entry scalar
+    // distance (a forced tie), and a radius covering everything.
+    ext->BpMinDistanceBatch(node.scratch, q);
+    const std::vector<double> radii = {0.0, node.scratch.distances[7],
+                                       node.scratch.distances[31], 1e6};
+    for (const double radius : radii) {
+      ext->BpConsistentRangeBatch(node.scratch, q, radius);
+      ASSERT_EQ(node.scratch.consistent.size(), 48u);
+      for (size_t e = 0; e < 48; ++e) {
+        EXPECT_EQ(node.scratch.consistent[e] != 0,
+                  ext->BpConsistentRange(node.scratch.preds[e], q, radius))
+            << GetParam() << " entry " << e << " radius " << radius;
+      }
+    }
+  }
+}
+
+TEST_P(BatchKernelTest, PointDistanceBatchBitIdentical) {
+  auto ext = MakeExt(GetParam());
+  const auto points = testing::MakeClusteredPoints(80, kDim, 4, 1234);
+  const auto queries = testing::MakeUniformPoints(16, kDim, 555);
+  std::vector<gist::Bytes> keys;
+  keys.reserve(points.size());
+  gist::BatchScratch scratch;
+  for (const geom::Vec& p : points) {
+    keys.push_back(ext->EncodePoint(p));
+    scratch.preds.push_back(gist::ByteSpan(keys.back().data(),
+                                           keys.back().size()));
+  }
+  for (const geom::Vec& q : queries) {
+    ext->PointDistanceBatch(scratch, q);
+    for (size_t e = 0; e < points.size(); ++e) {
+      const double scalar = q.DistanceTo(ext->DecodePoint(scratch.preds[e]));
+      EXPECT_EQ(scratch.distances[e], scalar) << "entry " << e;
+      EXPECT_EQ(scratch.distances[e],
+                ext->PointDistance(scratch.preds[e], q));
+    }
+  }
+}
+
+/// All RIDs stored under `page` (healthy tree walk).
+void GatherRids(const gist::Tree& tree, pages::PageId page,
+                std::set<gist::Rid>* out) {
+  auto fetched = tree.FetchNode(page);
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  const gist::NodeView node(*fetched);
+  if (node.IsLeaf()) {
+    for (gist::Rid rid : tree.LeafRids(page)) out->insert(rid);
+    return;
+  }
+  for (size_t i = 0; i < node.entry_count(); ++i) {
+    GatherRids(tree, node.entry(i).ChildPage(), out);
+  }
+}
+
+TEST_P(BatchKernelTest, DegradedBatchedSearchMatchesBruteForce) {
+  const std::string am = GetParam();
+  const auto points = testing::MakeClusteredPoints(1200, kDim, 8, 17);
+  core::IndexBuildOptions build;
+  build.am = am;
+  build.xjb_x = 6;
+  build.amap_samples = 512;
+  const std::string base = ::testing::TempDir() + "/bk_" + am + ".bwpf";
+  const std::string wal = ::testing::TempDir() + "/bk_" + am + ".bwwal";
+  std::remove(base.c_str());
+  std::remove(wal.c_str());
+  auto built = core::BuildDurableIndex(points, build, base, wal);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  core::DurableIndex& index = **built;
+  const gist::Tree& tree = index.tree();
+
+  // Read through a sharded-pool session, the serving read path.
+  auto* store = const_cast<pages::PageStore*>(tree.file());
+  pages::ShardedBufferPool pool(store, 64, {});
+  auto session = pool.MakeSession();
+
+  const geom::Vec query = testing::MakeUniformPoints(1, kDim, 3)[0];
+  constexpr size_t kK = 25;
+  gist::TraversalStats stats;
+  auto baseline = tree.KnnSearch(query, kK, &stats, session.get());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  // Victims: one visited leaf plus one visited non-root internal (when
+  // the tree is deep enough), so the degraded traversal must skip at
+  // both levels.
+  ASSERT_FALSE(stats.accessed_leaves.empty());
+  std::vector<pages::PageId> victims = {stats.accessed_leaves.front()};
+  for (pages::PageId id : stats.accessed_internals) {
+    if (id != tree.root()) {
+      victims.push_back(id);
+      break;
+    }
+  }
+  std::set<gist::Rid> lost;
+  for (pages::PageId id : victims) GatherRids(tree, id, &lost);
+  ASSERT_FALSE(lost.empty());
+
+  for (pages::PageId id : victims) {
+    index.store().disk()->health().Quarantine(id);
+  }
+  gist::DegradedRead degraded;
+  degraded.budget = 16;
+  auto result = tree.KnnSearch(query, kK, nullptr, session.get(), &degraded);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(degraded.degraded());
+
+  // Exact expectation: brute-force k-NN over the surviving points, with
+  // distances recomputed through the scalar geometry path.
+  std::vector<std::pair<double, gist::Rid>> expected;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (lost.count(static_cast<gist::Rid>(i)) > 0) continue;
+    expected.emplace_back(query.DistanceTo(points[i]),
+                          static_cast<gist::Rid>(i));
+  }
+  std::sort(expected.begin(), expected.end());
+  expected.resize(std::min(expected.size(), kK));
+
+  ASSERT_EQ(result->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ((*result)[i].distance, expected[i].first) << "rank " << i;
+    EXPECT_EQ((*result)[i].rid, expected[i].second) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAms, BatchKernelTest, ::testing::ValuesIn(kAms),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace bw

@@ -1,16 +1,20 @@
 // Unit tests for src/pages: slotted Page, PageFile I/O accounting,
-// BufferPool LRU behavior, and the IoModel disk arithmetic of the
-// paper's footnote 4.
+// BufferPool LRU behavior, the process-wide ShardedBufferPool, and the
+// IoModel disk arithmetic of the paper's footnote 4.
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "pages/buffer_pool.h"
 #include "pages/io_model.h"
 #include "pages/page.h"
 #include "pages/page_file.h"
+#include "pages/sharded_buffer_pool.h"
 
 namespace bw::pages {
 namespace {
@@ -194,6 +198,167 @@ TEST(BufferPoolTest, PrimeAvoidsColdMiss) {
   (void)pool.Fetch(0);
   EXPECT_EQ(file.stats().reads, 0u);
   EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+// PageStore wrapper with an injectable quarantine set, mimicking the
+// durable store's health gate over the in-memory PageFile.
+class QuarantiningFile : public PageStore {
+ public:
+  explicit QuarantiningFile(size_t page_size) : file_(page_size) {}
+
+  void Quarantine(PageId id) { sick_.push_back(id); }
+
+  size_t page_size() const override { return file_.page_size(); }
+  size_t page_count() const override { return file_.page_count(); }
+  PageId Allocate() override { return file_.Allocate(); }
+  Result<Page*> Read(PageId id) override { return file_.Read(id); }
+  Result<Page*> Write(PageId id) override { return file_.Write(id); }
+  Page* PeekNoIo(PageId id) override { return file_.PeekNoIo(id); }
+  const Page* PeekNoIo(PageId id) const override {
+    return file_.PeekNoIo(id);
+  }
+  Status ReadHealth(PageId id) const override {
+    for (PageId sick : sick_) {
+      if (sick == id) return Status::Unavailable("page quarantined");
+    }
+    return Status::OK();
+  }
+  const IoStats& stats() const override { return file_.stats(); }
+  void ResetStats() override { file_.ResetStats(); }
+
+ private:
+  PageFile file_;
+  std::vector<PageId> sick_;
+};
+
+TEST(ShardedPoolTest, MissesAreSharedAcrossSessions) {
+  PageFile file(512);
+  for (int i = 0; i < 4; ++i) file.Allocate();
+  ShardedPoolOptions options;
+  options.shards = 4;
+  ShardedBufferPool pool(&file, 8, options);
+  auto a = pool.MakeSession();
+  auto b = pool.MakeSession();
+  for (PageId id = 0; id < 4; ++id) ASSERT_TRUE(a->Fetch(id).ok());
+  // Session B reuses the pages session A's misses brought in: the whole
+  // point of the shared pool.
+  for (PageId id = 0; id < 4; ++id) ASSERT_TRUE(b->Fetch(id).ok());
+  EXPECT_EQ(a->stats().misses, 4u);
+  EXPECT_EQ(a->stats().hits, 0u);
+  EXPECT_EQ(b->stats().hits, 4u);
+  EXPECT_EQ(b->stats().misses, 0u);
+  const BufferStats total = pool.TotalStats();
+  EXPECT_EQ(total.hits, 4u);
+  EXPECT_EQ(total.misses, 4u);
+  EXPECT_EQ(total.evictions, 0u);
+}
+
+TEST(ShardedPoolTest, ClockEvictionIsCounted) {
+  PageFile file(512);
+  for (int i = 0; i < 3; ++i) file.Allocate();
+  ShardedPoolOptions options;
+  options.shards = 1;  // single shard: deterministic CLOCK behavior.
+  ShardedBufferPool pool(&file, 2, options);
+  EXPECT_EQ(pool.shard_count(), 1u);
+  auto session = pool.MakeSession();
+  (void)session->Fetch(0);
+  (void)session->Fetch(1);
+  (void)session->Fetch(2);  // full: the sweep must evict someone.
+  EXPECT_EQ(pool.TotalStats().evictions, 1u);
+  EXPECT_EQ(session->stats().evictions, 1u);
+  const auto per_shard = pool.PerShardStats();
+  ASSERT_EQ(per_shard.size(), 1u);
+  EXPECT_EQ(per_shard[0].resident, 2u);
+  EXPECT_EQ(per_shard[0].capacity, 2u);
+}
+
+TEST(ShardedPoolTest, HashSpreadsPagesOverShards) {
+  PageFile file(512);
+  for (int i = 0; i < 64; ++i) file.Allocate();
+  ShardedPoolOptions options;
+  options.shards = 4;
+  ShardedBufferPool pool(&file, 64, options);
+  auto session = pool.MakeSession();
+  for (PageId id = 0; id < 64; ++id) ASSERT_TRUE(session->Fetch(id).ok());
+  for (const ShardStats& shard : pool.PerShardStats()) {
+    EXPECT_GT(shard.misses, 0u) << "a shard saw none of 64 pages";
+  }
+}
+
+TEST(ShardedPoolTest, QuarantinedPageRefusedEvenWhenResident) {
+  QuarantiningFile store(512);
+  store.Allocate();
+  ShardedBufferPool pool(&store, 4, {});
+  auto session = pool.MakeSession();
+  ASSERT_TRUE(session->Fetch(0).ok());  // resident now.
+  store.Quarantine(0);
+  auto refused = session->Fetch(0);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ShardedPoolTest, OutOfRangeFetchFails) {
+  PageFile file(512);
+  file.Allocate();
+  ShardedBufferPool pool(&file, 4, {});
+  auto session = pool.MakeSession();
+  EXPECT_FALSE(session->Fetch(99).ok());
+}
+
+TEST(ShardedPoolTest, WatchdogCutsOffSimulatedRead) {
+  PageFile file(512);
+  file.Allocate();
+  ShardedPoolOptions options;
+  options.miss_delay_us = 200000;  // one read dwarfs the deadline.
+  ShardedBufferPool pool(&file, 4, options);
+  auto session = pool.MakeSession();
+  session->ArmWatchdog(std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(2));
+  const auto start = std::chrono::steady_clock::now();
+  auto aborted = session->Fetch(0);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(session->watchdog_expirations(), 1u);
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 0.15);
+  session->DisarmWatchdog();
+  // Watchdog state is per-session: a fresh session reads fine (with the
+  // full delay, so drop it first).
+  auto other = pool.MakeSession();
+  EXPECT_EQ(other->watchdog_expirations(), 0u);
+}
+
+TEST(ShardedPoolTest, ConcurrentSessionsAccountExactly) {
+  PageFile file(512);
+  for (int i = 0; i < 8; ++i) file.Allocate();
+  ShardedPoolOptions options;
+  options.shards = 4;
+  // Ample per-shard headroom: 8 pages never evict even if the hash
+  // lands them all in one shard (8 <= 32/4 is not guaranteed per shard,
+  // but 32 total leaves every shard at least 8 frames).
+  ShardedBufferPool pool(&file, 32, options);
+  constexpr size_t kThreads = 4;
+  constexpr size_t kFetches = 500;
+  std::vector<std::thread> threads;
+  std::vector<BufferStats> session_stats(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &session_stats, t] {
+      auto session = pool.MakeSession();
+      for (size_t i = 0; i < kFetches; ++i) {
+        ASSERT_TRUE(session->Fetch((t * 31 + i * 7) % 8).ok());
+      }
+      session_stats[t] = session->stats();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  uint64_t session_total = 0;
+  for (const BufferStats& s : session_stats) {
+    EXPECT_EQ(s.hits + s.misses, kFetches);
+    session_total += s.hits + s.misses;
+  }
+  const BufferStats total = pool.TotalStats();
+  EXPECT_EQ(total.hits + total.misses, session_total);
+  EXPECT_EQ(total.evictions, 0u);  // capacity covers every page.
 }
 
 TEST(IoModelTest, PaperFootnote4Arithmetic) {

@@ -319,6 +319,76 @@ TEST(QueryServiceTest, SnapshotAggregates) {
   EXPECT_LE(snap.p95_latency_us, snap.p99_latency_us);
 }
 
+TEST(QueryServiceTest, SharedPoolCountersSurfaceInMetricsAndSnapshot) {
+  auto built = BuildSmallIndex();
+  const auto points = testing::MakeClusteredPoints(2000, 5, 8, 11);
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.shared_pool = true;       // the default, stated for clarity.
+  options.shared_pool_pages = 4;    // tiny: force evictions.
+  options.pool_shards = 2;
+  QueryService service(built->tree(), options);
+
+  uint64_t per_query_hits = 0, per_query_misses = 0, per_query_evictions = 0;
+  for (size_t i = 0; i < 30; ++i) {
+    auto response = service.Knn(points[i * 13 % points.size()], 10);
+    ASSERT_TRUE(response.ok());
+    per_query_hits += response->metrics.pool_hits;
+    per_query_misses += response->metrics.pool_misses;
+    per_query_evictions += response->metrics.pool_evictions;
+  }
+  EXPECT_GT(per_query_misses, 0u);
+  EXPECT_GT(per_query_evictions, 0u);  // 4 pages cannot hold the tree.
+
+  const auto snap = service.Snapshot();
+  EXPECT_EQ(snap.pool_shards, 2u);
+  // Per-query deltas and the aggregate are the same counters, summed.
+  EXPECT_EQ(snap.pool_hits, per_query_hits);
+  EXPECT_EQ(snap.pool_misses, per_query_misses);
+  EXPECT_EQ(snap.pool_evictions, per_query_evictions);
+}
+
+TEST(QueryServiceTest, SharedPoolWarmsAcrossWorkers) {
+  auto built = BuildSmallIndex();
+  const auto points = testing::MakeClusteredPoints(2000, 5, 8, 11);
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.overflow = OverflowPolicy::kBlock;
+  QueryService service(built->tree(), options);
+
+  // Same query many times: after the first execution every page it
+  // touches is resident for all workers, so misses stay bounded by one
+  // traversal's page set while hits grow with repetition.
+  std::vector<QueryService::ResponseFuture> futures;
+  for (size_t i = 0; i < 32; ++i) {
+    auto f = service.SubmitKnn(points[42], 10);
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+  const auto snap = service.Snapshot();
+  EXPECT_GT(snap.pool_hits, snap.pool_misses);
+}
+
+TEST(QueryServiceTest, PrivatePoolModeKeepsLegacyLayout) {
+  auto built = BuildSmallIndex();
+  const auto points = testing::MakeClusteredPoints(2000, 5, 8, 11);
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.shared_pool = false;
+  options.worker_pool_pages = 64;
+  QueryService service(built->tree(), options);
+
+  auto response = service.Knn(points[5], 10);
+  ASSERT_TRUE(response.ok());
+  EXPECT_GT(response->metrics.pool_misses, 0u);
+  EXPECT_EQ(response->metrics.pool_contention, 0u);  // no shared locks.
+
+  const auto snap = service.Snapshot();
+  EXPECT_EQ(snap.pool_shards, 0u);  // 0 marks private per-worker pools.
+  EXPECT_EQ(snap.pool_contention, 0u);
+}
+
 TEST(QueryServiceTest, SyncKnnConvenience) {
   auto built = BuildSmallIndex();
   const auto points = testing::MakeClusteredPoints(2000, 5, 8, 11);
