@@ -20,6 +20,8 @@
 // QPS is directly comparable against the baseline. `--json_out=PATH`
 // records the sweep as a flat JSON object (see BENCH_read_path.json).
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -28,7 +30,9 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/durable_index.h"
 #include "service/query_service.h"
+#include "storage/store.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
 
@@ -120,6 +124,75 @@ RunOutcome RunOpenLoop(const bw::gist::Tree& tree,
   return out;
 }
 
+struct MixedOutcome {
+  double seconds = 0;
+  double ops_per_sec = 0;
+  size_t ops = 0;
+  size_t write_ops = 0;
+  size_t admission_rejects = 0;
+  bw::service::ServiceSnapshot snap;
+};
+
+// Mixed closed loop over a durable index: each client keeps one
+// operation in flight, flipping a deterministic per-op coin between a
+// k-NN query and an online insert. Writes submitted while the service
+// sheds (queue full or read-only) count as admission rejects; admitted
+// writes are waited to their ack, so write latency covers queue wait +
+// apply + group-commit fsync.
+MixedOutcome RunMixedLoop(bw::core::DurableIndex* index,
+                          const std::vector<bw::geom::Vec>& vectors,
+                          const std::vector<bw::geom::Vec>& queries, size_t k,
+                          const bw::service::ServiceOptions& options,
+                          size_t clients, double write_fraction,
+                          size_t total_ops) {
+  bw::service::QueryService service(index, options);
+  const uint32_t write_cut =
+      static_cast<uint32_t>(write_fraction * 1000.0 + 0.5);
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> write_ops{0};
+  std::atomic<size_t> rejects{0};
+
+  bw::Stopwatch watch;
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= total_ops) return;
+        const bool is_write =
+            (static_cast<uint32_t>(i) * 2654435761u) % 1000 < write_cut;
+        if (is_write) {
+          write_ops.fetch_add(1);
+          auto future = service.SubmitInsert(
+              vectors[i % vectors.size()],
+              static_cast<bw::gist::Rid>(vectors.size() + i));
+          if (!future.ok()) {
+            rejects.fetch_add(1);
+            continue;
+          }
+          (void)future->get();  // closed loop: wait for the ack.
+        } else {
+          auto future = service.SubmitKnn(queries[i % queries.size()], k);
+          if (!future.ok()) continue;
+          (void)future->get();
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  MixedOutcome out;
+  out.seconds = watch.ElapsedSeconds();
+  out.ops = total_ops;
+  out.ops_per_sec = static_cast<double>(total_ops) / out.seconds;
+  out.write_ops = write_ops.load();
+  out.admission_rejects = rejects.load();
+  out.snap = service.Snapshot();
+  service.Shutdown();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -136,6 +209,10 @@ int main(int argc, char** argv) {
   double* open_loop_qps = flags.AddDouble(
       "open_loop_qps", 0.0,
       "offered arrival rate for an extra open-loop run (0 = skip)");
+  double* write_fraction = flags.AddDouble(
+      "write_fraction", 0.0,
+      "mixed-workload run over a durable index: fraction of operations "
+      "that are online inserts (0 = skip)");
   std::string* json_out = flags.AddString(
       "json_out", "", "write sweep results to this JSON file ('' = skip)");
   int exit_code = 0;
@@ -263,6 +340,69 @@ int main(int argc, char** argv) {
                 "aggregate QPS (target >= 1x)\n\n",
                 qps_shared_4 / qps_private_4);
   }
+  if (*write_fraction > 0) {
+    // The write path needs a WAL: rebuild the index durably in scratch
+    // files, then serve the mixed workload against it.
+    const std::string scratch = "/tmp/bw_svc_thr_" + std::to_string(::getpid());
+    const std::string dbase = scratch + ".bwpf";
+    const std::string dwal = scratch + ".bwwal";
+    bw::storage::StoreOptions store_options;
+    store_options.wal_segment_bytes = 4ull << 20;
+    store_options.checkpoint_every_commits = 64;
+    watch.Restart();
+    auto durable = bw::core::BuildDurableIndex(data.vectors, build, dbase,
+                                               dwal, store_options);
+    BW_CHECK_MSG(durable.ok(), durable.status().ToString());
+    std::printf("built durable %s for the mixed run in %.1fs\n", am->c_str(),
+                watch.ElapsedSeconds());
+
+    bw::service::ServiceOptions mixed = options;
+    mixed.num_workers = static_cast<size_t>(config->threads);
+    mixed.shared_pool = true;
+    mixed.write.enabled = true;
+    const size_t total_ops = std::max<size_t>(queries.size() * 4, 2000);
+    const MixedOutcome run = RunMixedLoop(
+        durable->get(), data.vectors, queries, k, mixed,
+        std::max<size_t>(*clients, mixed.num_workers), *write_fraction,
+        total_ops);
+    const auto& s = run.snap;
+    std::printf(
+        "mixed loop: %zu ops (%.0f%% writes) with %zu workers -> %.1f "
+        "ops/s\n  writes: acked %llu, rejected %llu (admission %zu), "
+        "failed %llu, p50 %llu us, p99 %llu us, commit batches %llu\n"
+        "  reads: p50 %llu us, p99 %llu us\n",
+        run.ops, 100.0 * *write_fraction, mixed.num_workers, run.ops_per_sec,
+        (unsigned long long)s.writes_acked,
+        (unsigned long long)s.writes_rejected, run.admission_rejects,
+        (unsigned long long)s.writes_failed,
+        (unsigned long long)s.p50_write_latency_us,
+        (unsigned long long)s.p99_write_latency_us,
+        (unsigned long long)s.commit_batches,
+        (unsigned long long)s.p50_latency_us,
+        (unsigned long long)s.p99_latency_us);
+    json.Set("write_fraction", *write_fraction);
+    json.Set("mixed_ops_per_sec", run.ops_per_sec);
+    json.Set("write_p50_us", static_cast<double>(s.p50_write_latency_us));
+    json.Set("write_p99_us", static_cast<double>(s.p99_write_latency_us));
+    json.Set("mean_write_latency_us", s.mean_write_latency_us);
+    json.Set("writes_acked", static_cast<double>(s.writes_acked));
+    json.Set("writes_rejected", static_cast<double>(s.writes_rejected));
+    json.Set("writes_failed", static_cast<double>(s.writes_failed));
+    json.Set("commit_batches", static_cast<double>(s.commit_batches));
+    json.Set("wal_segments_created",
+             static_cast<double>(s.wal_segments_created));
+
+    durable->reset();
+    std::remove(dbase.c_str());
+    std::remove(dwal.c_str());
+    for (uint64_t seq = 1; seq <= s.wal_segments_created + 1; ++seq) {
+      char suffix[16];
+      std::snprintf(suffix, sizeof(suffix), ".%06llu",
+                    static_cast<unsigned long long>(seq));
+      std::remove((dwal + suffix).c_str());
+    }
+  }
+
   if (!json_out->empty()) {
     json.Write(*json_out);
     std::printf("wrote %s\n", json_out->c_str());

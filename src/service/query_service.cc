@@ -1,5 +1,8 @@
 #include "service/query_service.h"
 
+#include <sys/statvfs.h>
+
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -14,6 +17,18 @@ using Clock = std::chrono::steady_clock;
 double MicrosSince(Clock::time_point since) {
   return std::chrono::duration<double, std::micro>(Clock::now() - since)
       .count();
+}
+
+/// Default disk-space probe: free bytes on the filesystem holding
+/// `path`'s directory. 0 on probe failure — fail-safe: an unprobeable
+/// disk reads as exhausted, which sheds writes instead of risking them.
+uint64_t FreeBytesNear(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+  struct statvfs vfs;
+  if (::statvfs(dir.c_str(), &vfs) != 0) return 0;
+  return static_cast<uint64_t>(vfs.f_bavail) * vfs.f_frsize;
 }
 
 }  // namespace
@@ -37,6 +52,7 @@ QueryService::QueryService(std::unique_ptr<core::DurableIndex> index,
   BW_CHECK(owned_durable_ != nullptr);
   tree_ = &owned_durable_->tree();
   durable_ = owned_durable_.get();
+  mutable_durable_ = owned_durable_.get();
   Start();
 }
 
@@ -45,6 +61,7 @@ QueryService::QueryService(core::DurableIndex* index, ServiceOptions options)
   BW_CHECK(index != nullptr);
   tree_ = &index->tree();
   durable_ = index;
+  mutable_durable_ = index;
   Start();
 }
 
@@ -86,11 +103,37 @@ void QueryService::Start() {
   for (size_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back(&QueryService::WorkerLoop, this, i);
   }
+
+  if (options_.write.enabled) {
+    // Writes need a mutable durable index: the writer thread is the
+    // store's single mutator (tree apply + commit + checkpoint cadence).
+    BW_CHECK(mutable_durable_ != nullptr);
+    BW_CHECK_GE(options_.write.batch_size, 1u);
+    BW_CHECK_GE(options_.write.queue_capacity, 1u);
+    next_tag_ = mutable_durable_->store().committed_batches() + 1;
+    if (!options_.write.free_space_probe) {
+      const std::string wal_path = mutable_durable_->store().wal()->path();
+      options_.write.free_space_probe = [wal_path] {
+        return FreeBytesNear(wal_path);
+      };
+    }
+    MirrorWalStats();
+    writer_ = std::thread(&QueryService::WriterLoop, this);
+  }
 }
 
 QueryService::~QueryService() { Shutdown(); }
 
 void QueryService::Shutdown() {
+  // Writer first: remaining admitted mutations get their final commit
+  // (or a definitive shed) before query workers drain.
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    write_shutdown_ = true;
+  }
+  write_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutdown_) {
@@ -191,6 +234,320 @@ QueryService::Response QueryService::Knn(const geom::Vec& query, size_t k) {
 }
 
 // ---------------------------------------------------------------------------
+// Mutation submission / write admission control
+// ---------------------------------------------------------------------------
+
+Result<QueryService::MutationFuture> QueryService::SubmitMutation(
+    Mutation mutation) {
+  if (!options_.write.enabled) {
+    return Status::InvalidArgument(
+        "writes are not enabled on this service (ServiceWriteOptions)");
+  }
+  std::unique_lock<std::mutex> lock(write_mutex_);
+  // Shed-at-admission: every degraded verdict is delivered here, cheap
+  // and immediate, so clients never enqueue work the service already
+  // knows it cannot make durable.
+  const auto shed_if_degraded = [&]() -> Status {
+    if (write_shutdown_) {
+      return Status::Unavailable("query service is shut down");
+    }
+    switch (write_state_.load(std::memory_order_relaxed)) {
+      case WriteState::kFailed:
+        writes_rejected_.fetch_add(1, std::memory_order_relaxed);
+        return Status::IoError(
+            "write path fail-stopped; this process serves reads only "
+            "(crash-recover in a fresh process to resume writes)");
+      case WriteState::kReadOnly:
+        writes_rejected_.fetch_add(1, std::memory_order_relaxed);
+        return Status::ResourceExhausted(
+            "service is read-only (resource exhaustion); write shed — "
+            "resubmit once capacity is restored");
+      case WriteState::kServing:
+        break;
+    }
+    return Status::OK();
+  };
+  BW_RETURN_IF_ERROR(shed_if_degraded());
+  if (write_queue_.size() >= options_.write.queue_capacity) {
+    if (options_.write.overflow == OverflowPolicy::kReject) {
+      writes_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(
+          "mutation queue full (capacity " +
+          std::to_string(options_.write.queue_capacity) + "); retry later");
+    }
+    // Backpressure, but never while degraded: a reader-only service
+    // must not park submitters forever.
+    write_cv_.wait(lock, [&] {
+      return write_queue_.size() < options_.write.queue_capacity ||
+             write_shutdown_ ||
+             write_state_.load(std::memory_order_relaxed) !=
+                 WriteState::kServing;
+    });
+    BW_RETURN_IF_ERROR(shed_if_degraded());
+  }
+  mutation.enqueue_time = Clock::now();
+  MutationFuture future = mutation.promise.get_future();
+  write_queue_.push_back(std::move(mutation));
+  writes_submitted_.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+  write_cv_.notify_all();
+  return future;
+}
+
+Result<QueryService::MutationFuture> QueryService::SubmitInsert(
+    geom::Vec point, gist::Rid rid) {
+  Mutation mutation;
+  mutation.kind = MutationKind::kInsert;
+  mutation.point = std::move(point);
+  mutation.rid = rid;
+  return SubmitMutation(std::move(mutation));
+}
+
+Result<QueryService::MutationFuture> QueryService::SubmitDelete(
+    geom::Vec point, gist::Rid rid) {
+  Mutation mutation;
+  mutation.kind = MutationKind::kDelete;
+  mutation.point = std::move(point);
+  mutation.rid = rid;
+  return SubmitMutation(std::move(mutation));
+}
+
+void QueryService::ResumeWrites() {
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    resume_requested_ = true;
+  }
+  write_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Writer thread
+// ---------------------------------------------------------------------------
+
+bool QueryService::FreeSpaceOk() const {
+  if (options_.write.min_free_bytes == 0) return true;
+  if (!options_.write.free_space_probe) return true;
+  return options_.write.free_space_probe() >= options_.write.min_free_bytes;
+}
+
+void QueryService::MirrorWalStats() {
+  const storage::Wal* wal = mutable_durable_->store().wal();
+  wal_live_bytes_.store(wal->live_bytes(), std::memory_order_relaxed);
+  wal_segments_created_.store(wal->segments_created(),
+                              std::memory_order_relaxed);
+  wal_segments_retired_.store(wal->segments_retired(),
+                              std::memory_order_relaxed);
+}
+
+void QueryService::ApplyBatch(std::vector<Mutation>* todo) {
+  const Clock::time_point picked = Clock::now();
+  {
+    // Exclusive side: readers are out for the duration of the whole
+    // batch, so no query ever observes some-but-not-all of it.
+    std::unique_lock<std::shared_mutex> exclusive(tree_mutex_);
+    const Clock::time_point start = Clock::now();
+    gist::Tree& tree = mutable_durable_->tree();
+    for (Mutation& m : *todo) {
+      m.queue_wait_us =
+          std::chrono::duration<double, std::micro>(picked - m.enqueue_time)
+              .count();
+      m.apply_status = m.kind == MutationKind::kInsert
+                           ? tree.Insert(m.point, m.rid)
+                           : tree.Delete(m.point, m.rid);
+    }
+    const double apply_us = MicrosSince(start);
+    for (Mutation& m : *todo) m.apply_us = apply_us;
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  for (Mutation& m : *todo) pending_.push_back(std::move(m));
+  todo->clear();
+}
+
+Status QueryService::CommitPendingBatch() {
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (pending_.empty()) return Status::OK();
+  }
+  // The commit runs with no tree lock held: the writer (this thread) is
+  // the only mutator, so the pages it encodes are quiescent, and
+  // readers overlap the fsync instead of stalling behind it.
+  const uint64_t tag = next_tag_;
+  BW_RETURN_IF_ERROR(mutable_durable_->Commit(tag));
+  std::vector<Mutation> batch;
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    batch.swap(pending_);
+    ++next_tag_;
+  }
+  commit_batches_.fetch_add(1, std::memory_order_relaxed);
+  MirrorWalStats();
+  for (Mutation& m : batch) {
+    write_latency_histogram_.Record(
+        static_cast<uint64_t>(MicrosSince(m.enqueue_time)));
+    if (m.apply_status.ok()) {
+      writes_acked_.fetch_add(1, std::memory_order_relaxed);
+      MutationOutcome outcome;
+      outcome.tag = tag;
+      outcome.queue_wait_us = m.queue_wait_us;
+      outcome.apply_us = m.apply_us;
+      m.promise.set_value(outcome);
+    } else {
+      // The tree refused this one (e.g. NotFound delete); the batch
+      // still committed for its siblings.
+      writes_failed_.fetch_add(1, std::memory_order_relaxed);
+      m.promise.set_value(m.apply_status);
+    }
+  }
+  return Status::OK();
+}
+
+void QueryService::EnterReadOnly() {
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (write_state_.load(std::memory_order_relaxed) ==
+        WriteState::kServing) {
+      write_state_.store(WriteState::kReadOnly, std::memory_order_relaxed);
+    }
+  }
+  write_cv_.notify_all();  // unpark kBlock submitters into a shed verdict.
+}
+
+void QueryService::ShedAllWrites(const Status& status) {
+  std::vector<Mutation> doomed;
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    doomed.reserve(pending_.size() + write_queue_.size());
+    for (Mutation& m : pending_) doomed.push_back(std::move(m));
+    pending_.clear();
+    while (!write_queue_.empty()) {
+      doomed.push_back(std::move(write_queue_.front()));
+      write_queue_.pop_front();
+    }
+  }
+  write_cv_.notify_all();
+  for (Mutation& m : doomed) {
+    writes_failed_.fetch_add(1, std::memory_order_relaxed);
+    m.promise.set_value(status);
+  }
+}
+
+void QueryService::EnterFailed(const Status& cause) {
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    write_state_.store(WriteState::kFailed, std::memory_order_relaxed);
+  }
+  ShedAllWrites(cause);
+}
+
+void QueryService::WriterLoop() {
+  for (;;) {
+    std::vector<Mutation> todo;
+    bool shutting_down = false;
+    {
+      std::unique_lock<std::mutex> lock(write_mutex_);
+      const bool retrying =
+          write_state_.load(std::memory_order_relaxed) ==
+              WriteState::kReadOnly &&
+          (!pending_.empty() || !write_queue_.empty());
+      if (retrying) {
+        // Timed wait: each expiry is one resume attempt (probe + retry
+        // of the pending commit). ResumeWrites() short-circuits it.
+        write_cv_.wait_for(lock, options_.write.retry_interval, [&] {
+          return write_shutdown_ || resume_requested_;
+        });
+      } else {
+        write_cv_.wait(lock, [&] {
+          return write_shutdown_ || resume_requested_ ||
+                 !write_queue_.empty();
+        });
+      }
+      resume_requested_ = false;
+      shutting_down = write_shutdown_;
+      if (shutting_down && write_queue_.empty() && pending_.empty()) return;
+      if (write_state_.load(std::memory_order_relaxed) ==
+              WriteState::kServing &&
+          pending_.empty()) {
+        const size_t n =
+            std::min(write_queue_.size(), options_.write.batch_size);
+        for (size_t i = 0; i < n; ++i) {
+          todo.push_back(std::move(write_queue_.front()));
+          write_queue_.pop_front();
+        }
+      }
+    }
+    write_cv_.notify_all();  // space freed for kBlock submitters.
+
+    const WriteState state = write_state_.load(std::memory_order_relaxed);
+    if (state == WriteState::kFailed) {
+      // Nothing new can be admitted; anything still queued (a race with
+      // the transition) must not dangle.
+      ShedAllWrites(Status::IoError(
+          "write path fail-stopped; mutation dropped without ack"));
+      if (shutting_down) return;
+      continue;
+    }
+
+    if (state == WriteState::kReadOnly) {
+      bool resumed = false;
+      if (FreeSpaceOk()) {
+        const Status committed = CommitPendingBatch();
+        if (committed.ok()) {
+          {
+            std::lock_guard<std::mutex> lock(write_mutex_);
+            write_state_.store(WriteState::kServing,
+                               std::memory_order_relaxed);
+          }
+          write_cv_.notify_all();
+          resumed = true;
+        } else if (committed.code() != StatusCode::kResourceExhausted) {
+          EnterFailed(committed);
+          continue;
+        }
+      }
+      if (!resumed && shutting_down) {
+        // Final verdict for anything still unacked: the process is
+        // exiting while the disk is full. Ack would be a lie.
+        ShedAllWrites(Status::ResourceExhausted(
+            "service shut down while read-only; mutation was never "
+            "durable"));
+        return;
+      }
+      continue;
+    }
+
+    if (todo.empty()) continue;
+
+    // The watchdog runs BEFORE the tree apply and the WAL append: a
+    // near-full disk sheds the batch back into the queue and trips
+    // read-only, instead of discovering ENOSPC halfway into a commit.
+    if (!FreeSpaceOk()) {
+      {
+        std::lock_guard<std::mutex> lock(write_mutex_);
+        for (auto it = todo.rbegin(); it != todo.rend(); ++it) {
+          write_queue_.push_front(std::move(*it));
+        }
+        todo.clear();
+      }
+      EnterReadOnly();
+      continue;
+    }
+
+    ApplyBatch(&todo);
+    const Status committed = CommitPendingBatch();
+    if (committed.ok()) continue;
+    if (committed.code() == StatusCode::kResourceExhausted) {
+      // Clean out-of-space mid-commit: the batch stays pending (applied
+      // in memory, tracking restored by the store) and is retried until
+      // space returns. Its futures stay unresolved — ack means durable.
+      EnterReadOnly();
+      continue;
+    }
+    EnterFailed(committed);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------------
 
@@ -212,7 +569,13 @@ void QueryService::WorkerLoop(size_t worker_index) {
     not_full_.notify_one();
 
     const double queue_wait_us = MicrosSince(task.enqueue_time);
-    Response response = Execute(task, pool);
+    // Shared side of the write path's batch lock: queries never run
+    // while a mutation batch is mid-apply, so every answer reflects a
+    // whole number of batches (a consistent generation).
+    Response response = [&] {
+      std::shared_lock<std::shared_mutex> read_lock(tree_mutex_);
+      return Execute(task, pool);
+    }();
 
     // Aggregate into the shared counters (relaxed: monitoring only).
     if (response.ok()) {
@@ -357,6 +720,28 @@ ServiceSnapshot QueryService::Snapshot() const {
   snap.pool_evictions = pool_evictions_.load(std::memory_order_relaxed);
   snap.pool_contention = pool_contention_.load(std::memory_order_relaxed);
   snap.pool_shards = shared_pool_ != nullptr ? shared_pool_->shard_count() : 0;
+  snap.writes_enabled = options_.write.enabled;
+  snap.write_state = write_state_.load(std::memory_order_relaxed);
+  snap.write_degraded =
+      snap.writes_enabled && snap.write_state != WriteState::kServing;
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    snap.write_queue_depth = write_queue_.size();
+  }
+  snap.writes_submitted = writes_submitted_.load(std::memory_order_relaxed);
+  snap.writes_rejected = writes_rejected_.load(std::memory_order_relaxed);
+  snap.writes_acked = writes_acked_.load(std::memory_order_relaxed);
+  snap.writes_failed = writes_failed_.load(std::memory_order_relaxed);
+  snap.commit_batches = commit_batches_.load(std::memory_order_relaxed);
+  snap.generation = generation_.load(std::memory_order_acquire);
+  snap.wal_live_bytes = wal_live_bytes_.load(std::memory_order_relaxed);
+  snap.wal_segments_created =
+      wal_segments_created_.load(std::memory_order_relaxed);
+  snap.wal_segments_retired =
+      wal_segments_retired_.load(std::memory_order_relaxed);
+  snap.mean_write_latency_us = write_latency_histogram_.Mean();
+  snap.p50_write_latency_us = write_latency_histogram_.Percentile(0.50);
+  snap.p99_write_latency_us = write_latency_histogram_.Percentile(0.99);
   snap.elapsed_seconds =
       std::chrono::duration<double>(Clock::now() - start_time_).count();
   snap.qps = snap.elapsed_seconds > 0

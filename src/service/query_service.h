@@ -28,6 +28,30 @@
 // instead of failing — every returned neighbor is genuine, some may be
 // missing. Stream deadlines are enforced through an I/O watchdog on the
 // worker pool, so they also bound time stuck inside a storage read.
+//
+// Serving through writes (ServiceWriteOptions::enabled over a mutable
+// DurableIndex): a single writer thread drains a bounded mutation queue
+// in batches, applies Insert/Delete to the shared tree under the
+// exclusive side of a reader-writer lock, and makes each batch durable
+// with one DurableIndex::Commit. Readers take the shared side per query,
+// so they never observe a half-applied batch — between batches they see
+// a consistent snapshot, and the generation counter in Snapshot() counts
+// the handoffs. Commits run *outside* the exclusive section (the tree is
+// quiescent while the writer is the only mutator), so reads overlap the
+// fsync. A mutation's future resolves only once its batch is durable:
+// ack implies recoverable.
+//
+// Write-side degradation (DESIGN.md §10): the service runs a three-state
+// machine, kServing -> kReadOnly -> kFailed. A disk-space watchdog
+// (min_free_bytes over an injectable probe) trips kReadOnly *before* the
+// WAL append that would hit ENOSPC; a clean out-of-space failure from
+// the store does the same after the fact. In kReadOnly new writes are
+// shed with kResourceExhausted, queries serve normally, and the already
+// applied-but-uncommitted batch is retried until space returns, then the
+// service resumes on its own (or via ResumeWrites()). A fail-stopped fd
+// (failed fsync, EIO, torn write — see storage/file_io.h) or DataLoss
+// moves to kFailed: permanent for this process, writes fail, reads keep
+// serving; only crash recovery in a fresh process resumes writes.
 
 #ifndef BLOBWORLD_SERVICE_QUERY_SERVICE_H_
 #define BLOBWORLD_SERVICE_QUERY_SERVICE_H_
@@ -35,10 +59,12 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -57,6 +83,43 @@ namespace bw::service {
 enum class OverflowPolicy {
   kReject,  // fail fast with Status::Unavailable (default).
   kBlock,   // apply backpressure: block the submitter until space frees.
+};
+
+/// Write-path health of the service (see the state machine in the file
+/// header and DESIGN.md §10). Reads serve in every state.
+enum class WriteState {
+  kServing,   // mutations admitted, applied, and committed normally.
+  kReadOnly,  // resource exhaustion: new writes shed, pending batch
+              // retried; auto-resumes when the space probe clears.
+  kFailed,    // fail-stopped log or data loss: writes permanently shed
+              // in this process; recovery in a fresh one resumes them.
+};
+
+/// Online mutation configuration. Writes require the service to front a
+/// mutable DurableIndex (the `core::DurableIndex*` or owning-unique_ptr
+/// constructors); enabling them on a bare tree or BuiltIndex aborts.
+struct ServiceWriteOptions {
+  /// Master switch: false (default) keeps the service strictly
+  /// read-only — the pre-write-path contract.
+  bool enabled = false;
+  /// Maximum admitted-but-not-yet-applied mutations.
+  size_t queue_capacity = 256;
+  OverflowPolicy overflow = OverflowPolicy::kReject;
+  /// Mutations applied + committed per batch (one fsync per batch, one
+  /// reader-visible generation per batch).
+  size_t batch_size = 16;
+  /// Disk-space watchdog: once the probe reports fewer free bytes, the
+  /// service trips kReadOnly *before* appending to the WAL, instead of
+  /// discovering ENOSPC inside a commit. 0 disables the watchdog
+  /// (a clean ENOSPC from the store still trips kReadOnly after the
+  /// fact).
+  uint64_t min_free_bytes = 0;
+  /// Free-space probe for the watchdog; defaults to statvfs on the
+  /// WAL's directory. Injectable so tests (and the chaos harness) can
+  /// script exhaustion and recovery without filling a real disk.
+  std::function<uint64_t()> free_space_probe;
+  /// How often the writer retries the pending commit while kReadOnly.
+  std::chrono::milliseconds retry_interval{10};
 };
 
 /// Service configuration.
@@ -97,6 +160,8 @@ struct ServiceOptions {
   /// 0 (default) is fail-closed — the first read fault fails the query,
   /// exactly the pre-fault-tolerance behavior.
   size_t fault_budget = 0;
+  /// Online write path (off by default; see ServiceWriteOptions).
+  ServiceWriteOptions write;
 };
 
 /// Limits for a streaming (incremental NN cursor) request.
@@ -157,6 +222,16 @@ struct QueryResponse {
   bool degraded() const { return completeness == Completeness::kDegraded; }
 };
 
+/// What a mutation's future resolves to once its batch is durable.
+struct MutationOutcome {
+  /// Commit tag of the batch that made this mutation durable. After a
+  /// crash, RecoveryManager::Summary::last_commit_tag names the newest
+  /// surviving batch, so acked tags <= it are exactly the recovered set.
+  uint64_t tag = 0;
+  double queue_wait_us = 0;  // admission -> writer picked the batch up.
+  double apply_us = 0;       // tree apply time for this batch.
+};
+
 /// Aggregated service counters and latency distribution.
 struct ServiceSnapshot {
   uint64_t submitted = 0;
@@ -186,6 +261,28 @@ struct ServiceSnapshot {
   uint64_t p50_latency_us = 0;
   uint64_t p95_latency_us = 0;
   uint64_t p99_latency_us = 0;
+  // --- Write path (meaningful only when writes are enabled) ------------
+  bool writes_enabled = false;
+  WriteState write_state = WriteState::kServing;
+  /// True whenever the write path is not fully serving (kReadOnly or
+  /// kFailed): the "degraded but answering" flag operators alert on.
+  bool write_degraded = false;
+  uint64_t write_queue_depth = 0;   // admitted, not yet applied.
+  uint64_t writes_submitted = 0;
+  uint64_t writes_rejected = 0;     // shed at admission (full/degraded).
+  uint64_t writes_acked = 0;        // durable and future-resolved.
+  uint64_t writes_failed = 0;       // resolved with an error status.
+  uint64_t commit_batches = 0;      // durable batches this service made.
+  /// Reader-visible snapshot handoffs: incremented once per applied
+  /// batch, under the writer's exclusive lock.
+  uint64_t generation = 0;
+  /// WAL rotation, mirrored after each commit (0 in single-file mode).
+  uint64_t wal_live_bytes = 0;
+  uint64_t wal_segments_created = 0;
+  uint64_t wal_segments_retired = 0;
+  double mean_write_latency_us = 0;  // submission -> durable ack.
+  uint64_t p50_write_latency_us = 0;
+  uint64_t p99_write_latency_us = 0;
 };
 
 /// A thread-pool query executor over one shared read-only index.
@@ -203,6 +300,8 @@ class QueryService {
  public:
   using Response = Result<QueryResponse>;
   using ResponseFuture = std::future<Response>;
+  using MutationResult = Result<MutationOutcome>;
+  using MutationFuture = std::future<MutationResult>;
 
   /// Serves a tree owned by the caller (must outlive the service and
   /// stay unmodified).
@@ -213,8 +312,9 @@ class QueryService {
                ServiceOptions options);
 
   /// Takes ownership of a durable (possibly crash-recovered) index and
-  /// serves its tree; the store stays quiescent while serving (no
-  /// commits or checkpoints), which is exactly the read-only contract.
+  /// serves its tree. Without ServiceWriteOptions::enabled the store
+  /// stays quiescent while serving (the read-only contract); with it,
+  /// the service's writer thread is the store's single mutator.
   QueryService(std::unique_ptr<core::DurableIndex> index,
                ServiceOptions options);
 
@@ -222,7 +322,9 @@ class QueryService {
   /// service). The caller may run scrub/repair on the store's
   /// self-healing surface while the service serves — that is the
   /// intended degraded-serving + background-repair deployment, and the
-  /// chaos soak harness's shape.
+  /// chaos soak harness's shape. With ServiceWriteOptions::enabled the
+  /// caller must NOT mutate or commit the index itself: the writer
+  /// thread owns the store's entire mutation side.
   QueryService(core::DurableIndex* index, ServiceOptions options);
 
   QueryService(const QueryService&) = delete;
@@ -244,6 +346,30 @@ class QueryService {
 
   /// Synchronous convenience wrapper around SubmitKnn.
   Response Knn(const geom::Vec& query, size_t k);
+
+  // --- Mutations (thread-safe; require ServiceWriteOptions::enabled) ----
+
+  /// Admits one insert into the bounded mutation queue. The future
+  /// resolves once the batch containing it is durable (ack == will
+  /// survive a crash). Admission fails with InvalidArgument when writes
+  /// are not enabled, Unavailable when the queue is full under kReject
+  /// (retryable), kResourceExhausted while kReadOnly (resubmit after
+  /// capacity returns), and IoError once kFailed.
+  Result<MutationFuture> SubmitInsert(geom::Vec point, gist::Rid rid);
+
+  /// Same admission contract; the future resolves with NotFound if the
+  /// pair was absent (the batch still commits for its other mutations).
+  Result<MutationFuture> SubmitDelete(geom::Vec point, gist::Rid rid);
+
+  /// Current write-path state (relaxed read; exact after quiescence).
+  WriteState write_state() const {
+    return write_state_.load(std::memory_order_relaxed);
+  }
+
+  /// Nudges the writer to re-probe free space and retry the pending
+  /// commit now instead of at the next retry interval. No-op unless
+  /// kReadOnly.
+  void ResumeWrites();
 
   // --- Control ----------------------------------------------------------
 
@@ -281,6 +407,21 @@ class QueryService {
     std::chrono::steady_clock::time_point enqueue_time;
   };
 
+  enum class MutationKind { kInsert, kDelete };
+
+  struct Mutation {
+    MutationKind kind = MutationKind::kInsert;
+    geom::Vec point;
+    gist::Rid rid = 0;
+    std::promise<MutationResult> promise;
+    std::chrono::steady_clock::time_point enqueue_time;
+    double queue_wait_us = 0;
+    double apply_us = 0;
+    /// Set when the tree apply itself failed (e.g. NotFound for an
+    /// absent delete): the promise resolves with this at commit time.
+    Status apply_status;
+  };
+
   void Start();
   Result<ResponseFuture> Submit(Task task);
   void WorkerLoop(size_t worker_index);
@@ -289,13 +430,46 @@ class QueryService {
   /// accesses/pool counters; queue_wait_us is set by the caller.
   Response Execute(Task& task, pages::PageReader* pool);
 
+  // --- Write path (single writer thread) --------------------------------
+
+  Result<MutationFuture> SubmitMutation(Mutation mutation);
+  void WriterLoop();
+  /// True when the space probe says the watchdog threshold is clear
+  /// (or no watchdog is configured).
+  bool FreeSpaceOk() const;
+  /// Commits the applied-but-unacked batch; on success resolves every
+  /// pending promise. Called with no tree lock held (the writer is the
+  /// only mutator, so the pages it encodes are quiescent).
+  Status CommitPendingBatch();
+  /// Applies `todo` to the tree under the exclusive lock, moving each
+  /// mutation into pending_ and bumping the generation.
+  void ApplyBatch(std::vector<Mutation>* todo);
+  /// Transitions + bookkeeping for a commit/watchdog verdict.
+  void EnterReadOnly();
+  void EnterFailed(const Status& cause);
+  /// Fails every queued + pending mutation with `status` (used on
+  /// kFailed and on shutdown while degraded).
+  void ShedAllWrites(const Status& status);
+  /// Mirrors WAL rotation counters into atomics Snapshot can read
+  /// without racing the writer.
+  void MirrorWalStats();
+
   std::unique_ptr<core::BuiltIndex> owned_index_;      // may be null.
   std::unique_ptr<core::DurableIndex> owned_durable_;  // may be null.
   const gist::Tree* tree_;
   /// The durable index being served, owned or not; null when serving a
   /// bare tree or BuiltIndex. Snapshot() mirrors its health counters.
   const core::DurableIndex* durable_ = nullptr;
+  /// Mutable view of the same index; set by the DurableIndex
+  /// constructors, required (checked) when writes are enabled.
+  core::DurableIndex* mutable_durable_ = nullptr;
   ServiceOptions options_;
+
+  /// Reader-writer lock around the tree: every query holds the shared
+  /// side for its whole execution; the writer holds the exclusive side
+  /// across the apply of one whole batch. This is what makes a batch
+  /// atomic from a reader's point of view.
+  mutable std::shared_mutex tree_mutex_;
 
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
@@ -312,6 +486,22 @@ class QueryService {
   /// private BufferPools otherwise.
   std::vector<std::unique_ptr<pages::PageReader>> worker_readers_;
   std::vector<std::thread> workers_;
+
+  // --- Write-path state (guarded by write_mutex_ unless atomic) --------
+  mutable std::mutex write_mutex_;
+  std::condition_variable write_cv_;
+  std::deque<Mutation> write_queue_;
+  /// Applied to the tree, not yet durable: the retryable pending batch.
+  /// Non-empty only between a clean commit failure (or watchdog trip
+  /// mid-batch) and the commit that finally lands it.
+  std::vector<Mutation> pending_;
+  bool write_shutdown_ = false;
+  bool resume_requested_ = false;
+  /// Commit tag the pending/next batch will carry; advances only on a
+  /// durable commit, so a retried batch keeps its tag.
+  uint64_t next_tag_ = 0;
+  std::atomic<WriteState> write_state_{WriteState::kServing};
+  std::thread writer_;
 
   // Aggregate metrics (relaxed atomics: hot-path increments never
   // contend on a lock).
@@ -330,6 +520,16 @@ class QueryService {
   std::atomic<uint64_t> pool_misses_{0};
   std::atomic<uint64_t> pool_evictions_{0};
   std::atomic<uint64_t> pool_contention_{0};
+  LatencyHistogram write_latency_histogram_;
+  std::atomic<uint64_t> writes_submitted_{0};
+  std::atomic<uint64_t> writes_rejected_{0};
+  std::atomic<uint64_t> writes_acked_{0};
+  std::atomic<uint64_t> writes_failed_{0};
+  std::atomic<uint64_t> commit_batches_{0};
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<uint64_t> wal_live_bytes_{0};
+  std::atomic<uint64_t> wal_segments_created_{0};
+  std::atomic<uint64_t> wal_segments_retired_{0};
   std::chrono::steady_clock::time_point start_time_;
 };
 

@@ -258,6 +258,21 @@ void DiskPageFile::ClearCommitTracking() {
   alloc_commit_.clear();
 }
 
+void DiskPageFile::RestoreCommitTracking(
+    const std::vector<pages::PageId>& allocs,
+    const std::vector<pages::PageId>& dirty) {
+  // Restored allocations go in front: replay must see a page exist
+  // before anything (including a later allocation's split traffic)
+  // references it.
+  alloc_commit_.insert(alloc_commit_.begin(), allocs.begin(), allocs.end());
+  dirty_commit_.insert(dirty.begin(), dirty.end());
+}
+
+void DiskPageFile::RestoreCheckpointTracking(
+    const std::vector<pages::PageId>& ids) {
+  dirty_checkpoint_.insert(ids.begin(), ids.end());
+}
+
 Status DiskPageFile::FlushPagesAndSync(
     const std::vector<pages::PageId>& ids) {
   std::vector<uint8_t> image;

@@ -139,6 +139,19 @@ class DiskPageFile final : public pages::PageStore {
   /// directly; they must not be re-logged).
   void ClearCommitTracking();
 
+  /// Puts back ids drained by TakeAllocationsSinceCommit /
+  /// TakeDirtySinceCommit after a commit that failed *cleanly* (out of
+  /// disk space before any log byte landed). Without this the next
+  /// successful commit would silently skip those pages and the WAL
+  /// would no longer describe the tree it claims to.
+  void RestoreCommitTracking(const std::vector<pages::PageId>& allocs,
+                             const std::vector<pages::PageId>& dirty);
+
+  /// Puts back ids drained by TakeCheckpointDirty after a checkpoint
+  /// whose flush failed before the header advanced: those frames are
+  /// stale (or torn) on disk and must be rewritten by the next attempt.
+  void RestoreCheckpointTracking(const std::vector<pages::PageId>& ids);
+
   /// Writes the frames of `ids` to the base file and fsyncs.
   Status FlushPagesAndSync(const std::vector<pages::PageId>& ids);
 

@@ -25,6 +25,14 @@
 // (media rot surfacing at read time); every delay_every_n-th read stalls
 // delay_us before returning (a hung I/O the watchdog must bound).
 //
+// Resource-exhaustion faults (recurring schedule, armed via ArmWrites):
+// every enospc_every_n-th write starts a burst of enospc_burst writes
+// that fail *cleanly* with ENOSPC semantics (nothing persisted — the
+// kernel refused the allocation up front); every eio_every_n-th write
+// fails with EIO (a hard device error: bytes in an unknown state, the
+// fd must fail-stop); the sync_fail_at-th fsync fails (fsyncgate: dirty
+// pages may have been dropped, the fd must fail-stop — see file_io.h).
+//
 // Thread-safety: the write path is single-threaded (mutation side of
 // every store), but reads happen concurrently at serve time (scrubber,
 // repair, open) — all injector state is therefore guarded by one mutex.
@@ -50,6 +58,11 @@ class FaultInjector {
     size_t truncate_to = static_cast<size_t>(-1);
     /// Invert one bit of the buffer before writing (write succeeds).
     bool flip_bit = false;
+    /// Fail cleanly with ENOSPC: nothing is persisted, the fd stays
+    /// usable (kResourceExhausted from File::WriteAt).
+    bool fail_enospc = false;
+    /// Fail with EIO: bytes are in an unknown state, the fd fail-stops.
+    bool fail_eio = false;
   };
 
   /// What storage::File must do with one physical read.
@@ -61,6 +74,22 @@ class FaultInjector {
     bool flip_bit = false;
     /// Stall this long before serving the read (microseconds).
     uint32_t delay_us = 0;
+  };
+
+  /// Recurring write-side resource-exhaustion schedule; all-zero fields
+  /// are disabled. Counts are independent of the single-shot Arm()
+  /// schedule (both consult the same writes_seen_ counter).
+  struct WriteFaultPlan {
+    /// Every Nth write begins an ENOSPC burst (0 = off).
+    uint64_t enospc_every_n = 0;
+    /// Consecutive writes that fail per ENOSPC burst (>= 1 when armed).
+    uint64_t enospc_burst = 1;
+    /// Every Nth write fails with EIO (0 = off).
+    uint64_t eio_every_n = 0;
+    /// The Nth fsync (1-based, counted from ArmWrites) fails; 0 = off.
+    /// One-shot: fsyncgate semantics make the fd fail-stop afterwards,
+    /// so a recurring schedule would never observe a second sync anyway.
+    uint64_t sync_fail_at = 0;
   };
 
   /// Recurring read-fault schedule; all-zero fields are disabled.
@@ -104,6 +133,19 @@ class FaultInjector {
 
   void DisarmReads() { ArmReads(ReadFaultPlan()); }
 
+  /// Installs a recurring write-side resource-exhaustion schedule
+  /// (write/sync counts restart from this call). An all-zero plan
+  /// disarms the write-side schedule (single-shot Arm() is unaffected).
+  void ArmWrites(WriteFaultPlan plan) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    write_plan_ = plan;
+    plan_writes_seen_ = 0;
+    syncs_seen_ = 0;
+    enospc_remaining_ = 0;
+  }
+
+  void DisarmWrites() { ArmWrites(WriteFaultPlan()); }
+
   /// True once a kCrash/kTornWrite fault has fired: every later write
   /// and sync fails, like a dead process's would.
   bool crashed() const {
@@ -141,12 +183,47 @@ class FaultInjector {
     return delays_fired_;
   }
 
+  /// Write-side resource-exhaustion faults served so far (since
+  /// ArmWrites()).
+  uint64_t enospc_faults() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return enospc_fired_;
+  }
+  uint64_t eio_faults() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return eio_fired_;
+  }
+  uint64_t sync_failures() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sync_failures_fired_;
+  }
+
   WriteDecision OnWrite(size_t len) {
     std::lock_guard<std::mutex> lock(mutex_);
     WriteDecision decision;
     ++writes_seen_;
+    ++plan_writes_seen_;
     if (crashed_) {
       decision.drop = true;
+      return decision;
+    }
+    // Recurring resource-exhaustion schedule first: an exhausted disk
+    // refuses the write before any crash scheduled for a later write.
+    if (write_plan_.enospc_every_n > 0 &&
+        plan_writes_seen_ % write_plan_.enospc_every_n == 0) {
+      enospc_remaining_ =
+          write_plan_.enospc_burst > 0 ? write_plan_.enospc_burst : 1;
+    }
+    if (enospc_remaining_ > 0) {
+      --enospc_remaining_;
+      ++enospc_fired_;
+      decision.fail_enospc = true;
+      return decision;  // nothing persisted; no other fault applies.
+    }
+    if (write_plan_.eio_every_n > 0 &&
+        plan_writes_seen_ % write_plan_.eio_every_n == 0) {
+      ++eio_fired_;
+      decision.fail_eio = true;
       return decision;
     }
     if (fault_ == Fault::kNone || writes_seen_ != trigger_) {
@@ -170,6 +247,20 @@ class FaultInjector {
         break;
     }
     return decision;
+  }
+
+  /// Consulted by File::Sync before the physical fsync. True = this
+  /// fsync must fail (the caller then applies fsyncgate fail-stop
+  /// semantics to the fd).
+  bool OnSync() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++syncs_seen_;
+    if (write_plan_.sync_fail_at > 0 &&
+        syncs_seen_ == write_plan_.sync_fail_at) {
+      ++sync_failures_fired_;
+      return true;
+    }
+    return false;
   }
 
   ReadDecision OnRead(size_t len) {
@@ -216,6 +307,14 @@ class FaultInjector {
   uint64_t transient_fired_ = 0;
   uint64_t flips_fired_ = 0;
   uint64_t delays_fired_ = 0;
+
+  WriteFaultPlan write_plan_;
+  uint64_t plan_writes_seen_ = 0;  // writes since ArmWrites().
+  uint64_t syncs_seen_ = 0;        // fsyncs since ArmWrites().
+  uint64_t enospc_remaining_ = 0;
+  uint64_t enospc_fired_ = 0;
+  uint64_t eio_fired_ = 0;
+  uint64_t sync_failures_fired_ = 0;
 };
 
 }  // namespace bw::storage

@@ -45,7 +45,15 @@ Status File::CheckAlive() const {
   if (injector_ != nullptr && injector_->crashed()) {
     return Status::IoError("simulated crash: '" + path_ + "' is dead");
   }
+  if (fail_stopped_) {
+    return Status::IoError("fd fail-stopped after a write/fsync failure: '" +
+                           path_ + "' sheds all mutations (fsyncgate)");
+  }
   return Status::OK();
+}
+
+bool File::fail_stopped() const {
+  return fail_stopped_ || (injector_ != nullptr && injector_->crashed());
 }
 
 Status File::WriteAt(uint64_t offset, const void* data, size_t n) {
@@ -53,11 +61,35 @@ Status File::WriteAt(uint64_t offset, const void* data, size_t n) {
   std::vector<uint8_t> mutated;  // only used when the injector mutates.
   size_t to_write = n;
   bool fail_after = false;
+  FaultInjector::WriteDecision decision;
   if (injector_ != nullptr) {
-    FaultInjector::WriteDecision decision = injector_->OnWrite(n);
+    // Consult the injector before any alive check so every attempted
+    // write is counted — fault-free dry runs measure write schedules
+    // this way, and post-crash attempts must stay on the same clock.
+    decision = injector_->OnWrite(n);
     if (decision.drop) {
       return Status::IoError("simulated crash: write to '" + path_ +
                              "' dropped");
+    }
+  }
+  if (fail_stopped_) {
+    return Status::IoError("fd fail-stopped after a write/fsync failure: '" +
+                           path_ + "' sheds all mutations (fsyncgate)");
+  }
+  if (injector_ != nullptr) {
+    if (decision.fail_enospc) {
+      // Clean refusal: the kernel rejected the allocation before any
+      // byte moved, so the fd stays usable and the caller may retry
+      // once space frees up.
+      return Status::ResourceExhausted("simulated ENOSPC: write to '" +
+                                       path_ + "' refused");
+    }
+    if (decision.fail_eio) {
+      // A hard device error leaves the byte range in an unknown state:
+      // fail-stop so no later write can land beyond a possible tear.
+      fail_stopped_ = true;
+      return Status::IoError("simulated EIO: write to '" + path_ +
+                             "' failed; fd fail-stopped");
     }
     if (decision.flip_bit && n > 0) {
       mutated.assign(bytes, bytes + n);
@@ -75,6 +107,14 @@ Status File::WriteAt(uint64_t offset, const void* data, size_t n) {
                                    static_cast<off_t>(offset + done));
     if (wrote < 0) {
       if (errno == EINTR) continue;
+      if (errno == ENOSPC && done == 0) {
+        // Clean out-of-space: nothing of this write landed, the fd is
+        // still coherent. Shed the operation, keep the fd.
+        return Status::ResourceExhausted(
+            "pwrite '" + path_ + "': " + std::strerror(ENOSPC));
+      }
+      // Partial or hard failure: the range may be torn — fail-stop.
+      fail_stopped_ = true;
       return Errno("pwrite", path_);
     }
     done += static_cast<size_t>(wrote);
@@ -128,7 +168,19 @@ Status File::ReadAt(uint64_t offset, void* data, size_t n) const {
 
 Status File::Sync() {
   BW_RETURN_IF_ERROR(CheckAlive());
-  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  if (injector_ != nullptr && injector_->OnSync()) {
+    // Fsyncgate: after a failed fsync the kernel may already have
+    // dropped the dirty pages, so retrying the sync and reporting clean
+    // would acknowledge writes that never reached the platter. The only
+    // safe continuation is fail-stop.
+    fail_stopped_ = true;
+    return Status::IoError("simulated fsync failure on '" + path_ +
+                           "'; fd fail-stopped");
+  }
+  if (::fsync(fd_) != 0) {
+    fail_stopped_ = true;
+    return Errno("fsync", path_);
+  }
   return Status::OK();
 }
 

@@ -4,6 +4,23 @@
 // this class, so a single injector can kill the entire write stream of
 // a store at a chosen point, or make its read path flaky (transient
 // pread failures, read-side bit flips, hung reads) on a schedule.
+//
+// Failure semantics on the write side (the fd's share of the write-path
+// fault model, DESIGN.md §10):
+//
+//  - Clean ENOSPC (injected, or a real pwrite that wrote 0 bytes before
+//    failing with ENOSPC) surfaces as kResourceExhausted and leaves the
+//    fd usable: nothing was persisted, the caller may shed load and
+//    retry the operation later on the same fd.
+//  - Everything else that fails a write or an fsync makes the fd
+//    FAIL-STOP: every later WriteAt/Append/Sync/Truncate on it fails
+//    immediately. A failed fsync in particular must never be retried
+//    and then reported clean — the kernel may have dropped the dirty
+//    pages on the first failure, so a later fsync returning 0 proves
+//    nothing (the "fsyncgate" lesson; see PostgreSQL's 2018 fsync
+//    reliability saga). Durability on that fd is unknowable; the only
+//    honest continuation is crash recovery from the last known-durable
+//    state. Reads stay usable — serving degraded is the point.
 
 #ifndef BLOBWORLD_STORAGE_FILE_IO_H_
 #define BLOBWORLD_STORAGE_FILE_IO_H_
@@ -33,7 +50,9 @@ class File {
   /// Writes exactly `n` bytes at `offset` (extending the file as
   /// needed). IoError if the write cannot complete — including a
   /// simulated crash, in which case a torn prefix may have been
-  /// persisted.
+  /// persisted. ResourceExhausted for a *clean* out-of-space failure
+  /// (nothing persisted, fd still usable); any other failure fail-stops
+  /// the fd (see file header).
   Status WriteAt(uint64_t offset, const void* data, size_t n);
 
   /// Appends exactly `n` bytes at the current end of file.
@@ -47,8 +66,15 @@ class File {
 
   uint64_t size() const { return size_; }
 
-  /// fsync. Fails after a simulated crash.
+  /// fsync. Fails after a simulated crash. A failed fsync (simulated or
+  /// real) fail-stops the fd: this and every later mutation on it keeps
+  /// failing — the sync is never retried in a way that could report a
+  /// lost write as durable (fsyncgate semantics).
   Status Sync();
+
+  /// True once a failed write or fsync has fail-stopped this fd (the
+  /// injected-crash state also reads as fail-stopped).
+  bool fail_stopped() const;
 
   /// Truncates the file to `new_size` bytes.
   Status Truncate(uint64_t new_size);
@@ -65,6 +91,9 @@ class File {
   uint64_t size_;
   std::string path_;
   FaultInjector* injector_;
+  /// Set by the first failed write or fsync; makes every later mutation
+  /// fail (reads are unaffected).
+  bool fail_stopped_ = false;
 };
 
 /// Reads the entire file at `path` into `out`. IoError if unreadable.

@@ -24,7 +24,16 @@ Status CheckpointManager::Checkpoint() {
   // and the log is truncated only after the header that supersedes its
   // records is durable.
   BW_RETURN_IF_ERROR(wal_->Sync());
-  BW_RETURN_IF_ERROR(disk_->FlushPagesAndSync(disk_->TakeCheckpointDirty()));
+  const std::vector<pages::PageId> dirty = disk_->TakeCheckpointDirty();
+  const Status flushed = disk_->FlushPagesAndSync(dirty);
+  if (!flushed.ok()) {
+    // The WAL was not truncated, so every image is still replayable —
+    // but the drained dirty set must go back, or the next successful
+    // checkpoint would publish a header while these frames are stale
+    // (or torn) on disk and then truncate their redo images away.
+    disk_->RestoreCheckpointTracking(dirty);
+    return flushed;
+  }
   BW_RETURN_IF_ERROR(disk_->CommitHeader(wal_->durable_lsn()));
   BW_RETURN_IF_ERROR(wal_->Reset());
   ++checkpoints_;
@@ -61,6 +70,8 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Create(
       DiskPageFile::Create(base_path, options.page_size, disk_options));
   WalOptions wal_options;
   wal_options.sync_every_records = options.wal_sync_every_records;
+  wal_options.segment_bytes = options.wal_segment_bytes;
+  wal_options.archive_sealed = options.wal_archive_sealed;
   wal_options.injector = options.injector;
   BW_ASSIGN_OR_RETURN(std::unique_ptr<Wal> wal,
                       Wal::Create(wal_path, wal_options));
@@ -68,15 +79,17 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Create(
                                         options, /*committed_batches=*/0);
 }
 
-Status DurableStore::CommitBatch(uint64_t tag) {
+Status DurableStore::AppendBatchRecords(
+    const std::vector<pages::PageId>& allocs,
+    const std::vector<pages::PageId>& dirty, uint64_t tag) {
   // Allocations first so replay extends the page table before any image
   // lands in it; images second; the commit record seals the batch.
   std::vector<uint8_t> image;
-  for (const pages::PageId id : disk_->TakeAllocationsSinceCommit()) {
+  for (const pages::PageId id : allocs) {
     BW_RETURN_IF_ERROR(
         wal_->Append(WalRecordType::kAlloc, id, nullptr, 0).status());
   }
-  for (const pages::PageId id : disk_->TakeDirtySinceCommit()) {
+  for (const pages::PageId id : dirty) {
     // PeekNoIo, not Read: logging is bookkeeping, not index I/O, and
     // must not skew the IoStats that benchmarks report.
     pages::EncodePage(*disk_->PeekNoIo(id), &image);
@@ -86,10 +99,24 @@ Status DurableStore::CommitBatch(uint64_t tag) {
   }
   uint8_t tag_bytes[8];
   std::memcpy(tag_bytes, &tag, sizeof(tag));
-  BW_RETURN_IF_ERROR(wal_->Append(WalRecordType::kCommit,
-                                  pages::kInvalidPageId, tag_bytes,
-                                  sizeof(tag_bytes))
-                         .status());
+  return wal_->Append(WalRecordType::kCommit, pages::kInvalidPageId, tag_bytes,
+                      sizeof(tag_bytes))
+      .status();
+}
+
+Status DurableStore::CommitBatch(uint64_t tag) {
+  const std::vector<pages::PageId> allocs = disk_->TakeAllocationsSinceCommit();
+  const std::vector<pages::PageId> dirty = disk_->TakeDirtySinceCommit();
+  const Status appended = AppendBatchRecords(allocs, dirty, tag);
+  if (appended.code() == StatusCode::kResourceExhausted) {
+    // Clean out-of-space: no byte of the batch is durable (at worst a
+    // committed-record-free prefix that recovery discards). Re-arm the
+    // tracking so the next CommitBatch re-logs the same changes; the
+    // tree's in-memory state is untouched and stays servable.
+    disk_->RestoreCommitTracking(allocs, dirty);
+    return appended;
+  }
+  BW_RETURN_IF_ERROR(appended);
   ++committed_batches_;
   return checkpointer_.MaybeCheckpoint(committed_batches_);
 }
@@ -220,6 +247,7 @@ Result<std::unique_ptr<DurableStore>> RecoveryManager::Recover(
   out.records_discarded = pending_records;
   out.wal_tail_truncated = replay.tail_truncated;
   out.recovered_lsn = std::max(checkpoint_lsn, replay.last_lsn);
+  out.wal_segments_replayed = replay.segments;
 
   // Every suspect frame must have been repaired by a replayed image;
   // a survivor means the base file rotted outside any redo window.
@@ -245,11 +273,12 @@ Result<std::unique_ptr<DurableStore>> RecoveryManager::Recover(
 
   WalOptions wal_options;
   wal_options.sync_every_records = options.wal_sync_every_records;
+  wal_options.segment_bytes = options.wal_segment_bytes;
+  wal_options.archive_sealed = options.wal_archive_sealed;
   wal_options.injector = options.injector;
   const uint64_t next_lsn = out.recovered_lsn + 1;
-  BW_ASSIGN_OR_RETURN(
-      std::unique_ptr<Wal> wal,
-      Wal::Continue(wal_path, wal_options, replay.valid_bytes, next_lsn));
+  BW_ASSIGN_OR_RETURN(std::unique_ptr<Wal> wal,
+                      Wal::Continue(wal_path, wal_options, replay, next_lsn));
 
   auto store = std::make_unique<DurableStore>(std::move(disk), std::move(wal),
                                               options, out.committed_batches);

@@ -38,6 +38,14 @@ struct StoreOptions {
   size_t page_size = pages::kDefaultPageSize;
   /// Group-commit batch size forwarded to the WAL (records per fsync).
   size_t wal_sync_every_records = 1;
+  /// WAL segment rotation cap (bytes), forwarded to WalOptions. 0 (the
+  /// default) keeps the single-file log; > 0 bounds the live log to
+  /// roughly segment_bytes x (commits between checkpoints / rotation
+  /// cadence) — sealed segments are retired at each checkpoint.
+  uint64_t wal_segment_bytes = 0;
+  /// Archive (rename) sealed WAL segments at checkpoint instead of
+  /// deleting them. Forwarded to WalOptions::archive_sealed.
+  bool wal_archive_sealed = false;
   /// Run a fuzzy checkpoint automatically every N committed batches;
   /// 0 = checkpoint only on explicit Checkpoint() calls.
   size_t checkpoint_every_commits = 0;
@@ -109,6 +117,12 @@ class DurableStore {
   /// group-commit cadence; a batch is recovered all-or-nothing. The tag
   /// of the newest durable batch is reported by recovery, so callers can
   /// use it to identify how much logical work survived a crash.
+  /// A *clean* out-of-space failure (kResourceExhausted: no log byte
+  /// landed, or only a prefix that recovery discards as an uncommitted
+  /// tail) puts the drained dirty/allocation tracking back, so the same
+  /// changes are re-logged by the next CommitBatch once space returns —
+  /// the store stays consistent and retryable. Any other failure means
+  /// the log's fd has fail-stopped and only crash recovery can continue.
   Status CommitBatch(uint64_t tag);
   Status CommitBatch() { return CommitBatch(committed_batches_ + 1); }
 
@@ -141,6 +155,12 @@ class DurableStore {
   const CheckpointManager& checkpointer() const { return checkpointer_; }
 
  private:
+  /// Appends the batch's alloc/image/commit records; factored out so
+  /// CommitBatch can restore the drained tracking on a clean failure.
+  Status AppendBatchRecords(const std::vector<pages::PageId>& allocs,
+                            const std::vector<pages::PageId>& dirty,
+                            uint64_t tag);
+
   std::unique_ptr<DiskPageFile> disk_;
   std::unique_ptr<Wal> wal_;
   StoreOptions options_;
@@ -160,6 +180,7 @@ class RecoveryManager {
     bool wal_tail_truncated = false;  // torn tail detected and dropped.
     uint64_t recovered_lsn = 0;       // durable state as of this LSN.
     uint64_t pages_quarantined = 0;   // unrepaired suspects (tolerant mode).
+    uint64_t wal_segments_replayed = 0;  // 0 = legacy single-file log.
   };
 
   /// Replays committed WAL batches over the checkpointed base, verifies

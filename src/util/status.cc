@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DataLoss";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

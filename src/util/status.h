@@ -25,6 +25,7 @@ enum class StatusCode {
   kUnavailable,
   kDataLoss,
   kAborted,
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
@@ -34,8 +35,15 @@ const char* StatusCodeName(StatusCode code);
 /// operation, retried later (possibly after backoff or repair), may
 /// succeed: kUnavailable (admission control, quarantined page, transient
 /// I/O fault). Everything else — including kAborted, which means the
-/// caller's own budget expired — is permanent from the retrier's point
-/// of view.
+/// caller's own budget expired, and kResourceExhausted, which means a
+/// finite resource (disk space, a bounded write queue) ran out — is
+/// permanent from the retrier's point of view. kResourceExhausted is
+/// deliberately not retryable at the read-path/retry-loop layer: backoff
+/// cannot create disk space, so the in-line retry loop must surface it
+/// immediately. It is *sheddable at admission* instead — the write path
+/// rejects new work with it while degraded, and the client may resubmit
+/// once the operator (or the disk-space watchdog clearing) restores
+/// capacity.
 constexpr bool IsRetryable(StatusCode code) {
   return code == StatusCode::kUnavailable;
 }
@@ -93,6 +101,17 @@ class Status {
   /// first.
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  /// A finite system resource ran out: the disk is full (ENOSPC), a
+  /// quota was exceeded, or the bounded write queue is shedding load.
+  /// Unlike kNoSpace (a logical "this page/node has no room" condition
+  /// the caller handles structurally, e.g. by splitting), this is an
+  /// operational verdict about the machine. Not retryable by in-line
+  /// retry loops — backoff does not free disk space — but sheddable at
+  /// admission: submitters may resubmit after capacity is restored (the
+  /// watchdog clears, segments are archived, an operator intervenes).
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

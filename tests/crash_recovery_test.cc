@@ -24,6 +24,7 @@
 #include "service/query_service.h"
 #include "storage/fault_injector.h"
 #include "storage/file_io.h"
+#include "storage/wal.h"
 #include "tests/test_helpers.h"
 #include "util/logging.h"
 
@@ -75,12 +76,15 @@ struct BuildOutcome {
 BuildOutcome BuildInsertByInsert(const std::string& base,
                                  const std::string& wal,
                                  FaultInjector* injector,
-                                 size_t checkpoint_every_commits) {
+                                 size_t checkpoint_every_commits,
+                                 uint64_t wal_segment_bytes = 0,
+                                 size_t n_points = kNumPoints) {
   std::remove(base.c_str());
   std::remove(wal.c_str());
   storage::StoreOptions store_options;
   store_options.injector = injector;
   store_options.checkpoint_every_commits = checkpoint_every_commits;
+  store_options.wal_segment_bytes = wal_segment_bytes;
 
   BuildOutcome out;
   auto created = core::CreateDurableIndex(base, wal, kDim, IndexOpts(),
@@ -91,7 +95,7 @@ BuildOutcome BuildInsertByInsert(const std::string& base,
   }
   out.index = std::move(*created);
   const std::vector<geom::Vec>& points = Points();
-  for (size_t i = 0; i < points.size(); ++i) {
+  for (size_t i = 0; i < n_points && i < points.size(); ++i) {
     if (!out.index->tree().Insert(points[i], i).ok()) break;
     if (!out.index->Commit(/*tag=*/i + 1).ok()) break;
     ++out.committed;
@@ -152,11 +156,13 @@ void ExpectIdenticalAnswers(const gist::Tree& got, const gist::Tree& want,
 size_t CrashRecoverCompare(const std::string& base, const std::string& wal,
                            FaultInjector::Fault fault, uint64_t crash_at,
                            size_t checkpoint_every_commits,
-                           bool durable_count_is_exact) {
+                           bool durable_count_is_exact,
+                           uint64_t wal_segment_bytes = 0) {
   FaultInjector injector;
   injector.Arm(fault, crash_at);
   BuildOutcome crashed =
-      BuildInsertByInsert(base, wal, &injector, checkpoint_every_commits);
+      BuildInsertByInsert(base, wal, &injector, checkpoint_every_commits,
+                          wal_segment_bytes);
   const std::string context =
       "crash at write " + std::to_string(crash_at) +
       (checkpoint_every_commits != 0 ? " (checkpointing)" : "");
@@ -191,12 +197,14 @@ size_t CrashRecoverCompare(const std::string& base, const std::string& wal,
 /// Writes performed before the first insert (store creation + initial
 /// meta commit + initial checkpoint); sweeps start after this prefix so
 /// every crash lands in insert/commit/checkpoint traffic.
-uint64_t CreatePhaseWrites(const std::string& base, const std::string& wal) {
+uint64_t CreatePhaseWrites(const std::string& base, const std::string& wal,
+                           uint64_t wal_segment_bytes = 0) {
   std::remove(base.c_str());
   std::remove(wal.c_str());
   FaultInjector counter;  // disarmed: counts the write schedule only.
   storage::StoreOptions store_options;
   store_options.injector = &counter;
+  store_options.wal_segment_bytes = wal_segment_bytes;
   auto created =
       core::CreateDurableIndex(base, wal, kDim, IndexOpts(), store_options);
   BW_CHECK(created.ok());
@@ -279,6 +287,107 @@ TEST(CrashRecoverySweepTest, CrashesDuringCheckpointsRecover) {
     CrashRecoverCompare(base, wal, FaultInjector::Fault::kCrash, crash_at,
                         kCheckpointEvery, /*durable_count_is_exact=*/false);
   }
+}
+
+TEST(CrashRecoverySweepTest, CrashesWithSegmentRotationRecover) {
+  const std::string base = TempPath("sweep_seg.bwpf");
+  const std::string wal = TempPath("sweep_seg.wal");
+  constexpr uint64_t kSegmentBytes = 512;
+  constexpr size_t kCheckpointEvery = 80;
+
+  FaultInjector dry;
+  BuildOutcome full =
+      BuildInsertByInsert(base, wal, &dry, kCheckpointEvery, kSegmentBytes);
+  ASSERT_NE(full.index, nullptr);
+  ASSERT_EQ(full.committed, kNumPoints);
+  full.index.reset();
+  // Rotation really happened: the live log spans several segment files,
+  // so every recovery below stitches batches across segment boundaries.
+  auto replay = storage::ReplayWal(
+      wal, [](const storage::WalRecordView&) { return Status::OK(); });
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_GE(replay->segments, 3u);
+
+  const uint64_t total_writes = dry.writes_seen();
+  const uint64_t first = CreatePhaseWrites(base, wal, kSegmentBytes) + 1;
+  ASSERT_GT(total_writes, first);
+
+  // The sweep crosses segment-header writes (crash mid-rotation), the
+  // checkpoint protocol, and ordinary record appends alike.
+  const uint64_t step = std::max<uint64_t>(1, (total_writes - first) / 25);
+  for (uint64_t crash_at = first; crash_at <= total_writes;
+       crash_at += step) {
+    CrashRecoverCompare(base, wal, FaultInjector::Fault::kCrash, crash_at,
+                        kCheckpointEvery, /*durable_count_is_exact=*/false,
+                        kSegmentBytes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Targeted crashes inside one checkpoint
+// ---------------------------------------------------------------------------
+
+/// Crashes at every physical write inside one explicit Checkpoint() —
+/// the dirty-frame flushes, the ping-pong header flip, and (in
+/// segmented mode) the segment-seal/truncate boundary — and requires
+/// recovery to surface every acknowledged insert each time.
+void SweepCheckpointCrashes(const std::string& base, const std::string& wal,
+                            uint64_t wal_segment_bytes) {
+  constexpr size_t kSmall = 60;
+
+  // Dry run: count the writes one explicit checkpoint performs.
+  FaultInjector counter;
+  BuildOutcome dry = BuildInsertByInsert(base, wal, &counter, 0,
+                                         wal_segment_bytes, kSmall);
+  ASSERT_NE(dry.index, nullptr);
+  ASSERT_EQ(dry.committed, kSmall);
+  if (wal_segment_bytes > 0) {
+    auto replay = storage::ReplayWal(
+        wal, [](const storage::WalRecordView&) { return Status::OK(); });
+    ASSERT_TRUE(replay.ok());
+    ASSERT_GE(replay->segments, 2u)
+        << "segment cap too large: the checkpoint would retire nothing";
+  }
+  const uint64_t before = counter.writes_seen();
+  ASSERT_TRUE(dry.index->Checkpoint().ok());
+  const uint64_t during = counter.writes_seen() - before;
+  ASSERT_GT(during, 2u);  // at least the frame flushes + the header flip.
+  dry.index.reset();
+
+  for (uint64_t k = 1; k <= during; ++k) {
+    FaultInjector injector;
+    BuildOutcome victim = BuildInsertByInsert(base, wal, &injector, 0,
+                                              wal_segment_bytes, kSmall);
+    ASSERT_NE(victim.index, nullptr);
+    ASSERT_EQ(victim.committed, kSmall);
+    injector.Arm(FaultInjector::Fault::kCrash, k);  // count restarts here.
+    EXPECT_FALSE(victim.index->Checkpoint().ok()) << "k=" << k;
+    victim.index.reset();
+
+    // Every insert was acknowledged before the checkpoint began, so no
+    // crash point inside it may lose (or invent) a single one.
+    auto recovered = core::OpenDurableIndex(base, wal, IndexOpts());
+    ASSERT_TRUE(recovered.ok())
+        << "k=" << k << ": " << recovered.status().ToString();
+    ASSERT_EQ((*recovered)->tree().size(), kSmall) << "k=" << k;
+    Reference reference(kSmall);
+    ExpectIdenticalAnswers((*recovered)->tree(), *reference.tree,
+                           "checkpoint crash k=" + std::to_string(k));
+  }
+}
+
+TEST(CrashRecoveryTest, CrashAtEveryWriteInsideACheckpointRecovers) {
+  SweepCheckpointCrashes(TempPath("ckpt_flip.bwpf"),
+                         TempPath("ckpt_flip.wal"),
+                         /*wal_segment_bytes=*/0);
+}
+
+TEST(CrashRecoveryTest, CrashInsideSegmentSealAndTruncateRecovers) {
+  // Same sweep over a segmented log: the checkpoint's WAL reset now
+  // retires sealed segments and truncates the active one, and a crash
+  // in there must leave a contiguous suffix of segments replay accepts.
+  SweepCheckpointCrashes(TempPath("ckpt_seg.bwpf"), TempPath("ckpt_seg.wal"),
+                         /*wal_segment_bytes=*/4096);
 }
 
 // ---------------------------------------------------------------------------

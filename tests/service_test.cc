@@ -593,5 +593,317 @@ TEST(QueryServiceTest, MixedKindStress) {
   EXPECT_EQ(snap.failed, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Serving through writes: the online mutation path
+// ---------------------------------------------------------------------------
+
+constexpr size_t kSeedPoints = 300;  // rids 0..299; online inserts follow.
+
+core::IndexBuildOptions WriteIndexOpts() {
+  core::IndexBuildOptions options;
+  options.am = "rtree";
+  options.page_bytes = 1024;
+  return options;
+}
+
+std::unique_ptr<core::DurableIndex> BuildWritableIndex(
+    const std::string& base, const std::string& wal,
+    storage::StoreOptions store_options = storage::StoreOptions()) {
+  const auto points = testing::MakeClusteredPoints(kSeedPoints, 3, 6, 31);
+  auto built = core::BuildDurableIndex(points, WriteIndexOpts(), base, wal,
+                                       store_options);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return built.ok() ? std::move(*built) : nullptr;
+}
+
+/// Spins (bounded) until the service reaches `want`.
+void AwaitWriteState(const QueryService& service, service::WriteState want) {
+  for (int i = 0; i < 5000 && service.write_state() != want; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(service.write_state(), want);
+}
+
+TEST(QueryServiceWriteTest, OnlineInsertsAckDurableAndQueryable) {
+  const std::string base = TempPath("svcw_online.bwpf");
+  const std::string wal = TempPath("svcw_online.bwwal");
+  auto index = BuildWritableIndex(base, wal);
+  ASSERT_NE(index, nullptr);
+
+  constexpr size_t kInserts = 40;
+  const auto extra = testing::MakeClusteredPoints(kInserts, 3, 4, 91);
+  {
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.write.enabled = true;
+    options.write.batch_size = 8;
+    QueryService service(index.get(), options);
+
+    std::vector<QueryService::MutationFuture> futures;
+    for (size_t i = 0; i < kInserts; ++i) {
+      auto future = service.SubmitInsert(extra[i], kSeedPoints + i);
+      ASSERT_TRUE(future.ok()) << future.status().ToString();
+      futures.push_back(std::move(*future));
+    }
+    for (auto& future : futures) {
+      auto outcome = future.get();
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      EXPECT_GT(outcome->tag, 0u);  // every ack names its durable batch.
+    }
+    // Every acked insert answers queries: its own location returns it.
+    for (size_t i = 0; i < kInserts; ++i) {
+      auto response = service.Knn(extra[i], 3);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      const auto rids = Rids(response->neighbors);
+      EXPECT_NE(std::find(rids.begin(), rids.end(),
+                          static_cast<gist::Rid>(kSeedPoints + i)),
+                rids.end())
+          << "insert " << i;
+    }
+    const auto snap = service.Snapshot();
+    EXPECT_TRUE(snap.writes_enabled);
+    EXPECT_EQ(snap.write_state, service::WriteState::kServing);
+    EXPECT_FALSE(snap.write_degraded);
+    EXPECT_EQ(snap.writes_submitted, kInserts);
+    EXPECT_EQ(snap.writes_acked, kInserts);
+    EXPECT_EQ(snap.writes_failed, 0u);
+    EXPECT_EQ(snap.writes_rejected, 0u);
+    EXPECT_GT(snap.commit_batches, 0u);
+    EXPECT_GT(snap.generation, 0u);  // reader-visible batch handoffs.
+    EXPECT_GT(snap.mean_write_latency_us, 0.0);
+    EXPECT_GE(snap.p99_write_latency_us, snap.p50_write_latency_us);
+    service.Shutdown();
+  }
+  // Ack == durable: a fresh process recovers every acknowledged insert.
+  index.reset();
+  auto recovered = core::OpenDurableIndex(base, wal, WriteIndexOpts());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*recovered)->tree().size(), kSeedPoints + kInserts);
+}
+
+TEST(QueryServiceWriteTest, DeleteResolvesNotFoundForAbsentPairs) {
+  const std::string base = TempPath("svcw_delete.bwpf");
+  const std::string wal = TempPath("svcw_delete.bwwal");
+  auto index = BuildWritableIndex(base, wal);
+  ASSERT_NE(index, nullptr);
+
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.write.enabled = true;
+  QueryService service(index.get(), options);
+
+  const auto extra = testing::MakeClusteredPoints(2, 3, 4, 92);
+  auto inserted = service.SubmitInsert(extra[0], kSeedPoints);
+  ASSERT_TRUE(inserted.ok());
+  ASSERT_TRUE(inserted->get().ok());
+
+  // Deleting the pair we just inserted succeeds and hides it.
+  auto removed = service.SubmitDelete(extra[0], kSeedPoints);
+  ASSERT_TRUE(removed.ok());
+  ASSERT_TRUE(removed->get().ok());
+  auto response = service.Knn(extra[0], 3);
+  ASSERT_TRUE(response.ok());
+  const auto rids = Rids(response->neighbors);
+  EXPECT_EQ(std::find(rids.begin(), rids.end(),
+                      static_cast<gist::Rid>(kSeedPoints)),
+            rids.end());
+
+  // An absent pair resolves NotFound — but the batch itself commits, so
+  // the service keeps serving writes afterwards.
+  auto absent = service.SubmitDelete(extra[1], 999999);
+  ASSERT_TRUE(absent.ok());
+  auto outcome = absent->get();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.write_state(), service::WriteState::kServing);
+}
+
+TEST(QueryServiceWriteTest, WriteAdmissionControl) {
+  const std::string base = TempPath("svcw_admit.bwpf");
+  const std::string wal = TempPath("svcw_admit.bwwal");
+  auto index = BuildWritableIndex(base, wal);
+  ASSERT_NE(index, nullptr);
+  const geom::Vec point = testing::MakeUniformPoints(1, 3, 5)[0];
+
+  {
+    // Writes not enabled: submission is a caller error, not a transient.
+    QueryService service(index.get(), ServiceOptions{});
+    auto future = service.SubmitInsert(point, 777);
+    ASSERT_FALSE(future.ok());
+    EXPECT_EQ(future.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    ServiceOptions options;
+    options.write.enabled = true;
+    QueryService service(index.get(), options);
+    service.Shutdown();
+    auto future = service.SubmitInsert(point, 777);
+    ASSERT_FALSE(future.ok());
+    EXPECT_EQ(future.status().code(), StatusCode::kUnavailable);
+  }
+}
+
+TEST(QueryServiceWriteTest, SpaceWatchdogTripsReadOnlyThenAutoResumes) {
+  const std::string base = TempPath("svcw_watchdog.bwpf");
+  const std::string wal = TempPath("svcw_watchdog.bwwal");
+  auto index = BuildWritableIndex(base, wal);
+  ASSERT_NE(index, nullptr);
+
+  std::atomic<uint64_t> free_bytes{0};  // the disk starts exhausted.
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.write.enabled = true;
+  options.write.min_free_bytes = 1 << 20;
+  options.write.free_space_probe = [&free_bytes] {
+    return free_bytes.load();
+  };
+  options.write.retry_interval = std::chrono::milliseconds(2);
+  QueryService service(index.get(), options);
+
+  const auto extra = testing::MakeClusteredPoints(3, 3, 4, 93);
+  // Admitted while still serving; the watchdog trips BEFORE any WAL
+  // append for it can hit ENOSPC, and the mutation waits, not lost.
+  auto pioneer = service.SubmitInsert(extra[0], kSeedPoints);
+  ASSERT_TRUE(pioneer.ok()) << pioneer.status().ToString();
+  AwaitWriteState(service, service::WriteState::kReadOnly);
+
+  // New writes shed with the capacity verdict...
+  auto shed = service.SubmitInsert(extra[1], kSeedPoints + 1);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  // ...while queries keep serving, flagged degraded for operators.
+  auto response = service.Knn(extra[0], 5);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  auto snap = service.Snapshot();
+  EXPECT_EQ(snap.write_state, service::WriteState::kReadOnly);
+  EXPECT_TRUE(snap.write_degraded);
+  EXPECT_GE(snap.writes_rejected, 1u);
+
+  // Space returns: the service resumes itself and the waiting write
+  // finally lands and acks.
+  free_bytes.store(64ull << 30);
+  service.ResumeWrites();
+  auto outcome = pioneer->get();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  AwaitWriteState(service, service::WriteState::kServing);
+  snap = service.Snapshot();
+  EXPECT_FALSE(snap.write_degraded);
+  EXPECT_EQ(snap.writes_acked, 1u);
+}
+
+TEST(QueryServiceWriteTest, FailStoppedLogFailsWritesButServesReads) {
+  const std::string base = TempPath("svcw_failstop.bwpf");
+  const std::string wal = TempPath("svcw_failstop.bwwal");
+  storage::FaultInjector injector;
+  storage::StoreOptions store_options;
+  store_options.injector = &injector;
+  auto index = BuildWritableIndex(base, wal, store_options);
+  ASSERT_NE(index, nullptr);
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.write.enabled = true;
+  QueryService service(index.get(), options);
+
+  const auto extra = testing::MakeClusteredPoints(3, 3, 4, 94);
+  auto healthy = service.SubmitInsert(extra[0], kSeedPoints);
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_TRUE(healthy->get().ok());
+
+  // Fsyncgate mid-serve: the next WAL fsync fails, the fd fail-stops,
+  // and the in-flight mutation must resolve with an error — never a
+  // false ack.
+  storage::FaultInjector::WriteFaultPlan plan;
+  plan.sync_fail_at = 1;
+  injector.ArmWrites(plan);
+  auto doomed = service.SubmitInsert(extra[1], kSeedPoints + 1);
+  ASSERT_TRUE(doomed.ok());
+  auto outcome = doomed->get();
+  ASSERT_FALSE(outcome.ok());
+  AwaitWriteState(service, service::WriteState::kFailed);
+
+  // kFailed is permanent for this process: writes shed with IoError...
+  auto after = service.SubmitInsert(extra[2], kSeedPoints + 2);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kIoError);
+  // ...and reads keep answering.
+  auto response = service.Knn(extra[0], 5);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const auto snap = service.Snapshot();
+  EXPECT_EQ(snap.write_state, service::WriteState::kFailed);
+  EXPECT_TRUE(snap.write_degraded);
+  EXPECT_GE(snap.writes_failed, 1u);
+  EXPECT_EQ(snap.writes_acked, 1u);
+}
+
+// Readers vs the writer: the TSan-audited half of the write path. Range
+// queries sweep the whole space while rid-ordered inserts stream in;
+// every response must surface a *contiguous prefix* of the inserted
+// rids — a reader that caught a half-applied batch would see a gap.
+TEST(QueryServiceWriteTest, ReadersSeeOnlyWholeBatchPrefixes) {
+  const std::string base = TempPath("svcw_prefix.bwpf");
+  const std::string wal = TempPath("svcw_prefix.bwwal");
+  auto index = BuildWritableIndex(base, wal);
+  ASSERT_NE(index, nullptr);
+
+  ServiceOptions options;
+  options.num_workers = 3;
+  options.queue_capacity = 256;
+  options.write.enabled = true;
+  options.write.batch_size = 8;
+  options.write.queue_capacity = 512;
+  QueryService service(index.get(), options);
+
+  constexpr size_t kInserts = 128;
+  const auto extra = testing::MakeClusteredPoints(kInserts, 3, 4, 53);
+  const geom::Vec probe = extra[0];
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> prefix_violations{0};
+  std::atomic<uint64_t> reads_checked{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        auto future = service.SubmitRange(probe, 1e9);  // the whole space.
+        if (!future.ok()) continue;  // query queue momentarily full.
+        auto response = future->get();
+        if (!response.ok()) continue;
+        std::vector<gist::Rid> streamed;
+        for (const auto& n : response->neighbors) {
+          if (n.rid >= kSeedPoints) streamed.push_back(n.rid);
+        }
+        std::sort(streamed.begin(), streamed.end());
+        for (size_t i = 0; i < streamed.size(); ++i) {
+          if (streamed[i] != kSeedPoints + i) {
+            prefix_violations.fetch_add(1);
+            break;
+          }
+        }
+        reads_checked.fetch_add(1);
+      }
+    });
+  }
+
+  std::vector<QueryService::MutationFuture> futures;
+  for (size_t i = 0; i < kInserts; ++i) {
+    auto future = service.SubmitInsert(extra[i], kSeedPoints + i);
+    ASSERT_TRUE(future.ok()) << future.status().ToString();
+    futures.push_back(std::move(*future));
+  }
+  for (auto& future : futures) {
+    auto outcome = future.get();
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  }
+  done.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(prefix_violations.load(), 0u);
+  EXPECT_GT(reads_checked.load(), 0u);
+  // And the final answer holds every insert.
+  auto final_read = service.Knn(probe, 1);
+  ASSERT_TRUE(final_read.ok());
+  EXPECT_EQ(service.tree().size(), kSeedPoints + kInserts);
+}
+
 }  // namespace
 }  // namespace bw

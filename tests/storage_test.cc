@@ -229,6 +229,83 @@ TEST(FileIoTest, BitFlipSilentlyCorruptsOneBit) {
   EXPECT_EQ(flipped_bits, 1);
 }
 
+TEST(FileIoTest, CleanEnospcKeepsTheFdUsable) {
+  const std::string path = TempPath("file_enospc.bin");
+  FaultInjector injector;
+  auto file = File::Open(path, /*truncate=*/true, &injector);
+  ASSERT_TRUE(file.ok());
+
+  FaultInjector::WriteFaultPlan plan;
+  plan.enospc_every_n = 2;  // the second write hits a full disk.
+  plan.enospc_burst = 1;
+  injector.ArmWrites(plan);
+
+  std::vector<uint8_t> data(16, 0x11);
+  ASSERT_TRUE((*file)->WriteAt(0, data.data(), data.size()).ok());
+  const Status refused = (*file)->WriteAt(16, data.data(), data.size());
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(injector.enospc_faults(), 1u);
+  EXPECT_FALSE((*file)->fail_stopped());  // clean refusal, fd intact.
+
+  // Space "frees up": the same fd keeps working, and nothing of the
+  // refused write ever landed.
+  injector.DisarmWrites();
+  ASSERT_TRUE((*file)->WriteAt(16, data.data(), data.size()).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  std::vector<uint8_t> all;
+  ASSERT_TRUE(storage::ReadFile(path, &all).ok());
+  EXPECT_EQ(all.size(), 32u);
+}
+
+TEST(FileIoTest, EioFailStopsTheFd) {
+  const std::string path = TempPath("file_eio.bin");
+  FaultInjector injector;
+  auto file = File::Open(path, /*truncate=*/true, &injector);
+  ASSERT_TRUE(file.ok());
+
+  FaultInjector::WriteFaultPlan plan;
+  plan.eio_every_n = 1;
+  injector.ArmWrites(plan);
+
+  std::vector<uint8_t> data(16, 0x22);
+  const Status hard = (*file)->WriteAt(0, data.data(), data.size());
+  EXPECT_EQ(hard.code(), StatusCode::kIoError);
+  EXPECT_TRUE((*file)->fail_stopped());
+
+  // The device error left the range in an unknown state: even with the
+  // injector quiet again, the fd sheds everything.
+  injector.DisarmWrites();
+  EXPECT_FALSE((*file)->WriteAt(0, data.data(), data.size()).ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+}
+
+TEST(FileIoTest, FailedFsyncCannotBeRetriedIntoDurability) {
+  // Fsyncgate regression: after fsync reports failure the kernel may
+  // already have dropped the dirty pages, so a later write+fsync pair
+  // that "succeeds" would acknowledge a commit that never reached the
+  // platter. The fd must fail-stop instead.
+  const std::string path = TempPath("file_fsyncgate.bin");
+  FaultInjector injector;
+  auto file = File::Open(path, /*truncate=*/true, &injector);
+  ASSERT_TRUE(file.ok());
+
+  FaultInjector::WriteFaultPlan plan;
+  plan.sync_fail_at = 1;
+  injector.ArmWrites(plan);
+
+  std::vector<uint8_t> data(16, 0x33);
+  ASSERT_TRUE((*file)->WriteAt(0, data.data(), data.size()).ok());
+  const Status failed = (*file)->Sync();
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  EXPECT_EQ(injector.sync_failures(), 1u);
+  EXPECT_TRUE((*file)->fail_stopped());
+
+  // The "retry the commit" sequence a naive caller would attempt: both
+  // legs must fail, so no layer above can ever report durable.
+  EXPECT_FALSE((*file)->WriteAt(16, data.data(), data.size()).ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+}
+
 // ---------------------------------------------------------------------------
 // WAL
 // ---------------------------------------------------------------------------
@@ -391,6 +468,193 @@ TEST(WalTest, ResetEmptiesLogButLsnsKeepRising) {
   ASSERT_TRUE(replay.ok());
   ASSERT_EQ(lsns.size(), 1u);
   EXPECT_EQ(lsns[0], 2u);  // the pre-reset record is gone, its LSN is not.
+}
+
+// ---------------------------------------------------------------------------
+// WAL segment rotation
+// ---------------------------------------------------------------------------
+
+std::string SegPath(const std::string& base, uint64_t seq) {
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), ".%06llu",
+                static_cast<unsigned long long>(seq));
+  return base + suffix;
+}
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+// Every record below is 24 (header) + 10 (payload) + 4 (crc) = 38 bytes;
+// the segment header is 20 bytes. With segment_bytes = 128 the active
+// segment seals after its third record (20 + 3*38 = 134 >= 128).
+WalOptions RotatingOptions() {
+  WalOptions options;
+  options.segment_bytes = 128;
+  return options;
+}
+
+TEST(WalRotationTest, RotationSealsSegmentsAndReplaySpansThem) {
+  const std::string base = TempPath("rotating.wal");
+  auto wal = Wal::Create(base, RotatingOptions());
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        (*wal)->Append(WalRecordType::kPageImage, i, "0123456789", 10).ok());
+  }
+  EXPECT_EQ((*wal)->segments_created(), 4u);  // 3+3+3+1 records.
+  EXPECT_EQ((*wal)->segments_sealed(), 3u);
+  EXPECT_EQ((*wal)->active_segment_seq(), 4u);
+  EXPECT_FALSE(FileExists(base));  // segmented mode: no legacy file.
+  for (uint64_t seq = 1; seq <= 4; ++seq) {
+    EXPECT_TRUE(FileExists(SegPath(base, seq))) << seq;
+  }
+
+  std::vector<uint64_t> lsns;
+  auto replay = storage::ReplayWal(base, [&](const WalRecordView& r) {
+    lsns.push_back(r.lsn);
+    return Status::OK();
+  });
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->records, 10u);
+  EXPECT_EQ(replay->segments, 4u);
+  EXPECT_EQ(replay->last_segment_seq, 4u);
+  EXPECT_FALSE(replay->tail_truncated);
+  ASSERT_EQ(lsns.size(), 10u);
+  for (size_t i = 0; i < lsns.size(); ++i) {
+    EXPECT_EQ(lsns[i], i + 1);  // seq order across segment boundaries.
+  }
+}
+
+TEST(WalRotationTest, TornTailInFinalSegmentIsBenignAndContinuable) {
+  const std::string base = TempPath("rotating_torn.wal");
+  {
+    auto wal = Wal::Create(base, RotatingOptions());
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(
+          (*wal)->Append(WalRecordType::kPageImage, i, "0123456789", 10).ok());
+    }
+  }
+  // Tear 3 bytes off the single record of the active (4th) segment: the
+  // benign crash-mid-append shape, even though earlier segments exist.
+  TruncateTo(SegPath(base, 4), 20 + 38 - 3);
+  auto torn = storage::ReplayWal(
+      base, [](const WalRecordView&) { return Status::OK(); });
+  ASSERT_TRUE(torn.ok()) << torn.status().ToString();
+  EXPECT_EQ(torn->records, 9u);
+  EXPECT_TRUE(torn->tail_truncated);
+  EXPECT_EQ(torn->last_lsn, 9u);
+  EXPECT_EQ(torn->last_segment_seq, 4u);
+
+  // Continue truncates the torn tail and appends into the same segment.
+  auto cont = Wal::Continue(base, RotatingOptions(), *torn,
+                            torn->last_lsn + 1);
+  ASSERT_TRUE(cont.ok()) << cont.status().ToString();
+  ASSERT_TRUE(
+      (*cont)->Append(WalRecordType::kPageImage, 99, "resumed!!!", 10).ok());
+  auto resumed = storage::ReplayWal(
+      base, [](const WalRecordView&) { return Status::OK(); });
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed->records, 10u);
+  EXPECT_EQ(resumed->last_lsn, 10u);
+  EXPECT_FALSE(resumed->tail_truncated);
+}
+
+TEST(WalRotationTest, TornSealedSegmentIsDataLoss) {
+  const std::string base = TempPath("rotating_sealed_tear.wal");
+  {
+    auto wal = Wal::Create(base, RotatingOptions());
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(
+          (*wal)->Append(WalRecordType::kPageImage, i, "0123456789", 10).ok());
+    }
+  }
+  // The same 3-byte tear, but in a SEALED segment: sealing synced it, so
+  // a short file there means the disk lost acknowledged bytes.
+  TruncateTo(SegPath(base, 2), 20 + 2 * 38 + 35);
+  auto replay = storage::ReplayWal(
+      base, [](const WalRecordView&) { return Status::OK(); });
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WalRotationTest, SegmentSequenceGapIsDataLoss) {
+  const std::string base = TempPath("rotating_gap.wal");
+  {
+    auto wal = Wal::Create(base, RotatingOptions());
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(
+          (*wal)->Append(WalRecordType::kPageImage, i, "0123456789", 10).ok());
+    }
+  }
+  // Retirement removes oldest-first, so a missing MIDDLE segment can
+  // only mean a whole file of acknowledged records vanished.
+  ASSERT_EQ(std::remove(SegPath(base, 2).c_str()), 0);
+  auto replay = storage::ReplayWal(
+      base, [](const WalRecordView&) { return Status::OK(); });
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WalRotationTest, ResetRetiresSealedSegmentsAndBoundsLiveBytes) {
+  const std::string base = TempPath("rotating_reset.wal");
+  auto wal = Wal::Create(base, RotatingOptions());
+  ASSERT_TRUE(wal.ok());
+  for (int i = 0; i < 7; ++i) {  // 2 sealed segments + 1 record active.
+    ASSERT_TRUE(
+        (*wal)->Append(WalRecordType::kPageImage, i, "0123456789", 10).ok());
+  }
+  ASSERT_EQ((*wal)->segments_sealed(), 2u);
+  const uint64_t before = (*wal)->live_bytes();
+  ASSERT_GT(before, 3 * 20u);
+
+  ASSERT_TRUE((*wal)->Reset().ok());
+  EXPECT_EQ((*wal)->segments_retired(), 2u);
+  EXPECT_EQ((*wal)->segments_sealed(), 0u);
+  EXPECT_EQ((*wal)->live_bytes(), 20u);  // just the active header.
+  EXPECT_FALSE(FileExists(SegPath(base, 1)));
+  EXPECT_FALSE(FileExists(SegPath(base, 2)));
+
+  // The log keeps working after the reset; LSNs keep rising.
+  ASSERT_TRUE(
+      (*wal)->Append(WalRecordType::kPageImage, 8, "afterreset", 10).ok());
+  std::vector<uint64_t> lsns;
+  auto replay = storage::ReplayWal(base, [&](const WalRecordView& r) {
+    lsns.push_back(r.lsn);
+    return Status::OK();
+  });
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(lsns.size(), 1u);
+  EXPECT_EQ(lsns[0], 8u);
+}
+
+TEST(WalRotationTest, ArchivedSegmentsAreKeptButIgnoredByReplay) {
+  const std::string base = TempPath("rotating_archive.wal");
+  WalOptions options = RotatingOptions();
+  options.archive_sealed = true;
+  auto wal = Wal::Create(base, options);
+  ASSERT_TRUE(wal.ok());
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(
+        (*wal)->Append(WalRecordType::kPageImage, i, "0123456789", 10).ok());
+  }
+  ASSERT_TRUE((*wal)->Reset().ok());
+  EXPECT_EQ((*wal)->segments_retired(), 2u);
+  // Retired segments were renamed, not deleted: an audit trail replay
+  // must not mistake for live log.
+  EXPECT_FALSE(FileExists(SegPath(base, 1)));
+  EXPECT_TRUE(FileExists(SegPath(base, 1) + ".archived"));
+  EXPECT_TRUE(FileExists(SegPath(base, 2) + ".archived"));
+  auto replay = storage::ReplayWal(
+      base, [](const WalRecordView&) { return Status::OK(); });
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->records, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -666,6 +930,144 @@ TEST(DurableStoreTest, UnrepairableRotIsDataLoss) {
   auto recovered = RecoveryManager::Recover(base, wal, SmallStore());
   ASSERT_FALSE(recovered.ok());
   EXPECT_EQ(recovered.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DurableStoreTest, CleanEnospcCommitIsRetriedWithoutLosingChanges) {
+  const std::string base = TempPath("store_enospc.bwpf");
+  const std::string wal = TempPath("store_enospc.wal");
+  FaultInjector injector;
+  StoreOptions options = SmallStore();
+  options.injector = &injector;
+  {
+    auto store = DurableStore::Create(base, wal, options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    const pages::PageId id = (*store)->pages()->Allocate();
+    auto page = (*store)->pages()->Write(id);
+    ASSERT_TRUE(page.ok());
+    ASSERT_TRUE((*page)->Insert("survives", 8).ok());
+
+    // The disk fills up: every write refuses cleanly with ENOSPC.
+    FaultInjector::WriteFaultPlan plan;
+    plan.enospc_every_n = 1;
+    plan.enospc_burst = 1;
+    injector.ArmWrites(plan);
+    const Status shed = (*store)->CommitBatch(1);
+    EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+
+    // Space returns: the SAME changes must be re-logged by the retry —
+    // the failed commit put the drained dirty/alloc tracking back.
+    injector.DisarmWrites();
+    ASSERT_TRUE((*store)->CommitBatch(1).ok());
+  }
+  RecoveryManager::Summary summary;
+  auto recovered = RecoveryManager::Recover(base, wal, SmallStore(), &summary);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(summary.last_commit_tag, 1u);
+  ASSERT_EQ((*recovered)->pages()->page_count(), 1u);
+  EXPECT_EQ((*recovered)->pages()->PeekNoIo(0)->slot_count(), 1u);
+}
+
+TEST(DurableStoreTest, FailedFsyncCommitNeverReportsDurable) {
+  // Store-level fsyncgate: once the WAL's fsync fails, no later commit
+  // may succeed on this store — only crash recovery can continue, and it
+  // must surface exactly the batches that were durable BEFORE the
+  // failure.
+  const std::string base = TempPath("store_fsyncgate.bwpf");
+  const std::string wal = TempPath("store_fsyncgate.wal");
+  FaultInjector injector;
+  StoreOptions options = SmallStore();
+  options.injector = &injector;
+  {
+    auto store = DurableStore::Create(base, wal, options);
+    ASSERT_TRUE(store.ok());
+    const pages::PageId id = (*store)->pages()->Allocate();
+    auto page = (*store)->pages()->Write(id);
+    ASSERT_TRUE(page.ok());
+    ASSERT_TRUE((*page)->Insert("batch-one", 9).ok());
+    ASSERT_TRUE((*store)->CommitBatch(1).ok());
+
+    FaultInjector::WriteFaultPlan plan;
+    plan.sync_fail_at = 1;
+    injector.ArmWrites(plan);
+    page = (*store)->pages()->Write(id);
+    ASSERT_TRUE(page.ok());
+    ASSERT_TRUE((*page)->Insert("batch-two", 9).ok());
+    const Status failed = (*store)->CommitBatch(2);
+    EXPECT_FALSE(failed.ok());
+    EXPECT_NE(failed.code(), StatusCode::kResourceExhausted)
+        << "a failed fsync is not a clean, retryable refusal";
+
+    // The naive retry: it must fail too (the fd fail-stopped), so the
+    // store can never acknowledge batch 2.
+    EXPECT_FALSE((*store)->CommitBatch(2).ok());
+  }
+  injector.DisarmWrites();
+  RecoveryManager::Summary summary;
+  auto recovered = RecoveryManager::Recover(base, wal, SmallStore(), &summary);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(summary.last_commit_tag, 1u);  // batch 2 was never durable.
+  EXPECT_EQ((*recovered)->pages()->PeekNoIo(0)->slot_count(), 1u);
+}
+
+TEST(DurableStoreTest, SegmentedWalRotatesAndCheckpointRetiresSegments) {
+  const std::string base = TempPath("store_segmented.bwpf");
+  const std::string wal = TempPath("store_segmented.wal");
+  StoreOptions options = SmallStore();
+  options.wal_segment_bytes = 512;  // a handful of commit batches each.
+  {
+    auto store = DurableStore::Create(base, wal, options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (int i = 0; i < 24; ++i) {
+      const pages::PageId id = (*store)->pages()->Allocate();
+      auto page = (*store)->pages()->Write(id);
+      ASSERT_TRUE(page.ok());
+      ASSERT_TRUE((*page)->Insert(&i, sizeof(i)).ok());
+      ASSERT_TRUE((*store)->CommitBatch(i + 1).ok());
+    }
+    ASSERT_GT((*store)->wal()->segments_created(), 2u);
+    // The checkpoint folds the log into the base and retires every
+    // sealed segment: the live log shrinks back to one header.
+    ASSERT_TRUE((*store)->Checkpoint().ok());
+    EXPECT_GT((*store)->wal()->segments_retired(), 0u);
+    EXPECT_EQ((*store)->wal()->segments_sealed(), 0u);
+    EXPECT_EQ((*store)->wal()->live_bytes(), 20u);
+  }
+  RecoveryManager::Summary summary;
+  auto recovered = RecoveryManager::Recover(base, wal, options, &summary);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_EQ((*recovered)->pages()->page_count(), 24u);
+}
+
+TEST(DurableStoreTest, RecoveryReplaysAcrossSegmentBoundaries) {
+  const std::string base = TempPath("store_segspan.bwpf");
+  const std::string wal = TempPath("store_segspan.wal");
+  StoreOptions options = SmallStore();
+  options.wal_segment_bytes = 512;
+  uint64_t segments_written = 0;
+  {
+    auto store = DurableStore::Create(base, wal, options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (int i = 0; i < 16; ++i) {
+      const pages::PageId id = (*store)->pages()->Allocate();
+      auto page = (*store)->pages()->Write(id);
+      ASSERT_TRUE(page.ok());
+      ASSERT_TRUE((*page)->Insert(&i, sizeof(i)).ok());
+      ASSERT_TRUE((*store)->CommitBatch(i + 1).ok());
+    }
+    segments_written = (*store)->wal()->segments_created();
+    ASSERT_GE(segments_written, 3u);
+    // "Crash": no checkpoint — recovery must stitch every batch back
+    // together across all the segment files.
+  }
+  RecoveryManager::Summary summary;
+  auto recovered = RecoveryManager::Recover(base, wal, options, &summary);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(summary.last_commit_tag, 16u);
+  EXPECT_EQ(summary.wal_segments_replayed, segments_written);
+  ASSERT_EQ((*recovered)->pages()->page_count(), 16u);
+  for (pages::PageId id = 0; id < 16; ++id) {
+    EXPECT_EQ((*recovered)->pages()->PeekNoIo(id)->slot_count(), 1u);
+  }
 }
 
 // ---------------------------------------------------------------------------

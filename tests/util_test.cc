@@ -41,7 +41,7 @@ TEST(StatusTest, AllCodesHaveNames) {
         StatusCode::kCorruption, StatusCode::kNoSpace,
         StatusCode::kNotSupported, StatusCode::kInternal,
         StatusCode::kIoError, StatusCode::kUnavailable, StatusCode::kDataLoss,
-        StatusCode::kAborted}) {
+        StatusCode::kAborted, StatusCode::kResourceExhausted}) {
     EXPECT_STRNE(StatusCodeName(code), "Unknown");
   }
 }
@@ -69,6 +69,19 @@ TEST(StatusTest, OnlyUnavailableIsRetryable) {
   static_assert(IsRetryable(StatusCode::kUnavailable));
   static_assert(!IsRetryable(StatusCode::kAborted));
   static_assert(!IsRetryable(StatusCode::kDataLoss));
+}
+
+TEST(StatusTest, ResourceExhaustedIsDistinctAndNotRetryable) {
+  Status s = Status::ResourceExhausted("disk full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.ToString(), "ResourceExhausted: disk full");
+  // Exhaustion is not transient from the read path's point of view: a
+  // retry loop would spin until space frees up. The write path instead
+  // sheds at admission (kReadOnly) and resumes when the watchdog clears.
+  EXPECT_FALSE(IsRetryable(s));
+  EXPECT_FALSE(s.IsRetryable());
+  static_assert(!IsRetryable(StatusCode::kResourceExhausted));
 }
 
 TEST(StatusTest, UnavailableIsDistinctCode) {
