@@ -29,8 +29,12 @@
 #include <thread>
 #include <vector>
 
+#include <deque>
+
 #include "bench/bench_common.h"
 #include "core/durable_index.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "service/query_service.h"
 #include "storage/store.h"
 #include "util/stopwatch.h"
@@ -193,6 +197,115 @@ MixedOutcome RunMixedLoop(bw::core::DurableIndex* index,
   return out;
 }
 
+// Sorted-rid comparison for the wire runs: the in-process baseline
+// answers via SubmitKnn and the wire via the NN stream — both exact and
+// distance-sorted, but equal-distance neighbors may tie-break
+// differently, so order-sensitive comparison would false-alarm.
+bool SameRids(std::vector<bw::gist::Rid> a, std::vector<bw::gist::Rid> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+struct NetOutcome {
+  double seconds = 0;
+  double qps = 0;
+  bool identical = true;
+  double p50_us = 0;  // client-observed end-to-end latency.
+  double p99_us = 0;
+};
+
+// Closed loop over the wire: `clients` threads, each with its own TCP
+// connection, each keeping one synchronous request in flight.
+NetOutcome RunNetClosedLoop(uint16_t port,
+                            const std::vector<bw::geom::Vec>& queries,
+                            size_t k, size_t clients,
+                            const std::vector<std::vector<bw::gist::Rid>>&
+                                expected) {
+  std::atomic<size_t> next{0};
+  std::atomic<bool> all_ok{true};
+  std::vector<double> latencies(queries.size(), 0);
+
+  bw::Stopwatch watch;
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&] {
+      auto client = bw::net::Client::Connect("127.0.0.1", port);
+      BW_CHECK_MSG(client.ok(), client.status().ToString());
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= queries.size()) return;
+        const auto start = std::chrono::steady_clock::now();
+        auto reply = (*client)->Knn(queries[i], k);
+        if (!reply.ok() || !reply->ok()) {
+          all_ok.store(false);
+          continue;
+        }
+        latencies[i] = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+        std::vector<bw::gist::Rid> rids;
+        rids.reserve(reply->neighbors.size());
+        for (const auto& n : reply->neighbors) rids.push_back(n.rid);
+        if (!SameRids(std::move(rids), expected[i])) all_ok.store(false);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  NetOutcome out;
+  out.seconds = watch.ElapsedSeconds();
+  out.qps = static_cast<double>(queries.size()) / out.seconds;
+  out.identical = all_ok.load();
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    out.p50_us = latencies[latencies.size() / 2];
+    out.p99_us = latencies[std::min(latencies.size() - 1,
+                                    latencies.size() * 99 / 100)];
+  }
+  return out;
+}
+
+// One connection, a sliding window of `window` pipelined requests
+// (window=1 degenerates to strict request/response ping-pong — the
+// pipelining comparison baseline).
+NetOutcome RunNetPipelined(uint16_t port,
+                           const std::vector<bw::geom::Vec>& queries,
+                           size_t k, size_t window,
+                           const std::vector<std::vector<bw::gist::Rid>>&
+                               expected) {
+  auto client = bw::net::Client::Connect("127.0.0.1", port);
+  BW_CHECK_MSG(client.ok(), client.status().ToString());
+  NetOutcome out;
+  std::deque<std::pair<uint64_t, size_t>> inflight;  // (request id, query).
+  size_t submitted = 0;
+  bw::Stopwatch watch;
+  while (submitted < queries.size() || !inflight.empty()) {
+    while (submitted < queries.size() && inflight.size() < window) {
+      auto id = (*client)->SubmitKnn(queries[submitted], k);
+      BW_CHECK_MSG(id.ok(), id.status().ToString());
+      inflight.emplace_back(*id, submitted);
+      ++submitted;
+    }
+    const auto [id, qi] = inflight.front();
+    inflight.pop_front();
+    auto reply = (*client)->AwaitQuery(id);
+    BW_CHECK_MSG(reply.ok(), reply.status().ToString());
+    if (!reply->ok()) {
+      out.identical = false;
+      continue;
+    }
+    std::vector<bw::gist::Rid> rids;
+    rids.reserve(reply->neighbors.size());
+    for (const auto& n : reply->neighbors) rids.push_back(n.rid);
+    if (!SameRids(std::move(rids), expected[qi])) out.identical = false;
+  }
+  out.seconds = watch.ElapsedSeconds();
+  out.qps = static_cast<double>(queries.size()) / out.seconds;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -213,6 +326,14 @@ int main(int argc, char** argv) {
       "write_fraction", 0.0,
       "mixed-workload run over a durable index: fraction of operations "
       "that are online inserts (0 = skip)");
+  bool* net = flags.AddBool(
+      "net", false,
+      "also serve over a loopback bwserver front end and compare wire "
+      "QPS (multi-connection and single-connection pipelined) against "
+      "the in-process baseline");
+  int64_t* pipeline_window = flags.AddInt64(
+      "pipeline_window", 16,
+      "in-flight requests on the single-connection pipelined net run");
   std::string* json_out = flags.AddString(
       "json_out", "", "write sweep results to this JSON file ('' = skip)");
   int exit_code = 0;
@@ -340,6 +461,61 @@ int main(int argc, char** argv) {
                 "aggregate QPS (target >= 1x)\n\n",
                 qps_shared_4 / qps_private_4);
   }
+  if (*net) {
+    // The same service configuration the 4-worker shared-pool baseline
+    // ran, fronted by the real epoll server on a loopback socket. The
+    // dispatch tier is sized to the client count so the gateway, not
+    // the wire, is never the bottleneck being measured.
+    options.shared_pool = true;
+    options.num_workers = 4;
+    bw::service::QueryService service(tree, options);
+    bw::net::ServerOptions nopts;
+    nopts.dispatch_threads = std::max<size_t>(4, static_cast<size_t>(*clients));
+    nopts.quota.max_inflight =
+        std::max<size_t>(64, static_cast<size_t>(*pipeline_window) * 2);
+    bw::net::Server server(&service, nopts);
+    BW_CHECK_OK(server.Start());
+
+    const NetOutcome wire = RunNetClosedLoop(
+        server.port(), queries, k, std::max<size_t>(*clients, 4), expected);
+    const NetOutcome piped = RunNetPipelined(
+        server.port(), queries, k, static_cast<size_t>(*pipeline_window),
+        expected);
+    const NetOutcome serial_conn =
+        RunNetPipelined(server.port(), queries, k, 1, expected);
+    server.Shutdown();
+
+    const double net_ratio =
+        qps_shared_4 > 0 ? wire.qps / qps_shared_4 : 0.0;
+    const double pipeline_speedup =
+        serial_conn.qps > 0 ? piped.qps / serial_conn.qps : 0.0;
+    std::printf(
+        "net front end (loopback, 4 workers, %lld dispatch):\n"
+        "  closed loop over %zu connections: %.1f QPS (%.2fx in-process), "
+        "p50 %.0f us, p99 %.0f us, identical %s\n"
+        "  single connection, window %lld: %.1f QPS; window 1: %.1f QPS "
+        "-> pipelining %.2fx (target >= 1.5x)\n\n",
+        (long long)nopts.dispatch_threads,
+        std::max<size_t>(*clients, 4), wire.qps, net_ratio, wire.p50_us,
+        wire.p99_us,
+        (wire.identical && piped.identical && serial_conn.identical)
+            ? "yes"
+            : "NO",
+        (long long)*pipeline_window, piped.qps, serial_conn.qps,
+        pipeline_speedup);
+    json.Set("qps_net_4w", wire.qps);
+    json.Set("net_over_inprocess_4w", net_ratio);
+    json.Set("net_p50_us", wire.p50_us);
+    json.Set("net_p99_us", wire.p99_us);
+    json.Set("qps_net_pipelined_1conn", piped.qps);
+    json.Set("qps_net_sequential_1conn", serial_conn.qps);
+    json.Set("net_pipelining_speedup", pipeline_speedup);
+    json.Set("net_identical",
+             (wire.identical && piped.identical && serial_conn.identical)
+                 ? 1.0
+                 : 0.0);
+  }
+
   if (*write_fraction > 0) {
     // The write path needs a WAL: rebuild the index durably in scratch
     // files, then serve the mixed workload against it.

@@ -8,8 +8,14 @@
 //   bwadmin info    --index idx.bwix
 //   bwadmin query   --dataset blobs.bin --index idx.bwix --blob 17 --k 10
 //   bwadmin analyze --dataset blobs.bin --index idx.bwix --queries 200
+//   bwadmin stats   --server 127.0.0.1:4821
+//   bwadmin health  --server 127.0.0.1:4821
+//
+// stats/health are the online half: they query a live bwserver over the
+// wire protocol and pretty-print its QueryService::Snapshot() counters.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "amdb/analysis.h"
@@ -18,6 +24,8 @@
 #include "core/index_factory.h"
 #include "gist/persist.h"
 #include "linalg/reducer.h"
+#include "net/client.h"
+#include "service/snapshot_export.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 
@@ -178,12 +186,88 @@ int CmdAnalyze(bw::Flags& flags, int argc, char** argv) {
   return 0;
 }
 
+// Splits "--server host:port" and opens a wire-protocol client.
+bw::Result<std::unique_ptr<bw::net::Client>> ConnectTo(
+    const std::string& server) {
+  const size_t colon = server.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("--server wants host:port, got '" +
+                                   server + "'");
+  }
+  const int port = std::atoi(server.c_str() + colon + 1);
+  if (port <= 0 || port >= 65536) {
+    return Status::InvalidArgument("bad port in --server '" + server + "'");
+  }
+  return bw::net::Client::Connect(server.substr(0, colon),
+                                  static_cast<uint16_t>(port));
+}
+
+int CmdStats(bw::Flags& flags, int argc, char** argv) {
+  std::string* server = flags.AddString("server", "127.0.0.1:4821", "");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return parsed.code() == StatusCode::kNotFound ? 0 : 2;
+
+  auto client = ConnectTo(*server);
+  if (!client.ok()) return Fail(client.status());
+  auto fields = (*client)->Stats();
+  if (!fields.ok()) return Fail(fields.status());
+
+  std::printf("%s: %zu counters\n", server->c_str(), fields->size());
+  for (const auto& [name, value] : *fields) {
+    if (name == "write_state") {
+      std::printf("  %-34s %s\n", name.c_str(),
+                  bw::service::WriteStateName(
+                      static_cast<bw::service::WriteState>(
+                          static_cast<int>(value))));
+    } else if (value == static_cast<double>(static_cast<int64_t>(value))) {
+      std::printf("  %-34s %lld\n", name.c_str(),
+                  (long long)static_cast<int64_t>(value));
+    } else {
+      std::printf("  %-34s %.3f\n", name.c_str(), value);
+    }
+  }
+  return 0;
+}
+
+int CmdHealth(bw::Flags& flags, int argc, char** argv) {
+  std::string* server = flags.AddString("server", "127.0.0.1:4821", "");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return parsed.code() == StatusCode::kNotFound ? 0 : 2;
+
+  auto client = ConnectTo(*server);
+  if (!client.ok()) return Fail(client.status());
+  auto health = (*client)->Health();
+  if (!health.ok()) return Fail(health.status());
+
+  std::printf("%s: %s\n", server->c_str(),
+              bw::service::WriteStateName(
+                  static_cast<bw::service::WriteState>(health->write_state)));
+  std::printf("  writes_enabled     %s\n",
+              health->writes_enabled ? "yes" : "no");
+  std::printf("  write_degraded     %s\n",
+              health->write_degraded ? "yes" : "no");
+  std::printf("  generation         %llu\n",
+              (unsigned long long)health->generation);
+  std::printf("  completed          %llu\n",
+              (unsigned long long)health->completed);
+  std::printf("  pages_quarantined  %llu\n",
+              (unsigned long long)health->pages_quarantined);
+  std::printf("  uptime             %.1f s\n", health->uptime_seconds);
+  // Health is the fitness probe: serving reads + not fail-stopped = 0.
+  return health->write_state ==
+                 static_cast<uint8_t>(bw::service::WriteState::kFailed)
+             ? 1
+             : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: bwadmin <gen|build|info|query|analyze> [flags]\n");
+    std::fprintf(
+        stderr,
+        "usage: bwadmin <gen|build|info|query|analyze|stats|health> "
+        "[flags]\n");
     return 2;
   }
   const char* command = argv[1];
@@ -204,6 +288,12 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(command, "analyze") == 0) {
     return CmdAnalyze(flags, argc - 1, argv + 1);
+  }
+  if (std::strcmp(command, "stats") == 0) {
+    return CmdStats(flags, argc - 1, argv + 1);
+  }
+  if (std::strcmp(command, "health") == 0) {
+    return CmdHealth(flags, argc - 1, argv + 1);
   }
   std::fprintf(stderr, "unknown command '%s'\n", command);
   return 2;

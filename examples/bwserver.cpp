@@ -1,0 +1,177 @@
+// bwserver: the Blobworld network front end as a standalone binary.
+// Builds (or loads) an index, wraps it in a QueryService, and serves
+// the wire protocol (src/net/wire.h) over TCP until SIGTERM/SIGINT,
+// then drains in-flight streams and exits cleanly — the deployment
+// shape every downstream scaling direction (sharding, replicas)
+// assumes.
+//
+//   bwserver --port 4821 --blobs 8000 --am xjb --workers 4
+//   bwserver --port 4821 --index idx.bwix
+//   bwserver --port 4821 --durable /tmp/bw --blobs 8000   # writable
+//
+// With --durable PREFIX the index is built durably at PREFIX.bwpf /
+// PREFIX.bwwal and online insert/delete requests are honored; without
+// it the service is read-only and mutations answer InvalidArgument.
+
+#include <csignal>
+#include <cstdio>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "blobworld/dataset.h"
+#include "core/durable_index.h"
+#include "core/index_factory.h"
+#include "linalg/reducer.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/query_service.h"
+#include "storage/store.h"
+#include "util/flags.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+bw::Result<std::vector<bw::geom::Vec>> SyntheticVectors(size_t blobs,
+                                                        size_t dim,
+                                                        uint64_t seed) {
+  bw::blobworld::DatasetParams params;
+  params.num_images = blobs;
+  params.seed = seed;
+  const bw::blobworld::BlobDataset dataset =
+      bw::blobworld::GenerateDatasetDirect(params);
+  bw::linalg::SvdReducer reducer;
+  BW_RETURN_IF_ERROR(reducer.Fit(dataset.Histograms(), dim));
+  return reducer.ProjectAll(dataset.Histograms(), dim);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bw::Flags flags;
+  int64_t* port = flags.AddInt64("port", 4821, "TCP port (0 = ephemeral)");
+  std::string* bind = flags.AddString("bind", "127.0.0.1", "bind address");
+  std::string* index_path =
+      flags.AddString("index", "", "serve this saved index ('' = synthetic)");
+  std::string* durable = flags.AddString(
+      "durable", "",
+      "build a durable, writable index at PREFIX.bwpf/.bwwal ('' = "
+      "read-only in-memory index)");
+  int64_t* blobs =
+      flags.AddInt64("blobs", 8000, "synthetic collection size");
+  std::string* am = flags.AddString("am", "xjb", "access method");
+  int64_t* dim = flags.AddInt64("dim", 5, "reduced dimensionality");
+  int64_t* seed = flags.AddInt64("seed", 7, "synthetic dataset seed");
+  int64_t* workers = flags.AddInt64("workers", 4, "query worker threads");
+  int64_t* queue_depth =
+      flags.AddInt64("queue_depth", 128, "service admission queue");
+  int64_t* io_threads = flags.AddInt64("io_threads", 1, "epoll loops");
+  int64_t* dispatch_threads =
+      flags.AddInt64("dispatch_threads", 4, "request dispatch threads");
+  int64_t* max_inflight = flags.AddInt64(
+      "max_inflight", 32, "per-connection in-flight request quota");
+  double* max_results_per_sec = flags.AddDouble(
+      "max_results_per_sec", 0, "per-connection results/sec quota (0 = off)");
+  int64_t* idle_timeout_ms =
+      flags.AddInt64("idle_timeout_ms", 30000, "idle connection reap");
+  int64_t* fault_budget = flags.AddInt64(
+      "fault_budget", 0, "per-query degraded-read budget (0 = fail closed)");
+  bw::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    return parsed.code() == bw::StatusCode::kNotFound ? 0 : 2;
+  }
+
+  // --- Index -------------------------------------------------------------
+  std::unique_ptr<bw::core::BuiltIndex> built;
+  std::unique_ptr<bw::core::DurableIndex> durable_index;
+  if (!index_path->empty()) {
+    auto loaded = bw::core::LoadIndex(*index_path);
+    BW_CHECK_MSG(loaded.ok(), loaded.status().ToString());
+    built = std::move(*loaded);
+    std::printf("loaded %s: %llu entries, height %d\n", index_path->c_str(),
+                (unsigned long long)built->tree().size(),
+                built->tree().height());
+  } else {
+    auto vectors = SyntheticVectors(static_cast<size_t>(*blobs),
+                                    static_cast<size_t>(*dim),
+                                    static_cast<uint64_t>(*seed));
+    BW_CHECK_MSG(vectors.ok(), vectors.status().ToString());
+    bw::core::IndexBuildOptions build;
+    build.am = *am;
+    build.xjb_x = 0;
+    if (durable->empty()) {
+      auto index = bw::core::BuildIndex(*vectors, build);
+      BW_CHECK_MSG(index.ok(), index.status().ToString());
+      built = std::move(*index);
+    } else {
+      bw::storage::StoreOptions store_options;
+      store_options.wal_segment_bytes = 8ull << 20;
+      auto index = bw::core::BuildDurableIndex(
+          *vectors, build, *durable + ".bwpf", *durable + ".bwwal",
+          store_options);
+      BW_CHECK_MSG(index.ok(), index.status().ToString());
+      durable_index = std::move(*index);
+    }
+    std::printf("built %s over %lld synthetic blobs%s\n", am->c_str(),
+                (long long)*blobs,
+                durable->empty() ? "" : " (durable, writable)");
+  }
+
+  // --- Service -----------------------------------------------------------
+  bw::service::ServiceOptions service_options;
+  service_options.num_workers = static_cast<size_t>(*workers);
+  service_options.queue_capacity = static_cast<size_t>(*queue_depth);
+  service_options.fault_budget = static_cast<size_t>(*fault_budget);
+  if (durable_index) service_options.write.enabled = true;
+  auto service =
+      durable_index
+          ? std::make_unique<bw::service::QueryService>(
+                std::move(durable_index), service_options)
+          : std::make_unique<bw::service::QueryService>(std::move(built),
+                                                        service_options);
+
+  // --- Server ------------------------------------------------------------
+  bw::net::ServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(*port);
+  server_options.bind_address = *bind;
+  server_options.io_threads = static_cast<size_t>(*io_threads);
+  server_options.dispatch_threads = static_cast<size_t>(*dispatch_threads);
+  server_options.quota.max_inflight = static_cast<size_t>(*max_inflight);
+  server_options.quota.max_results_per_sec = *max_results_per_sec;
+  server_options.idle_timeout =
+      std::chrono::milliseconds(*idle_timeout_ms);
+  bw::net::Server server(service.get(), server_options);
+  bw::Status started = server.Start();
+  BW_CHECK_MSG(started.ok(), started.ToString());
+  std::printf("bwserver listening on %s:%u (%zu workers, %lld dispatch)\n",
+              bind->c_str(), server.port(),
+              service->num_workers(), (long long)*dispatch_threads);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("draining...\n");
+  server.Shutdown();
+  const bw::net::NetStats net = server.stats();
+  const bw::service::ServiceSnapshot snap = service->Snapshot();
+  std::printf("served %llu requests (%llu responses) over %llu connections; "
+              "shed %llu quota / %llu dispatch / %llu shutdown; "
+              "%llu queries completed, p99 %llu us\n",
+              (unsigned long long)net.requests,
+              (unsigned long long)net.responses,
+              (unsigned long long)net.accepted,
+              (unsigned long long)net.shed_quota,
+              (unsigned long long)net.shed_dispatch,
+              (unsigned long long)net.shed_shutdown,
+              (unsigned long long)snap.completed,
+              (unsigned long long)snap.p99_latency_us);
+  return 0;
+}

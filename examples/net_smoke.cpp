@@ -1,0 +1,143 @@
+// net_smoke: the CI driver for a live bwserver. One binary, four acts:
+//
+//   1. pipelined k-NN queries awaited out of order (the wire's whole
+//      point: one connection, many requests in flight);
+//   2. one insert + readback + delete over the wire (ack ⇒ durable,
+//      so this needs a --durable server);
+//   3. a rude client: submit big streams, read a few bytes, slam the
+//      connection shut mid-stream;
+//   4. prove the server shrugged it off: fresh connection, health
+//      check, one more query.
+//
+// Exits 0 only if every act passes. CI runs it against bwserver, then
+// SIGTERMs the server and checks the drain completes with exit 0.
+//
+//   net_smoke --connect 127.0.0.1:4821 [--mutate] [--dim 5]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+
+#include "net/client.h"
+#include "util/flags.h"
+
+namespace {
+
+bw::geom::Vec RandomQuery(std::mt19937& rng, size_t dim) {
+  std::uniform_real_distribution<float> unit(0.0f, 1.0f);
+  std::vector<float> coords(dim);
+  for (float& c : coords) c = unit(rng);
+  return bw::geom::Vec(std::move(coords));
+}
+
+std::unique_ptr<bw::net::Client> MustConnect(const std::string& host,
+                                             uint16_t port) {
+  auto client = bw::net::Client::Connect(host, port);
+  BW_CHECK_MSG(client.ok(), client.status().ToString());
+  return std::move(*client);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bw::Flags flags;
+  std::string* connect =
+      flags.AddString("connect", "127.0.0.1:4821", "host:port of bwserver");
+  int64_t* dim = flags.AddInt64("dim", 5, "query dimensionality");
+  int64_t* queries = flags.AddInt64("queries", 32, "pipelined query count");
+  int64_t* window = flags.AddInt64("window", 8, "pipeline window");
+  bool* mutate = flags.AddBool(
+      "mutate", false, "exercise insert/delete (needs a --durable server)");
+  bw::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    return parsed.code() == bw::StatusCode::kNotFound ? 0 : 2;
+  }
+
+  const size_t colon = connect->rfind(':');
+  BW_CHECK_MSG(colon != std::string::npos, "--connect wants host:port");
+  const std::string host = connect->substr(0, colon);
+  const int port = std::atoi(connect->c_str() + colon + 1);
+  BW_CHECK_MSG(port > 0 && port < 65536, "--connect wants a valid port");
+
+  std::mt19937 rng(42);
+
+  // --- Act 1: pipelined queries, awaited newest-first ---------------------
+  {
+    auto client = MustConnect(host, static_cast<uint16_t>(port));
+    size_t completed = 0;
+    std::vector<uint64_t> inflight;
+    for (int64_t q = 0; q < *queries; ++q) {
+      auto id = client->SubmitKnn(RandomQuery(rng, *dim), 10);
+      BW_CHECK_MSG(id.ok(), id.status().ToString());
+      inflight.push_back(*id);
+      if (inflight.size() < static_cast<size_t>(*window) &&
+          q + 1 < *queries) {
+        continue;
+      }
+      while (!inflight.empty()) {  // newest first: exercises frame parking
+        auto reply = client->AwaitQuery(inflight.back());
+        inflight.pop_back();
+        BW_CHECK_MSG(reply.ok(), reply.status().ToString());
+        BW_CHECK_MSG(reply->ok(), reply->status.ToString());
+        BW_CHECK_MSG(reply->neighbors.size() == 10, "short k-NN result");
+        ++completed;
+      }
+    }
+    std::printf("act 1: %zu pipelined queries ok (window %lld)\n", completed,
+                (long long)*window);
+  }
+
+  // --- Act 2: one mutation, durable round trip ----------------------------
+  if (*mutate) {
+    auto client = MustConnect(host, static_cast<uint16_t>(port));
+    const bw::geom::Vec point = RandomQuery(rng, *dim);
+    constexpr uint64_t kRid = 990001;
+    auto ack = client->Insert(point, kRid);
+    BW_CHECK_MSG(ack.ok(), ack.status().ToString());
+    BW_CHECK_MSG(ack->ok(), ack->status.ToString());
+    BW_CHECK_MSG(ack->tag > 0, "insert ack carries no commit tag");
+    auto read = client->Knn(point, 1);
+    BW_CHECK_MSG(read.ok(), read.status().ToString());
+    BW_CHECK_MSG(read->ok() && read->neighbors.size() == 1 &&
+                     read->neighbors[0].rid == kRid,
+                 "inserted rid not the nearest neighbor of its own point");
+    auto gone = client->Remove(point, kRid);
+    BW_CHECK_MSG(gone.ok(), gone.status().ToString());
+    BW_CHECK_MSG(gone->ok(), gone->status.ToString());
+    std::printf("act 2: insert/readback/delete ok (commit tag %llu)\n",
+                (unsigned long long)ack->tag);
+  }
+
+  // --- Act 3: die mid-stream ----------------------------------------------
+  {
+    auto client = MustConnect(host, static_cast<uint16_t>(port));
+    for (int q = 0; q < 4; ++q) {
+      auto id = client->SubmitKnn(RandomQuery(rng, *dim), 2000);
+      BW_CHECK_MSG(id.ok(), id.status().ToString());
+    }
+    char sip[128];
+    (void)recv(client->fd(), sip, sizeof(sip), 0);
+    // Destructor closes the socket with four streams still in flight.
+    std::printf("act 3: closed mid-stream after sipping a few bytes\n");
+  }
+
+  // --- Act 4: the server is unbothered ------------------------------------
+  {
+    auto client = MustConnect(host, static_cast<uint16_t>(port));
+    auto health = client->Health();
+    BW_CHECK_MSG(health.ok(), health.status().ToString());
+    auto reply = client->Knn(RandomQuery(rng, *dim), 5);
+    BW_CHECK_MSG(reply.ok(), reply.status().ToString());
+    BW_CHECK_MSG(reply->ok(), reply->status.ToString());
+    std::printf("act 4: server healthy after the rude client (uptime %.1fs)\n",
+                health->uptime_seconds);
+  }
+
+  std::printf("net_smoke: all acts passed\n");
+  return 0;
+}

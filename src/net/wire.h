@@ -1,0 +1,277 @@
+// Wire protocol for the Blobworld network front end: a length-prefixed
+// binary framing with a CRC'd fixed header, request types for k-NN
+// search, consistent-range search, insert/delete, stats, and health,
+// and streamed responses (zero or more result-batch frames followed by
+// one terminal frame carrying status + degraded/pages_skipped
+// accounting). Both bwserver and net::Client speak exactly this codec;
+// nothing socket-specific lives here, so the frame fuzzer in
+// tests/net_test.cc can drive it byte-by-byte.
+//
+// Frame layout (all integers little-endian; this codec is explicit
+// about byte order, not host-order memcpy):
+//
+//   offset size field
+//        0    4 magic        'BWP1' (0x31505742 LE)
+//        4    1 type         MsgType
+//        5    1 flags        response bits: kFlagFinal/kFlagDegraded/...
+//        6    2 status       wire status (responses; 0 in requests)
+//        8    8 request_id   client-chosen; echoed on every response
+//       16    4 deadline_us  request execution budget in us (0 = none);
+//                            propagated into the service's stream
+//                            deadline / I/O-watchdog path
+//       20    4 payload_len  bytes following the header
+//       24    4 payload_crc  CRC-32 of the payload bytes (0 if empty)
+//       28    4 header_crc   CRC-32 of bytes [0, 28)
+//
+// A receiver validates magic and header_crc before trusting
+// payload_len, and payload_crc before decoding the payload, so a
+// flipped bit anywhere in the frame is detected instead of desyncing
+// the stream. Integrity failures (bad magic, bad header CRC, declared
+// length over the receiver's cap, bad payload CRC) are
+// connection-fatal: there is no way to resynchronize a byte stream
+// whose framing cannot be trusted. Semantic failures (unknown type,
+// malformed payload, wrong dimensionality) are request-fatal only: the
+// receiver still knows the frame boundary, answers with an error
+// terminal frame, and keeps the connection.
+//
+// Wire status registry: values 0..63 are bw::StatusCode via
+// StatusCodeToWire (util/status.h); values 64+ are protocol-level
+// verdicts minted by the net tier (kWireQuotaExceeded & co below).
+// Distinct conditions get distinct codes on purpose: a client seeing
+// kWireQuotaExceeded backs off *itself*, kResourceExhausted (read-only
+// write path, shed dispatch queue) retries later, kIoError (fail-stop
+// write path) does not retry at all.
+
+#ifndef BLOBWORLD_NET_WIRE_H_
+#define BLOBWORLD_NET_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "geom/vec.h"
+#include "gist/tree.h"
+#include "util/status.h"
+
+namespace bw::net {
+
+constexpr uint32_t kWireMagic = 0x31505742;  // "BWP1"
+constexpr size_t kFrameHeaderBytes = 32;
+
+/// Hard cap a receiver applies to the *declared* payload length before
+/// allocating anything. A frame declaring more is hostile or corrupt.
+constexpr uint32_t kMaxPayloadBytes = 4u << 20;
+
+/// Message types. Requests are < 64, responses >= 64.
+enum class MsgType : uint8_t {
+  // Requests.
+  kKnn = 1,     // k-NN search, streamed reply.
+  kRange = 2,   // consistent-range search, streamed reply.
+  kInsert = 3,  // online insert (requires a write-enabled service).
+  kDelete = 4,  // online delete.
+  kStats = 5,   // full ServiceSnapshot + net-tier counters.
+  kHealth = 6,  // cheap liveness + write-state probe.
+  // Responses.
+  kResultBatch = 64,  // one batch of k-NN/range results; more follow.
+  kFinal = 65,        // terminal frame of a streamed query reply.
+  kMutateAck = 66,    // terminal frame of an insert/delete.
+  kStatsReply = 67,
+  kHealthReply = 68,
+};
+
+/// True if `type` is a request a server accepts.
+constexpr bool IsRequestType(uint8_t type) {
+  return type >= 1 && type <= 6;
+}
+
+// Response flag bits.
+constexpr uint8_t kFlagFinal = 0x01;      // no more frames for this id.
+constexpr uint8_t kFlagDegraded = 0x02;   // answer is a genuine subset.
+constexpr uint8_t kFlagTruncated = 0x04;  // deadline cut the stream off.
+
+// Protocol-level wire statuses (>= 64; see the registry note above).
+constexpr uint16_t kWireQuotaExceeded = 64;  // per-client quota: back off.
+constexpr uint16_t kWireShuttingDown = 65;   // server draining: reconnect.
+constexpr uint16_t kWireBadFrame = 66;       // framing error: conn closing.
+
+/// Human-readable name for a wire status (falls back to the StatusCode
+/// name for the 0..63 range).
+const char* WireStatusName(uint16_t status);
+
+/// Maps a wire status back to a local Status for client callers. The
+/// net-tier verdicts map onto the closest StatusCode semantics:
+/// quota-exceeded and shutting-down become kUnavailable (retryable by
+/// policy), bad-frame becomes kDataLoss.
+Status WireStatusToStatus(uint16_t status, const std::string& message);
+
+/// Decoded frame header (see the layout comment above).
+struct FrameHeader {
+  MsgType type = MsgType::kKnn;
+  uint8_t flags = 0;
+  uint16_t status = 0;
+  uint64_t request_id = 0;
+  uint32_t deadline_us = 0;
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;
+};
+
+/// Serializes header + payload into one contiguous wire frame.
+std::string EncodeFrame(const FrameHeader& header, std::string_view payload);
+
+/// Why a header failed to decode (connection-fatal conditions).
+enum class HeaderVerdict {
+  kOk,
+  kBadMagic,
+  kBadCrc,
+  kOversized,  // declared payload_len > max_payload.
+};
+
+/// Decodes and validates one header from exactly kFrameHeaderBytes
+/// bytes. payload_len is only trustworthy when the verdict is kOk.
+HeaderVerdict DecodeFrameHeader(const uint8_t* bytes, uint32_t max_payload,
+                                FrameHeader* out);
+
+/// Verifies a complete payload against the header's CRC.
+bool PayloadCrcOk(const FrameHeader& header, std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Payload codec: bounded little-endian reader/writer.
+// ---------------------------------------------------------------------------
+
+/// Appends little-endian scalars to a payload buffer.
+class PayloadWriter {
+ public:
+  explicit PayloadWriter(std::string* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) { Raw(&v, 2); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void F64(double v) { Raw(&v, 8); }
+  void F32(float v) { Raw(&v, 4); }
+  /// Length-prefixed (u16) byte string, truncated at 64 KiB.
+  void String(std::string_view s);
+  /// Dimension-prefixed (u16) float vector.
+  void Vec(const geom::Vec& v);
+
+ private:
+  void Raw(const void* data, size_t n);  // little-endian on LE hosts.
+
+  std::string* out_;
+};
+
+/// Reads little-endian scalars out of a payload; any out-of-bounds read
+/// latches ok()==false and returns zeroes, so decoders can run straight
+/// through hostile input and check once at the end.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8();
+  uint16_t U16();
+  uint32_t U32();
+  uint64_t U64();
+  double F64();
+  float F32();
+  std::string String();
+  geom::Vec Vec(size_t max_dim = 4096);
+
+  bool ok() const { return ok_; }
+  /// True when the whole payload was consumed (trailing garbage is a
+  /// malformed request).
+  bool exhausted() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  bool Take(void* out, size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Request/response payloads.
+// ---------------------------------------------------------------------------
+
+/// kKnn request payload. The frame header's deadline_us carries the
+/// execution budget; everything else rides here.
+struct KnnRequest {
+  geom::Vec query;
+  uint32_t k = 0;
+  /// Results per kResultBatch frame the client wants (server clamps to
+  /// its own configured maximum; 0 = server default).
+  uint32_t batch_size = 0;
+  /// Stop once everything within this distance has been returned
+  /// (service::StreamOptions::budget_radius); inf = no radius budget.
+  double budget_radius = std::numeric_limits<double>::infinity();
+};
+
+/// kRange request payload.
+struct RangeRequest {
+  geom::Vec query;
+  double radius = 0;
+};
+
+/// kInsert / kDelete request payload.
+struct MutateRequest {
+  geom::Vec point;
+  uint64_t rid = 0;
+};
+
+/// kFinal / kMutateAck terminal payload: per-request accounting the
+/// client surfaces alongside the results. `message` is the error text
+/// when status != 0.
+struct FinalInfo {
+  uint64_t total_results = 0;
+  uint64_t pages_skipped = 0;
+  double server_latency_us = 0;
+  uint64_t mutation_tag = 0;  // kMutateAck only: durable commit tag.
+  std::string message;
+};
+
+/// kHealthReply payload.
+struct HealthReply {
+  uint8_t write_state = 0;  // service::WriteState as u8.
+  bool writes_enabled = false;
+  bool write_degraded = false;
+  uint64_t generation = 0;
+  uint64_t completed = 0;
+  uint64_t pages_quarantined = 0;
+  double uptime_seconds = 0;
+};
+
+void EncodeKnnRequest(const KnnRequest& req, std::string* out);
+bool DecodeKnnRequest(std::string_view payload, KnnRequest* out);
+
+void EncodeRangeRequest(const RangeRequest& req, std::string* out);
+bool DecodeRangeRequest(std::string_view payload, RangeRequest* out);
+
+void EncodeMutateRequest(const MutateRequest& req, std::string* out);
+bool DecodeMutateRequest(std::string_view payload, MutateRequest* out);
+
+/// Result batches carry (rid, distance) pairs; leaf page ids are a
+/// server-local detail and do not cross the wire.
+void EncodeResultBatch(const std::vector<gist::Neighbor>& neighbors,
+                       size_t begin, size_t count, std::string* out);
+bool DecodeResultBatch(std::string_view payload,
+                       std::vector<gist::Neighbor>* out);
+
+void EncodeFinalInfo(const FinalInfo& info, std::string* out);
+bool DecodeFinalInfo(std::string_view payload, FinalInfo* out);
+
+/// Stats cross the wire as ordered (name, value) pairs so the client
+/// needs no knowledge of the snapshot struct layout.
+void EncodeStatsReply(
+    const std::vector<std::pair<std::string, double>>& fields,
+    std::string* out);
+bool DecodeStatsReply(std::string_view payload,
+                      std::vector<std::pair<std::string, double>>* out);
+
+void EncodeHealthReply(const HealthReply& reply, std::string* out);
+bool DecodeHealthReply(std::string_view payload, HealthReply* out);
+
+}  // namespace bw::net
+
+#endif  // BLOBWORLD_NET_WIRE_H_

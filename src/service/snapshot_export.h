@@ -1,0 +1,31 @@
+// Flattens a ServiceSnapshot into ordered (name, value) pairs: the one
+// registry of exported counters, shared by the network front end (the
+// kStats wire reply encodes exactly these fields) and by bwadmin's
+// pretty-printer. Keeping the flattening here — next to the struct it
+// mirrors — means a counter added to ServiceSnapshot shows up on the
+// wire and in the admin tooling by editing one function.
+
+#ifndef BLOBWORLD_SERVICE_SNAPSHOT_EXPORT_H_
+#define BLOBWORLD_SERVICE_SNAPSHOT_EXPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/query_service.h"
+
+namespace bw::service {
+
+/// Every counter in `snap` as a (name, value) pair, in a stable,
+/// operator-friendly order (throughput first, then latency, pools,
+/// self-healing, write path). Enum-valued fields are exported
+/// numerically (write_state: 0 = serving, 1 = read-only, 2 = failed).
+std::vector<std::pair<std::string, double>> ExportSnapshotFields(
+    const ServiceSnapshot& snap);
+
+/// Human-readable name for an exported write_state value.
+const char* WriteStateName(WriteState state);
+
+}  // namespace bw::service
+
+#endif  // BLOBWORLD_SERVICE_SNAPSHOT_EXPORT_H_

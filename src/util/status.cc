@@ -32,6 +32,69 @@ const char* StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
+uint16_t StatusCodeToWire(StatusCode code) {
+  // Frozen registry: append-only, never renumber. 0..63 are reserved
+  // for StatusCode values; protocol layers start at 64.
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 1;
+    case StatusCode::kNotFound:
+      return 2;
+    case StatusCode::kCorruption:
+      return 3;
+    case StatusCode::kNoSpace:
+      return 4;
+    case StatusCode::kNotSupported:
+      return 5;
+    case StatusCode::kInternal:
+      return 6;
+    case StatusCode::kIoError:
+      return 7;
+    case StatusCode::kUnavailable:
+      return 8;
+    case StatusCode::kDataLoss:
+      return 9;
+    case StatusCode::kAborted:
+      return 10;
+    case StatusCode::kResourceExhausted:
+      return 11;
+  }
+  return 6;  // kInternal
+}
+
+StatusCode StatusCodeFromWire(uint16_t wire) {
+  switch (wire) {
+    case 0:
+      return StatusCode::kOk;
+    case 1:
+      return StatusCode::kInvalidArgument;
+    case 2:
+      return StatusCode::kNotFound;
+    case 3:
+      return StatusCode::kCorruption;
+    case 4:
+      return StatusCode::kNoSpace;
+    case 5:
+      return StatusCode::kNotSupported;
+    case 6:
+      return StatusCode::kInternal;
+    case 7:
+      return StatusCode::kIoError;
+    case 8:
+      return StatusCode::kUnavailable;
+    case 9:
+      return StatusCode::kDataLoss;
+    case 10:
+      return StatusCode::kAborted;
+    case 11:
+      return StatusCode::kResourceExhausted;
+    default:
+      return StatusCode::kInternal;
+  }
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeName(code_);

@@ -6,6 +6,7 @@
 #define BLOBWORLD_UTIL_STATUS_H_
 
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <variant>
@@ -30,6 +31,19 @@ enum class StatusCode {
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
 const char* StatusCodeName(StatusCode code);
+
+/// Stable on-the-wire numbering for StatusCode, used by the network
+/// protocol (src/net/wire.h) and any other surface that persists or
+/// transmits status codes between processes. The enum declaration order
+/// above is NOT a wire contract — this mapping is. Codes 0..63 are
+/// reserved for StatusCode; 64+ belong to protocol layers (the net tier
+/// defines its own verdicts there, e.g. quota-exceeded).
+uint16_t StatusCodeToWire(StatusCode code);
+
+/// Inverse of StatusCodeToWire. Unknown wire values (a newer peer, a
+/// corrupted frame that passed its CRC) map to kInternal rather than
+/// asserting, so a response can always be surfaced to the caller.
+StatusCode StatusCodeFromWire(uint16_t wire);
 
 /// True for codes that describe a transient condition where the same
 /// operation, retried later (possibly after backoff or repair), may
