@@ -31,11 +31,15 @@
 
 #include <deque>
 
+#include <filesystem>
+
 #include "bench/bench_common.h"
 #include "core/durable_index.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "service/query_service.h"
+#include "shard/fleet.h"
+#include "shard/router.h"
 #include "storage/store.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
@@ -306,6 +310,62 @@ NetOutcome RunNetPipelined(uint16_t port,
   return out;
 }
 
+struct ShardOutcome {
+  double seconds = 0;
+  double qps = 0;
+  bool identical = true;
+  double visits_per_query = 0;  // shards actually opened, per query.
+  double pruned_per_query = 0;  // shards skipped by the root bound.
+};
+
+// Closed loop straight against the router (no sockets): `clients`
+// threads each keep one scatter-gather k-NN in flight.
+ShardOutcome RunShardedLoop(bw::shard::Router* router,
+                            const std::vector<bw::geom::Vec>& queries,
+                            size_t k, size_t clients,
+                            const std::vector<std::vector<bw::gist::Rid>>&
+                                expected) {
+  const bw::shard::RouterStats before = router->stats();
+  std::atomic<size_t> next{0};
+  std::atomic<bool> all_ok{true};
+
+  bw::Stopwatch watch;
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= queries.size()) return;
+        bw::service::StreamOptions stream;
+        stream.max_results = k;
+        auto response = router->Knn(queries[i], stream);
+        if (!response.ok() || response->degraded()) {
+          all_ok.store(false);
+          continue;
+        }
+        std::vector<bw::gist::Rid> rids;
+        rids.reserve(response->neighbors.size());
+        for (const auto& n : response->neighbors) rids.push_back(n.rid);
+        if (!SameRids(std::move(rids), expected[i])) all_ok.store(false);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  ShardOutcome out;
+  out.seconds = watch.ElapsedSeconds();
+  out.qps = static_cast<double>(queries.size()) / out.seconds;
+  out.identical = all_ok.load();
+  const bw::shard::RouterStats after = router->stats();
+  const double n = static_cast<double>(queries.size());
+  out.visits_per_query =
+      static_cast<double>(after.shards_visited - before.shards_visited) / n;
+  out.pruned_per_query =
+      static_cast<double>(after.shards_pruned - before.shards_pruned) / n;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -334,6 +394,10 @@ int main(int argc, char** argv) {
   int64_t* pipeline_window = flags.AddInt64(
       "pipeline_window", 16,
       "in-flight requests on the single-connection pipelined net run");
+  int64_t* shards = flags.AddInt64(
+      "shards", 0,
+      "scatter-gather mode: compare a single-shard fleet against this "
+      "many STR shards behind the k-NN router and exit (0 = skip)");
   std::string* json_out = flags.AddString(
       "json_out", "", "write sweep results to this JSON file ('' = skip)");
   int exit_code = 0;
@@ -379,6 +443,84 @@ int main(int argc, char** argv) {
   }
   std::printf("serial reference (no pool, no I/O model): %.0f QPS\n\n",
               static_cast<double>(queries.size()) / watch.ElapsedSeconds());
+
+  if (*shards > 1) {
+    // --- Scatter-gather mode: one unsharded fleet vs N STR shards, the
+    // same corpus and workload, answers checked against the single-tree
+    // reference. Visits/query below N demonstrate the router's
+    // early-termination bound pruning whole shards.
+    const std::string scratch =
+        "/tmp/bw_scatter_" + std::to_string(::getpid());
+    bw::bench::MetricsJson sg;
+    sg.Set("bench", std::string("scatter_gather"));
+    sg.Set("am", *am);
+    sg.Set("blobs", static_cast<double>(data.vectors.size()));
+    sg.Set("queries", static_cast<double>(queries.size()));
+    sg.Set("k", static_cast<double>(k));
+    sg.Set("shards", static_cast<double>(*shards));
+    sg.Set("clients", static_cast<double>(*clients));
+    bw::TablePrinter table({"shards", "QPS", "speedup", "visits/query",
+                            "pruned/query", "identical"});
+    double qps_single = 0;
+    double qps_sharded = 0;
+    bool all_identical = true;
+    for (const size_t num_shards :
+         {static_cast<size_t>(1), static_cast<size_t>(*shards)}) {
+      bw::shard::FleetOptions fleet_options;
+      fleet_options.num_shards = num_shards;
+      fleet_options.build = build;
+      fleet_options.service.num_workers =
+          static_cast<size_t>(config->threads);
+      fleet_options.service.worker_pool_pages =
+          static_cast<size_t>(*pool_pages);
+      fleet_options.service.io_delay_us =
+          static_cast<uint32_t>(*io_delay_us);
+      const std::string dir = scratch + "_" + std::to_string(num_shards);
+      std::filesystem::create_directories(dir);
+      watch.Restart();
+      auto fleet =
+          bw::shard::ShardFleet::Build(data.vectors, dir, fleet_options);
+      BW_CHECK_MSG(fleet.ok(), fleet.status().ToString());
+      std::printf("built %zu-shard fleet in %.1fs\n", num_shards,
+                  watch.ElapsedSeconds());
+      const ShardOutcome run =
+          RunShardedLoop((*fleet)->router(), queries, k,
+                         static_cast<size_t>(*clients), expected);
+      if (num_shards == 1) {
+        qps_single = run.qps;
+      } else {
+        qps_sharded = run.qps;
+      }
+      all_identical = all_identical && run.identical;
+      table.AddRow(
+          {bw::TablePrinter::Count(static_cast<long long>(num_shards)),
+           bw::TablePrinter::Num(run.qps, 1),
+           bw::TablePrinter::Num(
+               qps_single > 0 ? run.qps / qps_single : 1.0, 2),
+           bw::TablePrinter::Num(run.visits_per_query, 2),
+           bw::TablePrinter::Num(run.pruned_per_query, 2),
+           run.identical ? "yes" : "NO"});
+      const std::string prefix =
+          num_shards == 1 ? "single" : "sharded";
+      sg.Set("qps_" + prefix, run.qps);
+      sg.Set("visits_per_query_" + prefix, run.visits_per_query);
+      sg.Set("pruned_per_query_" + prefix, run.pruned_per_query);
+      sg.Set("identical_" + prefix, run.identical ? 1.0 : 0.0);
+      fleet->reset();  // close shard stores before deleting their files.
+      std::filesystem::remove_all(dir);
+    }
+    if (qps_single > 0) {
+      sg.Set("sharded_speedup", qps_sharded / qps_single);
+    }
+    std::printf("scatter-gather (router, %lld clients, k=%zu):\n%s\n",
+                static_cast<long long>(*clients), k,
+                table.ToString().c_str());
+    if (!json_out->empty()) {
+      sg.Write(*json_out);
+      std::printf("wrote %s\n", json_out->c_str());
+    }
+    return all_identical ? 0 : 1;
+  }
 
   bw::service::ServiceOptions options;
   options.queue_capacity = static_cast<size_t>(config->queue_depth);

@@ -10,13 +10,23 @@
 //   bwadmin analyze --dataset blobs.bin --index idx.bwix --queries 200
 //   bwadmin stats   --server 127.0.0.1:4821
 //   bwadmin health  --server 127.0.0.1:4821
+//   bwadmin stats   --endpoints 127.0.0.1:4830,127.0.0.1:4831,127.0.0.1:4832
+//   bwadmin health  --endpoints 127.0.0.1:4830,127.0.0.1:4831
 //
 // stats/health are the online half: they query a live bwserver over the
-// wire protocol and pretty-print its QueryService::Snapshot() counters.
+// wire protocol and pretty-print its QueryService::Snapshot() counters
+// (the kStats payload is exactly service/snapshot_export.h's field
+// registry, so counters added there show up here untouched). With
+// --endpoints (comma-separated) they fan out to a whole shard fleet
+// instead and print one merged table, a column per server — the
+// operator's single view over bwrouter's shards. An unreachable server
+// gets a '-' column rather than failing the sweep.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include <algorithm>
 
 #include "amdb/analysis.h"
 #include "blobworld/dataset.h"
@@ -202,10 +212,102 @@ bw::Result<std::unique_ptr<bw::net::Client>> ConnectTo(
                                   static_cast<uint16_t>(port));
 }
 
+// "a,b,c" -> {a, b, c} (empty pieces dropped).
+std::vector<std::string> SplitEndpoints(const std::string& spec) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    if (comma > start) out.push_back(spec.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+// Short column header for an endpoint: "host:port" minus a common
+// "127.0.0.1:" prefix is just the port.
+std::string ColumnLabel(const std::string& endpoint) {
+  if (endpoint.rfind("127.0.0.1:", 0) == 0) return endpoint.substr(10);
+  if (endpoint.rfind("localhost:", 0) == 0) return endpoint.substr(10);
+  return endpoint;
+}
+
+// Fleet-wide stats: one column per server, rows = union of counter
+// names in first-seen order, '-' where a server lacks the counter (or
+// was unreachable). Counters whose sum across the fleet is meaningful
+// (everything except write_state) keep their raw per-shard values; the
+// reader sums columns.
+int FleetStats(const std::vector<std::string>& endpoints) {
+  std::vector<std::string> names;  // row order: first-seen.
+  std::vector<std::vector<std::pair<std::string, double>>> columns;
+  size_t reachable = 0;
+  for (const std::string& endpoint : endpoints) {
+    std::vector<std::pair<std::string, double>> fields;
+    auto client = ConnectTo(endpoint);
+    if (client.ok()) {
+      auto stats = (*client)->Stats();
+      if (stats.ok()) {
+        fields = std::move(*stats);
+        ++reachable;
+      } else {
+        std::fprintf(stderr, "warning: %s: %s\n", endpoint.c_str(),
+                     stats.status().ToString().c_str());
+      }
+    } else {
+      std::fprintf(stderr, "warning: %s: %s\n", endpoint.c_str(),
+                   client.status().ToString().c_str());
+    }
+    for (const auto& [name, value] : fields) {
+      (void)value;
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);
+      }
+    }
+    columns.push_back(std::move(fields));
+  }
+  if (reachable == 0) {
+    return Fail(Status::Unavailable("no endpoint answered stats"));
+  }
+
+  std::printf("%-34s", "counter");
+  for (const std::string& endpoint : endpoints) {
+    std::printf(" %14s", ColumnLabel(endpoint).c_str());
+  }
+  std::printf("\n");
+  for (const std::string& name : names) {
+    std::printf("%-34s", name.c_str());
+    for (const auto& column : columns) {
+      const auto it =
+          std::find_if(column.begin(), column.end(),
+                       [&](const auto& field) { return field.first == name; });
+      if (it == column.end()) {
+        std::printf(" %14s", "-");
+      } else if (name == "write_state") {
+        std::printf(" %14s",
+                    bw::service::WriteStateName(
+                        static_cast<bw::service::WriteState>(
+                            static_cast<int>(it->second))));
+      } else if (it->second ==
+                 static_cast<double>(static_cast<int64_t>(it->second))) {
+        std::printf(" %14lld", (long long)static_cast<int64_t>(it->second));
+      } else {
+        std::printf(" %14.3f", it->second);
+      }
+    }
+    std::printf("\n");
+  }
+  return reachable == endpoints.size() ? 0 : 1;
+}
+
 int CmdStats(bw::Flags& flags, int argc, char** argv) {
   std::string* server = flags.AddString("server", "127.0.0.1:4821", "");
+  std::string* endpoints = flags.AddString(
+      "endpoints", "", "comma-separated fleet ('' = single --server)");
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) return parsed.code() == StatusCode::kNotFound ? 0 : 2;
+
+  if (!endpoints->empty()) return FleetStats(SplitEndpoints(*endpoints));
 
   auto client = ConnectTo(*server);
   if (!client.ok()) return Fail(client.status());
@@ -229,10 +331,51 @@ int CmdStats(bw::Flags& flags, int argc, char** argv) {
   return 0;
 }
 
+// Fleet-wide health: one row per server. Exit 0 only when every server
+// answered and none is fail-stopped.
+int FleetHealth(const std::vector<std::string>& endpoints) {
+  int exit_code = 0;
+  std::printf("%-22s %-10s %-7s %-9s %-11s %-11s %s\n", "server", "state",
+              "writes", "degraded", "generation", "completed", "uptime");
+  for (const std::string& endpoint : endpoints) {
+    auto client = ConnectTo(endpoint);
+    if (!client.ok()) {
+      std::printf("%-22s %-10s\n", endpoint.c_str(), "UNREACHABLE");
+      exit_code = 1;
+      continue;
+    }
+    auto health = (*client)->Health();
+    if (!health.ok()) {
+      std::printf("%-22s %-10s\n", endpoint.c_str(), "ERROR");
+      exit_code = 1;
+      continue;
+    }
+    std::printf("%-22s %-10s %-7s %-9s %-11llu %-11llu %.1fs\n",
+                endpoint.c_str(),
+                bw::service::WriteStateName(
+                    static_cast<bw::service::WriteState>(
+                        health->write_state)),
+                health->writes_enabled ? "yes" : "no",
+                health->write_degraded ? "yes" : "no",
+                (unsigned long long)health->generation,
+                (unsigned long long)health->completed,
+                health->uptime_seconds);
+    if (health->write_state ==
+        static_cast<uint8_t>(bw::service::WriteState::kFailed)) {
+      exit_code = 1;
+    }
+  }
+  return exit_code;
+}
+
 int CmdHealth(bw::Flags& flags, int argc, char** argv) {
   std::string* server = flags.AddString("server", "127.0.0.1:4821", "");
+  std::string* endpoints = flags.AddString(
+      "endpoints", "", "comma-separated fleet ('' = single --server)");
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) return parsed.code() == StatusCode::kNotFound ? 0 : 2;
+
+  if (!endpoints->empty()) return FleetHealth(SplitEndpoints(*endpoints));
 
   auto client = ConnectTo(*server);
   if (!client.ok()) return Fail(client.status());

@@ -12,6 +12,12 @@
 // With --durable PREFIX the index is built durably at PREFIX.bwpf /
 // PREFIX.bwwal and online insert/delete requests are honored; without
 // it the service is read-only and mutations answer InvalidArgument.
+//
+// With --shards N --shard_index I the server builds and serves only its
+// STR slice of the synthetic corpus, preserving *global* RIDs — the
+// shard-fleet member behind bwrouter. Every shard server (and the
+// router) must be started with identical --blobs/--dim/--seed so the
+// deterministic partition agrees across the fleet. Requires --durable.
 
 #include <csignal>
 #include <cstdio>
@@ -27,6 +33,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "service/query_service.h"
+#include "shard/partitioner.h"
 #include "storage/store.h"
 #include "util/flags.h"
 
@@ -80,6 +87,10 @@ int main(int argc, char** argv) {
       flags.AddInt64("idle_timeout_ms", 30000, "idle connection reap");
   int64_t* fault_budget = flags.AddInt64(
       "fault_budget", 0, "per-query degraded-read budget (0 = fail closed)");
+  int64_t* shards = flags.AddInt64(
+      "shards", 0, "serve one STR shard of the corpus (0 = whole corpus)");
+  int64_t* shard_index =
+      flags.AddInt64("shard_index", 0, "which shard this server is");
   bw::Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     return parsed.code() == bw::StatusCode::kNotFound ? 0 : 2;
@@ -103,7 +114,27 @@ int main(int argc, char** argv) {
     bw::core::IndexBuildOptions build;
     build.am = *am;
     build.xjb_x = 0;
-    if (durable->empty()) {
+    if (*shards > 0) {
+      // Shard-fleet member: build this server's STR slice with global
+      // RIDs so router answers merge bit-for-bit with an unsharded
+      // index over the same corpus.
+      BW_CHECK_MSG(!durable->empty(), "--shards requires --durable PREFIX");
+      BW_CHECK_MSG(*shard_index >= 0 && *shard_index < *shards,
+                   "--shard_index out of range");
+      const bw::shard::Partition partition = bw::shard::PartitionByStr(
+          *vectors, static_cast<size_t>(*shards));
+      const size_t s = static_cast<size_t>(*shard_index);
+      bw::storage::StoreOptions store_options;
+      store_options.wal_segment_bytes = 8ull << 20;
+      auto index = bw::shard::BuildShardIndex(
+          partition.points[s], partition.rids[s], build, *durable + ".bwpf",
+          *durable + ".bwwal", store_options);
+      BW_CHECK_MSG(index.ok(), index.status().ToString());
+      durable_index = std::move(*index);
+      std::printf("built %s shard %lld/%lld: %zu of %lld blobs (durable)\n",
+                  am->c_str(), (long long)*shard_index, (long long)*shards,
+                  partition.points[s].size(), (long long)*blobs);
+    } else if (durable->empty()) {
       auto index = bw::core::BuildIndex(*vectors, build);
       BW_CHECK_MSG(index.ok(), index.status().ToString());
       built = std::move(*index);
@@ -116,9 +147,11 @@ int main(int argc, char** argv) {
       BW_CHECK_MSG(index.ok(), index.status().ToString());
       durable_index = std::move(*index);
     }
-    std::printf("built %s over %lld synthetic blobs%s\n", am->c_str(),
-                (long long)*blobs,
-                durable->empty() ? "" : " (durable, writable)");
+    if (*shards == 0) {
+      std::printf("built %s over %lld synthetic blobs%s\n", am->c_str(),
+                  (long long)*blobs,
+                  durable->empty() ? "" : " (durable, writable)");
+    }
   }
 
   // --- Service -----------------------------------------------------------

@@ -1,0 +1,75 @@
+#include "net/backend.h"
+
+#include "gist/extension.h"
+#include "service/snapshot_export.h"
+
+namespace bw::net {
+
+size_t QueryServiceBackend::dim() const {
+  return service_->tree().extension().dim();
+}
+
+uint32_t QueryServiceBackend::features() const {
+  uint32_t features = kFeatureStreaming;
+  if (service_->Snapshot().writes_enabled) features |= kFeatureWrites;
+  return features;
+}
+
+Result<service::QueryResponse> QueryServiceBackend::Knn(
+    const geom::Vec& query, const service::StreamOptions& stream) {
+  BW_ASSIGN_OR_RETURN(service::QueryService::ResponseFuture future,
+                      service_->SubmitStream(query, stream));
+  return future.get();
+}
+
+Result<service::QueryResponse> QueryServiceBackend::Range(
+    const geom::Vec& query, double radius, uint32_t deadline_us) {
+  if (deadline_us == 0) {
+    BW_ASSIGN_OR_RETURN(service::QueryService::ResponseFuture future,
+                        service_->SubmitRange(query, radius));
+    return future.get();
+  }
+  // Range-with-deadline rides the stream path: a radius budget returns
+  // exactly the in-range set, and only streams carry the deadline/
+  // I/O-watchdog machinery.
+  service::StreamOptions stream;
+  stream.budget_radius = radius;
+  stream.max_results = 0;
+  stream.deadline_us = static_cast<double>(deadline_us);
+  BW_ASSIGN_OR_RETURN(service::QueryService::ResponseFuture future,
+                      service_->SubmitStream(query, stream));
+  return future.get();
+}
+
+Result<service::MutationOutcome> QueryServiceBackend::Insert(
+    const geom::Vec& point, uint64_t rid) {
+  BW_ASSIGN_OR_RETURN(service::QueryService::MutationFuture future,
+                      service_->SubmitInsert(point, rid));
+  return future.get();
+}
+
+Result<service::MutationOutcome> QueryServiceBackend::Remove(
+    const geom::Vec& point, uint64_t rid) {
+  BW_ASSIGN_OR_RETURN(service::QueryService::MutationFuture future,
+                      service_->SubmitDelete(point, rid));
+  return future.get();
+}
+
+std::vector<std::pair<std::string, double>> QueryServiceBackend::StatsFields()
+    const {
+  return service::ExportSnapshotFields(service_->Snapshot());
+}
+
+HealthReply QueryServiceBackend::Health() const {
+  const service::ServiceSnapshot snap = service_->Snapshot();
+  HealthReply reply;
+  reply.write_state = static_cast<uint8_t>(snap.write_state);
+  reply.writes_enabled = snap.writes_enabled;
+  reply.write_degraded = snap.write_degraded;
+  reply.generation = snap.generation;
+  reply.completed = snap.completed;
+  reply.pages_quarantined = snap.store_pages_quarantined;
+  return reply;
+}
+
+}  // namespace bw::net

@@ -1,0 +1,97 @@
+// bw::net::Backend — the seam between the wire front end and whatever
+// executes requests behind it. PR 6's Server talked straight to a
+// QueryService; the shard router needs to stand in the same place
+// (same protocol, same shedding, same binaries' client code) while
+// fanning each request out across a fleet. This interface is exactly
+// the narrow surface the server ever used: dimensionality for request
+// validation, blocking query/mutation execution (dispatch threads block
+// by design), stats/health export, and the feature bits advertised in
+// the kHello handshake.
+//
+// Calls arrive concurrently from every dispatch thread; implementations
+// must be thread-safe. Knn/Range/Insert/Remove block until the answer
+// is complete — the server's bounded dispatch tier is what keeps that
+// from monopolizing I/O threads.
+
+#ifndef BLOBWORLD_NET_BACKEND_H_
+#define BLOBWORLD_NET_BACKEND_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geom/vec.h"
+#include "net/wire.h"
+#include "service/query_service.h"
+#include "util/status.h"
+
+namespace bw::net {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Dimensionality requests must match (checked before execution).
+  virtual size_t dim() const = 0;
+
+  /// Feature bits for the kHello handshake (kFeature* in wire.h).
+  virtual uint32_t features() const = 0;
+
+  /// Short self-description echoed in HelloReply.peer ("bwserver",
+  /// "bwrouter"); human-facing only.
+  virtual std::string peer_name() const = 0;
+
+  /// Blocking k-NN with stream limits (count/radius/deadline).
+  virtual Result<service::QueryResponse> Knn(
+      const geom::Vec& query, const service::StreamOptions& stream) = 0;
+
+  /// Blocking consistent-range search. A non-zero deadline bounds
+  /// execution (including time stuck in storage reads).
+  virtual Result<service::QueryResponse> Range(const geom::Vec& query,
+                                               double radius,
+                                               uint32_t deadline_us) = 0;
+
+  /// Blocking mutations; resolve once durable (ack implies recoverable).
+  virtual Result<service::MutationOutcome> Insert(const geom::Vec& point,
+                                                  uint64_t rid) = 0;
+  virtual Result<service::MutationOutcome> Remove(const geom::Vec& point,
+                                                  uint64_t rid) = 0;
+
+  /// Ordered (name, value) stats pairs — the kStats payload body (the
+  /// server appends its own net.* counters after these).
+  virtual std::vector<std::pair<std::string, double>> StatsFields()
+      const = 0;
+
+  /// Health summary; the server fills uptime_seconds itself.
+  virtual HealthReply Health() const = 0;
+};
+
+/// The PR-6 deployment: one QueryService behind the wire. The service
+/// must outlive the backend.
+class QueryServiceBackend : public Backend {
+ public:
+  explicit QueryServiceBackend(service::QueryService* service)
+      : service_(service) {}
+
+  size_t dim() const override;
+  uint32_t features() const override;
+  std::string peer_name() const override { return "bwserver"; }
+  Result<service::QueryResponse> Knn(
+      const geom::Vec& query, const service::StreamOptions& stream) override;
+  Result<service::QueryResponse> Range(const geom::Vec& query, double radius,
+                                       uint32_t deadline_us) override;
+  Result<service::MutationOutcome> Insert(const geom::Vec& point,
+                                          uint64_t rid) override;
+  Result<service::MutationOutcome> Remove(const geom::Vec& point,
+                                          uint64_t rid) override;
+  std::vector<std::pair<std::string, double>> StatsFields() const override;
+  HealthReply Health() const override;
+
+ private:
+  service::QueryService* service_;
+};
+
+}  // namespace bw::net
+
+#endif  // BLOBWORLD_NET_BACKEND_H_

@@ -41,7 +41,47 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
   tv.tv_usec = usec % 1000000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  return std::unique_ptr<Client>(new Client(fd, options));
+  auto client = std::unique_ptr<Client>(new Client(fd, options));
+  if (options.handshake) {
+    BW_RETURN_IF_ERROR(client->Handshake());
+  }
+  return client;
+}
+
+Status Client::Handshake() {
+  const uint64_t id = next_id_++;
+  HelloRequest req;
+  req.major = kWireVersionMajor;
+  req.minor = kWireVersionMinor;
+  req.features = options_.features;
+  req.peer = options_.peer;
+  std::string payload;
+  EncodeHelloRequest(req, &payload);
+  BW_RETURN_IF_ERROR(SendFrame(MsgType::kHello, id, 0, payload));
+  BW_RETURN_IF_ERROR(PumpUntilDone(id));
+  auto node = pending_.extract(id);
+  Pending& p = node.mapped();
+  if (p.final_header.type == MsgType::kFinal &&
+      p.final_header.status == StatusCodeToWire(StatusCode::kNotSupported)) {
+    // A server that predates the handshake answers "unknown request
+    // type" and keeps the connection: fall back to pre-handshake
+    // behavior (server_hello_ stays default, features == 0).
+    return Status::OK();
+  }
+  if (p.final_header.type != MsgType::kHelloReply ||
+      !DecodeHelloReply(p.final_payload, &server_hello_)) {
+    return Poison(Status::DataLoss("malformed hello reply"));
+  }
+  if (p.final_header.status != 0) {
+    return Poison(WireStatusToStatus(
+        p.final_header.status,
+        "server speaks protocol " + std::to_string(server_hello_.major) +
+            "." + std::to_string(server_hello_.minor) + " (" +
+            server_hello_.peer + "), this client speaks " +
+            std::to_string(kWireVersionMajor) + "." +
+            std::to_string(kWireVersionMinor)));
+  }
+  return Status::OK();
 }
 
 Client::~Client() {
@@ -77,16 +117,9 @@ Status Client::SendFrame(MsgType type, uint64_t request_id,
   return Status::OK();
 }
 
-Status Client::PumpUntilDone(uint64_t request_id) {
+Status Client::PumpOnce() {
   if (!broken_.ok()) return broken_;
   for (;;) {
-    auto it = pending_.find(request_id);
-    if (it == pending_.end()) {
-      return Status::InvalidArgument("unknown request id " +
-                                     std::to_string(request_id));
-    }
-    if (it->second.done) return Status::OK();
-
     char buf[65536];
     const ssize_t n = ::read(fd_, buf, sizeof(buf));
     if (n == 0) {
@@ -120,6 +153,20 @@ Status Client::PumpUntilDone(uint64_t request_id) {
     if (!intact) {
       return Poison(Status::DataLoss(parser_.error()));
     }
+    return Status::OK();
+  }
+}
+
+Status Client::PumpUntilDone(uint64_t request_id) {
+  if (!broken_.ok()) return broken_;
+  for (;;) {
+    auto it = pending_.find(request_id);
+    if (it == pending_.end()) {
+      return Status::InvalidArgument("unknown request id " +
+                                     std::to_string(request_id));
+    }
+    if (it->second.done) return Status::OK();
+    BW_RETURN_IF_ERROR(PumpOnce());
   }
 }
 
@@ -254,6 +301,48 @@ Result<HealthReply> Client::AwaitHealth(uint64_t request_id) {
   HealthReply reply;
   if (!DecodeHealthReply(p.final_payload, &reply)) {
     return Poison(Status::DataLoss("malformed health reply"));
+  }
+  return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental streaming
+// ---------------------------------------------------------------------------
+
+Result<std::optional<gist::Neighbor>> Client::NextResult(
+    uint64_t request_id) {
+  for (;;) {
+    auto it = pending_.find(request_id);
+    if (it == pending_.end()) {
+      return Status::InvalidArgument("unknown request id " +
+                                     std::to_string(request_id));
+    }
+    Pending& p = it->second;
+    if (p.consumed < p.neighbors.size()) {
+      return std::optional<gist::Neighbor>(p.neighbors[p.consumed++]);
+    }
+    if (p.done) return std::optional<gist::Neighbor>();
+    BW_RETURN_IF_ERROR(PumpOnce());
+  }
+}
+
+Result<QueryReply> Client::FinishQuery(uint64_t request_id) {
+  BW_RETURN_IF_ERROR(PumpUntilDone(request_id));
+  auto node = pending_.extract(request_id);
+  Pending& p = node.mapped();
+  QueryReply reply;
+  reply.neighbors.assign(p.neighbors.begin() + p.consumed,
+                         p.neighbors.end());
+  reply.wire_status = p.final_header.status;
+  reply.degraded = (p.final_header.flags & kFlagDegraded) != 0;
+  reply.truncated = (p.final_header.flags & kFlagTruncated) != 0;
+  FinalInfo info;
+  if (DecodeFinalInfo(p.final_payload, &info)) {
+    reply.pages_skipped = info.pages_skipped;
+    reply.server_latency_us = info.server_latency_us;
+    reply.status = WireStatusToStatus(reply.wire_status, info.message);
+  } else {
+    reply.status = WireStatusToStatus(reply.wire_status, "");
   }
   return reply;
 }

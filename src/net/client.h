@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -33,6 +34,15 @@ struct ClientOptions {
   /// bytes from the server fails with IoError.
   std::chrono::milliseconds io_timeout{30000};
   uint32_t max_payload_bytes = kMaxPayloadBytes;
+  /// Run the kHello version/feature handshake inside Connect(). On a
+  /// major-version mismatch Connect fails with NotSupported (the
+  /// server's version is in the message) — no mis-decoded frames, ever.
+  /// Off restores the pre-handshake wire exchange byte for byte.
+  bool handshake = true;
+  /// Self-description sent in the hello (surfaced in server logs).
+  std::string peer = "bwclient";
+  /// Feature bits to claim in the hello (kFeature* in wire.h).
+  uint32_t features = kFeatureStreaming;
 };
 
 /// Per-query limits, mirrored into the request frame.
@@ -101,6 +111,19 @@ class Client {
       uint64_t request_id);
   Result<HealthReply> AwaitHealth(uint64_t request_id);
 
+  // --- Incremental streaming ---------------------------------------------
+  // The shard router's remote frontier: consume a query's results one
+  // at a time as batch frames arrive, instead of waiting for the
+  // terminal frame. NextResult returns the next unconsumed neighbor
+  // (pumping the socket only when none is buffered), or nullopt once
+  // the stream's terminal frame arrived and every result was consumed.
+  // FinishQuery then (or at any point: it drains the rest) retires the
+  // request and returns the terminal accounting; its reply carries only
+  // the *unconsumed* neighbors.
+
+  Result<std::optional<gist::Neighbor>> NextResult(uint64_t request_id);
+  Result<QueryReply> FinishQuery(uint64_t request_id);
+
   // --- Synchronous wrappers ---------------------------------------------
 
   Result<QueryReply> Knn(const geom::Vec& query, size_t k,
@@ -111,6 +134,15 @@ class Client {
   Result<MutateReply> Remove(const geom::Vec& point, uint64_t rid);
   Result<std::vector<std::pair<std::string, double>>> Stats();
   Result<HealthReply> Health();
+
+  /// The server's side of the handshake (valid when
+  /// ClientOptions::handshake ran; a default-constructed reply with
+  /// features == 0 otherwise).
+  const HelloReply& server_hello() const { return server_hello_; }
+
+  /// True when no request is awaiting its terminal frame: the
+  /// connection can be reused for another request stream.
+  bool idle() const { return pending_.empty() && broken_.ok(); }
 
   /// Raw socket fd — tests use this to simulate rude disconnects and
   /// stalled readers.
@@ -125,12 +157,16 @@ class Client {
     FrameHeader final_header;   // terminal frame's header.
     std::string final_payload;  // terminal frame's payload.
     std::vector<gist::Neighbor> neighbors;  // accumulated batches.
+    size_t consumed = 0;  // NextResult cursor into neighbors.
   };
 
   Status SendFrame(MsgType type, uint64_t request_id, uint32_t deadline_us,
                    std::string_view payload);
   /// Reads until `request_id` is done, parking other ids' frames.
   Status PumpUntilDone(uint64_t request_id);
+  /// One blocking read + parse, routing frames to their pending ids.
+  Status PumpOnce();
+  Status Handshake();
   Status Poison(Status status);
 
   int fd_;
@@ -139,6 +175,7 @@ class Client {
   uint64_t next_id_ = 1;
   std::map<uint64_t, Pending> pending_;
   Status broken_;  // non-OK once the connection is poisoned.
+  HelloReply server_hello_;
 };
 
 }  // namespace bw::net

@@ -12,9 +12,6 @@
 #include <cerrno>
 #include <cstring>
 
-#include "gist/extension.h"
-#include "service/snapshot_export.h"
-
 namespace bw::net {
 namespace {
 
@@ -28,7 +25,16 @@ uint16_t WireCodeFor(const Status& status) {
 }  // namespace
 
 Server::Server(service::QueryService* service, ServerOptions options)
-    : service_(service), options_(std::move(options)) {
+    : owned_backend_(std::make_unique<QueryServiceBackend>(service)),
+      backend_(owned_backend_.get()),
+      options_(std::move(options)) {
+  if (options_.io_threads == 0) options_.io_threads = 1;
+  if (options_.dispatch_threads == 0) options_.dispatch_threads = 1;
+  if (options_.results_per_frame == 0) options_.results_per_frame = 64;
+}
+
+Server::Server(Backend* backend, ServerOptions options)
+    : backend_(backend), options_(std::move(options)) {
   if (options_.io_threads == 0) options_.io_threads = 1;
   if (options_.dispatch_threads == 0) options_.dispatch_threads = 1;
   if (options_.results_per_frame == 0) options_.results_per_frame = 64;
@@ -40,7 +46,7 @@ Status Server::Start() {
   if (started_.exchange(true)) {
     return Status::InvalidArgument("server already started");
   }
-  tree_dim_ = service_->tree().extension().dim();
+  tree_dim_ = backend_->dim();
   start_time_ = std::chrono::steady_clock::now();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
@@ -421,6 +427,10 @@ void Server::HandleFrame(IoLoop& loop, size_t index,
     FlushConnection(loop, conn);
     return;
   }
+  if (h.type == MsgType::kHello) {
+    HandleHello(loop, conn, frame);
+    return;
+  }
 
   // Per-connection quotas, enforced before the request costs anything.
   bool quota_ok = true;
@@ -466,6 +476,49 @@ void Server::HandleFrame(IoLoop& loop, size_t index,
     dispatch_queue_.push_back(std::move(task));
   }
   dispatch_cv_.notify_one();
+}
+
+void Server::HandleHello(IoLoop& loop,
+                         const std::shared_ptr<Connection>& conn,
+                         const FrameParser::Frame& frame) {
+  HelloRequest req;
+  if (!DecodeHelloRequest(frame.payload, &req)) {
+    // Semantic failure: the framing is sound, so answer and keep the
+    // connection (a pre-handshake client never sends kHello at all).
+    bad_requests_.fetch_add(1);
+    QueueErrorFinal(conn, frame.header.request_id,
+                    StatusCodeToWire(StatusCode::kInvalidArgument),
+                    "malformed hello payload");
+    FlushConnection(loop, conn);
+    return;
+  }
+  HelloReply reply;
+  reply.major = kWireVersionMajor;
+  reply.minor = kWireVersionMinor;
+  reply.features = backend_->features();
+  reply.peer = backend_->peer_name();
+  const bool mismatch = req.major != kWireVersionMajor;
+  std::string payload;
+  EncodeHelloReply(reply, &payload);
+  FrameHeader h;
+  h.type = MsgType::kHelloReply;
+  h.flags = kFlagFinal;
+  h.status = mismatch ? kWireVersionMismatch : 0;
+  h.request_id = frame.header.request_id;
+  Enqueue(conn, EncodeFrame(h, payload));
+  responses_.fetch_add(1);
+  if (mismatch) {
+    // Incompatible peers exchange exactly one frame pair: the reply
+    // (carrying our version so the client can report what it hit)
+    // flushes, then the connection closes.
+    bad_requests_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->doomed = true;
+    if (conn->close_reason == CloseReason::kNone) {
+      conn->close_reason = CloseReason::kBadFrame;
+    }
+  }
+  FlushConnection(loop, conn);
 }
 
 void Server::QueueErrorFinal(const std::shared_ptr<Connection>& conn,
@@ -752,24 +805,9 @@ void Server::ExecuteQuery(const DispatchTask& task) {
   }
   stream.deadline_us = static_cast<double>(h.deadline_us);
 
-  Result<service::QueryService::ResponseFuture> future = [&] {
-    if (!use_range) return service_->SubmitStream(query, stream);
-    if (h.deadline_us == 0) return service_->SubmitRange(query, radius);
-    // Range-with-deadline rides the stream path: a radius budget
-    // returns exactly the in-range set, and only streams carry the
-    // deadline/I/O-watchdog machinery.
-    stream.budget_radius = radius;
-    stream.max_results = 0;
-    return service_->SubmitStream(query, stream);
-  }();
-  if (!future.ok()) {
-    FinishRequest(task.conn, 0);
-    QueueErrorFinal(task.conn, h.request_id, WireCodeFor(future.status()),
-                    future.status().message());
-    KickIo(task.io_index, task.conn);
-    return;
-  }
-  service::QueryService::Response response = future->get();
+  Result<service::QueryResponse> response =
+      use_range ? backend_->Range(query, radius, h.deadline_us)
+                : backend_->Knn(query, stream);
   if (!response.ok()) {
     FinishRequest(task.conn, 0);
     QueueErrorFinal(task.conn, h.request_id, WireCodeFor(response.status()),
@@ -803,21 +841,13 @@ void Server::ExecuteMutation(const DispatchTask& task) {
     KickIo(task.io_index, task.conn);
     return;
   }
-  auto future = h.type == MsgType::kInsert
-                    ? service_->SubmitInsert(req.point, req.rid)
-                    : service_->SubmitDelete(req.point, req.rid);
-  if (!future.ok()) {
-    // This is where the write-state machine reaches the wire:
-    // kReadOnly -> kResourceExhausted (retry later), kFailed ->
-    // kIoError (fail-stop), full queue -> kUnavailable (transient).
-    FinishRequest(task.conn, 0);
-    QueueErrorFinal(task.conn, h.request_id, WireCodeFor(future.status()),
-                    future.status().message());
-    KickIo(task.io_index, task.conn);
-    return;
-  }
-  service::QueryService::MutationResult outcome = future->get();
-  FinishRequest(task.conn, 1);
+  // This is where the write-state machine reaches the wire: kReadOnly
+  // -> kResourceExhausted (retry later), kFailed -> kIoError
+  // (fail-stop), full queue -> kUnavailable (transient).
+  Result<service::MutationOutcome> outcome =
+      h.type == MsgType::kInsert ? backend_->Insert(req.point, req.rid)
+                                 : backend_->Remove(req.point, req.rid);
+  FinishRequest(task.conn, outcome.ok() ? 1 : 0);
   if (!outcome.ok()) {
     QueueErrorFinal(task.conn, h.request_id, WireCodeFor(outcome.status()),
                     outcome.status().message());
@@ -840,7 +870,7 @@ void Server::ExecuteMutation(const DispatchTask& task) {
 
 void Server::QueueStatsReply(const std::shared_ptr<Connection>& conn,
                              uint64_t request_id) {
-  auto fields = service::ExportSnapshotFields(service_->Snapshot());
+  auto fields = backend_->StatsFields();
   auto net_fields = StatsFields();
   fields.insert(fields.end(), net_fields.begin(), net_fields.end());
   std::string payload;
@@ -855,14 +885,7 @@ void Server::QueueStatsReply(const std::shared_ptr<Connection>& conn,
 
 void Server::QueueHealthReply(const std::shared_ptr<Connection>& conn,
                               uint64_t request_id) {
-  const service::ServiceSnapshot snap = service_->Snapshot();
-  HealthReply reply;
-  reply.write_state = static_cast<uint8_t>(snap.write_state);
-  reply.writes_enabled = snap.writes_enabled;
-  reply.write_degraded = snap.write_degraded;
-  reply.generation = snap.generation;
-  reply.completed = snap.completed;
-  reply.pages_quarantined = snap.store_pages_quarantined;
+  HealthReply reply = backend_->Health();
   reply.uptime_seconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start_time_)
                              .count();

@@ -56,6 +56,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/backend.h"
 #include "net/connection.h"
 #include "net/wire.h"
 #include "service/query_service.h"
@@ -120,8 +121,14 @@ class Server {
  public:
   /// The service must outlive the server. Mutation requests are only
   /// honored when the service was built with writes enabled; otherwise
-  /// they answer kInvalidArgument.
+  /// they answer kInvalidArgument. (Sugar for the Backend constructor
+  /// over a QueryServiceBackend.)
   Server(service::QueryService* service, ServerOptions options);
+
+  /// Serves an arbitrary backend — this is how bwrouter puts a whole
+  /// shard fleet behind the unchanged wire protocol. The backend must
+  /// outlive the server and be safe to call from every dispatch thread.
+  Server(Backend* backend, ServerOptions options);
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
@@ -203,6 +210,11 @@ class Server {
                        uint64_t request_id);
   void QueueHealthReply(const std::shared_ptr<Connection>& conn,
                         uint64_t request_id);
+  /// Answers a kHello handshake on the I/O thread. A major-version
+  /// mismatch replies kWireVersionMismatch (still carrying the server's
+  /// own version) and dooms the connection once the reply flushes.
+  void HandleHello(IoLoop& loop, const std::shared_ptr<Connection>& conn,
+                   const FrameParser::Frame& frame);
 
   /// Queues one encoded frame on `conn` with server-wide outbox
   /// accounting (the drain condition watches outbox_total_). Takes the
@@ -218,7 +230,10 @@ class Server {
   /// flushed (the graceful-drain condition).
   bool Drained();
 
-  service::QueryService* service_;
+  /// Set by the QueryService constructor; null when serving an
+  /// externally owned Backend.
+  std::unique_ptr<Backend> owned_backend_;
+  Backend* backend_;
   ServerOptions options_;
   size_t tree_dim_ = 0;
   // Atomic: Shutdown() retires the listener while I/O loop 0 still

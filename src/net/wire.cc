@@ -51,6 +51,8 @@ const char* WireStatusName(uint16_t status) {
       return "ShuttingDown";
     case kWireBadFrame:
       return "BadFrame";
+    case kWireVersionMismatch:
+      return "VersionMismatch";
     default:
       return status < 64 ? StatusCodeName(StatusCodeFromWire(status))
                          : "UnknownWireStatus";
@@ -67,6 +69,9 @@ Status WireStatusToStatus(uint16_t status, const std::string& message) {
       return Status::Unavailable(text);
     case kWireBadFrame:
       return Status::DataLoss(text);
+    case kWireVersionMismatch:
+      // Not retryable: the peer will keep speaking the wrong major.
+      return Status::NotSupported(text);
     default:
       break;
   }
@@ -390,6 +395,43 @@ bool DecodeHealthReply(std::string_view payload, HealthReply* out) {
   out->pages_quarantined = r.U64();
   out->uptime_seconds = r.F64();
   return r.exhausted();
+}
+
+void EncodeHelloRequest(const HelloRequest& req, std::string* out) {
+  PayloadWriter w(out);
+  w.U16(req.major);
+  w.U16(req.minor);
+  w.U32(req.features);
+  w.String(req.peer);
+}
+
+bool DecodeHelloRequest(std::string_view payload, HelloRequest* out) {
+  PayloadReader r(payload);
+  out->major = r.U16();
+  out->minor = r.U16();
+  out->features = r.U32();
+  out->peer = r.String();
+  // Deliberately not exhausted(): future minors may append fields, and a
+  // 1.x receiver must still accept their hellos (that is the point of
+  // the handshake). Trailing bytes are ignored, not rejected.
+  return r.ok() && out->major > 0;
+}
+
+void EncodeHelloReply(const HelloReply& reply, std::string* out) {
+  PayloadWriter w(out);
+  w.U16(reply.major);
+  w.U16(reply.minor);
+  w.U32(reply.features);
+  w.String(reply.peer);
+}
+
+bool DecodeHelloReply(std::string_view payload, HelloReply* out) {
+  PayloadReader r(payload);
+  out->major = r.U16();
+  out->minor = r.U16();
+  out->features = r.U32();
+  out->peer = r.String();
+  return r.ok() && out->major > 0;  // forward-tolerant, as above.
 }
 
 }  // namespace bw::net

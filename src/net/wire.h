@@ -73,18 +73,52 @@ enum class MsgType : uint8_t {
   kDelete = 4,  // online delete.
   kStats = 5,   // full ServiceSnapshot + net-tier counters.
   kHealth = 6,  // cheap liveness + write-state probe.
+  kHello = 7,   // version/feature handshake (optional, first frame).
   // Responses.
   kResultBatch = 64,  // one batch of k-NN/range results; more follow.
   kFinal = 65,        // terminal frame of a streamed query reply.
   kMutateAck = 66,    // terminal frame of an insert/delete.
   kStatsReply = 67,
   kHealthReply = 68,
+  kHelloReply = 69,
 };
 
 /// True if `type` is a request a server accepts.
 constexpr bool IsRequestType(uint8_t type) {
-  return type >= 1 && type <= 6;
+  return type >= 1 && type <= 7;
 }
+
+// ---------------------------------------------------------------------------
+// Protocol versioning (the kHello handshake).
+// ---------------------------------------------------------------------------
+//
+// The handshake is *optional* for backward compatibility: a client that
+// never sends kHello gets pre-handshake behavior (everything in BWP1
+// major 1). A client that does send it as its first frame learns the
+// server's (major, minor, feature bits) and can gate optional behavior
+// — the shard router uses this to refuse fan-out to shards speaking a
+// different major instead of mis-decoding frames mid-query.
+//
+// Rules:
+//   - major mismatch: the server answers kHelloReply carrying *its own*
+//     version with status kWireVersionMismatch, then dooms the
+//     connection. Incompatible peers exchange exactly one frame pair.
+//   - minor skew: fine in both directions. Minors only add frame types
+//     and feature bits; both sides mask features to the intersection.
+//   - feature bits advertise optional capabilities; a bit the receiver
+//     does not recognize is ignored (that is what makes minors cheap).
+
+constexpr uint16_t kWireVersionMajor = 1;
+constexpr uint16_t kWireVersionMinor = 1;  // 1.1 added kHello itself.
+
+// Feature bits advertised in the handshake.
+constexpr uint32_t kFeatureStreaming = 1u << 0;  // kResultBatch streams.
+constexpr uint32_t kFeatureWrites = 1u << 1;     // insert/delete honored.
+constexpr uint32_t kFeatureRouter = 1u << 2;     // peer is a shard router.
+
+/// Feature set a plain bwserver advertises (writes are masked off at
+/// runtime when the service is read-only).
+constexpr uint32_t kServerFeatures = kFeatureStreaming | kFeatureWrites;
 
 // Response flag bits.
 constexpr uint8_t kFlagFinal = 0x01;      // no more frames for this id.
@@ -95,6 +129,7 @@ constexpr uint8_t kFlagTruncated = 0x04;  // deadline cut the stream off.
 constexpr uint16_t kWireQuotaExceeded = 64;  // per-client quota: back off.
 constexpr uint16_t kWireShuttingDown = 65;   // server draining: reconnect.
 constexpr uint16_t kWireBadFrame = 66;       // framing error: conn closing.
+constexpr uint16_t kWireVersionMismatch = 67;  // major skew: do not retry.
 
 /// Human-readable name for a wire status (falls back to the StatusCode
 /// name for the 0..63 range).
@@ -231,6 +266,25 @@ struct FinalInfo {
   std::string message;
 };
 
+/// kHello request payload: the client's version and feature claims.
+/// `peer` is a short, human-readable self-description ("bwrouter",
+/// "net_smoke") surfaced in server logs/errors, never interpreted.
+struct HelloRequest {
+  uint16_t major = kWireVersionMajor;
+  uint16_t minor = kWireVersionMinor;
+  uint32_t features = 0;
+  std::string peer;
+};
+
+/// kHelloReply payload. On kWireVersionMismatch the server still fills
+/// its own version in so the client can report *what* it talked to.
+struct HelloReply {
+  uint16_t major = kWireVersionMajor;
+  uint16_t minor = kWireVersionMinor;
+  uint32_t features = 0;
+  std::string peer;
+};
+
 /// kHealthReply payload.
 struct HealthReply {
   uint8_t write_state = 0;  // service::WriteState as u8.
@@ -271,6 +325,12 @@ bool DecodeStatsReply(std::string_view payload,
 
 void EncodeHealthReply(const HealthReply& reply, std::string* out);
 bool DecodeHealthReply(std::string_view payload, HealthReply* out);
+
+void EncodeHelloRequest(const HelloRequest& req, std::string* out);
+bool DecodeHelloRequest(std::string_view payload, HelloRequest* out);
+
+void EncodeHelloReply(const HelloReply& reply, std::string* out);
+bool DecodeHelloReply(std::string_view payload, HelloReply* out);
 
 }  // namespace bw::net
 

@@ -3,7 +3,9 @@
 #include <sys/statvfs.h>
 
 #include <algorithm>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "util/logging.h"
@@ -231,6 +233,142 @@ QueryService::Response QueryService::Knn(const geom::Vec& query, size_t k) {
   auto future = SubmitKnn(query, k);
   if (!future.ok()) return future.status();
   return future->get();
+}
+
+// ---------------------------------------------------------------------------
+// Incremental streaming (StreamCursor)
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<QueryService::StreamCursor> QueryService::OpenCursor(
+    geom::Vec query, StreamOptions limits) {
+  // Each cursor brings its own reader (the Tree thread-safety contract):
+  // a shared-pool session when the service runs one, a small private
+  // pool otherwise.
+  std::unique_ptr<pages::PageReader> reader;
+  if (shared_pool_) {
+    reader = shared_pool_->MakeSession();
+  } else {
+    auto* file = const_cast<pages::PageStore*>(tree_->file());
+    pages::BufferPoolOptions pool_options;
+    pool_options.charge_file_io = false;
+    pool_options.miss_delay_us = options_.io_delay_us;
+    reader = std::make_unique<pages::BufferPool>(
+        file, options_.worker_pool_pages, pool_options);
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto cursor = std::unique_ptr<StreamCursor>(new StreamCursor(
+      this, std::move(query), limits, std::move(reader)));
+  if (!cursor->lock_.owns_lock()) return nullptr;  // open_timeout_us hit.
+  return cursor;
+}
+
+QueryService::StreamCursor::StreamCursor(
+    QueryService* service, geom::Vec query, StreamOptions limits,
+    std::unique_ptr<pages::PageReader> reader)
+    : service_(service),
+      reader_(std::move(reader)),
+      query_(std::move(query)),
+      limits_(limits),
+      start_(Clock::now()) {
+  // Shared side of the generation lock: like any query, held for the
+  // cursor's lifetime so a writer batch never swaps the tree under an
+  // open stream. With open_timeout_us the acquisition is a bounded
+  // try_lock poll — a try_lock can never close a deadlock cycle, so a
+  // caller merging cursors across many services (the shard router)
+  // degrades to a failed open instead of deadlocking against writers.
+  if (limits_.open_timeout_us > 0) {
+    while (!service_->tree_mutex_.try_lock_shared()) {
+      if (MicrosSince(start_) >= limits_.open_timeout_us) {
+        errored_ = true;
+        finished_ = true;
+        return;  // lock_ stays unowned; OpenCursor reports nullptr.
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    lock_ = std::shared_lock<std::shared_mutex>(service_->tree_mutex_,
+                                                std::adopt_lock);
+  } else {
+    lock_ = std::shared_lock<std::shared_mutex>(service_->tree_mutex_);
+  }
+  degraded_.budget = service_->options_.fault_budget;
+  if (limits_.deadline_us > 0) {
+    reader_->ArmWatchdog(start_ + std::chrono::microseconds(static_cast<
+                             int64_t>(limits_.deadline_us)));
+  }
+  cursor_ = std::make_unique<gist::NnCursor>(
+      *service_->tree_, query_, &traversal_, reader_.get(), &degraded_);
+}
+
+QueryService::StreamCursor::~StreamCursor() {
+  reader_->DisarmWatchdog();
+  // Aggregate into the service counters exactly once, at close: the
+  // cursor is one query from the snapshot's point of view.
+  const double latency_us = MicrosSince(start_);
+  service_->latency_histogram_.Record(static_cast<uint64_t>(latency_us));
+  (errored_ ? service_->failed_ : service_->completed_)
+      .fetch_add(1, std::memory_order_relaxed);
+  service_->leaf_accesses_.fetch_add(traversal_.leaf_accesses,
+                                     std::memory_order_relaxed);
+  service_->internal_accesses_.fetch_add(traversal_.internal_accesses,
+                                         std::memory_order_relaxed);
+  const pages::BufferStats& stats = reader_->stats();
+  service_->pool_hits_.fetch_add(stats.hits, std::memory_order_relaxed);
+  service_->pool_misses_.fetch_add(stats.misses, std::memory_order_relaxed);
+  service_->pool_evictions_.fetch_add(stats.evictions,
+                                      std::memory_order_relaxed);
+  service_->pool_contention_.fetch_add(stats.shard_contention,
+                                       std::memory_order_relaxed);
+  if (truncated_) {
+    service_->truncated_streams_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (degraded_.degraded()) {
+    service_->degraded_responses_.fetch_add(1, std::memory_order_relaxed);
+    service_->pages_skipped_.fetch_add(degraded_.skipped.size(),
+                                       std::memory_order_relaxed);
+  }
+  cursor_.reset();  // before reader_, which it reads through.
+}
+
+Result<std::optional<gist::Neighbor>> QueryService::StreamCursor::Next() {
+  if (finished_) return std::optional<gist::Neighbor>();
+  // Same limit ladder as the worker-side stream loop in Execute().
+  if (limits_.max_results > 0 && returned_ >= limits_.max_results) {
+    finished_ = true;
+    return std::optional<gist::Neighbor>();
+  }
+  if (limits_.deadline_us > 0 && MicrosSince(start_) >= limits_.deadline_us) {
+    truncated_ = true;
+    finished_ = true;
+    return std::optional<gist::Neighbor>();
+  }
+  if (cursor_->FrontierDistance() > limits_.budget_radius) {
+    finished_ = true;
+    return std::optional<gist::Neighbor>();
+  }
+  auto next = cursor_->Next();
+  if (!next.ok()) {
+    finished_ = true;
+    if (next.status().code() == StatusCode::kAborted) {
+      // Watchdog cut a fetch off mid-read: partial stream, flagged.
+      service_->watchdog_expirations_.fetch_add(1, std::memory_order_relaxed);
+      truncated_ = true;
+      return std::optional<gist::Neighbor>();
+    }
+    errored_ = true;
+    return next.status();
+  }
+  if (!next.value().has_value() ||
+      next.value()->distance > limits_.budget_radius) {
+    finished_ = true;
+    return std::optional<gist::Neighbor>();
+  }
+  ++returned_;
+  return next.value();
+}
+
+double QueryService::StreamCursor::FrontierDistance() const {
+  if (finished_) return std::numeric_limits<double>::infinity();
+  return cursor_->FrontierDistance();
 }
 
 // ---------------------------------------------------------------------------

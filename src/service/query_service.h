@@ -64,6 +64,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <thread>
 #include <vector>
@@ -180,6 +181,15 @@ struct StreamOptions {
   /// stream, so a read that outlives the deadline is cut off mid-fetch
   /// instead of being waited out.
   double deadline_us = 0;
+  /// Bound on how long OpenCursor may wait for the tree's generation
+  /// lock (a writer applying a batch holds it exclusively); 0 = wait
+  /// indefinitely, the classic single-service behavior. Callers that
+  /// hold cursors on *several* services at once (the shard router)
+  /// must set a bound: the open then polls with try_lock — which can
+  /// never participate in a deadlock cycle — and gives up with a null
+  /// cursor after the timeout instead of risking a cross-service
+  /// lock-order inversion against the writer threads.
+  double open_timeout_us = 0;
 };
 
 /// Per-query measurements, returned with every response.
@@ -346,6 +356,70 @@ class QueryService {
 
   /// Synchronous convenience wrapper around SubmitKnn.
   Response Knn(const geom::Vec& query, size_t k);
+
+  // --- Incremental streaming (thread-safe to open; see StreamCursor) ----
+
+  /// An open incremental nearest-first stream over the served index —
+  /// the in-process shard frontier the scatter-gather router merges.
+  /// Results arrive one at a time in non-decreasing distance order,
+  /// subject to the StreamOptions limits (count, budget radius,
+  /// deadline with I/O watchdog), with the same degraded-read
+  /// accounting as SubmitStream.
+  ///
+  /// The cursor holds the shared side of the tree lock and a private
+  /// page-reader session for its whole lifetime: writer batches cannot
+  /// apply while one is open, exactly as if a query were executing, so
+  /// close cursors promptly. Runs on the calling thread (it bypasses
+  /// the worker pool and its admission queue — the caller *is* the
+  /// worker). Not thread-safe; one thread per cursor.
+  class StreamCursor {
+   public:
+    ~StreamCursor();
+    StreamCursor(const StreamCursor&) = delete;
+    StreamCursor& operator=(const StreamCursor&) = delete;
+
+    /// The next neighbor, or nullopt once the stream is finished:
+    /// exhausted, count/radius limit reached, or deadline expired
+    /// (distinguish via truncated()). After the first nullopt or
+    /// error every later call returns nullopt.
+    Result<std::optional<gist::Neighbor>> Next();
+
+    /// Lower bound on the distance of everything not yet returned
+    /// (infinity once exhausted): the router's pruning bound.
+    double FrontierDistance() const;
+
+    /// Degraded-read accounting so far (grows as faults are absorbed).
+    bool degraded() const { return degraded_.degraded(); }
+    uint64_t pages_skipped() const { return degraded_.skipped.size(); }
+    /// True once the deadline (or its I/O watchdog) cut the stream off.
+    bool truncated() const { return truncated_; }
+    size_t produced() const { return returned_; }
+
+   private:
+    friend class QueryService;
+    StreamCursor(QueryService* service, geom::Vec query,
+                 StreamOptions limits,
+                 std::unique_ptr<pages::PageReader> reader);
+
+    QueryService* service_;
+    std::shared_lock<std::shared_mutex> lock_;
+    std::unique_ptr<pages::PageReader> reader_;
+    geom::Vec query_;
+    StreamOptions limits_;
+    gist::TraversalStats traversal_;
+    gist::DegradedRead degraded_;
+    std::unique_ptr<gist::NnCursor> cursor_;  // reads through reader_.
+    std::chrono::steady_clock::time_point start_;
+    size_t returned_ = 0;
+    bool truncated_ = false;
+    bool finished_ = false;
+    bool errored_ = false;
+  };
+
+  /// Opens a streaming cursor with the given limits. The service must
+  /// outlive the cursor.
+  std::unique_ptr<StreamCursor> OpenCursor(geom::Vec query,
+                                           StreamOptions limits);
 
   // --- Mutations (thread-safe; require ServiceWriteOptions::enabled) ----
 

@@ -1,0 +1,54 @@
+#include "shard/fleet.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bw::shard {
+
+Result<std::unique_ptr<ShardFleet>> ShardFleet::Build(
+    const std::vector<geom::Vec>& corpus, const std::string& dir,
+    const FleetOptions& options) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("fleet needs a non-empty corpus");
+  }
+  if (options.replicas_per_shard == 0) {
+    return Status::InvalidArgument("fleet needs at least one replica");
+  }
+  const size_t num_shards =
+      std::min(options.num_shards == 0 ? 1 : options.num_shards,
+               corpus.size());
+
+  Partition partition = PartitionByStr(corpus, num_shards);
+
+  std::unique_ptr<ShardFleet> fleet(new ShardFleet());
+  fleet->map_ = ShardMap(corpus[0].dim(), partition.bounds);
+  fleet->indexes_.resize(num_shards);
+  fleet->services_.resize(num_shards);
+  fleet->backends_.resize(num_shards);
+
+  std::vector<Router::Shard> shards(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (size_t r = 0; r < options.replicas_per_shard; ++r) {
+      const std::string stem =
+          dir + "/shard" + std::to_string(s) + "_r" + std::to_string(r);
+      BW_ASSIGN_OR_RETURN(
+          std::unique_ptr<core::DurableIndex> index,
+          BuildShardIndex(partition.points[s], partition.rids[s],
+                          options.build, stem + ".idx", stem + ".wal"));
+      auto service = std::make_unique<service::QueryService>(index.get(),
+                                                             options.service);
+      auto backend = std::make_unique<LocalShardBackend>(
+          service.get(),
+          "local:" + std::to_string(s) + "/" + std::to_string(r));
+      fleet->backends_[s].push_back(backend.get());
+      shards[s].replicas.push_back(std::move(backend));
+      fleet->services_[s].push_back(std::move(service));
+      fleet->indexes_[s].push_back(std::move(index));
+    }
+  }
+  fleet->router_ = std::make_unique<Router>(fleet->map_, std::move(shards),
+                                            options.router);
+  return fleet;
+}
+
+}  // namespace bw::shard

@@ -1,0 +1,76 @@
+// ShardFleet: one-call construction of an in-process sharded
+// deployment — partition a corpus by STR order, build every shard ×
+// replica as its own DurableIndex + QueryService, wrap them in
+// LocalShardBackends, and stand a Router over the lot. This is the
+// fixture the randomized router-vs-single-index tests, the failover
+// tests, and the scatter-gather bench all share; bwrouter composes the
+// same pieces with RemoteShardBackends instead.
+
+#ifndef BLOBWORLD_SHARD_FLEET_H_
+#define BLOBWORLD_SHARD_FLEET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/durable_index.h"
+#include "service/query_service.h"
+#include "shard/partitioner.h"
+#include "shard/router.h"
+#include "shard/shard_backend.h"
+
+namespace bw::shard {
+
+struct FleetOptions {
+  size_t num_shards = 3;
+  size_t replicas_per_shard = 1;
+  core::IndexBuildOptions build;
+  /// Per-shard service configuration. Enable service.write for routed
+  /// mutations; fault_budget here is the *within-shard* page-fault
+  /// budget, RouterOptions::fault_budget the cross-shard one.
+  service::ServiceOptions service;
+  RouterOptions router;
+};
+
+/// Owns every layer of an in-process sharded deployment, destruction in
+/// dependency order (router, then services, then indexes).
+class ShardFleet {
+ public:
+  /// Builds the fleet under `dir` (one index file pair per shard ×
+  /// replica). The corpus's RID for vector i is i, globally — exactly
+  /// the numbering an unsharded BuildIndex over the same corpus uses,
+  /// which is what makes router answers comparable bit-for-bit.
+  static Result<std::unique_ptr<ShardFleet>> Build(
+      const std::vector<geom::Vec>& corpus, const std::string& dir,
+      const FleetOptions& options);
+
+  Router* router() { return router_.get(); }
+  const ShardMap& map() const { return map_; }
+  size_t num_shards() const { return services_.size(); }
+
+  service::QueryService* service(size_t shard, size_t replica) {
+    return services_[shard][replica].get();
+  }
+  /// The replica's store, for page-level fault injection (quarantine).
+  core::DurableIndex* index(size_t shard, size_t replica) {
+    return indexes_[shard][replica].get();
+  }
+  /// The fault-injection surface: backend(s, r)->set_failed(true) is an
+  /// in-process SIGKILL for that replica.
+  LocalShardBackend* backend(size_t shard, size_t replica) {
+    return backends_[shard][replica];
+  }
+
+ private:
+  ShardFleet() : map_(0, {}) {}
+
+  ShardMap map_;
+  std::vector<std::vector<std::unique_ptr<core::DurableIndex>>> indexes_;
+  std::vector<std::vector<std::unique_ptr<service::QueryService>>> services_;
+  std::vector<std::vector<LocalShardBackend*>> backends_;  // owned by router_.
+  std::unique_ptr<Router> router_;
+};
+
+}  // namespace bw::shard
+
+#endif  // BLOBWORLD_SHARD_FLEET_H_

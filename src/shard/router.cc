@@ -1,0 +1,535 @@
+#include "shard/router.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <tuple>
+#include <utility>
+
+namespace bw::shard {
+
+/// One shard's in-flight state during a scatter-gather query.
+struct Router::OpenShard {
+  size_t shard = 0;
+  size_t replica = 0;  // replica currently serving the stream.
+  std::unique_ptr<ShardFrontier> frontier;
+  /// Results successfully pulled so far — the count-based skip a
+  /// failover replays on the successor replica (replicas are
+  /// bit-identical, so result N here is result N there).
+  size_t consumed = 0;
+  gist::Neighbor head{};  // pulled but not yet emitted.
+  // Folded at stream close:
+  bool degraded = false;
+  bool truncated = false;
+  uint64_t pages_skipped = 0;
+};
+
+Router::Router(ShardMap map, std::vector<Shard> shards, RouterOptions options)
+    : map_(std::move(map)),
+      shards_(std::move(shards)),
+      options_(options),
+      start_time_(std::chrono::steady_clock::now()) {
+  states_.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    states_[s].assign(shards_[s].replicas.size(), ReplicaState::kHealthy);
+  }
+  if (options_.probe_interval.count() > 0) {
+    probe_thread_ = std::thread([this] { ProbeLoop(); });
+  }
+}
+
+Router::~Router() {
+  {
+    std::lock_guard<std::mutex> lock(probe_mutex_);
+    probe_stop_ = true;
+  }
+  probe_cv_.notify_all();
+  if (probe_thread_.joinable()) probe_thread_.join();
+}
+
+void Router::SetReplicaState(size_t shard, size_t replica,
+                             ReplicaState state) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  // kStale is terminal: divergence is not cured by answering a probe.
+  if (states_[shard][replica] == ReplicaState::kStale) return;
+  states_[shard][replica] = state;
+}
+
+ReplicaState Router::GetReplicaState(size_t shard, size_t replica) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return states_[shard][replica];
+}
+
+ReplicaState Router::replica_state(size_t shard, size_t replica) const {
+  return GetReplicaState(shard, replica);
+}
+
+// ---------------------------------------------------------------------------
+// Frontier lifecycle with failover
+// ---------------------------------------------------------------------------
+
+bool Router::AcquireFrontier(OpenShard* open, const geom::Vec& query,
+                             const service::StreamOptions& limits) {
+  const std::vector<std::unique_ptr<ShardBackend>>& replicas =
+      shards_[open->shard].replicas;
+  for (size_t r = 0; r < replicas.size(); ++r) {
+    if (GetReplicaState(open->shard, r) != ReplicaState::kHealthy) continue;
+    Result<std::unique_ptr<ShardFrontier>> frontier =
+        replicas[r]->OpenFrontier(query, limits);
+    if (!frontier.ok()) {
+      SetReplicaState(open->shard, r, ReplicaState::kDead);
+      continue;
+    }
+    // Replay the skip: drop the results this query already consumed.
+    bool replica_dead = false;
+    for (size_t i = 0; i < open->consumed; ++i) {
+      Result<std::optional<gist::Neighbor>> n = (*frontier)->Next();
+      if (!n.ok()) {
+        SetReplicaState(open->shard, r, ReplicaState::kDead);
+        replica_dead = true;
+        break;
+      }
+      if (!n->has_value()) break;  // shorter (degraded) replica: let the
+                                   // caller observe the exhaustion.
+    }
+    if (replica_dead) continue;
+    open->frontier = std::move(*frontier);
+    open->replica = r;
+    return true;
+  }
+  return false;
+}
+
+bool Router::CloseStream(OpenShard* open) {
+  if (open->frontier == nullptr) return true;
+  Status verdict = open->frontier->Finish();
+  if (verdict.ok()) {
+    open->degraded |= open->frontier->degraded();
+    open->truncated |= open->frontier->truncated();
+    open->pages_skipped += open->frontier->pages_skipped();
+  }
+  open->frontier.reset();
+  return verdict.ok();
+}
+
+bool Router::PullNext(OpenShard* open, const geom::Vec& query,
+                      const service::StreamOptions& limits,
+                      std::optional<gist::Neighbor>* out) {
+  while (true) {
+    if (open->frontier == nullptr) {
+      if (!AcquireFrontier(open, query, limits)) return false;
+    }
+    Result<std::optional<gist::Neighbor>> next = open->frontier->Next();
+    if (next.ok()) {
+      if (next->has_value()) {
+        ++open->consumed;
+        *out = **next;
+        return true;
+      }
+      if (CloseStream(open)) {
+        out->reset();
+        return true;
+      }
+      // The terminal verdict was an error (shed, quota, transport):
+      // this replica failed the query even though the stream "ended".
+    }
+    SetReplicaState(open->shard, open->replica, ReplicaState::kDead);
+    open->frontier.reset();
+    if (!AcquireFrontier(open, query, limits)) return false;
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather k-NN
+// ---------------------------------------------------------------------------
+
+Result<service::QueryResponse> Router::Knn(
+    const geom::Vec& query, const service::StreamOptions& stream) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const size_t k = stream.max_results;
+
+  // Snapshot every shard's root bound once, under the shared side of
+  // the map lock: concurrent inserts may enlarge boxes mid-query, but a
+  // bound taken now is still admissible for everything the shard held
+  // when its frontier opens (boxes only grow).
+  std::vector<double> bound(shards_.size());
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mutex_);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      bound[s] = map_.RootBound(s, query);
+    }
+  }
+
+  // Global merge heap: min by key, then by shard index (deterministic).
+  // Unopened shards are keyed by their root bound (a lower bound on
+  // anything they can stream); open shards by their head's exact
+  // distance. The top is therefore always <= every result any shard
+  // can still produce.
+  struct HeapEntry {
+    double key;
+    size_t shard;
+    bool opened;
+  };
+  struct HeapGreater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      return std::tie(a.key, a.shard) > std::tie(b.key, b.shard);
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapGreater> heap;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    // An infinite bound means an empty shard: nothing to fetch, ever.
+    if (bound[s] < std::numeric_limits<double>::infinity()) {
+      heap.push(HeapEntry{bound[s], s, false});
+    }
+  }
+
+  std::vector<std::unique_ptr<OpenShard>> open(shards_.size());
+  service::QueryResponse response;
+  size_t dead_shards = 0;
+  bool fleet_degraded = false;
+  size_t visited = 0;
+
+  // A shard with no live replica left: charge the fault budget (the
+  // response becomes a flagged, genuine subset) or fail the query.
+  auto shard_died = [&](size_t s) -> Status {
+    ++dead_shards;
+    if (dead_shards > options_.fault_budget) {
+      return Status::Unavailable(
+          "shard " + std::to_string(s) +
+          " has no live replica and the fault budget (" +
+          std::to_string(options_.fault_budget) + ") is exhausted");
+    }
+    fleet_degraded = true;
+    return Status::OK();
+  };
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    // Termination: results are emitted in non-decreasing order, so once
+    // k exist, every remaining heap key — root bounds of shards never
+    // opened included — is >= the k-th distance. Those shards are
+    // provably irrelevant; they are counted pruned below.
+    if (k > 0 && response.neighbors.size() >= k) break;
+    if (top.key > stream.budget_radius) break;
+    heap.pop();
+
+    if (!top.opened) {
+      auto os = std::make_unique<OpenShard>();
+      os->shard = top.shard;
+      if (!AcquireFrontier(os.get(), query, stream)) {
+        BW_RETURN_IF_ERROR(shard_died(top.shard));
+        continue;
+      }
+      ++visited;
+      std::optional<gist::Neighbor> head;
+      if (!PullNext(os.get(), query, stream, &head)) {
+        open[top.shard] = std::move(os);  // keep accounting folded so far.
+        BW_RETURN_IF_ERROR(shard_died(top.shard));
+        continue;
+      }
+      if (head.has_value()) {
+        os->head = *head;
+        heap.push(HeapEntry{head->distance, top.shard, true});
+      }
+      open[top.shard] = std::move(os);
+    } else {
+      OpenShard* os = open[top.shard].get();
+      response.neighbors.push_back(os->head);
+      std::optional<gist::Neighbor> head;
+      if (!PullNext(os, query, stream, &head)) {
+        BW_RETURN_IF_ERROR(shard_died(top.shard));
+        continue;
+      }
+      if (head.has_value()) {
+        os->head = *head;
+        heap.push(HeapEntry{head->distance, top.shard, true});
+      }
+    }
+  }
+
+  // Whatever is still unopened in the heap was pruned by the bound.
+  size_t pruned = 0;
+  while (!heap.empty()) {
+    if (!heap.top().opened) ++pruned;
+    heap.pop();
+  }
+
+  // Close streams cut short by early termination. The results already
+  // merged are exact regardless of the close verdict (each was the
+  // global minimum when emitted), so a close failure here only loses
+  // that shard's tail accounting.
+  for (std::unique_ptr<OpenShard>& os : open) {
+    if (os != nullptr) CloseStream(os.get());
+  }
+  for (const std::unique_ptr<OpenShard>& os : open) {
+    if (os == nullptr) continue;
+    response.metrics.pages_skipped += os->pages_skipped;
+    response.metrics.truncated |= os->truncated;
+    if (os->degraded) fleet_degraded = true;
+  }
+  if (fleet_degraded) {
+    response.completeness = service::Completeness::kDegraded;
+    degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  shards_visited_.fetch_add(visited, std::memory_order_relaxed);
+  shards_pruned_.fetch_add(pruned, std::memory_order_relaxed);
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Range fan-out
+// ---------------------------------------------------------------------------
+
+Result<service::QueryResponse> Router::Range(const geom::Vec& query,
+                                             double radius,
+                                             uint32_t deadline_us) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<double> bound(shards_.size());
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mutex_);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      bound[s] = map_.RootBound(s, query);
+    }
+  }
+
+  service::QueryResponse response;
+  size_t dead_shards = 0;
+  bool fleet_degraded = false;
+  size_t visited = 0;
+  size_t pruned = 0;
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (bound[s] > radius) {
+      // Nothing in the shard can be within the radius.
+      if (bound[s] < std::numeric_limits<double>::infinity()) ++pruned;
+      continue;
+    }
+    bool answered = false;
+    for (size_t r = 0; r < shards_[s].replicas.size(); ++r) {
+      if (GetReplicaState(s, r) != ReplicaState::kHealthy) continue;
+      Result<service::QueryResponse> part =
+          shards_[s].replicas[r]->Range(query, radius, deadline_us);
+      if (!part.ok()) {
+        SetReplicaState(s, r, ReplicaState::kDead);
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      ++visited;
+      response.neighbors.insert(response.neighbors.end(),
+                                part->neighbors.begin(),
+                                part->neighbors.end());
+      response.metrics.pages_skipped += part->metrics.pages_skipped;
+      response.metrics.truncated |= part->metrics.truncated;
+      if (part->degraded()) fleet_degraded = true;
+      answered = true;
+      break;
+    }
+    if (!answered) {
+      ++dead_shards;
+      if (dead_shards > options_.fault_budget) {
+        return Status::Unavailable(
+            "shard " + std::to_string(s) +
+            " has no live replica and the fault budget (" +
+            std::to_string(options_.fault_budget) + ") is exhausted");
+      }
+      fleet_degraded = true;
+    }
+  }
+
+  std::sort(response.neighbors.begin(), response.neighbors.end(),
+            [](const gist::Neighbor& a, const gist::Neighbor& b) {
+              return std::tie(a.distance, a.rid) < std::tie(b.distance, b.rid);
+            });
+  if (fleet_degraded) {
+    response.completeness = service::Completeness::kDegraded;
+    degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shards_visited_.fetch_add(visited, std::memory_order_relaxed);
+  shards_pruned_.fetch_add(pruned, std::memory_order_relaxed);
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Mutations
+// ---------------------------------------------------------------------------
+
+Result<service::MutationOutcome> Router::Insert(const geom::Vec& point,
+                                                uint64_t rid) {
+  mutations_.fetch_add(1, std::memory_order_relaxed);
+  size_t owner;
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mutex_);
+    owner = map_.OwnerOf(point);
+  }
+
+  // Apply to every live replica of the owner. A replica that misses the
+  // write while a sibling acks it has diverged: count-based failover
+  // skip is no longer sound against it, so it goes kStale — permanently
+  // out of rotation (only a rebuild brings it back).
+  std::optional<service::MutationOutcome> acked;
+  Status last_error = Status::Unavailable("no live replica");
+  std::vector<size_t> missed;
+  for (size_t r = 0; r < shards_[owner].replicas.size(); ++r) {
+    const ReplicaState state = GetReplicaState(owner, r);
+    if (state == ReplicaState::kStale) continue;
+    if (state == ReplicaState::kDead) {
+      missed.push_back(r);
+      continue;
+    }
+    Result<service::MutationOutcome> outcome =
+        shards_[owner].replicas[r]->Insert(point, rid);
+    if (outcome.ok()) {
+      if (!acked.has_value()) acked = *outcome;
+    } else {
+      last_error = outcome.status();
+      missed.push_back(r);
+    }
+  }
+  if (!acked.has_value()) return last_error;  // nobody acked: no divergence.
+  for (size_t r : missed) SetReplicaState(owner, r, ReplicaState::kStale);
+  {
+    std::unique_lock<std::shared_mutex> lock(map_mutex_);
+    map_.EnlargeForInsert(owner, point);
+  }
+  return *acked;
+}
+
+Result<service::MutationOutcome> Router::Remove(const geom::Vec& point,
+                                                uint64_t rid) {
+  mutations_.fetch_add(1, std::memory_order_relaxed);
+  // Boxes overlap once enlarged, so the pair's home shard cannot be
+  // recovered from the map: broadcast. NotFound from a shard is a
+  // consistent "not here" — only transport/apply errors diverge.
+  std::optional<service::MutationOutcome> found;
+  Status last_error = Status::NotFound("rid not present on any shard");
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::optional<service::MutationOutcome> acked;
+    bool found_here = false;
+    std::vector<size_t> missed;
+    for (size_t r = 0; r < shards_[s].replicas.size(); ++r) {
+      const ReplicaState state = GetReplicaState(s, r);
+      if (state == ReplicaState::kStale) continue;
+      if (state == ReplicaState::kDead) {
+        missed.push_back(r);
+        continue;
+      }
+      Result<service::MutationOutcome> outcome =
+          shards_[s].replicas[r]->Remove(point, rid);
+      if (outcome.ok()) {
+        if (!acked.has_value()) acked = *outcome;
+        found_here = true;
+      } else if (outcome.status().code() == StatusCode::kNotFound) {
+        // Consistent absence; the delete "applied" as a no-op.
+        if (!acked.has_value()) acked = service::MutationOutcome{};
+      } else {
+        last_error = outcome.status();
+        missed.push_back(r);
+      }
+    }
+    if (acked.has_value()) {
+      for (size_t r : missed) SetReplicaState(s, r, ReplicaState::kStale);
+    }
+    if (found_here && !found.has_value()) found = acked;
+  }
+  if (found.has_value()) return *found;
+  return last_error;
+}
+
+// ---------------------------------------------------------------------------
+// Stats / health / probes
+// ---------------------------------------------------------------------------
+
+RouterStats Router::stats() const {
+  RouterStats out;
+  out.queries = queries_.load(std::memory_order_relaxed);
+  out.shards_visited = shards_visited_.load(std::memory_order_relaxed);
+  out.shards_pruned = shards_pruned_.load(std::memory_order_relaxed);
+  out.failovers = failovers_.load(std::memory_order_relaxed);
+  out.degraded_queries = degraded_queries_.load(std::memory_order_relaxed);
+  out.probes = probes_.load(std::memory_order_relaxed);
+  out.mutations = mutations_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Router::StatsFields() const {
+  const RouterStats s = stats();
+  std::vector<std::pair<std::string, double>> fields;
+  fields.emplace_back("router.shards", static_cast<double>(shards_.size()));
+  fields.emplace_back("router.queries", static_cast<double>(s.queries));
+  fields.emplace_back("router.shards_visited",
+                      static_cast<double>(s.shards_visited));
+  fields.emplace_back("router.shards_pruned",
+                      static_cast<double>(s.shards_pruned));
+  fields.emplace_back("router.failovers", static_cast<double>(s.failovers));
+  fields.emplace_back("router.degraded_queries",
+                      static_cast<double>(s.degraded_queries));
+  fields.emplace_back("router.probes", static_cast<double>(s.probes));
+  fields.emplace_back("router.mutations", static_cast<double>(s.mutations));
+  size_t dead = 0, stale = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    for (size_t sh = 0; sh < states_.size(); ++sh) {
+      size_t live = 0;
+      for (ReplicaState state : states_[sh]) {
+        if (state == ReplicaState::kHealthy) ++live;
+        if (state == ReplicaState::kDead) ++dead;
+        if (state == ReplicaState::kStale) ++stale;
+      }
+      fields.emplace_back("router.shard" + std::to_string(sh) +
+                              ".live_replicas",
+                          static_cast<double>(live));
+    }
+  }
+  fields.emplace_back("router.dead_replicas", static_cast<double>(dead));
+  fields.emplace_back("router.stale_replicas", static_cast<double>(stale));
+  return fields;
+}
+
+net::HealthReply Router::Health() const {
+  net::HealthReply reply;
+  reply.writes_enabled = true;
+  reply.completed = queries_.load(std::memory_order_relaxed);
+  size_t unhealthy = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    for (const std::vector<ReplicaState>& shard : states_) {
+      for (ReplicaState state : shard) {
+        if (state != ReplicaState::kHealthy) ++unhealthy;
+      }
+    }
+  }
+  // The fleet analogue of "degraded but answering": some replica is out.
+  reply.write_degraded = unhealthy > 0;
+  reply.pages_quarantined = unhealthy;
+  return reply;
+}
+
+void Router::ProbeNow() {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (size_t r = 0; r < shards_[s].replicas.size(); ++r) {
+      if (GetReplicaState(s, r) == ReplicaState::kStale) continue;
+      probes_.fetch_add(1, std::memory_order_relaxed);
+      const Status verdict = shards_[s].replicas[r]->Probe();
+      SetReplicaState(
+          s, r, verdict.ok() ? ReplicaState::kHealthy : ReplicaState::kDead);
+    }
+  }
+}
+
+void Router::ProbeLoop() {
+  std::unique_lock<std::mutex> lock(probe_mutex_);
+  while (!probe_stop_) {
+    if (probe_cv_.wait_for(lock, options_.probe_interval,
+                           [this] { return probe_stop_; })) {
+      return;
+    }
+    lock.unlock();
+    ProbeNow();
+    lock.lock();
+  }
+}
+
+}  // namespace bw::shard

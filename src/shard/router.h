@@ -1,0 +1,192 @@
+// The scatter-gather shard router: a net::Backend that answers k-NN,
+// range, and mutation requests over a fleet of STR-partitioned shards,
+// each with one or more bit-identical replicas.
+//
+// k-NN is a budgeted best-first merge (DESIGN.md §12). The router keeps
+// a global min-heap whose entries are either an *unopened* shard keyed
+// by its root bound (ShardMap::RootBound — the Euclidean point-to-box
+// lower bound on everything the shard stores) or an *open* shard keyed
+// by its frontier head's exact distance. Popping the heap therefore
+// always yields the globally smallest candidate; results come out in
+// non-decreasing distance order, exactly like a single index's NN
+// cursor. Shards are opened lazily: an unopened shard is only dialed
+// when its root bound reaches the top of the heap, and the query
+// terminates the moment k results exist — every remaining heap key
+// (bound or head) is then >= the k-th distance, so unopened shards are
+// provably irrelevant and are counted as pruned, never visited.
+//
+// Replica failover (the state machine in DESIGN.md §12): a replica that
+// fails a probe, an open, or a mid-stream Next is marked kDead; the
+// query re-opens the same stream on the next live replica and skips the
+// results it already consumed *by count* — replicas are bit-identical
+// (same slice, same build, mutations applied to all), so result N on
+// one replica is result N on another. kDead replicas return via a
+// successful health probe. A replica that fails a mutation which
+// another replica of the same shard acked is marked kStale instead:
+// its contents have diverged, count-skip is no longer sound, and only
+// an operator (rebuild + restart) brings it back.
+//
+// When every replica of a shard is dead the shard itself is dead for
+// this query. RouterOptions::fault_budget says how many dead shards a
+// query tolerates: within budget the query completes with
+// Completeness::kDegraded (every returned neighbor genuine, some may be
+// missing — the same contract as the storage tier's degraded reads);
+// beyond it the query fails kUnavailable. Per-shard degraded
+// accounting (pages_skipped, degraded, truncated) is summed into the
+// merged response's metrics.
+
+#ifndef BLOBWORLD_SHARD_ROUTER_H_
+#define BLOBWORLD_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/backend.h"
+#include "shard/partitioner.h"
+#include "shard/shard_backend.h"
+
+namespace bw::shard {
+
+struct RouterOptions {
+  /// Dead shards one query may tolerate before failing kUnavailable.
+  /// 0 is fail-closed: the first shard with no live replica fails the
+  /// query (mirrors ServiceOptions::fault_budget's default).
+  size_t fault_budget = 0;
+  /// Background health-probe period; zero disables the probe thread
+  /// (tests drive ProbeNow() by hand instead).
+  std::chrono::milliseconds probe_interval{0};
+};
+
+/// Replica lifecycle (see the failover state machine above).
+enum class ReplicaState : uint8_t {
+  kHealthy,  // serving; preferred in replica order.
+  kDead,     // failed a probe/open/stream; probe can resurrect it.
+  kStale,    // diverged on a write; permanently excluded this process.
+};
+
+/// Router counters, all lifetime totals.
+struct RouterStats {
+  uint64_t queries = 0;          // k-NN + range fan-outs executed.
+  uint64_t shards_visited = 0;   // frontiers actually opened.
+  uint64_t shards_pruned = 0;    // shards never opened (bound beat k-th).
+  uint64_t failovers = 0;        // replica handoffs mid-query.
+  uint64_t degraded_queries = 0; // completed under the fault budget.
+  uint64_t probes = 0;           // individual replica probes issued.
+  uint64_t mutations = 0;        // inserts + removes routed.
+};
+
+class Router : public net::Backend {
+ public:
+  /// One shard: its replicas in preference order (all bit-identical).
+  struct Shard {
+    std::vector<std::unique_ptr<ShardBackend>> replicas;
+  };
+
+  Router(ShardMap map, std::vector<Shard> shards, RouterOptions options);
+  ~Router() override;
+
+  // --- net::Backend ------------------------------------------------------
+
+  size_t dim() const override { return map_.dim(); }
+  uint32_t features() const override {
+    return net::kFeatureStreaming | net::kFeatureWrites | net::kFeatureRouter;
+  }
+  std::string peer_name() const override { return "bwrouter"; }
+
+  /// Scatter-gather best-first k-NN (the merge described above).
+  Result<service::QueryResponse> Knn(
+      const geom::Vec& query, const service::StreamOptions& stream) override;
+
+  /// Consistent-range fan-out to every shard whose root bound is within
+  /// the radius; merged results sorted by (distance, rid).
+  Result<service::QueryResponse> Range(const geom::Vec& query, double radius,
+                                       uint32_t deadline_us) override;
+
+  /// Routed to every live replica of OwnerOf(point); the owning shard's
+  /// box is enlarged afterward so RootBound stays admissible.
+  Result<service::MutationOutcome> Insert(const geom::Vec& point,
+                                          uint64_t rid) override;
+  /// Broadcast to all shards (boxes overlap after enlargement, so the
+  /// pair's home cannot be inferred from the map alone); succeeds if
+  /// any shard held the pair.
+  Result<service::MutationOutcome> Remove(const geom::Vec& point,
+                                          uint64_t rid) override;
+
+  std::vector<std::pair<std::string, double>> StatsFields() const override;
+  net::HealthReply Health() const override;
+
+  // --- Fleet introspection / control -------------------------------------
+
+  size_t num_shards() const { return shards_.size(); }
+  RouterStats stats() const;
+  ReplicaState replica_state(size_t shard, size_t replica) const;
+
+  /// One synchronous probe sweep over every non-stale replica: dead
+  /// replicas that answer come back kHealthy, healthy ones that fail
+  /// go kDead. The probe thread calls exactly this.
+  void ProbeNow();
+
+ private:
+  struct OpenShard;  // one shard's in-flight frontier state (router.cc).
+
+  /// Opens the shard's stream on its first live replica (skipping
+  /// open->consumed results — the count-based failover skip); returns
+  /// false when every replica is dead or stale.
+  bool AcquireFrontier(OpenShard* open, const geom::Vec& query,
+                       const service::StreamOptions& limits);
+  /// Next result from an open stream, failing over (re-open + count
+  /// skip) as needed; false when the shard died mid-query. nullopt in
+  /// *out means the shard's stream is cleanly exhausted (accounting
+  /// already folded).
+  bool PullNext(OpenShard* open, const geom::Vec& query,
+                const service::StreamOptions& limits,
+                std::optional<gist::Neighbor>* out);
+  /// Finishes the stream and folds its degraded accounting into the
+  /// OpenShard; returns false when the terminal verdict was an error
+  /// (the caller treats that as a replica failure).
+  bool CloseStream(OpenShard* open);
+
+  void SetReplicaState(size_t shard, size_t replica, ReplicaState state);
+  ReplicaState GetReplicaState(size_t shard, size_t replica) const;
+
+  void ProbeLoop();
+
+  ShardMap map_;
+  std::vector<Shard> shards_;
+  RouterOptions options_;
+
+  /// Guards map_ bounds: queries snapshot root bounds under the shared
+  /// side; EnlargeForInsert takes the exclusive side.
+  mutable std::shared_mutex map_mutex_;
+
+  /// Guards states_ (coarse: reads are per-open/per-probe, not per-row).
+  mutable std::mutex state_mutex_;
+  std::vector<std::vector<ReplicaState>> states_;
+
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> shards_visited_{0};
+  std::atomic<uint64_t> shards_pruned_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> degraded_queries_{0};
+  std::atomic<uint64_t> probes_{0};
+  std::atomic<uint64_t> mutations_{0};
+
+  std::mutex probe_mutex_;
+  std::condition_variable probe_cv_;
+  bool probe_stop_ = false;
+  std::thread probe_thread_;
+
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace bw::shard
+
+#endif  // BLOBWORLD_SHARD_ROUTER_H_

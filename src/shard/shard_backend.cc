@@ -1,0 +1,267 @@
+#include "shard/shard_backend.h"
+
+#include <utility>
+
+namespace bw::shard {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// LocalFrontier: a QueryService::StreamCursor, plus a fault-injection
+// hook so failover tests can fail-stop an in-process replica
+// mid-stream without sockets.
+// ---------------------------------------------------------------------------
+
+class LocalFrontier : public ShardFrontier {
+ public:
+  LocalFrontier(std::unique_ptr<service::QueryService::StreamCursor> cursor,
+                std::shared_ptr<std::atomic<bool>> failed)
+      : cursor_(std::move(cursor)), failed_(std::move(failed)) {}
+
+  Result<std::optional<gist::Neighbor>> Next() override {
+    if (failed_->load(std::memory_order_relaxed)) {
+      return Status::Unavailable("replica fail-stopped (injected)");
+    }
+    return cursor_->Next();
+  }
+
+  Status Finish() override { return Status::OK(); }
+
+  bool degraded() const override { return cursor_->degraded(); }
+  uint64_t pages_skipped() const override { return cursor_->pages_skipped(); }
+  bool truncated() const override { return cursor_->truncated(); }
+
+ private:
+  std::unique_ptr<service::QueryService::StreamCursor> cursor_;
+  std::shared_ptr<std::atomic<bool>> failed_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RemoteFrontier: one in-flight streamed k-NN on a pooled connection.
+// (Namespace scope, not anonymous: it is a friend of RemoteShardBackend.)
+// ---------------------------------------------------------------------------
+
+class RemoteFrontier : public ShardFrontier {
+ public:
+  RemoteFrontier(RemoteShardBackend* owner, std::unique_ptr<net::Client> client,
+                 uint64_t request_id)
+      : owner_(owner), client_(std::move(client)), request_id_(request_id) {}
+
+  ~RemoteFrontier() override {
+    // An unfinished or poisoned stream leaves the connection non-idle;
+    // Release closes it instead of pooling it.
+    if (client_ != nullptr) owner_->Release(std::move(client_));
+  }
+
+  Result<std::optional<gist::Neighbor>> Next() override {
+    return client_->NextResult(request_id_);
+  }
+
+  Status Finish() override {
+    if (finished_) return final_status_;
+    finished_ = true;
+    Result<net::QueryReply> reply = client_->FinishQuery(request_id_);
+    if (!reply.ok()) {
+      final_status_ = reply.status();
+      return final_status_;
+    }
+    degraded_ = reply->degraded;
+    truncated_ = reply->truncated;
+    pages_skipped_ = reply->pages_skipped;
+    final_status_ = reply->status;  // wire verdict (quota, shed, ...).
+    owner_->Release(std::move(client_));
+    return final_status_;
+  }
+
+  bool degraded() const override { return degraded_; }
+  uint64_t pages_skipped() const override { return pages_skipped_; }
+  bool truncated() const override { return truncated_; }
+
+ private:
+  RemoteShardBackend* owner_;
+  std::unique_ptr<net::Client> client_;
+  uint64_t request_id_;
+  bool finished_ = false;
+  Status final_status_;
+  bool degraded_ = false;
+  bool truncated_ = false;
+  uint64_t pages_skipped_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// LocalShardBackend
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<ShardFrontier>> LocalShardBackend::OpenFrontier(
+    const geom::Vec& query, const service::StreamOptions& limits) {
+  if (failed_->load(std::memory_order_relaxed)) {
+    return Status::Unavailable("replica fail-stopped (injected)");
+  }
+  // The router holds cursors on several shards at once while each
+  // shard's writer takes the same generation lock exclusively, so an
+  // unbounded open here is a textbook lock-order inversion across
+  // services. Bound it: past the timeout the open fails kUnavailable
+  // and the router's existing failover / fault-budget machinery takes
+  // over (a write-stalled replica looks briefly dead; the next health
+  // probe resurrects it).
+  service::StreamOptions bounded = limits;
+  if (bounded.open_timeout_us <= 0) {
+    bounded.open_timeout_us = kDefaultOpenTimeoutUs;
+  }
+  std::unique_ptr<service::QueryService::StreamCursor> cursor =
+      service_->OpenCursor(query, bounded);
+  if (cursor == nullptr) {
+    return Status::Unavailable(
+        "shard write-stalled: cursor open timed out");
+  }
+  return std::unique_ptr<ShardFrontier>(
+      new LocalFrontier(std::move(cursor), failed_));
+}
+
+Result<service::QueryResponse> LocalShardBackend::Range(const geom::Vec& query,
+                                                        double radius,
+                                                        uint32_t deadline_us) {
+  if (failed_->load(std::memory_order_relaxed)) {
+    return Status::Unavailable("replica fail-stopped (injected)");
+  }
+  if (deadline_us > 0) {
+    service::StreamOptions stream;
+    stream.budget_radius = radius;
+    stream.deadline_us = static_cast<double>(deadline_us);
+    BW_ASSIGN_OR_RETURN(service::QueryService::ResponseFuture future,
+                        service_->SubmitStream(query, stream));
+    return future.get();
+  }
+  BW_ASSIGN_OR_RETURN(service::QueryService::ResponseFuture future,
+                      service_->SubmitRange(query, radius));
+  return future.get();
+}
+
+Result<service::MutationOutcome> LocalShardBackend::Insert(
+    const geom::Vec& point, uint64_t rid) {
+  if (failed_->load(std::memory_order_relaxed)) {
+    return Status::Unavailable("replica fail-stopped (injected)");
+  }
+  BW_ASSIGN_OR_RETURN(service::QueryService::MutationFuture future,
+                      service_->SubmitInsert(point, rid));
+  return future.get();
+}
+
+Result<service::MutationOutcome> LocalShardBackend::Remove(
+    const geom::Vec& point, uint64_t rid) {
+  if (failed_->load(std::memory_order_relaxed)) {
+    return Status::Unavailable("replica fail-stopped (injected)");
+  }
+  BW_ASSIGN_OR_RETURN(service::QueryService::MutationFuture future,
+                      service_->SubmitDelete(point, rid));
+  return future.get();
+}
+
+Status LocalShardBackend::Probe() {
+  if (failed_->load(std::memory_order_relaxed)) {
+    return Status::Unavailable("replica fail-stopped (injected)");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// RemoteShardBackend
+// ---------------------------------------------------------------------------
+
+RemoteShardBackend::RemoteShardBackend(std::string host, uint16_t port,
+                                       net::ClientOptions client_options,
+                                       size_t max_idle_connections)
+    : host_(std::move(host)),
+      port_(port),
+      client_options_(client_options),
+      max_idle_connections_(max_idle_connections) {}
+
+std::string RemoteShardBackend::DebugName() const {
+  return host_ + ":" + std::to_string(port_);
+}
+
+Result<std::unique_ptr<net::Client>> RemoteShardBackend::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!idle_.empty()) {
+      std::unique_ptr<net::Client> client = std::move(idle_.back());
+      idle_.pop_back();
+      return client;
+    }
+  }
+  return net::Client::Connect(host_, port_, client_options_);
+}
+
+void RemoteShardBackend::Release(std::unique_ptr<net::Client> client) {
+  if (client == nullptr || !client->idle()) return;  // poisoned/mid-stream.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (idle_.size() < max_idle_connections_) idle_.push_back(std::move(client));
+}
+
+Result<std::unique_ptr<ShardFrontier>> RemoteShardBackend::OpenFrontier(
+    const geom::Vec& query, const service::StreamOptions& limits) {
+  BW_ASSIGN_OR_RETURN(std::unique_ptr<net::Client> client, Acquire());
+  net::QueryLimits wire_limits;
+  wire_limits.deadline_us = static_cast<uint32_t>(limits.deadline_us);
+  wire_limits.budget_radius = limits.budget_radius;
+  wire_limits.batch_size = frontier_batch_size_;
+  Result<uint64_t> id =
+      client->SubmitKnn(query, limits.max_results, wire_limits);
+  if (!id.ok()) return id.status();
+  return std::unique_ptr<ShardFrontier>(
+      new RemoteFrontier(this, std::move(client), *id));
+}
+
+Result<service::QueryResponse> RemoteShardBackend::Range(
+    const geom::Vec& query, double radius, uint32_t deadline_us) {
+  BW_ASSIGN_OR_RETURN(std::unique_ptr<net::Client> client, Acquire());
+  Result<net::QueryReply> reply = client->Range(query, radius, deadline_us);
+  if (!reply.ok()) return reply.status();
+  Release(std::move(client));
+  if (!reply->ok()) return reply->status;
+  service::QueryResponse response;
+  response.neighbors = std::move(reply->neighbors);
+  response.metrics.pages_skipped = reply->pages_skipped;
+  response.metrics.truncated = reply->truncated;
+  response.metrics.latency_us = reply->server_latency_us;
+  response.completeness = reply->degraded ? service::Completeness::kDegraded
+                                          : service::Completeness::kComplete;
+  return response;
+}
+
+Result<service::MutationOutcome> RemoteShardBackend::Insert(
+    const geom::Vec& point, uint64_t rid) {
+  BW_ASSIGN_OR_RETURN(std::unique_ptr<net::Client> client, Acquire());
+  Result<net::MutateReply> reply = client->Insert(point, rid);
+  if (!reply.ok()) return reply.status();
+  Release(std::move(client));
+  if (!reply->ok()) return reply->status;
+  service::MutationOutcome outcome;
+  outcome.tag = reply->tag;
+  return outcome;
+}
+
+Result<service::MutationOutcome> RemoteShardBackend::Remove(
+    const geom::Vec& point, uint64_t rid) {
+  BW_ASSIGN_OR_RETURN(std::unique_ptr<net::Client> client, Acquire());
+  Result<net::MutateReply> reply = client->Remove(point, rid);
+  if (!reply.ok()) return reply.status();
+  Release(std::move(client));
+  if (!reply->ok()) return reply->status;
+  service::MutationOutcome outcome;
+  outcome.tag = reply->tag;
+  return outcome;
+}
+
+Status RemoteShardBackend::Probe() {
+  Result<std::unique_ptr<net::Client>> client = Acquire();
+  if (!client.ok()) return client.status();
+  Result<net::HealthReply> health = (*client)->Health();
+  if (!health.ok()) return health.status();
+  Release(std::move(*client));
+  return Status::OK();
+}
+
+}  // namespace bw::shard

@@ -1,0 +1,171 @@
+// One replica of one shard, as the router sees it: a handle that can
+// open streaming best-first frontiers, execute range queries and
+// mutations, and answer a cheap health probe. Two implementations:
+//
+//   LocalShardBackend  — an in-process QueryService (tests, bench, and
+//                        single-binary fleets). Frontiers are
+//                        QueryService::StreamCursor sessions.
+//   RemoteShardBackend — a bwserver endpoint over net::Client.
+//                        Frontiers consume streamed kResultBatch
+//                        frames incrementally (Client::NextResult);
+//                        connections are pooled and reused only when a
+//                        stream was drained cleanly.
+//
+// Thread-safety: the router calls these from every server dispatch
+// thread concurrently. LocalShardBackend is safe because QueryService
+// is; RemoteShardBackend hands each caller its own pooled connection
+// (net::Client itself is single-threaded by contract).
+
+#ifndef BLOBWORLD_SHARD_SHARD_BACKEND_H_
+#define BLOBWORLD_SHARD_SHARD_BACKEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/vec.h"
+#include "gist/tree.h"
+#include "net/client.h"
+#include "service/query_service.h"
+#include "util/status.h"
+
+namespace bw::shard {
+
+/// A shard's best-first result stream: non-decreasing distances, one
+/// result per Next(), nullopt at the end. Degraded accounting is valid
+/// once the stream ended (for remote frontiers it arrives with the
+/// terminal frame, fetched by Finish()).
+class ShardFrontier {
+ public:
+  virtual ~ShardFrontier() = default;
+
+  /// Next neighbor, nullopt when the stream is finished. An error
+  /// means the replica failed mid-stream (transport loss, fail-stop):
+  /// the caller fails over; this frontier is dead.
+  virtual Result<std::optional<gist::Neighbor>> Next() = 0;
+
+  /// Completes the stream's accounting (drains remaining frames for a
+  /// remote frontier). Call once, after Next() returned nullopt or the
+  /// caller decided to stop consuming. Idempotent via the caller's
+  /// discipline; degraded()/pages_skipped()/truncated() are valid
+  /// afterward.
+  virtual Status Finish() = 0;
+
+  virtual bool degraded() const = 0;
+  virtual uint64_t pages_skipped() const = 0;
+  virtual bool truncated() const = 0;
+};
+
+/// One replica's full request surface.
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  virtual Result<std::unique_ptr<ShardFrontier>> OpenFrontier(
+      const geom::Vec& query, const service::StreamOptions& limits) = 0;
+
+  virtual Result<service::QueryResponse> Range(const geom::Vec& query,
+                                               double radius,
+                                               uint32_t deadline_us) = 0;
+
+  virtual Result<service::MutationOutcome> Insert(const geom::Vec& point,
+                                                  uint64_t rid) = 0;
+  virtual Result<service::MutationOutcome> Remove(const geom::Vec& point,
+                                                  uint64_t rid) = 0;
+
+  /// Cheap liveness probe (the health-probe thread's primitive).
+  virtual Status Probe() = 0;
+
+  /// Human-readable replica identity ("local:0/1", "10.0.0.2:7070").
+  virtual std::string DebugName() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// In-process replica
+// ---------------------------------------------------------------------------
+
+class LocalShardBackend : public ShardBackend {
+ public:
+  /// Bound on waiting for a shard's generation lock at cursor open
+  /// (see OpenFrontier): far above any writer batch, far below forever.
+  static constexpr double kDefaultOpenTimeoutUs = 2'000'000;
+
+  /// The service must outlive the backend.
+  explicit LocalShardBackend(service::QueryService* service,
+                             std::string name = "local")
+      : service_(service), name_(std::move(name)) {}
+
+  Result<std::unique_ptr<ShardFrontier>> OpenFrontier(
+      const geom::Vec& query, const service::StreamOptions& limits) override;
+  Result<service::QueryResponse> Range(const geom::Vec& query, double radius,
+                                       uint32_t deadline_us) override;
+  Result<service::MutationOutcome> Insert(const geom::Vec& point,
+                                          uint64_t rid) override;
+  Result<service::MutationOutcome> Remove(const geom::Vec& point,
+                                          uint64_t rid) override;
+  Status Probe() override;
+  std::string DebugName() const override { return name_; }
+
+  /// Fault injection: while set, every call (and every open frontier's
+  /// Next) fails with Unavailable — an in-process fail-stop for the
+  /// failover tests and the chaos harness, no sockets needed.
+  void set_failed(bool failed) {
+    failed_->store(failed, std::memory_order_relaxed);
+  }
+
+ private:
+  service::QueryService* service_;
+  std::string name_;
+  std::shared_ptr<std::atomic<bool>> failed_ =
+      std::make_shared<std::atomic<bool>>(false);
+};
+
+// ---------------------------------------------------------------------------
+// Remote replica (a bwserver endpoint)
+// ---------------------------------------------------------------------------
+
+class RemoteShardBackend : public ShardBackend {
+ public:
+  RemoteShardBackend(std::string host, uint16_t port,
+                     net::ClientOptions client_options = net::ClientOptions(),
+                     size_t max_idle_connections = 4);
+
+  Result<std::unique_ptr<ShardFrontier>> OpenFrontier(
+      const geom::Vec& query, const service::StreamOptions& limits) override;
+  Result<service::QueryResponse> Range(const geom::Vec& query, double radius,
+                                       uint32_t deadline_us) override;
+  Result<service::MutationOutcome> Insert(const geom::Vec& point,
+                                          uint64_t rid) override;
+  Result<service::MutationOutcome> Remove(const geom::Vec& point,
+                                          uint64_t rid) override;
+  Status Probe() override;
+  std::string DebugName() const override;
+
+  /// Results per streamed batch frame frontiers ask the server for.
+  void set_frontier_batch_size(uint32_t n) { frontier_batch_size_ = n; }
+
+ private:
+  friend class RemoteFrontier;
+
+  /// Pops an idle pooled connection or dials a fresh one.
+  Result<std::unique_ptr<net::Client>> Acquire();
+  /// Returns a connection to the pool — only if it is idle (stream
+  /// fully drained, not poisoned); otherwise it just closes.
+  void Release(std::unique_ptr<net::Client> client);
+
+  std::string host_;
+  uint16_t port_;
+  net::ClientOptions client_options_;
+  uint32_t frontier_batch_size_ = 32;
+  size_t max_idle_connections_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<net::Client>> idle_;
+};
+
+}  // namespace bw::shard
+
+#endif  // BLOBWORLD_SHARD_SHARD_BACKEND_H_

@@ -1057,5 +1057,104 @@ TEST(NetShutdown, NewRequestsDuringDrainAreShedWithDistinctCode) {
   shutdown_thread.join();
 }
 
+// ---------------------------------------------------------------------------
+// kHello handshake: version negotiation and feature flags
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, HelloPayloadsRoundTripAndTolerateTrailingBytes) {
+  HelloRequest req;
+  req.major = 1;
+  req.minor = 7;
+  req.features = kFeatureStreaming | kFeatureRouter;
+  req.peer = "net_test";
+  std::string payload;
+  EncodeHelloRequest(req, &payload);
+  HelloRequest decoded;
+  ASSERT_TRUE(DecodeHelloRequest(payload, &decoded));
+  EXPECT_EQ(decoded.major, req.major);
+  EXPECT_EQ(decoded.minor, req.minor);
+  EXPECT_EQ(decoded.features, req.features);
+  EXPECT_EQ(decoded.peer, req.peer);
+
+  // Forward compatibility: a future minor may append fields, so
+  // trailing bytes must be tolerated...
+  ASSERT_TRUE(DecodeHelloRequest(payload + "future-fields", &decoded));
+  // ...but truncation is still malformed.
+  EXPECT_FALSE(DecodeHelloRequest(
+      std::string_view(payload).substr(0, 3), &decoded));
+
+  HelloReply reply;
+  reply.major = 1;
+  reply.minor = 2;
+  reply.features = kServerFeatures;
+  reply.peer = "bwserver";
+  payload.clear();
+  EncodeHelloReply(reply, &payload);
+  HelloReply reply_decoded;
+  ASSERT_TRUE(DecodeHelloReply(payload, &reply_decoded));
+  EXPECT_EQ(reply_decoded.major, reply.major);
+  EXPECT_EQ(reply_decoded.minor, reply.minor);
+  EXPECT_EQ(reply_decoded.features, reply.features);
+  EXPECT_EQ(reply_decoded.peer, reply.peer);
+  EXPECT_FALSE(DecodeHelloReply(
+      std::string_view(payload).substr(0, 5), &reply_decoded));
+}
+
+TEST(NetHello, HandshakeNegotiatesVersionAndFeatures) {
+  NetHarness h;
+  auto client = h.Connect();  // ClientOptions default: handshake on.
+  const HelloReply& hello = client->server_hello();
+  EXPECT_EQ(hello.major, kWireVersionMajor);
+  EXPECT_EQ(hello.minor, kWireVersionMinor);
+  EXPECT_EQ(hello.peer, "bwserver");
+  // The harness service is read-only: streaming is advertised, writes
+  // are masked off.
+  EXPECT_NE(hello.features & kFeatureStreaming, 0u);
+  EXPECT_EQ(hello.features & kFeatureWrites, 0u);
+
+  // The handshaken connection serves queries normally.
+  auto reply = client->Knn(h.vectors[0], 5);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_TRUE(reply->ok());
+  EXPECT_EQ(RidSet(reply->neighbors), RidSet(TruthKnn(*h.tree,
+                                                      h.vectors[0], 5)));
+}
+
+TEST(NetHello, ClientWithoutHandshakeKeepsPreHelloBehavior) {
+  NetHarness h;
+  ClientOptions copts;
+  copts.handshake = false;
+  auto client = h.Connect(copts);
+  EXPECT_EQ(client->server_hello().features, 0u);  // never negotiated.
+  auto reply = client->Knn(h.vectors[1], 3);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->ok());
+}
+
+TEST(NetHello, MajorMismatchAnswersOnceThenDoomsConnection) {
+  NetHarness h;
+  RawConn conn(h.server->port());
+  HelloRequest req;
+  req.major = kWireVersionMajor + 1;  // a protocol we do not speak.
+  req.peer = "time-traveler";
+  std::string payload;
+  EncodeHelloRequest(req, &payload);
+  FrameHeader header;
+  header.type = MsgType::kHello;
+  header.request_id = 1;
+  ASSERT_TRUE(conn.Send(EncodeFrame(header, payload)));
+
+  // Exactly one frame pair: a kHelloReply carrying the server's own
+  // version with the mismatch status, then EOF.
+  auto frames = conn.ReadFrames(1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.type, MsgType::kHelloReply);
+  EXPECT_EQ(frames[0].header.status, kWireVersionMismatch);
+  HelloReply reply;
+  ASSERT_TRUE(DecodeHelloReply(frames[0].payload, &reply));
+  EXPECT_EQ(reply.major, kWireVersionMajor);
+  EXPECT_TRUE(conn.WaitEof());
+}
+
 }  // namespace
 }  // namespace bw::net

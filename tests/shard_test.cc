@@ -1,0 +1,561 @@
+// Tests for the horizontal sharding tier (src/shard/): STR partition
+// properties (coverage, global RIDs, bound admissibility), ShardMap
+// routing, and the scatter-gather router's headline contracts — k-NN
+// over N healthy shards bit-identical to a single unsharded index,
+// degraded accounting summed exactly across shards, deterministic
+// mid-stream replica failover with count-skip, fault-budget fail-closed
+// vs degraded answers, probe-driven recovery (dead resurrects, stale
+// never does), and routed mutations with stale-marking.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/durable_index.h"
+#include "core/index_factory.h"
+#include "service/query_service.h"
+#include "shard/fleet.h"
+#include "shard/partitioner.h"
+#include "shard/router.h"
+#include "shard/shard_backend.h"
+#include "storage/disk_page_file.h"
+#include "storage/store.h"
+#include "tests/test_helpers.h"
+#include "util/random.h"
+
+namespace bw::shard {
+namespace {
+
+using service::StreamOptions;
+
+constexpr size_t kDim = 4;
+
+std::string TempDir(const std::string& name) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "bw_shard_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+core::IndexBuildOptions TestBuild() {
+  core::IndexBuildOptions build;
+  build.am = "xjb";
+  build.xjb_x = 0;
+  return build;
+}
+
+std::unique_ptr<core::BuiltIndex> BuildSingleIndex(
+    const std::vector<geom::Vec>& corpus) {
+  auto built = core::BuildIndex(corpus, TestBuild());
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(*built);
+}
+
+Result<std::unique_ptr<ShardFleet>> BuildFleet(
+    const std::vector<geom::Vec>& corpus, const std::string& name,
+    size_t num_shards, size_t replicas, RouterOptions router = RouterOptions(),
+    service::ServiceOptions service = service::ServiceOptions()) {
+  FleetOptions options;
+  options.num_shards = num_shards;
+  options.replicas_per_shard = replicas;
+  options.build = TestBuild();
+  options.service = service;
+  options.router = router;
+  return ShardFleet::Build(corpus, TempDir(name), options);
+}
+
+std::vector<gist::Neighbor> TruthKnn(const gist::Tree& tree,
+                                     const geom::Vec& query, size_t k) {
+  gist::TraversalStats stats;
+  auto result = tree.KnnSearch(query, k, &stats);
+  BW_CHECK_MSG(result.ok(), result.status().ToString());
+  return std::move(*result);
+}
+
+std::multiset<gist::Rid> RidSet(const std::vector<gist::Neighbor>& neighbors) {
+  std::multiset<gist::Rid> rids;
+  for (const auto& n : neighbors) rids.insert(n.rid);
+  return rids;
+}
+
+// ---------------------------------------------------------------------------
+// Partitioner properties
+// ---------------------------------------------------------------------------
+
+TEST(PartitionerTest, SplitsCoverCorpusWithGlobalRids) {
+  const auto corpus = testing::MakeClusteredPoints(500, kDim, 6, 31);
+  const Partition partition = PartitionByStr(corpus, 4);
+  ASSERT_EQ(partition.num_shards(), 4u);
+  ASSERT_EQ(partition.bounds.size(), 4u);
+
+  std::set<gist::Rid> seen;
+  size_t total = 0;
+  for (size_t s = 0; s < 4; ++s) {
+    ASSERT_EQ(partition.points[s].size(), partition.rids[s].size());
+    ASSERT_FALSE(partition.points[s].empty());
+    total += partition.points[s].size();
+    for (size_t i = 0; i < partition.rids[s].size(); ++i) {
+      const gist::Rid rid = partition.rids[s][i];
+      // RIDs are global corpus positions, never renumbered...
+      ASSERT_LT(rid, corpus.size());
+      EXPECT_TRUE(seen.insert(rid).second) << "rid " << rid << " duplicated";
+      // ...and each shard point is exactly the corpus point it names.
+      for (size_t d = 0; d < kDim; ++d) {
+        ASSERT_EQ(partition.points[s][i][d], corpus[rid][d]);
+      }
+      // Every point is inside its shard's box.
+      EXPECT_EQ(partition.bounds[s].MinDistance(partition.points[s][i]), 0.0);
+    }
+  }
+  EXPECT_EQ(total, corpus.size());  // a true partition: no loss, no overlap.
+}
+
+TEST(PartitionerTest, MinDistanceIsAdmissibleLowerBound) {
+  const auto corpus = testing::MakeClusteredPoints(400, kDim, 5, 47);
+  const Partition partition = PartitionByStr(corpus, 5);
+  const auto queries = testing::MakeUniformPoints(20, kDim, 99);
+  for (const geom::Vec& q : queries) {
+    for (size_t s = 0; s < partition.num_shards(); ++s) {
+      const double bound = partition.bounds[s].MinDistance(q);
+      for (const geom::Vec& p : partition.points[s]) {
+        EXPECT_LE(bound, std::sqrt(p.DistanceSquaredTo(q)) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(PartitionerTest, TinyCorpusEdges) {
+  const auto corpus = testing::MakeUniformPoints(5, kDim, 3);
+  const Partition one = PartitionByStr(corpus, 1);
+  ASSERT_EQ(one.num_shards(), 1u);
+  EXPECT_EQ(one.points[0].size(), corpus.size());
+  const Partition each = PartitionByStr(corpus, 5);
+  for (size_t s = 0; s < 5; ++s) EXPECT_EQ(each.points[s].size(), 1u);
+}
+
+TEST(ShardMapTest, OwnerOfIsNearestBoxAndEnlargeReroutes) {
+  const auto corpus = testing::MakeClusteredPoints(300, kDim, 4, 13);
+  const Partition partition = PartitionByStr(corpus, 3);
+  ShardMap map(kDim, partition.bounds);
+
+  // A stored point is inside its own shard's box: distance 0 wins
+  // (possibly shared with an overlapping box — ties go to the lowest
+  // index, so the owner's bound must at least be 0 too).
+  for (size_t s = 0; s < 3; ++s) {
+    const size_t owner = map.OwnerOf(partition.points[s][0]);
+    EXPECT_EQ(map.RootBound(owner, partition.points[s][0]), 0.0);
+  }
+
+  // A far-away point routes somewhere; after EnlargeForInsert that
+  // shard's box contains it, so re-routing it is stable.
+  geom::Vec far(kDim);
+  for (size_t d = 0; d < kDim; ++d) far[d] = 500.0f + 7.0f * d;
+  const size_t owner = map.OwnerOf(far);
+  EXPECT_GT(map.RootBound(owner, far), 0.0);
+  map.EnlargeForInsert(owner, far);
+  EXPECT_EQ(map.RootBound(owner, far), 0.0);
+  EXPECT_EQ(map.OwnerOf(far), owner);
+}
+
+// ---------------------------------------------------------------------------
+// Router vs single index: bit-identical answers
+// ---------------------------------------------------------------------------
+
+TEST(RouterKnnTest, BitIdenticalToSingleIndexRandomized) {
+  const auto corpus = testing::MakeClusteredPoints(1200, kDim, 8, 21);
+  auto single = BuildSingleIndex(corpus);
+  ASSERT_NE(single, nullptr);
+  auto fleet = BuildFleet(corpus, "bitident", 4, 1);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  Router* router = (*fleet)->router();
+
+  Rng rng(2026);
+  for (int q = 0; q < 40; ++q) {
+    geom::Vec query(kDim);
+    for (size_t d = 0; d < kDim; ++d) {
+      query[d] = static_cast<float>(rng.Uniform(0.0, 100.0));
+    }
+    const size_t k = 1 + rng.NextBelow(24);
+    StreamOptions stream;
+    stream.max_results = k;
+    auto merged = router->Knn(query, stream);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    EXPECT_FALSE(merged->degraded());
+    const auto truth = TruthKnn(single->tree(), query, k);
+    ASSERT_EQ(merged->neighbors.size(), truth.size()) << "query " << q;
+    for (size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_EQ(merged->neighbors[i].rid, truth[i].rid)
+          << "query " << q << " position " << i;
+      EXPECT_EQ(merged->neighbors[i].distance, truth[i].distance)
+          << "query " << q << " position " << i;
+    }
+  }
+  // Clustered data + tight shard boxes: early termination must have
+  // left some shards unopened across 40 queries.
+  EXPECT_GT(router->stats().shards_pruned, 0u);
+  EXPECT_EQ(router->stats().queries, 40u);
+}
+
+TEST(RouterKnnTest, RangeMatchesSingleIndex) {
+  const auto corpus = testing::MakeClusteredPoints(800, kDim, 6, 53);
+  auto single = BuildSingleIndex(corpus);
+  ASSERT_NE(single, nullptr);
+  auto fleet = BuildFleet(corpus, "range", 3, 1);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+
+  Rng rng(7);
+  for (int q = 0; q < 10; ++q) {
+    const geom::Vec& query = corpus[rng.NextBelow(corpus.size())];
+    const double radius = rng.Uniform(2.0, 15.0);
+    auto merged = (*fleet)->router()->Range(query, radius, 0);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    gist::TraversalStats stats;
+    auto truth = single->tree().RangeSearch(query, radius, &stats);
+    ASSERT_TRUE(truth.ok());
+    // The router sorts by (distance, rid); the single index sorts by
+    // distance only, so compare as sets plus per-position distances.
+    ASSERT_EQ(merged->neighbors.size(), truth->size());
+    EXPECT_EQ(RidSet(merged->neighbors), RidSet(*truth));
+    std::sort(truth->begin(), truth->end(),
+              [](const gist::Neighbor& a, const gist::Neighbor& b) {
+                return std::tie(a.distance, a.rid) <
+                       std::tie(b.distance, b.rid);
+              });
+    for (size_t i = 0; i < truth->size(); ++i) {
+      EXPECT_EQ(merged->neighbors[i].rid, (*truth)[i].rid);
+      EXPECT_EQ(merged->neighbors[i].distance, (*truth)[i].distance);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degraded accounting: router totals == sum of per-shard totals
+// ---------------------------------------------------------------------------
+
+TEST(RouterFaultTest, DegradedAccountingSumsAcrossShards) {
+  const auto corpus = testing::MakeClusteredPoints(600, kDim, 5, 67);
+  service::ServiceOptions per_shard;
+  per_shard.fault_budget = 1u << 20;  // shards absorb faults, never fail.
+  auto fleet = BuildFleet(corpus, "degradesum", 3, 1, RouterOptions(),
+                          per_shard);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+
+  // Quarantine every page of shard 1: its stream degrades to flagged
+  // and empty while the replica itself stays live.
+  storage::DiskPageFile* disk = (*fleet)->index(1, 0)->store().disk();
+  for (pages::PageId id = 0; id < disk->page_count(); ++id) {
+    disk->health().Quarantine(id);
+  }
+
+  const geom::Vec query = testing::MakeUniformPoints(1, kDim, 5)[0];
+  StreamOptions stream;
+  stream.max_results = corpus.size();  // force every shard open.
+  auto merged = (*fleet)->router()->Knn(query, stream);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_TRUE(merged->degraded());
+
+  // Ground truth: drain the identical stream on each shard directly
+  // and sum the per-shard accounting.
+  uint64_t expected_skipped = 0;
+  bool expected_degraded = false;
+  size_t expected_results = 0;
+  for (size_t s = 0; s < (*fleet)->num_shards(); ++s) {
+    auto cursor = (*fleet)->service(s, 0)->OpenCursor(query, stream);
+    for (;;) {
+      auto next = cursor->Next();
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      if (!next->has_value()) break;
+      ++expected_results;
+    }
+    expected_skipped += cursor->pages_skipped();
+    expected_degraded |= cursor->degraded();
+  }
+  EXPECT_GT(expected_skipped, 0u);
+  EXPECT_TRUE(expected_degraded);
+  EXPECT_EQ(merged->metrics.pages_skipped, expected_skipped);
+  EXPECT_EQ(merged->neighbors.size(), expected_results);
+  EXPECT_GE((*fleet)->router()->stats().degraded_queries, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Mid-stream failover: deterministic fail-after-N replica
+// ---------------------------------------------------------------------------
+
+// Fails every Next() after `fail_after` successful pulls, for every
+// frontier it ever opens — the deterministic stand-in for a replica
+// dying mid-stream.
+class FailAfterFrontier : public ShardFrontier {
+ public:
+  FailAfterFrontier(std::unique_ptr<ShardFrontier> inner, size_t fail_after)
+      : inner_(std::move(inner)), remaining_(fail_after) {}
+
+  Result<std::optional<gist::Neighbor>> Next() override {
+    if (remaining_ == 0) {
+      return Status::Unavailable("replica fail-stopped mid-stream (injected)");
+    }
+    --remaining_;
+    return inner_->Next();
+  }
+  Status Finish() override { return inner_->Finish(); }
+  bool degraded() const override { return inner_->degraded(); }
+  uint64_t pages_skipped() const override { return inner_->pages_skipped(); }
+  bool truncated() const override { return inner_->truncated(); }
+
+ private:
+  std::unique_ptr<ShardFrontier> inner_;
+  size_t remaining_;
+};
+
+class FailAfterBackend : public ShardBackend {
+ public:
+  FailAfterBackend(service::QueryService* service, size_t fail_after)
+      : delegate_(service, "fail-after"), fail_after_(fail_after) {}
+
+  Result<std::unique_ptr<ShardFrontier>> OpenFrontier(
+      const geom::Vec& query, const StreamOptions& limits) override {
+    BW_ASSIGN_OR_RETURN(std::unique_ptr<ShardFrontier> inner,
+                        delegate_.OpenFrontier(query, limits));
+    return std::unique_ptr<ShardFrontier>(
+        new FailAfterFrontier(std::move(inner), fail_after_));
+  }
+  Result<service::QueryResponse> Range(const geom::Vec& query, double radius,
+                                       uint32_t deadline_us) override {
+    return delegate_.Range(query, radius, deadline_us);
+  }
+  Result<service::MutationOutcome> Insert(const geom::Vec& point,
+                                          uint64_t rid) override {
+    return delegate_.Insert(point, rid);
+  }
+  Result<service::MutationOutcome> Remove(const geom::Vec& point,
+                                          uint64_t rid) override {
+    return delegate_.Remove(point, rid);
+  }
+  Status Probe() override { return delegate_.Probe(); }
+  std::string DebugName() const override { return "fail-after"; }
+
+ private:
+  LocalShardBackend delegate_;
+  size_t fail_after_;
+};
+
+TEST(RouterFaultTest, MidStreamFailoverIsBitIdentical) {
+  const auto corpus = testing::MakeClusteredPoints(120, kDim, 3, 41);
+  auto single = BuildSingleIndex(corpus);
+  ASSERT_NE(single, nullptr);
+
+  // Hand-built two-shard fleet: shard 0 has a replica pair over
+  // bit-identical indexes, the preferred one rigged to die after two
+  // mid-stream results.
+  const Partition partition = PartitionByStr(corpus, 2);
+  const std::string dir = TempDir("midstream");
+  std::vector<std::unique_ptr<core::DurableIndex>> indexes;
+  std::vector<std::unique_ptr<service::QueryService>> services;
+  auto make_service = [&](size_t s, const char* tag) {
+    const std::string stem = dir + "/s" + std::to_string(s) + "_" + tag;
+    auto index = BuildShardIndex(partition.points[s], partition.rids[s],
+                                 TestBuild(), stem + ".idx", stem + ".wal");
+    BW_CHECK_MSG(index.ok(), index.status().ToString());
+    indexes.push_back(std::move(*index));
+    services.push_back(std::make_unique<service::QueryService>(
+        indexes.back().get(), service::ServiceOptions()));
+    return services.back().get();
+  };
+  std::vector<Router::Shard> shards(2);
+  shards[0].replicas.push_back(
+      std::make_unique<FailAfterBackend>(make_service(0, "a"), 2));
+  shards[0].replicas.push_back(
+      std::make_unique<LocalShardBackend>(make_service(0, "b"), "local:0/1"));
+  shards[1].replicas.push_back(
+      std::make_unique<LocalShardBackend>(make_service(1, "a"), "local:1/0"));
+  Router router(ShardMap(kDim, partition.bounds), std::move(shards),
+                RouterOptions());
+
+  // k big enough that shard 0 must stream more than two results.
+  const geom::Vec& query = partition.points[0][0];
+  StreamOptions stream;
+  stream.max_results = 40;
+  auto merged = router.Knn(query, stream);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+  const auto truth = TruthKnn(single->tree(), query, 40);
+  ASSERT_EQ(merged->neighbors.size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(merged->neighbors[i].rid, truth[i].rid) << "position " << i;
+    EXPECT_EQ(merged->neighbors[i].distance, truth[i].distance);
+  }
+  EXPECT_GE(router.stats().failovers, 1u);
+  EXPECT_EQ(router.replica_state(0, 0), ReplicaState::kDead);
+  EXPECT_EQ(router.replica_state(0, 1), ReplicaState::kHealthy);
+}
+
+// ---------------------------------------------------------------------------
+// Fault budget: fail closed at 0, degraded-but-genuine within budget
+// ---------------------------------------------------------------------------
+
+TEST(RouterFaultTest, DeadShardFailsClosedWithZeroBudget) {
+  const auto corpus = testing::MakeClusteredPoints(300, kDim, 4, 59);
+  RouterOptions router_options;
+  router_options.fault_budget = 0;
+  auto fleet = BuildFleet(corpus, "budget0", 3, 1, router_options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  (*fleet)->backend(0, 0)->set_failed(true);
+
+  StreamOptions stream;
+  stream.max_results = corpus.size();  // forces shard 0 to open.
+  auto merged = (*fleet)->router()->Knn(corpus[0], stream);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(RouterFaultTest, DeadShardWithinBudgetAnswersDegradedSubset) {
+  const auto corpus = testing::MakeClusteredPoints(300, kDim, 4, 59);
+  RouterOptions router_options;
+  router_options.fault_budget = 1;
+  auto fleet = BuildFleet(corpus, "budget1", 3, 1, router_options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  (*fleet)->backend(0, 0)->set_failed(true);
+
+  StreamOptions stream;
+  stream.max_results = corpus.size();
+  auto merged = (*fleet)->router()->Knn(corpus[0], stream);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_TRUE(merged->degraded());
+
+  // The degraded answer is exactly the surviving shards' corpus slice:
+  // genuine, complete over what is reachable, nothing invented.
+  const Partition partition = PartitionByStr(corpus, 3);
+  std::multiset<gist::Rid> expected;
+  for (gist::Rid rid : partition.rids[1]) expected.insert(rid);
+  for (gist::Rid rid : partition.rids[2]) expected.insert(rid);
+  EXPECT_EQ(RidSet(merged->neighbors), expected);
+  EXPECT_GE((*fleet)->router()->stats().degraded_queries, 1u);
+
+  // The replica answers probes again: the next full query is complete.
+  (*fleet)->backend(0, 0)->set_failed(false);
+  (*fleet)->router()->ProbeNow();
+  auto healed = (*fleet)->router()->Knn(corpus[0], stream);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_FALSE(healed->degraded());
+  EXPECT_EQ(healed->neighbors.size(), corpus.size());
+}
+
+TEST(RouterFaultTest, ProbeResurrectsDeadReplica) {
+  const auto corpus = testing::MakeClusteredPoints(200, kDim, 3, 71);
+  auto fleet = BuildFleet(corpus, "probe", 1, 2);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  Router* router = (*fleet)->router();
+
+  (*fleet)->backend(0, 0)->set_failed(true);
+  StreamOptions stream;
+  stream.max_results = 5;
+  auto merged = router->Knn(corpus[0], stream);  // fails over to replica 1.
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->neighbors.size(), 5u);
+  EXPECT_EQ(router->replica_state(0, 0), ReplicaState::kDead);
+
+  (*fleet)->backend(0, 0)->set_failed(false);
+  router->ProbeNow();
+  EXPECT_EQ(router->replica_state(0, 0), ReplicaState::kHealthy);
+  EXPECT_GT(router->stats().probes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Routed mutations: replicate to all, stale on divergence
+// ---------------------------------------------------------------------------
+
+TEST(RouterMutationTest, InsertReplicatesReadsBackAndRemoves) {
+  const auto corpus = testing::MakeClusteredPoints(240, kDim, 3, 83);
+  service::ServiceOptions per_shard;
+  per_shard.write.enabled = true;
+  auto fleet = BuildFleet(corpus, "mutate", 2, 2, RouterOptions(), per_shard);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  Router* router = (*fleet)->router();
+
+  geom::Vec point(kDim);
+  for (size_t d = 0; d < kDim; ++d) point[d] = 50.0f + 0.25f * d;
+  const gist::Rid rid = 99999;
+  auto inserted = router->Insert(point, rid);
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+
+  StreamOptions one;
+  one.max_results = 1;
+  auto nearest = router->Knn(point, one);
+  ASSERT_TRUE(nearest.ok());
+  ASSERT_EQ(nearest->neighbors.size(), 1u);
+  EXPECT_EQ(nearest->neighbors[0].rid, rid);
+  EXPECT_EQ(nearest->neighbors[0].distance, 0.0);
+
+  // Both replicas of the owning shard applied it (bit-identity holds).
+  const size_t owner = (*fleet)->map().OwnerOf(point);
+  for (size_t r = 0; r < 2; ++r) {
+    auto direct = (*fleet)->service(owner, r)->Knn(point, 1);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_EQ(direct->neighbors.size(), 1u);
+    EXPECT_EQ(direct->neighbors[0].rid, rid);
+  }
+
+  auto removed = router->Remove(point, rid);
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  auto after = router->Knn(point, one);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->neighbors.size(), 1u);
+  EXPECT_NE(after->neighbors[0].rid, rid);
+
+  auto again = router->Remove(point, rid);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kNotFound);
+  EXPECT_GE(router->stats().mutations, 3u);
+}
+
+TEST(RouterMutationTest, MissedWriteMarksReplicaStaleForever) {
+  const auto corpus = testing::MakeClusteredPoints(240, kDim, 3, 89);
+  service::ServiceOptions per_shard;
+  per_shard.write.enabled = true;
+  auto fleet = BuildFleet(corpus, "stale", 1, 2, RouterOptions(), per_shard);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  Router* router = (*fleet)->router();
+
+  // Replica 1 misses a write replica 0 acks: it has diverged.
+  (*fleet)->backend(0, 1)->set_failed(true);
+  geom::Vec point(kDim);
+  for (size_t d = 0; d < kDim; ++d) point[d] = 40.0f + 1.0f * d;
+  auto inserted = router->Insert(point, 98765);
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+  EXPECT_EQ(router->replica_state(0, 1), ReplicaState::kStale);
+
+  // Coming back to life does not cure divergence: stale is terminal.
+  (*fleet)->backend(0, 1)->set_failed(false);
+  router->ProbeNow();
+  EXPECT_EQ(router->replica_state(0, 1), ReplicaState::kStale);
+
+  // Queries keep serving from the consistent replica, write included.
+  StreamOptions one;
+  one.max_results = 1;
+  auto nearest = router->Knn(point, one);
+  ASSERT_TRUE(nearest.ok());
+  ASSERT_EQ(nearest->neighbors.size(), 1u);
+  EXPECT_EQ(nearest->neighbors[0].rid, 98765u);
+
+  // The fleet surfaces the outage in its stats surface.
+  bool found = false;
+  for (const auto& [name, value] : router->StatsFields()) {
+    if (name == "router.stale_replicas") {
+      EXPECT_EQ(value, 1.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(router->Health().write_degraded);
+}
+
+}  // namespace
+}  // namespace bw::shard
