@@ -20,7 +20,16 @@
 // --endpoints (comma-separated) they fan out to a whole shard fleet
 // instead and print one merged table, a column per server — the
 // operator's single view over bwrouter's shards. An unreachable server
-// gets a '-' column rather than failing the sweep.
+// still gets its column ('-' everywhere) plus a per-endpoint error
+// line under the table, and the sweep exits nonzero so scripts notice.
+//
+//   bwadmin catchup --source 127.0.0.1:4830 --target 127.0.0.1:4833
+//
+// catchup is the operator-driven half of replica self-healing: it
+// streams the WAL suffix (or a full snapshot past the checkpoint
+// horizon) from a healthy source bwserver into a lagging target over
+// the wire catch-up RPCs, then verifies bit-identity by checksum —
+// the same protocol bwrouter's background driver runs on its own.
 
 #include <cstdio>
 #include <cstdlib>
@@ -241,6 +250,7 @@ std::string ColumnLabel(const std::string& endpoint) {
 int FleetStats(const std::vector<std::string>& endpoints) {
   std::vector<std::string> names;  // row order: first-seen.
   std::vector<std::vector<std::pair<std::string, double>>> columns;
+  std::vector<std::pair<std::string, std::string>> errors;  // endpoint, why.
   size_t reachable = 0;
   for (const std::string& endpoint : endpoints) {
     std::vector<std::pair<std::string, double>> fields;
@@ -251,12 +261,10 @@ int FleetStats(const std::vector<std::string>& endpoints) {
         fields = std::move(*stats);
         ++reachable;
       } else {
-        std::fprintf(stderr, "warning: %s: %s\n", endpoint.c_str(),
-                     stats.status().ToString().c_str());
+        errors.emplace_back(endpoint, stats.status().ToString());
       }
     } else {
-      std::fprintf(stderr, "warning: %s: %s\n", endpoint.c_str(),
-                   client.status().ToString().c_str());
+      errors.emplace_back(endpoint, client.status().ToString());
     }
     for (const auto& [name, value] : fields) {
       (void)value;
@@ -267,6 +275,9 @@ int FleetStats(const std::vector<std::string>& endpoints) {
     columns.push_back(std::move(fields));
   }
   if (reachable == 0) {
+    for (const auto& [endpoint, why] : errors) {
+      std::fprintf(stderr, "%s: %s\n", endpoint.c_str(), why.c_str());
+    }
     return Fail(Status::Unavailable("no endpoint answered stats"));
   }
 
@@ -296,6 +307,11 @@ int FleetStats(const std::vector<std::string>& endpoints) {
       }
     }
     std::printf("\n");
+  }
+  // Per-endpoint failures under the merged table, where a human (or a
+  // CI grep) sees them next to the '-' columns they explain.
+  for (const auto& [endpoint, why] : errors) {
+    std::printf("error: %-27s %s\n", endpoint.c_str(), why.c_str());
   }
   return reachable == endpoints.size() ? 0 : 1;
 }
@@ -340,13 +356,15 @@ int FleetHealth(const std::vector<std::string>& endpoints) {
   for (const std::string& endpoint : endpoints) {
     auto client = ConnectTo(endpoint);
     if (!client.ok()) {
-      std::printf("%-22s %-10s\n", endpoint.c_str(), "UNREACHABLE");
+      std::printf("%-22s %-10s %s\n", endpoint.c_str(), "UNREACHABLE",
+                  client.status().ToString().c_str());
       exit_code = 1;
       continue;
     }
     auto health = (*client)->Health();
     if (!health.ok()) {
-      std::printf("%-22s %-10s\n", endpoint.c_str(), "ERROR");
+      std::printf("%-22s %-10s %s\n", endpoint.c_str(), "ERROR",
+                  health.status().ToString().c_str());
       exit_code = 1;
       continue;
     }
@@ -403,13 +421,136 @@ int CmdHealth(bw::Flags& flags, int argc, char** argv) {
              : 0;
 }
 
+// Ships the target every page it needs for a full resync (the path a
+// WAL suffix retired past the source's checkpoint forces). Restarts
+// bounded times when the source commits mid-transfer.
+Status ShipSnapshot(bw::net::Client& source, bw::net::Client& target,
+                    uint32_t max_bytes) {
+  for (int restart = 0; restart < 4; ++restart) {
+    uint64_t tag = 0;
+    uint32_t start_page = 0;
+    bool first = true;
+    bool restarted = false;
+    for (;;) {
+      auto chunk = source.PullSnapshot(start_page, max_bytes);
+      if (!chunk.ok()) return chunk.status();
+      if (chunk->pages.empty()) {
+        return Status::Internal("snapshot chunk with no pages");
+      }
+      if (first) {
+        tag = chunk->tag;
+      } else if (chunk->tag != tag) {
+        restarted = true;
+        break;
+      }
+      const bool last = start_page + chunk->pages.size() >= chunk->total_pages;
+      auto ack = target.ApplySnapshot(*chunk, first, last);
+      if (!ack.ok()) return ack.status();
+      first = false;
+      start_page += static_cast<uint32_t>(chunk->pages.size());
+      if (last) {
+        std::printf("  shipped snapshot: %llu pages at tag %llu\n",
+                    (unsigned long long)chunk->total_pages,
+                    (unsigned long long)tag);
+        return Status::OK();
+      }
+    }
+    if (!restarted) break;
+  }
+  return Status::Unavailable(
+      "snapshot transfer kept restarting under concurrent commits");
+}
+
+// Operator-driven replica catch-up between two bwservers: the same
+// WAL-suffix / snapshot / checksum-verify protocol bwrouter's
+// background driver runs, exposed as a command for fleets without a
+// router (or for rehearsing a recovery by hand).
+int CmdCatchup(bw::Flags& flags, int argc, char** argv) {
+  std::string* source_spec = flags.AddString("source", "", "healthy replica");
+  std::string* target_spec = flags.AddString("target", "", "lagging replica");
+  int64_t* max_batches = flags.AddInt64("max_batches", 64, "");
+  int64_t* max_bytes = flags.AddInt64("max_bytes", 1 << 20, "");
+  int64_t* max_rounds = flags.AddInt64("max_rounds", 64, "");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return parsed.code() == StatusCode::kNotFound ? 0 : 2;
+  if (source_spec->empty() || target_spec->empty()) {
+    return Fail(Status::InvalidArgument("--source and --target required"));
+  }
+
+  auto source = ConnectTo(*source_spec);
+  if (!source.ok()) return Fail(source.status());
+  auto target = ConnectTo(*target_spec);
+  if (!target.ok()) return Fail(target.status());
+
+  bool force_snapshot = false;
+  for (int64_t round = 0; round < *max_rounds; ++round) {
+    auto target_pos = (*target)->CatchupPos();
+    if (!target_pos.ok()) return Fail(target_pos.status());
+    auto source_pos = (*source)->CatchupPos();
+    if (!source_pos.ok()) return Fail(source_pos.status());
+
+    if (!force_snapshot && target_pos->last_tag == source_pos->last_tag) {
+      auto source_sum = (*source)->TreeSum();
+      if (!source_sum.ok()) return Fail(source_sum.status());
+      auto target_sum = (*target)->TreeSum();
+      if (!target_sum.ok()) return Fail(target_sum.status());
+      if (source_sum->crc == target_sum->crc &&
+          source_sum->page_count == target_sum->page_count) {
+        std::printf(
+            "%s caught up to %s: tag %llu, %llu pages, crc %08x "
+            "(bit-identical)\n",
+            target_spec->c_str(), source_spec->c_str(),
+            (unsigned long long)target_sum->tag,
+            (unsigned long long)target_sum->page_count, target_sum->crc);
+        return 0;
+      }
+      std::printf("  tags agree (%llu) but trees differ: full resync\n",
+                  (unsigned long long)target_pos->last_tag);
+      force_snapshot = true;
+      continue;
+    }
+
+    if (force_snapshot || target_pos->last_tag > source_pos->last_tag) {
+      Status shipped = ShipSnapshot(**source, **target,
+                                    static_cast<uint32_t>(*max_bytes));
+      if (!shipped.ok()) return Fail(shipped);
+      force_snapshot = false;
+      continue;
+    }
+
+    auto tail = (*source)->PullWal(target_pos->last_tag,
+                                   static_cast<uint32_t>(*max_batches),
+                                   static_cast<uint32_t>(*max_bytes));
+    if (!tail.ok()) return Fail(tail.status());
+    if (tail->snapshot_needed) {
+      std::printf("  suffix after tag %llu retired past a checkpoint: "
+                  "full resync\n",
+                  (unsigned long long)target_pos->last_tag);
+      force_snapshot = true;
+      continue;
+    }
+    for (const auto& batch : tail->batches) {
+      auto ack = (*target)->ApplyWal(batch);
+      if (!ack.ok()) return Fail(ack.status());
+    }
+    if (!tail->batches.empty()) {
+      std::printf("  applied %zu WAL batch(es) through tag %llu\n",
+                  tail->batches.size(),
+                  (unsigned long long)tail->batches.back().tag);
+    }
+  }
+  return Fail(Status::Unavailable(
+      "catch-up did not converge (writes still in flight? "
+      "quiesce the target or raise --max_rounds)"));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(
         stderr,
-        "usage: bwadmin <gen|build|info|query|analyze|stats|health> "
+        "usage: bwadmin <gen|build|info|query|analyze|stats|health|catchup> "
         "[flags]\n");
     return 2;
   }
@@ -437,6 +578,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(command, "health") == 0) {
     return CmdHealth(flags, argc - 1, argv + 1);
+  }
+  if (std::strcmp(command, "catchup") == 0) {
+    return CmdCatchup(flags, argc - 1, argv + 1);
   }
   std::fprintf(stderr, "unknown command '%s'\n", command);
   return 2;

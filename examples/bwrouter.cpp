@@ -130,6 +130,12 @@ int main(int argc, char** argv) {
       "dead shards one query tolerates before failing (0 = fail closed)");
   int64_t* probe_interval_ms = flags.AddInt64(
       "probe_interval_ms", 500, "replica health-probe period (0 = off)");
+  int64_t* probe_backoff_max = flags.AddInt64(
+      "probe_backoff_max", 8,
+      "max sweeps skipped between probes of a repeatedly dead replica");
+  int64_t* catchup_interval_ms = flags.AddInt64(
+      "catchup_interval_ms", 1000,
+      "stale-replica WAL catch-up period (0 = off)");
   int64_t* batch_size = flags.AddInt64(
       "batch_size", 32, "results per streamed frame from remote shards");
   int64_t* workers =
@@ -150,6 +156,10 @@ int main(int argc, char** argv) {
   router_options.fault_budget = static_cast<size_t>(*fault_budget);
   router_options.probe_interval =
       std::chrono::milliseconds(*probe_interval_ms);
+  router_options.probe_backoff_max =
+      static_cast<uint32_t>(*probe_backoff_max);
+  router_options.catchup_interval =
+      std::chrono::milliseconds(*catchup_interval_ms);
 
   std::unique_ptr<bw::shard::ShardFleet> fleet;          // local mode.
   std::unique_ptr<bw::shard::Router> remote_router;      // remote mode.
@@ -242,13 +252,17 @@ int main(int argc, char** argv) {
   const bw::shard::RouterStats rs = router->stats();
   std::printf("served %llu requests over %llu connections; "
               "%llu queries: %llu shard visits, %llu pruned, "
-              "%llu failovers, %llu degraded\n",
+              "%llu failovers, %llu degraded; "
+              "%llu catch-ups (%llu WAL batches, %llu snapshots)\n",
               (unsigned long long)net.requests,
               (unsigned long long)net.accepted,
               (unsigned long long)rs.queries,
               (unsigned long long)rs.shards_visited,
               (unsigned long long)rs.shards_pruned,
               (unsigned long long)rs.failovers,
-              (unsigned long long)rs.degraded_queries);
+              (unsigned long long)rs.degraded_queries,
+              (unsigned long long)rs.catchups,
+              (unsigned long long)rs.wal_batches_shipped,
+              (unsigned long long)rs.snapshots_shipped);
   return 0;
 }

@@ -92,6 +92,31 @@ Status WriteTreeMeta(storage::DurableStore* store, const gist::Tree& tree) {
   return page->Insert(blob.data(), blob.size()).status();
 }
 
+Status RefreshTreeFromMeta(storage::DurableStore* store, gist::Tree* tree) {
+  if (store->pages()->page_count() == 0) {
+    return Status::Corruption("store has no meta page");
+  }
+  TreeMeta meta;
+  BW_RETURN_IF_ERROR(ReadTreeMeta(
+      *static_cast<const pages::PageStore*>(store->pages())->PeekNoIo(
+          kMetaPageId),
+      &meta));
+  if (meta.root != pages::kInvalidPageId &&
+      meta.root >= store->pages()->page_count()) {
+    return Status::Corruption("meta root page out of range");
+  }
+  if (meta.extension_name != tree->extension().Name() ||
+      meta.dim != static_cast<uint32_t>(tree->extension().dim())) {
+    return Status::InvalidArgument(
+        "meta page describes a different access method (" +
+        meta.extension_name + "/dim " + std::to_string(meta.dim) +
+        ") than the installed tree (" + tree->extension().Name() + "/dim " +
+        std::to_string(tree->extension().dim()) + ")");
+  }
+  tree->InstallBulkLoaded(meta.root, meta.height, meta.size);
+  return Status::OK();
+}
+
 Result<std::unique_ptr<DurableIndex>> CreateDurableIndex(
     const std::string& base_path, const std::string& wal_path, size_t dim,
     const IndexBuildOptions& options, storage::StoreOptions store_options) {

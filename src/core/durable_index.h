@@ -31,6 +31,14 @@ inline constexpr pages::PageId kMetaPageId = 0;
 /// the page changes it describes.
 Status WriteTreeMeta(storage::DurableStore* store, const gist::Tree& tree);
 
+/// Re-reads the meta page and reinstalls root/height/size into `tree` —
+/// the catch-up path's post-apply refresh after shipped page images
+/// (which include the meta page) replaced the store's contents under an
+/// installed tree. The extension must already match what the meta page
+/// records (same access method and dimensionality); InvalidArgument
+/// otherwise, Corruption if the meta page or root is malformed.
+Status RefreshTreeFromMeta(storage::DurableStore* store, gist::Tree* tree);
+
 /// An index whose pages live in a DurableStore: the durable analogue of
 /// BuiltIndex. Mutations (tree().Insert/Delete) are single-threaded and
 /// volatile until Commit(); Checkpoint() bounds recovery replay time.

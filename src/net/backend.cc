@@ -10,7 +10,7 @@ size_t QueryServiceBackend::dim() const {
 }
 
 uint32_t QueryServiceBackend::features() const {
-  uint32_t features = kFeatureStreaming;
+  uint32_t features = kFeatureStreaming | kFeatureCatchup;
   if (service_->Snapshot().writes_enabled) features |= kFeatureWrites;
   return features;
 }
@@ -58,6 +58,36 @@ Result<service::MutationOutcome> QueryServiceBackend::Remove(
 std::vector<std::pair<std::string, double>> QueryServiceBackend::StatsFields()
     const {
   return service::ExportSnapshotFields(service_->Snapshot());
+}
+
+Result<service::CatchupPosition> QueryServiceBackend::CatchupPosition()
+    const {
+  return service_->Position();
+}
+
+Result<service::WalTail> QueryServiceBackend::ReadWalTail(uint64_t after_tag,
+                                                          size_t max_batches,
+                                                          size_t max_bytes) {
+  return service_->ReadWalTail(after_tag, max_batches, max_bytes);
+}
+
+Status QueryServiceBackend::ApplyWalBatch(
+    const storage::ShippedBatch& batch) {
+  return service_->ApplyWalBatch(batch);
+}
+
+Result<service::SnapshotChunk> QueryServiceBackend::ReadSnapshotChunk(
+    uint32_t start_page, size_t max_bytes) {
+  return service_->ReadSnapshotChunk(start_page, max_bytes);
+}
+
+Status QueryServiceBackend::ApplySnapshotChunk(
+    const service::SnapshotChunk& chunk, bool first, bool last) {
+  return service_->ApplySnapshotChunk(chunk, first, last);
+}
+
+Result<service::TreeSum> QueryServiceBackend::TreeChecksum() const {
+  return service_->TreeChecksum();
 }
 
 HealthReply QueryServiceBackend::Health() const {

@@ -65,6 +65,43 @@ class Backend {
 
   /// Health summary; the server fills uptime_seconds itself.
   virtual HealthReply Health() const = 0;
+
+  // --- Replica catch-up (kFeatureCatchup; wire minor 1.2) ---------------
+  // Default to NotSupported so backends without a durable store (or a
+  // router, which catches its replicas up itself) refuse cleanly with a
+  // terminal error frame instead of a dead connection.
+
+  virtual Result<service::CatchupPosition> CatchupPosition() const {
+    return Status::NotSupported("backend does not serve replica catch-up");
+  }
+  virtual Result<service::WalTail> ReadWalTail(uint64_t after_tag,
+                                               size_t max_batches,
+                                               size_t max_bytes) {
+    (void)after_tag;
+    (void)max_batches;
+    (void)max_bytes;
+    return Status::NotSupported("backend does not serve replica catch-up");
+  }
+  virtual Status ApplyWalBatch(const storage::ShippedBatch& batch) {
+    (void)batch;
+    return Status::NotSupported("backend does not serve replica catch-up");
+  }
+  virtual Result<service::SnapshotChunk> ReadSnapshotChunk(
+      uint32_t start_page, size_t max_bytes) {
+    (void)start_page;
+    (void)max_bytes;
+    return Status::NotSupported("backend does not serve replica catch-up");
+  }
+  virtual Status ApplySnapshotChunk(const service::SnapshotChunk& chunk,
+                                    bool first, bool last) {
+    (void)chunk;
+    (void)first;
+    (void)last;
+    return Status::NotSupported("backend does not serve replica catch-up");
+  }
+  virtual Result<service::TreeSum> TreeChecksum() const {
+    return Status::NotSupported("backend does not serve replica catch-up");
+  }
 };
 
 /// The PR-6 deployment: one QueryService behind the wire. The service
@@ -87,6 +124,17 @@ class QueryServiceBackend : public Backend {
                                           uint64_t rid) override;
   std::vector<std::pair<std::string, double>> StatsFields() const override;
   HealthReply Health() const override;
+
+  Result<service::CatchupPosition> CatchupPosition() const override;
+  Result<service::WalTail> ReadWalTail(uint64_t after_tag,
+                                       size_t max_batches,
+                                       size_t max_bytes) override;
+  Status ApplyWalBatch(const storage::ShippedBatch& batch) override;
+  Result<service::SnapshotChunk> ReadSnapshotChunk(uint32_t start_page,
+                                                   size_t max_bytes) override;
+  Status ApplySnapshotChunk(const service::SnapshotChunk& chunk, bool first,
+                            bool last) override;
+  Result<service::TreeSum> TreeChecksum() const override;
 
  private:
   service::QueryService* service_;

@@ -1,0 +1,254 @@
+#include "net/chaos_proxy.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace bw::net {
+
+namespace {
+
+/// splitmix64: the deterministic per-connection fault stream.
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Uniform [0, 1) draw from the stream.
+double NextUnit(uint64_t& state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+int DialTarget(const std::string& host, uint16_t port) {
+  const std::string address = host == "localhost" ? "127.0.0.1" : host;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// Shuts both sockets down so the peer relay thread's blocking read
+/// returns; the fds themselves are closed once by the Relay owner.
+void SeverBoth(int a, int b) {
+  if (a >= 0) ::shutdown(a, SHUT_RDWR);
+  if (b >= 0) ::shutdown(b, SHUT_RDWR);
+}
+
+}  // namespace
+
+/// One proxied connection: the two fds, a thread per direction, and a
+/// fault-stream state per direction (so the directions draw
+/// independently but deterministically).
+struct ChaosProxy::Relay {
+  int client_fd = -1;
+  int target_fd = -1;
+  uint64_t rng_c2t = 0;
+  uint64_t rng_t2c = 0;
+  std::thread c2t;
+  std::thread t2c;
+  std::atomic<bool> severed{false};
+};
+
+ChaosProxy::~ChaosProxy() { Stop(); }
+
+Status ChaosProxy::Start(uint16_t listen_port,
+                         const std::string& target_host,
+                         uint16_t target_port, ChaosOptions options) {
+  if (listen_fd_.load() >= 0) {
+    return Status::InvalidArgument("chaos proxy already started");
+  }
+  options_ = options;
+  target_host_ = target_host;
+  target_port_ = target_port;
+  stop_.store(false);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(listen_port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status =
+        Status::IoError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) < 0) {
+    const Status status =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_.store(fd);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ChaosProxy::Stop() {
+  if (stop_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<Relay>> relays;
+  {
+    std::lock_guard<std::mutex> lock(relays_mutex_);
+    relays.swap(relays_);
+  }
+  for (auto& relay : relays) {
+    SeverBoth(relay->client_fd, relay->target_fd);
+  }
+  for (auto& relay : relays) {
+    if (relay->c2t.joinable()) relay->c2t.join();
+    if (relay->t2c.joinable()) relay->t2c.join();
+    if (relay->client_fd >= 0) ::close(relay->client_fd);
+    if (relay->target_fd >= 0) ::close(relay->target_fd);
+  }
+}
+
+ChaosStats ChaosProxy::stats() const {
+  ChaosStats stats;
+  stats.connections = connections_.load(std::memory_order_relaxed);
+  stats.resets = resets_.load(std::memory_order_relaxed);
+  stats.delays = delays_.load(std::memory_order_relaxed);
+  stats.truncations = truncations_.load(std::memory_order_relaxed);
+  stats.blackholes = blackholes_.load(std::memory_order_relaxed);
+  stats.bytes_relayed = bytes_relayed_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ChaosProxy::AcceptLoop() {
+  while (!stop_.load()) {
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) return;
+    const int client_fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (client_fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (Stop) or fatal.
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t conn_index = next_conn_index_++;
+    // The per-connection fault stream: every draw for this connection
+    // (reset verdict, then per-direction schedules) derives from here.
+    uint64_t rng = options_.seed ^ (conn_index * 0x9e3779b97f4a7c15ull + 1);
+    if (NextUnit(rng) < options_.reset_prob) {
+      resets_.fetch_add(1, std::memory_order_relaxed);
+      ::close(client_fd);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(relays_mutex_);
+      if (relays_.size() >= options_.max_connections) {
+        ::close(client_fd);
+        continue;
+      }
+    }
+    const int target_fd = DialTarget(target_host_, target_port_);
+    if (target_fd < 0) {
+      ::close(client_fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto relay = std::make_shared<Relay>();
+    relay->client_fd = client_fd;
+    relay->target_fd = target_fd;
+    relay->rng_c2t = SplitMix64(rng);
+    relay->rng_t2c = SplitMix64(rng);
+    relay->c2t = std::thread([this, relay] { RelayLoop(relay, true); });
+    relay->t2c = std::thread([this, relay] { RelayLoop(relay, false); });
+    std::lock_guard<std::mutex> lock(relays_mutex_);
+    relays_.push_back(std::move(relay));
+  }
+}
+
+void ChaosProxy::RelayLoop(std::shared_ptr<Relay> relay,
+                           bool client_to_target) {
+  const int from = client_to_target ? relay->client_fd : relay->target_fd;
+  const int to = client_to_target ? relay->target_fd : relay->client_fd;
+  uint64_t& rng = client_to_target ? relay->rng_c2t : relay->rng_t2c;
+  bool blackholed = false;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(from, buf, sizeof(buf));
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (blackholed) continue;  // keep draining; forward nothing.
+    if (options_.blackhole_prob > 0 &&
+        NextUnit(rng) < options_.blackhole_prob) {
+      blackholes_.fetch_add(1, std::memory_order_relaxed);
+      blackholed = true;
+      continue;
+    }
+    size_t forward = static_cast<size_t>(n);
+    bool truncate = false;
+    if (options_.drop_frame_prob > 0 &&
+        NextUnit(rng) < options_.drop_frame_prob) {
+      truncations_.fetch_add(1, std::memory_order_relaxed);
+      truncate = true;
+      forward = static_cast<size_t>(NextUnit(rng) * forward);
+    }
+    if (options_.delay_prob > 0 && NextUnit(rng) < options_.delay_prob) {
+      delays_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.delay_ms));
+    }
+    size_t sent = 0;
+    bool write_failed = false;
+    while (sent < forward) {
+      const ssize_t w =
+          ::send(to, buf + sent, forward - sent, MSG_NOSIGNAL);
+      if (w > 0) {
+        sent += static_cast<size_t>(w);
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      write_failed = true;
+      break;
+    }
+    bytes_relayed_.fetch_add(sent, std::memory_order_relaxed);
+    if (truncate || write_failed) break;
+  }
+  // This direction is done (EOF, error, or an injected truncation):
+  // sever both sockets so the peer thread unblocks too. First thread
+  // here wins; Stop() closes the fds.
+  if (!relay->severed.exchange(true)) {
+    SeverBoth(relay->client_fd, relay->target_fd);
+  }
+}
+
+}  // namespace bw::net

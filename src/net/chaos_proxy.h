@@ -1,0 +1,121 @@
+// bw::net::ChaosProxy — a deterministic fault-injecting TCP proxy for
+// exercising the fleet's failure paths without root, tc, or iptables.
+// Tests (and the CI chaos stage) park it between a client and a server
+// and dial in byte-level mayhem: added latency, truncated-then-closed
+// streams, one-way blackholes, and immediate connection resets. Every
+// decision comes from a splitmix64 stream seeded by (options.seed,
+// connection index), so a failing run replays bit-identically from its
+// seed — chaos you can put in a regression test.
+//
+// Fault model (applied per relay direction, per read):
+//   delay_prob      sleep delay_ms before forwarding the bytes read.
+//   drop_frame_prob forward only a prefix of the bytes read (possibly
+//                   none), then close both sides: a truncated frame.
+//                   The wire protocol's CRCs must catch this.
+//   blackhole_prob  stop forwarding this direction forever but keep
+//                   reading (a one-way partition: peers see a stall,
+//                   not an error, until their own timeouts fire).
+//   reset_prob      decided at accept time: close the client socket
+//                   immediately without contacting the target.
+//
+// Threading: one accept thread plus two relay threads per connection
+// (client->target and target->client). Stop() closes the listener and
+// every live socket, then joins everything. Counters are cumulative
+// across the proxy's lifetime.
+
+#ifndef BLOBWORLD_NET_CHAOS_PROXY_H_
+#define BLOBWORLD_NET_CHAOS_PROXY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bw::net {
+
+struct ChaosOptions {
+  /// Root of the deterministic fault schedule; two proxies with the
+  /// same seed and the same connection order inject the same faults.
+  uint64_t seed = 0;
+  /// Probability a read's bytes are truncated and the connection torn
+  /// down (per read, per direction). [0, 1].
+  double drop_frame_prob = 0;
+  /// Probability a read's bytes are delayed by delay_ms. [0, 1].
+  double delay_prob = 0;
+  uint32_t delay_ms = 20;
+  /// Probability an accepted connection is reset before reaching the
+  /// target. [0, 1].
+  double reset_prob = 0;
+  /// Probability a relay direction goes silent forever (one-way
+  /// partition). [0, 1].
+  double blackhole_prob = 0;
+  /// Accept cap; connections beyond it are closed immediately.
+  size_t max_connections = 256;
+};
+
+/// Cumulative fault counters (monotonic; readable while running).
+struct ChaosStats {
+  uint64_t connections = 0;
+  uint64_t resets = 0;
+  uint64_t delays = 0;
+  uint64_t truncations = 0;
+  uint64_t blackholes = 0;
+  uint64_t bytes_relayed = 0;
+};
+
+class ChaosProxy {
+ public:
+  ChaosProxy() = default;
+  ~ChaosProxy();
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Listens on `listen_port` (0 picks an ephemeral port; see port())
+  /// and relays every accepted connection to `target_host:target_port`
+  /// through the fault schedule.
+  Status Start(uint16_t listen_port, const std::string& target_host,
+               uint16_t target_port, ChaosOptions options);
+
+  /// Port actually bound (after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Closes the listener and every proxied connection, joins threads.
+  /// Idempotent.
+  void Stop();
+
+  ChaosStats stats() const;
+
+ private:
+  struct Relay;
+
+  void AcceptLoop();
+  void RelayLoop(std::shared_ptr<Relay> relay, bool client_to_target);
+
+  ChaosOptions options_;
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::string target_host_;
+  uint16_t target_port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stop_{false};
+
+  std::mutex relays_mutex_;
+  std::vector<std::shared_ptr<Relay>> relays_;
+  uint64_t next_conn_index_ = 0;
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> resets_{0};
+  std::atomic<uint64_t> delays_{0};
+  std::atomic<uint64_t> truncations_{0};
+  std::atomic<uint64_t> blackholes_{0};
+  std::atomic<uint64_t> bytes_relayed_{0};
+};
+
+}  // namespace bw::net
+
+#endif  // BLOBWORLD_NET_CHAOS_PROXY_H_

@@ -235,6 +235,65 @@ Result<uint64_t> Client::SubmitHealth() {
   return id;
 }
 
+Result<uint64_t> Client::SubmitCatchupPos() {
+  const uint64_t id = next_id_++;
+  BW_RETURN_IF_ERROR(SendFrame(MsgType::kCatchupPos, id, 0, {}));
+  return id;
+}
+
+Result<uint64_t> Client::SubmitWalPull(uint64_t after_tag,
+                                       uint32_t max_batches,
+                                       uint32_t max_bytes) {
+  const uint64_t id = next_id_++;
+  WalPullRequest req;
+  req.after_tag = after_tag;
+  req.max_batches = max_batches;
+  req.max_bytes = max_bytes;
+  std::string payload;
+  EncodeWalPullRequest(req, &payload);
+  BW_RETURN_IF_ERROR(SendFrame(MsgType::kWalPull, id, 0, payload));
+  return id;
+}
+
+Result<uint64_t> Client::SubmitWalApply(const storage::ShippedBatch& batch) {
+  const uint64_t id = next_id_++;
+  std::string payload;
+  EncodeWalApply(batch, &payload);
+  BW_RETURN_IF_ERROR(SendFrame(MsgType::kWalApply, id, 0, payload));
+  return id;
+}
+
+Result<uint64_t> Client::SubmitSnapshotPull(uint32_t start_page,
+                                            uint32_t max_bytes) {
+  const uint64_t id = next_id_++;
+  SnapshotPullRequest req;
+  req.start_page = start_page;
+  req.max_bytes = max_bytes;
+  std::string payload;
+  EncodeSnapshotPullRequest(req, &payload);
+  BW_RETURN_IF_ERROR(SendFrame(MsgType::kSnapshotPull, id, 0, payload));
+  return id;
+}
+
+Result<uint64_t> Client::SubmitSnapshotApply(
+    const service::SnapshotChunk& chunk, bool first, bool last) {
+  const uint64_t id = next_id_++;
+  SnapshotApplyRequest req;
+  req.first = first;
+  req.last = last;
+  req.chunk = chunk;
+  std::string payload;
+  EncodeSnapshotApplyRequest(req, &payload);
+  BW_RETURN_IF_ERROR(SendFrame(MsgType::kSnapshotApply, id, 0, payload));
+  return id;
+}
+
+Result<uint64_t> Client::SubmitTreeSum() {
+  const uint64_t id = next_id_++;
+  BW_RETURN_IF_ERROR(SendFrame(MsgType::kTreeSum, id, 0, {}));
+  return id;
+}
+
 // ---------------------------------------------------------------------------
 // Awaits
 // ---------------------------------------------------------------------------
@@ -303,6 +362,96 @@ Result<HealthReply> Client::AwaitHealth(uint64_t request_id) {
     return Poison(Status::DataLoss("malformed health reply"));
   }
   return reply;
+}
+
+namespace {
+
+/// Error terminal frames (MsgType::kFinal) carry a FinalInfo payload;
+/// surface its message in the Status handed back to the caller.
+Status TerminalError(const FrameHeader& header, const std::string& payload) {
+  FinalInfo info;
+  const std::string message =
+      DecodeFinalInfo(payload, &info) ? info.message : std::string();
+  return WireStatusToStatus(header.status, message);
+}
+
+}  // namespace
+
+Result<service::CatchupPosition> Client::AwaitCatchupPos(
+    uint64_t request_id) {
+  BW_RETURN_IF_ERROR(PumpUntilDone(request_id));
+  auto node = pending_.extract(request_id);
+  Pending& p = node.mapped();
+  if (p.final_header.status != 0) {
+    return TerminalError(p.final_header, p.final_payload);
+  }
+  service::CatchupPosition pos;
+  if (p.final_header.type != MsgType::kCatchupPosReply ||
+      !DecodeCatchupPosReply(p.final_payload, &pos)) {
+    return Poison(Status::DataLoss("malformed catch-up position reply"));
+  }
+  return pos;
+}
+
+Result<service::WalTail> Client::AwaitWalTail(uint64_t request_id) {
+  BW_RETURN_IF_ERROR(PumpUntilDone(request_id));
+  auto node = pending_.extract(request_id);
+  Pending& p = node.mapped();
+  if (p.final_header.status != 0) {
+    return TerminalError(p.final_header, p.final_payload);
+  }
+  service::WalTail tail;
+  if (p.final_header.type != MsgType::kWalBatchReply ||
+      !DecodeWalTail(p.final_payload, &tail)) {
+    return Poison(Status::DataLoss("malformed WAL tail reply"));
+  }
+  return tail;
+}
+
+Result<CatchupAck> Client::AwaitCatchupAck(uint64_t request_id) {
+  BW_RETURN_IF_ERROR(PumpUntilDone(request_id));
+  auto node = pending_.extract(request_id);
+  Pending& p = node.mapped();
+  if (p.final_header.status != 0) {
+    return TerminalError(p.final_header, p.final_payload);
+  }
+  CatchupAck ack;
+  if (p.final_header.type != MsgType::kCatchupAck ||
+      !DecodeCatchupAck(p.final_payload, &ack)) {
+    return Poison(Status::DataLoss("malformed catch-up ack"));
+  }
+  return ack;
+}
+
+Result<service::SnapshotChunk> Client::AwaitSnapshotChunk(
+    uint64_t request_id) {
+  BW_RETURN_IF_ERROR(PumpUntilDone(request_id));
+  auto node = pending_.extract(request_id);
+  Pending& p = node.mapped();
+  if (p.final_header.status != 0) {
+    return TerminalError(p.final_header, p.final_payload);
+  }
+  service::SnapshotChunk chunk;
+  if (p.final_header.type != MsgType::kSnapshotChunk ||
+      !DecodeSnapshotChunk(p.final_payload, &chunk)) {
+    return Poison(Status::DataLoss("malformed snapshot chunk reply"));
+  }
+  return chunk;
+}
+
+Result<service::TreeSum> Client::AwaitTreeSum(uint64_t request_id) {
+  BW_RETURN_IF_ERROR(PumpUntilDone(request_id));
+  auto node = pending_.extract(request_id);
+  Pending& p = node.mapped();
+  if (p.final_header.status != 0) {
+    return TerminalError(p.final_header, p.final_payload);
+  }
+  service::TreeSum sum;
+  if (p.final_header.type != MsgType::kTreeSumReply ||
+      !DecodeTreeSumReply(p.final_payload, &sum)) {
+    return Poison(Status::DataLoss("malformed tree checksum reply"));
+  }
+  return sum;
 }
 
 // ---------------------------------------------------------------------------
@@ -382,6 +531,43 @@ Result<std::vector<std::pair<std::string, double>>> Client::Stats() {
 Result<HealthReply> Client::Health() {
   BW_ASSIGN_OR_RETURN(const uint64_t id, SubmitHealth());
   return AwaitHealth(id);
+}
+
+Result<service::CatchupPosition> Client::CatchupPos() {
+  BW_ASSIGN_OR_RETURN(const uint64_t id, SubmitCatchupPos());
+  return AwaitCatchupPos(id);
+}
+
+Result<service::WalTail> Client::PullWal(uint64_t after_tag,
+                                         uint32_t max_batches,
+                                         uint32_t max_bytes) {
+  BW_ASSIGN_OR_RETURN(const uint64_t id,
+                      SubmitWalPull(after_tag, max_batches, max_bytes));
+  return AwaitWalTail(id);
+}
+
+Result<CatchupAck> Client::ApplyWal(const storage::ShippedBatch& batch) {
+  BW_ASSIGN_OR_RETURN(const uint64_t id, SubmitWalApply(batch));
+  return AwaitCatchupAck(id);
+}
+
+Result<service::SnapshotChunk> Client::PullSnapshot(uint32_t start_page,
+                                                    uint32_t max_bytes) {
+  BW_ASSIGN_OR_RETURN(const uint64_t id,
+                      SubmitSnapshotPull(start_page, max_bytes));
+  return AwaitSnapshotChunk(id);
+}
+
+Result<CatchupAck> Client::ApplySnapshot(const service::SnapshotChunk& chunk,
+                                         bool first, bool last) {
+  BW_ASSIGN_OR_RETURN(const uint64_t id,
+                      SubmitSnapshotApply(chunk, first, last));
+  return AwaitCatchupAck(id);
+}
+
+Result<service::TreeSum> Client::TreeSum() {
+  BW_ASSIGN_OR_RETURN(const uint64_t id, SubmitTreeSum());
+  return AwaitTreeSum(id);
 }
 
 }  // namespace bw::net

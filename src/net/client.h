@@ -102,6 +102,23 @@ class Client {
   Result<uint64_t> SubmitStats();
   Result<uint64_t> SubmitHealth();
 
+  // --- Replica catch-up (kFeatureCatchup; wire 1.2) ---------------------
+  // Used by the shard router's catch-up driver: read a lagging
+  // replica's position, ship it the healthy sibling's WAL suffix (or a
+  // full-store snapshot when the suffix was retired), and compare
+  // checksums before readmission. Every reply is a single terminal
+  // frame. Servers predating 1.2 answer NotSupported.
+
+  Result<uint64_t> SubmitCatchupPos();
+  Result<uint64_t> SubmitWalPull(uint64_t after_tag, uint32_t max_batches,
+                                 uint32_t max_bytes);
+  Result<uint64_t> SubmitWalApply(const storage::ShippedBatch& batch);
+  Result<uint64_t> SubmitSnapshotPull(uint32_t start_page,
+                                      uint32_t max_bytes);
+  Result<uint64_t> SubmitSnapshotApply(const service::SnapshotChunk& chunk,
+                                       bool first, bool last);
+  Result<uint64_t> SubmitTreeSum();
+
   /// Await a query (kKnn/kRange) reply. The Result is an error only for
   /// transport-level failures; server-side verdicts (quota, shedding,
   /// bad request) come back as a QueryReply with wire_status != 0.
@@ -110,6 +127,13 @@ class Client {
   Result<std::vector<std::pair<std::string, double>>> AwaitStats(
       uint64_t request_id);
   Result<HealthReply> AwaitHealth(uint64_t request_id);
+
+  Result<service::CatchupPosition> AwaitCatchupPos(uint64_t request_id);
+  Result<service::WalTail> AwaitWalTail(uint64_t request_id);
+  /// Terminal ack for kWalApply and kSnapshotApply alike.
+  Result<CatchupAck> AwaitCatchupAck(uint64_t request_id);
+  Result<service::SnapshotChunk> AwaitSnapshotChunk(uint64_t request_id);
+  Result<service::TreeSum> AwaitTreeSum(uint64_t request_id);
 
   // --- Incremental streaming ---------------------------------------------
   // The shard router's remote frontier: consume a query's results one
@@ -134,6 +158,16 @@ class Client {
   Result<MutateReply> Remove(const geom::Vec& point, uint64_t rid);
   Result<std::vector<std::pair<std::string, double>>> Stats();
   Result<HealthReply> Health();
+
+  Result<service::CatchupPosition> CatchupPos();
+  Result<service::WalTail> PullWal(uint64_t after_tag, uint32_t max_batches,
+                                   uint32_t max_bytes);
+  Result<CatchupAck> ApplyWal(const storage::ShippedBatch& batch);
+  Result<service::SnapshotChunk> PullSnapshot(uint32_t start_page,
+                                              uint32_t max_bytes);
+  Result<CatchupAck> ApplySnapshot(const service::SnapshotChunk& chunk,
+                                   bool first, bool last);
+  Result<service::TreeSum> TreeSum();
 
   /// The server's side of the handshake (valid when
   /// ClientOptions::handshake ran; a default-constructed reply with

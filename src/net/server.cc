@@ -743,6 +743,14 @@ void Server::DispatchLoopMain() {
         case MsgType::kDelete:
           ExecuteMutation(task);
           break;
+        case MsgType::kWalPull:
+        case MsgType::kWalApply:
+        case MsgType::kSnapshotPull:
+        case MsgType::kSnapshotApply:
+        case MsgType::kTreeSum:
+        case MsgType::kCatchupPos:
+          ExecuteCatchup(task);
+          break;
         default:  // unreachable: HandleFrame only dispatches the above.
           FinishRequest(task.conn, 0);
           break;
@@ -866,6 +874,138 @@ void Server::ExecuteMutation(const DispatchTask& task) {
   Enqueue(task.conn, EncodeFrame(reply, payload));
   responses_.fetch_add(1);
   KickIo(task.io_index, task.conn);
+}
+
+void Server::ExecuteCatchup(const DispatchTask& task) {
+  const FrameHeader& h = task.frame.header;
+  const auto fail = [&](const std::string& msg) {
+    bad_requests_.fetch_add(1);
+    FinishRequest(task.conn, 0);
+    QueueErrorFinal(task.conn, h.request_id,
+                    StatusCodeToWire(StatusCode::kInvalidArgument), msg);
+    KickIo(task.io_index, task.conn);
+  };
+  const auto error = [&](const Status& status) {
+    FinishRequest(task.conn, 0);
+    QueueErrorFinal(task.conn, h.request_id, WireCodeFor(status),
+                    status.message());
+    KickIo(task.io_index, task.conn);
+  };
+  const auto reply = [&](MsgType type, const std::string& payload) {
+    FinishRequest(task.conn, 0);
+    FrameHeader rh;
+    rh.type = type;
+    rh.flags = kFlagFinal;
+    rh.request_id = h.request_id;
+    Enqueue(task.conn, EncodeFrame(rh, payload));
+    responses_.fetch_add(1);
+    KickIo(task.io_index, task.conn);
+  };
+  // Replies must fit the smaller of our outgoing cap and the protocol
+  // cap a default client enforces; the slack covers codec framing.
+  const size_t wire_budget =
+      std::min<size_t>(options_.max_payload_bytes, kMaxPayloadBytes) - 4096;
+
+  switch (h.type) {
+    case MsgType::kCatchupPos: {
+      Result<service::CatchupPosition> pos = backend_->CatchupPosition();
+      if (!pos.ok()) return error(pos.status());
+      std::string payload;
+      EncodeCatchupPosReply(*pos, &payload);
+      return reply(MsgType::kCatchupPosReply, payload);
+    }
+    case MsgType::kTreeSum: {
+      Result<service::TreeSum> sum = backend_->TreeChecksum();
+      if (!sum.ok()) return error(sum.status());
+      std::string payload;
+      EncodeTreeSumReply(*sum, &payload);
+      return reply(MsgType::kTreeSumReply, payload);
+    }
+    case MsgType::kWalPull: {
+      WalPullRequest req;
+      if (!DecodeWalPullRequest(task.frame.payload, &req)) {
+        return fail("malformed WAL pull payload");
+      }
+      const size_t max_batches = req.max_batches > 0 ? req.max_batches : 16;
+      const size_t max_bytes = std::min<size_t>(
+          req.max_bytes > 0 ? req.max_bytes : (1u << 20), wire_budget);
+      Result<service::WalTail> tail =
+          backend_->ReadWalTail(req.after_tag, max_batches, max_bytes);
+      if (!tail.ok()) return error(tail.status());
+      std::string payload;
+      EncodeWalTail(*tail, &payload);
+      // The storage-side byte budget counts raw payloads; the wire adds
+      // framing. Shed newest-first until the reply frames, and if even
+      // one batch cannot cross the wire, escalate to the snapshot path.
+      while (payload.size() > wire_budget && tail->batches.size() > 1) {
+        tail->batches.pop_back();
+        tail->more = true;
+        payload.clear();
+        EncodeWalTail(*tail, &payload);
+      }
+      if (payload.size() > wire_budget) {
+        tail->batches.clear();
+        tail->more = false;
+        tail->snapshot_needed = true;
+        payload.clear();
+        EncodeWalTail(*tail, &payload);
+      }
+      return reply(MsgType::kWalBatchReply, payload);
+    }
+    case MsgType::kWalApply: {
+      storage::ShippedBatch batch;
+      if (!DecodeWalApply(task.frame.payload, &batch)) {
+        return fail("malformed shipped batch payload");
+      }
+      const Status applied = backend_->ApplyWalBatch(batch);
+      if (!applied.ok()) return error(applied);
+      CatchupAck ack;
+      ack.last_tag = batch.tag;
+      if (Result<service::CatchupPosition> pos = backend_->CatchupPosition();
+          pos.ok()) {
+        ack.last_tag = pos->last_tag;
+      }
+      std::string payload;
+      EncodeCatchupAck(ack, &payload);
+      return reply(MsgType::kCatchupAck, payload);
+    }
+    case MsgType::kSnapshotPull: {
+      SnapshotPullRequest req;
+      if (!DecodeSnapshotPullRequest(task.frame.payload, &req)) {
+        return fail("malformed snapshot pull payload");
+      }
+      const size_t max_bytes = std::min<size_t>(
+          req.max_bytes > 0 ? req.max_bytes : (1u << 20), wire_budget);
+      Result<service::SnapshotChunk> chunk =
+          backend_->ReadSnapshotChunk(req.start_page, max_bytes);
+      if (!chunk.ok()) return error(chunk.status());
+      std::string payload;
+      EncodeSnapshotChunk(*chunk, &payload);
+      if (payload.size() > wire_budget + 4096) {
+        // A single page image too large to frame: no transfer path
+        // exists for this store over this wire configuration.
+        return error(Status::NotSupported(
+            "a single page image exceeds the frame payload cap"));
+      }
+      return reply(MsgType::kSnapshotChunk, payload);
+    }
+    case MsgType::kSnapshotApply: {
+      SnapshotApplyRequest req;
+      if (!DecodeSnapshotApplyRequest(task.frame.payload, &req)) {
+        return fail("malformed snapshot apply payload");
+      }
+      const Status applied =
+          backend_->ApplySnapshotChunk(req.chunk, req.first, req.last);
+      if (!applied.ok()) return error(applied);
+      CatchupAck ack;
+      ack.last_tag = req.chunk.tag;
+      std::string payload;
+      EncodeCatchupAck(ack, &payload);
+      return reply(MsgType::kCatchupAck, payload);
+    }
+    default:
+      return fail("not a catch-up request");
+  }
 }
 
 void Server::QueueStatsReply(const std::shared_ptr<Connection>& conn,

@@ -206,6 +206,9 @@ class Server {
 
   void ExecuteQuery(const DispatchTask& task);
   void ExecuteMutation(const DispatchTask& task);
+  /// Replica catch-up requests (kWalPull..kCatchupPos): decode, call
+  /// the backend, answer with one terminal reply frame.
+  void ExecuteCatchup(const DispatchTask& task);
   void QueueStatsReply(const std::shared_ptr<Connection>& conn,
                        uint64_t request_id);
   void QueueHealthReply(const std::shared_ptr<Connection>& conn,

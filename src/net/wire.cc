@@ -434,4 +434,218 @@ bool DecodeHelloReply(std::string_view payload, HelloReply* out) {
   return r.ok() && out->major > 0;  // forward-tolerant, as above.
 }
 
+// ---------------------------------------------------------------------------
+// Replica catch-up payload codecs (minor 1.2)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shipped batches cross the wire as [u32 len][EncodeShippedBatch bytes]
+/// so a reader can skip or bound-check each batch before decoding it.
+void AppendShippedBatch(const storage::ShippedBatch& batch,
+                        std::string* out) {
+  std::vector<uint8_t> bytes;
+  storage::EncodeShippedBatch(batch, &bytes);
+  PayloadWriter w(out);
+  w.U32(static_cast<uint32_t>(bytes.size()));
+  out->append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+}  // namespace
+
+void EncodeWalPullRequest(const WalPullRequest& req, std::string* out) {
+  PayloadWriter w(out);
+  w.U64(req.after_tag);
+  w.U32(req.max_batches);
+  w.U32(req.max_bytes);
+}
+
+bool DecodeWalPullRequest(std::string_view payload, WalPullRequest* out) {
+  PayloadReader r(payload);
+  out->after_tag = r.U64();
+  out->max_batches = r.U32();
+  out->max_bytes = r.U32();
+  return r.exhausted();
+}
+
+void EncodeWalTail(const service::WalTail& tail, std::string* out) {
+  PayloadWriter w(out);
+  w.U8(tail.snapshot_needed ? 1 : 0);
+  w.U8(tail.more ? 1 : 0);
+  w.U64(tail.last_tag);
+  w.U32(static_cast<uint32_t>(tail.batches.size()));
+  for (const storage::ShippedBatch& batch : tail.batches) {
+    AppendShippedBatch(batch, out);
+  }
+}
+
+bool DecodeWalTail(std::string_view payload, service::WalTail* out) {
+  PayloadReader r(payload);
+  out->snapshot_needed = r.U8() != 0;
+  out->more = r.U8() != 0;
+  out->last_tag = r.U64();
+  const uint32_t count = r.U32();
+  if (!r.ok()) return false;
+  // The fixed prefix above is 14 bytes; each batch costs at least its
+  // 4-byte length prefix plus the 12-byte ShippedBatch header.
+  if (count > (payload.size() - 14) / 16) return false;
+  size_t pos = 14;
+  out->batches.clear();
+  out->batches.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (payload.size() - pos < 4) return false;
+    const uint32_t len = static_cast<uint32_t>(
+        static_cast<uint8_t>(payload[pos]) |
+        (static_cast<uint8_t>(payload[pos + 1]) << 8) |
+        (static_cast<uint8_t>(payload[pos + 2]) << 16) |
+        (static_cast<uint8_t>(payload[pos + 3]) << 24));
+    pos += 4;
+    if (payload.size() - pos < len) return false;
+    storage::ShippedBatch batch;
+    if (!storage::DecodeShippedBatch(
+            reinterpret_cast<const uint8_t*>(payload.data()) + pos, len,
+            &batch)) {
+      return false;
+    }
+    pos += len;
+    out->batches.push_back(std::move(batch));
+  }
+  return pos == payload.size();
+}
+
+void EncodeWalApply(const storage::ShippedBatch& batch, std::string* out) {
+  std::vector<uint8_t> bytes;
+  storage::EncodeShippedBatch(batch, &bytes);
+  out->append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+bool DecodeWalApply(std::string_view payload, storage::ShippedBatch* out) {
+  return storage::DecodeShippedBatch(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size(),
+      out);
+}
+
+void EncodeSnapshotPullRequest(const SnapshotPullRequest& req,
+                               std::string* out) {
+  PayloadWriter w(out);
+  w.U32(req.start_page);
+  w.U32(req.max_bytes);
+}
+
+bool DecodeSnapshotPullRequest(std::string_view payload,
+                               SnapshotPullRequest* out) {
+  PayloadReader r(payload);
+  out->start_page = r.U32();
+  out->max_bytes = r.U32();
+  return r.exhausted();
+}
+
+void EncodeSnapshotChunk(const service::SnapshotChunk& chunk,
+                         std::string* out) {
+  PayloadWriter w(out);
+  w.U64(chunk.tag);
+  w.U64(chunk.total_pages);
+  w.U32(chunk.start_page);
+  w.U32(static_cast<uint32_t>(chunk.pages.size()));
+  for (const storage::ShippedRecord& rec : chunk.pages) {
+    w.U32(rec.page_id);
+    w.U32(static_cast<uint32_t>(rec.payload.size()));
+    out->append(reinterpret_cast<const char*>(rec.payload.data()),
+                rec.payload.size());
+  }
+}
+
+bool DecodeSnapshotChunk(std::string_view payload,
+                         service::SnapshotChunk* out) {
+  PayloadReader r(payload);
+  out->tag = r.U64();
+  out->total_pages = r.U64();
+  out->start_page = r.U32();
+  const uint32_t count = r.U32();
+  if (!r.ok()) return false;
+  // 8 bytes of per-page framing minimum after the 24-byte prefix.
+  if (count > (payload.size() - 24) / 8) return false;
+  size_t pos = 24;
+  out->pages.clear();
+  out->pages.reserve(count);
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(payload.data());
+  for (uint32_t i = 0; i < count; ++i) {
+    if (payload.size() - pos < 8) return false;
+    const uint32_t page_id = static_cast<uint32_t>(
+        base[pos] | (base[pos + 1] << 8) | (base[pos + 2] << 16) |
+        (static_cast<uint32_t>(base[pos + 3]) << 24));
+    const uint32_t len = static_cast<uint32_t>(
+        base[pos + 4] | (base[pos + 5] << 8) | (base[pos + 6] << 16) |
+        (static_cast<uint32_t>(base[pos + 7]) << 24));
+    pos += 8;
+    if (payload.size() - pos < len) return false;
+    storage::ShippedRecord rec;
+    rec.type = storage::WalRecordType::kPageImage;
+    rec.page_id = page_id;
+    rec.payload.assign(base + pos, base + pos + len);
+    pos += len;
+    out->pages.push_back(std::move(rec));
+  }
+  return pos == payload.size();
+}
+
+void EncodeSnapshotApplyRequest(const SnapshotApplyRequest& req,
+                                std::string* out) {
+  PayloadWriter w(out);
+  w.U8(req.first ? 1 : 0);
+  w.U8(req.last ? 1 : 0);
+  EncodeSnapshotChunk(req.chunk, out);
+}
+
+bool DecodeSnapshotApplyRequest(std::string_view payload,
+                                SnapshotApplyRequest* out) {
+  if (payload.size() < 2) return false;
+  out->first = payload[0] != 0;
+  out->last = payload[1] != 0;
+  return DecodeSnapshotChunk(payload.substr(2), &out->chunk);
+}
+
+void EncodeCatchupAck(const CatchupAck& ack, std::string* out) {
+  PayloadWriter w(out);
+  w.U64(ack.last_tag);
+}
+
+bool DecodeCatchupAck(std::string_view payload, CatchupAck* out) {
+  PayloadReader r(payload);
+  out->last_tag = r.U64();
+  return r.exhausted();
+}
+
+void EncodeTreeSumReply(const service::TreeSum& sum, std::string* out) {
+  PayloadWriter w(out);
+  w.U64(sum.tag);
+  w.U64(sum.page_count);
+  w.U32(sum.crc);
+}
+
+bool DecodeTreeSumReply(std::string_view payload, service::TreeSum* out) {
+  PayloadReader r(payload);
+  out->tag = r.U64();
+  out->page_count = r.U64();
+  out->crc = r.U32();
+  return r.exhausted();
+}
+
+void EncodeCatchupPosReply(const service::CatchupPosition& pos,
+                           std::string* out) {
+  PayloadWriter w(out);
+  w.U64(pos.last_tag);
+  w.U64(pos.checkpoint_tag);
+  w.U64(pos.page_count);
+}
+
+bool DecodeCatchupPosReply(std::string_view payload,
+                           service::CatchupPosition* out) {
+  PayloadReader r(payload);
+  out->last_tag = r.U64();
+  out->checkpoint_tag = r.U64();
+  out->page_count = r.U64();
+  return r.exhausted();
+}
+
 }  // namespace bw::net

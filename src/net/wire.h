@@ -53,6 +53,8 @@
 
 #include "geom/vec.h"
 #include "gist/tree.h"
+#include "service/query_service.h"
+#include "storage/wal_ship.h"
 #include "util/status.h"
 
 namespace bw::net {
@@ -74,6 +76,15 @@ enum class MsgType : uint8_t {
   kStats = 5,   // full ServiceSnapshot + net-tier counters.
   kHealth = 6,  // cheap liveness + write-state probe.
   kHello = 7,   // version/feature handshake (optional, first frame).
+  // Replica catch-up (minor 1.2, kFeatureCatchup). Pulls read from a
+  // healthy source; applies land on the stale target. Every reply is a
+  // single terminal frame, so pre-1.2 clients need no pump changes.
+  kWalPull = 8,        // committed WAL batches after a tag -> kWalBatchReply.
+  kWalApply = 9,       // apply one shipped batch -> kCatchupAck.
+  kSnapshotPull = 10,  // page-image run from an offset -> kSnapshotChunk.
+  kSnapshotApply = 11,  // apply one chunk (first/last flags) -> kCatchupAck.
+  kTreeSum = 12,       // checksum-over-tree handshake -> kTreeSumReply.
+  kCatchupPos = 13,    // cheap position poll -> kCatchupPosReply.
   // Responses.
   kResultBatch = 64,  // one batch of k-NN/range results; more follow.
   kFinal = 65,        // terminal frame of a streamed query reply.
@@ -81,11 +92,16 @@ enum class MsgType : uint8_t {
   kStatsReply = 67,
   kHealthReply = 68,
   kHelloReply = 69,
+  kWalBatchReply = 70,
+  kCatchupAck = 71,
+  kSnapshotChunk = 72,
+  kTreeSumReply = 73,
+  kCatchupPosReply = 74,
 };
 
 /// True if `type` is a request a server accepts.
 constexpr bool IsRequestType(uint8_t type) {
-  return type >= 1 && type <= 7;
+  return type >= 1 && type <= 13;
 }
 
 // ---------------------------------------------------------------------------
@@ -109,16 +125,18 @@ constexpr bool IsRequestType(uint8_t type) {
 //     does not recognize is ignored (that is what makes minors cheap).
 
 constexpr uint16_t kWireVersionMajor = 1;
-constexpr uint16_t kWireVersionMinor = 1;  // 1.1 added kHello itself.
+constexpr uint16_t kWireVersionMinor = 2;  // 1.1 added kHello; 1.2 catch-up.
 
 // Feature bits advertised in the handshake.
 constexpr uint32_t kFeatureStreaming = 1u << 0;  // kResultBatch streams.
 constexpr uint32_t kFeatureWrites = 1u << 1;     // insert/delete honored.
 constexpr uint32_t kFeatureRouter = 1u << 2;     // peer is a shard router.
+constexpr uint32_t kFeatureCatchup = 1u << 3;    // kWalPull & co honored.
 
 /// Feature set a plain bwserver advertises (writes are masked off at
 /// runtime when the service is read-only).
-constexpr uint32_t kServerFeatures = kFeatureStreaming | kFeatureWrites;
+constexpr uint32_t kServerFeatures =
+    kFeatureStreaming | kFeatureWrites | kFeatureCatchup;
 
 // Response flag bits.
 constexpr uint8_t kFlagFinal = 0x01;      // no more frames for this id.
@@ -331,6 +349,79 @@ bool DecodeHelloRequest(std::string_view payload, HelloRequest* out);
 
 void EncodeHelloReply(const HelloReply& reply, std::string* out);
 bool DecodeHelloReply(std::string_view payload, HelloReply* out);
+
+// ---------------------------------------------------------------------------
+// Replica catch-up payloads (minor 1.2). The bodies reuse the service
+// and storage structs directly — the wire tier adds only the byte
+// layout, and both ends of a catch-up RPC already speak those types.
+// ---------------------------------------------------------------------------
+
+/// kWalPull request: committed batches with tag > after_tag, bounded by
+/// max_batches / max_bytes. The server additionally clamps the reply to
+/// the frame payload cap; a single batch too big to frame turns the
+/// reply into snapshot_needed.
+struct WalPullRequest {
+  uint64_t after_tag = 0;
+  uint32_t max_batches = 0;  // 0 = server default.
+  uint32_t max_bytes = 0;    // 0 = server default.
+};
+
+/// kSnapshotPull request: a run of page images starting at start_page.
+struct SnapshotPullRequest {
+  uint32_t start_page = 0;
+  uint32_t max_bytes = 0;  // 0 = server default; server clamps to cap.
+};
+
+/// kSnapshotApply request: one chunk plus its position in the restore.
+struct SnapshotApplyRequest {
+  bool first = false;
+  bool last = false;
+  service::SnapshotChunk chunk;
+};
+
+/// kCatchupAck payload: the target's durable tag after the apply (also
+/// what makes retried applies observable as no-ops).
+struct CatchupAck {
+  uint64_t last_tag = 0;
+};
+
+void EncodeWalPullRequest(const WalPullRequest& req, std::string* out);
+bool DecodeWalPullRequest(std::string_view payload, WalPullRequest* out);
+
+/// kWalBatchReply body: flags + last_tag + length-prefixed shipped
+/// batches (storage::EncodeShippedBatch bytes, oldest first).
+void EncodeWalTail(const service::WalTail& tail, std::string* out);
+bool DecodeWalTail(std::string_view payload, service::WalTail* out);
+
+/// kWalApply body is exactly one storage::EncodeShippedBatch image.
+void EncodeWalApply(const storage::ShippedBatch& batch, std::string* out);
+bool DecodeWalApply(std::string_view payload, storage::ShippedBatch* out);
+
+void EncodeSnapshotPullRequest(const SnapshotPullRequest& req,
+                               std::string* out);
+bool DecodeSnapshotPullRequest(std::string_view payload,
+                               SnapshotPullRequest* out);
+
+void EncodeSnapshotChunk(const service::SnapshotChunk& chunk,
+                         std::string* out);
+bool DecodeSnapshotChunk(std::string_view payload,
+                         service::SnapshotChunk* out);
+
+void EncodeSnapshotApplyRequest(const SnapshotApplyRequest& req,
+                                std::string* out);
+bool DecodeSnapshotApplyRequest(std::string_view payload,
+                                SnapshotApplyRequest* out);
+
+void EncodeCatchupAck(const CatchupAck& ack, std::string* out);
+bool DecodeCatchupAck(std::string_view payload, CatchupAck* out);
+
+void EncodeTreeSumReply(const service::TreeSum& sum, std::string* out);
+bool DecodeTreeSumReply(std::string_view payload, service::TreeSum* out);
+
+void EncodeCatchupPosReply(const service::CatchupPosition& pos,
+                           std::string* out);
+bool DecodeCatchupPosReply(std::string_view payload,
+                           service::CatchupPosition* out);
 
 }  // namespace bw::net
 

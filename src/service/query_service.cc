@@ -8,6 +8,8 @@
 #include <thread>
 #include <utility>
 
+#include "pages/page_codec.h"
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace bw::service {
@@ -112,7 +114,6 @@ void QueryService::Start() {
     BW_CHECK(mutable_durable_ != nullptr);
     BW_CHECK_GE(options_.write.batch_size, 1u);
     BW_CHECK_GE(options_.write.queue_capacity, 1u);
-    next_tag_ = mutable_durable_->store().committed_batches() + 1;
     if (!options_.write.free_space_probe) {
       const std::string wal_path = mutable_durable_->store().wal()->path();
       options_.write.free_space_probe = [wal_path] {
@@ -174,6 +175,12 @@ size_t QueryService::queue_depth() const {
 // ---------------------------------------------------------------------------
 
 Result<QueryService::ResponseFuture> QueryService::Submit(Task task) {
+  if (snapshot_restoring_.load(std::memory_order_acquire)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable(
+        "replica is restoring from a snapshot; queries shed until the "
+        "restore commits");
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   if (shutdown_) {
     return Status::Unavailable("query service is shut down");
@@ -241,6 +248,9 @@ QueryService::Response QueryService::Knn(const geom::Vec& query, size_t k) {
 
 std::unique_ptr<QueryService::StreamCursor> QueryService::OpenCursor(
     geom::Vec query, StreamOptions limits) {
+  if (snapshot_restoring_.load(std::memory_order_acquire)) {
+    return nullptr;  // Torn tree mid-restore; shed like a failed open.
+  }
   // Each cursor brings its own reader (the Tree thread-safety contract):
   // a shared-pool session when the service runs one, a small private
   // pool otherwise.
@@ -503,23 +513,33 @@ void QueryService::ApplyBatch(std::vector<Mutation>* todo) {
 }
 
 Status QueryService::CommitPendingBatch() {
+  size_t batch_size = 0;
   {
     std::lock_guard<std::mutex> lock(write_mutex_);
     if (pending_.empty()) return Status::OK();
+    batch_size = pending_.size();
   }
   // The commit runs with no tree lock held: the writer (this thread) is
   // the only mutator, so the pages it encodes are quiescent, and
-  // readers overlap the fsync instead of stalling behind it.
-  const uint64_t tag = next_tag_;
-  BW_RETURN_IF_ERROR(mutable_durable_->Commit(tag));
+  // readers overlap the fsync instead of stalling behind it. The tag is
+  // the cumulative mutation count, so it lands on the same value on
+  // every replica that applied the same writes regardless of how those
+  // writes were grouped into batches — the property replica catch-up
+  // compares positions with. A retried batch recomputes the identical
+  // tag (last_commit_tag only advances on durable commits).
+  uint64_t tag = 0;
+  {
+    std::lock_guard<std::mutex> commit_lock(commit_mutex_);
+    tag = mutable_durable_->store().last_commit_tag() + batch_size;
+    BW_RETURN_IF_ERROR(mutable_durable_->Commit(tag));
+    MirrorWalStats();
+  }
   std::vector<Mutation> batch;
   {
     std::lock_guard<std::mutex> lock(write_mutex_);
     batch.swap(pending_);
-    ++next_tag_;
   }
   commit_batches_.fetch_add(1, std::memory_order_relaxed);
-  MirrorWalStats();
   for (Mutation& m : batch) {
     write_latency_histogram_.Record(
         static_cast<uint64_t>(MicrosSince(m.enqueue_time)));
@@ -612,6 +632,7 @@ void QueryService::WriterLoop() {
           todo.push_back(std::move(write_queue_.front()));
           write_queue_.pop_front();
         }
+        writer_applying_ = !todo.empty();
       }
     }
     write_cv_.notify_all();  // space freed for kBlock submitters.
@@ -666,6 +687,7 @@ void QueryService::WriterLoop() {
           write_queue_.push_front(std::move(*it));
         }
         todo.clear();
+        writer_applying_ = false;
       }
       EnterReadOnly();
       continue;
@@ -673,6 +695,12 @@ void QueryService::WriterLoop() {
 
     ApplyBatch(&todo);
     const Status committed = CommitPendingBatch();
+    {
+      // Whatever the verdict, the batch now lives somewhere visible: in
+      // the log (committed) or back in pending_ (retryable failure).
+      std::lock_guard<std::mutex> lock(write_mutex_);
+      writer_applying_ = false;
+    }
     if (committed.ok()) continue;
     if (committed.code() == StatusCode::kResourceExhausted) {
       // Clean out-of-space mid-commit: the batch stays pending (applied
@@ -710,8 +738,15 @@ void QueryService::WorkerLoop(size_t worker_index) {
     // Shared side of the write path's batch lock: queries never run
     // while a mutation batch is mid-apply, so every answer reflects a
     // whole number of batches (a consistent generation).
-    Response response = [&] {
+    Response response = [&]() -> Response {
       std::shared_lock<std::shared_mutex> read_lock(tree_mutex_);
+      if (snapshot_restoring_.load(std::memory_order_acquire)) {
+        // The tree is torn between snapshot chunks; a traversal now
+        // would walk pages from two different trees.
+        return Status::Unavailable(
+            "replica is restoring from a snapshot; queries shed until "
+            "the restore commits");
+      }
       return Execute(task, pool);
     }();
 
@@ -829,6 +864,252 @@ QueryService::Response QueryService::Execute(Task& task,
 }
 
 // ---------------------------------------------------------------------------
+// Replica catch-up (WAL shipping + snapshot transfer; DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared refusal for the catch-up reads and applies: they describe (or
+/// replace) exactly the committed state, so mutations that are admitted
+/// but not yet durable — queued, pending retry, or mid-apply in the
+/// writer — make the replica an unfit party until the writer drains.
+Status WritesInFlight() {
+  return Status::Unavailable(
+      "local writes in flight; retry catch-up when the replica quiesces");
+}
+
+}  // namespace
+
+Result<CatchupPosition> QueryService::Position() const {
+  if (durable_ == nullptr) {
+    return Status::NotSupported(
+        "replica catch-up requires a durable index");
+  }
+  CatchupPosition pos;
+  pos.last_tag = durable_->store().last_commit_tag();
+  pos.checkpoint_tag = durable_->store().checkpoint_tag();
+  // Shared lock only for the page count: the vector behind it grows
+  // under the writer's exclusive batch lock.
+  std::shared_lock<std::shared_mutex> shared(tree_mutex_);
+  pos.page_count = durable_->store().disk()->page_count();
+  return pos;
+}
+
+Result<WalTail> QueryService::ReadWalTail(uint64_t after_tag,
+                                          size_t max_batches,
+                                          size_t max_bytes) {
+  if (durable_ == nullptr) {
+    return Status::NotSupported(
+        "replica catch-up requires a durable index");
+  }
+  // commit_mutex_ pins the log: no commit can advance it and — more
+  // importantly — no checkpoint can retire the segment files out from
+  // under the scan.
+  std::lock_guard<std::mutex> commit_lock(commit_mutex_);
+  const storage::DurableStore& store = durable_->store();
+  WalTail tail;
+  tail.last_tag = store.last_commit_tag();
+  if (after_tag < store.checkpoint_tag()) {
+    // The batches this target needs were folded into the base file and
+    // truncated out of the log: past the horizon only a snapshot helps.
+    tail.snapshot_needed = true;
+    return tail;
+  }
+  if (mutable_durable_ != nullptr) {
+    // Buffered-but-unsynced commit records are invisible to the file
+    // scan; sync so the log read matches last_commit_tag exactly —
+    // otherwise an equal-position replica would poll forever for a
+    // batch it can never see.
+    BW_RETURN_IF_ERROR(mutable_durable_->store().wal()->Sync());
+  }
+  BW_ASSIGN_OR_RETURN(
+      storage::WalShipReadout readout,
+      storage::ReadWalBatchesAfter(store.wal()->path(), after_tag,
+                                   max_batches, max_bytes));
+  tail.batches = std::move(readout.batches);
+  tail.more = readout.more;
+  return tail;
+}
+
+Status QueryService::ApplyWalBatch(const storage::ShippedBatch& batch) {
+  if (mutable_durable_ == nullptr) {
+    return Status::NotSupported(
+        "applying shipped batches requires a mutable durable index");
+  }
+  std::lock_guard<std::mutex> commit_lock(commit_mutex_);
+  storage::DurableStore& store = mutable_durable_->store();
+  if (batch.tag <= store.last_commit_tag()) {
+    // A batch this replica already holds: the retried pull of a reply
+    // the network ate. Applying page images twice would be harmless,
+    // but committing twice would burn a tag — skip cleanly instead.
+    return Status::OK();
+  }
+  std::unique_lock<std::shared_mutex> exclusive(tree_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (!pending_.empty() || !write_queue_.empty() || writer_applying_) {
+      return WritesInFlight();
+    }
+  }
+  storage::DiskPageFile* disk = store.disk();
+  for (const storage::ShippedRecord& rec : batch.records) {
+    if (rec.type == storage::WalRecordType::kAlloc) {
+      BW_RETURN_IF_ERROR(disk->EnsureAllocated(rec.page_id));
+    } else if (rec.type == storage::WalRecordType::kPageImage) {
+      BW_RETURN_IF_ERROR(disk->ApplyPageImage(rec.page_id,
+                                              rec.payload.data(),
+                                              rec.payload.size()));
+    } else {
+      return Status::InvalidArgument(
+          "shipped batch holds a non-redo record");
+    }
+  }
+  BW_RETURN_IF_ERROR(
+      core::RefreshTreeFromMeta(&store, &mutable_durable_->tree()));
+  generation_.fetch_add(1, std::memory_order_release);
+  exclusive.unlock();
+  // Commit the shipped images as this replica's own WAL batch carrying
+  // the source's tag. Not DurableIndex::Commit: the meta page rode
+  // along in the shipped images and the tree was just refreshed *from*
+  // it — re-serializing would write the same bytes at best.
+  BW_RETURN_IF_ERROR(store.CommitBatch(batch.tag));
+  catchup_batches_applied_.fetch_add(1, std::memory_order_relaxed);
+  MirrorWalStats();
+  return Status::OK();
+}
+
+Result<SnapshotChunk> QueryService::ReadSnapshotChunk(uint32_t start_page,
+                                                      size_t max_bytes) {
+  if (durable_ == nullptr) {
+    return Status::NotSupported(
+        "replica catch-up requires a durable index");
+  }
+  std::lock_guard<std::mutex> commit_lock(commit_mutex_);
+  // Shared tree lock before the quiescence check: a batch the writer
+  // has applied but not yet parked in pending_ cannot exist while we
+  // hold the readers' side (the apply needs the exclusive side).
+  std::shared_lock<std::shared_mutex> shared(tree_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (!pending_.empty() || !write_queue_.empty() || writer_applying_) {
+      return WritesInFlight();
+    }
+  }
+  const storage::DiskPageFile* disk = durable_->store().disk();
+  if (!disk->suspect_pages().empty()) {
+    return Status::Unavailable(
+        "quarantined pages make this replica an unfit snapshot source");
+  }
+  SnapshotChunk chunk;
+  chunk.tag = durable_->store().last_commit_tag();
+  chunk.total_pages = disk->page_count();
+  chunk.start_page = start_page;
+  if (start_page >= chunk.total_pages) {
+    return Status::InvalidArgument("start_page past the end of the store");
+  }
+  size_t bytes = 0;
+  std::vector<uint8_t> image;
+  for (uint64_t id = start_page; id < chunk.total_pages; ++id) {
+    pages::EncodePage(*disk->PeekNoIo(static_cast<pages::PageId>(id)),
+                      &image);
+    // Always at least one page per chunk, so a tiny budget still makes
+    // progress instead of spinning on an empty reply.
+    if (!chunk.pages.empty() && bytes + image.size() > max_bytes) break;
+    bytes += image.size();
+    storage::ShippedRecord rec;
+    rec.type = storage::WalRecordType::kPageImage;
+    rec.page_id = static_cast<pages::PageId>(id);
+    rec.payload = image;
+    chunk.pages.push_back(std::move(rec));
+  }
+  return chunk;
+}
+
+Status QueryService::ApplySnapshotChunk(const SnapshotChunk& chunk,
+                                        bool first, bool last) {
+  if (mutable_durable_ == nullptr) {
+    return Status::NotSupported(
+        "applying snapshot chunks requires a mutable durable index");
+  }
+  std::lock_guard<std::mutex> commit_lock(commit_mutex_);
+  storage::DurableStore& store = mutable_durable_->store();
+  std::unique_lock<std::shared_mutex> exclusive(tree_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (!pending_.empty() || !write_queue_.empty() || writer_applying_) {
+      return WritesInFlight();
+    }
+  }
+  storage::DiskPageFile* disk = store.disk();
+  if (first) {
+    if (disk->page_count() > chunk.total_pages) {
+      return Status::InvalidArgument(
+          "this store holds more pages than the snapshot; page stores "
+          "never shrink — rebuild the replica instead");
+    }
+    // From here until the last chunk commits, the store is a mix of two
+    // trees: shed queries. Deliberately never cleared on failure — a
+    // half-restored replica must stay dark until a restore completes.
+    snapshot_restoring_.store(true, std::memory_order_release);
+  }
+  for (const storage::ShippedRecord& rec : chunk.pages) {
+    if (rec.type != storage::WalRecordType::kPageImage) {
+      return Status::InvalidArgument(
+          "snapshot chunk holds a non-page record");
+    }
+    BW_RETURN_IF_ERROR(disk->EnsureAllocated(rec.page_id));
+    BW_RETURN_IF_ERROR(disk->ApplyPageImage(rec.page_id, rec.payload.data(),
+                                            rec.payload.size()));
+  }
+  snapshot_chunks_applied_.fetch_add(1, std::memory_order_relaxed);
+  if (!last) return Status::OK();
+  BW_RETURN_IF_ERROR(
+      core::RefreshTreeFromMeta(&store, &mutable_durable_->tree()));
+  generation_.fetch_add(1, std::memory_order_release);
+  exclusive.unlock();
+  // One commit for the whole restore, then a checkpoint: the shipped
+  // pages all sit in the commit tracking, and folding them immediately
+  // spares the WAL a full copy of the store on the next rotation.
+  BW_RETURN_IF_ERROR(store.CommitBatch(chunk.tag));
+  BW_RETURN_IF_ERROR(store.Checkpoint());
+  MirrorWalStats();
+  snapshot_restoring_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<TreeSum> QueryService::TreeChecksum() const {
+  if (durable_ == nullptr) {
+    return Status::NotSupported(
+        "replica catch-up requires a durable index");
+  }
+  std::lock_guard<std::mutex> commit_lock(commit_mutex_);
+  std::shared_lock<std::shared_mutex> shared(tree_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (!pending_.empty() || !write_queue_.empty() || writer_applying_) {
+      return WritesInFlight();
+    }
+  }
+  const storage::DiskPageFile* disk = durable_->store().disk();
+  if (!disk->suspect_pages().empty()) {
+    return Status::Unavailable(
+        "quarantined pages poison the checksum; repair first");
+  }
+  TreeSum sum;
+  sum.tag = durable_->store().last_commit_tag();
+  sum.page_count = disk->page_count();
+  uint32_t crc = 0;
+  std::vector<uint8_t> image;
+  for (uint64_t id = 0; id < sum.page_count; ++id) {
+    pages::EncodePage(*disk->PeekNoIo(static_cast<pages::PageId>(id)),
+                      &image);
+    crc = Crc32Extend(crc, image.data(), image.size());
+  }
+  sum.crc = crc;
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
 // Monitoring
 // ---------------------------------------------------------------------------
 
@@ -877,6 +1158,12 @@ ServiceSnapshot QueryService::Snapshot() const {
       wal_segments_created_.load(std::memory_order_relaxed);
   snap.wal_segments_retired =
       wal_segments_retired_.load(std::memory_order_relaxed);
+  snap.catchup_batches_applied =
+      catchup_batches_applied_.load(std::memory_order_relaxed);
+  snap.snapshot_chunks_applied =
+      snapshot_chunks_applied_.load(std::memory_order_relaxed);
+  snap.snapshot_restoring =
+      snapshot_restoring_.load(std::memory_order_relaxed);
   snap.mean_write_latency_us = write_latency_histogram_.Mean();
   snap.p50_write_latency_us = write_latency_histogram_.Percentile(0.50);
   snap.p99_write_latency_us = write_latency_histogram_.Percentile(0.99);

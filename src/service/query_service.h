@@ -71,6 +71,7 @@
 
 #include "core/durable_index.h"
 #include "core/index_factory.h"
+#include "storage/wal_ship.h"
 #include "gist/nn_cursor.h"
 #include "gist/tree.h"
 #include "pages/buffer_pool.h"
@@ -234,12 +235,66 @@ struct QueryResponse {
 
 /// What a mutation's future resolves to once its batch is durable.
 struct MutationOutcome {
-  /// Commit tag of the batch that made this mutation durable. After a
-  /// crash, RecoveryManager::Summary::last_commit_tag names the newest
+  /// Commit tag of the batch that made this mutation durable: the
+  /// cumulative count of mutations applied to this replica, so two
+  /// replicas fed the same admission sequence converge on the same tag
+  /// even if their writers grouped the mutations into different batches
+  /// — which is what makes tags comparable across a fleet (the catch-up
+  /// position, DESIGN.md §13). After a crash,
+  /// RecoveryManager::Summary::last_commit_tag names the newest
   /// surviving batch, so acked tags <= it are exactly the recovered set.
   uint64_t tag = 0;
   double queue_wait_us = 0;  // admission -> writer picked the batch up.
   double apply_us = 0;       // tree apply time for this batch.
+};
+
+// ---------------------------------------------------------------------------
+// Replica catch-up surface (DESIGN.md §13). A stale replica converges
+// onto a healthy sibling by applying the sibling's committed WAL
+// batches (tags above its own) — or, when the sibling's checkpoint
+// already folded the needed batches away, by re-imaging every page from
+// a snapshot and continuing with WAL batches from the snapshot's tag.
+// ---------------------------------------------------------------------------
+
+/// Where a replica stands, tag-wise (cheap; poll freely).
+struct CatchupPosition {
+  /// Newest durable commit tag (cumulative mutation count).
+  uint64_t last_tag = 0;
+  /// WAL-shipping horizon: batches at or below this tag are no longer
+  /// in the log (folded by a checkpoint).
+  uint64_t checkpoint_tag = 0;
+  uint64_t page_count = 0;
+};
+
+/// Committed batches read back out of the live WAL for shipping.
+struct WalTail {
+  std::vector<storage::ShippedBatch> batches;
+  /// The requested after_tag is below the checkpoint horizon: the WAL
+  /// path cannot converge this target; take the snapshot path.
+  bool snapshot_needed = false;
+  /// Budget ran out with qualifying batches left; pull again.
+  bool more = false;
+  /// The source's newest durable tag at read time.
+  uint64_t last_tag = 0;
+};
+
+/// One contiguous run of page images from a full-store snapshot.
+struct SnapshotChunk {
+  /// Source tag the images reflect; all chunks of one snapshot must
+  /// carry the same tag or the target restarts from page 0.
+  uint64_t tag = 0;
+  uint64_t total_pages = 0;
+  uint32_t start_page = 0;
+  /// kPageImage records for pages [start_page, start_page + size()).
+  std::vector<storage::ShippedRecord> pages;
+};
+
+/// Bit-identity handshake: CRC over every encoded page in id order,
+/// valid only when compared at equal tags with writes quiescent.
+struct TreeSum {
+  uint64_t tag = 0;
+  uint64_t page_count = 0;
+  uint32_t crc = 0;
 };
 
 /// Aggregated service counters and latency distribution.
@@ -290,6 +345,12 @@ struct ServiceSnapshot {
   uint64_t wal_live_bytes = 0;
   uint64_t wal_segments_created = 0;
   uint64_t wal_segments_retired = 0;
+  /// Catch-up: shipped WAL batches / snapshot chunks this replica has
+  /// applied, and whether a snapshot restore is in flight right now
+  /// (queries are shed while it is).
+  uint64_t catchup_batches_applied = 0;
+  uint64_t snapshot_chunks_applied = 0;
+  bool snapshot_restoring = false;
   double mean_write_latency_us = 0;  // submission -> durable ack.
   uint64_t p50_write_latency_us = 0;
   uint64_t p99_write_latency_us = 0;
@@ -445,6 +506,55 @@ class QueryService {
   /// kReadOnly.
   void ResumeWrites();
 
+  // --- Replica catch-up (thread-safe; requires a durable index) ---------
+  //
+  // Source-side reads (Position/ReadWalTail/ReadSnapshotChunk/
+  // TreeChecksum) serve from committed state and refuse (kUnavailable)
+  // while writes are in flight where a torn view could leak. Target-side
+  // applies (ApplyWalBatch/ApplySnapshotChunk) mutate the store outside
+  // the writer thread and are only safe while the replica is out of the
+  // router's write rotation — the driver's contract; a write that does
+  // land mid-catch-up merely diverges the replica again (the checksum
+  // handshake catches it), it cannot corrupt the store.
+
+  /// Tag position of this replica (cheap poll).
+  Result<CatchupPosition> Position() const;
+
+  /// Reads committed batches with tag > after_tag from the live WAL,
+  /// bounded by max_batches / max_bytes; sets snapshot_needed instead
+  /// when after_tag is below the checkpoint horizon.
+  Result<WalTail> ReadWalTail(uint64_t after_tag, size_t max_batches,
+                              size_t max_bytes);
+
+  /// Applies one shipped batch: redo records under the exclusive tree
+  /// lock, meta refresh + generation bump, then a commit carrying the
+  /// batch's tag. Batches at or below the current tag are skipped (OK)
+  /// so retries are idempotent. Unavailable while local writes are in
+  /// flight.
+  Status ApplyWalBatch(const storage::ShippedBatch& batch);
+
+  /// Reads one run of page images starting at start_page (~max_bytes
+  /// budget, always at least one page). All chunks of one snapshot must
+  /// report the same tag; a change means a write landed mid-snapshot —
+  /// restart from page 0.
+  Result<SnapshotChunk> ReadSnapshotChunk(uint32_t start_page,
+                                          size_t max_bytes);
+
+  /// Applies one snapshot chunk. `first` starts the restore (queries
+  /// are shed until the restore finishes — the tree is torn between
+  /// chunks); `last` refreshes the tree meta, commits at the chunk's
+  /// tag, checkpoints, and resumes queries. FailedPrecondition if this
+  /// store has more pages than the snapshot (page stores never shrink;
+  /// such a replica needs an operator rebuild).
+  Status ApplySnapshotChunk(const SnapshotChunk& chunk, bool first,
+                            bool last);
+
+  /// CRC over every encoded page in id order + the durable tag: the
+  /// readmission handshake. Two replicas with equal tags and equal
+  /// checksums are bit-identical. Unavailable while writes are in
+  /// flight (the sum must describe exactly the committed state).
+  Result<TreeSum> TreeChecksum() const;
+
   // --- Control ----------------------------------------------------------
 
   /// Stops dequeuing (in-flight queries finish; submissions still
@@ -571,11 +681,26 @@ class QueryService {
   std::vector<Mutation> pending_;
   bool write_shutdown_ = false;
   bool resume_requested_ = false;
-  /// Commit tag the pending/next batch will carry; advances only on a
-  /// durable commit, so a retried batch keeps its tag.
-  uint64_t next_tag_ = 0;
+  /// True from the moment the writer pops a batch off write_queue_
+  /// until that batch's commit attempt returns: the window where
+  /// in-flight mutations live in neither queue. The catch-up reads
+  /// check it (with the queues) to decide the replica is quiescent.
+  bool writer_applying_ = false;
   std::atomic<WriteState> write_state_{WriteState::kServing};
   std::thread writer_;
+
+  /// Serializes every WAL-touching operation: the writer's commit, WAL
+  /// tail reads (which sync and then scan the segment files — a
+  /// concurrent checkpoint would retire them mid-read), shipped-batch
+  /// applies, snapshot chunk reads, and tree checksums. Always acquired
+  /// before tree_mutex_ when both are needed; the writer's tree apply
+  /// takes tree_mutex_ alone, so the order cannot invert.
+  mutable std::mutex commit_mutex_;
+  /// Set between the first and last chunk of a snapshot restore: the
+  /// tree is torn across chunks, so queries and cursors are shed until
+  /// the final chunk commits. Stays set if a restore fails mid-way —
+  /// the replica is inconsistent until a snapshot completes.
+  std::atomic<bool> snapshot_restoring_{false};
 
   // Aggregate metrics (relaxed atomics: hot-path increments never
   // contend on a lock).
@@ -604,6 +729,8 @@ class QueryService {
   std::atomic<uint64_t> wal_live_bytes_{0};
   std::atomic<uint64_t> wal_segments_created_{0};
   std::atomic<uint64_t> wal_segments_retired_{0};
+  std::atomic<uint64_t> catchup_batches_applied_{0};
+  std::atomic<uint64_t> snapshot_chunks_applied_{0};
   std::chrono::steady_clock::time_point start_time_;
 };
 

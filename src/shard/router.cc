@@ -31,11 +31,21 @@ Router::Router(ShardMap map, std::vector<Shard> shards, RouterOptions options)
       options_(options),
       start_time_(std::chrono::steady_clock::now()) {
   states_.resize(shards_.size());
+  probe_failures_.resize(shards_.size());
+  probe_skip_.resize(shards_.size());
+  write_locks_.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     states_[s].assign(shards_[s].replicas.size(), ReplicaState::kHealthy);
+    probe_failures_[s].assign(shards_[s].replicas.size(), 0);
+    probe_skip_[s].assign(shards_[s].replicas.size(), 0);
+    write_locks_.push_back(std::make_unique<std::mutex>());
   }
+  probe_jitter_state_ = options_.jitter_seed;
   if (options_.probe_interval.count() > 0) {
     probe_thread_ = std::thread([this] { ProbeLoop(); });
+  }
+  if (options_.catchup_interval.count() > 0) {
+    catchup_thread_ = std::thread([this] { CatchupLoop(); });
   }
 }
 
@@ -46,14 +56,42 @@ Router::~Router() {
   }
   probe_cv_.notify_all();
   if (probe_thread_.joinable()) probe_thread_.join();
+  if (catchup_thread_.joinable()) catchup_thread_.join();
 }
 
 void Router::SetReplicaState(size_t shard, size_t replica,
                              ReplicaState state) {
   std::lock_guard<std::mutex> lock(state_mutex_);
-  // kStale is terminal: divergence is not cured by answering a probe.
-  if (states_[shard][replica] == ReplicaState::kStale) return;
-  states_[shard][replica] = state;
+  ReplicaState& current = states_[shard][replica];
+  switch (state) {
+    case ReplicaState::kStale:
+      // Divergence dominates everything, including an in-flight
+      // catch-up (whose readmission CAS will then fail and retry).
+      current = ReplicaState::kStale;
+      return;
+    case ReplicaState::kDead:
+    case ReplicaState::kHealthy:
+      // Probes and failovers never clobber divergence bookkeeping:
+      // only the catch-up driver's CAS moves a replica out of
+      // kStale / kCatchingUp.
+      if (current == ReplicaState::kStale ||
+          current == ReplicaState::kCatchingUp) {
+        return;
+      }
+      current = state;
+      return;
+    case ReplicaState::kCatchingUp:
+      // Entered exclusively via TransitionReplica's CAS.
+      return;
+  }
+}
+
+bool Router::TransitionReplica(size_t shard, size_t replica,
+                               ReplicaState from, ReplicaState to) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (states_[shard][replica] != from) return false;
+  states_[shard][replica] = to;
+  return true;
 }
 
 ReplicaState Router::GetReplicaState(size_t shard, size_t replica) const {
@@ -365,17 +403,26 @@ Result<service::MutationOutcome> Router::Insert(const geom::Vec& point,
     owner = map_.OwnerOf(point);
   }
 
-  // Apply to every live replica of the owner. A replica that misses the
-  // write while a sibling acks it has diverged: count-based failover
-  // skip is no longer sound against it, so it goes kStale — permanently
-  // out of rotation (only a rebuild brings it back).
+  // Apply to every live replica of the owner, under the shard's write
+  // lock: replicas stay bit-identical only if every one of them applies
+  // the same mutations in the same order, and two routed writes racing
+  // here could interleave differently on different replicas. A replica
+  // that misses the write while a sibling acks it has diverged:
+  // count-based failover skip is no longer sound against it, so it goes
+  // kStale — out of rotation until the catch-up driver streams it the
+  // suffix it missed and verifies bit-identity.
+  std::lock_guard<std::mutex> write_lock(*write_locks_[owner]);
   std::optional<service::MutationOutcome> acked;
   Status last_error = Status::Unavailable("no live replica");
   std::vector<size_t> missed;
   for (size_t r = 0; r < shards_[owner].replicas.size(); ++r) {
     const ReplicaState state = GetReplicaState(owner, r);
     if (state == ReplicaState::kStale) continue;
-    if (state == ReplicaState::kDead) {
+    if (state == ReplicaState::kDead ||
+        state == ReplicaState::kCatchingUp) {
+      // A catching-up replica missing a live write re-diverges: demote
+      // it back to kStale below so the driver restarts from the new
+      // position instead of readmitting a replica that missed this ack.
       missed.push_back(r);
       continue;
     }
@@ -406,13 +453,16 @@ Result<service::MutationOutcome> Router::Remove(const geom::Vec& point,
   std::optional<service::MutationOutcome> found;
   Status last_error = Status::NotFound("rid not present on any shard");
   for (size_t s = 0; s < shards_.size(); ++s) {
+    // Same per-shard write serialization as Insert (see there).
+    std::lock_guard<std::mutex> write_lock(*write_locks_[s]);
     std::optional<service::MutationOutcome> acked;
     bool found_here = false;
     std::vector<size_t> missed;
     for (size_t r = 0; r < shards_[s].replicas.size(); ++r) {
       const ReplicaState state = GetReplicaState(s, r);
       if (state == ReplicaState::kStale) continue;
-      if (state == ReplicaState::kDead) {
+      if (state == ReplicaState::kDead ||
+          state == ReplicaState::kCatchingUp) {
         missed.push_back(r);
         continue;
       }
@@ -451,6 +501,10 @@ RouterStats Router::stats() const {
   out.degraded_queries = degraded_queries_.load(std::memory_order_relaxed);
   out.probes = probes_.load(std::memory_order_relaxed);
   out.mutations = mutations_.load(std::memory_order_relaxed);
+  out.catchups = catchups_.load(std::memory_order_relaxed);
+  out.wal_batches_shipped =
+      wal_batches_shipped_.load(std::memory_order_relaxed);
+  out.snapshots_shipped = snapshots_shipped_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -468,7 +522,12 @@ std::vector<std::pair<std::string, double>> Router::StatsFields() const {
                       static_cast<double>(s.degraded_queries));
   fields.emplace_back("router.probes", static_cast<double>(s.probes));
   fields.emplace_back("router.mutations", static_cast<double>(s.mutations));
-  size_t dead = 0, stale = 0;
+  fields.emplace_back("router.catchups", static_cast<double>(s.catchups));
+  fields.emplace_back("router.wal_batches_shipped",
+                      static_cast<double>(s.wal_batches_shipped));
+  fields.emplace_back("router.snapshots_shipped",
+                      static_cast<double>(s.snapshots_shipped));
+  size_t dead = 0, stale = 0, catching = 0;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     for (size_t sh = 0; sh < states_.size(); ++sh) {
@@ -477,6 +536,7 @@ std::vector<std::pair<std::string, double>> Router::StatsFields() const {
         if (state == ReplicaState::kHealthy) ++live;
         if (state == ReplicaState::kDead) ++dead;
         if (state == ReplicaState::kStale) ++stale;
+        if (state == ReplicaState::kCatchingUp) ++catching;
       }
       fields.emplace_back("router.shard" + std::to_string(sh) +
                               ".live_replicas",
@@ -485,6 +545,7 @@ std::vector<std::pair<std::string, double>> Router::StatsFields() const {
   }
   fields.emplace_back("router.dead_replicas", static_cast<double>(dead));
   fields.emplace_back("router.stale_replicas", static_cast<double>(stale));
+  fields.emplace_back("router.catching_up", static_cast<double>(catching));
   return fields;
 }
 
@@ -510,11 +571,48 @@ net::HealthReply Router::Health() const {
 void Router::ProbeNow() {
   for (size_t s = 0; s < shards_.size(); ++s) {
     for (size_t r = 0; r < shards_[s].replicas.size(); ++r) {
-      if (GetReplicaState(s, r) == ReplicaState::kStale) continue;
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        const ReplicaState state = states_[s][r];
+        // Stale/catching-up replicas belong to the catch-up driver; a
+        // probe answering OK says nothing about divergence.
+        if (state == ReplicaState::kStale ||
+            state == ReplicaState::kCatchingUp) {
+          continue;
+        }
+        if (probe_skip_[s][r] > 0) {
+          --probe_skip_[s][r];
+          continue;
+        }
+      }
       probes_.fetch_add(1, std::memory_order_relaxed);
       const Status verdict = shards_[s].replicas[r]->Probe();
-      SetReplicaState(
-          s, r, verdict.ok() ? ReplicaState::kHealthy : ReplicaState::kDead);
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      const ReplicaState state = states_[s][r];
+      if (state == ReplicaState::kStale ||
+          state == ReplicaState::kCatchingUp) {
+        continue;  // demoted while the probe was in flight.
+      }
+      if (verdict.ok()) {
+        states_[s][r] = ReplicaState::kHealthy;
+        probe_failures_[s][r] = 0;
+        probe_skip_[s][r] = 0;
+      } else {
+        states_[s][r] = ReplicaState::kDead;
+        // Jittered exponential backoff: 1, 2, 4, ... sweeps skipped
+        // (capped), +0/1 from a splitmix64 draw so several routers
+        // probing one dead server drift apart.
+        const uint32_t failures = ++probe_failures_[s][r];
+        uint32_t skip = failures >= 32 ? options_.probe_backoff_max
+                                       : (1u << (failures - 1));
+        if (skip > options_.probe_backoff_max) {
+          skip = options_.probe_backoff_max;
+        }
+        uint64_t z = (probe_jitter_state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        probe_skip_[s][r] = skip + static_cast<uint32_t>((z >> 31) & 1);
+      }
     }
   }
 }
@@ -528,6 +626,167 @@ void Router::ProbeLoop() {
     }
     lock.unlock();
     ProbeNow();
+    lock.lock();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replica catch-up (kStale -> kCatchingUp -> kHealthy; DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+size_t Router::CatchupNow() {
+  size_t readmitted = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (size_t r = 0; r < shards_[s].replicas.size(); ++r) {
+      if (GetReplicaState(s, r) != ReplicaState::kStale) continue;
+      if (CatchupReplica(s, r)) ++readmitted;
+    }
+  }
+  return readmitted;
+}
+
+Status Router::VerifyBitIdentity(ShardBackend* source, ShardBackend* target) {
+  Result<service::TreeSum> source_sum = source->TreeChecksum();
+  if (!source_sum.ok()) return source_sum.status();
+  Result<service::TreeSum> target_sum = target->TreeChecksum();
+  if (!target_sum.ok()) return target_sum.status();
+  if (source_sum->tag != target_sum->tag ||
+      source_sum->page_count != target_sum->page_count ||
+      source_sum->crc != target_sum->crc) {
+    return Status::DataLoss(
+        "replica diverges from its sibling after catch-up (tag " +
+        std::to_string(target_sum->tag) + "/" +
+        std::to_string(source_sum->tag) + ", crc mismatch)");
+  }
+  return Status::OK();
+}
+
+Status Router::ShipSnapshot(ShardBackend* source, ShardBackend* target) {
+  // A commit on the source mid-transfer changes pages already shipped:
+  // restart from page 0 (the tag tells us), bounded so continuous
+  // writes cannot pin the driver here forever.
+  for (int restart = 0; restart < 4; ++restart) {
+    uint64_t tag = 0;
+    uint32_t start_page = 0;
+    bool first = true;
+    bool restarted = false;
+    for (;;) {
+      Result<service::SnapshotChunk> chunk =
+          source->ReadSnapshotChunk(start_page, options_.catchup_max_bytes);
+      if (!chunk.ok()) return chunk.status();
+      if (chunk->pages.empty()) {
+        return Status::Internal("snapshot chunk with no pages");
+      }
+      if (first) {
+        tag = chunk->tag;
+      } else if (chunk->tag != tag) {
+        restarted = true;
+        break;
+      }
+      const bool last =
+          start_page + chunk->pages.size() >= chunk->total_pages;
+      BW_RETURN_IF_ERROR(target->ApplySnapshotChunk(*chunk, first, last));
+      first = false;
+      start_page += static_cast<uint32_t>(chunk->pages.size());
+      if (last) return Status::OK();
+    }
+    if (!restarted) break;
+  }
+  return Status::Unavailable(
+      "snapshot transfer kept restarting under concurrent commits");
+}
+
+bool Router::CatchupReplica(size_t shard, size_t replica) {
+  if (!TransitionReplica(shard, replica, ReplicaState::kStale,
+                         ReplicaState::kCatchingUp)) {
+    return false;
+  }
+  ShardBackend* target = shards_[shard].replicas[replica].get();
+  const auto demote = [&] {
+    SetReplicaState(shard, replica, ReplicaState::kStale);
+    return false;
+  };
+
+  ShardBackend* source = nullptr;
+  for (size_t r = 0; r < shards_[shard].replicas.size(); ++r) {
+    if (r == replica) continue;
+    if (GetReplicaState(shard, r) == ReplicaState::kHealthy) {
+      source = shards_[shard].replicas[r].get();
+      break;
+    }
+  }
+  if (source == nullptr) return demote();  // nobody to catch up from.
+
+  bool force_snapshot = false;
+  for (size_t round = 0; round < options_.catchup_max_rounds; ++round) {
+    Result<service::CatchupPosition> target_pos = target->CatchupPosition();
+    if (!target_pos.ok()) return demote();
+    Result<service::CatchupPosition> source_pos = source->CatchupPosition();
+    if (!source_pos.ok()) return demote();
+
+    if (!force_snapshot && target_pos->last_tag == source_pos->last_tag) {
+      // Positions agree: readmit iff the trees are bit-identical.
+      // Same tag with different bytes means genuinely diverged
+      // histories — only a full resync cures that.
+      if (VerifyBitIdentity(source, target).ok()) {
+        if (TransitionReplica(shard, replica, ReplicaState::kCatchingUp,
+                              ReplicaState::kHealthy)) {
+          catchups_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        return demote();  // a missed write demoted us mid-verification.
+      }
+      force_snapshot = true;
+      continue;
+    }
+
+    if (force_snapshot || target_pos->last_tag > source_pos->last_tag) {
+      // Target "ahead" of the source means its history diverged (tags
+      // are mutation counts, and the source acked writes the target
+      // missed): resync from scratch.
+      if (!ShipSnapshot(source, target).ok()) return demote();
+      snapshots_shipped_.fetch_add(1, std::memory_order_relaxed);
+      force_snapshot = false;
+      continue;
+    }
+
+    Result<service::WalTail> tail = source->ReadWalTail(
+        target_pos->last_tag, options_.catchup_max_batches,
+        options_.catchup_max_bytes);
+    if (!tail.ok()) return demote();
+    if (tail->snapshot_needed) {
+      // The suffix the target needs was retired past a checkpoint.
+      force_snapshot = true;
+      continue;
+    }
+    bool apply_failed = false;
+    for (const storage::ShippedBatch& batch : tail->batches) {
+      if (!target->ApplyWalBatch(batch).ok()) {
+        apply_failed = true;
+        break;
+      }
+      wal_batches_shipped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (apply_failed) {
+      // A half-applied suffix leaves the target's pages torn; the
+      // snapshot path re-images everything, so escalate rather than
+      // retry the batch blind.
+      force_snapshot = true;
+      continue;
+    }
+  }
+  return demote();  // rounds budget exhausted (e.g. continuous writes).
+}
+
+void Router::CatchupLoop() {
+  std::unique_lock<std::mutex> lock(probe_mutex_);
+  while (!probe_stop_) {
+    if (probe_cv_.wait_for(lock, options_.catchup_interval,
+                           [this] { return probe_stop_; })) {
+      return;
+    }
+    lock.unlock();
+    CatchupNow();
     lock.lock();
   }
 }

@@ -23,8 +23,14 @@
 // one replica is result N on another. kDead replicas return via a
 // successful health probe. A replica that fails a mutation which
 // another replica of the same shard acked is marked kStale instead:
-// its contents have diverged, count-skip is no longer sound, and only
-// an operator (rebuild + restart) brings it back.
+// its contents have diverged and count-skip is no longer sound. The
+// catch-up driver (CatchupNow / the catchup_interval thread) cures
+// kStale without an operator: it streams the missed WAL suffix from a
+// healthy sibling (or a full-store snapshot when the suffix was
+// retired past a checkpoint), verifies bit-identity with a
+// checksum-over-tree handshake, and only then flips the replica
+// kStale -> kCatchingUp -> kHealthy, back into rotation. See
+// DESIGN.md §13.
 //
 // When every replica of a shard is dead the shard itself is dead for
 // this query. RouterOptions::fault_budget says how many dead shards a
@@ -63,13 +69,31 @@ struct RouterOptions {
   /// Background health-probe period; zero disables the probe thread
   /// (tests drive ProbeNow() by hand instead).
   std::chrono::milliseconds probe_interval{0};
+  /// After consecutive probe failures a replica's next probes are
+  /// skipped for 1, 2, 4, ... sweeps (capped here, jittered by ±1): a
+  /// down replica stops eating a probe per sweep, and a fleet of
+  /// routers doesn't stampede it the instant it restarts.
+  uint32_t probe_backoff_max = 8;
+  /// Background catch-up period for kStale replicas; zero disables the
+  /// thread (tests and bwadmin drive CatchupNow() by hand).
+  std::chrono::milliseconds catchup_interval{0};
+  /// WAL-shipping transfer shape per catch-up round.
+  size_t catchup_max_batches = 64;
+  size_t catchup_max_bytes = 1u << 20;
+  /// Bound on rounds one CatchupNow pass spends per replica before
+  /// giving up (a replica that cannot converge — e.g. under continuous
+  /// writes — goes back to kStale and is retried next pass).
+  size_t catchup_max_rounds = 64;
+  /// Seed for probe-backoff jitter (deterministic tests pin it).
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
 };
 
 /// Replica lifecycle (see the failover state machine above).
 enum class ReplicaState : uint8_t {
-  kHealthy,  // serving; preferred in replica order.
-  kDead,     // failed a probe/open/stream; probe can resurrect it.
-  kStale,    // diverged on a write; permanently excluded this process.
+  kHealthy,     // serving; preferred in replica order.
+  kDead,        // failed a probe/open/stream; probe can resurrect it.
+  kStale,       // diverged on a write; waiting for WAL catch-up.
+  kCatchingUp,  // catch-up driver is streaming the missed suffix.
 };
 
 /// Router counters, all lifetime totals.
@@ -81,6 +105,9 @@ struct RouterStats {
   uint64_t degraded_queries = 0; // completed under the fault budget.
   uint64_t probes = 0;           // individual replica probes issued.
   uint64_t mutations = 0;        // inserts + removes routed.
+  uint64_t catchups = 0;         // replicas readmitted kHealthy.
+  uint64_t wal_batches_shipped = 0;   // batches applied to targets.
+  uint64_t snapshots_shipped = 0;     // full-store transfers completed.
 };
 
 class Router : public net::Backend {
@@ -131,8 +158,19 @@ class Router : public net::Backend {
 
   /// One synchronous probe sweep over every non-stale replica: dead
   /// replicas that answer come back kHealthy, healthy ones that fail
-  /// go kDead. The probe thread calls exactly this.
+  /// go kDead. Replicas amid catch-up are skipped (the driver owns
+  /// them), and repeatedly failing replicas are probed with jittered
+  /// exponential backoff (RouterOptions::probe_backoff_max). The probe
+  /// thread calls exactly this.
   void ProbeNow();
+
+  /// One synchronous catch-up sweep: every kStale replica with a
+  /// healthy sibling is streamed the WAL suffix (or a snapshot) it
+  /// missed, checksum-verified, and readmitted kHealthy. Returns the
+  /// number of replicas readmitted. The catchup_interval thread calls
+  /// exactly this; bwadmin's `catchup` drives it remotely via probes +
+  /// this loop on the router process.
+  size_t CatchupNow();
 
  private:
   struct OpenShard;  // one shard's in-flight frontier state (router.cc).
@@ -156,8 +194,27 @@ class Router : public net::Backend {
 
   void SetReplicaState(size_t shard, size_t replica, ReplicaState state);
   ReplicaState GetReplicaState(size_t shard, size_t replica) const;
+  /// Compare-and-set under state_mutex_; the only way a replica leaves
+  /// kStale/kCatchingUp (so a concurrent missed-write demotion to
+  /// kStale is never overwritten by a stale readmission).
+  bool TransitionReplica(size_t shard, size_t replica, ReplicaState from,
+                         ReplicaState to);
+
+  /// Drives one replica kStale -> kCatchingUp -> kHealthy against the
+  /// first healthy sibling; returns false (replica back to kStale) when
+  /// no source exists, the rounds budget runs out, or verification
+  /// keeps failing.
+  bool CatchupReplica(size_t shard, size_t replica);
+  /// Full-store transfer: streams every page of `source` into `target`
+  /// chunk by chunk, restarting (bounded) when the source commits
+  /// mid-transfer.
+  Status ShipSnapshot(ShardBackend* source, ShardBackend* target);
+  /// Checksum-over-tree handshake: OK iff both ends answer and agree
+  /// on (tag, page_count, crc).
+  Status VerifyBitIdentity(ShardBackend* source, ShardBackend* target);
 
   void ProbeLoop();
+  void CatchupLoop();
 
   ShardMap map_;
   std::vector<Shard> shards_;
@@ -170,6 +227,17 @@ class Router : public net::Backend {
   /// Guards states_ (coarse: reads are per-open/per-probe, not per-row).
   mutable std::mutex state_mutex_;
   std::vector<std::vector<ReplicaState>> states_;
+  /// Probe backoff bookkeeping, guarded by state_mutex_: consecutive
+  /// failures and sweeps left to skip, per replica.
+  std::vector<std::vector<uint32_t>> probe_failures_;
+  std::vector<std::vector<uint32_t>> probe_skip_;
+  uint64_t probe_jitter_state_ = 0;
+
+  /// One mutex per shard, serializing routed mutations against that
+  /// shard: every replica applies writes in the same admission order,
+  /// which is what keeps replicas bit-identical under concurrency (and
+  /// what the catch-up checksum handshake verifies).
+  std::vector<std::unique_ptr<std::mutex>> write_locks_;
 
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> shards_visited_{0};
@@ -178,11 +246,15 @@ class Router : public net::Backend {
   std::atomic<uint64_t> degraded_queries_{0};
   std::atomic<uint64_t> probes_{0};
   std::atomic<uint64_t> mutations_{0};
+  std::atomic<uint64_t> catchups_{0};
+  std::atomic<uint64_t> wal_batches_shipped_{0};
+  std::atomic<uint64_t> snapshots_shipped_{0};
 
   std::mutex probe_mutex_;
   std::condition_variable probe_cv_;
   bool probe_stop_ = false;
   std::thread probe_thread_;
+  std::thread catchup_thread_;
 
   std::chrono::steady_clock::time_point start_time_;
 };

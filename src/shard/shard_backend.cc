@@ -1,8 +1,22 @@
 #include "shard/shard_backend.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace bw::shard {
+
+namespace {
+
+/// Uniform status extraction so WithRetries can wrap ops returning
+/// either Status or Result<T> (Result::status() is kOk when ok).
+inline const Status& StatusOf(const Status& status) { return status; }
+template <typename T>
+const Status& StatusOf(const Result<T>& result) {
+  return result.status();
+}
+
+}  // namespace
 
 namespace {
 
@@ -166,6 +180,55 @@ Status LocalShardBackend::Probe() {
   return Status::OK();
 }
 
+// A fail-stopped replica serves no catch-up either: the injected fault
+// models a dead process, and a dead process cannot ship or apply WAL.
+
+Result<service::CatchupPosition> LocalShardBackend::CatchupPosition() {
+  if (failed_->load(std::memory_order_relaxed)) {
+    return Status::Unavailable("replica fail-stopped (injected)");
+  }
+  return service_->Position();
+}
+
+Result<service::WalTail> LocalShardBackend::ReadWalTail(uint64_t after_tag,
+                                                        size_t max_batches,
+                                                        size_t max_bytes) {
+  if (failed_->load(std::memory_order_relaxed)) {
+    return Status::Unavailable("replica fail-stopped (injected)");
+  }
+  return service_->ReadWalTail(after_tag, max_batches, max_bytes);
+}
+
+Status LocalShardBackend::ApplyWalBatch(const storage::ShippedBatch& batch) {
+  if (failed_->load(std::memory_order_relaxed)) {
+    return Status::Unavailable("replica fail-stopped (injected)");
+  }
+  return service_->ApplyWalBatch(batch);
+}
+
+Result<service::SnapshotChunk> LocalShardBackend::ReadSnapshotChunk(
+    uint32_t start_page, size_t max_bytes) {
+  if (failed_->load(std::memory_order_relaxed)) {
+    return Status::Unavailable("replica fail-stopped (injected)");
+  }
+  return service_->ReadSnapshotChunk(start_page, max_bytes);
+}
+
+Status LocalShardBackend::ApplySnapshotChunk(
+    const service::SnapshotChunk& chunk, bool first, bool last) {
+  if (failed_->load(std::memory_order_relaxed)) {
+    return Status::Unavailable("replica fail-stopped (injected)");
+  }
+  return service_->ApplySnapshotChunk(chunk, first, last);
+}
+
+Result<service::TreeSum> LocalShardBackend::TreeChecksum() {
+  if (failed_->load(std::memory_order_relaxed)) {
+    return Status::Unavailable("replica fail-stopped (injected)");
+  }
+  return service_->TreeChecksum();
+}
+
 // ---------------------------------------------------------------------------
 // RemoteShardBackend
 // ---------------------------------------------------------------------------
@@ -200,35 +263,116 @@ void RemoteShardBackend::Release(std::unique_ptr<net::Client> client) {
   if (idle_.size() < max_idle_connections_) idle_.push_back(std::move(client));
 }
 
+// ---------------------------------------------------------------------------
+// Retry machinery (idempotent calls only; see RetryPolicy)
+// ---------------------------------------------------------------------------
+
+bool RemoteShardBackend::Retryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIoError:            // transport loss / timeout.
+    case StatusCode::kUnavailable:        // shed / draining / write-stalled.
+    case StatusCode::kResourceExhausted:  // dispatch queue or quota: back off.
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool RemoteShardBackend::BackoffOrGiveUp(size_t attempt, uint64_t elapsed_us,
+                                         uint64_t deadline_us) {
+  if (attempt + 1 >= retry_.max_attempts) return false;
+  uint64_t backoff = retry_.backoff_us;
+  for (size_t i = 0; i < attempt && backoff < retry_.max_backoff_us; ++i) {
+    backoff *= 2;
+  }
+  if (backoff > retry_.max_backoff_us) backoff = retry_.max_backoff_us;
+  // Deterministic jitter (splitmix64 over a per-backend counter mixed
+  // with the policy seed): up to +50%, so a fleet of routers hammering
+  // one recovering server desynchronizes without any global clock.
+  uint64_t z = jitter_state_.fetch_add(1, std::memory_order_relaxed) +
+               retry_.jitter_seed;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  backoff += z % (backoff / 2 + 1);
+  if (deadline_us > 0 && elapsed_us + backoff >= deadline_us) return false;
+  std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+  return true;
+}
+
+template <typename Op>
+auto RemoteShardBackend::WithRetries(uint64_t deadline_us, Op&& op)
+    -> decltype(op(std::declval<net::Client&>())) {
+  using R = decltype(op(std::declval<net::Client&>()));
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t attempt = 0;; ++attempt) {
+    Result<std::unique_ptr<net::Client>> client = Acquire();
+    R result = client.ok() ? op(**client) : R(client.status());
+    if (StatusOf(result).ok()) {
+      Release(std::move(*client));
+      return result;
+    }
+    if (!Retryable(StatusOf(result))) return result;
+    const uint64_t elapsed = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    if (!BackoffOrGiveUp(attempt, elapsed, deadline_us)) return result;
+  }
+}
+
 Result<std::unique_ptr<ShardFrontier>> RemoteShardBackend::OpenFrontier(
     const geom::Vec& query, const service::StreamOptions& limits) {
-  BW_ASSIGN_OR_RETURN(std::unique_ptr<net::Client> client, Acquire());
-  net::QueryLimits wire_limits;
-  wire_limits.deadline_us = static_cast<uint32_t>(limits.deadline_us);
-  wire_limits.budget_radius = limits.budget_radius;
-  wire_limits.batch_size = frontier_batch_size_;
-  Result<uint64_t> id =
-      client->SubmitKnn(query, limits.max_results, wire_limits);
-  if (!id.ok()) return id.status();
-  return std::unique_ptr<ShardFrontier>(
-      new RemoteFrontier(this, std::move(client), *id));
+  // Only the *open* (dial + submit) retries: once a stream exists, a
+  // mid-stream failure is the router's count-skip failover to handle.
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t attempt = 0;; ++attempt) {
+    Result<std::unique_ptr<net::Client>> client = Acquire();
+    Status verdict = client.status();
+    if (client.ok()) {
+      net::QueryLimits wire_limits;
+      wire_limits.deadline_us = static_cast<uint32_t>(limits.deadline_us);
+      wire_limits.budget_radius = limits.budget_radius;
+      wire_limits.batch_size = frontier_batch_size_;
+      Result<uint64_t> id =
+          (*client)->SubmitKnn(query, limits.max_results, wire_limits);
+      if (id.ok()) {
+        return std::unique_ptr<ShardFrontier>(
+            new RemoteFrontier(this, std::move(*client), *id));
+      }
+      verdict = id.status();
+    }
+    if (!Retryable(verdict)) return verdict;
+    const uint64_t elapsed = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    if (!BackoffOrGiveUp(attempt, elapsed,
+                         static_cast<uint64_t>(limits.deadline_us))) {
+      return verdict;
+    }
+  }
 }
 
 Result<service::QueryResponse> RemoteShardBackend::Range(
     const geom::Vec& query, double radius, uint32_t deadline_us) {
-  BW_ASSIGN_OR_RETURN(std::unique_ptr<net::Client> client, Acquire());
-  Result<net::QueryReply> reply = client->Range(query, radius, deadline_us);
-  if (!reply.ok()) return reply.status();
-  Release(std::move(client));
-  if (!reply->ok()) return reply->status;
-  service::QueryResponse response;
-  response.neighbors = std::move(reply->neighbors);
-  response.metrics.pages_skipped = reply->pages_skipped;
-  response.metrics.truncated = reply->truncated;
-  response.metrics.latency_us = reply->server_latency_us;
-  response.completeness = reply->degraded ? service::Completeness::kDegraded
-                                          : service::Completeness::kComplete;
-  return response;
+  return WithRetries(
+      deadline_us,
+      [&](net::Client& client) -> Result<service::QueryResponse> {
+        Result<net::QueryReply> reply = client.Range(query, radius,
+                                                     deadline_us);
+        if (!reply.ok()) return reply.status();
+        if (!reply->ok()) return reply->status;
+        service::QueryResponse response;
+        response.neighbors = std::move(reply->neighbors);
+        response.metrics.pages_skipped = reply->pages_skipped;
+        response.metrics.truncated = reply->truncated;
+        response.metrics.latency_us = reply->server_latency_us;
+        response.completeness = reply->degraded
+                                    ? service::Completeness::kDegraded
+                                    : service::Completeness::kComplete;
+        return response;
+      });
 }
 
 Result<service::MutationOutcome> RemoteShardBackend::Insert(
@@ -256,12 +400,54 @@ Result<service::MutationOutcome> RemoteShardBackend::Remove(
 }
 
 Status RemoteShardBackend::Probe() {
-  Result<std::unique_ptr<net::Client>> client = Acquire();
-  if (!client.ok()) return client.status();
-  Result<net::HealthReply> health = (*client)->Health();
-  if (!health.ok()) return health.status();
-  Release(std::move(*client));
-  return Status::OK();
+  Result<net::HealthReply> health = WithRetries(
+      0, [](net::Client& client) { return client.Health(); });
+  return health.status();
+}
+
+// Catch-up calls all ride the retry schedule: the reads are pure, and
+// ApplyWalBatch / ApplySnapshotChunk are idempotent on the target (the
+// tag check skips an already-applied batch; a re-written page image is
+// the same bytes), so replaying a lost ack is safe.
+
+Result<service::CatchupPosition> RemoteShardBackend::CatchupPosition() {
+  return WithRetries(0,
+                     [](net::Client& client) { return client.CatchupPos(); });
+}
+
+Result<service::WalTail> RemoteShardBackend::ReadWalTail(uint64_t after_tag,
+                                                         size_t max_batches,
+                                                         size_t max_bytes) {
+  return WithRetries(0, [&](net::Client& client) {
+    return client.PullWal(after_tag, static_cast<uint32_t>(max_batches),
+                          static_cast<uint32_t>(max_bytes));
+  });
+}
+
+Status RemoteShardBackend::ApplyWalBatch(const storage::ShippedBatch& batch) {
+  Result<net::CatchupAck> ack = WithRetries(
+      0, [&](net::Client& client) { return client.ApplyWal(batch); });
+  return ack.status();
+}
+
+Result<service::SnapshotChunk> RemoteShardBackend::ReadSnapshotChunk(
+    uint32_t start_page, size_t max_bytes) {
+  return WithRetries(0, [&](net::Client& client) {
+    return client.PullSnapshot(start_page, static_cast<uint32_t>(max_bytes));
+  });
+}
+
+Status RemoteShardBackend::ApplySnapshotChunk(
+    const service::SnapshotChunk& chunk, bool first, bool last) {
+  Result<net::CatchupAck> ack = WithRetries(0, [&](net::Client& client) {
+    return client.ApplySnapshot(chunk, first, last);
+  });
+  return ack.status();
+}
+
+Result<service::TreeSum> RemoteShardBackend::TreeChecksum() {
+  return WithRetries(0,
+                     [](net::Client& client) { return client.TreeSum(); });
 }
 
 }  // namespace bw::shard

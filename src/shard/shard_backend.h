@@ -82,6 +82,45 @@ class ShardBackend {
 
   /// Human-readable replica identity ("local:0/1", "10.0.0.2:7070").
   virtual std::string DebugName() const = 0;
+
+  // --- Replica catch-up ---------------------------------------------------
+  // The router's catch-up driver speaks these against both ends: reads
+  // (position, WAL tail, snapshot chunk, checksum) against the healthy
+  // source, writes (apply WAL batch / snapshot chunk) against the
+  // lagging target. Defaults refuse so a backend without a durable
+  // store degrades to "operator rebuild", never to silent divergence.
+
+  virtual Result<service::CatchupPosition> CatchupPosition() {
+    return Status::NotSupported("replica does not serve catch-up");
+  }
+  virtual Result<service::WalTail> ReadWalTail(uint64_t after_tag,
+                                               size_t max_batches,
+                                               size_t max_bytes) {
+    (void)after_tag;
+    (void)max_batches;
+    (void)max_bytes;
+    return Status::NotSupported("replica does not serve catch-up");
+  }
+  virtual Status ApplyWalBatch(const storage::ShippedBatch& batch) {
+    (void)batch;
+    return Status::NotSupported("replica does not serve catch-up");
+  }
+  virtual Result<service::SnapshotChunk> ReadSnapshotChunk(
+      uint32_t start_page, size_t max_bytes) {
+    (void)start_page;
+    (void)max_bytes;
+    return Status::NotSupported("replica does not serve catch-up");
+  }
+  virtual Status ApplySnapshotChunk(const service::SnapshotChunk& chunk,
+                                    bool first, bool last) {
+    (void)chunk;
+    (void)first;
+    (void)last;
+    return Status::NotSupported("replica does not serve catch-up");
+  }
+  virtual Result<service::TreeSum> TreeChecksum() {
+    return Status::NotSupported("replica does not serve catch-up");
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -110,6 +149,16 @@ class LocalShardBackend : public ShardBackend {
   Status Probe() override;
   std::string DebugName() const override { return name_; }
 
+  Result<service::CatchupPosition> CatchupPosition() override;
+  Result<service::WalTail> ReadWalTail(uint64_t after_tag, size_t max_batches,
+                                       size_t max_bytes) override;
+  Status ApplyWalBatch(const storage::ShippedBatch& batch) override;
+  Result<service::SnapshotChunk> ReadSnapshotChunk(uint32_t start_page,
+                                                   size_t max_bytes) override;
+  Status ApplySnapshotChunk(const service::SnapshotChunk& chunk, bool first,
+                            bool last) override;
+  Result<service::TreeSum> TreeChecksum() override;
+
   /// Fault injection: while set, every call (and every open frontier's
   /// Next) fails with Unavailable — an in-process fail-stop for the
   /// failover tests and the chaos harness, no sockets needed.
@@ -128,6 +177,22 @@ class LocalShardBackend : public ShardBackend {
 // Remote replica (a bwserver endpoint)
 // ---------------------------------------------------------------------------
 
+/// Bounded, deadline-aware retries for *idempotent* remote calls:
+/// probes, reads, catch-up pulls, and WAL-batch applies (idempotent via
+/// the target's tag check) — never Insert/Remove, whose replay could
+/// double-apply. Attempt n sleeps backoff_us * 2^n, capped at
+/// max_backoff_us, plus a deterministic jitter drawn from jitter_seed,
+/// and gives up early rather than sleep past the caller's deadline.
+/// Retries fire only on transport-shaped failures (IoError,
+/// Unavailable, ResourceExhausted): a semantic verdict (NotFound,
+/// InvalidArgument, NotSupported) is the answer, not a flaky link.
+struct RetryPolicy {
+  size_t max_attempts = 4;  // 1 = no retries.
+  uint64_t backoff_us = 100;
+  uint64_t max_backoff_us = 5000;
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
+
 class RemoteShardBackend : public ShardBackend {
  public:
   RemoteShardBackend(std::string host, uint16_t port,
@@ -145,8 +210,22 @@ class RemoteShardBackend : public ShardBackend {
   Status Probe() override;
   std::string DebugName() const override;
 
+  Result<service::CatchupPosition> CatchupPosition() override;
+  Result<service::WalTail> ReadWalTail(uint64_t after_tag, size_t max_batches,
+                                       size_t max_bytes) override;
+  Status ApplyWalBatch(const storage::ShippedBatch& batch) override;
+  Result<service::SnapshotChunk> ReadSnapshotChunk(uint32_t start_page,
+                                                   size_t max_bytes) override;
+  Status ApplySnapshotChunk(const service::SnapshotChunk& chunk, bool first,
+                            bool last) override;
+  Result<service::TreeSum> TreeChecksum() override;
+
   /// Results per streamed batch frame frontiers ask the server for.
   void set_frontier_batch_size(uint32_t n) { frontier_batch_size_ = n; }
+
+  /// Retry schedule for idempotent calls (see RetryPolicy). Set before
+  /// handing the backend to the router.
+  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
 
  private:
   friend class RemoteFrontier;
@@ -157,11 +236,26 @@ class RemoteShardBackend : public ShardBackend {
   /// fully drained, not poisoned); otherwise it just closes.
   void Release(std::unique_ptr<net::Client> client);
 
+  /// True for status codes worth another attempt (transport-shaped).
+  static bool Retryable(const Status& status);
+  /// Sleeps out attempt `attempt`'s backoff; false when the schedule is
+  /// exhausted or the next sleep would cross `deadline_us` (0 = none).
+  bool BackoffOrGiveUp(size_t attempt, uint64_t elapsed_us,
+                       uint64_t deadline_us);
+
+  /// Runs `op` (a fresh connection per attempt) under the retry
+  /// schedule. `op` takes net::Client& and returns Result<T>.
+  template <typename Op>
+  auto WithRetries(uint64_t deadline_us, Op&& op)
+      -> decltype(op(std::declval<net::Client&>()));
+
   std::string host_;
   uint16_t port_;
   net::ClientOptions client_options_;
   uint32_t frontier_batch_size_ = 32;
   size_t max_idle_connections_;
+  RetryPolicy retry_;
+  std::atomic<uint64_t> jitter_state_{0};
   std::mutex mutex_;
   std::vector<std::unique_ptr<net::Client>> idle_;
 };

@@ -52,12 +52,15 @@ Status CheckpointManager::MaybeCheckpoint(uint64_t committed_batches) {
 
 DurableStore::DurableStore(std::unique_ptr<DiskPageFile> disk,
                            std::unique_ptr<Wal> wal, StoreOptions options,
-                           uint64_t committed_batches)
+                           uint64_t committed_batches,
+                           uint64_t last_commit_tag)
     : disk_(std::move(disk)),
       wal_(std::move(wal)),
       options_(options),
       checkpointer_(disk_.get(), wal_.get(), options.checkpoint_every_commits),
-      committed_batches_(committed_batches) {}
+      committed_batches_(committed_batches),
+      last_commit_tag_(last_commit_tag),
+      checkpoint_tag_(last_commit_tag) {}
 
 Result<std::unique_ptr<DurableStore>> DurableStore::Create(
     const std::string& base_path, const std::string& wal_path,
@@ -118,7 +121,15 @@ Status DurableStore::CommitBatch(uint64_t tag) {
   }
   BW_RETURN_IF_ERROR(appended);
   ++committed_batches_;
-  return checkpointer_.MaybeCheckpoint(committed_batches_);
+  last_commit_tag_.store(tag, std::memory_order_relaxed);
+  const uint64_t taken = checkpointer_.checkpoints_taken();
+  BW_RETURN_IF_ERROR(checkpointer_.MaybeCheckpoint(committed_batches_));
+  if (checkpointer_.checkpoints_taken() != taken) {
+    // The cadence checkpoint just folded everything through this batch:
+    // the shipping horizon advances with it.
+    checkpoint_tag_.store(tag, std::memory_order_relaxed);
+  }
+  return Status::OK();
 }
 
 Status DurableStore::RepairQuarantined(RepairReport* report) {
@@ -281,7 +292,8 @@ Result<std::unique_ptr<DurableStore>> RecoveryManager::Recover(
                       Wal::Continue(wal_path, wal_options, replay, next_lsn));
 
   auto store = std::make_unique<DurableStore>(std::move(disk), std::move(wal),
-                                              options, out.committed_batches);
+                                              options, out.committed_batches,
+                                              out.last_commit_tag);
   if (out.pages_quarantined > 0) {
     // Tolerant mode with survivors: skip the post-recovery checkpoint.
     // It would truncate the WAL, and the WAL is the only place a redo

@@ -25,6 +25,7 @@
 #ifndef BLOBWORLD_STORAGE_STORE_H_
 #define BLOBWORLD_STORAGE_STORE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -101,15 +102,19 @@ class DurableStore {
       StoreOptions options);
 
   /// Adopts already-constructed parts; used by RecoveryManager. Prefer
-  /// Create/Recover.
+  /// Create/Recover. `last_commit_tag` seeds both tag counters (after
+  /// Create or a recovery the WAL starts empty-or-about-to-be-folded,
+  /// so the checkpoint horizon and the newest tag coincide).
   DurableStore(std::unique_ptr<DiskPageFile> disk, std::unique_ptr<Wal> wal,
-               StoreOptions options, uint64_t committed_batches);
+               StoreOptions options, uint64_t committed_batches,
+               uint64_t last_commit_tag = 0);
 
   /// The substrate indexes build onto and serve from.
   pages::PageStore* pages() { return disk_.get(); }
   DiskPageFile* disk() { return disk_.get(); }
   const DiskPageFile* disk() const { return disk_.get(); }
   Wal* wal() { return wal_.get(); }
+  const Wal* wal() const { return wal_.get(); }
 
   /// Logs everything changed since the previous commit (allocations,
   /// then full post-write page images) as one atomic WAL batch closed by
@@ -127,7 +132,12 @@ class DurableStore {
   Status CommitBatch() { return CommitBatch(committed_batches_ + 1); }
 
   /// Forces the fuzzy checkpoint protocol now.
-  Status Checkpoint() { return checkpointer_.Checkpoint(); }
+  Status Checkpoint() {
+    BW_RETURN_IF_ERROR(checkpointer_.Checkpoint());
+    checkpoint_tag_.store(last_commit_tag_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    return Status::OK();
+  }
 
   /// What one RepairQuarantined() pass accomplished.
   struct RepairReport {
@@ -154,6 +164,23 @@ class DurableStore {
   uint64_t committed_batches() const { return committed_batches_; }
   const CheckpointManager& checkpointer() const { return checkpointer_; }
 
+  // --- Catch-up surface (WAL shipping; see storage/wal_ship.h) ---------
+
+  /// Application tag of the newest durable batch (0 before the first
+  /// commit; adopted from the recovery summary after a crash). Atomic so
+  /// a catch-up driver can poll position without the mutator's locks.
+  uint64_t last_commit_tag() const {
+    return last_commit_tag_.load(std::memory_order_relaxed);
+  }
+
+  /// Tag of the newest batch folded into the base file by a checkpoint:
+  /// the WAL-shipping horizon. A target whose own tag is below this can
+  /// no longer be caught up from this store's log — the batches it
+  /// needs were truncated — and must take the snapshot path instead.
+  uint64_t checkpoint_tag() const {
+    return checkpoint_tag_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Appends the batch's alloc/image/commit records; factored out so
   /// CommitBatch can restore the drained tracking on a clean failure.
@@ -166,6 +193,8 @@ class DurableStore {
   StoreOptions options_;
   CheckpointManager checkpointer_;
   uint64_t committed_batches_ = 0;
+  std::atomic<uint64_t> last_commit_tag_{0};
+  std::atomic<uint64_t> checkpoint_tag_{0};
 };
 
 /// ARIES-lite redo recovery: rebuilds a DurableStore from the base file
