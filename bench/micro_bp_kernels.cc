@@ -27,6 +27,7 @@
 #include "core/jagged.h"
 #include "core/map_tree.h"
 #include "tests/test_helpers.h"
+#include "util/cpu.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -39,6 +40,10 @@ constexpr size_t kNodeEntries = 64;
 constexpr double kRangeRadius = 5.0;
 
 const char* const kAms[] = {"rtree", "sstree", "srtree", "amap", "jb", "xjb"};
+
+// AMs whose covered-query path runs the flattened jagged-bite stack
+// (region decomposition search) rather than plain box geometry.
+const char* const kJaggedAms[] = {"jb", "xjb"};
 
 std::unique_ptr<bw::gist::Extension> MakeExt(const std::string& name) {
   bw::core::IndexBuildOptions options;
@@ -53,9 +58,12 @@ std::unique_ptr<bw::gist::Extension> MakeExt(const std::string& name) {
 /// One simulated internal node: kNodeEntries BPs, each built from one
 /// tight point cluster — the spatial-partitioning shape real sibling
 /// entries have after bulk load, where most queries fall *outside* most
-/// entry MBRs (a node of space-spanning BPs would instead measure the
-/// covered-query slow path every AM shares) — plus the staged batch
-/// scratch viewing them.
+/// entry MBRs — plus the staged batch scratch viewing them.
+///
+/// With `covering`, each BP is instead built from space-spanning
+/// uniform points so nearly every query lands *inside* every entry's
+/// MBR: that drives the covered-query slow path on every entry, which
+/// for the jagged AMs is the flattened bite-stack region search.
 struct NodeFixture {
   std::unique_ptr<bw::gist::Extension> ext;
   std::vector<bw::gist::Bytes> bps;
@@ -63,12 +71,15 @@ struct NodeFixture {
   std::vector<bw::geom::Vec> queries;
   std::vector<double> scalar_out;
 
-  explicit NodeFixture(const std::string& am) : ext(MakeExt(am)) {
+  explicit NodeFixture(const std::string& am, bool covering = false)
+      : ext(MakeExt(am)) {
     bps.reserve(kNodeEntries);
     scratch.preds.reserve(kNodeEntries);
     for (size_t e = 0; e < kNodeEntries; ++e) {
-      const auto points = bw::testing::MakeClusteredPoints(
-          kLeafPoints, kDim, 1, 100 + e);
+      const auto points =
+          covering ? bw::testing::MakeUniformPoints(kLeafPoints, kDim, 100 + e)
+                   : bw::testing::MakeClusteredPoints(kLeafPoints, kDim, 1,
+                                                      100 + e);
       bps.push_back(ext->BpFromPoints(points));
     }
     for (const bw::gist::Bytes& bp : bps) {
@@ -172,6 +183,33 @@ void BM_NodeScanConsistentBatch(benchmark::State& state,
                           kNodeEntries);
 }
 
+// The covered-path node scan: every entry MBR contains most queries,
+// so a jagged AM runs the bite-stack region search per entry instead
+// of the outside-the-box fast path.
+void BM_NodeScanMinDistCoveredScalar(benchmark::State& state,
+                                     const std::string& am) {
+  NodeFixture node(am, /*covering=*/true);
+  size_t i = 0;
+  for (auto _ : state) {
+    node.ScalarMinDist(node.queries[i++ & 255]);
+    benchmark::DoNotOptimize(node.scalar_out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kNodeEntries);
+}
+
+void BM_NodeScanMinDistCoveredBatch(benchmark::State& state,
+                                    const std::string& am) {
+  NodeFixture node(am, /*covering=*/true);
+  size_t i = 0;
+  for (auto _ : state) {
+    node.ext->BpMinDistanceBatch(node.scratch, node.queries[i++ & 255]);
+    benchmark::DoNotOptimize(node.scratch.distances.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kNodeEntries);
+}
+
 void RegisterAll() {
   for (const char* am : kAms) {
     benchmark::RegisterBenchmark(
@@ -195,6 +233,14 @@ void RegisterAll() {
     benchmark::RegisterBenchmark(
         (std::string("BM_NodeScanConsistent_batch/") + am).c_str(),
         [am](benchmark::State& s) { BM_NodeScanConsistentBatch(s, am); });
+  }
+  for (const char* am : kJaggedAms) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_NodeScanMinDist_covered_scalar/") + am).c_str(),
+        [am](benchmark::State& s) { BM_NodeScanMinDistCoveredScalar(s, am); });
+    benchmark::RegisterBenchmark(
+        (std::string("BM_NodeScanMinDist_covered_batch/") + am).c_str(),
+        [am](benchmark::State& s) { BM_NodeScanMinDistCoveredBatch(s, am); });
   }
 }
 
@@ -245,6 +291,66 @@ void WriteJsonComparison(const std::string& path) {
                 "consistent %10.3gM -> %10.3gM (%.2fx)\n",
                 am, min_scalar / 1e6, min_batch / 1e6, min_batch / min_scalar,
                 con_scalar / 1e6, con_batch / 1e6, con_batch / con_scalar);
+  }
+  // SIMD vs autovec: the same batched node scan with dispatch pinned to
+  // the compiler-autovectorized scalar path vs the hand-written
+  // AVX2/FMA variants. The delta isolates what the explicit kernels buy
+  // over what the optimizer already extracts from the scalar source.
+  const bool avx2 = [] {
+#if defined(BW_HAVE_AVX2)
+    return bw::util::CpuSupportsAvx2Fma();
+#else
+    return false;
+#endif
+  }();
+  json.Set("kernel_isa_avx2_available", avx2 ? 1.0 : 0.0);
+  std::printf("\n=== batched node scan, autovec scalar vs pinned AVX2 "
+              "(entries/sec) ===\n");
+  for (const char* am : kAms) {
+    NodeFixture node(am);
+    const auto batch_scan = [&](const bw::geom::Vec& q) {
+      node.ext->BpMinDistanceBatch(node.scratch, q);
+    };
+    double autovec = 0.0;
+    {
+      bw::util::ScopedKernelIsa pin(bw::util::KernelIsa::kScalar);
+      autovec = MeasureEntriesPerSec(node, batch_scan);
+    }
+    const std::string key(am);
+    json.Set("min_dist_batch_eps_autovec_" + key, autovec);
+    if (avx2) {
+      bw::util::ScopedKernelIsa pin(bw::util::KernelIsa::kAvx2);
+      const double simd = MeasureEntriesPerSec(node, batch_scan);
+      json.Set("min_dist_batch_eps_avx2_" + key, simd);
+      json.Set("simd_over_autovec_" + key, simd / autovec);
+      std::printf("%-7s autovec %10.3gM -> avx2 %10.3gM (%.2fx)\n", am,
+                  autovec / 1e6, simd / 1e6, simd / autovec);
+    } else {
+      std::printf("%-7s autovec %10.3gM (avx2 unavailable)\n", am,
+                  autovec / 1e6);
+    }
+  }
+  // Covered-path scans for the jagged AMs: space-spanning entries put
+  // the query inside every MBR, so each entry runs the flattened
+  // bite-stack region search instead of the outside-the-box geometry.
+  std::printf("\n=== covered node scan (jagged bite stack, entries/sec) "
+              "===\n");
+  for (const char* am : kJaggedAms) {
+    NodeFixture node(am, /*covering=*/true);
+    const double covered_scalar = MeasureEntriesPerSec(
+        node, [&](const bw::geom::Vec& q) { node.ScalarMinDist(q); });
+    const double covered_batch = MeasureEntriesPerSec(
+        node, [&](const bw::geom::Vec& q) {
+          node.ext->BpMinDistanceBatch(node.scratch, q);
+        });
+    const std::string key(am);
+    json.Set("min_dist_covered_scalar_eps_" + key, covered_scalar);
+    json.Set("min_dist_covered_batch_eps_" + key, covered_batch);
+    json.Set("min_dist_covered_batch_speedup_" + key,
+             covered_batch / covered_scalar);
+    std::printf("%-7s covered %10.3gM -> %10.3gM (%.2fx)\n", am,
+                covered_scalar / 1e6, covered_batch / 1e6,
+                covered_batch / covered_scalar);
   }
   json.Write(path);
   std::printf("wrote %s\n", path.c_str());

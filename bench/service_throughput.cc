@@ -603,6 +603,39 @@ int main(int argc, char** argv) {
                 "aggregate QPS (target >= 1x)\n\n",
                 qps_shared_4 / qps_private_4);
   }
+
+  // Frontier-prefetch A/B under the same I/O model: each run gets a
+  // fresh service (cold pools), so every first touch is a charged miss.
+  // The baseline pays io_delay_us per miss as the frontier pops nodes
+  // one read at a time; the prefetch run batches the nearest children
+  // of each expanded node so their simulated reads overlap (one delay
+  // per batch) — the asynchronous read engine's effect on tree descent.
+  if (*io_delay_us > 0) {
+    bw::service::ServiceOptions frontier = options;
+    frontier.shared_pool = true;
+    frontier.num_workers = 4;
+    const size_t frontier_clients = std::max<size_t>(*clients, 4);
+    frontier.frontier_prefetch = false;
+    const RunOutcome sync_run =
+        RunClosedLoop(tree, queries, k, frontier, frontier_clients, expected);
+    frontier.frontier_prefetch = true;
+    const RunOutcome prefetch_run =
+        RunClosedLoop(tree, queries, k, frontier, frontier_clients, expected);
+    const double speedup =
+        sync_run.qps > 0 ? prefetch_run.qps / sync_run.qps : 0.0;
+    std::printf("frontier prefetch (cold shared pool, 4 workers, "
+                "io_delay=%lldus):\n"
+                "  one read per pop: %.1f QPS; batched child reads: %.1f QPS "
+                "-> %.2fx (target > 1x), identical %s\n\n",
+                static_cast<long long>(*io_delay_us), sync_run.qps,
+                prefetch_run.qps, speedup,
+                (sync_run.identical && prefetch_run.identical) ? "yes" : "NO");
+    json.Set("qps_frontier_sync_4w", sync_run.qps);
+    json.Set("qps_frontier_prefetch_4w", prefetch_run.qps);
+    json.Set("frontier_prefetch_speedup", speedup);
+    json.Set("frontier_identical",
+             (sync_run.identical && prefetch_run.identical) ? 1.0 : 0.0);
+  }
   if (*net) {
     // The same service configuration the 4-worker shared-pool baseline
     // ran, fronted by the real epoll server on a loopback socket. The

@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "am/bp_kernels_isa.h"
+#include "util/cpu.h"
+
 namespace bw::am {
 
-void RectMinDistSquared(size_t dim, size_t count, const float* lo,
-                        const float* hi, const geom::Vec& query, double* out) {
+namespace detail {
+
+void RectMinDistSquaredScalar(size_t dim, size_t count, const float* lo,
+                              const float* hi, const geom::Vec& query,
+                              double* out) {
   std::fill(out, out + count, 0.0);
   for (size_t d = 0; d < dim; ++d) {
     const double q = query[d];
@@ -25,8 +31,9 @@ void RectMinDistSquared(size_t dim, size_t count, const float* lo,
   }
 }
 
-void RectMaxDistSquared(size_t dim, size_t count, const float* lo,
-                        const float* hi, const geom::Vec& query, double* out) {
+void RectMaxDistSquaredScalar(size_t dim, size_t count, const float* lo,
+                              const float* hi, const geom::Vec& query,
+                              double* out) {
   std::fill(out, out + count, 0.0);
   for (size_t d = 0; d < dim; ++d) {
     const double q = query[d];
@@ -41,9 +48,9 @@ void RectMaxDistSquared(size_t dim, size_t count, const float* lo,
   }
 }
 
-void RectClampMinDistSquared(size_t dim, size_t count, const float* lo,
-                             const float* hi, const geom::Vec& query,
-                             float* clamp_out, double* out) {
+void RectClampMinDistSquaredScalar(size_t dim, size_t count, const float* lo,
+                                   const float* hi, const geom::Vec& query,
+                                   float* clamp_out, double* out) {
   std::fill(out, out + count, 0.0);
   for (size_t d = 0; d < dim; ++d) {
     const float v = query[d];
@@ -59,8 +66,9 @@ void RectClampMinDistSquared(size_t dim, size_t count, const float* lo,
   }
 }
 
-void SphereMinDist(size_t dim, size_t count, const float* center,
-                   const double* radius, const geom::Vec& query, double* out) {
+void SphereMinDistScalar(size_t dim, size_t count, const float* center,
+                         const double* radius, const geom::Vec& query,
+                         double* out) {
   std::fill(out, out + count, 0.0);
   for (size_t d = 0; d < dim; ++d) {
     const double q = query[d];
@@ -74,6 +82,59 @@ void SphereMinDist(size_t dim, size_t count, const float* center,
     const double d = std::sqrt(out[e]) - radius[e];
     out[e] = d > 0.0 ? d : 0.0;
   }
+}
+
+}  // namespace detail
+
+// Public dispatchers: one predicted-taken branch per node scan. The
+// AVX2 calls exist only in builds that compiled the variants
+// (BW_HAVE_AVX2); ActiveKernelIsa() never returns kAvx2 otherwise.
+
+void RectMinDistSquared(size_t dim, size_t count, const float* lo,
+                        const float* hi, const geom::Vec& query, double* out) {
+#if defined(BW_HAVE_AVX2)
+  if (util::ActiveKernelIsa() == util::KernelIsa::kAvx2) {
+    detail::RectMinDistSquaredAvx2(dim, count, lo, hi, query, out);
+    return;
+  }
+#endif
+  detail::RectMinDistSquaredScalar(dim, count, lo, hi, query, out);
+}
+
+void RectMaxDistSquared(size_t dim, size_t count, const float* lo,
+                        const float* hi, const geom::Vec& query, double* out) {
+#if defined(BW_HAVE_AVX2)
+  if (util::ActiveKernelIsa() == util::KernelIsa::kAvx2) {
+    detail::RectMaxDistSquaredAvx2(dim, count, lo, hi, query, out);
+    return;
+  }
+#endif
+  detail::RectMaxDistSquaredScalar(dim, count, lo, hi, query, out);
+}
+
+void RectClampMinDistSquared(size_t dim, size_t count, const float* lo,
+                             const float* hi, const geom::Vec& query,
+                             float* clamp_out, double* out) {
+#if defined(BW_HAVE_AVX2)
+  if (util::ActiveKernelIsa() == util::KernelIsa::kAvx2) {
+    detail::RectClampMinDistSquaredAvx2(dim, count, lo, hi, query, clamp_out,
+                                        out);
+    return;
+  }
+#endif
+  detail::RectClampMinDistSquaredScalar(dim, count, lo, hi, query, clamp_out,
+                                        out);
+}
+
+void SphereMinDist(size_t dim, size_t count, const float* center,
+                   const double* radius, const geom::Vec& query, double* out) {
+#if defined(BW_HAVE_AVX2)
+  if (util::ActiveKernelIsa() == util::KernelIsa::kAvx2) {
+    detail::SphereMinDistAvx2(dim, count, center, radius, query, out);
+    return;
+  }
+#endif
+  detail::SphereMinDistScalar(dim, count, center, radius, query, out);
 }
 
 }  // namespace bw::am

@@ -5,12 +5,25 @@
 // the inner loop streams one coordinate of every entry from contiguous
 // memory — branch-light, FMA-shaped, and auto-vectorizable at -O3.
 //
-// Bit-identity contract: each kernel reproduces the corresponding
-// scalar geom:: formula exactly — the same double operations applied
-// per entry in ascending-dimension order, with no reassociation (the
-// project never builds with -ffast-math). The property test in
-// tests/batch_kernel_test.cc compares batched and scalar results with
-// exact double equality.
+// Bit-identity contract (scalar dispatch): each kernel reproduces the
+// corresponding scalar geom:: formula exactly — the same double
+// operations applied per entry in ascending-dimension order, with no
+// reassociation (the project never builds with -ffast-math). The
+// property test in tests/batch_kernel_test.cc compares batched and
+// scalar results with exact double equality under a scalar-pinned
+// dispatch (util::ScopedKernelIsa).
+//
+// ULP-bounded contract (AVX2 dispatch): when the build carries the
+// AVX2/FMA variants (BW_HAVE_AVX2, see util/cpu.h) and the host
+// supports them, these entry points route to hand-written kernels that
+// fuse each gap*gap accumulation into a single FMA. Fusion removes one
+// rounding per accumulated dimension, so per entry the squared-distance
+// outputs may differ from the scalar contract by a small, bounded
+// number of ULPs (tests/kernel_dispatch_test.cc enforces
+// |avx2 - scalar| <= 4*dim ULP of the larger magnitude). Dispatch is
+// uniform within a process, and leaf/data distances never flow through
+// these kernels, so query answers stay deterministic for a given
+// dispatch; only internal-node bound values move within the ULP band.
 
 #ifndef BLOBWORLD_AM_BP_KERNELS_H_
 #define BLOBWORLD_AM_BP_KERNELS_H_

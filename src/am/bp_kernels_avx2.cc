@@ -1,0 +1,165 @@
+// Hand-written AVX2/FMA variants of the node-scan kernels. This file is
+// the only am/ translation unit compiled with -mavx2 -mfma (per-file
+// CMake flags, gated on BW_ENABLE_AVX2); it must only be entered through
+// the runtime dispatchers in bp_kernels.cc, which check CPU support.
+//
+// Contract (see bp_kernels.h): the double-precision accumulations here
+// fuse gap*gap + acc into one vfmadd (single rounding where the scalar
+// contract rounds twice), so outputs are ULP-bounded against scalar,
+// not bit-identical. All float compare/select work (the clamp pass) is
+// bit-identical to scalar except for the sign of zero, which no
+// downstream consumer observes (strict and non-strict float compares
+// treat -0.0 == +0.0). Scalar tail loops for counts not divisible by
+// the vector width reproduce the scalar contract exactly, which is
+// trivially within the ULP bound.
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "am/bp_kernels_isa.h"
+
+namespace bw::am::detail {
+
+namespace {
+
+// |x| for packed doubles: clear the sign bit.
+inline __m256d AbsPd(__m256d x) {
+  const __m256d mask = _mm256_castsi256_pd(_mm256_set1_epi64x(
+      0x7fffffffffffffffLL));
+  return _mm256_and_pd(x, mask);
+}
+
+}  // namespace
+
+void RectMinDistSquaredAvx2(size_t dim, size_t count, const float* lo,
+                            const float* hi, const geom::Vec& query,
+                            double* out) {
+  std::fill(out, out + count, 0.0);
+  const __m256d zero = _mm256_setzero_pd();
+  for (size_t d = 0; d < dim; ++d) {
+    const double q = query[d];
+    const __m256d qv = _mm256_set1_pd(q);
+    const float* l = lo + d * count;
+    const float* h = hi + d * count;
+    size_t e = 0;
+    for (; e + 4 <= count; e += 4) {
+      const __m256d lv = _mm256_cvtps_pd(_mm_loadu_ps(l + e));
+      const __m256d hv = _mm256_cvtps_pd(_mm_loadu_ps(h + e));
+      const __m256d gl = _mm256_sub_pd(lv, qv);
+      const __m256d gh = _mm256_sub_pd(qv, hv);
+      const __m256d gap = _mm256_max_pd(_mm256_max_pd(gl, gh), zero);
+      const __m256d acc = _mm256_loadu_pd(out + e);
+      _mm256_storeu_pd(out + e, _mm256_fmadd_pd(gap, gap, acc));
+    }
+    for (; e < count; ++e) {
+      const double gl = double(l[e]) - q;
+      const double gh = q - double(h[e]);
+      double gap = gl > gh ? gl : gh;
+      gap = gap > 0.0 ? gap : 0.0;
+      out[e] += gap * gap;
+    }
+  }
+}
+
+void RectMaxDistSquaredAvx2(size_t dim, size_t count, const float* lo,
+                            const float* hi, const geom::Vec& query,
+                            double* out) {
+  std::fill(out, out + count, 0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    const double q = query[d];
+    const __m256d qv = _mm256_set1_pd(q);
+    const float* l = lo + d * count;
+    const float* h = hi + d * count;
+    size_t e = 0;
+    for (; e + 4 <= count; e += 4) {
+      const __m256d lv = _mm256_cvtps_pd(_mm_loadu_ps(l + e));
+      const __m256d hv = _mm256_cvtps_pd(_mm_loadu_ps(h + e));
+      const __m256d to_lo = AbsPd(_mm256_sub_pd(qv, lv));
+      const __m256d to_hi = AbsPd(_mm256_sub_pd(qv, hv));
+      const __m256d gap = _mm256_max_pd(to_lo, to_hi);
+      const __m256d acc = _mm256_loadu_pd(out + e);
+      _mm256_storeu_pd(out + e, _mm256_fmadd_pd(gap, gap, acc));
+    }
+    for (; e < count; ++e) {
+      const double to_lo = std::abs(q - double(l[e]));
+      const double to_hi = std::abs(q - double(h[e]));
+      const double gap = to_lo > to_hi ? to_lo : to_hi;
+      out[e] += gap * gap;
+    }
+  }
+}
+
+void RectClampMinDistSquaredAvx2(size_t dim, size_t count, const float* lo,
+                                 const float* hi, const geom::Vec& query,
+                                 float* clamp_out, double* out) {
+  std::fill(out, out + count, 0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    const float v = query[d];
+    const __m256 vf = _mm256_set1_ps(v);
+    const __m256d vd = _mm256_set1_pd(double(v));
+    const float* l = lo + d * count;
+    const float* h = hi + d * count;
+    float* c = clamp_out + d * count;
+    size_t e = 0;
+    for (; e + 8 <= count; e += 8) {
+      // min(max(v, lo), hi) equals the scalar select chain for valid
+      // boxes (lo <= hi) on NaN-free inputs, modulo the sign of zero.
+      const __m256 lv = _mm256_loadu_ps(l + e);
+      const __m256 hv = _mm256_loadu_ps(h + e);
+      const __m256 cl = _mm256_min_ps(_mm256_max_ps(vf, lv), hv);
+      _mm256_storeu_ps(c + e, cl);
+      const __m256d cl_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(cl));
+      const __m256d cl_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(cl, 1));
+      const __m256d gap_lo = _mm256_sub_pd(vd, cl_lo);
+      const __m256d gap_hi = _mm256_sub_pd(vd, cl_hi);
+      const __m256d acc_lo = _mm256_loadu_pd(out + e);
+      const __m256d acc_hi = _mm256_loadu_pd(out + e + 4);
+      _mm256_storeu_pd(out + e, _mm256_fmadd_pd(gap_lo, gap_lo, acc_lo));
+      _mm256_storeu_pd(out + e + 4, _mm256_fmadd_pd(gap_hi, gap_hi, acc_hi));
+    }
+    for (; e < count; ++e) {
+      const float cl = v < l[e] ? l[e] : (v > h[e] ? h[e] : v);
+      c[e] = cl;
+      const double gap = double(v) - cl;
+      out[e] += gap * gap;
+    }
+  }
+}
+
+void SphereMinDistAvx2(size_t dim, size_t count, const float* center,
+                       const double* radius, const geom::Vec& query,
+                       double* out) {
+  std::fill(out, out + count, 0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    const double q = query[d];
+    const __m256d qv = _mm256_set1_pd(q);
+    const float* c = center + d * count;
+    size_t e = 0;
+    for (; e + 4 <= count; e += 4) {
+      const __m256d cv = _mm256_cvtps_pd(_mm_loadu_ps(c + e));
+      const __m256d diff = _mm256_sub_pd(cv, qv);
+      const __m256d acc = _mm256_loadu_pd(out + e);
+      _mm256_storeu_pd(out + e, _mm256_fmadd_pd(diff, diff, acc));
+    }
+    for (; e < count; ++e) {
+      const double diff = double(c[e]) - q;
+      out[e] += diff * diff;
+    }
+  }
+  const __m256d zero = _mm256_setzero_pd();
+  size_t e = 0;
+  for (; e + 4 <= count; e += 4) {
+    // vsqrtpd is correctly rounded (same result as std::sqrt).
+    const __m256d dist = _mm256_sqrt_pd(_mm256_loadu_pd(out + e));
+    const __m256d r = _mm256_loadu_pd(radius + e);
+    _mm256_storeu_pd(out + e, _mm256_max_pd(_mm256_sub_pd(dist, r), zero));
+  }
+  for (; e < count; ++e) {
+    const double d = std::sqrt(out[e]) - radius[e];
+    out[e] = d > 0.0 ? d : 0.0;
+  }
+}
+
+}  // namespace bw::am::detail

@@ -1,0 +1,50 @@
+// Internal: per-ISA kernel variants behind the public dispatchers in
+// bp_kernels.h. The scalar variants ARE the bit-identity contract; the
+// AVX2 variants (compiled in bp_kernels_avx2.cc with -mavx2 -mfma, only
+// when the build defines BW_HAVE_AVX2) fuse each gap*gap accumulation
+// into one FMA, which single-rounds where the scalar path rounds twice:
+// per entry the result differs from scalar by at most a few ULPs per
+// accumulated dimension (see tests/kernel_dispatch_test.cc for the
+// enforced bound). Compare/select-only work (the float clamp) is
+// bit-identical on both ISAs up to the sign of zero.
+
+#ifndef BLOBWORLD_AM_BP_KERNELS_ISA_H_
+#define BLOBWORLD_AM_BP_KERNELS_ISA_H_
+
+#include <cstddef>
+
+#include "geom/vec.h"
+
+namespace bw::am::detail {
+
+void RectMinDistSquaredScalar(size_t dim, size_t count, const float* lo,
+                              const float* hi, const geom::Vec& query,
+                              double* out);
+void RectMaxDistSquaredScalar(size_t dim, size_t count, const float* lo,
+                              const float* hi, const geom::Vec& query,
+                              double* out);
+void RectClampMinDistSquaredScalar(size_t dim, size_t count, const float* lo,
+                                   const float* hi, const geom::Vec& query,
+                                   float* clamp_out, double* out);
+void SphereMinDistScalar(size_t dim, size_t count, const float* center,
+                         const double* radius, const geom::Vec& query,
+                         double* out);
+
+#if defined(BW_HAVE_AVX2)
+void RectMinDistSquaredAvx2(size_t dim, size_t count, const float* lo,
+                            const float* hi, const geom::Vec& query,
+                            double* out);
+void RectMaxDistSquaredAvx2(size_t dim, size_t count, const float* lo,
+                            const float* hi, const geom::Vec& query,
+                            double* out);
+void RectClampMinDistSquaredAvx2(size_t dim, size_t count, const float* lo,
+                                 const float* hi, const geom::Vec& query,
+                                 float* clamp_out, double* out);
+void SphereMinDistAvx2(size_t dim, size_t count, const float* center,
+                       const double* radius, const geom::Vec& query,
+                       double* out);
+#endif  // BW_HAVE_AVX2
+
+}  // namespace bw::am::detail
+
+#endif  // BLOBWORLD_AM_BP_KERNELS_ISA_H_

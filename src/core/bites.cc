@@ -5,6 +5,8 @@
 #include <cmath>
 #include <vector>
 
+#include "core/bites_isa.h"
+#include "util/cpu.h"
 #include "util/logging.h"
 
 namespace bw::core {
@@ -273,21 +275,31 @@ struct RegionSearch {
   const geom::Vec* query = nullptr;
   const uint32_t* live_corner = nullptr;
   const float* const* live_inner = nullptr;
-  // Branchless covering-test bounds (see JaggedLiveBites): replacing the
-  // per-dimension corner-mask branches with pure float compares removes
-  // the data-dependent mispredictions that dominated the scan.
-  const float* test_lo = nullptr;
-  const float* test_hi = nullptr;
+  // Branchless covering-test bounds, dim-major SoA (see JaggedLiveBites):
+  // replacing the per-dimension corner-mask branches with pure float
+  // compares removes the data-dependent mispredictions that dominated
+  // the scan, and the dim-major planes let the staged search's SIMD
+  // variant test 8 bites per compare. `plane_stride` is the plane row
+  // length in floats (a multiple of 8).
+  const float* plane_lo = nullptr;
+  const float* plane_hi = nullptr;
+  size_t plane_stride = 0;
   size_t live_count = 0;
   size_t dim = 0;
   int budget = 0;
+  // True when the covering scan should take the AVX2 variant (staged
+  // searches only; resolved from util::ActiveKernelIsa() per search).
+  // The SIMD scan selects the identical bite, so this flag never
+  // changes results.
+  bool simd_covering = false;
 };
 
 void PointSearchAtLive(RegionSearch& search, const JaggedLiveBites& live) {
   search.live_corner = live.corner;
   search.live_inner = live.inner;
-  search.test_lo = live.test_lo;
-  search.test_hi = live.test_hi;
+  search.plane_lo = live.plane_lo;
+  search.plane_hi = live.plane_hi;
+  search.plane_stride = JaggedLiveBites::kMaxBites;
   search.live_count = live.count;
 }
 
@@ -316,12 +328,15 @@ void BuildOverflowLiveBites(RegionSearch& search, size_t dim,
   constexpr float kInf = std::numeric_limits<float>::infinity();
   OverflowLiveBites& live = OverflowScratch();
   const size_t cap = std::min<size_t>(bite_count, 4096);
+  // Plane rows are padded to a multiple of 8 floats so the SIMD
+  // covering scan's whole-vector loads stay inside each row.
+  const size_t stride = (cap + 7) & ~size_t{7};
   live.corner.resize(cap);
   live.inner.resize(cap);
-  live.bounds.resize(2 * cap * dim);
+  live.bounds.resize(2 * stride * dim);
   live.count = 0;
-  float* test_lo = live.bounds.data();
-  float* test_hi = test_lo + cap * dim;
+  float* plane_lo = live.bounds.data();
+  float* plane_hi = plane_lo + stride * dim;
   for (size_t b = 0; b < bite_count && live.count < cap; ++b) {
     const uint32_t corner = corners[b];
     const float* inner = inners + b * dim;
@@ -334,8 +349,8 @@ void BuildOverflowLiveBites(RegionSearch& search, size_t dim,
       const float corner_coord = hi_side ? hi[d] : lo[d];
       const float in = inner[d];
       empty |= unsigned(in == corner_coord);
-      test_lo[slot * dim + d] = hi_side ? in : -kInf;
-      test_hi[slot * dim + d] = hi_side ? kInf : in;
+      plane_lo[d * stride + slot] = hi_side ? in : -kInf;
+      plane_hi[d * stride + slot] = hi_side ? kInf : in;
     }
     live.corner[slot] = corner;
     live.inner[slot] = inner;
@@ -343,8 +358,9 @@ void BuildOverflowLiveBites(RegionSearch& search, size_t dim,
   }
   search.live_corner = live.corner.data();
   search.live_inner = live.inner.data();
-  search.test_lo = test_lo;
-  search.test_hi = test_hi;
+  search.plane_lo = plane_lo;
+  search.plane_hi = plane_hi;
+  search.plane_stride = stride;
   search.live_count = live.count;
 }
 
@@ -362,16 +378,34 @@ void BuildOverflowLiveBites(RegionSearch& search, size_t dim,
 template <size_t DIM>
 size_t FirstCoveringBite(const RegionSearch& search, const float* clamped) {
   const size_t dim = DIM == 0 ? search.dim : DIM;
+  const size_t stride = search.plane_stride;
   for (size_t b = 0; b < search.live_count; ++b) {
-    const float* blo = search.test_lo + b * dim;
-    const float* bhi = search.test_hi + b * dim;
     unsigned inside = 1;
     for (size_t d = 0; d < dim; ++d) {
-      inside &= unsigned(blo[d] < clamped[d]) & unsigned(clamped[d] < bhi[d]);
+      const float c = clamped[d];
+      inside &= unsigned(search.plane_lo[d * stride + b] < c) &
+                unsigned(c < search.plane_hi[d * stride + b]);
     }
     if (inside) return b;
   }
   return search.live_count;
+}
+
+// Covering-scan dispatch for the staged (stack) search: the AVX2
+// variant tests 8 bites per compare over the dim-major planes and, being
+// compare-only, returns exactly the scalar scan's index. The recursive
+// reference path below calls FirstCoveringBite directly and stays fully
+// scalar.
+template <size_t DIM>
+inline size_t CoveringScan(const RegionSearch& search, const float* clamped) {
+#if defined(BW_HAVE_AVX2)
+  if (search.simd_covering) {
+    return detail::FirstCoveringBitePlanesAvx2(
+        search.plane_lo, search.plane_hi, search.plane_stride,
+        search.live_count, DIM == 0 ? search.dim : DIM, clamped);
+  }
+#endif
+  return FirstCoveringBite<DIM>(search, clamped);
 }
 
 template <size_t DIM>
@@ -536,35 +570,257 @@ double RegionDistanceDispatch(RegionSearch& search, const float* lo,
   }
 }
 
-double SplitAroundBiteDispatch(RegionSearch& search, const float* lo,
-                               const float* hi, const float* clamped,
-                               double box_dist, uint32_t covering_corner,
-                               const float* covering_inner, double upper) {
+// ---------------------------------------------------------------------------
+// Flattened iterative region search (the staged/batch hot path)
+// ---------------------------------------------------------------------------
+//
+// The recursion above is the bit-identity reference (JaggedMinDistanceRaw
+// keeps it); the staged entry point used by the batched node scan runs
+// this explicit LIFO stack instead. It visits the identical boxes in the
+// identical depth-first nearest-first order, consumes budget ticks at
+// the identical points, and applies the identical prunes, so its result
+// is bit-for-bit the recursion's — the tests that compare batch scans
+// against the scalar path enforce exactly that. What changes is the
+// machinery: no call frames, child staging kept in flat reusable
+// frames, and the covering scan dispatched to the 8-wide SIMD variant.
+
+// Depth never exceeds 1 + (budget ticks): each pushed frame consumed
+// one successful tick, and the search budget is <= 48.
+constexpr size_t kMaxStackDepth = 64;
+
+// One split-in-progress: a box, its clamp/distance, the covering bite
+// being split around, and the staged (sorted) children not yet visited.
+struct SplitFrame {
+  float lo[kMaxRegionDim];
+  float hi[kMaxRegionDim];
+  float clamped[kMaxRegionDim];
+  double box_dist;
+  uint32_t corner;           // covering bite's corner mask
+  const float* inner;        // covering bite's inner point
+  // Per-dimension covering masks for THIS box's clamp point: bit b of
+  // dim_mask[d] is the dimension-d strict-inside test of bite b (see
+  // CoveringMaskDim). A child's clamp differs from its parent's in
+  // exactly one dimension, so a child scan copies these and recomputes
+  // a single row — the incremental trick that makes the stack search's
+  // covering scans ~dim times cheaper than full rescans. Only
+  // maintained when live_count <= 64 (JB up to 6 dimensions; larger
+  // bite sets take the full-scan fallback).
+  uint64_t dim_mask[kMaxRegionDim];
+  double child_dist[kMaxRegionDim];
+  float child_c[kMaxRegionDim];  // the one clamp coordinate that changes
+  uint8_t child_dim[kMaxRegionDim];
+  uint8_t order[kMaxRegionDim];
+  uint32_t child_count;
+  uint32_t next;  // index into `order` of the next child to visit
+};
+
+// Bit b: does clamp coordinate `c` pass bite b's dimension-`d` strict
+// inside test? Exact compares (identical to FirstCoveringBite's per-dim
+// term), so ANDing the masks over all dimensions and taking the lowest
+// set bit selects exactly the bite the full scan would. Bits at or past
+// live_count may be garbage (SIMD reads whole 8-lane blocks); callers
+// AND with the valid mask.
+template <size_t DIM>
+uint64_t CoveringMaskDim(const RegionSearch& search, size_t d, float c) {
+  const float* row_lo = search.plane_lo + d * search.plane_stride;
+  const float* row_hi = search.plane_hi + d * search.plane_stride;
+#if defined(BW_HAVE_AVX2)
+  if (search.simd_covering) {
+    return detail::CoveringMaskDimAvx2(row_lo, row_hi, search.live_count, c);
+  }
+#endif
+  uint64_t m = 0;
+  for (size_t b = 0; b < search.live_count; ++b) {
+    m |= static_cast<uint64_t>(unsigned(row_lo[b] < c) &
+                               unsigned(c < row_hi[b]))
+         << b;
+  }
+  return m;
+}
+
+// Stages the children of the split around f.corner/f.inner: the same
+// arithmetic, in the same order, as SplitAroundBite's staging block
+// (g2 recomputed from the parent clamp; one-dimension re-sum per child
+// in ascending dimension order; nearest-first insertion sort), so the
+// staged distances are bit-identical to what the recursion computes.
+template <size_t DIM>
+void StageSplitChildren(const RegionSearch& search, SplitFrame& f) {
+  const size_t dim = DIM == 0 ? search.dim : DIM;
+  const geom::Vec& q = *search.query;
+
+  double g2[kMaxRegionDim];
+  for (size_t d = 0; d < dim; ++d) {
+    const double gap = double(q[d]) - f.clamped[d];
+    g2[d] = gap * gap;
+  }
+
+  f.child_count = 0;
+  f.next = 0;
+  for (size_t d = 0; d < dim; ++d) {
+    const bool hi_side = ((f.corner >> d) & 1u) != 0;
+    const float clip = f.inner[d];
+    const float nlo = hi_side ? f.lo[d] : std::max(f.lo[d], clip);
+    const float nhi = hi_side ? std::min(f.hi[d], clip) : f.hi[d];
+    if (nlo > nhi) continue;  // Sub-box vanished.
+    const float v = q[d];
+    const float c = v < nlo ? nlo : (v > nhi ? nhi : v);
+    const double gap = double(v) - c;
+    const double saved = g2[d];
+    g2[d] = gap * gap;
+    double sum = 0.0;
+    for (size_t dd = 0; dd < dim; ++dd) sum += g2[dd];
+    g2[d] = saved;
+    f.child_dist[f.child_count] = std::sqrt(sum);
+    f.child_c[f.child_count] = c;
+    f.child_dim[f.child_count] = static_cast<uint8_t>(d);
+    ++f.child_count;
+  }
+
+  for (uint32_t i = 0; i < f.child_count; ++i) {
+    f.order[i] = static_cast<uint8_t>(i);
+  }
+  for (uint32_t i = 1; i < f.child_count; ++i) {
+    const uint8_t k = f.order[i];
+    uint32_t j = i;
+    for (; j > 0 && f.child_dist[f.order[j - 1]] > f.child_dist[k]; --j) {
+      f.order[j] = f.order[j - 1];
+    }
+    f.order[j] = k;
+  }
+}
+
+// The iterative equivalent of SplitAroundBite + RegionDistanceResume,
+// entered (like the staged recursion) at the root split. `best` threads
+// the recursion's upper bound: a child call's `upper` is always the
+// caller's current best, and its return value becomes the caller's new
+// best, so one variable carries both. The three recursion exits map to:
+//   child_dist >= best   -> pop (the sorted-scan break),
+//   best <= box_dist+eps -> pop on resume (the cannot-get-closer break,
+//                           checked only after at least one child, as in
+//                           the recursion's loop tail),
+//   budget/no-covering   -> fold the child's box distance into best.
+template <size_t DIM>
+double StackRegionSearch(RegionSearch& search, const float* lo,
+                         const float* hi, const float* clamped,
+                         double box_dist, uint32_t covering_corner,
+                         const float* covering_inner, double upper) {
+  const size_t dim = DIM == 0 ? search.dim : DIM;
+  BW_CHECK_LT(static_cast<size_t>(search.budget) + 2, kMaxStackDepth);
+
+  // Incremental covering masks fit 64 bites; beyond that every child
+  // scan falls back to the full plane scan (CoveringScan).
+  const bool use_masks = search.live_count <= 64;
+  const uint64_t valid_mask =
+      search.live_count >= 64 ? ~uint64_t{0}
+                              : (uint64_t{1} << search.live_count) - 1;
+
+  SplitFrame frames[kMaxStackDepth];
+  SplitFrame& root = frames[0];
+  std::copy(lo, lo + dim, root.lo);
+  std::copy(hi, hi + dim, root.hi);
+  std::copy(clamped, clamped + dim, root.clamped);
+  root.box_dist = box_dist;
+  root.corner = covering_corner;
+  root.inner = covering_inner;
+  if (use_masks) {
+    for (size_t d = 0; d < dim; ++d) {
+      root.dim_mask[d] = CoveringMaskDim<DIM>(search, d, clamped[d]);
+    }
+  }
+  StageSplitChildren<DIM>(search, root);
+
+  double best = upper;
+  size_t depth = 1;
+  while (depth > 0) {
+    SplitFrame& f = frames[depth - 1];
+    if (f.next > 0 && best <= f.box_dist + 1e-12) {
+      --depth;  // Cannot get closer than this box: abandon its siblings.
+      continue;
+    }
+    if (f.next >= f.child_count) {
+      --depth;
+      continue;
+    }
+    const size_t k = f.order[f.next++];
+    if (f.child_dist[k] >= best) {
+      --depth;  // Sorted scan: no remaining child can improve best.
+      continue;
+    }
+
+    // Visit the child: build its box and clamp in the next frame slot
+    // (it becomes a real frame only if the child itself splits).
+    SplitFrame& g = frames[depth];
+    const size_t d = f.child_dim[k];
+    std::copy(f.lo, f.lo + dim, g.lo);
+    std::copy(f.hi, f.hi + dim, g.hi);
+    std::copy(f.clamped, f.clamped + dim, g.clamped);
+    g.clamped[d] = f.child_c[k];
+    if ((f.corner >> d) & 1u) {
+      g.hi[d] = std::min(g.hi[d], f.inner[d]);
+    } else {
+      g.lo[d] = std::max(g.lo[d], f.inner[d]);
+    }
+    g.box_dist = f.child_dist[k];
+
+    if (--search.budget < 0) {
+      best = std::min(best, g.box_dist);  // Admissible budget fallback.
+      continue;
+    }
+    size_t covering;
+    if (use_masks) {
+      // Only dimension d's clamp coordinate changed: inherit the other
+      // rows' masks, recompute d's, AND them all. Lowest set bit =
+      // first covering bite, exactly as the full scan.
+      std::copy(f.dim_mask, f.dim_mask + dim, g.dim_mask);
+      g.dim_mask[d] = CoveringMaskDim<DIM>(search, d, g.clamped[d]);
+      uint64_t all = valid_mask;
+      for (size_t dd = 0; dd < dim; ++dd) all &= g.dim_mask[dd];
+      covering = all != 0 ? static_cast<size_t>(__builtin_ctzll(all))
+                          : search.live_count;
+    } else {
+      covering = CoveringScan<DIM>(search, g.clamped);
+    }
+    if (covering == search.live_count) {
+      best = std::min(best, g.box_dist);  // Clamp in region: exact.
+      continue;
+    }
+    g.corner = search.live_corner[covering];
+    g.inner = search.live_inner[covering];
+    StageSplitChildren<DIM>(search, g);
+    ++depth;
+  }
+  return best;
+}
+
+double StackRegionSearchDispatch(RegionSearch& search, const float* lo,
+                                 const float* hi, const float* clamped,
+                                 double box_dist, uint32_t covering_corner,
+                                 const float* covering_inner, double upper) {
   switch (search.dim) {
     case 2:
-      return SplitAroundBite<2>(search, lo, hi, clamped, box_dist,
-                                covering_corner, covering_inner, upper);
+      return StackRegionSearch<2>(search, lo, hi, clamped, box_dist,
+                                  covering_corner, covering_inner, upper);
     case 3:
-      return SplitAroundBite<3>(search, lo, hi, clamped, box_dist,
-                                covering_corner, covering_inner, upper);
+      return StackRegionSearch<3>(search, lo, hi, clamped, box_dist,
+                                  covering_corner, covering_inner, upper);
     case 4:
-      return SplitAroundBite<4>(search, lo, hi, clamped, box_dist,
-                                covering_corner, covering_inner, upper);
+      return StackRegionSearch<4>(search, lo, hi, clamped, box_dist,
+                                  covering_corner, covering_inner, upper);
     case 5:
-      return SplitAroundBite<5>(search, lo, hi, clamped, box_dist,
-                                covering_corner, covering_inner, upper);
+      return StackRegionSearch<5>(search, lo, hi, clamped, box_dist,
+                                  covering_corner, covering_inner, upper);
     case 6:
-      return SplitAroundBite<6>(search, lo, hi, clamped, box_dist,
-                                covering_corner, covering_inner, upper);
+      return StackRegionSearch<6>(search, lo, hi, clamped, box_dist,
+                                  covering_corner, covering_inner, upper);
     case 7:
-      return SplitAroundBite<7>(search, lo, hi, clamped, box_dist,
-                                covering_corner, covering_inner, upper);
+      return StackRegionSearch<7>(search, lo, hi, clamped, box_dist,
+                                  covering_corner, covering_inner, upper);
     case 8:
-      return SplitAroundBite<8>(search, lo, hi, clamped, box_dist,
-                                covering_corner, covering_inner, upper);
+      return StackRegionSearch<8>(search, lo, hi, clamped, box_dist,
+                                  covering_corner, covering_inner, upper);
     default:
-      return SplitAroundBite<0>(search, lo, hi, clamped, box_dist,
-                                covering_corner, covering_inner, upper);
+      return StackRegionSearch<0>(search, lo, hi, clamped, box_dist,
+                                  covering_corner, covering_inner, upper);
   }
 }
 
@@ -609,12 +865,18 @@ double JaggedMinDistanceStaged(size_t dim, const float* lo, const float* hi,
   // bites and preserves codec order), so resuming at the split is a
   // bit-identical recursion.
   search.budget = 47;
+#if defined(BW_HAVE_AVX2)
+  search.simd_covering =
+      util::ActiveKernelIsa() == util::KernelIsa::kAvx2;
+#endif
   PointSearchAtLive(search, live);
   const double box_dist = std::sqrt(box_dist_sq);
-  return SplitAroundBiteDispatch(search, lo, hi, clamped, box_dist,
-                                 live.corner[covering_live_index],
-                                 live.inner[covering_live_index],
-                                 std::numeric_limits<double>::infinity());
+  // The staged hot path runs the flattened stack (bit-identical to the
+  // recursion; see StackRegionSearch).
+  return StackRegionSearchDispatch(search, lo, hi, clamped, box_dist,
+                                   live.corner[covering_live_index],
+                                   live.inner[covering_live_index],
+                                   std::numeric_limits<double>::infinity());
 }
 
 double JaggedMinDistance(const geom::Rect& mbr,

@@ -16,12 +16,15 @@
 #ifndef BLOBWORLD_CORE_BITES_H_
 #define BLOBWORLD_CORE_BITES_H_
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
+#include "core/bites_isa.h"
 #include "geom/rect.h"
 #include "geom/vec.h"
+#include "util/cpu.h"
 
 namespace bw::core {
 
@@ -95,23 +98,45 @@ double JaggedMinDistanceRaw(size_t dim, const float* lo, const float* hi,
                             const uint32_t* corners, const float* inners,
                             size_t bite_count, const geom::Vec& query);
 
-/// Live (non-empty) bites staged for the region search, built in one
-/// pass by the caller. Holds the corner masks, pointers to the inner
-/// coordinates (caller-owned storage that must outlive the search), and
-/// the branchless covering-test bounds: a clamp point c is strictly
-/// inside live bite b iff for every dimension d
-///   test_lo[b*dim + d] < c[d] < test_hi[b*dim + d]
+/// Bites staged for the region search, built in one pass by the caller
+/// (Add filters empty bites; the bulk StageAll paths keep them, which
+/// is equivalent — see StageAll). Holds the corner masks, pointers to
+/// the inner coordinates (caller-owned storage that must outlive the
+/// search), and
+/// the branchless covering-test bounds laid out as dim-major SoA
+/// planes: a clamp point c is strictly inside live bite b iff for every
+/// dimension d
+///   plane_lo[d*kMaxBites + b] < c[d] < plane_hi[d*kMaxBites + b]
 /// (the side a bite does not constrain is +-infinity, which a finite
 /// clamp coordinate always passes, so the two-sided compare equals the
-/// one-sided strict test the scalar path performs).
+/// one-sided strict test the scalar path performs). Dim-major keeps one
+/// dimension of every bite contiguous, so the covering scan can test 8
+/// bites per AVX2 compare (bites_simd.cc); compares round nothing, so
+/// the SIMD scan selects the exact bite the scalar scan would.
+namespace detail {
+
+/// Corner masks of a positional codec (JB): bite b's mask is b. Sized
+/// to JaggedLiveBites' bite capacity so it can serve directly as the
+/// corner array for the bulk staging paths.
+inline constexpr size_t kStagedBiteCap = 256;
+constexpr std::array<uint32_t, kStagedBiteCap> MakePositionalCorners() {
+  std::array<uint32_t, kStagedBiteCap> a{};
+  for (size_t i = 0; i < kStagedBiteCap; ++i) a[i] = static_cast<uint32_t>(i);
+  return a;
+}
+inline constexpr std::array<uint32_t, kStagedBiteCap> kPositionalCorners =
+    MakePositionalCorners();
+
+}  // namespace detail
+
 struct JaggedLiveBites {
-  static constexpr size_t kMaxBites = 256;
+  static constexpr size_t kMaxBites = detail::kStagedBiteCap;
   static constexpr size_t kMaxDim = 16;
 
   uint32_t corner[kMaxBites];
   const float* inner[kMaxBites];
-  float test_lo[kMaxBites * kMaxDim];
-  float test_hi[kMaxBites * kMaxDim];
+  float plane_lo[kMaxDim * kMaxBites];
+  float plane_hi[kMaxDim * kMaxBites];
   size_t count = 0;
 
   /// Appends a bite, filtering empty ones (inner on the MBR corner in
@@ -134,25 +159,92 @@ struct JaggedLiveBites {
       const float in = inner_coords[d];
       empty |= unsigned(in == corner_coord);
       constexpr float kInf = std::numeric_limits<float>::infinity();
-      test_lo[live * dim + d] = hi_side ? in : -kInf;
-      test_hi[live * dim + d] = hi_side ? kInf : in;
+      plane_lo[d * kMaxBites + live] = hi_side ? in : -kInf;
+      plane_hi[d * kMaxBites + live] = hi_side ? kInf : in;
     }
     corner[live] = corner_mask;
     inner[live] = inner_coords;
     count += 1 - empty;
     return empty ? kMaxBites : live;
   }
+
+  /// Bulk staging without the empty-bite filter: every bite keeps its
+  /// codec position, and the planes are written one dimension row at a
+  /// time (branchless sequential stores — or, under AVX2 dispatch, the
+  /// 8-bites-per-register transpose-and-blend kernel of bites_simd.cc,
+  /// which writes bit-identical plane values since staging is pure
+  /// moves and blends). Correctness of skipping the filter: an empty
+  /// bite's natural test bound degenerates to a strict compare against
+  /// its own MBR face (clamp > hi[d] or clamp < lo[d]), which no clamp
+  /// point of the MBR or of any sub-box can pass — so empty bites
+  /// never win a covering scan and the first covering index is the
+  /// index of the exact bite the compacted staging would select. The
+  /// search reads corner/inner only for covering bites, making the
+  /// region search bit-identical to one over Add-compacted bites.
+  ///
+  /// `inners` (dim floats per bite, codec order) must outlive the
+  /// search; `n` must be <= kMaxBites. Because the SIMD kernel works in
+  /// whole 8-bite blocks, `corners` must be readable up to n rounded up
+  /// to 8 entries and `inners` up to round8(n)*dim + 8 floats (the
+  /// batch scan's fixed-capacity staging buffers satisfy this; pad
+  /// accordingly when staging from exact-size allocations).
+  template <size_t DIM = 0>
+  void StageAll(size_t dim, const uint32_t* corners, const float* inners,
+                size_t n) {
+    if (DIM != 0) dim = DIM;
+#if defined(BW_HAVE_AVX2)
+    if (dim <= 8 && util::ActiveKernelIsa() == util::KernelIsa::kAvx2) {
+      detail::StageBitePlanesAvx2(dim, corners, inners, n, plane_lo,
+                                  plane_hi, kMaxBites);
+    } else {
+      StagePlanesScalar<DIM>(dim, corners, inners, n);
+    }
+#else
+    StagePlanesScalar<DIM>(dim, corners, inners, n);
+#endif
+    for (size_t b = 0; b < n; ++b) {
+      corner[b] = corners[b];
+      inner[b] = inners + b * dim;
+    }
+    count = n;
+  }
+
+  /// StageAll for positional codecs (JB: bite b's corner mask IS b, so
+  /// the shared corner-index table serves as the corner array).
+  template <size_t DIM = 0>
+  void StageAllPositional(size_t dim, const float* inners, size_t n) {
+    StageAll<DIM>(dim, detail::kPositionalCorners.data(), inners, n);
+  }
+
+ private:
+  template <size_t DIM = 0>
+  void StagePlanesScalar(size_t dim, const uint32_t* corners,
+                         const float* inners, size_t n) {
+    if (DIM != 0) dim = DIM;
+    constexpr float kInf = std::numeric_limits<float>::infinity();
+    for (size_t d = 0; d < dim; ++d) {
+      float* row_lo = plane_lo + d * kMaxBites;
+      float* row_hi = plane_hi + d * kMaxBites;
+      for (size_t b = 0; b < n; ++b) {
+        const float in = inners[b * dim + d];
+        const bool hi_side = ((corners[b] >> d) & 1u) != 0;
+        row_lo[b] = hi_side ? in : -kInf;
+        row_hi[b] = hi_side ? kInf : in;
+      }
+    }
+  }
 };
 
 /// Entry point for the batched node scan, which has already clamped the
 /// query onto the MBR (with the identical per-dimension float select),
 /// accumulated the squared box distance in the identical dimension
-/// order, staged the live bites, and identified the first live bite
+/// order, staged the bites, and identified the first staged bite
 /// strictly containing the clamp point. Skips the root box evaluation
 /// and the root covering scan and resumes the region search from there;
 /// bit-identical to JaggedMinDistanceRaw over the same bites by
 /// construction (at the root, the prune and budget checks cannot fire,
-/// and the covering scan would select exactly `covering_live_index`).
+/// and the covering scan would select exactly `covering_live_index` —
+/// with StageAll staging, the bite at the covering codec position).
 double JaggedMinDistanceStaged(size_t dim, const float* lo, const float* hi,
                                const JaggedLiveBites& live,
                                size_t covering_live_index,

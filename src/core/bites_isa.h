@@ -1,0 +1,58 @@
+// Internal: SIMD variant of the region search's covering scan, defined
+// in bites_simd.cc (the only core/ translation unit compiled with
+// -mavx2 -mfma; present only when the build defines BW_HAVE_AVX2).
+// Callers must gate on util::ActiveKernelIsa() == kAvx2.
+//
+// The scan is pure float comparison — no rounding — so it returns
+// exactly the index the scalar FirstCoveringBite loop would: the first
+// live bite b (codec order) with
+//   plane_lo[d*stride + b] < clamped[d] < plane_hi[d*stride + b]
+// for every dimension d, or live_count if none. `stride` must be a
+// multiple of 8 so whole-vector loads stay inside each dimension's
+// plane row (lanes at or past live_count are masked off, never read as
+// results).
+
+#ifndef BLOBWORLD_CORE_BITES_ISA_H_
+#define BLOBWORLD_CORE_BITES_ISA_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bw::core::detail {
+
+#if defined(BW_HAVE_AVX2)
+size_t FirstCoveringBitePlanesAvx2(const float* plane_lo,
+                                   const float* plane_hi, size_t stride,
+                                   size_t live_count, size_t dim,
+                                   const float* clamped);
+
+// One-dimension covering mask: bit b set iff
+//   row_lo[b] < clamped < row_hi[b]
+// for b < round8(n) (bits at or past n may be garbage from
+// uninitialized lanes; callers mask them off). Pure comparison, so the
+// mask bits below n are exactly the scalar loop's.
+uint64_t CoveringMaskDimAvx2(const float* row_lo, const float* row_hi,
+                             size_t n, float clamped);
+
+// Bulk bite-plane staging: the AVX2 variant of
+// JaggedLiveBites::StageAll's plane construction. Transposes the
+// bite-major inner records into dimension-major rows eight bites at a
+// time (8x8 in-register transpose) and blends each row against the
+// +-infinity unconstrained side selected by the corner bit — pure
+// moves and blends, so every plane value is bit-identical to the
+// scalar staging loop's.
+//
+// Requirements: dim <= 8; `stride` a multiple of 8 and >= n rounded up
+// to 8; `corners` readable and `inners` readable for a full final
+// block — i.e. corners up to round8(n) entries and inners up to
+// round8(n)*dim + 8 floats (the staging buffers in the batch scan are
+// fixed-capacity stack arrays, which satisfies this; lanes at or past
+// n receive garbage bounds but the covering scans never read them).
+void StageBitePlanesAvx2(size_t dim, const uint32_t* corners,
+                         const float* inners, size_t n, float* plane_lo,
+                         float* plane_hi, size_t stride);
+#endif
+
+}  // namespace bw::core::detail
+
+#endif  // BLOBWORLD_CORE_BITES_ISA_H_

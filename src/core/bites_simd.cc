@@ -1,0 +1,123 @@
+// AVX2 covering scan over dim-major bite planes (see bites_isa.h).
+// Compiled with -mavx2 -mfma via per-file CMake flags; only reached
+// through the runtime-dispatched region search in bites.cc.
+
+#include "core/bites_isa.h"
+
+#if defined(BW_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace bw::core::detail {
+
+size_t FirstCoveringBitePlanesAvx2(const float* plane_lo,
+                                   const float* plane_hi, size_t stride,
+                                   size_t live_count, size_t dim,
+                                   const float* clamped) {
+  for (size_t b0 = 0; b0 < live_count; b0 += 8) {
+    const unsigned valid = live_count - b0 >= 8
+                               ? 0xffu
+                               : ((1u << (live_count - b0)) - 1u);
+    __m256 inside = _mm256_castsi256_ps(_mm256_set1_epi32(-1));
+    for (size_t d = 0; d < dim; ++d) {
+      const __m256 c = _mm256_set1_ps(clamped[d]);
+      const __m256 lo = _mm256_loadu_ps(plane_lo + d * stride + b0);
+      const __m256 hi = _mm256_loadu_ps(plane_hi + d * stride + b0);
+      // Strict two-sided compare, same semantics as the scalar loop.
+      // Lanes past live_count may hold uninitialized floats; any NaN
+      // there compares false (quiet, exceptions masked) and the lane is
+      // discarded by `valid` regardless.
+      const __m256 in_d = _mm256_and_ps(_mm256_cmp_ps(lo, c, _CMP_LT_OQ),
+                                        _mm256_cmp_ps(c, hi, _CMP_LT_OQ));
+      inside = _mm256_and_ps(inside, in_d);
+    }
+    const unsigned m =
+        static_cast<unsigned>(_mm256_movemask_ps(inside)) & valid;
+    if (m != 0) return b0 + static_cast<size_t>(__builtin_ctz(m));
+  }
+  return live_count;
+}
+
+uint64_t CoveringMaskDimAvx2(const float* row_lo, const float* row_hi,
+                             size_t n, float clamped) {
+  const __m256 c = _mm256_set1_ps(clamped);
+  uint64_t m = 0;
+  for (size_t b0 = 0; b0 < n; b0 += 8) {
+    const __m256 lo = _mm256_loadu_ps(row_lo + b0);
+    const __m256 hi = _mm256_loadu_ps(row_hi + b0);
+    const __m256 in = _mm256_and_ps(_mm256_cmp_ps(lo, c, _CMP_LT_OQ),
+                                    _mm256_cmp_ps(c, hi, _CMP_LT_OQ));
+    m |= static_cast<uint64_t>(
+             static_cast<unsigned>(_mm256_movemask_ps(in)))
+         << b0;
+  }
+  return m;
+}
+
+void StageBitePlanesAvx2(size_t dim, const uint32_t* corners,
+                         const float* inners, size_t n, float* plane_lo,
+                         float* plane_hi, size_t stride) {
+  const __m256 pos_inf = _mm256_set1_ps(__builtin_inff());
+  const __m256 neg_inf = _mm256_set1_ps(-__builtin_inff());
+  for (size_t b0 = 0; b0 < n; b0 += 8) {
+    // Eight bite records, one per register row. Each row load spills
+    // (8 - dim) floats into the next record — in range by the caller's
+    // padding contract; the spilled lanes fall out of the transpose's
+    // first `dim` columns.
+    const float* base = inners + b0 * dim;
+    const __m256 r0 = _mm256_loadu_ps(base + 0 * dim);
+    const __m256 r1 = _mm256_loadu_ps(base + 1 * dim);
+    const __m256 r2 = _mm256_loadu_ps(base + 2 * dim);
+    const __m256 r3 = _mm256_loadu_ps(base + 3 * dim);
+    const __m256 r4 = _mm256_loadu_ps(base + 4 * dim);
+    const __m256 r5 = _mm256_loadu_ps(base + 5 * dim);
+    const __m256 r6 = _mm256_loadu_ps(base + 6 * dim);
+    const __m256 r7 = _mm256_loadu_ps(base + 7 * dim);
+    // Standard 8x8 transpose: unpack pairs, shuffle quads, then stitch
+    // the 128-bit halves. col[d] = coordinate d of bites b0..b0+7.
+    const __m256 t0 = _mm256_unpacklo_ps(r0, r1);
+    const __m256 t1 = _mm256_unpackhi_ps(r0, r1);
+    const __m256 t2 = _mm256_unpacklo_ps(r2, r3);
+    const __m256 t3 = _mm256_unpackhi_ps(r2, r3);
+    const __m256 t4 = _mm256_unpacklo_ps(r4, r5);
+    const __m256 t5 = _mm256_unpackhi_ps(r4, r5);
+    const __m256 t6 = _mm256_unpacklo_ps(r6, r7);
+    const __m256 t7 = _mm256_unpackhi_ps(r6, r7);
+    const __m256 u0 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+    const __m256 u1 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+    const __m256 u2 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+    const __m256 u3 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(3, 2, 3, 2));
+    const __m256 u4 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(1, 0, 1, 0));
+    const __m256 u5 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(3, 2, 3, 2));
+    const __m256 u6 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(1, 0, 1, 0));
+    const __m256 u7 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(3, 2, 3, 2));
+    __m256 col[8];
+    col[0] = _mm256_permute2f128_ps(u0, u4, 0x20);
+    col[1] = _mm256_permute2f128_ps(u1, u5, 0x20);
+    col[2] = _mm256_permute2f128_ps(u2, u6, 0x20);
+    col[3] = _mm256_permute2f128_ps(u3, u7, 0x20);
+    col[4] = _mm256_permute2f128_ps(u0, u4, 0x31);
+    col[5] = _mm256_permute2f128_ps(u1, u5, 0x31);
+    col[6] = _mm256_permute2f128_ps(u2, u6, 0x31);
+    col[7] = _mm256_permute2f128_ps(u3, u7, 0x31);
+    const __m256i corner_bits = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(corners + b0));
+    for (size_t d = 0; d < dim; ++d) {
+      // Shift corner bit d into the sign position: blendv reads only
+      // the sign, so the mask selects the bite's constrained side with
+      // no compare needed. Sign set (corner at hi[d]): the bite bounds
+      // the clamp from below (plane_lo = inner, plane_hi = +inf);
+      // clear: from above.
+      const __m256 mask = _mm256_castsi256_ps(_mm256_sll_epi32(
+          corner_bits, _mm_cvtsi32_si128(static_cast<int>(31 - d))));
+      const __m256 lo = _mm256_blendv_ps(neg_inf, col[d], mask);
+      const __m256 hi = _mm256_blendv_ps(col[d], pos_inf, mask);
+      _mm256_storeu_ps(plane_lo + d * stride + b0, lo);
+      _mm256_storeu_ps(plane_hi + d * stride + b0, hi);
+    }
+  }
+}
+
+}  // namespace bw::core::detail
+
+#endif  // BW_HAVE_AVX2

@@ -7,6 +7,7 @@
 
 #include "am/bp_kernels.h"
 #include "am/split_heuristics.h"
+#include "util/cpu.h"
 
 namespace bw::core {
 
@@ -162,48 +163,35 @@ double JaggedExtension::BatchCoveredMinDistance(gist::ByteSpan bp,
   if (bite_count > kMaxBatchBites || d > kMaxBatchDim) {
     return BpMinDistance(bp, query);
   }
-  // Single staging pass: de-interleave the codec records AND build the
-  // live-bite arrays (with their branchless covering-test bounds) in one
-  // sweep, tracking where the covering bite the batch test already
-  // identified lands in the live list. The region search then resumes
-  // directly at the split around that bite — no second decode pass, no
-  // root covering rescan.
+  // Single staging pass: de-interleave the codec records and bulk-build
+  // the bite planes (branchless per-dimension rows, no empty-bite
+  // compaction — empty bites never win a covering scan, see
+  // JaggedLiveBites::StageAll). Bites keep their codec positions, so
+  // the covering bite the batch test already identified is passed down
+  // by index directly and the region search resumes at the split around
+  // it — no second decode pass, no root covering rescan.
   float mbr[2 * kMaxBatchDim];
   float inners[kMaxBatchBites * kMaxBatchDim];
   std::memcpy(mbr, bp.data(), 2 * d * sizeof(float));
   JaggedLiveBites live;
-  size_t covering_live = JaggedLiveBites::kMaxBites;
   if (interleaved) {
     // XJB: (corner, inner) records after the MBR.
+    uint32_t corners[kMaxBatchBites];
     size_t offset = 2 * d * sizeof(float);
     for (size_t b = 0; b < bite_count; ++b) {
-      uint32_t corner;
-      std::memcpy(&corner, bp.data() + offset, sizeof(uint32_t));
+      std::memcpy(&corners[b], bp.data() + offset, sizeof(uint32_t));
       offset += sizeof(uint32_t);
       std::memcpy(&inners[b * d], bp.data() + offset, d * sizeof(float));
       offset += d * sizeof(float);
-      const size_t li =
-          live.Add<DIM>(d, mbr, mbr + d, corner, &inners[b * d]);
-      if (b == covering_bite) covering_live = li;
     }
+    live.StageAll<DIM>(d, corners, inners, bite_count);
   } else {
     // JB: inners are already planar after the MBR; corners positional.
     std::memcpy(inners, bp.data() + 2 * d * sizeof(float),
                 bite_count * d * sizeof(float));
-    for (size_t b = 0; b < bite_count; ++b) {
-      const size_t li = live.Add<DIM>(d, mbr, mbr + d,
-                                      static_cast<uint32_t>(b), &inners[b * d]);
-      if (b == covering_bite) covering_live = li;
-    }
+    live.StageAllPositional<DIM>(d, inners, bite_count);
   }
-  if (covering_live == JaggedLiveBites::kMaxBites) {
-    // Unreachable for a well-formed BP (the batch test found the clamp
-    // strictly inside `covering_bite`, which implies it is non-empty and
-    // within capacity); decode-path fallback keeps the answer correct
-    // regardless.
-    return BpMinDistance(bp, query);
-  }
-  return JaggedMinDistanceStaged(d, mbr, mbr + d, live, covering_live, query,
+  return JaggedMinDistanceStaged(d, mbr, mbr + d, live, covering_bite, query,
                                  clamped, box_dist_sq);
 }
 
@@ -257,6 +245,14 @@ void JaggedExtension::BatchScanImpl(gist::BatchScratch& scratch,
       }
     }
     const gist::ByteSpan bp = scratch.preds[e];
+    // Pull the next entry's BP record toward the cache while this one's
+    // covering scan runs: node entries are independent byte spans, so
+    // without the hint each iteration starts with a cold dependent load.
+    if (e + 1 < n) {
+      const auto* next = scratch.preds[e + 1].data();
+      util::PrefetchRead(next);
+      util::PrefetchRead(next + 64);
+    }
     // Is the clamp point strictly inside any bite? Strict inequality on
     // every axis implies the bite is non-empty (clamp can never lie
     // strictly beyond its own MBR face), so the scalar path's empty-bite

@@ -1,0 +1,61 @@
+// Frontier prefetch for best-first k-NN: after an internal node is
+// expanded, its children are exactly the pages the search will pop
+// next, ranked by the min-distances just computed. When the serving
+// pool opts in (PageReader::wants_prefetch), the traversal hands the
+// nearest few children to the pool as one batch, so an async read
+// engine (or the pools' simulated-latency model) overlaps the next
+// level's cold reads instead of paying them one blocking miss at a
+// time. A pure hint: results, errors, and degraded-read handling are
+// unchanged — the later Fetch of each child behaves exactly as before.
+
+#ifndef BLOBWORLD_GIST_FRONTIER_PREFETCH_H_
+#define BLOBWORLD_GIST_FRONTIER_PREFETCH_H_
+
+#include <array>
+#include <cstddef>
+
+#include "gist/node_scan.h"
+#include "pages/page_reader.h"
+
+namespace bw::gist {
+
+/// Children per prefetch batch. Best-first search rarely descends more
+/// than a handful of a node's children before moving elsewhere, so
+/// prefetching all 50+ entries would mostly pollute the cache; the
+/// nearest 8 cover the likely next pops and match the async engines'
+/// useful queue depth.
+inline constexpr size_t kFrontierPrefetchFanout = 8;
+
+/// Prefetches the nearest children of the internal node staged in
+/// `scan` (scratch.distances holds the BpMinDistanceBatch results,
+/// payloads the child page ids). No-op unless the pool wants batches.
+inline void PrefetchNearestChildren(pages::PageReader* pool,
+                                    const NodeScanBuffer& scan) {
+  if (pool == nullptr || !pool->wants_prefetch()) return;
+  const size_t n = scan.count();
+  if (n == 0) return;
+  // Bounded insertion-select of the `take` smallest distances: O(n * 8)
+  // with zero allocation, and ties break on entry order so the batch is
+  // deterministic for a given node.
+  const size_t take = n < kFrontierPrefetchFanout ? n : kFrontierPrefetchFanout;
+  std::array<size_t, kFrontierPrefetchFanout> best;
+  size_t filled = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = scan.scratch.distances[i];
+    size_t pos = filled;
+    while (pos > 0 && d < scan.scratch.distances[best[pos - 1]]) --pos;
+    if (pos >= take) continue;
+    if (filled < take) ++filled;
+    for (size_t j = filled - 1; j > pos; --j) best[j] = best[j - 1];
+    best[pos] = i;
+  }
+  std::array<pages::PageId, kFrontierPrefetchFanout> batch;
+  for (size_t i = 0; i < filled; ++i) {
+    batch[i] = static_cast<pages::PageId>(scan.payloads[best[i]]);
+  }
+  pool->PrefetchBatch(batch.data(), filled);
+}
+
+}  // namespace bw::gist
+
+#endif  // BLOBWORLD_GIST_FRONTIER_PREFETCH_H_

@@ -60,6 +60,37 @@ Result<Page*> BufferPool::Fetch(PageId id) {
   return page;
 }
 
+void BufferPool::PrefetchBatch(const PageId* ids, size_t n) {
+  if (!wants_prefetch() || n == 0) return;
+  if (watchdog_armed_ &&
+      std::chrono::steady_clock::now() >= watchdog_deadline_) {
+    return;  // a hint: let the next Fetch charge the expiration.
+  }
+  // Charge every cold, healthy page exactly as its Fetch would have...
+  bool any_cold = false;
+  for (size_t i = 0; i < n; ++i) {
+    const PageId id = ids[i];
+    if (id >= file_->page_count()) continue;  // skipped, not an error.
+    if (resident_.count(id) > 0) continue;
+    if (!file_->ReadHealth(id).ok()) continue;  // Fetch will surface it.
+    ++stats_.misses;
+    if (options_.charge_file_io && !file_->Read(id).ok()) continue;
+    any_cold = true;
+  }
+  if (!any_cold) return;
+  // ...but sleep the simulated read latency once for the whole batch:
+  // the async engine issues the frontier's reads together, so their
+  // (simulated) seek+transfer overlaps instead of summing.
+  if (!MissDelay().ok()) return;  // expired: nothing becomes resident.
+  for (size_t i = 0; i < n; ++i) {
+    const PageId id = ids[i];
+    if (resident_.count(id) > 0) continue;
+    if (id >= file_->page_count()) continue;
+    if (!file_->ReadHealth(id).ok()) continue;
+    InsertResident(id);
+  }
+}
+
 void BufferPool::Prime(PageId id) {
   if (capacity_ == 0) return;
   if (resident_.count(id)) {

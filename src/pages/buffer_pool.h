@@ -28,6 +28,13 @@ struct BufferPoolOptions {
   /// service benches model the paper's disk (IoModel::RandomReadMs) on
   /// wall-clock time, so overlapping I/O across workers is measurable.
   uint32_t miss_delay_us = 0;
+  /// When true, PrefetchBatch loads cold pages as one overlapped batch
+  /// (one miss_delay_us for the batch, the async-read model) and
+  /// wants_prefetch() invites the traversal to send frontier batches.
+  /// Off by default: prefetching changes hit/miss accounting (a
+  /// prefetched page's later Fetch is a hit), so existing single-read
+  /// experiments keep their numbers.
+  bool prefetch = false;
 };
 
 /// Simple LRU cache of page ids. The pool does not copy page contents
@@ -55,6 +62,17 @@ class BufferPool : public PageReader {
   /// are the PageReader contract (Unavailable on quarantine, Aborted on
   /// watchdog expiry).
   Result<Page*> Fetch(PageId id) override;
+
+  /// Loads the cold pages of the batch, charging each one's miss and
+  /// file I/O as Fetch would but sleeping the simulated miss latency
+  /// once for the whole batch (overlapped reads). Resident, quarantined
+  /// and out-of-range ids are skipped; a watchdog expiry mid-delay
+  /// leaves the batch non-resident (the later Fetch ends the query).
+  void PrefetchBatch(const PageId* ids, size_t n) override;
+
+  bool wants_prefetch() const override {
+    return options_.prefetch && capacity_ > 0;
+  }
 
   void ArmWatchdog(std::chrono::steady_clock::time_point deadline) override {
     watchdog_deadline_ = deadline;

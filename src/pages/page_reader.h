@@ -48,6 +48,23 @@ class PageReader {
   /// Fetches a page through the cache.
   virtual Result<Page*> Fetch(PageId id) = 0;
 
+  /// Hint: the caller expects to Fetch these ids soon (a cursor's next
+  /// search-frontier level, say). An implementation may load the cold
+  /// ones as one overlapped batch — charging each cold page's miss and
+  /// file I/O exactly as its eventual Fetch would have, but paying the
+  /// simulated miss latency once for the whole batch instead of once
+  /// per page. A pure hint: errors are swallowed (the later Fetch
+  /// surfaces them) and the default does nothing.
+  virtual void PrefetchBatch(const PageId* ids, size_t n) {
+    (void)ids;
+    (void)n;
+  }
+
+  /// True when PrefetchBatch can actually help (prefetching enabled and
+  /// backed by a real cache) — lets the traversal skip assembling a
+  /// batch that would be thrown away.
+  virtual bool wants_prefetch() const { return false; }
+
   /// Arms an I/O watchdog: any Fetch at or past `deadline` — including
   /// one that crosses it mid-miss-latency — fails with Aborted instead
   /// of sleeping on. This is how a query deadline covers time stuck

@@ -48,6 +48,73 @@ Result<Page*> ShardedBufferPool::Session::Fetch(PageId id) {
   return pool_->Fetch(id, *this);
 }
 
+void ShardedBufferPool::Session::PrefetchBatch(const PageId* ids, size_t n) {
+  pool_->PrefetchBatch(ids, n, *this);
+}
+
+bool ShardedBufferPool::AdmitForPrefetch(PageId id, Session& session) {
+  Shard& shard = *shards_[ShardIndex(id)];
+  if (shard.capacity == 0) return false;  // its Fetch stays a plain miss.
+  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    ++session.stats_.shard_contention;
+    lock.lock();
+    ++shard.contention;
+  }
+  auto it = shard.where.find(id);
+  if (it != shard.where.end()) {
+    // Already resident: protect it until the Fetch (which counts the
+    // hit) instead of letting this batch's admissions evict it.
+    shard.frames[it->second].referenced = 1;
+    return false;
+  }
+  ++shard.misses;
+  ++session.stats_.misses;
+  if (shard.frames.size() < shard.capacity) {
+    shard.where[id] = shard.frames.size();
+    shard.frames.push_back({id, 1});
+    return true;
+  }
+  // CLOCK, same sweep as Fetch's miss path.
+  for (;;) {
+    Shard::Frame& f = shard.frames[shard.hand];
+    if (f.referenced) {
+      f.referenced = 0;
+      shard.hand = (shard.hand + 1) % shard.frames.size();
+      continue;
+    }
+    shard.where.erase(f.id);
+    ++shard.evictions;
+    ++session.stats_.evictions;
+    f.id = id;
+    f.referenced = 1;
+    shard.where[id] = shard.hand;
+    shard.hand = (shard.hand + 1) % shard.frames.size();
+    return true;
+  }
+}
+
+void ShardedBufferPool::PrefetchBatch(const PageId* ids, size_t n,
+                                      Session& session) {
+  if (!options_.prefetch || capacity_ == 0 || n == 0) return;
+  if (session.watchdog_armed_ &&
+      std::chrono::steady_clock::now() >= session.watchdog_deadline_) {
+    return;  // a hint: let the next Fetch charge the expiration.
+  }
+  bool any_cold = false;
+  for (size_t i = 0; i < n; ++i) {
+    const PageId id = ids[i];
+    if (id >= store_->page_count()) continue;
+    if (!store_->ReadHealth(id).ok()) continue;  // Fetch surfaces it.
+    any_cold |= AdmitForPrefetch(id, session);
+  }
+  // One overlapped simulated read for the whole cold set, slept after
+  // admission — mirroring Fetch's own insert-then-delay order, so on a
+  // watchdog expiry the pages stay resident exactly as an aborted
+  // Fetch's page would.
+  if (any_cold) (void)MissDelay(session);
+}
+
 Status ShardedBufferPool::MissDelay(Session& session) const {
   if (options_.miss_delay_us == 0) return Status::OK();
   const auto end = std::chrono::steady_clock::now() +

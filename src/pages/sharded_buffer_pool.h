@@ -59,6 +59,10 @@ struct ShardedPoolOptions {
   /// Simulated random-read latency per miss, in microseconds (slept
   /// outside the shard lock, sliced against the session watchdog).
   uint32_t miss_delay_us = 0;
+  /// When true, Session::PrefetchBatch admits cold pages as one
+  /// overlapped batch (one miss_delay_us per batch; same accounting
+  /// rationale as BufferPoolOptions::prefetch). Off by default.
+  bool prefetch = false;
 };
 
 /// A shared page cache over one PageStore. Fetches go through per-thread
@@ -84,6 +88,16 @@ class ShardedBufferPool {
     explicit Session(ShardedBufferPool* pool) : pool_(pool) {}
 
     Result<Page*> Fetch(PageId id) override;
+
+    /// Admits the batch's cold pages into their shards (each counted as
+    /// this session's miss, exactly as its Fetch would have) and sleeps
+    /// the simulated miss latency once for the whole batch. Pure hint:
+    /// quarantined / out-of-range ids are skipped and errors swallowed.
+    void PrefetchBatch(const PageId* ids, size_t n) override;
+
+    bool wants_prefetch() const override {
+      return pool_->options_.prefetch && pool_->capacity_ > 0;
+    }
 
     void ArmWatchdog(std::chrono::steady_clock::time_point deadline) override {
       watchdog_deadline_ = deadline;
@@ -143,6 +157,11 @@ class ShardedBufferPool {
   };
 
   Result<Page*> Fetch(PageId id, Session& session);
+  void PrefetchBatch(const PageId* ids, size_t n, Session& session);
+  /// Marks `id` resident in its shard (referenced if already there),
+  /// with Fetch's exact miss/eviction/contention accounting against
+  /// `session`. Returns true if the page was cold (newly admitted).
+  bool AdmitForPrefetch(PageId id, Session& session);
   size_t ShardIndex(PageId id) const {
     // Multiplicative hash so tree-layout strides cannot alias one shard.
     return static_cast<size_t>((id * UINT64_C(0x9E3779B97F4A7C15)) >> 32) &

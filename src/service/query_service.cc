@@ -90,6 +90,7 @@ void QueryService::Start() {
     pages::ShardedPoolOptions pool_options;
     pool_options.shards = options_.pool_shards;
     pool_options.miss_delay_us = options_.io_delay_us;
+    pool_options.prefetch = options_.frontier_prefetch;
     shared_pool_ = std::make_unique<pages::ShardedBufferPool>(
         file, capacity, pool_options);
     for (size_t i = 0; i < options_.num_workers; ++i) {
@@ -99,6 +100,7 @@ void QueryService::Start() {
     pages::BufferPoolOptions pool_options;
     pool_options.charge_file_io = false;  // never mutate the shared file.
     pool_options.miss_delay_us = options_.io_delay_us;
+    pool_options.prefetch = options_.frontier_prefetch;
     for (size_t i = 0; i < options_.num_workers; ++i) {
       worker_readers_.push_back(std::make_unique<pages::BufferPool>(
           file, options_.worker_pool_pages, pool_options));
@@ -262,6 +264,7 @@ std::unique_ptr<QueryService::StreamCursor> QueryService::OpenCursor(
     pages::BufferPoolOptions pool_options;
     pool_options.charge_file_io = false;
     pool_options.miss_delay_us = options_.io_delay_us;
+    pool_options.prefetch = options_.frontier_prefetch;
     reader = std::make_unique<pages::BufferPool>(
         file, options_.worker_pool_pages, pool_options);
   }

@@ -153,6 +153,13 @@ struct ServiceOptions {
   /// can measure I/O overlap across workers in wall-clock time; 0 for
   /// pure in-memory serving.
   uint32_t io_delay_us = 0;
+  /// When true, the worker pools accept frontier prefetch batches: the
+  /// k-NN traversal hands each expanded internal node's nearest
+  /// children to the pool as one batch, which pays io_delay_us once per
+  /// batch instead of once per cold child (the async-read model). Off
+  /// by default — prefetching changes hit/miss accounting, so existing
+  /// experiments keep their numbers.
+  bool frontier_prefetch = false;
   /// Start with execution paused (requests are admitted and queued but
   /// not run until Resume()). Used by admission-control tests and for
   /// warm-up staging.

@@ -10,6 +10,10 @@
 #include <thread>
 #include <vector>
 
+#if defined(BW_HAVE_LIBURING)
+#include <liburing.h>
+#endif
+
 namespace bw::storage {
 
 namespace {
@@ -17,6 +21,93 @@ namespace {
 Status Errno(const std::string& op, const std::string& path) {
   return Status::IoError(op + " '" + path + "': " + std::strerror(errno));
 }
+
+/// The positional read loop shared by ReadAt and the batch engines:
+/// exactly `n` bytes or an error (EINTR restarted, EOF = short read).
+Status PreadExact(int fd, const std::string& path, uint64_t offset,
+                  void* data, size_t n) {
+  uint8_t* bytes = static_cast<uint8_t*>(data);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::pread(fd, bytes + done, n - done,
+                                static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pread", path);
+    }
+    if (got == 0) {
+      return Status::IoError("short read from '" + path + "' at offset " +
+                             std::to_string(offset));
+    }
+    done += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+#if defined(BW_HAVE_LIBURING)
+/// Serves the spans at `idx` through one io_uring: all reads submitted
+/// up front, completions reaped in any order, short reads resubmitted
+/// for their remainder. Ring setup failure (a locked-down container)
+/// degrades to synchronous preads — engine choice must never change
+/// results.
+void UringReadSpans(int fd, const std::string& path, ReadSpan* spans,
+                    const std::vector<size_t>& idx) {
+  struct io_uring ring;
+  if (io_uring_queue_init(static_cast<unsigned>(idx.size()), &ring, 0) != 0) {
+    for (const size_t i : idx) {
+      spans[i].status =
+          PreadExact(fd, path, spans[i].offset, spans[i].data, spans[i].n);
+    }
+    return;
+  }
+  std::vector<size_t> done(idx.size(), 0);
+  size_t completed = 0;
+  auto submit_one = [&](size_t j) {
+    struct io_uring_sqe* sqe = io_uring_get_sqe(&ring);
+    ReadSpan& s = spans[idx[j]];
+    io_uring_prep_read(sqe, fd, static_cast<uint8_t*>(s.data) + done[j],
+                       static_cast<unsigned>(s.n - done[j]),
+                       s.offset + done[j]);
+    io_uring_sqe_set_data(sqe, reinterpret_cast<void*>(j));
+  };
+  for (size_t j = 0; j < idx.size(); ++j) submit_one(j);
+  io_uring_submit(&ring);
+  while (completed < idx.size()) {
+    struct io_uring_cqe* cqe = nullptr;
+    if (io_uring_wait_cqe(&ring, &cqe) != 0) continue;
+    const size_t j = reinterpret_cast<uintptr_t>(io_uring_cqe_get_data(cqe));
+    const int res = cqe->res;
+    io_uring_cqe_seen(&ring, cqe);
+    ReadSpan& s = spans[idx[j]];
+    if (res == -EINTR || res == -EAGAIN) {
+      submit_one(j);
+      io_uring_submit(&ring);
+      continue;
+    }
+    if (res < 0) {
+      s.status = Status::IoError("io_uring read '" + path +
+                                 "': " + std::strerror(-res));
+      ++completed;
+      continue;
+    }
+    if (res == 0) {
+      s.status = Status::IoError("short read from '" + path + "' at offset " +
+                                 std::to_string(s.offset));
+      ++completed;
+      continue;
+    }
+    done[j] += static_cast<size_t>(res);
+    if (done[j] < s.n) {  // short read: resubmit the remainder.
+      submit_one(j);
+      io_uring_submit(&ring);
+      continue;
+    }
+    s.status = Status::OK();
+    ++completed;
+  }
+  io_uring_queue_exit(&ring);
+}
+#endif  // BW_HAVE_LIBURING
 
 }  // namespace
 
@@ -146,24 +237,96 @@ Status File::ReadAt(uint64_t offset, void* data, size_t n) const {
     }
     flip_bit = decision.flip_bit && n > 0;
   }
-  size_t done = 0;
-  while (done < n) {
-    const ssize_t got = ::pread(fd_, bytes + done, n - done,
-                                static_cast<off_t>(offset + done));
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      return Errno("pread", path_);
-    }
-    if (got == 0) {
-      return Status::IoError("short read from '" + path_ + "' at offset " +
-                             std::to_string(offset));
-    }
-    done += static_cast<size_t>(got);
-  }
+  BW_RETURN_IF_ERROR(PreadExact(fd_, path_, offset, bytes, n));
   // Flip after the pread so the on-disk bytes stay intact: this models
   // rot on the read path (bad cable, flaky DMA) that a retry can clear.
   if (flip_bit) bytes[n / 2] ^= 0x10;
   return Status::OK();
+}
+
+void File::ReadBatch(ReadSpan* spans, size_t count,
+                     IoEngineKind engine) const {
+  // One OnRead tick per span, on the calling thread, in span order and
+  // before any physical read: the fault schedule is a function of the
+  // batch alone, never of engine scheduling, so chaos plans unroll
+  // identically on every engine.
+  std::vector<FaultInjector::ReadDecision> decisions;
+  if (injector_ != nullptr) {
+    decisions.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      decisions[i] = injector_->OnRead(spans[i].n);
+    }
+  }
+  const auto serve = [&](size_t i) {
+    ReadSpan& span = spans[i];
+    bool flip_bit = false;
+    if (!decisions.empty()) {
+      const FaultInjector::ReadDecision& decision = decisions[i];
+      if (decision.delay_us > 0) {
+        // A hung I/O: slept on whichever worker serves this span, so
+        // batched hangs overlap instead of summing; the caller's
+        // watchdog, not this loop, bounds the total.
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(decision.delay_us));
+      }
+      if (decision.fail_transient) {
+        span.status = Status::Unavailable(
+            "simulated transient read fault on '" + path_ + "' at offset " +
+            std::to_string(span.offset));
+        return;
+      }
+      flip_bit = decision.flip_bit && span.n > 0;
+    }
+    span.status = PreadExact(fd_, path_, span.offset, span.data, span.n);
+    if (span.status.ok() && flip_bit) {
+      static_cast<uint8_t*>(span.data)[span.n / 2] ^= 0x10;
+    }
+  };
+  switch (engine) {
+    case IoEngineKind::kSync:
+      for (size_t i = 0; i < count; ++i) serve(i);
+      return;
+    case IoEngineKind::kThreadPool:
+      ReadThreadPool::Instance().RunBatch(count, serve);
+      return;
+    case IoEngineKind::kIoUring: {
+#if defined(BW_HAVE_LIBURING)
+      // Injected faults first (decisions were charged above): delays
+      // sleep on the submitting thread, transient failures never reach
+      // the ring; the remaining spans ride one SQE batch.
+      std::vector<size_t> physical;
+      physical.reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        if (!decisions.empty()) {
+          const FaultInjector::ReadDecision& decision = decisions[i];
+          if (decision.delay_us > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(decision.delay_us));
+          }
+          if (decision.fail_transient) {
+            spans[i].status = Status::Unavailable(
+                "simulated transient read fault on '" + path_ +
+                "' at offset " + std::to_string(spans[i].offset));
+            continue;
+          }
+        }
+        physical.push_back(i);
+      }
+      UringReadSpans(fd_, path_, spans, physical);
+      for (const size_t i : physical) {
+        if (spans[i].status.ok() && !decisions.empty() &&
+            decisions[i].flip_bit && spans[i].n > 0) {
+          static_cast<uint8_t*>(spans[i].data)[spans[i].n / 2] ^= 0x10;
+        }
+      }
+#else
+      // Unreachable: ResolveIoEngine never yields kIoUring without
+      // BW_HAVE_LIBURING. Serve sanely anyway.
+      ReadThreadPool::Instance().RunBatch(count, serve);
+#endif
+      return;
+    }
+  }
 }
 
 Status File::Sync() {

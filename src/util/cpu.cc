@@ -1,0 +1,70 @@
+#include "util/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace bw::util {
+
+namespace {
+
+// -1 = no override; otherwise a KernelIsa value forced by ScopedKernelIsa.
+std::atomic<int> g_override{-1};
+
+bool HostHasAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+KernelIsa ResolveOnce() {
+#if defined(BW_HAVE_AVX2)
+  const char* env = std::getenv("BW_KERNEL_ISA");
+  if (env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0) return KernelIsa::kScalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      return HostHasAvx2Fma() ? KernelIsa::kAvx2 : KernelIsa::kScalar;
+    }
+    // "auto" or anything unrecognized falls through to detection.
+  }
+  return HostHasAvx2Fma() ? KernelIsa::kAvx2 : KernelIsa::kScalar;
+#else
+  return KernelIsa::kScalar;
+#endif
+}
+
+KernelIsa Resolved() {
+  static const KernelIsa isa = ResolveOnce();
+  return isa;
+}
+
+}  // namespace
+
+bool CpuSupportsAvx2Fma() { return HostHasAvx2Fma(); }
+
+KernelIsa ActiveKernelIsa() {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    const KernelIsa isa = static_cast<KernelIsa>(forced);
+#if defined(BW_HAVE_AVX2)
+    if (isa == KernelIsa::kAvx2 && !HostHasAvx2Fma()) return KernelIsa::kScalar;
+    return isa;
+#else
+    (void)isa;
+    return KernelIsa::kScalar;
+#endif
+  }
+  return Resolved();
+}
+
+ScopedKernelIsa::ScopedKernelIsa(KernelIsa isa)
+    : previous_(g_override.exchange(static_cast<int>(isa),
+                                    std::memory_order_relaxed)) {}
+
+ScopedKernelIsa::~ScopedKernelIsa() {
+  g_override.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace bw::util

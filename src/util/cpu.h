@@ -1,0 +1,65 @@
+// Runtime ISA dispatch for the hand-written SIMD kernel variants.
+//
+// The build compiles AVX2/FMA kernel translation units per-file with
+// -mavx2 -mfma (CMake option BW_ENABLE_AVX2, default auto-detect) and
+// defines BW_HAVE_AVX2 when they are present; this header decides at
+// runtime whether those variants actually run. Dispatch resolves once
+// per process from, in priority order:
+//
+//   1. the BW_KERNEL_ISA environment variable ("scalar", "avx2", or
+//      "auto"; anything else is ignored),
+//   2. CPU support (AVX2 and FMA must both be present),
+//   3. the build (no BW_HAVE_AVX2 => always scalar).
+//
+// Tests pin a specific path with ScopedKernelIsa; the scalar path is the
+// bit-identity reference (see am/bp_kernels.h), the AVX2 path carries a
+// ULP-bounded contract for the FMA-fused kernels and remains
+// bit-identical for the compare-only kernels (covering scans, clamps).
+
+#ifndef BLOBWORLD_UTIL_CPU_H_
+#define BLOBWORLD_UTIL_CPU_H_
+
+namespace bw::util {
+
+enum class KernelIsa {
+  kScalar,
+  kAvx2,
+};
+
+/// Read-prefetch hint into all cache levels; no-op where unsupported.
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+/// True when the host CPU executes AVX2 and FMA (independent of whether
+/// this build contains the variants).
+bool CpuSupportsAvx2Fma();
+
+/// The ISA the SIMD-dispatched kernels will use right now (override
+/// first, then the process-wide resolution described above).
+KernelIsa ActiveKernelIsa();
+
+/// Scoped dispatch override for tests: forces every SIMD-dispatched
+/// kernel onto `isa` until destruction, then restores the previous
+/// state. Forcing kAvx2 in a build or on a host without AVX2+FMA is a
+/// no-op (dispatch stays scalar) so parity suites can run everywhere.
+/// Not meant to be raced against concurrent kernel calls; use from
+/// single-threaded test setup.
+class ScopedKernelIsa {
+ public:
+  explicit ScopedKernelIsa(KernelIsa isa);
+  ~ScopedKernelIsa();
+  ScopedKernelIsa(const ScopedKernelIsa&) = delete;
+  ScopedKernelIsa& operator=(const ScopedKernelIsa&) = delete;
+
+ private:
+  int previous_;
+};
+
+}  // namespace bw::util
+
+#endif  // BLOBWORLD_UTIL_CPU_H_

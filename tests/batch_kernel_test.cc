@@ -3,10 +3,15 @@
 // PointDistanceBatch over random nodes must be bit-identical (exact
 // double equality, not approximate) to the per-entry scalar methods
 // they replace — that is the contract that lets the traversal layer
-// batch unconditionally (gist/extension.h). A traversal-level test
-// additionally checks that batched degraded-mode search (skips under a
-// fault budget) returns exactly the brute-force answer over the
-// surviving points, with exact distances.
+// batch unconditionally (gist/extension.h). The node-scan suites pin
+// kernel dispatch to scalar (util::ScopedKernelIsa): exact equality is
+// the SCALAR dispatch contract; the AVX2/FMA variants carry a
+// ULP-bounded contract enforced by tests/kernel_dispatch_test.cc. A
+// traversal-level test additionally checks that batched degraded-mode
+// search (skips under a fault budget) returns exactly the brute-force
+// answer over the surviving points, with exact distances — that one
+// runs under the build's default dispatch on purpose, since leaf/data
+// distances never flow through the dispatched kernels.
 
 #include <gtest/gtest.h>
 
@@ -24,6 +29,7 @@
 #include "gist/tree.h"
 #include "pages/sharded_buffer_pool.h"
 #include "tests/test_helpers.h"
+#include "util/cpu.h"
 #include "util/random.h"
 
 namespace bw {
@@ -66,6 +72,7 @@ struct RandomNode {
 class BatchKernelTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(BatchKernelTest, MinDistanceBatchBitIdentical) {
+  util::ScopedKernelIsa pin(util::KernelIsa::kScalar);
   auto ext = MakeExt(GetParam());
   const auto queries = testing::MakeUniformPoints(16, kDim, 977);
   for (const size_t n : {size_t{1}, size_t{3}, size_t{17}, size_t{64},
@@ -86,6 +93,7 @@ TEST_P(BatchKernelTest, MinDistanceBatchBitIdentical) {
 }
 
 TEST_P(BatchKernelTest, ConsistentRangeBatchBitIdentical) {
+  util::ScopedKernelIsa pin(util::KernelIsa::kScalar);
   auto ext = MakeExt(GetParam());
   const auto queries = testing::MakeUniformPoints(8, kDim, 991);
   RandomNode node(*ext, 48, 77);
