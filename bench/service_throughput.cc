@@ -217,6 +217,7 @@ struct NetOutcome {
   bool identical = true;
   double p50_us = 0;  // client-observed end-to-end latency.
   double p99_us = 0;
+  double p999_us = 0;
 };
 
 // Closed loop over the wire: `clients` threads, each with its own TCP
@@ -267,6 +268,8 @@ NetOutcome RunNetClosedLoop(uint16_t port,
     out.p50_us = latencies[latencies.size() / 2];
     out.p99_us = latencies[std::min(latencies.size() - 1,
                                     latencies.size() * 99 / 100)];
+    out.p999_us = latencies[std::min(latencies.size() - 1,
+                                     latencies.size() * 999 / 1000)];
   }
   return out;
 }
@@ -682,6 +685,7 @@ int main(int argc, char** argv) {
     json.Set("net_over_inprocess_4w", net_ratio);
     json.Set("net_p50_us", wire.p50_us);
     json.Set("net_p99_us", wire.p99_us);
+    json.Set("net_p999_us", wire.p999_us);
     json.Set("qps_net_pipelined_1conn", piped.qps);
     json.Set("qps_net_sequential_1conn", serial_conn.qps);
     json.Set("net_pipelining_speedup", pipeline_speedup);
@@ -735,6 +739,8 @@ int main(int argc, char** argv) {
     json.Set("mixed_ops_per_sec", run.ops_per_sec);
     json.Set("write_p50_us", static_cast<double>(s.p50_write_latency_us));
     json.Set("write_p99_us", static_cast<double>(s.p99_write_latency_us));
+    json.Set("write_p999_us", static_cast<double>(s.p999_write_latency_us));
+    json.Set("read_p999_us", static_cast<double>(s.p999_latency_us));
     json.Set("mean_write_latency_us", s.mean_write_latency_us);
     json.Set("writes_acked", static_cast<double>(s.writes_acked));
     json.Set("writes_rejected", static_cast<double>(s.writes_rejected));

@@ -45,6 +45,7 @@
 #include "linalg/reducer.h"
 #include "net/client.h"
 #include "service/snapshot_export.h"
+#include "shard/tail_tolerance.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 
@@ -347,6 +348,25 @@ int CmdStats(bw::Flags& flags, int argc, char** argv) {
   return 0;
 }
 
+// A stats row like "router.shard0.replica1.breaker" carries the
+// numeric BreakerState; health prints them as state names so an
+// operator sees which backends the router has tripped away from.
+// Non-routers simply have no such rows.
+void PrintBreakerRows(bw::net::Client& client, const char* indent) {
+  auto fields = client.Stats();
+  if (!fields.ok()) return;
+  for (const auto& [name, value] : *fields) {
+    const size_t dot = name.rfind(".breaker");
+    if (name.rfind("router.", 0) != 0 || dot == std::string::npos ||
+        dot + 8 != name.size()) {
+      continue;
+    }
+    std::printf("%s%-24s %s\n", indent, name.c_str(),
+                bw::shard::BreakerStateName(static_cast<bw::shard::BreakerState>(
+                    static_cast<int>(value))));
+  }
+}
+
 // Fleet-wide health: one row per server. Exit 0 only when every server
 // answered and none is fail-stopped.
 int FleetHealth(const std::vector<std::string>& endpoints) {
@@ -382,6 +402,7 @@ int FleetHealth(const std::vector<std::string>& endpoints) {
         static_cast<uint8_t>(bw::service::WriteState::kFailed)) {
       exit_code = 1;
     }
+    PrintBreakerRows(**client, "    ");
   }
   return exit_code;
 }
@@ -414,6 +435,7 @@ int CmdHealth(bw::Flags& flags, int argc, char** argv) {
   std::printf("  pages_quarantined  %llu\n",
               (unsigned long long)health->pages_quarantined);
   std::printf("  uptime             %.1f s\n", health->uptime_seconds);
+  PrintBreakerRows(**client, "  ");
   // Health is the fitness probe: serving reads + not fail-stopped = 0.
   return health->write_state ==
                  static_cast<uint8_t>(bw::service::WriteState::kFailed)

@@ -54,6 +54,18 @@ int main(int argc, char** argv) {
       "per-read probability a direction goes silent (one-way partition)");
   int64_t* max_connections =
       flags.AddInt64("max_connections", 256, "accept cap");
+  int64_t* brownout_start_ms = flags.AddInt64(
+      "brownout_start_ms", 0,
+      "brownout window start, relative to proxy start");
+  int64_t* brownout_duration_ms = flags.AddInt64(
+      "brownout_duration_ms", 0,
+      "brownout window length (0 = no brownout)");
+  int64_t* brownout_delay_ms = flags.AddInt64(
+      "brownout_delay_ms", 200,
+      "base latency spike per browned-out read (+ up to 25% seeded jitter)");
+  int64_t* brownout_trickle_bytes = flags.AddInt64(
+      "brownout_trickle_bytes", 0,
+      "trickle browned-out reads in chunks of this size (0 = one spike)");
   bw::Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     return parsed.code() == bw::StatusCode::kNotFound ? 0 : 2;
@@ -76,6 +88,11 @@ int main(int argc, char** argv) {
   options.reset_prob = *reset_prob;
   options.blackhole_prob = *blackhole_prob;
   options.max_connections = static_cast<size_t>(*max_connections);
+  options.brownout_start_ms = static_cast<uint64_t>(*brownout_start_ms);
+  options.brownout_duration_ms = static_cast<uint64_t>(*brownout_duration_ms);
+  options.brownout_delay_ms = static_cast<uint32_t>(*brownout_delay_ms);
+  options.brownout_trickle_bytes =
+      static_cast<size_t>(*brownout_trickle_bytes);
 
   bw::net::ChaosProxy proxy;
   bw::Status started =
@@ -91,6 +108,14 @@ int main(int argc, char** argv) {
               proxy.port(), target->c_str(), (unsigned long long)*seed,
               *delay_prob, (unsigned)*delay_ms, *drop_frame_prob, *reset_prob,
               *blackhole_prob);
+  if (*brownout_duration_ms > 0) {
+    std::printf("bwchaos brownout: [%lld, %lld) ms, +%lldms per read, "
+                "trickle %lld bytes\n",
+                (long long)*brownout_start_ms,
+                (long long)(*brownout_start_ms + *brownout_duration_ms),
+                (long long)*brownout_delay_ms,
+                (long long)*brownout_trickle_bytes);
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
@@ -102,10 +127,12 @@ int main(int argc, char** argv) {
   proxy.Stop();
   const bw::net::ChaosStats s = proxy.stats();
   std::printf("bwchaos: %llu connections, %llu resets, %llu delays, "
-              "%llu truncations, %llu blackholes, %llu bytes relayed\n",
+              "%llu truncations, %llu blackholes, %llu brownout reads, "
+              "%llu bytes relayed\n",
               (unsigned long long)s.connections, (unsigned long long)s.resets,
               (unsigned long long)s.delays, (unsigned long long)s.truncations,
               (unsigned long long)s.blackholes,
+              (unsigned long long)s.brownout_reads,
               (unsigned long long)s.bytes_relayed);
   return 0;
 }

@@ -136,6 +136,25 @@ int main(int argc, char** argv) {
   int64_t* catchup_interval_ms = flags.AddInt64(
       "catchup_interval_ms", 1000,
       "stale-replica WAL catch-up period (0 = off)");
+  bool* hedge = flags.AddBool(
+      "hedge", true,
+      "hedge slow replica reads against a sibling replica");
+  double* hedge_quantile = flags.AddDouble(
+      "hedge_quantile", 0.99,
+      "per-backend latency quantile that arms the hedge timer");
+  int64_t* hedge_floor_us = flags.AddInt64(
+      "hedge_floor_us", 1000, "minimum hedge delay");
+  int64_t* hedge_cap_us = flags.AddInt64(
+      "hedge_cap_us", 200000, "maximum hedge delay");
+  bool* breaker = flags.AddBool(
+      "breaker", true,
+      "per-backend circuit breakers on error/latency-outlier streaks");
+  int64_t* breaker_cooldown_ms = flags.AddInt64(
+      "breaker_cooldown_ms", 1000,
+      "open-breaker cooldown before a half-open trial");
+  int64_t* jitter_seed = flags.AddInt64(
+      "jitter_seed", 0,
+      "seed for probe/hedge/backoff jitter (deterministic schedules)");
   int64_t* batch_size = flags.AddInt64(
       "batch_size", 32, "results per streamed frame from remote shards");
   int64_t* workers =
@@ -160,6 +179,14 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(*probe_backoff_max);
   router_options.catchup_interval =
       std::chrono::milliseconds(*catchup_interval_ms);
+  router_options.hedge = *hedge;
+  router_options.hedge_quantile = *hedge_quantile;
+  router_options.hedge_delay_floor_us = static_cast<uint64_t>(*hedge_floor_us);
+  router_options.hedge_delay_cap_us = static_cast<uint64_t>(*hedge_cap_us);
+  router_options.breaker.enabled = *breaker;
+  router_options.breaker.cooldown_us =
+      static_cast<uint64_t>(*breaker_cooldown_ms) * 1000;
+  router_options.jitter_seed = static_cast<uint64_t>(*jitter_seed);
 
   std::unique_ptr<bw::shard::ShardFleet> fleet;          // local mode.
   std::unique_ptr<bw::shard::Router> remote_router;      // remote mode.
@@ -264,5 +291,14 @@ int main(int argc, char** argv) {
               (unsigned long long)rs.catchups,
               (unsigned long long)rs.wal_batches_shipped,
               (unsigned long long)rs.snapshots_shipped);
+  std::printf("tail tolerance: %llu hedges (%llu won), "
+              "breakers %llu opened / %llu half-opened / %llu closed, "
+              "%llu budget-exhausted queries\n",
+              (unsigned long long)rs.hedges_attempted,
+              (unsigned long long)rs.hedges_won,
+              (unsigned long long)rs.breaker_opens,
+              (unsigned long long)rs.breaker_half_opens,
+              (unsigned long long)rs.breaker_closes,
+              (unsigned long long)rs.budget_exhausted);
   return 0;
 }

@@ -106,8 +106,20 @@ Status ChaosProxy::Start(uint16_t listen_port,
     port_ = ntohs(addr.sin_port);
   }
   listen_fd_.store(fd);
+  started_at_ = std::chrono::steady_clock::now();
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
+}
+
+bool ChaosProxy::InBrownout() const {
+  if (options_.brownout_duration_ms == 0) return false;
+  const uint64_t elapsed_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count());
+  return elapsed_ms >= options_.brownout_start_ms &&
+         elapsed_ms <
+             options_.brownout_start_ms + options_.brownout_duration_ms;
 }
 
 void ChaosProxy::Stop() {
@@ -144,6 +156,7 @@ ChaosStats ChaosProxy::stats() const {
   stats.delays = delays_.load(std::memory_order_relaxed);
   stats.truncations = truncations_.load(std::memory_order_relaxed);
   stats.blackholes = blackholes_.load(std::memory_order_relaxed);
+  stats.brownout_reads = brownout_reads_.load(std::memory_order_relaxed);
   stats.bytes_relayed = bytes_relayed_.load(std::memory_order_relaxed);
   return stats;
 }
@@ -229,16 +242,37 @@ void ChaosProxy::RelayLoop(std::shared_ptr<Relay> relay,
     }
     size_t sent = 0;
     bool write_failed = false;
-    while (sent < forward) {
-      const ssize_t w =
-          ::send(to, buf + sent, forward - sent, MSG_NOSIGNAL);
-      if (w > 0) {
-        sent += static_cast<size_t>(w);
-        continue;
+    const auto send_span = [&](size_t end) {
+      while (sent < end) {
+        const ssize_t w =
+            ::send(to, buf + sent, end - sent, MSG_NOSIGNAL);
+        if (w > 0) {
+          sent += static_cast<size_t>(w);
+          continue;
+        }
+        if (w < 0 && errno == EINTR) continue;
+        write_failed = true;
+        return;
       }
-      if (w < 0 && errno == EINTR) continue;
-      write_failed = true;
-      break;
+    };
+    if (InBrownout()) {
+      // Browned out: every read pays a latency spike (base + up to
+      // +25% drawn from the seeded per-connection stream), optionally
+      // trickled out in small chunks with a spike per chunk.
+      brownout_reads_.fetch_add(1, std::memory_order_relaxed);
+      const size_t chunk = options_.brownout_trickle_bytes > 0
+                               ? options_.brownout_trickle_bytes
+                               : forward;
+      while (sent < forward && !write_failed && !stop_.load()) {
+        const auto spike = std::chrono::microseconds(static_cast<uint64_t>(
+            options_.brownout_delay_ms * 1000.0 * (1.0 + 0.25 * NextUnit(rng))));
+        std::this_thread::sleep_for(spike);
+        size_t end = sent + chunk;
+        if (end > forward || chunk == 0) end = forward;
+        send_span(end);
+      }
+    } else {
+      send_span(forward);
     }
     bytes_relayed_.fetch_add(sent, std::memory_order_relaxed);
     if (truncate || write_failed) break;

@@ -17,6 +17,14 @@
 //                   not an error, until their own timeouts fire).
 //   reset_prob      decided at accept time: close the client socket
 //                   immediately without contacting the target.
+//   brownout_*      a timed window (relative to Start()) during which
+//                   every read is forwarded late — a deterministic
+//                   latency spike per read, drawn from the seeded
+//                   per-connection stream, optionally trickled out in
+//                   small chunks with a spike per chunk. The proxied
+//                   server stays alive and correct, just slow: the
+//                   failure mode health probes cannot see, which the
+//                   router's hedging and circuit breakers exist for.
 //
 // Threading: one accept thread plus two relay threads per connection
 // (client->target and target->client). Stop() closes the listener and
@@ -27,6 +35,7 @@
 #define BLOBWORLD_NET_CHAOS_PROXY_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -56,6 +65,21 @@ struct ChaosOptions {
   double blackhole_prob = 0;
   /// Accept cap; connections beyond it are closed immediately.
   size_t max_connections = 256;
+
+  /// Brownout window, relative to Start(): reads between
+  /// [brownout_start_ms, brownout_start_ms + brownout_duration_ms) are
+  /// browned out. duration 0 disables the mode.
+  uint64_t brownout_start_ms = 0;
+  uint64_t brownout_duration_ms = 0;
+  /// Base latency spike added to every browned-out read (plus up to
+  /// +25% drawn from the seeded per-connection stream, so spike
+  /// schedules are pinned by the seed but decorrelated across
+  /// connections).
+  uint32_t brownout_delay_ms = 200;
+  /// When nonzero, a browned-out read is forwarded in chunks of at
+  /// most this many bytes with a spike before each chunk (slow
+  /// trickle); 0 forwards the whole read after a single spike.
+  size_t brownout_trickle_bytes = 0;
 };
 
 /// Cumulative fault counters (monotonic; readable while running).
@@ -65,6 +89,7 @@ struct ChaosStats {
   uint64_t delays = 0;
   uint64_t truncations = 0;
   uint64_t blackholes = 0;
+  uint64_t brownout_reads = 0;  // reads forwarded through the brownout.
   uint64_t bytes_relayed = 0;
 };
 
@@ -95,6 +120,8 @@ class ChaosProxy {
 
   void AcceptLoop();
   void RelayLoop(std::shared_ptr<Relay> relay, bool client_to_target);
+  /// Whether the brownout window covers "now".
+  bool InBrownout() const;
 
   ChaosOptions options_;
   std::atomic<int> listen_fd_{-1};
@@ -103,6 +130,7 @@ class ChaosProxy {
   uint16_t target_port_ = 0;
   std::thread accept_thread_;
   std::atomic<bool> stop_{false};
+  std::chrono::steady_clock::time_point started_at_;
 
   std::mutex relays_mutex_;
   std::vector<std::shared_ptr<Relay>> relays_;
@@ -113,6 +141,7 @@ class ChaosProxy {
   std::atomic<uint64_t> delays_{0};
   std::atomic<uint64_t> truncations_{0};
   std::atomic<uint64_t> blackholes_{0};
+  std::atomic<uint64_t> brownout_reads_{0};
   std::atomic<uint64_t> bytes_relayed_{0};
 };
 

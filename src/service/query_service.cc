@@ -1170,6 +1170,7 @@ ServiceSnapshot QueryService::Snapshot() const {
   snap.mean_write_latency_us = write_latency_histogram_.Mean();
   snap.p50_write_latency_us = write_latency_histogram_.Percentile(0.50);
   snap.p99_write_latency_us = write_latency_histogram_.Percentile(0.99);
+  snap.p999_write_latency_us = write_latency_histogram_.Percentile(0.999);
   snap.elapsed_seconds =
       std::chrono::duration<double>(Clock::now() - start_time_).count();
   snap.qps = snap.elapsed_seconds > 0
@@ -1179,6 +1180,7 @@ ServiceSnapshot QueryService::Snapshot() const {
   snap.p50_latency_us = latency_histogram_.Percentile(0.50);
   snap.p95_latency_us = latency_histogram_.Percentile(0.95);
   snap.p99_latency_us = latency_histogram_.Percentile(0.99);
+  snap.p999_latency_us = latency_histogram_.Percentile(0.999);
   return snap;
 }
 

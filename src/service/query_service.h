@@ -333,6 +333,7 @@ struct ServiceSnapshot {
   uint64_t p50_latency_us = 0;
   uint64_t p95_latency_us = 0;
   uint64_t p99_latency_us = 0;
+  uint64_t p999_latency_us = 0;
   // --- Write path (meaningful only when writes are enabled) ------------
   bool writes_enabled = false;
   WriteState write_state = WriteState::kServing;
@@ -361,6 +362,7 @@ struct ServiceSnapshot {
   double mean_write_latency_us = 0;  // submission -> durable ack.
   uint64_t p50_write_latency_us = 0;
   uint64_t p99_write_latency_us = 0;
+  uint64_t p999_write_latency_us = 0;
 };
 
 /// A thread-pool query executor over one shared read-only index.

@@ -21,6 +21,7 @@ std::vector<std::pair<std::string, double>> ExportSnapshotFields(
   add("p50_latency_us", static_cast<double>(snap.p50_latency_us));
   add("p95_latency_us", static_cast<double>(snap.p95_latency_us));
   add("p99_latency_us", static_cast<double>(snap.p99_latency_us));
+  add("p999_latency_us", static_cast<double>(snap.p999_latency_us));
   // Degradation accounting.
   add("truncated_streams", static_cast<double>(snap.truncated_streams));
   add("degraded_responses", static_cast<double>(snap.degraded_responses));
@@ -63,6 +64,8 @@ std::vector<std::pair<std::string, double>> ExportSnapshotFields(
       static_cast<double>(snap.p50_write_latency_us));
   add("p99_write_latency_us",
       static_cast<double>(snap.p99_write_latency_us));
+  add("p999_write_latency_us",
+      static_cast<double>(snap.p999_write_latency_us));
   return fields;
 }
 

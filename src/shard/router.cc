@@ -1,6 +1,7 @@
 #include "shard/router.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <optional>
 #include <queue>
@@ -34,13 +35,21 @@ Router::Router(ShardMap map, std::vector<Shard> shards, RouterOptions options)
   probe_failures_.resize(shards_.size());
   probe_skip_.resize(shards_.size());
   write_locks_.reserve(shards_.size());
+  breakers_.resize(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     states_[s].assign(shards_[s].replicas.size(), ReplicaState::kHealthy);
     probe_failures_[s].assign(shards_[s].replicas.size(), 0);
     probe_skip_[s].assign(shards_[s].replicas.size(), 0);
     write_locks_.push_back(std::make_unique<std::mutex>());
+    for (size_t r = 0; r < shards_[s].replicas.size(); ++r) {
+      breakers_[s].push_back(
+          std::make_unique<CircuitBreaker>(options_.breaker));
+    }
   }
-  probe_jitter_state_ = options_.jitter_seed;
+  probe_jitter_.Reseed(options_.jitter_seed);
+  // A distinct salt so probe and hedge schedules decorrelate even
+  // though both pin to the same policy seed.
+  hedge_jitter_.Reseed(options_.jitter_seed ^ 0x6865646765ull);
   if (options_.probe_interval.count() > 0) {
     probe_thread_ = std::thread([this] { ProbeLoop(); });
   }
@@ -57,6 +66,68 @@ Router::~Router() {
   probe_cv_.notify_all();
   if (probe_thread_.joinable()) probe_thread_.join();
   if (catchup_thread_.joinable()) catchup_thread_.join();
+  // Joined after the query surface quiesced but before the backends
+  // (members) are destroyed: an abandoned hedge loser may still be
+  // blocked in a backend pull.
+  StopHedgeExecutor();
+}
+
+uint64_t Router::NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// Hedge executor: grow-on-demand workers for pulls that must not pin
+// the caller's thread. Threads are created only when every existing
+// worker is busy (so an unhedged fleet never pays for one) and live
+// until the router does.
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr size_t kMaxHedgeThreads = 32;
+}  // namespace
+
+void Router::PostHedgeTask(std::function<void()> task) {
+  std::lock_guard<std::mutex> lock(hedge_mutex_);
+  hedge_tasks_.push_back(std::move(task));
+  if (hedge_idle_ == 0 && hedge_threads_.size() < kMaxHedgeThreads) {
+    hedge_threads_.emplace_back([this] { HedgeWorker(); });
+  }
+  hedge_cv_.notify_one();
+}
+
+void Router::HedgeWorker() {
+  std::unique_lock<std::mutex> lock(hedge_mutex_);
+  for (;;) {
+    ++hedge_idle_;
+    hedge_cv_.wait(lock,
+                   [this] { return hedge_stop_ || !hedge_tasks_.empty(); });
+    --hedge_idle_;
+    if (hedge_tasks_.empty()) {
+      if (hedge_stop_) return;
+      continue;
+    }
+    std::function<void()> task = std::move(hedge_tasks_.front());
+    hedge_tasks_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
+void Router::StopHedgeExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(hedge_mutex_);
+    hedge_stop_ = true;
+  }
+  hedge_cv_.notify_all();
+  for (std::thread& t : hedge_threads_) {
+    if (t.joinable()) t.join();
+  }
+  hedge_threads_.clear();
 }
 
 void Router::SetReplicaState(size_t shard, size_t replica,
@@ -103,36 +174,84 @@ ReplicaState Router::replica_state(size_t shard, size_t replica) const {
   return GetReplicaState(shard, replica);
 }
 
+BreakerState Router::breaker_state(size_t shard, size_t replica) const {
+  return breakers_[shard][replica]->state();
+}
+
 // ---------------------------------------------------------------------------
 // Frontier lifecycle with failover
 // ---------------------------------------------------------------------------
 
+std::unique_ptr<ShardFrontier> Router::OpenOnReplica(
+    size_t shard, size_t replica, size_t consumed, const geom::Vec& query,
+    const service::StreamOptions& limits, const DeadlineBudget& budget,
+    size_t attempts_left) {
+  // Split the remaining deadline across the attempts that could still
+  // run instead of re-sending the client's full deadline per attempt
+  // (DESIGN.md §15's budget arithmetic). An unlimited budget slices to
+  // 0 = no deadline, the pre-budget behavior.
+  service::StreamOptions sliced = limits;
+  sliced.deadline_us = static_cast<double>(
+      budget.SliceUs(NowUs(), attempts_left, options_.budget_floor_us));
+  CircuitBreaker* breaker = breakers_[shard][replica].get();
+  const uint64_t t0 = NowUs();
+  Result<std::unique_ptr<ShardFrontier>> frontier =
+      shards_[shard].replicas[replica]->OpenFrontier(query, sliced);
+  if (!frontier.ok()) {
+    breaker->OnResult(false, NowUs() - t0, NowUs());
+    SetReplicaState(shard, replica, ReplicaState::kDead);
+    return nullptr;
+  }
+  // Replay the skip: drop the results this query already consumed.
+  for (size_t i = 0; i < consumed; ++i) {
+    Result<std::optional<gist::Neighbor>> n = (*frontier)->Next();
+    if (!n.ok()) {
+      breaker->OnResult(false, NowUs() - t0, NowUs());
+      SetReplicaState(shard, replica, ReplicaState::kDead);
+      return nullptr;
+    }
+    if (!n->has_value()) break;  // shorter (degraded) replica: let the
+                                 // caller observe the exhaustion.
+  }
+  breaker->OnResult(true, NowUs() - t0, NowUs());
+  return std::move(*frontier);
+}
+
 bool Router::AcquireFrontier(OpenShard* open, const geom::Vec& query,
-                             const service::StreamOptions& limits) {
-  const std::vector<std::unique_ptr<ShardBackend>>& replicas =
-      shards_[open->shard].replicas;
-  for (size_t r = 0; r < replicas.size(); ++r) {
+                             const service::StreamOptions& limits,
+                             const DeadlineBudget& budget) {
+  if (budget.Exhausted(NowUs(), options_.budget_floor_us)) {
+    budget_exhausted_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const size_t replica_count = shards_[open->shard].replicas.size();
+  // Pass 0 respects breakers; pass 1 retries the replicas pass 0
+  // skipped for an open breaker — a breaker is advice about *ordering*,
+  // and when the breaker-open replica is the last one standing, asking
+  // it is strictly better than failing the shard.
+  std::vector<size_t> deferred;
+  for (size_t r = 0; r < replica_count; ++r) {
     if (GetReplicaState(open->shard, r) != ReplicaState::kHealthy) continue;
-    Result<std::unique_ptr<ShardFrontier>> frontier =
-        replicas[r]->OpenFrontier(query, limits);
-    if (!frontier.ok()) {
-      SetReplicaState(open->shard, r, ReplicaState::kDead);
+    if (!breakers_[open->shard][r]->Allow(NowUs())) {
+      deferred.push_back(r);
       continue;
     }
-    // Replay the skip: drop the results this query already consumed.
-    bool replica_dead = false;
-    for (size_t i = 0; i < open->consumed; ++i) {
-      Result<std::optional<gist::Neighbor>> n = (*frontier)->Next();
-      if (!n.ok()) {
-        SetReplicaState(open->shard, r, ReplicaState::kDead);
-        replica_dead = true;
-        break;
-      }
-      if (!n->has_value()) break;  // shorter (degraded) replica: let the
-                                   // caller observe the exhaustion.
-    }
-    if (replica_dead) continue;
-    open->frontier = std::move(*frontier);
+    std::unique_ptr<ShardFrontier> frontier =
+        OpenOnReplica(open->shard, r, open->consumed, query, limits, budget,
+                      replica_count - r);
+    if (frontier == nullptr) continue;
+    open->frontier = std::move(frontier);
+    open->replica = r;
+    return true;
+  }
+  for (size_t i = 0; i < deferred.size(); ++i) {
+    const size_t r = deferred[i];
+    if (GetReplicaState(open->shard, r) != ReplicaState::kHealthy) continue;
+    std::unique_ptr<ShardFrontier> frontier =
+        OpenOnReplica(open->shard, r, open->consumed, query, limits, budget,
+                      deferred.size() - i);
+    if (frontier == nullptr) continue;
+    open->frontier = std::move(frontier);
     open->replica = r;
     return true;
   }
@@ -151,14 +270,114 @@ bool Router::CloseStream(OpenShard* open) {
   return verdict.ok();
 }
 
+/// Shared state of one primary-vs-sibling hedge race. The primary's
+/// pull runs on the hedge executor and publishes here; the caller
+/// either takes the result (reinstalling the frontier) or abandons the
+/// race after a hedge win. The frontier lives in the race so the last
+/// shared_ptr holder destroys it: for an abandoned remote frontier
+/// that closes the connection mid-stream — the cancellation.
+struct Router::HedgeRace {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::optional<Result<std::optional<gist::Neighbor>>> result;
+  std::unique_ptr<ShardFrontier> frontier;
+};
+
+Result<std::optional<gist::Neighbor>> Router::HedgedNext(
+    OpenShard* open, const geom::Vec& query,
+    const service::StreamOptions& limits, const DeadlineBudget& budget) {
+  const size_t shard = open->shard;
+  CircuitBreaker* breaker = breakers_[shard][open->replica].get();
+  if (!options_.hedge || shards_[shard].replicas.size() < 2) {
+    const uint64_t t0 = NowUs();
+    Result<std::optional<gist::Neighbor>> next = open->frontier->Next();
+    breaker->OnResult(next.ok(), NowUs() - t0, NowUs());
+    return next;
+  }
+
+  auto race = std::make_shared<HedgeRace>();
+  race->frontier = std::move(open->frontier);
+  PostHedgeTask([race, breaker] {
+    const uint64_t t0 = NowUs();
+    Result<std::optional<gist::Neighbor>> next = race->frontier->Next();
+    const uint64_t now = NowUs();
+    breaker->OnResult(next.ok(), now - t0, now);
+    std::lock_guard<std::mutex> lock(race->mu);
+    race->result.emplace(std::move(next));
+    race->done = true;
+    race->cv.notify_all();
+  });
+
+  // The hedge delay is the serving backend's own recent latency
+  // quantile (clamped), plus up to +25% jitter so a fleet's hedges
+  // against one browning server don't fire in lockstep.
+  uint64_t delay_us = breaker->HedgeDelayUs(
+      options_.hedge_quantile, options_.hedge_delay_floor_us,
+      options_.hedge_delay_cap_us, options_.hedge_delay_fallback_us);
+  delay_us += hedge_jitter_.NextBelow(delay_us / 4 + 1);
+
+  std::unique_lock<std::mutex> lock(race->mu);
+  if (race->cv.wait_for(lock, std::chrono::microseconds(delay_us),
+                        [&] { return race->done; })) {
+    open->frontier = std::move(race->frontier);
+    return std::move(*race->result);
+  }
+  lock.unlock();
+
+  // The primary is stalling: race a sibling, if time and breakers
+  // permit. The sibling opens the same stream and count-skips to the
+  // same position — sound because replicas are bit-identical, so its
+  // next result is byte-for-byte the one the primary owes us.
+  if (!budget.Exhausted(NowUs(), options_.budget_floor_us)) {
+    for (size_t r = 0; r < shards_[shard].replicas.size(); ++r) {
+      if (r == open->replica) continue;
+      if (GetReplicaState(shard, r) != ReplicaState::kHealthy) continue;
+      if (!breakers_[shard][r]->Allow(NowUs())) continue;
+      hedges_attempted_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_ptr<ShardFrontier> sibling =
+          OpenOnReplica(shard, r, open->consumed, query, limits, budget, 1);
+      if (sibling == nullptr) continue;  // marked dead; try another.
+      const uint64_t t0 = NowUs();
+      Result<std::optional<gist::Neighbor>> hedged = sibling->Next();
+      breakers_[shard][r]->OnResult(hedged.ok(), NowUs() - t0, NowUs());
+      if (hedged.ok()) {
+        bool primary_had_finished;
+        {
+          std::lock_guard<std::mutex> inner(race->mu);
+          primary_had_finished = race->done;
+        }
+        if (!primary_had_finished) {
+          hedges_won_.fetch_add(1, std::memory_order_relaxed);
+        }
+        // The sibling takes over the stream; the abandoned primary is
+        // cancelled when its in-flight pull returns and the race state
+        // (sole owner of its frontier) is destroyed.
+        open->frontier = std::move(sibling);
+        open->replica = r;
+        return hedged;
+      }
+      SetReplicaState(shard, r, ReplicaState::kDead);
+    }
+  }
+
+  // No sibling could take over: wait the primary out after all.
+  lock.lock();
+  race->cv.wait(lock, [&] { return race->done; });
+  open->frontier = std::move(race->frontier);
+  return std::move(*race->result);
+}
+
 bool Router::PullNext(OpenShard* open, const geom::Vec& query,
                       const service::StreamOptions& limits,
+                      const DeadlineBudget& budget,
                       std::optional<gist::Neighbor>* out) {
   while (true) {
     if (open->frontier == nullptr) {
-      if (!AcquireFrontier(open, query, limits)) return false;
+      if (!AcquireFrontier(open, query, limits, budget)) return false;
     }
-    Result<std::optional<gist::Neighbor>> next = open->frontier->Next();
+    Result<std::optional<gist::Neighbor>> next =
+        HedgedNext(open, query, limits, budget);
     if (next.ok()) {
       if (next->has_value()) {
         ++open->consumed;
@@ -174,7 +393,7 @@ bool Router::PullNext(OpenShard* open, const geom::Vec& query,
     }
     SetReplicaState(open->shard, open->replica, ReplicaState::kDead);
     open->frontier.reset();
-    if (!AcquireFrontier(open, query, limits)) return false;
+    if (!AcquireFrontier(open, query, limits, budget)) return false;
     failovers_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -187,6 +406,11 @@ Result<service::QueryResponse> Router::Knn(
     const geom::Vec& query, const service::StreamOptions& stream) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   const size_t k = stream.max_results;
+  const uint64_t query_start_us = NowUs();
+  // The query's remaining-time ledger: every open/retry/hedge below
+  // draws a slice from it instead of re-sending the client's full
+  // deadline (DESIGN.md §15).
+  const DeadlineBudget budget(stream.deadline_us, query_start_us);
 
   // Snapshot every shard's root bound once, under the shared side of
   // the map lock: concurrent inserts may enlarge boxes mid-query, but a
@@ -256,13 +480,13 @@ Result<service::QueryResponse> Router::Knn(
     if (!top.opened) {
       auto os = std::make_unique<OpenShard>();
       os->shard = top.shard;
-      if (!AcquireFrontier(os.get(), query, stream)) {
+      if (!AcquireFrontier(os.get(), query, stream, budget)) {
         BW_RETURN_IF_ERROR(shard_died(top.shard));
         continue;
       }
       ++visited;
       std::optional<gist::Neighbor> head;
-      if (!PullNext(os.get(), query, stream, &head)) {
+      if (!PullNext(os.get(), query, stream, budget, &head)) {
         open[top.shard] = std::move(os);  // keep accounting folded so far.
         BW_RETURN_IF_ERROR(shard_died(top.shard));
         continue;
@@ -276,7 +500,7 @@ Result<service::QueryResponse> Router::Knn(
       OpenShard* os = open[top.shard].get();
       response.neighbors.push_back(os->head);
       std::optional<gist::Neighbor> head;
-      if (!PullNext(os, query, stream, &head)) {
+      if (!PullNext(os, query, stream, budget, &head)) {
         BW_RETURN_IF_ERROR(shard_died(top.shard));
         continue;
       }
@@ -314,6 +538,7 @@ Result<service::QueryResponse> Router::Knn(
 
   shards_visited_.fetch_add(visited, std::memory_order_relaxed);
   shards_pruned_.fetch_add(pruned, std::memory_order_relaxed);
+  query_latency_.Record(NowUs() - query_start_us);
   return response;
 }
 
@@ -325,6 +550,7 @@ Result<service::QueryResponse> Router::Range(const geom::Vec& query,
                                              double radius,
                                              uint32_t deadline_us) {
   queries_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t query_start_us = NowUs();
   std::vector<double> bound(shards_.size());
   {
     std::shared_lock<std::shared_mutex> lock(map_mutex_);
@@ -387,6 +613,7 @@ Result<service::QueryResponse> Router::Range(const geom::Vec& query,
   }
   shards_visited_.fetch_add(visited, std::memory_order_relaxed);
   shards_pruned_.fetch_add(pruned, std::memory_order_relaxed);
+  query_latency_.Record(NowUs() - query_start_us);
   return response;
 }
 
@@ -505,6 +732,16 @@ RouterStats Router::stats() const {
   out.wal_batches_shipped =
       wal_batches_shipped_.load(std::memory_order_relaxed);
   out.snapshots_shipped = snapshots_shipped_.load(std::memory_order_relaxed);
+  out.hedges_attempted = hedges_attempted_.load(std::memory_order_relaxed);
+  out.hedges_won = hedges_won_.load(std::memory_order_relaxed);
+  out.budget_exhausted = budget_exhausted_.load(std::memory_order_relaxed);
+  for (const std::vector<std::unique_ptr<CircuitBreaker>>& shard : breakers_) {
+    for (const std::unique_ptr<CircuitBreaker>& breaker : shard) {
+      out.breaker_opens += breaker->opens();
+      out.breaker_half_opens += breaker->half_opens();
+      out.breaker_closes += breaker->closes();
+    }
+  }
   return out;
 }
 
@@ -527,6 +764,36 @@ std::vector<std::pair<std::string, double>> Router::StatsFields() const {
                       static_cast<double>(s.wal_batches_shipped));
   fields.emplace_back("router.snapshots_shipped",
                       static_cast<double>(s.snapshots_shipped));
+  fields.emplace_back("router.hedges_attempted",
+                      static_cast<double>(s.hedges_attempted));
+  fields.emplace_back("router.hedges_won",
+                      static_cast<double>(s.hedges_won));
+  fields.emplace_back("router.breaker_opens",
+                      static_cast<double>(s.breaker_opens));
+  fields.emplace_back("router.breaker_half_opens",
+                      static_cast<double>(s.breaker_half_opens));
+  fields.emplace_back("router.breaker_closes",
+                      static_cast<double>(s.breaker_closes));
+  fields.emplace_back("router.budget_exhausted",
+                      static_cast<double>(s.budget_exhausted));
+  const LatencyHistogram::Snapshot latency = query_latency_.TakeSnapshot();
+  fields.emplace_back("router.p50_latency_us",
+                      static_cast<double>(latency.p50));
+  fields.emplace_back("router.p99_latency_us",
+                      static_cast<double>(latency.p99));
+  fields.emplace_back("router.p999_latency_us",
+                      static_cast<double>(latency.p999));
+  // Per-backend breaker state (0 closed, 1 open, 2 half-open): the
+  // rows bwadmin health/stats use to show which replica is being
+  // routed around.
+  for (size_t sh = 0; sh < breakers_.size(); ++sh) {
+    for (size_t r = 0; r < breakers_[sh].size(); ++r) {
+      fields.emplace_back(
+          "router.shard" + std::to_string(sh) + ".replica" +
+              std::to_string(r) + ".breaker",
+          static_cast<double>(breakers_[sh][r]->state()));
+    }
+  }
   size_t dead = 0, stale = 0, catching = 0;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -600,18 +867,16 @@ void Router::ProbeNow() {
       } else {
         states_[s][r] = ReplicaState::kDead;
         // Jittered exponential backoff: 1, 2, 4, ... sweeps skipped
-        // (capped), +0/1 from a splitmix64 draw so several routers
-        // probing one dead server drift apart.
+        // (capped), +0/1 from the seeded probe jitter stream so
+        // several routers probing one dead server drift apart.
         const uint32_t failures = ++probe_failures_[s][r];
         uint32_t skip = failures >= 32 ? options_.probe_backoff_max
                                        : (1u << (failures - 1));
         if (skip > options_.probe_backoff_max) {
           skip = options_.probe_backoff_max;
         }
-        uint64_t z = (probe_jitter_state_ += 0x9e3779b97f4a7c15ull);
-        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-        probe_skip_[s][r] = skip + static_cast<uint32_t>((z >> 31) & 1);
+        probe_skip_[s][r] =
+            skip + static_cast<uint32_t>(probe_jitter_.NextBelow(2));
       }
     }
   }

@@ -48,6 +48,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -58,6 +60,9 @@
 #include "net/backend.h"
 #include "shard/partitioner.h"
 #include "shard/shard_backend.h"
+#include "shard/tail_tolerance.h"
+#include "util/histogram.h"
+#include "util/random.h"
 
 namespace bw::shard {
 
@@ -84,8 +89,37 @@ struct RouterOptions {
   /// giving up (a replica that cannot converge — e.g. under continuous
   /// writes — goes back to kStale and is retried next pass).
   size_t catchup_max_rounds = 64;
-  /// Seed for probe-backoff jitter (deterministic tests pin it).
+  /// Seed for probe-backoff and hedge-delay jitter (deterministic
+  /// tests pin it; each jitter consumer draws from its own
+  /// JitterStream derived from this seed).
   uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+
+  // --- Tail tolerance (DESIGN.md §15) ------------------------------------
+
+  /// Hedged replica reads: when a streaming pull has stalled past the
+  /// serving backend's hedge delay — that backend's recent latency
+  /// quantile, clamped to [floor, cap] — the same stream is opened on
+  /// a sibling replica (count-skip replay, sound because replicas are
+  /// bit-identical) and the first responder wins; the loser is
+  /// cancelled. Only engages when a shard has >= 2 replicas.
+  bool hedge = true;
+  double hedge_quantile = 0.99;
+  uint64_t hedge_delay_floor_us = 1'000;
+  uint64_t hedge_delay_cap_us = 200'000;
+  /// Hedge delay used until a backend has recorded enough samples for
+  /// its quantile to mean anything.
+  uint64_t hedge_delay_fallback_us = 50'000;
+
+  /// Per-backend circuit breakers (advisory: they reorder replica
+  /// preference, never manufacture unavailability — see
+  /// tail_tolerance.h).
+  BreakerOptions breaker;
+
+  /// Smallest per-attempt deadline slice worth sending. When a query's
+  /// remaining deadline budget drops below this, the router stops
+  /// re-scattering (the shard degrades under the fault budget) rather
+  /// than burn time on an attempt that cannot finish.
+  uint64_t budget_floor_us = 500;
 };
 
 /// Replica lifecycle (see the failover state machine above).
@@ -108,6 +142,12 @@ struct RouterStats {
   uint64_t catchups = 0;         // replicas readmitted kHealthy.
   uint64_t wal_batches_shipped = 0;   // batches applied to targets.
   uint64_t snapshots_shipped = 0;     // full-store transfers completed.
+  uint64_t hedges_attempted = 0;      // sibling streams raced.
+  uint64_t hedges_won = 0;            // races the sibling answered first.
+  uint64_t breaker_opens = 0;         // kClosed/kHalfOpen -> kOpen trips.
+  uint64_t breaker_half_opens = 0;    // cooldown trials admitted.
+  uint64_t breaker_closes = 0;        // trials that re-closed a breaker.
+  uint64_t budget_exhausted = 0;      // re-scatters abandoned for time.
 };
 
 class Router : public net::Backend {
@@ -155,6 +195,7 @@ class Router : public net::Backend {
   size_t num_shards() const { return shards_.size(); }
   RouterStats stats() const;
   ReplicaState replica_state(size_t shard, size_t replica) const;
+  BreakerState breaker_state(size_t shard, size_t replica) const;
 
   /// One synchronous probe sweep over every non-stale replica: dead
   /// replicas that answer come back kHealthy, healthy ones that fail
@@ -174,19 +215,50 @@ class Router : public net::Backend {
 
  private:
   struct OpenShard;  // one shard's in-flight frontier state (router.cc).
+  struct HedgeRace;  // shared state of one primary-vs-sibling race.
 
-  /// Opens the shard's stream on its first live replica (skipping
-  /// open->consumed results — the count-based failover skip); returns
-  /// false when every replica is dead or stale.
+  /// Steady clock in microseconds (the time base every tail-tolerance
+  /// decision uses).
+  static uint64_t NowUs();
+
+  /// Opens the shard's stream on one specific replica and replays the
+  /// count skip; records the open latency against the replica's
+  /// breaker and marks it kDead on failure. Returns nullptr on
+  /// failure; a frontier that exhausted during the skip (shorter
+  /// degraded replica) is still returned so the caller observes the
+  /// exhaustion.
+  std::unique_ptr<ShardFrontier> OpenOnReplica(
+      size_t shard, size_t replica, size_t consumed, const geom::Vec& query,
+      const service::StreamOptions& limits, const DeadlineBudget& budget,
+      size_t attempts_left);
+
+  /// Opens the shard's stream on its first eligible live replica
+  /// (skipping open->consumed results — the count-based failover
+  /// skip); returns false when every replica is dead/stale or the
+  /// deadline budget cannot cover another attempt. Pass one respects
+  /// circuit breakers; a second pass ignores them so a breaker can
+  /// never manufacture unavailability.
   bool AcquireFrontier(OpenShard* open, const geom::Vec& query,
-                       const service::StreamOptions& limits);
+                       const service::StreamOptions& limits,
+                       const DeadlineBudget& budget);
   /// Next result from an open stream, failing over (re-open + count
   /// skip) as needed; false when the shard died mid-query. nullopt in
   /// *out means the shard's stream is cleanly exhausted (accounting
   /// already folded).
   bool PullNext(OpenShard* open, const geom::Vec& query,
                 const service::StreamOptions& limits,
+                const DeadlineBudget& budget,
                 std::optional<gist::Neighbor>* out);
+  /// One pull with hedging: the primary's Next() runs on the hedge
+  /// executor; if it stalls past the backend's hedge delay, the same
+  /// stream is opened on a sibling (count-skip) and the first usable
+  /// answer wins. On a hedge win the winning frontier replaces
+  /// open->frontier / open->replica and the abandoned primary is
+  /// cancelled when its pull returns (its frontier dies with the race
+  /// state, which closes a remote connection mid-stream).
+  Result<std::optional<gist::Neighbor>> HedgedNext(
+      OpenShard* open, const geom::Vec& query,
+      const service::StreamOptions& limits, const DeadlineBudget& budget);
   /// Finishes the stream and folds its degraded accounting into the
   /// OpenShard; returns false when the terminal verdict was an error
   /// (the caller treats that as a replica failure).
@@ -216,6 +288,14 @@ class Router : public net::Backend {
   void ProbeLoop();
   void CatchupLoop();
 
+  /// Hedge executor: a grow-on-demand worker pool the hedged pulls run
+  /// on (a pull blocked in a browned-out backend must not pin the
+  /// dispatch thread, or the hedge could never start). Joined before
+  /// the backends are destroyed.
+  void PostHedgeTask(std::function<void()> task);
+  void HedgeWorker();
+  void StopHedgeExecutor();
+
   ShardMap map_;
   std::vector<Shard> shards_;
   RouterOptions options_;
@@ -231,7 +311,17 @@ class Router : public net::Backend {
   /// failures and sweeps left to skip, per replica.
   std::vector<std::vector<uint32_t>> probe_failures_;
   std::vector<std::vector<uint32_t>> probe_skip_;
-  uint64_t probe_jitter_state_ = 0;
+  /// Per-component jitter streams, both derived from options_.
+  /// jitter_seed with distinct salts (see JitterStream).
+  JitterStream probe_jitter_;
+  JitterStream hedge_jitter_;
+
+  /// One breaker (with its latency tracker) per replica; immutable
+  /// layout after construction, internally synchronized.
+  std::vector<std::vector<std::unique_ptr<CircuitBreaker>>> breakers_;
+
+  /// Router-level query latency (merged k-NN / range fan-outs).
+  LatencyHistogram query_latency_;
 
   /// One mutex per shard, serializing routed mutations against that
   /// shard: every replica applies writes in the same admission order,
@@ -249,6 +339,17 @@ class Router : public net::Backend {
   std::atomic<uint64_t> catchups_{0};
   std::atomic<uint64_t> wal_batches_shipped_{0};
   std::atomic<uint64_t> snapshots_shipped_{0};
+  std::atomic<uint64_t> hedges_attempted_{0};
+  std::atomic<uint64_t> hedges_won_{0};
+  std::atomic<uint64_t> budget_exhausted_{0};
+
+  /// Hedge executor state (see PostHedgeTask).
+  std::mutex hedge_mutex_;
+  std::condition_variable hedge_cv_;
+  std::deque<std::function<void()>> hedge_tasks_;
+  std::vector<std::thread> hedge_threads_;
+  size_t hedge_idle_ = 0;
+  bool hedge_stop_ = false;
 
   std::mutex probe_mutex_;
   std::condition_variable probe_cv_;

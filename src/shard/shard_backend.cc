@@ -29,12 +29,20 @@ namespace {
 class LocalFrontier : public ShardFrontier {
  public:
   LocalFrontier(std::unique_ptr<service::QueryService::StreamCursor> cursor,
-                std::shared_ptr<std::atomic<bool>> failed)
-      : cursor_(std::move(cursor)), failed_(std::move(failed)) {}
+                std::shared_ptr<std::atomic<bool>> failed,
+                std::shared_ptr<std::atomic<uint64_t>> delay_us)
+      : cursor_(std::move(cursor)),
+        failed_(std::move(failed)),
+        delay_us_(std::move(delay_us)) {}
 
   Result<std::optional<gist::Neighbor>> Next() override {
     if (failed_->load(std::memory_order_relaxed)) {
       return Status::Unavailable("replica fail-stopped (injected)");
+    }
+    // Injected brownout: alive and correct, just slow (per frame).
+    const uint64_t delay = delay_us_->load(std::memory_order_relaxed);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
     }
     return cursor_->Next();
   }
@@ -48,6 +56,7 @@ class LocalFrontier : public ShardFrontier {
  private:
   std::unique_ptr<service::QueryService::StreamCursor> cursor_;
   std::shared_ptr<std::atomic<bool>> failed_;
+  std::shared_ptr<std::atomic<uint64_t>> delay_us_;
 };
 
 }  // namespace
@@ -131,7 +140,7 @@ Result<std::unique_ptr<ShardFrontier>> LocalShardBackend::OpenFrontier(
         "shard write-stalled: cursor open timed out");
   }
   return std::unique_ptr<ShardFrontier>(
-      new LocalFrontier(std::move(cursor), failed_));
+      new LocalFrontier(std::move(cursor), failed_, delay_us_));
 }
 
 Result<service::QueryResponse> LocalShardBackend::Range(const geom::Vec& query,
@@ -239,7 +248,19 @@ RemoteShardBackend::RemoteShardBackend(std::string host, uint16_t port,
     : host_(std::move(host)),
       port_(port),
       client_options_(client_options),
-      max_idle_connections_(max_idle_connections) {}
+      max_idle_connections_(max_idle_connections) {
+  jitter_.Reseed(retry_.jitter_seed ^ EndpointSalt());
+}
+
+uint64_t RemoteShardBackend::EndpointSalt() const {
+  uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a offset basis.
+  const std::string endpoint = DebugName();
+  for (const char c : endpoint) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
 
 std::string RemoteShardBackend::DebugName() const {
   return host_ + ":" + std::to_string(port_);
@@ -286,15 +307,11 @@ bool RemoteShardBackend::BackoffOrGiveUp(size_t attempt, uint64_t elapsed_us,
     backoff *= 2;
   }
   if (backoff > retry_.max_backoff_us) backoff = retry_.max_backoff_us;
-  // Deterministic jitter (splitmix64 over a per-backend counter mixed
-  // with the policy seed): up to +50%, so a fleet of routers hammering
-  // one recovering server desynchronizes without any global clock.
-  uint64_t z = jitter_state_.fetch_add(1, std::memory_order_relaxed) +
-               retry_.jitter_seed;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  z ^= z >> 31;
-  backoff += z % (backoff / 2 + 1);
+  // Deterministic jitter from the backend's seeded JitterStream
+  // (policy seed ⊕ endpoint salt): up to +50%, so a fleet of routers
+  // hammering one recovering server desynchronizes without any global
+  // clock — and a chaos test pins the whole schedule from the seed.
+  backoff += jitter_.NextBelow(backoff / 2 + 1);
   if (deadline_us > 0 && elapsed_us + backoff >= deadline_us) return false;
   std::this_thread::sleep_for(std::chrono::microseconds(backoff));
   return true;

@@ -31,6 +31,7 @@
 #include "gist/tree.h"
 #include "net/client.h"
 #include "service/query_service.h"
+#include "util/random.h"
 #include "util/status.h"
 
 namespace bw::shard {
@@ -166,11 +167,22 @@ class LocalShardBackend : public ShardBackend {
     failed_->store(failed, std::memory_order_relaxed);
   }
 
+  /// Brownout injection: while nonzero, every open frontier's Next
+  /// sleeps this long before answering — the replica stays alive and
+  /// correct, just slow, which is exactly the failure mode probes
+  /// cannot see and the hedge/breaker machinery exists for. Applies to
+  /// frontiers opened before or after the call (the delay is shared).
+  void set_delay_us(uint64_t delay_us) {
+    delay_us_->store(delay_us, std::memory_order_relaxed);
+  }
+
  private:
   service::QueryService* service_;
   std::string name_;
   std::shared_ptr<std::atomic<bool>> failed_ =
       std::make_shared<std::atomic<bool>>(false);
+  std::shared_ptr<std::atomic<uint64_t>> delay_us_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
 };
 
 // ---------------------------------------------------------------------------
@@ -181,8 +193,11 @@ class LocalShardBackend : public ShardBackend {
 /// probes, reads, catch-up pulls, and WAL-batch applies (idempotent via
 /// the target's tag check) — never Insert/Remove, whose replay could
 /// double-apply. Attempt n sleeps backoff_us * 2^n, capped at
-/// max_backoff_us, plus a deterministic jitter drawn from jitter_seed,
-/// and gives up early rather than sleep past the caller's deadline.
+/// max_backoff_us, plus a deterministic jitter drawn from a
+/// JitterStream seeded by jitter_seed mixed with the backend's
+/// endpoint (so two backends under the same policy draw distinct but
+/// pinned schedules), and gives up early rather than sleep past the
+/// caller's deadline.
 /// Retries fire only on transport-shaped failures (IoError,
 /// Unavailable, ResourceExhausted): a semantic verdict (NotFound,
 /// InvalidArgument, NotSupported) is the answer, not a flaky link.
@@ -225,7 +240,10 @@ class RemoteShardBackend : public ShardBackend {
 
   /// Retry schedule for idempotent calls (see RetryPolicy). Set before
   /// handing the backend to the router.
-  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
+  void set_retry_policy(RetryPolicy policy) {
+    retry_ = policy;
+    jitter_.Reseed(policy.jitter_seed ^ EndpointSalt());
+  }
 
  private:
   friend class RemoteFrontier;
@@ -242,6 +260,9 @@ class RemoteShardBackend : public ShardBackend {
   /// exhausted or the next sleep would cross `deadline_us` (0 = none).
   bool BackoffOrGiveUp(size_t attempt, uint64_t elapsed_us,
                        uint64_t deadline_us);
+  /// FNV-1a over host:port — the per-backend salt mixed into the
+  /// jitter seed.
+  uint64_t EndpointSalt() const;
 
   /// Runs `op` (a fresh connection per attempt) under the retry
   /// schedule. `op` takes net::Client& and returns Result<T>.
@@ -255,7 +276,7 @@ class RemoteShardBackend : public ShardBackend {
   uint32_t frontier_batch_size_ = 32;
   size_t max_idle_connections_;
   RetryPolicy retry_;
-  std::atomic<uint64_t> jitter_state_{0};
+  JitterStream jitter_;
   std::mutex mutex_;
   std::vector<std::unique_ptr<net::Client>> idle_;
 };

@@ -61,6 +61,30 @@ class LatencyHistogram {
     return BucketUpperBound(kNumBuckets - 1);
   }
 
+  /// One coherent-enough read of the monitoring percentiles, p99.9
+  /// included (tail work needs tail visibility: a hedge or breaker
+  /// decision made on p99 alone is blind to the 1-in-1000 stall it
+  /// exists to fix).
+  struct Snapshot {
+    uint64_t count = 0;
+    double mean = 0.0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+    uint64_t p999 = 0;
+  };
+
+  Snapshot TakeSnapshot() const {
+    Snapshot snap;
+    snap.count = Count();
+    snap.mean = Mean();
+    snap.p50 = Percentile(0.50);
+    snap.p95 = Percentile(0.95);
+    snap.p99 = Percentile(0.99);
+    snap.p999 = Percentile(0.999);
+    return snap;
+  }
+
   /// Zeroes all counters (not atomic with respect to in-flight Records;
   /// call when writers are quiescent or accept a few lost samples).
   void Reset() {

@@ -6,12 +6,56 @@
 #ifndef BLOBWORLD_UTIL_RANDOM_H_
 #define BLOBWORLD_UTIL_RANDOM_H_
 
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <vector>
 
 namespace bw {
+
+/// A seedable, thread-safe stream of jitter draws for retry backoff,
+/// probe scheduling, and hedge delays. Each component owns its own
+/// stream, seeded explicitly (mix in a per-component salt so two
+/// components with the same policy seed still draw different
+/// schedules), so chaos tests can pin every schedule exactly while a
+/// fleet of routers hammering one recovering server desynchronizes
+/// without any global clock. Draw k is splitmix64(seed + k·golden):
+/// concurrent callers interleave counter values but every draw is a
+/// pure function of (seed, k), so the multiset of values is
+/// deterministic.
+class JitterStream {
+ public:
+  explicit JitterStream(uint64_t seed = 0x9E3779B97F4A7C15ULL)
+      : seed_(seed) {}
+
+  /// Restarts the stream from a new seed (draw counter resets too).
+  void Reseed(uint64_t seed) {
+    seed_ = seed;
+    counter_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Uniform 64-bit draw.
+  uint64_t Next() {
+    const uint64_t k = counter_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t z = seed_ + (k + 1) * 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n); 0 when n == 0 (callers pass computed spans).
+  uint64_t NextBelow(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextUnit() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t seed_;
+  std::atomic<uint64_t> counter_{0};
+};
 
 /// xoshiro256**: small, fast, high-quality, reproducible across platforms
 /// (unlike std::mt19937's distribution wrappers, whose outputs are not

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <cerrno>
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -27,6 +28,7 @@
 #include "net/server.h"
 #include "service/query_service.h"
 #include "shard/partitioner.h"
+#include "shard/router.h"
 #include "shard/shard_backend.h"
 #include "tests/test_helpers.h"
 
@@ -211,6 +213,60 @@ TEST(ChaosProxyTest, BlackholeIsASilentStallNotAnError) {
   proxy.Stop();
 }
 
+TEST(ChaosProxyTest, BrownoutWindowDelaysReadsThenLifts) {
+  const auto points = testing::MakeClusteredPoints(200, kDim, 3, 61);
+  WireReplica replica = MakeWireReplica(points, TempDir("brown") + "/a");
+
+  // A window covering the whole test: every relayed read eats the
+  // spike, but every byte still arrives — a brownout is slowness, not
+  // loss.
+  ChaosOptions browned;
+  browned.seed = 17;
+  browned.brownout_start_ms = 0;
+  browned.brownout_duration_ms = 10 * 60 * 1000;
+  browned.brownout_delay_ms = 100;
+  ChaosProxy proxy;
+  ASSERT_TRUE(
+      proxy.Start(0, "127.0.0.1", replica.server->port(), browned).ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  auto client = Client::Connect("127.0.0.1", proxy.port(),
+                                ChaosClientOptions());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto through = (*client)->Knn(points[3], 6);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(through.ok()) << through.status().ToString();
+  auto direct = replica.service->Knn(points[3], 6);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(through->neighbors.size(), direct->neighbors.size());
+  for (size_t i = 0; i < direct->neighbors.size(); ++i) {
+    EXPECT_EQ(through->neighbors[i].rid, direct->neighbors[i].rid);
+    EXPECT_EQ(through->neighbors[i].distance, direct->neighbors[i].distance);
+  }
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            100);  // at least one read crossed the browned window.
+  EXPECT_GE(proxy.stats().brownout_reads, 1u);
+  proxy.Stop();
+
+  // A window that has not opened yet injects nothing: the schedule is
+  // purely a function of the clock, never of traffic.
+  ChaosOptions pending = browned;
+  pending.brownout_start_ms = 10 * 60 * 1000;
+  pending.brownout_duration_ms = 1000;
+  ChaosProxy calm;
+  ASSERT_TRUE(
+      calm.Start(0, "127.0.0.1", replica.server->port(), pending).ok());
+  auto clean = Client::Connect("127.0.0.1", calm.port(),
+                               ChaosClientOptions());
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  auto fast = (*clean)->Knn(points[3], 6);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  EXPECT_EQ(fast->neighbors.size(), direct->neighbors.size());
+  EXPECT_EQ(calm.stats().brownout_reads, 0u);
+  calm.Stop();
+}
+
 // ---------------------------------------------------------------------------
 // The flagship: remote catch-up converges through injected faults
 // ---------------------------------------------------------------------------
@@ -288,6 +344,78 @@ TEST(ChaosCatchupTest, WalCatchupConvergesThroughLatencyAndCutFrames) {
   // And the chaos was real, not a clean wire.
   const ChaosStats stats = proxy.stats();
   EXPECT_GT(stats.delays + stats.truncations, 0u);
+  proxy.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// The second flagship: hedged reads mask a browned replica on the wire
+// ---------------------------------------------------------------------------
+
+TEST(ChaosRouterTest, HedgedReadsMaskABrownedReplicaBitIdentically) {
+  const auto points = testing::MakeClusteredPoints(400, kDim, 4, 67);
+  const std::string dir = TempDir("hedge");
+  WireReplica slow = MakeWireReplica(points, dir + "/slow");
+  WireReplica fast = MakeWireReplica(points, dir + "/fast");
+
+  // The preferred replica sits behind a brownout for the whole test:
+  // alive, correct, +50ms on every relayed read. The sibling is a
+  // clean wire.
+  ChaosOptions chaos;
+  chaos.seed = 23;
+  chaos.brownout_start_ms = 0;
+  chaos.brownout_duration_ms = 10 * 60 * 1000;
+  chaos.brownout_delay_ms = 50;
+  ChaosProxy proxy;
+  ASSERT_TRUE(
+      proxy.Start(0, "127.0.0.1", slow.server->port(), chaos).ok());
+
+  ClientOptions copts = ChaosClientOptions();
+  copts.features = kFeatureStreaming | kFeatureRouter;
+  std::vector<shard::Router::Shard> shards(1);
+  shards[0].replicas.push_back(std::make_unique<shard::RemoteShardBackend>(
+      "127.0.0.1", proxy.port(), copts));
+  shards[0].replicas.push_back(std::make_unique<shard::RemoteShardBackend>(
+      "127.0.0.1", fast.server->port(), copts));
+
+  shard::RouterOptions ropts;
+  ropts.hedge = true;
+  ropts.hedge_delay_floor_us = 1'000;
+  ropts.hedge_delay_fallback_us = 5'000;
+  ropts.breaker.enabled = false;  // isolate hedging; shard_test owns breakers.
+  ropts.jitter_seed = 42;
+  const shard::Partition partition = shard::PartitionByStr(points, 1);
+  shard::Router router(shard::ShardMap(kDim, partition.bounds),
+                       std::move(shards), ropts);
+
+  // Every query prefers the browned replica, stalls past the hedge
+  // delay, and is rescued by the clean sibling — with answers
+  // bit-identical to asking the healthy replica directly.
+  for (size_t q = 0; q < 4; ++q) {
+    const geom::Vec& focus = points[(q * 71) % points.size()];
+    service::StreamOptions stream;
+    stream.max_results = 9;
+    auto routed = router.Knn(focus, stream);
+    ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+    EXPECT_FALSE(routed->degraded());
+    auto direct = fast.service->Knn(focus, 9);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_EQ(routed->neighbors.size(), direct->neighbors.size());
+    for (size_t i = 0; i < direct->neighbors.size(); ++i) {
+      EXPECT_EQ(routed->neighbors[i].rid, direct->neighbors[i].rid);
+      EXPECT_EQ(routed->neighbors[i].distance, direct->neighbors[i].distance);
+    }
+  }
+
+  const shard::RouterStats stats = router.stats();
+  EXPECT_GE(stats.hedges_attempted, 1u);
+  EXPECT_GE(stats.hedges_won, 1u);
+  // A brownout is slowness, not death: no failover ever fired and both
+  // replicas are still kHealthy — hedging is invisible to the failover
+  // state machine.
+  EXPECT_EQ(stats.failovers, 0u);
+  EXPECT_EQ(router.replica_state(0, 0), shard::ReplicaState::kHealthy);
+  EXPECT_EQ(router.replica_state(0, 1), shard::ReplicaState::kHealthy);
+  EXPECT_GE(proxy.stats().brownout_reads, 1u);
   proxy.Stop();
 }
 

@@ -535,6 +535,89 @@ TEST(NetEndToEnd, DeadlinePropagatesIntoStreamTruncation) {
   EXPECT_EQ(full->neighbors.size(), 400u);
 }
 
+TEST(NetEndToEnd, DeadlineExpiryMidStreamLeavesTheConnectionReusable) {
+  service::ServiceOptions sopts;
+  sopts.worker_pool_pages = 2;
+  sopts.io_delay_us = 500;
+  NetHarness h(sopts);
+  auto client = h.Connect();
+
+  // A deadline-doomed stream pipelined ahead of a full one: the doomed
+  // reply truncates mid-stream while the full query's frames park
+  // behind it.
+  QueryLimits limits;
+  limits.deadline_us = 1;
+  auto doomed = client->SubmitKnn(h.vectors[7], 400, limits);
+  ASSERT_TRUE(doomed.ok());
+  auto full = client->SubmitKnn(h.vectors[7], 400);
+  ASSERT_TRUE(full.ok());
+
+  auto cut = client->AwaitQuery(*doomed);
+  ASSERT_TRUE(cut.ok()) << cut.status().ToString();
+  ASSERT_TRUE(cut->ok());
+  EXPECT_TRUE(cut->truncated);
+  EXPECT_LT(cut->neighbors.size(), 400u);
+
+  // The frames parked behind the truncated stream are intact: the full
+  // query still answers completely and exactly.
+  auto whole = client->AwaitQuery(*full);
+  ASSERT_TRUE(whole.ok()) << whole.status().ToString();
+  ASSERT_TRUE(whole->ok());
+  EXPECT_FALSE(whole->truncated);
+  ASSERT_EQ(whole->neighbors.size(), 400u);
+  EXPECT_EQ(RidSet(whole->neighbors),
+            RidSet(TruthKnn(*h.tree, h.vectors[7], 400)));
+
+  // And nothing from the cut stream leaks forward: the same connection
+  // keeps serving exact answers.
+  for (size_t q = 0; q < 3; ++q) {
+    const geom::Vec& focus = h.vectors[(q * 61) % h.vectors.size()];
+    auto again = client->Knn(focus, 10);
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    ASSERT_TRUE(again->ok());
+    EXPECT_FALSE(again->truncated);
+    EXPECT_EQ(RidSet(again->neighbors), RidSet(TruthKnn(*h.tree, focus, 10)));
+  }
+}
+
+TEST(NetEndToEnd, DeadlineExpiryDuringIncrementalStreamRetiresCleanly) {
+  service::ServiceOptions sopts;
+  sopts.worker_pool_pages = 2;
+  sopts.io_delay_us = 500;
+  NetHarness h(sopts);
+  auto client = h.Connect();
+
+  // Consume the doomed stream one result at a time — the shard
+  // router's frontier pattern — until the server's deadline cuts it.
+  QueryLimits limits;
+  limits.deadline_us = 1;
+  auto id = client->SubmitKnn(h.vectors[11], 400, limits);
+  ASSERT_TRUE(id.ok());
+  size_t consumed = 0;
+  while (true) {
+    auto next = client->NextResult(*id);
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    if (!next->has_value()) break;
+    ++consumed;
+  }
+  auto fin = client->FinishQuery(*id);
+  ASSERT_TRUE(fin.ok()) << fin.status().ToString();
+  ASSERT_TRUE(fin->ok());
+  EXPECT_TRUE(fin->truncated);
+  EXPECT_TRUE(fin->neighbors.empty());  // everything was consumed above.
+  EXPECT_LT(consumed, 400u);
+
+  // The retired stream leaves nothing behind: a fresh full query on
+  // the same connection is complete and exact.
+  auto again = client->Knn(h.vectors[11], 400);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_TRUE(again->ok());
+  EXPECT_FALSE(again->truncated);
+  ASSERT_EQ(again->neighbors.size(), 400u);
+  EXPECT_EQ(RidSet(again->neighbors),
+            RidSet(TruthKnn(*h.tree, h.vectors[11], 400)));
+}
+
 TEST(NetEndToEnd, StatsAndHealthCrossTheWire) {
   NetHarness h;
   auto client = h.Connect();

@@ -684,5 +684,371 @@ TEST(RouterMutationTest, ConcurrentMutationsRacingFailoverStayConsistent) {
   EXPECT_EQ(RidSet(merged->neighbors), expected);
 }
 
+// ---------------------------------------------------------------------------
+// Circuit breaker: state machine under a synthetic clock
+// ---------------------------------------------------------------------------
+
+BreakerOptions TestBreaker() {
+  BreakerOptions options;
+  options.error_threshold = 3;
+  options.slow_threshold = 2;
+  options.outlier_floor_us = 1'000;
+  options.outlier_factor = 4.0;
+  options.min_samples = 4;
+  options.cooldown_us = 10'000;
+  return options;
+}
+
+TEST(CircuitBreakerTest, ConsecutiveErrorsTripOpen) {
+  CircuitBreaker breaker(TestBreaker());
+  uint64_t now = 1'000'000;
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.OnResult(false, 0, now);
+  breaker.OnResult(false, 0, now += 10);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);  // 2 < threshold 3.
+  breaker.OnResult(true, 100, now += 10);             // success resets.
+  breaker.OnResult(false, 0, now += 10);
+  breaker.OnResult(false, 0, now += 10);
+  breaker.OnResult(false, 0, now += 10);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_FALSE(breaker.Allow(now + 100));  // cooldown not yet over.
+}
+
+TEST(CircuitBreakerTest, LatencyOutliersTripOpenOnlyOnceArmed) {
+  CircuitBreaker breaker(TestBreaker());
+  uint64_t now = 1'000'000;
+  // Two huge samples while the tracker is cold (< min_samples = 4):
+  // never slow, so no trip.
+  breaker.OnResult(true, 1'000'000, now += 10);
+  breaker.OnResult(true, 1'000'000, now += 10);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // A healthy history (p50 ~ 100us) arms the detector...
+  for (int i = 0; i < 8; ++i) breaker.OnResult(true, 100, now += 10);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // ...then two consecutive outliers (>> max(floor, 4 x p50)) trip it.
+  breaker.OnResult(true, 50'000, now += 10);
+  breaker.OnResult(true, 50'000, now += 10);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+}
+
+TEST(CircuitBreakerTest, BufferedReplaysAreStreakNeutral) {
+  // A remote frontier hands out already-pulled batch results in
+  // microseconds between two browned wire pulls. Those buffered
+  // replays say nothing about the backend: they must not reset the
+  // outlier streak (or a browned remote replica could never trip).
+  CircuitBreaker breaker(TestBreaker());
+  uint64_t now = 1'000'000;
+  for (int i = 0; i < 8; ++i) breaker.OnResult(true, 200, now += 10);
+  ASSERT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.OnResult(true, 50'000, now += 10);  // browned wire pull.
+  breaker.OnResult(true, 5, now += 10);       // buffered replay: neutral.
+  breaker.OnResult(true, 5, now += 10);
+  breaker.OnResult(true, 50'000, now += 10);  // next browned pull trips.
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  // A genuine (>= streak_floor) fast wire operation still resets.
+  CircuitBreaker fresh(TestBreaker());
+  now = 1'000'000;
+  for (int i = 0; i < 8; ++i) fresh.OnResult(true, 200, now += 10);
+  fresh.OnResult(true, 50'000, now += 10);
+  fresh.OnResult(true, 200, now += 10);       // real fast pull: reset.
+  fresh.OnResult(true, 50'000, now += 10);
+  EXPECT_EQ(fresh.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenTrialClosesOnFastSuccess) {
+  CircuitBreaker breaker(TestBreaker());
+  uint64_t now = 1'000'000;
+  for (int i = 0; i < 8; ++i) breaker.OnResult(true, 100, now += 10);
+  breaker.OnResult(true, 50'000, now += 10);
+  breaker.OnResult(true, 50'000, now += 10);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+  EXPECT_FALSE(breaker.Allow(now + 5'000));  // mid-cooldown: stay away.
+  now += 20'000;                             // cooldown (10ms) elapsed.
+  EXPECT_TRUE(breaker.Allow(now));           // exactly one trial...
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow(now + 10));     // ...no second admission.
+  EXPECT_EQ(breaker.half_opens(), 1u);
+
+  breaker.OnResult(true, 120, now += 10);    // fast success: re-close.
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.closes(), 1u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenTrialReopensOnSlowOrError) {
+  CircuitBreaker breaker(TestBreaker());
+  uint64_t now = 1'000'000;
+  for (int i = 0; i < 8; ++i) breaker.OnResult(true, 100, now += 10);
+  breaker.OnResult(true, 50'000, now += 10);
+  breaker.OnResult(true, 50'000, now += 10);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+  now += 20'000;
+  ASSERT_TRUE(breaker.Allow(now));
+  breaker.OnResult(true, 60'000, now += 10);  // trial still slow.
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);             // a fresh cooldown started.
+
+  now += 20'000;
+  ASSERT_TRUE(breaker.Allow(now));
+  breaker.OnResult(false, 0, now += 10);      // trial errored.
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 3u);
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerNeverTrips) {
+  BreakerOptions options = TestBreaker();
+  options.enabled = false;
+  CircuitBreaker breaker(options);
+  uint64_t now = 1'000'000;
+  for (int i = 0; i < 20; ++i) breaker.OnResult(false, 0, now += 10);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow(now));
+  EXPECT_EQ(breaker.opens(), 0u);
+}
+
+TEST(DeadlineBudgetTest, SlicesSplitRemainingAndExhaust) {
+  const uint64_t t0 = 5'000'000;
+  DeadlineBudget unlimited(0, t0);
+  EXPECT_TRUE(unlimited.unlimited());
+  EXPECT_FALSE(unlimited.Exhausted(t0 + 1'000'000'000, 500));
+  EXPECT_EQ(unlimited.SliceUs(t0, 3, 500), 0u);  // 0 = no deadline.
+
+  DeadlineBudget budget(100'000, t0);  // 100ms total.
+  EXPECT_FALSE(budget.unlimited());
+  EXPECT_EQ(budget.remaining_us(t0), 100'000u);
+  // Two eligible replicas split what is left evenly.
+  EXPECT_EQ(budget.SliceUs(t0, 2, 500), 50'000u);
+  EXPECT_EQ(budget.SliceUs(t0 + 60'000, 2, 500), 20'000u);
+  // The floor protects the last attempt from a sliver slice.
+  EXPECT_EQ(budget.SliceUs(t0 + 99'900, 2, 500), 500u);
+  EXPECT_FALSE(budget.Exhausted(t0 + 99'000, 500));
+  EXPECT_TRUE(budget.Exhausted(t0 + 99'900, 500));
+  EXPECT_TRUE(budget.Exhausted(t0 + 200'000, 500));
+  EXPECT_EQ(budget.remaining_us(t0 + 200'000), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Hedged reads, breaker routing, and deadline budgets on a live fleet
+// ---------------------------------------------------------------------------
+
+TEST(RouterTailTest, HedgedReadBeatsBrownedReplicaBitIdentically) {
+  const auto corpus = testing::MakeClusteredPoints(400, kDim, 4, 111);
+  auto single = BuildSingleIndex(corpus);
+  ASSERT_NE(single, nullptr);
+  RouterOptions router_options;
+  router_options.hedge = true;
+  router_options.hedge_delay_floor_us = 1'000;
+  router_options.hedge_delay_fallback_us = 2'000;
+  router_options.breaker.enabled = false;  // isolate the hedge path.
+  router_options.jitter_seed = 42;
+  auto fleet = BuildFleet(corpus, "hedge", 2, 2, router_options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  Router* router = (*fleet)->router();
+
+  // Replica 0 of every shard browns out: alive, correct, probe-visible
+  // — just 30ms per streamed result, far past the hedge delay.
+  for (size_t s = 0; s < 2; ++s) {
+    (*fleet)->backend(s, 0)->set_delay_us(30'000);
+  }
+
+  StreamOptions stream;
+  stream.max_results = 12;
+  auto merged = router->Knn(corpus[0], stream);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_FALSE(merged->degraded());
+
+  // Bit-identical to the unsharded index: hedging changed who answered,
+  // never what the answer is.
+  const auto truth = TruthKnn(single->tree(), corpus[0], 12);
+  ASSERT_EQ(merged->neighbors.size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(merged->neighbors[i].rid, truth[i].rid) << "position " << i;
+    EXPECT_EQ(merged->neighbors[i].distance, truth[i].distance);
+  }
+
+  const RouterStats stats = router->stats();
+  EXPECT_GE(stats.hedges_attempted, 1u);
+  EXPECT_GE(stats.hedges_won, 1u);
+  // A brownout is not a failure: nobody was marked dead, nothing
+  // failed over, the slow replicas stay in rotation.
+  EXPECT_EQ(stats.failovers, 0u);
+  for (size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(router->replica_state(s, 0), ReplicaState::kHealthy);
+    EXPECT_EQ(router->replica_state(s, 1), ReplicaState::kHealthy);
+  }
+}
+
+TEST(RouterTailTest, BreakerOpensOnBrownoutThenRecovers) {
+  const auto corpus = testing::MakeClusteredPoints(300, kDim, 3, 117);
+  RouterOptions router_options;
+  router_options.hedge = false;  // isolate the breaker path.
+  router_options.breaker.slow_threshold = 3;
+  router_options.breaker.outlier_floor_us = 2'000;
+  router_options.breaker.min_samples = 8;
+  router_options.breaker.cooldown_us = 50'000;
+  auto fleet = BuildFleet(corpus, "breaker", 1, 2, router_options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  Router* router = (*fleet)->router();
+
+  StreamOptions stream;
+  stream.max_results = 10;
+  // Healthy warm-up: replica 0 (the preferred one) builds a fast
+  // latency history, arming the outlier detector.
+  for (int q = 0; q < 3; ++q) {
+    auto warm = router->Knn(corpus[q], stream);
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  }
+  ASSERT_EQ(router->breaker_state(0, 0), BreakerState::kClosed);
+
+  // Brownout: 20ms per streamed result. One query's pulls are >= 3
+  // consecutive outliers against the fast history — the breaker trips
+  // mid-stream, deterministically.
+  (*fleet)->backend(0, 0)->set_delay_us(20'000);
+  auto slow = router->Knn(corpus[0], stream);
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  EXPECT_EQ(router->breaker_state(0, 0), BreakerState::kOpen);
+  EXPECT_GE(router->stats().breaker_opens, 1u);
+
+  // While open, queries route around the browned replica (replica 1
+  // serves) — still correct, never degraded.
+  auto routed = router->Knn(corpus[1], stream);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  EXPECT_FALSE(routed->degraded());
+  EXPECT_EQ(router->breaker_state(0, 0), BreakerState::kOpen);
+
+  // Brownout lifts; after the cooldown the next query admits one trial
+  // on replica 0, which succeeds fast and re-closes the breaker.
+  (*fleet)->backend(0, 0)->set_delay_us(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  auto trial = router->Knn(corpus[2], stream);
+  ASSERT_TRUE(trial.ok()) << trial.status().ToString();
+  EXPECT_EQ(router->breaker_state(0, 0), BreakerState::kClosed);
+  EXPECT_GE(router->stats().breaker_half_opens, 1u);
+  EXPECT_GE(router->stats().breaker_closes, 1u);
+}
+
+TEST(RouterTailTest, OpenBreakerIsAdvisoryNeverUnavailability) {
+  const auto corpus = testing::MakeClusteredPoints(200, kDim, 3, 123);
+  RouterOptions router_options;
+  router_options.hedge = false;
+  router_options.breaker.slow_threshold = 3;
+  router_options.breaker.outlier_floor_us = 2'000;
+  router_options.breaker.min_samples = 8;
+  router_options.breaker.cooldown_us = 60'000'000;  // never cools here.
+  // One shard, ONE replica: the breaker will open on it, but it is the
+  // only copy of the data — queries must keep working regardless.
+  auto fleet = BuildFleet(corpus, "advisory", 1, 1, router_options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  Router* router = (*fleet)->router();
+
+  StreamOptions stream;
+  stream.max_results = 10;
+  for (int q = 0; q < 3; ++q) {
+    auto warm = router->Knn(corpus[q], stream);
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  }
+  (*fleet)->backend(0, 0)->set_delay_us(20'000);
+  auto slow = router->Knn(corpus[0], stream);
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  ASSERT_EQ(router->breaker_state(0, 0), BreakerState::kOpen);
+
+  // Breaker open, no sibling, cooldown nowhere near over: the
+  // last-resort pass still serves the query, complete and correct.
+  auto merged = router->Knn(corpus[1], stream);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_FALSE(merged->degraded());
+  EXPECT_EQ(merged->neighbors.size(), 10u);
+}
+
+// A replica that is both slow (20ms per pull) and rigged to die after
+// two results: with a 30ms deadline the failover re-open cannot fit in
+// what is left, so the router degrades instead of re-scattering.
+class SlowFailBackend : public ShardBackend {
+ public:
+  SlowFailBackend(service::QueryService* service, uint64_t delay_us,
+                  size_t fail_after)
+      : delegate_(service, "slow-fail"), fail_after_(fail_after) {
+    delegate_.set_delay_us(delay_us);
+  }
+
+  Result<std::unique_ptr<ShardFrontier>> OpenFrontier(
+      const geom::Vec& query, const StreamOptions& limits) override {
+    BW_ASSIGN_OR_RETURN(std::unique_ptr<ShardFrontier> inner,
+                        delegate_.OpenFrontier(query, limits));
+    return std::unique_ptr<ShardFrontier>(
+        new FailAfterFrontier(std::move(inner), fail_after_));
+  }
+  Result<service::QueryResponse> Range(const geom::Vec& query, double radius,
+                                       uint32_t deadline_us) override {
+    return delegate_.Range(query, radius, deadline_us);
+  }
+  Result<service::MutationOutcome> Insert(const geom::Vec& point,
+                                          uint64_t rid) override {
+    return delegate_.Insert(point, rid);
+  }
+  Result<service::MutationOutcome> Remove(const geom::Vec& point,
+                                          uint64_t rid) override {
+    return delegate_.Remove(point, rid);
+  }
+  Status Probe() override { return delegate_.Probe(); }
+  std::string DebugName() const override { return "slow-fail"; }
+
+ private:
+  LocalShardBackend delegate_;
+  size_t fail_after_;
+};
+
+TEST(RouterTailTest, ExhaustedDeadlineBudgetDegradesInsteadOfRescattering) {
+  const auto corpus = testing::MakeClusteredPoints(160, kDim, 3, 131);
+  const Partition partition = PartitionByStr(corpus, 2);
+  const std::string dir = TempDir("budget_exhaust");
+  std::vector<std::unique_ptr<core::DurableIndex>> indexes;
+  std::vector<std::unique_ptr<service::QueryService>> services;
+  auto make_service = [&](size_t s, const char* tag) {
+    const std::string stem = dir + "/s" + std::to_string(s) + "_" + tag;
+    auto index = BuildShardIndex(partition.points[s], partition.rids[s],
+                                 TestBuild(), stem + ".idx", stem + ".wal");
+    BW_CHECK_MSG(index.ok(), index.status().ToString());
+    indexes.push_back(std::move(*index));
+    services.push_back(std::make_unique<service::QueryService>(
+        indexes.back().get(), service::ServiceOptions()));
+    return services.back().get();
+  };
+  std::vector<Router::Shard> shards(2);
+  shards[0].replicas.push_back(
+      std::make_unique<LocalShardBackend>(make_service(0, "a"), "local:0/0"));
+  // Shard 1's only replica burns 20ms per result and dies after two:
+  // by then a 30ms budget cannot cover the re-open.
+  shards[1].replicas.push_back(
+      std::make_unique<SlowFailBackend>(make_service(1, "a"), 20'000, 2));
+  RouterOptions router_options;
+  router_options.fault_budget = 1;  // degraded is allowed; failure is not.
+  router_options.hedge = false;
+  router_options.breaker.enabled = false;
+  Router router(ShardMap(kDim, partition.bounds), std::move(shards),
+                router_options);
+
+  StreamOptions stream;
+  stream.max_results = corpus.size();  // forces both shards open.
+  stream.deadline_us = 30'000;
+  auto merged = router.Knn(partition.points[1][0], stream);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_TRUE(merged->degraded());
+  // A degraded partial answer, inside the deadline: whatever streamed
+  // before the budget ran out — genuine results, nothing invented, and
+  // necessarily not the full corpus.
+  EXPECT_GE(merged->neighbors.size(), 1u);
+  EXPECT_LT(merged->neighbors.size(), corpus.size());
+  for (const gist::Neighbor& n : merged->neighbors) {
+    EXPECT_LT(n.rid, corpus.size());
+  }
+  EXPECT_GE(router.stats().budget_exhausted, 1u);
+  EXPECT_GE(router.stats().degraded_queries, 1u);
+}
+
 }  // namespace
 }  // namespace bw::shard

@@ -217,6 +217,70 @@ TEST(RngTest, SampleWithoutReplacementFullSet) {
 }
 
 // ---------------------------------------------------------------------------
+// JitterStream (the seedable retry/backoff/hedge jitter source)
+// ---------------------------------------------------------------------------
+
+TEST(JitterStreamTest, DeterministicForSameSeed) {
+  JitterStream a(123);
+  JitterStream b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(JitterStreamTest, DistinctSeedsDecorrelate) {
+  JitterStream a(1);
+  JitterStream b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(JitterStreamTest, ReseedReplaysFromTheTop) {
+  JitterStream stream(77);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(stream.Next());
+  stream.Reseed(77);  // same seed: the exact sequence replays.
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(stream.Next(), first[i]);
+  stream.Reseed(78);  // different seed: a different sequence.
+  int same = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (stream.Next() == first[i]) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(JitterStreamTest, NextBelowAndUnitBounds) {
+  JitterStream stream(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(stream.NextBelow(13), 13u);
+    const double u = stream.NextUnit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  EXPECT_EQ(stream.NextBelow(0), 0u);
+  EXPECT_EQ(stream.NextBelow(1), 0u);
+}
+
+TEST(LatencyHistogramTest, SnapshotCarriesTailQuantiles) {
+  LatencyHistogram histogram;
+  // 998 fast ops and two 80ms stragglers: the stragglers are the worst
+  // 0.2%, so p99.9 (rank 999 of 1000) must see them while p99 (rank
+  // 990) is allowed to miss them.
+  for (int i = 0; i < 998; ++i) histogram.Record(100);
+  histogram.Record(80'000);
+  histogram.Record(80'000);
+  const LatencyHistogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_GT(snap.mean, 0.0);
+  EXPECT_LT(snap.p50, 1'000u);
+  EXPECT_LT(snap.p99, 10'000u);
+  EXPECT_GE(snap.p999, 50'000u);  // log-spaced buckets: ~12.5% error.
+  EXPECT_GE(snap.p999, snap.p99);
+  EXPECT_GE(snap.p99, snap.p50);
+}
+
+// ---------------------------------------------------------------------------
 // Flags
 // ---------------------------------------------------------------------------
 
